@@ -1,0 +1,261 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   A1: window size N            (paper leaves it implicit; we use 5)
+//   A2: threshold percentile     (paper uses 99)
+//   A3: feature set              (messages-only vs +identifiers vs full)
+//   A4: AE scoring               (per-record max vs whole-window mean)
+// Each configuration is evaluated on the same datasets; we report benign
+// false-positive rate (accuracy complement) and attack recall/F1.
+#include <cmath>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+
+using namespace xsec;
+
+namespace {
+
+struct AblationOutcome {
+  double benign_accuracy = 0.0;
+  double attack_recall = 0.0;
+  double attack_precision = 0.0;
+  double attack_f1 = 0.0;
+  int events_detected = 0;
+  int events_total = 0;
+};
+
+/// Evaluates one detector kind on the attack datasets (no benign CV).
+AblationOutcome evaluate_kind(const core::LabeledDatasets& datasets,
+                              const core::EvalConfig& config,
+                              core::ModelKind kind) {
+  detect::FeatureEncoder encoder(config.features);
+  auto detector = core::make_detector(kind, config.window_size,
+                                      encoder.dim(), config);
+  if (config.calibration == core::EvalConfig::Calibration::kHeldOutCapture &&
+      datasets.benign.size() >= 2) {
+    std::vector<mobiflow::Trace> train_captures(datasets.benign.begin(),
+                                                datasets.benign.end() - 1);
+    detector->fit(detect::WindowDataset::from_traces(train_captures, encoder,
+                                                     config.window_size));
+    auto held_out = detect::WindowDataset::from_trace(
+        datasets.benign.back(), encoder, config.window_size);
+    detector->set_threshold(percentile(
+        detector->score(held_out), config.detector.threshold_percentile));
+  } else {
+    detector->fit(detect::WindowDataset::from_traces(
+        datasets.benign, encoder, config.window_size));
+  }
+  dl::Confusion total;
+  AblationOutcome outcome;
+  for (const auto& attack : datasets.attacks) {
+    auto dataset = detect::WindowDataset::from_trace(attack.trace, encoder,
+                                                     config.window_size);
+    auto scores = detector->score(dataset);
+    auto labels = detector->labels(dataset);
+    bool detected = false;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      bool flagged = detector->is_anomalous(scores[i]);
+      total.add(flagged, labels[i]);
+      if (flagged && labels[i]) detected = true;
+    }
+    ++outcome.events_total;
+    if (detected) ++outcome.events_detected;
+  }
+  outcome.attack_recall = total.recall();
+  outcome.attack_precision = total.precision();
+  outcome.attack_f1 = total.f1();
+  outcome.benign_accuracy = std::nan("");  // no CV in this comparison
+  return outcome;
+}
+
+/// Ablation evaluation, autoencoder only: benign accuracy from a held-out
+/// 20% of the benign windows (cheaper than the Table 2 bench's double
+/// k-fold CV — good enough for trend comparison), attack metrics from a
+/// model trained on the full benign set.
+AblationOutcome evaluate(const core::LabeledDatasets& datasets,
+                         const core::EvalConfig& config) {
+  detect::FeatureEncoder encoder(config.features);
+  detect::WindowDataset benign = detect::WindowDataset::from_traces(
+      datasets.benign, encoder, config.window_size);
+
+  // Benign holdout accuracy.
+  dl::Matrix all = benign.ae_matrix();
+  std::size_t train_rows = all.rows() * 4 / 5;
+  dl::Matrix train(train_rows, all.cols());
+  dl::Matrix test(all.rows() - train_rows, all.cols());
+  for (std::size_t r = 0; r < all.rows(); ++r)
+    for (std::size_t c = 0; c < all.cols(); ++c) {
+      if (r < train_rows)
+        train.at(r, c) = all.at(r, c);
+      else
+        test.at(r - train_rows, c) = all.at(r, c);
+    }
+  detect::AutoencoderDetector holdout(config.window_size, encoder.dim(),
+                                      config.detector, config.ae_hidden);
+  holdout.fit_scaler(train);
+  dl::TrainConfig train_config;
+  train_config.epochs = config.detector.epochs;
+  train_config.batch_size = config.detector.batch_size;
+  train_config.learning_rate = config.detector.learning_rate;
+  holdout.model().fit(holdout.standardize(train), train_config);
+  double threshold = percentile(holdout.window_scores(train),
+                                config.detector.threshold_percentile);
+  std::size_t false_positives = 0;
+  auto held_out_scores = holdout.window_scores(test);
+  for (double score : held_out_scores)
+    if (score > threshold) ++false_positives;
+
+  AblationOutcome outcome = evaluate_kind(datasets, config,
+                                          core::ModelKind::kAutoencoder);
+  outcome.benign_accuracy =
+      held_out_scores.empty()
+          ? std::nan("")
+          : 1.0 - static_cast<double>(false_positives) /
+                      static_cast<double>(held_out_scores.size());
+  return outcome;
+}
+
+std::string cell(double v) {
+  return std::isnan(v) ? std::string("N/A") : format_percent(v, 1);
+}
+
+void add_outcome_row(Table& table, const std::string& variant,
+                     const AblationOutcome& outcome) {
+  table.add_row({variant, cell(outcome.benign_accuracy),
+                 cell(outcome.attack_recall), cell(outcome.attack_precision),
+                 cell(outcome.attack_f1),
+                 std::to_string(outcome.events_detected) + "/" +
+                     std::to_string(outcome.events_total)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::cout << "=== Ablation study (autoencoder detector) ===\n\n";
+  core::LabeledDatasets datasets =
+      core::collect_all(/*seed=*/2024, quick ? 45 : 90, quick ? 15 : 24);
+  core::EvalConfig base;
+  base.detector.epochs = quick ? 10 : 25;
+  base.cv_folds = 3;  // CV cost dominates; 3 folds suffice for the trend
+
+  // A1: window size.
+  {
+    Table table({"Window N", "Benign acc", "Attack recall", "Attack prec",
+                 "Attack F1", "Events"});
+    for (std::size_t n : {3u, 5u, 8u, 10u}) {
+      core::EvalConfig config = base;
+      config.window_size = n;
+      add_outcome_row(table, std::to_string(n), evaluate(datasets, config));
+    }
+    std::cout << "A1: sliding window size\n" << table.render() << "\n";
+  }
+
+  // A2: threshold percentile.
+  {
+    Table table({"Threshold pct", "Benign acc", "Attack recall",
+                 "Attack prec", "Attack F1", "Events"});
+    for (double pct : {90.0, 95.0, 99.0, 99.9}) {
+      core::EvalConfig config = base;
+      config.detector.threshold_percentile = pct;
+      add_outcome_row(table, format_fixed(pct, 1),
+                      evaluate(datasets, config));
+    }
+    std::cout << "A2: detection threshold percentile (paper: 99)\n"
+              << table.render() << "\n";
+  }
+
+  // A3: feature set.
+  {
+    Table table({"Features", "Benign acc", "Attack recall", "Attack prec",
+                 "Attack F1", "Events"});
+    struct Variant {
+      const char* name;
+      detect::FeatureConfig features;
+    };
+    std::vector<Variant> variants;
+    {
+      detect::FeatureConfig messages_only;
+      messages_only.identifiers = false;
+      messages_only.state = false;
+      messages_only.load = false;
+      messages_only.timing = false;
+      variants.push_back({"messages only", messages_only});
+      detect::FeatureConfig with_ids = messages_only;
+      with_ids.identifiers = true;
+      variants.push_back({"+identifiers", with_ids});
+      detect::FeatureConfig with_state = with_ids;
+      with_state.state = true;
+      variants.push_back({"+state", with_state});
+      variants.push_back({"full (+timing,+load)", detect::FeatureConfig{}});
+    }
+    for (const auto& variant : variants) {
+      core::EvalConfig config = base;
+      config.features = variant.features;
+      add_outcome_row(table, variant.name, evaluate(datasets, config));
+    }
+    std::cout << "A3: telemetry feature categories (Table 1 groups)\n"
+              << table.render() << "\n";
+  }
+
+  // A4: AE scoring mode.
+  {
+    Table table({"AE scoring", "Benign acc", "Attack recall", "Attack prec",
+                 "Attack F1", "Events"});
+    for (auto mode : {detect::DetectorConfig::AeScore::kMaxRecord,
+                      detect::DetectorConfig::AeScore::kMean}) {
+      core::EvalConfig config = base;
+      config.detector.ae_score = mode;
+      add_outcome_row(table,
+                      mode == detect::DetectorConfig::AeScore::kMaxRecord
+                          ? "per-record max"
+                          : "whole-window mean",
+                      evaluate(datasets, config));
+    }
+    std::cout << "A4: window scoring (dilution of single-record anomalies)\n"
+              << table.render() << "\n";
+  }
+
+  // A5: detector architecture (extension: Kitsune-style ensemble).
+  {
+    Table table({"Architecture", "Benign acc", "Attack recall",
+                 "Attack prec", "Attack F1", "Events"});
+    for (core::ModelKind kind :
+         {core::ModelKind::kAutoencoder, core::ModelKind::kLstm,
+          core::ModelKind::kEnsemble}) {
+      add_outcome_row(table, core::to_string(kind),
+                      evaluate_kind(datasets, base, kind));
+    }
+    std::cout << "A5: detector architecture (attack datasets only; "
+                 "Ensemble-AE is the Kitsune-style extension)\n"
+              << table.render() << "\n";
+  }
+
+  // A6: threshold calibration source (paper: training set).
+  {
+    Table table({"Calibration", "Benign acc", "Attack recall", "Attack prec",
+                 "Attack F1", "Events"});
+    for (auto mode : {core::EvalConfig::Calibration::kTrainingSet,
+                      core::EvalConfig::Calibration::kHeldOutCapture}) {
+      core::EvalConfig config = base;
+      config.calibration = mode;
+      add_outcome_row(
+          table,
+          mode == core::EvalConfig::Calibration::kTrainingSet
+              ? "training set (paper)"
+              : "held-out capture",
+          evaluate_kind(datasets, config, core::ModelKind::kAutoencoder));
+    }
+    std::cout << "A6: threshold calibration source (attack datasets, AE)\n"
+              << table.render() << "\n";
+  }
+
+  std::cout << "Expected trends: recall peaks near N=5; higher percentile "
+               "trades recall for\nbenign accuracy; identifier/state "
+               "features are necessary for the identity and\ndowngrade "
+               "attacks; per-record max scoring dominates whole-window "
+               "mean.\n";
+  return 0;
+}

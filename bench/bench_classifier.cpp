@@ -1,0 +1,166 @@
+// Extension bench (paper §4.1): supervised attack-type classification from
+// reconstruction-error patterns.
+//
+// "Different attack instances of the same type exhibit highly similar group
+// anomaly patterns with respect to the reconstruction errors ... this
+// feature is potentially useful for training a supervised attack
+// classifier." We run every attack K times under different seeds, extract
+// each instance's anomaly event from the autoencoder's error series, train
+// the softmax classifier on a train split, and report the held-out
+// confusion matrix.
+#include <iostream>
+#include <map>
+
+#include "attacks/attack.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+#include "detect/classifier.hpp"
+
+using namespace xsec;
+
+namespace {
+
+std::unique_ptr<attacks::Attack> make_attack(const std::string& id) {
+  if (id == "bts_dos") return attacks::make_bts_dos();
+  if (id == "blind_dos") return attacks::make_blind_dos();
+  if (id == "uplink_id_extraction") return attacks::make_uplink_id_extraction();
+  if (id == "downlink_id_extraction")
+    return attacks::make_downlink_id_extraction();
+  return attacks::make_null_cipher();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const int kInstances = quick ? 4 : 8;  // runs per attack type
+  const int kTestInstances = quick ? 1 : 2;
+
+  std::cout << "=== Attack-type classification from error patterns "
+               "(paper §4.1 extension) ===\n\n";
+
+  // Train the detector once on benign data.
+  std::cout << "Training the autoencoder on benign traffic...\n";
+  core::LabeledDatasets datasets =
+      core::collect_all(/*seed=*/2024, quick ? 45 : 90, 0);
+  core::EvalConfig eval;
+  eval.detector.epochs = quick ? 12 : 25;
+  detect::FeatureEncoder encoder(eval.features);
+  detect::WindowDataset benign = detect::WindowDataset::from_traces(
+      datasets.benign, encoder, eval.window_size);
+  detect::AutoencoderDetector detector(eval.window_size, encoder.dim(),
+                                       eval.detector, eval.ae_hidden);
+  detector.fit(benign);
+
+  // Collect K instances per attack type and extract their event patterns.
+  const std::vector<std::string> kAttackIds = {
+      "bts_dos", "blind_dos", "uplink_id_extraction",
+      "downlink_id_extraction", "null_cipher"};
+  std::map<std::string, std::vector<std::vector<float>>> patterns_by_class;
+
+  std::cout << "Collecting " << kInstances
+            << " instances of each attack...\n";
+  for (const std::string& id : kAttackIds) {
+    for (int instance = 0; instance < kInstances; ++instance) {
+      core::ScenarioConfig config;
+      config.testbed.seed = 5000 + static_cast<std::uint64_t>(instance) * 17 +
+                            fnv1a(id) % 1000;
+      config.traffic.seed = config.testbed.seed ^ 0xabc;
+      config.traffic.num_sessions = 6;
+      config.traffic.arrival_mean = SimDuration::from_ms(80);
+      config.run_time = SimDuration::from_s(3);
+      auto attack = make_attack(id);
+      mobiflow::Trace trace =
+          core::collect_attack(*attack, config, SimTime::from_ms(150));
+
+      auto dataset =
+          detect::WindowDataset::from_trace(trace, encoder, eval.window_size);
+      auto scores = detector.score(dataset);
+      auto labels = dataset.ae_labels();
+      // Keep the event overlapping ground truth (the attack instance).
+      auto events = detect::extract_events(scores, detector.threshold(), 4);
+      const detect::AnomalyEvent* attack_event = nullptr;
+      for (const auto& event : events) {
+        for (std::size_t w = event.first_window; w <= event.last_window; ++w)
+          if (labels[w]) {
+            attack_event = &event;
+            break;
+          }
+        if (attack_event) break;
+      }
+      if (!attack_event) continue;  // attack missed entirely in this run
+      patterns_by_class[id].push_back(
+          detect::event_pattern(*attack_event, detector.threshold()));
+    }
+    std::cout << "  " << pad_right(id, 24) << ": "
+              << patterns_by_class[id].size() << " events captured\n";
+  }
+
+  // Train/test split: last kTestInstances events per class held out.
+  std::vector<std::vector<float>> train_x, test_x;
+  std::vector<std::size_t> train_y, test_y;
+  std::vector<std::string> class_names;
+  for (const std::string& id : kAttackIds) class_names.push_back(id);
+  for (std::size_t cls = 0; cls < kAttackIds.size(); ++cls) {
+    const auto& patterns = patterns_by_class[kAttackIds[cls]];
+    if (patterns.size() < 2) {
+      std::cout << "WARNING: not enough events for " << kAttackIds[cls]
+                << "\n";
+      continue;
+    }
+    std::size_t test_count = std::min<std::size_t>(
+        static_cast<std::size_t>(kTestInstances), patterns.size() - 1);
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (i >= patterns.size() - test_count) {
+        test_x.push_back(patterns[i]);
+        test_y.push_back(cls);
+      } else {
+        train_x.push_back(patterns[i]);
+        train_y.push_back(cls);
+      }
+    }
+  }
+
+  detect::ClassifierConfig classifier_config;
+  classifier_config.epochs = 400;
+  detect::AttackClassifier classifier(class_names,
+                                      detect::event_pattern_dim(),
+                                      classifier_config);
+  double loss = classifier.fit(train_x, train_y);
+  std::cout << "\nTrained on " << train_x.size() << " events (CE loss "
+            << format_fixed(loss, 3) << "); testing on " << test_x.size()
+            << " held-out events.\n\n";
+
+  // Confusion matrix over the held-out events.
+  std::vector<std::string> headers = {"True \\ Predicted"};
+  for (const auto& name : class_names) headers.push_back(name);
+  Table confusion(headers);
+  std::vector<std::vector<int>> counts(
+      class_names.size(), std::vector<int>(class_names.size(), 0));
+  int correct = 0;
+  for (std::size_t i = 0; i < test_x.size(); ++i) {
+    std::size_t predicted = classifier.predict(test_x[i]);
+    ++counts[test_y[i]][predicted];
+    if (predicted == test_y[i]) ++correct;
+  }
+  for (std::size_t r = 0; r < class_names.size(); ++r) {
+    std::vector<std::string> row = {class_names[r]};
+    for (std::size_t c = 0; c < class_names.size(); ++c)
+      row.push_back(std::to_string(counts[r][c]));
+    confusion.add_row(std::move(row));
+  }
+  std::cout << confusion.render() << "\n";
+  double accuracy = test_x.empty()
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(test_x.size());
+  std::cout << "Held-out classification accuracy: "
+            << format_percent(accuracy, 1) << " (" << correct << "/"
+            << test_x.size() << ")\n";
+  std::cout << "\nPaper shape check: per-type error patterns are separable "
+               "enough to classify\nattack types, as §4.1 conjectures from "
+               "Figure 4's grouped patterns.\n";
+  return accuracy >= 0.6 ? 0 : 1;
+}

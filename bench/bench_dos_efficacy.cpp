@@ -1,0 +1,104 @@
+// DoS efficacy and defence sweep (extra figure B-4).
+//
+// Quantifies the motivation behind the paper's closed-loop vision: how much
+// service a BTS DoS of increasing intensity denies to legitimate
+// subscribers, and how much of it the 6G-XSec loop (detect -> explain ->
+// RIC Control release of stale contexts) recovers. One row per attack
+// intensity, columns for the undefended and defended cell.
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "sim/traffic.hpp"
+
+using namespace xsec;
+
+namespace {
+
+struct Outcome {
+  std::size_t registered = 0;
+  std::size_t rejected = 0;
+  std::size_t releases = 0;
+};
+
+Outcome run_cell(std::shared_ptr<detect::AnomalyDetector> detector,
+                 const core::EvalConfig& eval, int attack_connections,
+                 bool defended) {
+  core::PipelineConfig config;
+  config.analyzer.model = "ChatGPT-4o";
+  config.analyzer.auto_remediate = defended;
+  // A small private cell with slow GC/core timers (see dos_detection).
+  config.testbed.gnb.max_ue_contexts = 12;
+  config.testbed.gnb.context_setup_timeout = SimDuration::from_s(2);
+  config.testbed.amf.procedure_timeout = SimDuration::from_s(2);
+  core::Pipeline pipeline(config);
+  if (defended)
+    pipeline.install_detector(detector,
+                              detect::FeatureEncoder(eval.features));
+
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 18;
+  traffic.arrival_mean = SimDuration::from_ms(50);
+  traffic.seed = 77;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+
+  if (attack_connections > 0) {
+    auto attack =
+        attacks::make_bts_dos(attack_connections, SimDuration::from_ms(4));
+    attack->launch(pipeline.testbed(), SimTime::from_ms(120));
+  }
+  pipeline.run_for(SimDuration::from_s(6));
+  pipeline.finalize();
+
+  Outcome outcome;
+  outcome.registered = pipeline.testbed().amf().registered_count();
+  outcome.rejected = pipeline.testbed().gnb().rejected_connections();
+  outcome.releases = pipeline.analyzer().remediations_issued();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::cout << "=== BTS DoS efficacy vs. closed-loop defence (B-4) ===\n\n";
+  std::cout << "Training the detector on benign traffic...\n";
+  core::ScenarioConfig benign_config;
+  benign_config.traffic.num_sessions = quick ? 30 : 60;
+  benign_config.traffic.seed = 21;
+  benign_config.traffic.arrival_mean = SimDuration::from_ms(60);
+  benign_config.run_time = SimDuration::from_s(8);
+  core::EvalConfig eval;
+  eval.detector.epochs = quick ? 12 : 25;
+  auto detector = core::train_detector(core::ModelKind::kAutoencoder,
+                                       core::collect_benign(benign_config),
+                                       eval);
+
+  Table table({"Attack conns", "Undefended reg", "Undefended rej",
+               "Defended reg", "Defended rej", "RIC releases"});
+  std::vector<int> intensities = quick ? std::vector<int>{0, 12, 20}
+                                       : std::vector<int>{0, 6, 12, 20, 28};
+  for (int intensity : intensities) {
+    Outcome undefended = run_cell(detector, eval, intensity, false);
+    Outcome defended = run_cell(detector, eval, intensity, true);
+    table.add_row({std::to_string(intensity),
+                   std::to_string(undefended.registered) + "/18",
+                   std::to_string(undefended.rejected),
+                   std::to_string(defended.registered) + "/18",
+                   std::to_string(defended.rejected),
+                   std::to_string(defended.releases)});
+    std::cout << "  intensity " << intensity << " done\n";
+  }
+  std::cout << "\n" << table.render() << "\n";
+  std::cout << "Shape check: denial grows with attack intensity on the "
+               "undefended cell; the\nclosed loop recovers registrations by "
+               "releasing the flood's stale contexts.\n";
+  write_file("results/dos_efficacy.csv", table.to_csv());
+  std::cout << "\nCSV written to results/dos_efficacy.csv\n";
+  return 0;
+}

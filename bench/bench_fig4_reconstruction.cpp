@@ -1,0 +1,89 @@
+// Reproduces Figure 4: the autoencoder's reconstruction errors over the
+// attack-dataset windows, with the detection threshold line and grouped
+// per-attack-type anomaly patterns (the paper's ① / ② observation that
+// instances of the same attack type produce similar error shapes).
+#include <iostream>
+#include <map>
+
+#include "common/plot.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+
+using namespace xsec;
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::cout << "=== Figure 4: autoencoder reconstruction errors on the "
+               "attack datasets ===\n\n";
+  core::LabeledDatasets datasets =
+      core::collect_all(/*seed=*/2024, quick ? 45 : 120, quick ? 15 : 30);
+  core::EvalConfig config;
+  config.detector.epochs = quick ? 12 : 30;
+  core::Figure4Result result = core::run_figure4(datasets, config);
+
+  std::cout << "Detection threshold (99th pct of benign training errors): "
+            << format_fixed(result.threshold, 4) << "\n\n";
+
+  // One plot glyph per attack type, as in the paper's color coding.
+  std::map<std::string, char> glyphs = {
+      {"bts_dos", '1'},
+      {"blind_dos", '2'},
+      {"uplink_id_extraction", '3'},
+      {"downlink_id_extraction", '4'},
+      {"null_cipher", '5'},
+  };
+
+  AsciiPlot plot(100, 24);
+  plot.set_title(
+      "Reconstruction error per attack-dataset window (log y). Benign "
+      "windows '.', attack windows by type:\n  1=BTS DoS  2=Blind DoS  "
+      "3=Uplink ID Extr  4=Downlink ID Extr  5=Null Cipher  "
+      "(threshold = '-' line)");
+  plot.set_y_log();
+  plot.set_threshold(result.threshold);
+  double x = 0;
+  for (const auto& point : result.points) {
+    char glyph = point.malicious ? glyphs[point.attack_id] : '.';
+    plot.add_point(x, std::max(point.error, 1e-6), glyph);
+    x += 1;
+  }
+  std::cout << plot.render() << "\n";
+
+  // Group-anomaly statistics: per attack type, the error distribution of
+  // its malicious windows (the paper's "similar group anomaly patterns").
+  Table stats({"Attack", "Malicious windows", "Median error", "p90 error",
+               "Above threshold"});
+  for (const auto& [attack, glyph] : glyphs) {
+    std::vector<double> errors;
+    std::size_t above = 0;
+    for (const auto& point : result.points) {
+      if (point.attack_id != attack || !point.malicious) continue;
+      errors.push_back(point.error);
+      if (point.error > result.threshold) ++above;
+    }
+    if (errors.empty()) {
+      stats.add_row({attack, "0", "-", "-", "-"});
+      continue;
+    }
+    stats.add_row({attack, std::to_string(errors.size()),
+                   format_fixed(percentile(errors, 50), 4),
+                   format_fixed(percentile(errors, 90), 4),
+                   std::to_string(above) + "/" +
+                       std::to_string(errors.size())});
+  }
+  std::cout << stats.render() << "\n";
+  std::cout << "Paper shape check: attack windows cluster above the "
+               "threshold with per-type\nerror signatures; benign windows "
+               "sit below it.\n";
+
+  // CSV export for re-plotting.
+  Table csv({"attack", "window", "error", "malicious"});
+  for (const auto& point : result.points)
+    csv.add_row({point.attack_id, std::to_string(point.window_index),
+                 format_fixed(point.error, 6), point.malicious ? "1" : "0"});
+  write_file("results/figure4.csv", csv.to_csv());
+  std::cout << "\nCSV written to results/figure4.csv\n";
+  return 0;
+}

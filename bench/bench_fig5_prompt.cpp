@@ -1,0 +1,64 @@
+// Reproduces Figure 5: the analyst prompt template and an example response
+// for a live BTS DoS event, generated end-to-end (testbed -> telemetry ->
+// flagged window -> prompt -> SimLLM "ChatGPT-4o" response).
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "core/datasets.hpp"
+#include "llm/client.hpp"
+#include "llm/prompt.hpp"
+
+using namespace xsec;
+
+int main() {
+  std::cout << "=== Figure 5: prompt template and example response ===\n\n";
+
+  // Run a BTS DoS against light background traffic.
+  core::ScenarioConfig config;
+  config.traffic.num_sessions = 6;
+  config.traffic.seed = 55;
+  config.run_time = SimDuration::from_s(3);
+  auto attack = attacks::make_bts_dos();
+  mobiflow::Trace trace =
+      core::collect_attack(*attack, config, SimTime::from_ms(150));
+
+  // The attack-centred window MobiWatch would flag.
+  mobiflow::Trace window;
+  std::size_t first = trace.size(), last = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    if (trace.entries()[i].malicious) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  if (first == trace.size()) {
+    std::cerr << "attack produced no labeled records\n";
+    return 1;
+  }
+  std::size_t begin = first > 5 ? first - 5 : 0;
+  for (std::size_t i = begin; i < std::min(trace.size(), last + 3); ++i)
+    window.add(trace.entries()[i].record);
+
+  llm::PromptTemplate prompt_template;
+  std::string prompt = prompt_template.build(window);
+
+  std::cout << "---------------- Prompt Template ----------------\n";
+  std::cout << prompt << "\n";
+
+  llm::SimLlmClient client;
+  auto response = client.query({"ChatGPT-4o", prompt});
+  if (!response.ok()) {
+    std::cerr << "query failed: " << response.error().message << "\n";
+    return 1;
+  }
+  std::cout << "---------------- Response Example (ChatGPT-4o) "
+               "----------------\n";
+  std::cout << response.value().text << "\n";
+
+  std::cout << "\nPaper shape check: the response identifies a signaling "
+               "storm from the\nrepeated RRC connection pattern, matching "
+               "Figure 5's example analysis.\n";
+  bool mentions_storm =
+      response.value().text.find("signaling storm") != std::string::npos ||
+      response.value().text.find("depletion") != std::string::npos;
+  return response.value().verdict_anomalous && mentions_storm ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// Pipeline micro-benchmarks (google-benchmark): the telemetry path's cost
+// per stage. The near-RT RIC control loop budget is 10ms-1s (paper §2.1);
+// these benches substantiate that the collection/encode/report path is far
+// inside it.
+#include <benchmark/benchmark.h>
+
+#include "detect/features.hpp"
+#include "mobiflow/record.hpp"
+#include "oran/e2ap.hpp"
+#include "oran/e2sm.hpp"
+#include "ran/codec.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/security.hpp"
+#include "ran/ue.hpp"
+
+using namespace xsec;
+
+namespace {
+
+mobiflow::Record sample_record() {
+  mobiflow::Record r;
+  r.timestamp_us = 123456;
+  r.gnb_id = 1;
+  r.cell = 1;
+  r.ue_id = 42;
+  r.protocol = "NAS";
+  r.msg = "RegistrationRequest";
+  r.direction = "UL";
+  r.rnti = 0x5F1A;
+  r.s_tmsi = 0x123456789AULL;
+  r.suci = "suci-001-01-1-00000000deadbeef";
+  r.cipher_alg = "NEA2";
+  r.integrity_alg = "NIA2";
+  r.establishment_cause = "mo-Signalling";
+  return r;
+}
+
+void BM_RrcEncodeDecode(benchmark::State& state) {
+  ran::RrcSetupRequest msg;
+  msg.ue_identity.value = 0x12345;
+  for (auto _ : state) {
+    Bytes wire = ran::encode_rrc(ran::RrcMessage{msg});
+    auto decoded = ran::decode_rrc(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RrcEncodeDecode);
+
+void BM_NasEncodeDecode(benchmark::State& state) {
+  ran::Supi supi{ran::Plmn::test_network(), 2089900001ULL};
+  ran::RegistrationRequest msg;
+  msg.identity = ran::MobileIdentity::from_suci(ran::make_suci(supi, 7));
+  for (auto _ : state) {
+    Bytes wire = ran::encode_nas(ran::NasMessage{msg});
+    auto decoded = ran::decode_nas(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_NasEncodeDecode);
+
+void BM_F1apTapParse(benchmark::State& state) {
+  ran::F1apMessage f1;
+  f1.rnti = ran::Rnti{0x1234};
+  f1.rrc_container = ran::encode_rrc(ran::RrcMessage{ran::RrcSetupRequest{}});
+  Bytes wire = ran::encode_f1ap(f1);
+  for (auto _ : state) {
+    auto decoded = ran::decode_f1ap(wire);
+    auto rrc = ran::decode_rrc(decoded.value().rrc_container);
+    benchmark::DoNotOptimize(rrc);
+  }
+}
+BENCHMARK(BM_F1apTapParse);
+
+void BM_RecordToKvAndBack(benchmark::State& state) {
+  mobiflow::Record record = sample_record();
+  for (auto _ : state) {
+    auto kv = record.to_kv();
+    auto back = mobiflow::Record::from_kv(kv);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_RecordToKvAndBack);
+
+void BM_IndicationEncodeDecode(benchmark::State& state) {
+  // One E2 indication carrying a typical report batch.
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  oran::e2sm::IndicationMessage message;
+  for (std::size_t i = 0; i < rows; ++i)
+    message.rows.push_back(sample_record().to_kv());
+  for (auto _ : state) {
+    oran::RicIndication indication;
+    indication.message = encode_indication_message(message);
+    Bytes wire = encode_e2ap(indication);
+    auto decoded = oran::decode_indication(wire);
+    auto rows_back =
+        oran::e2sm::decode_indication_message(decoded.value().message);
+    benchmark::DoNotOptimize(rows_back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_IndicationEncodeDecode)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FeatureEncode(benchmark::State& state) {
+  detect::FeatureEncoder encoder;
+  detect::EncodeContext ctx;
+  mobiflow::Record record = sample_record();
+  for (auto _ : state) {
+    auto features = encoder.encode(record, ctx);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_FeatureEncode);
+
+void BM_SuciConcealDeconceal(benchmark::State& state) {
+  ran::Supi supi{ran::Plmn::test_network(), 2089900001ULL};
+  std::uint32_t nonce = 1;
+  for (auto _ : state) {
+    ran::Suci suci = ran::make_suci(supi, nonce++);
+    benchmark::DoNotOptimize(ran::deconceal_suci(suci));
+  }
+}
+BENCHMARK(BM_SuciConcealDeconceal);
+
+void BM_AkaVector(benchmark::State& state) {
+  ran::Key k = ran::subscriber_key("imsi-001012089900001");
+  std::uint64_t rand = 1;
+  for (auto _ : state) {
+    ran::AuthVector v = ran::generate_auth_vector(k, rand++);
+    benchmark::DoNotOptimize(ran::verify_autn(k, v.rand, v.autn));
+  }
+}
+BENCHMARK(BM_AkaVector);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table 1: the MobiFlow security telemetry schema, with a live
+// sample of each field collected from an actual testbed run.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+
+using namespace xsec;
+
+int main() {
+  std::cout << "=== Table 1: MobiFlow security telemetry ===\n\n";
+
+  Table schema({"Category", "Telemetry", "Description"});
+  schema.add_row({"Message", "RRC Message",
+                  "Uplink / Downlink Radio Resource Control (RRC) protocol "
+                  "message [TS 38.331]"});
+  schema.add_row({"Message", "NAS Message",
+                  "Uplink / Downlink Non-Access-Stratum (NAS) protocol "
+                  "message [TS 24.501]"});
+  schema.add_separator();
+  schema.add_row({"Identifier", "RNTI", "Radio Network Temporary Identifier"});
+  schema.add_row(
+      {"Identifier", "S-TMSI", "Temporary Mobile Subscriber Identity"});
+  schema.add_row(
+      {"Identifier", "SUPI", "Subscription Permanent Identifier"});
+  schema.add_separator();
+  schema.add_row(
+      {"State", "Cipher_alg", "Ciphering algorithm employed by the UE"});
+  schema.add_row(
+      {"State", "Integrity_alg", "Integrity algorithm employed by the UE"});
+  schema.add_row(
+      {"State", "Establish_cause", "RRC establishment cause from the UE"});
+  std::cout << schema.render() << "\n";
+
+  // Live sample: one benign session's telemetry, field by field.
+  std::cout << "Live sample (one benign session, collected via the F1AP/NGAP "
+               "taps -> RIC agent):\n\n";
+  core::ScenarioConfig config;
+  config.traffic.num_sessions = 1;
+  config.traffic.seed = 12;
+  config.run_time = SimDuration::from_s(2);
+  mobiflow::Trace trace = core::collect_benign(config);
+
+  Table sample({"t (us)", "Proto", "Message", "Dir", "RNTI", "S-TMSI",
+                "Cipher", "Integrity", "Cause"});
+  for (const auto& entry : trace.entries()) {
+    const mobiflow::Record& r = entry.record;
+    char rnti[8];
+    std::snprintf(rnti, sizeof(rnti), "0x%04X", r.rnti);
+    sample.add_row({std::to_string(r.timestamp_us), r.protocol, r.msg,
+                    r.direction, rnti,
+                    r.s_tmsi ? std::to_string(r.s_tmsi) : "-",
+                    r.cipher_alg.empty() ? "-" : r.cipher_alg,
+                    r.integrity_alg.empty() ? "-" : r.integrity_alg,
+                    r.establishment_cause.empty() ? "-"
+                                                  : r.establishment_cause});
+  }
+  std::cout << sample.render() << "\n";
+  std::cout << trace.size()
+            << " records collected for the session; schema covers every "
+               "Table 1 field.\n";
+  return trace.size() >= 10 ? 0 : 1;
+}

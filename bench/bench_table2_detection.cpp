@@ -1,0 +1,86 @@
+// Reproduces Table 2: detection performance of the Autoencoder and LSTM
+// models on the benign dataset (5-fold cross-validation) and the attack
+// datasets (trained on benign, tested on benign+attack mixtures).
+//
+// Also prints the per-attack breakdown (the paper reports the aggregate;
+// the breakdown substantiates the 100% recall claim per attack type).
+#include <cmath>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+
+using namespace xsec;
+
+int main(int argc, char** argv) {
+  // --quick reduces dataset size and epochs for CI-style smoke runs.
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  std::cout << "=== Table 2: unsupervised detection performance ===\n\n";
+  std::cout << "Collecting datasets (benign + 5 attack scenarios)...\n";
+  core::LabeledDatasets datasets =
+      core::collect_all(/*seed=*/2024, quick ? 60 : 120, quick ? 20 : 30);
+  std::cout << "  benign: " << datasets.benign_records() << " records in "
+            << datasets.benign.size() << " captures\n";
+  for (const auto& attack : datasets.attacks)
+    std::cout << "  " << pad_right(attack.display_name, 20) << ": "
+              << attack.trace.size() << " records ("
+              << attack.trace.malicious_count() << " malicious)\n";
+
+  core::EvalConfig config;
+  config.detector.epochs = quick ? 10 : 30;
+  std::cout << "\nTraining and evaluating (window N=" << config.window_size
+            << ", threshold=" << config.detector.threshold_percentile
+            << "th pct of training scores, the paper's method — see "
+               "ablation A6\nfor held-out calibration)...\n\n";
+  core::Table2Result result = core::run_table2(datasets, config);
+
+  Table table({"Dataset", "Model", "Accuracy", "Precision", "Recall",
+               "F1 Score"});
+  std::string last_dataset;
+  for (const auto& row : result.rows) {
+    if (!last_dataset.empty() && row.dataset != last_dataset)
+      table.add_separator();
+    last_dataset = row.dataset;
+    auto cell = [](double v) {
+      return std::isnan(v) ? std::string("N/A") : format_percent(v, 2);
+    };
+    table.add_row({row.dataset, row.model, cell(row.confusion.accuracy()),
+                   cell(row.confusion.precision()),
+                   cell(row.confusion.recall()), cell(row.confusion.f1())});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "Per-attack breakdown (attack datasets):\n";
+  Table breakdown({"Attack", "Model", "Windows", "Malicious", "Recall",
+                   "Precision", "Event detected"});
+  int detected = 0;
+  int events = 0;
+  for (const auto& row : result.per_attack) {
+    auto cell = [](double v) {
+      return std::isnan(v) ? std::string("N/A") : format_percent(v, 2);
+    };
+    breakdown.add_row({row.attack, row.model,
+                       std::to_string(row.confusion.total()),
+                       std::to_string(row.confusion.tp + row.confusion.fn),
+                       cell(row.confusion.recall()),
+                       cell(row.confusion.precision()),
+                       row.detected ? "yes" : "NO"});
+    ++events;
+    if (row.detected) ++detected;
+  }
+  std::cout << breakdown.render() << "\n";
+  std::cout << "Event-level detection rate (paper headline: 100%): "
+            << detected << "/" << events << "\n\n";
+
+  std::cout << "Paper reference (Table 2): Benign AE 93.23%/93.23%/N/A/N/A, "
+               "LSTM 91.15%/91.15%/N/A/N/A;\n"
+            << "Attack AE 100%/100%/100%/100%, LSTM "
+               "95.00%/88.68%/100%/94.00%.\n";
+
+  write_file("results/table2.csv", table.to_csv());
+  std::cout << "\nCSV written to results/table2.csv\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Reproduces Table 3: zero-shot evaluation of five baseline LLM
+// personalities against the five attacks plus two benign sequences.
+//
+// Traces come from live testbed runs (attack scenarios with background
+// traffic); the flagged region plus context is rendered through the
+// Figure 5 prompt template and fed to the SimLLM expert under each model's
+// calibrated competence mask. A ✓ means the model's verdict matched ground
+// truth (attack -> anomalous, benign -> benign) — the paper's criterion.
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/datasets.hpp"
+#include "llm/client.hpp"
+#include "llm/personalities.hpp"
+#include "llm/prompt.hpp"
+
+using namespace xsec;
+
+namespace {
+
+/// Extracts the attack-centred window (all malicious records plus
+/// surrounding context) from a labeled trace — what MobiWatch would hand
+/// to the analyzer.
+mobiflow::Trace attack_window(const mobiflow::Trace& trace,
+                              std::size_t context = 12) {
+  std::size_t first = trace.size(), last = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.entries()[i].malicious) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  }
+  mobiflow::Trace window;
+  if (first == trace.size()) return window;  // no malicious records
+  std::size_t begin = first > context ? first - context : 0;
+  std::size_t end = std::min(trace.size(), last + context + 1);
+  for (std::size_t i = begin; i < end; ++i)
+    window.add(trace.entries()[i].record, trace.entries()[i].malicious);
+  return window;
+}
+
+/// A benign slice of the same shape.
+mobiflow::Trace benign_window(const mobiflow::Trace& trace,
+                              std::size_t offset, std::size_t length = 25) {
+  mobiflow::Trace window;
+  for (std::size_t i = offset; i < std::min(trace.size(), offset + length);
+       ++i)
+    window.add(trace.entries()[i].record, false);
+  return window;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::cout << "=== Table 3: zero-shot LLM evaluation ===\n\n";
+  std::cout << "Collecting attack traces from the testbed...\n";
+  core::LabeledDatasets datasets =
+      core::collect_all(/*seed=*/2024, quick ? 45 : 120, quick ? 15 : 30);
+
+  struct Row {
+    std::string name;
+    mobiflow::Trace window;
+    bool is_attack;
+  };
+  std::vector<Row> rows;
+  for (const auto& attack : datasets.attacks)
+    rows.push_back({attack.display_name, attack_window(attack.trace), true});
+  rows.push_back({"Benign Sequence 1",
+                  benign_window(datasets.benign.front(), 10), false});
+  rows.push_back({"Benign Sequence 2",
+                  benign_window(datasets.benign.back(), 60), false});
+
+  llm::SimLlmClient client;
+  llm::PromptTemplate prompt_template;
+
+  std::vector<std::string> headers = {"Attack / Trace"};
+  for (const auto& model : llm::baseline_models()) headers.push_back(model.name);
+  Table table(headers);
+
+  std::map<std::string, int> correct;
+  for (const auto& row : rows) {
+    if (row.window.empty()) {
+      std::cerr << "WARNING: no trace window for " << row.name << "\n";
+      continue;
+    }
+    std::vector<std::string> cells = {row.name};
+    for (const auto& model : llm::baseline_models()) {
+      llm::LlmRequest request{model.name,
+                              prompt_template.build(row.window)};
+      auto response = client.query(request);
+      bool ok = response.ok() &&
+                response.value().verdict_anomalous == row.is_attack;
+      cells.push_back(ok ? "Y" : "x");
+      if (ok) ++correct[model.name];
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "\n" << table.render() << "\n";
+  std::cout << "Correct verdicts per model (of " << rows.size() << "):\n";
+  for (const auto& model : llm::baseline_models())
+    std::cout << "  " << pad_right(model.name, 18) << " "
+              << correct[model.name] << "/" << rows.size() << "\n";
+
+  std::cout
+      << "\nPaper reference (Table 3): ChatGPT-4o 6/7, Gemini 5/7, Copilot "
+         "3/7,\nLlama3 5/7, Claude 3 Sonnet 5/7. The per-cell pattern is "
+         "calibrated\n(see DESIGN.md: SimLLM personalities), so matching it "
+         "validates the\npipeline, prompts, and evidence extraction rather "
+         "than the real services.\n";
+
+  write_file("results/table3.csv", table.to_csv());
+  std::cout << "\nCSV written to results/table3.csv\n";
+
+  // Repeat-stability check (paper: "repeated experiments on ChatGPT-4o ...
+  // consistent results"). Deterministic engine => always stable.
+  int unstable = 0;
+  for (const auto& row : rows) {
+    if (row.window.empty()) continue;
+    llm::LlmRequest request{"ChatGPT-4o", prompt_template.build(row.window)};
+    auto first = client.query(request);
+    auto second = client.query(request);
+    if (first.ok() != second.ok() ||
+        (first.ok() && first.value().verdict_anomalous !=
+                           second.value().verdict_anomalous))
+      ++unstable;
+  }
+  std::cout << "Repeat-stability: " << unstable
+            << " unstable verdicts across repeated ChatGPT-4o queries\n";
+  return 0;
+}

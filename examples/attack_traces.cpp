@@ -1,0 +1,70 @@
+// Reproduces Figure 2: the benign registration sequence side by side with
+// the two illustrated attacks — downlink identity extraction (Figure 2a,
+// the out-of-order sequence) and the RAN DoS flood (Figure 2b, repeated
+// connections from a stream of RNTIs). All three traces are generated live
+// on the testbed and printed as MobiFlow telemetry.
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "core/datasets.hpp"
+#include "llm/prompt.hpp"
+
+using namespace xsec;
+
+namespace {
+
+void print_trace(const std::string& title, const mobiflow::Trace& trace,
+                 std::size_t limit = 40) {
+  std::cout << "--- " << title << " ---\n";
+  std::size_t shown = 0;
+  for (const auto& entry : trace.entries()) {
+    if (shown++ >= limit) {
+      std::cout << "  ... (" << trace.size() - limit << " more records)\n";
+      break;
+    }
+    std::cout << (entry.malicious ? "  [ATTACK] " : "           ")
+              << llm::render_record_line(entry.record) << "\n";
+  }
+  std::cout << "\n";
+}
+
+mobiflow::Trace run_single_attack(std::unique_ptr<attacks::Attack> attack) {
+  core::ScenarioConfig config;
+  config.traffic.num_sessions = 0;  // attack only, no background
+  config.run_time = SimDuration::from_s(2);
+  return core::collect_attack(*attack, config, SimTime::from_ms(10));
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 2: benign vs. attack message sequences ===\n\n";
+
+  // Benign sequence (Figure 2's left column): one clean registration.
+  core::ScenarioConfig benign_config;
+  benign_config.traffic.num_sessions = 1;
+  benign_config.traffic.seed = 4;
+  benign_config.run_time = SimDuration::from_s(2);
+  print_trace("Benign registration (RRC Conn -> Setup -> Comp -> Reg -> "
+              "Auth Req -> Auth Resp -> ...)",
+              core::collect_benign(benign_config));
+
+  // Figure 2a: identity extraction — the downlink Authentication Request is
+  // overwritten in the air; the victim answers with its identity instead.
+  print_trace(
+      "Identity extraction (Figure 2a): Auth.Req answered by Iden.Resp "
+      "with a PLAINTEXT identity",
+      run_single_attack(attacks::make_downlink_id_extraction()));
+
+  // Figure 2b: RAN DoS — repeated RRC connections from fresh RNTIs, each
+  // abandoned at the authentication step.
+  print_trace("RAN DoS (Figure 2b): repeated Conn/Setup/Comp/Reg/Auth from "
+              "a stream of RNTIs",
+              run_single_attack(attacks::make_bts_dos(5)), 60);
+
+  std::cout << "Note how 2a deviates in ORDER (univariate anomaly) while 2b "
+               "deviates jointly in\nsequence, identifier stream, and "
+               "timing (multivariate anomaly) — the paper's\n§2.2 "
+               "distinction.\n";
+  return 0;
+}

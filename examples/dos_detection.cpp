@@ -1,0 +1,106 @@
+// Domain scenario: protecting a small private-5G cell from a BTS DoS with
+// closed-loop remediation — the paper's envisioned AIOps workflow for
+// "lower-skilled and private cellular operators".
+//
+// Runs the same attack twice: once with 6G-XSec monitoring only, once with
+// auto-remediation enabled, and compares the denial of service experienced
+// by legitimate subscribers.
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "sim/traffic.hpp"
+
+using namespace xsec;
+
+namespace {
+
+struct Outcome {
+  std::size_t rejected = 0;
+  std::size_t registered = 0;
+  std::size_t anomalies = 0;
+  std::size_t remediations = 0;
+};
+
+Outcome run_scenario(std::shared_ptr<detect::AnomalyDetector> detector,
+                     const core::EvalConfig& eval, bool auto_remediate) {
+  core::PipelineConfig config;
+  config.analyzer.model = "ChatGPT-4o";
+  config.analyzer.auto_remediate = auto_remediate;
+  // A small private cell: the admission table holds only 12 UE contexts,
+  // and half-open contexts are GC'd slowly — easy prey for the flood.
+  config.testbed.gnb.max_ue_contexts = 12;
+  config.testbed.gnb.context_setup_timeout = SimDuration::from_s(2);
+  config.testbed.amf.procedure_timeout = SimDuration::from_s(2);
+  core::Pipeline pipeline(config);
+  pipeline.install_detector(detector,
+                            detect::FeatureEncoder(eval.features));
+
+  // Legitimate subscribers keep arriving through the attack.
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 18;
+  traffic.arrival_mean = SimDuration::from_ms(50);
+  traffic.seed = 77;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+
+  auto attack = attacks::make_bts_dos(/*connection_count=*/20,
+                                      SimDuration::from_ms(4));
+  attack->launch(pipeline.testbed(), SimTime::from_ms(120));
+  pipeline.run_for(SimDuration::from_s(6));
+  pipeline.finalize();
+
+  Outcome outcome;
+  outcome.rejected = pipeline.testbed().gnb().rejected_connections();
+  outcome.registered = pipeline.testbed().amf().registered_count();
+  outcome.anomalies = pipeline.mobiwatch().anomalies_flagged();
+  outcome.remediations = pipeline.analyzer().remediations_issued();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Private-cell DoS defence scenario ===\n\n";
+  std::cout << "Training the detector on benign traffic (SMO step)...\n";
+  core::ScenarioConfig benign_config;
+  benign_config.traffic.num_sessions = 60;
+  benign_config.traffic.seed = 21;
+  benign_config.traffic.arrival_mean = SimDuration::from_ms(60);
+  benign_config.run_time = SimDuration::from_s(8);
+  mobiflow::Trace benign = core::collect_benign(benign_config);
+  core::EvalConfig eval;
+  eval.detector.epochs = 25;
+  auto detector =
+      core::train_detector(core::ModelKind::kAutoencoder, benign, eval);
+
+  std::cout << "\nScenario A: monitoring only (no closed-loop control)\n";
+  Outcome monitored = run_scenario(detector, eval, false);
+  std::cout << "  legitimate registrations: " << monitored.registered
+            << " / 18\n"
+            << "  connections rejected:     " << monitored.rejected << "\n"
+            << "  anomalies flagged:        " << monitored.anomalies << "\n";
+
+  std::cout << "\nScenario B: closed-loop remediation (RIC Control releases "
+               "flagged contexts)\n";
+  Outcome defended = run_scenario(detector, eval, true);
+  std::cout << "  legitimate registrations: " << defended.registered
+            << " / 18\n"
+            << "  connections rejected:     " << defended.rejected << "\n"
+            << "  anomalies flagged:        " << defended.anomalies << "\n"
+            << "  RIC Control releases:     " << defended.remediations
+            << "\n\n";
+
+  if (defended.registered > monitored.registered) {
+    std::cout << "Closed-loop control recovered "
+              << defended.registered - monitored.registered
+              << " subscriber registrations that the attack would have "
+                 "denied.\n";
+  } else {
+    std::cout << "NOTE: remediation did not improve admissions in this run; "
+                 "tune the attack/GC\nparameters to observe the effect.\n";
+  }
+  return defended.anomalies > 0 ? 0 : 1;
+}

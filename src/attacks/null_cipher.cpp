@@ -1,0 +1,59 @@
+// Null cipher & integrity downgrade ([37]).
+//
+// A bidding-down MiTM spoofs the victim's advertised security capabilities
+// to "NEA0/NIA0 only" inside its RegistrationRequest; the network's
+// algorithm selection falls through to the null algorithms and the whole
+// session runs unprotected. The victim carries the real-world compliance
+// bug of not verifying the replayed capabilities.
+#include "attacks/attack.hpp"
+#include "attacks/interceptors.hpp"
+
+namespace xsec::attacks {
+
+namespace {
+
+class NullCipherAttack : public Attack {
+ public:
+  std::string id() const override { return "null_cipher"; }
+  std::string display_name() const override { return "Null Cipher & Int."; }
+  std::string citation() const override {
+    return "Hussain et al., \"5GReasoner\", CCS'19";
+  }
+
+  void launch(sim::Testbed& testbed, SimTime at) override {
+    interceptor_ = std::make_unique<CapabilityBiddingDown>();
+    testbed.cell().add_interceptor(interceptor_.get());
+
+    ran::Supi victim_supi{ran::Plmn::test_network(), 9'950'000'000ULL};
+    ran::UeConfig config;
+    config.supi = victim_supi;
+    config.accept_capability_mismatch = true;  // the exploited bug
+    config.activity_reports = 1;
+    config.seed = 0x9CAFE;
+    victim_ = testbed.add_ue(config, at);
+
+    interceptor_->set_target_tag(testbed.tag_of(victim_));
+    testbed.queue().schedule_at(at, [this] { interceptor_->arm(); });
+  }
+
+  bool is_malicious(const mobiflow::Record& record) const override {
+    if (!interceptor_ || !interceptor_->fired()) return false;
+    auto victim_rnti = interceptor_->victim_rnti();
+    if (!victim_rnti || record.rnti != victim_rnti->value) return false;
+    // Every message of the downgraded session that carries null protection
+    // state is malicious telemetry.
+    return record.cipher_alg == "NEA0" || record.integrity_alg == "NIA0";
+  }
+
+ private:
+  ran::Ue* victim_ = nullptr;
+  std::unique_ptr<CapabilityBiddingDown> interceptor_;
+};
+
+}  // namespace
+
+std::unique_ptr<Attack> make_null_cipher() {
+  return std::make_unique<NullCipherAttack>();
+}
+
+}  // namespace xsec::attacks

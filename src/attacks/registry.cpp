@@ -1,0 +1,15 @@
+#include "attacks/attack.hpp"
+
+namespace xsec::attacks {
+
+std::vector<std::unique_ptr<Attack>> make_all_attacks() {
+  std::vector<std::unique_ptr<Attack>> attacks;
+  attacks.push_back(make_bts_dos());
+  attacks.push_back(make_blind_dos());
+  attacks.push_back(make_uplink_id_extraction());
+  attacks.push_back(make_downlink_id_extraction());
+  attacks.push_back(make_null_cipher());
+  return attacks;
+}
+
+}  // namespace xsec::attacks

@@ -1,0 +1,32 @@
+// Rogue UE behaviours shared by the attack implementations — malicious
+// logic "inserted into the UE stack", as the paper does with OAI.
+#pragma once
+
+#include "ran/ue.hpp"
+
+namespace xsec::attacks {
+
+/// A UE that follows the attach flow up to the authentication challenge
+/// and then goes silent, leaving a half-open context at the gNB. The BTS
+/// DoS attack runs a stream of these (Figure 2b).
+class StallAtAuthUe : public ran::Ue {
+ public:
+  using Ue::Ue;
+
+ protected:
+  void handle_authentication_request(
+      const ran::AuthenticationRequest& msg) override {
+    (void)msg;  // never answer; the context stays held until GC
+  }
+};
+
+/// A UE that presents a stolen 5G-S-TMSI (stored_guti in its config) but
+/// cannot complete authentication for the victim's subscription. Its
+/// default AUTN verification fails against its own (wrong) key, producing
+/// the AuthenticationFailure the Blind DoS trace shows.
+class TmsiReplayUe : public ran::Ue {
+ public:
+  using Ue::Ue;
+};
+
+}  // namespace xsec::attacks

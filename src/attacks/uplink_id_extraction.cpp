@@ -1,0 +1,49 @@
+// Uplink identity extraction ([32], AdaptOver-style).
+//
+// The adversary overshadows the victim's uplink so its registration runs
+// with the null SUCI protection scheme, disclosing the permanent identity
+// in cleartext while the message SEQUENCE stays fully standard-compliant —
+// the paper's hardest attack to detect. We model the post-overshadow victim
+// state directly (force_null_scheme_suci); the radio-layer overshadowing
+// itself has no additional telemetry footprint, so the substitution
+// preserves exactly what the detector and the LLM can observe.
+#include "attacks/attack.hpp"
+
+namespace xsec::attacks {
+
+namespace {
+
+class UplinkIdExtractionAttack : public Attack {
+ public:
+  std::string id() const override { return "uplink_id_extraction"; }
+  std::string display_name() const override { return "Uplink ID Extr"; }
+  std::string citation() const override {
+    return "Erni et al., \"AdaptOver\", MobiCom'22";
+  }
+
+  void launch(sim::Testbed& testbed, SimTime at) override {
+    victim_supi_ = ran::Supi{ran::Plmn::test_network(), 9'970'000'000ULL};
+    ran::UeConfig config;
+    config.supi = victim_supi_;
+    config.force_null_scheme_suci = true;  // overshadow-downgraded victim
+    config.activity_reports = 1;
+    config.seed = 0x0A9E;
+    testbed.add_ue(config, at);
+  }
+
+  bool is_malicious(const mobiflow::Record& record) const override {
+    // The disclosure itself is the malicious telemetry entry.
+    return record.supi_plain == victim_supi_.str();
+  }
+
+ private:
+  ran::Supi victim_supi_;
+};
+
+}  // namespace
+
+std::unique_ptr<Attack> make_uplink_id_extraction() {
+  return std::make_unique<UplinkIdExtractionAttack>();
+}
+
+}  // namespace xsec::attacks

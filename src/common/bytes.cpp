@@ -1,0 +1,174 @@
+#include "common/bytes.hpp"
+
+#include <bit>
+
+namespace xsec {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v >> 8));
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return Error::make("truncated", "u8 past end of buffer");
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return Error::make("truncated", "u16 past end of buffer");
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return Error::make("truncated", "u32 past end of buffer");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return Error::make("truncated", "u64 past end of buffer");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Result<std::int64_t> ByteReader::i64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<double> ByteReader::f64() {
+  auto v = u64();
+  if (!v) return v.error();
+  return std::bit_cast<double>(v.value());
+}
+
+Result<bool> ByteReader::boolean() {
+  auto v = u8();
+  if (!v) return v.error();
+  if (v.value() > 1) return Error::make("malformed", "boolean byte > 1");
+  return v.value() == 1;
+}
+
+Result<std::uint64_t> ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) return Error::make("malformed", "varint too long");
+    auto b = u8();
+    if (!b) return b.error();
+    v |= static_cast<std::uint64_t>(b.value() & 0x7f) << shift;
+    if (!(b.value() & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<std::string> ByteReader::str() {
+  auto n = u32();
+  if (!n) return n.error();
+  if (!need(n.value()))
+    return Error::make("truncated", "string body past end of buffer");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n.value());
+  pos_ += n.value();
+  return s;
+}
+
+Result<Bytes> ByteReader::raw(std::size_t n) {
+  if (!need(n)) return Error::make("truncated", "raw read past end of buffer");
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+std::string to_hex(const Bytes& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    return Error::make("malformed", "hex string has odd length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      return Error::make("malformed", "non-hex character in hex string");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(const Bytes& bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace xsec

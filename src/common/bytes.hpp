@@ -1,0 +1,88 @@
+// Byte-buffer primitives for wire encoding.
+//
+// All protocol encodings in the reproduction (RRC/NAS codec, E2AP, MobiFlow
+// key-value telemetry, trace files) are built on a single pair of
+// reader/writer types. Integers are big-endian on the wire — matching
+// network order used by the real ASN.1 PER / SCTP stacks this substitutes
+// for — and variable-length fields carry an explicit u32 length prefix.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace xsec {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// LEB128-style unsigned varint (7 bits per byte, high bit = continue).
+  void varint(std::uint64_t v);
+  /// u32 length prefix followed by raw bytes.
+  void str(std::string_view v);
+  void raw(const Bytes& v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  void raw(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<double> f64();
+  Result<bool> boolean();
+  Result<std::uint64_t> varint();
+  Result<std::string> str();
+  Result<Bytes> raw(std::size_t n);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  bool need(std::size_t n) const { return size_ - pos_ >= n; }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex rendering of a byte span ("deadbeef").
+std::string to_hex(const Bytes& bytes);
+/// Parses lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<Bytes> from_hex(std::string_view hex);
+
+/// FNV-1a 64-bit hash, used for content digests in the SDL and trace files.
+std::uint64_t fnv1a(const Bytes& bytes);
+std::uint64_t fnv1a(std::string_view text);
+
+}  // namespace xsec

@@ -1,0 +1,63 @@
+// Simulated-time primitives.
+//
+// The whole testbed runs on a discrete-event clock measured in microseconds.
+// Using a strong type (rather than raw integers) keeps simulated time from
+// mixing with wall-clock time in the perf benches.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace xsec {
+
+/// Monotonic simulated timestamp, microseconds since simulation start.
+struct SimTime {
+  std::int64_t us = 0;
+
+  auto operator<=>(const SimTime&) const = default;
+
+  static SimTime from_ms(double ms) {
+    return SimTime{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static SimTime from_s(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  double to_ms() const { return static_cast<double>(us) / 1000.0; }
+  double to_s() const { return static_cast<double>(us) / 1e6; }
+};
+
+/// Relative duration in simulated microseconds.
+struct SimDuration {
+  std::int64_t us = 0;
+
+  auto operator<=>(const SimDuration&) const = default;
+
+  static SimDuration from_us(std::int64_t us) { return SimDuration{us}; }
+  static SimDuration from_ms(double ms) {
+    return SimDuration{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  static SimDuration from_s(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  double to_ms() const { return static_cast<double>(us) / 1000.0; }
+};
+
+inline SimTime operator+(SimTime t, SimDuration d) {
+  return SimTime{t.us + d.us};
+}
+inline SimDuration operator-(SimTime a, SimTime b) {
+  return SimDuration{a.us - b.us};
+}
+inline SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration{a.us + b.us};
+}
+inline SimDuration operator*(SimDuration d, double k) {
+  return SimDuration{static_cast<std::int64_t>(static_cast<double>(d.us) * k)};
+}
+
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.us) + "us";
+}
+
+}  // namespace xsec

@@ -1,0 +1,66 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace xsec {
+
+std::mutex Log::mutex_;
+LogLevel Log::level_ = LogLevel::kWarn;
+bool Log::capture_ = false;
+std::string Log::buffer_;
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Log::level() {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Log::capture(bool enable) {
+  std::lock_guard lock(mutex_);
+  capture_ = enable;
+  buffer_.clear();
+}
+
+std::string Log::captured() {
+  std::lock_guard lock(mutex_);
+  return buffer_;
+}
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  std::lock_guard lock(mutex_);
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  if (capture_) {
+    buffer_ += line;
+  } else {
+    std::cerr << line;
+  }
+}
+
+}  // namespace xsec

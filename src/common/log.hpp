@@ -1,0 +1,68 @@
+// Minimal leveled logger used across the 6G-XSec codebase.
+//
+// The simulator is single-threaded by design (a discrete-event loop), but
+// xApps may be exercised from test threads, so the sink is guarded by a
+// mutex. Log lines carry a component tag so RIC / RAN / xApp output can be
+// distinguished in interleaved end-to-end runs.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace xsec {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logger configuration. Defaults to kWarn so tests and benches stay
+/// quiet; examples raise it to kInfo to narrate the pipeline.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Redirects output into an internal buffer (used by tests that assert on
+  /// log content). Passing false restores stderr output.
+  static void capture(bool enable);
+  static std::string captured();
+
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static std::mutex mutex_;
+  static LogLevel level_;
+  static bool capture_;
+  static std::string buffer_;
+};
+
+namespace detail {
+inline void log_fmt(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_fmt(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  log_fmt(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_at(LogLevel level, std::string_view component, const Args&... args) {
+  if (level < Log::level()) return;
+  std::ostringstream os;
+  detail::log_fmt(os, args...);
+  Log::write(level, component, os.str());
+}
+
+#define XSEC_LOG_TRACE(component, ...) \
+  ::xsec::log_at(::xsec::LogLevel::kTrace, component, __VA_ARGS__)
+#define XSEC_LOG_DEBUG(component, ...) \
+  ::xsec::log_at(::xsec::LogLevel::kDebug, component, __VA_ARGS__)
+#define XSEC_LOG_INFO(component, ...) \
+  ::xsec::log_at(::xsec::LogLevel::kInfo, component, __VA_ARGS__)
+#define XSEC_LOG_WARN(component, ...) \
+  ::xsec::log_at(::xsec::LogLevel::kWarn, component, __VA_ARGS__)
+#define XSEC_LOG_ERROR(component, ...) \
+  ::xsec::log_at(::xsec::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace xsec

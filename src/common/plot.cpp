@@ -1,0 +1,91 @@
+#include "common/plot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace xsec {
+
+void AsciiPlot::add_series(const std::vector<double>& ys, char glyph) {
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    add_point(static_cast<double>(points_.size()), ys[i], glyph);
+}
+
+std::string AsciiPlot::render() const {
+  if (points_.empty()) return "(empty plot)\n";
+
+  auto transform_y = [&](double y) {
+    if (!y_log_) return y;
+    return std::log10(std::max(y, 1e-12));
+  };
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, transform_y(p.y));
+    max_y = std::max(max_y, transform_y(p.y));
+  }
+  if (threshold_) {
+    min_y = std::min(min_y, transform_y(*threshold_));
+    max_y = std::max(max_y, transform_y(*threshold_));
+  }
+  if (max_x == min_x) max_x = min_x + 1.0;
+  if (max_y == min_y) max_y = min_y + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto col_of = [&](double x) {
+    auto c = static_cast<std::size_t>((x - min_x) / (max_x - min_x) *
+                                      static_cast<double>(width_ - 1));
+    return std::min(c, width_ - 1);
+  };
+  auto row_of = [&](double y) {
+    double ty = transform_y(y);
+    auto r = static_cast<std::size_t>((ty - min_y) / (max_y - min_y) *
+                                      static_cast<double>(height_ - 1));
+    return height_ - 1 - std::min(r, height_ - 1);
+  };
+
+  if (threshold_) {
+    std::size_t r = row_of(*threshold_);
+    for (std::size_t c = 0; c < width_; ++c) grid[r][c] = '-';
+  }
+  for (const auto& p : points_) grid[row_of(p.y)][col_of(p.x)] = p.glyph;
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  if (!y_label_.empty()) out += y_label_ + "\n";
+  for (std::size_t r = 0; r < height_; ++r) {
+    // Y-axis tick value for this row (inverse of row_of's mapping).
+    double frac = static_cast<double>(height_ - 1 - r) /
+                  static_cast<double>(height_ - 1);
+    double ty = min_y + frac * (max_y - min_y);
+    double y = y_log_ ? std::pow(10.0, ty) : ty;
+    out += pad_left(format_fixed(y, y_log_ ? 4 : 2), 10);
+    out += " |";
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(11, ' ') + '+' + std::string(width_, '-') + '\n';
+  return out;
+}
+
+double percentile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace xsec

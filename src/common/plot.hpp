@@ -1,0 +1,50 @@
+// Terminal scatter/series plotting used to regenerate the paper's figures
+// (e.g., Figure 4's reconstruction-error visualization) without a plotting
+// dependency. Points can carry a per-series glyph, and a horizontal
+// threshold line can be drawn (the detection threshold in Figure 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xsec {
+
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+  char glyph = '*';
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {}
+
+  void add_point(double x, double y, char glyph = '*') {
+    points_.push_back({x, y, glyph});
+  }
+  void add_series(const std::vector<double>& ys, char glyph);
+  void set_threshold(double y) { threshold_ = y; }
+  void set_y_log() { y_log_ = true; }
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  std::string render() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<PlotPoint> points_;
+  std::optional<double> threshold_;
+  bool y_log_ = false;
+  std::string title_;
+  std::string y_label_;
+};
+
+/// Computes the p-th percentile (0..100) by linear interpolation on a copy
+/// of the data (the same convention numpy uses, which the paper's
+/// 99%-percentile threshold selection relies on).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace xsec

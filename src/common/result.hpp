@@ -1,0 +1,81 @@
+// A small expected/Result type for recoverable errors.
+//
+// Codec and protocol code returns Result<T> instead of throwing: malformed
+// wire input is an expected condition at a network boundary (Core Guidelines
+// E.14 applies exceptions to *errors*, but parse failures on untrusted input
+// are part of the normal domain here and callers always check them).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xsec {
+
+/// Error payload: a short machine-readable code plus human-readable context.
+struct Error {
+  std::string code;
+  std::string message;
+
+  static Error make(std::string code, std::string message = {}) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace xsec

@@ -1,0 +1,30 @@
+// String helpers shared by the codec, prompt engine, and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsec {
+
+std::vector<std::string> split(std::string_view text, char delim);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view text);
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool contains(std::string_view haystack, std::string_view needle);
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+/// Fixed-precision decimal rendering ("3.14" for format_fixed(3.14159, 2)).
+std::string format_fixed(double value, int decimals);
+/// Percentage rendering used in evaluation tables ("93.23%").
+std::string format_percent(double fraction, int decimals = 2);
+/// Left/right padding to a column width.
+std::string pad_right(std::string_view text, std::size_t width);
+std::string pad_left(std::string_view text, std::size_t width);
+/// Word-wraps text at the given column, preserving explicit newlines.
+std::string wrap_text(std::string_view text, std::size_t columns);
+
+}  // namespace xsec

@@ -1,0 +1,41 @@
+// ASCII table and CSV rendering for evaluation harnesses.
+//
+// Every bench binary reproduces a paper table by filling one of these and
+// printing it; the same rows can be exported as CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xsec {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Boxed ASCII rendering with padded columns.
+  std::string render() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Writes content to a file, creating parent directories as needed.
+/// Returns false (and logs) on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace xsec

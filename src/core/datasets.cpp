@@ -1,0 +1,99 @@
+#include "core/datasets.hpp"
+
+#include "mobiflow/agent.hpp"
+
+namespace xsec::core {
+
+namespace {
+
+/// Shared scenario driver: wires a collection-only agent (record sink, no
+/// RIC) into a testbed, runs traffic + optional attack, labels records.
+mobiflow::Trace run_scenario(const ScenarioConfig& config,
+                             attacks::Attack* attack, SimTime attack_at) {
+  sim::Testbed testbed(config.testbed);
+
+  std::vector<mobiflow::Record> records;
+  mobiflow::AgentHooks hooks;
+  hooks.now = [&testbed] { return testbed.now(); };
+  hooks.schedule = [&testbed](SimDuration d, std::function<void()> fn) {
+    testbed.queue().schedule_after(d, std::move(fn));
+  };
+  hooks.to_ric = [](std::uint64_t, Bytes) {};  // collection mode: no RIC
+  mobiflow::RicAgent agent(1, std::move(hooks));
+  agent.attach(testbed.taps());
+  agent.set_record_sink(
+      [&records](const mobiflow::Record& r) { records.push_back(r); });
+
+  sim::BenignTrafficGenerator generator(&testbed, config.traffic);
+  generator.schedule_all();
+
+  if (attack) attack->launch(testbed, attack_at);
+
+  testbed.run_for(config.run_time);
+
+  mobiflow::Trace trace;
+  for (const auto& record : records)
+    trace.add(record, attack ? attack->is_malicious(record) : false);
+  return trace;
+}
+
+}  // namespace
+
+mobiflow::Trace collect_benign(const ScenarioConfig& config) {
+  return run_scenario(config, nullptr, SimTime{0});
+}
+
+mobiflow::Trace collect_attack(attacks::Attack& attack,
+                               const ScenarioConfig& config,
+                               SimTime attack_at) {
+  return run_scenario(config, &attack, attack_at);
+}
+
+LabeledDatasets collect_all(std::uint64_t seed, int benign_sessions,
+                            int background_sessions) {
+  LabeledDatasets datasets;
+
+  // Three independent benign capture campaigns (different testbed seeds),
+  // mirroring the paper's multi-device, multi-session collection.
+  constexpr int kBenignCaptures = 3;
+  int per_capture = benign_sessions / kBenignCaptures;
+  for (int capture = 0; capture < kBenignCaptures; ++capture) {
+    ScenarioConfig benign_config;
+    benign_config.testbed.seed = seed + static_cast<std::uint64_t>(capture);
+    benign_config.traffic.seed =
+        (seed + static_cast<std::uint64_t>(capture)) ^ 0xbe9197;
+    benign_config.traffic.num_sessions = per_capture;
+    // Vary the offered load across captures so the model sees light and
+    // busy cells (60/100/140ms mean inter-arrival).
+    benign_config.traffic.arrival_mean =
+        SimDuration::from_ms(60.0 + 40.0 * capture);
+    // Cover all scheduled arrivals plus a generous drain tail.
+    benign_config.run_time =
+        SimDuration::from_us(benign_config.traffic.arrival_mean.us *
+                             per_capture) +
+        SimDuration::from_s(3);
+    datasets.benign.push_back(collect_benign(benign_config));
+  }
+
+  auto attacks = attacks::make_all_attacks();
+  std::uint64_t attack_seed = seed + 1;
+  for (auto& attack : attacks) {
+    ScenarioConfig attack_config;
+    attack_config.testbed.seed = attack_seed;
+    attack_config.traffic.seed = attack_seed ^ 0xa77ac4;
+    attack_config.traffic.num_sessions = background_sessions;
+    SimDuration background_span = SimDuration::from_us(
+        attack_config.traffic.arrival_mean.us * background_sessions);
+    attack_config.run_time = background_span + SimDuration::from_s(3);
+    // Launch mid-way through the background traffic.
+    mobiflow::Trace trace = collect_attack(
+        *attack, attack_config,
+        SimTime{background_span.us * 2 / 5});
+    datasets.attacks.push_back(
+        {attack->id(), attack->display_name(), std::move(trace)});
+    ++attack_seed;
+  }
+  return datasets;
+}
+
+}  // namespace xsec::core

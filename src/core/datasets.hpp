@@ -1,0 +1,58 @@
+// Dataset collection: runs testbed scenarios and captures labeled MobiFlow
+// traces, reproducing the paper's dataset methodology (§4): a benign
+// dataset from >100 diverse UE sessions, and one attack dataset per attack,
+// each a mixture of benign background traffic and the attack's sessions
+// with per-record ground-truth labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "mobiflow/trace.hpp"
+#include "sim/traffic.hpp"
+
+namespace xsec::core {
+
+struct ScenarioConfig {
+  sim::TestbedConfig testbed;
+  sim::TrafficConfig traffic;
+  /// Simulated time to run (must cover all scheduled sessions).
+  SimDuration run_time = SimDuration::from_s(6);
+};
+
+/// Runs a benign-only scenario and returns the collected trace.
+mobiflow::Trace collect_benign(const ScenarioConfig& config);
+
+/// Runs benign background traffic with `attack` launched at `attack_at`,
+/// labeling records with the attack's ground truth.
+mobiflow::Trace collect_attack(attacks::Attack& attack,
+                               const ScenarioConfig& config,
+                               SimTime attack_at);
+
+struct LabeledDatasets {
+  /// Independent benign captures (the paper's per-device-campaign
+  /// collections); training treats them as separate streams so windows
+  /// never straddle capture boundaries.
+  std::vector<mobiflow::Trace> benign;
+  std::size_t benign_records() const {
+    std::size_t n = 0;
+    for (const auto& t : benign) n += t.size();
+    return n;
+  }
+  /// (attack id, display name, trace) per attack, Table 3 order.
+  struct AttackTrace {
+    std::string id;
+    std::string display_name;
+    mobiflow::Trace trace;
+  };
+  std::vector<AttackTrace> attacks;
+};
+
+/// Collects the full evaluation corpus: one benign dataset and all five
+/// attack datasets, with deterministic seeds derived from `seed`.
+LabeledDatasets collect_all(std::uint64_t seed = 2024,
+                            int benign_sessions = 120,
+                            int background_sessions = 30);
+
+}  // namespace xsec::core

@@ -1,0 +1,61 @@
+#include "core/pipeline.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::core {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  testbed_ = std::make_unique<sim::Testbed>(config_.testbed);
+  ric_ = std::make_unique<oran::NearRtRic>();
+
+  // One RIC agent (E2 node) per cell site.
+  for (std::size_t site = 0; site < testbed_->cell_count(); ++site) {
+    mobiflow::AgentHooks hooks;
+    hooks.now = [this] { return testbed_->now(); };
+    hooks.schedule = [this](SimDuration d, std::function<void()> fn) {
+      testbed_->queue().schedule_after(d, std::move(fn));
+    };
+    hooks.to_ric = [this](std::uint64_t node_id, Bytes wire) {
+      // E2 messages cross the RIC's transport with a small delay.
+      testbed_->queue().schedule_after(
+          SimDuration::from_ms(1), [this, node_id, w = std::move(wire)] {
+            ric_->from_node(node_id, w);
+          });
+    };
+    hooks.apply_control = [this, site](const mobiflow::ControlCommand& cmd) {
+      ran::Gnb& gnb = testbed_->gnb(site);
+      switch (cmd.action) {
+        case mobiflow::ControlCommand::Action::kReleaseUe:
+          return gnb.force_release(ran::Rnti{cmd.rnti});
+        case mobiflow::ControlCommand::Action::kReleaseStale:
+          return gnb.release_stale_contexts(
+                     SimDuration::from_ms(cmd.stale_age_ms)) > 0;
+        case mobiflow::ControlCommand::Action::kBlockTmsi:
+          gnb.block_tmsi(cmd.s_tmsi);
+          return true;
+      }
+      return false;
+    };
+    auto agent = std::make_unique<mobiflow::RicAgent>(
+        config_.e2_node_id + site, std::move(hooks));
+    agent->attach(testbed_->taps(site));
+    std::uint64_t node_id = ric_->connect_node(agent.get());
+    if (node_id == 0)
+      XSEC_LOG_ERROR("pipeline", "E2 setup failed for agent of cell ", site);
+    node_ids_.push_back(node_id);
+    agents_.push_back(std::move(agent));
+  }
+
+  auto mobiwatch = std::make_unique<detect::MobiWatchXapp>(config_.mobiwatch);
+  mobiwatch_ = mobiwatch.get();
+  ric_->register_xapp(std::move(mobiwatch));
+
+  if (!config_.llm_client)
+    config_.llm_client = std::make_shared<llm::SimLlmClient>();
+  auto analyzer = std::make_unique<llm::LlmAnalyzerXapp>(config_.analyzer,
+                                                         config_.llm_client);
+  analyzer_ = analyzer.get();
+  ric_->register_xapp(std::move(analyzer));
+}
+
+}  // namespace xsec::core

@@ -1,0 +1,78 @@
+// The assembled 6G-XSec pipeline (paper Figure 3).
+//
+// One object wires the whole system: the simulated 5G testbed, the RIC
+// agent tapping its F1AP/NGAP interfaces, the near-RT RIC, the MobiWatch
+// anomaly-detection xApp, and the LLM analyzer xApp — including the
+// closed-loop control path back into the gNB. This is the public entry
+// point examples and benches build on.
+#pragma once
+
+#include <memory>
+
+#include "detect/mobiwatch.hpp"
+#include "llm/analyzer_xapp.hpp"
+#include "mobiflow/agent.hpp"
+#include "oran/ric.hpp"
+#include "sim/testbed.hpp"
+
+namespace xsec::core {
+
+struct PipelineConfig {
+  sim::TestbedConfig testbed;
+  detect::MobiWatchConfig mobiwatch;
+  llm::AnalyzerConfig analyzer;
+  /// E2 node id of the first cell's agent; additional cells get
+  /// consecutive ids.
+  std::uint64_t e2_node_id = 1001;
+  /// LLM client; defaults to the offline SimLlmClient.
+  std::shared_ptr<llm::LlmClient> llm_client;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {});
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  sim::Testbed& testbed() { return *testbed_; }
+  oran::NearRtRic& ric() { return *ric_; }
+  /// The RIC agent of cell `index` (one E2 node per cell).
+  mobiflow::RicAgent& agent(std::size_t index = 0) {
+    return *agents_[index];
+  }
+  std::size_t agent_count() const { return agents_.size(); }
+  detect::MobiWatchXapp& mobiwatch() { return *mobiwatch_; }
+  llm::LlmAnalyzerXapp& analyzer() { return *analyzer_; }
+  std::uint64_t node_id(std::size_t index = 0) const {
+    return node_ids_[index];
+  }
+
+  /// Installs a pre-trained detector into MobiWatch (the SMO "deploy" arrow
+  /// of Figure 3).
+  void install_detector(std::shared_ptr<detect::AnomalyDetector> detector,
+                        detect::FeatureEncoder encoder) {
+    mobiwatch_->install_detector(std::move(detector), std::move(encoder));
+  }
+
+  void run_for(SimDuration d) { testbed_->run_for(d); }
+
+  /// End-of-capture housekeeping: closes any open MobiWatch incident and
+  /// drains the analyzer's deferred queue. Call once after the last
+  /// run_for of a scenario.
+  void finalize() {
+    mobiwatch_->close_open_incident();
+    analyzer_->flush_pending();
+  }
+
+ private:
+  PipelineConfig config_;
+  std::unique_ptr<sim::Testbed> testbed_;
+  std::unique_ptr<oran::NearRtRic> ric_;
+  std::vector<std::unique_ptr<mobiflow::RicAgent>> agents_;
+  std::vector<std::uint64_t> node_ids_;
+  detect::MobiWatchXapp* mobiwatch_ = nullptr;  // owned by the RIC
+  llm::LlmAnalyzerXapp* analyzer_ = nullptr;    // owned by the RIC
+};
+
+}  // namespace xsec::core

@@ -1,0 +1,44 @@
+#include "core/smo.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::core {
+
+TrainingRApp::TrainingRApp(Pipeline* pipeline, TrainingRAppConfig config)
+    : pipeline_(pipeline), config_(std::move(config)) {}
+
+void TrainingRApp::start() {
+  pipeline_->testbed().queue().schedule_after(config_.period,
+                                              [this] { tick(); });
+}
+
+mobiflow::Trace TrainingRApp::harvest() {
+  mobiflow::Trace trace;
+  oran::Sdl& sdl = pipeline_->ric().sdl();
+  for (const std::string& key : sdl.keys(config_.sdl_namespace)) {
+    auto raw = sdl.get(config_.sdl_namespace, key);
+    if (!raw) continue;
+    auto record = mobiflow::Record::from_kv_bytes(*raw);
+    if (record) trace.add(std::move(record).value());
+  }
+  return trace;
+}
+
+void TrainingRApp::tick() {
+  mobiflow::Trace trace = harvest();
+  harvested_ = trace.size();
+  if (trace.size() >= config_.min_records) {
+    XSEC_LOG_INFO("smo", "retraining ", to_string(config_.model), " on ",
+                  trace.size(), " telemetry records");
+    auto detector = train_detector(config_.model, trace, config_.eval);
+    deployed_threshold_ = detector->threshold();
+    pipeline_->install_detector(
+        std::move(detector), detect::FeatureEncoder(config_.eval.features));
+    ++retrains_;
+  }
+  // Re-arm the non-RT loop.
+  pipeline_->testbed().queue().schedule_after(config_.period,
+                                              [this] { tick(); });
+}
+
+}  // namespace xsec::core

@@ -1,0 +1,52 @@
+// SMO / non-RT RIC training rApp.
+//
+// Per the paper (§2.1, §3.2 and Figure 3), time-insensitive tasks — model
+// (re)training in particular — run in the Service Management and
+// Orchestration layer on non-real-time RICs, then deploy into the near-RT
+// xApps. This rApp periodically harvests the telemetry MobiWatch persisted
+// to the SDL, retrains the configured detector on it (telemetry collected
+// while no incident was flagged is treated as benign), and hot-swaps the
+// model into MobiWatch.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+
+namespace xsec::core {
+
+struct TrainingRAppConfig {
+  ModelKind model = ModelKind::kAutoencoder;
+  EvalConfig eval;
+  /// Non-RT loop period (>= 1s per the O-RAN latency classes).
+  SimDuration period = SimDuration::from_s(2);
+  /// Minimum telemetry records required before (re)training.
+  std::size_t min_records = 400;
+  /// SDL namespace MobiWatch stores telemetry under.
+  std::string sdl_namespace = "mobiflow";
+};
+
+class TrainingRApp {
+ public:
+  TrainingRApp(Pipeline* pipeline, TrainingRAppConfig config);
+
+  /// Arms the periodic training loop on the pipeline's event queue.
+  void start();
+
+  std::size_t retrains_completed() const { return retrains_; }
+  std::size_t records_harvested() const { return harvested_; }
+  /// Threshold of the most recently deployed model (0 before the first).
+  double deployed_threshold() const { return deployed_threshold_; }
+
+ private:
+  void tick();
+  /// Reads all telemetry rows currently in the SDL into a trace.
+  mobiflow::Trace harvest();
+
+  Pipeline* pipeline_;
+  TrainingRAppConfig config_;
+  std::size_t retrains_ = 0;
+  std::size_t harvested_ = 0;
+  double deployed_threshold_ = 0.0;
+};
+
+}  // namespace xsec::core

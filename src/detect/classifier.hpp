@@ -1,0 +1,82 @@
+// Supervised attack-type classifier over reconstruction-error patterns.
+//
+// Implements the extension the paper proposes from Figure 4: "attack
+// instances of the same type exhibit highly similar group anomaly patterns
+// with respect to the reconstruction errors ... this feature is potentially
+// useful for training a supervised attack classifier to recognize and
+// cluster events of different attack types".
+//
+// An *event* is a contiguous run of windows whose anomaly score exceeds the
+// detector threshold. Its error pattern (shape-normalized error curve plus
+// magnitude/duration statistics) feeds a small softmax MLP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dl/layers.hpp"
+#include "dl/optim.hpp"
+
+namespace xsec::detect {
+
+/// A detected anomaly event: one burst of consecutive flagged windows.
+struct AnomalyEvent {
+  std::size_t first_window = 0;
+  std::size_t last_window = 0;  // inclusive
+  std::vector<double> errors;   // scores of the flagged windows
+
+  std::size_t length() const { return errors.size(); }
+};
+
+/// Extracts events from a window score series: maximal runs of scores above
+/// `threshold`, merging runs separated by at most `merge_gap` windows (one
+/// attack can dip briefly below the threshold mid-event).
+std::vector<AnomalyEvent> extract_events(const std::vector<double>& scores,
+                                         double threshold,
+                                         std::size_t merge_gap = 3);
+
+/// Fixed-length feature vector for an event's error pattern:
+///   - the error curve resampled to `curve_points` and scaled by the
+///     threshold (shape),
+///   - log-magnitude statistics (max/mean/median over threshold),
+///   - log duration.
+std::vector<float> event_pattern(const AnomalyEvent& event, double threshold,
+                                 std::size_t curve_points = 16);
+/// Dimension of event_pattern's output for a given curve resolution.
+std::size_t event_pattern_dim(std::size_t curve_points = 16);
+
+struct ClassifierConfig {
+  std::size_t hidden = 32;
+  int epochs = 200;
+  float learning_rate = 5e-3f;
+  std::uint64_t seed = 777;
+};
+
+/// Softmax MLP over event patterns.
+class AttackClassifier {
+ public:
+  AttackClassifier(std::vector<std::string> class_names,
+                   std::size_t input_dim, ClassifierConfig config = {});
+
+  /// Trains on (pattern, class index) pairs; returns final mean CE loss.
+  double fit(const std::vector<std::vector<float>>& patterns,
+             const std::vector<std::size_t>& labels);
+
+  /// Class probabilities for one pattern.
+  std::vector<double> probabilities(const std::vector<float>& pattern);
+  std::size_t predict(const std::vector<float>& pattern);
+  const std::string& class_name(std::size_t index) const {
+    return class_names_[index];
+  }
+  std::size_t num_classes() const { return class_names_.size(); }
+
+ private:
+  std::vector<std::string> class_names_;
+  std::size_t input_dim_;
+  ClassifierConfig config_;
+  dl::Sequential network_;
+  Rng rng_;
+};
+
+}  // namespace xsec::detect

@@ -1,0 +1,152 @@
+#include "detect/ensemble.hpp"
+
+#include <cassert>
+
+#include "common/plot.hpp"
+#include "common/strings.hpp"
+
+namespace xsec::detect {
+
+std::vector<FeatureGroup> groups_by_category(const FeatureEncoder& encoder) {
+  FeatureGroup messages{"messages", {}};
+  FeatureGroup identifiers{"identifiers", {}};
+  FeatureGroup state{"state", {}};
+  FeatureGroup dynamics{"dynamics", {}};  // timing + load
+  for (std::size_t i = 0; i < encoder.dim(); ++i) {
+    std::string name = encoder.feature_name(i);
+    if (starts_with(name, "id."))
+      identifiers.columns.push_back(i);
+    else if (starts_with(name, "state."))
+      state.columns.push_back(i);
+    else if (starts_with(name, "dt.") || starts_with(name, "load."))
+      dynamics.columns.push_back(i);
+    else
+      messages.columns.push_back(i);  // msg=* and dir=*
+  }
+  std::vector<FeatureGroup> groups;
+  for (auto& group : {messages, identifiers, state, dynamics})
+    if (!group.columns.empty()) groups.push_back(group);
+  return groups;
+}
+
+EnsembleDetector::EnsembleDetector(std::size_t window_size,
+                                   std::size_t feature_dim,
+                                   std::vector<FeatureGroup> groups,
+                                   EnsembleConfig config)
+    : window_size_(window_size),
+      feature_dim_(feature_dim),
+      groups_(std::move(groups)),
+      config_(config) {
+  assert(!groups_.empty());
+  members_.resize(groups_.size());
+  std::uint64_t seed = config_.detector.seed;
+  for (std::size_t m = 0; m < groups_.size(); ++m) {
+    dl::AutoencoderConfig member_config;
+    member_config.input_dim = window_size_ * groups_[m].columns.size();
+    // Clamp the member's hidden widths to its (possibly tiny) input.
+    member_config.hidden = {
+        std::max<std::size_t>(2, std::min(config_.member_hidden.front(),
+                                          member_config.input_dim)),
+        std::max<std::size_t>(
+            2, std::min(config_.member_hidden.back(),
+                        member_config.input_dim / 2 + 1))};
+    member_config.seed = seed++;
+    member_config.sigmoid_output = false;
+    members_[m].model = std::make_unique<dl::Autoencoder>(member_config);
+  }
+}
+
+dl::Matrix EnsembleDetector::slice(const dl::Matrix& standardized,
+                                   std::size_t member) const {
+  const auto& columns = groups_[member].columns;
+  dl::Matrix out(standardized.rows(), window_size_ * columns.size());
+  for (std::size_t r = 0; r < standardized.rows(); ++r)
+    for (std::size_t t = 0; t < window_size_; ++t)
+      for (std::size_t c = 0; c < columns.size(); ++c)
+        out.at(r, t * columns.size() + c) =
+            standardized.at(r, t * feature_dim_ + columns[c]);
+  return out;
+}
+
+std::vector<double> EnsembleDetector::member_scores(
+    std::size_t member, const dl::Matrix& standardized) {
+  dl::Matrix data = slice(standardized, member);
+  dl::Matrix recon = members_[member].model->reconstruct(data);
+  const std::size_t sub_dim = groups_[member].columns.size();
+  std::vector<double> scores(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    double worst = 0.0;
+    for (std::size_t t = 0; t < window_size_; ++t) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < sub_dim; ++c) {
+        std::size_t col = t * sub_dim + c;
+        double d = static_cast<double>(recon.at(r, col)) - data.at(r, col);
+        acc += d * d;
+      }
+      worst = std::max(worst, acc / static_cast<double>(sub_dim));
+    }
+    scores[r] = worst;
+  }
+  return scores;
+}
+
+void EnsembleDetector::fit(const WindowDataset& benign) {
+  assert(benign.window_size() == window_size_);
+  assert(benign.feature_dim() == feature_dim_);
+  dl::Matrix raw = benign.ae_matrix();
+  scaler_.fit(raw);
+  dl::Matrix standardized = raw;
+  scaler_.apply(standardized);
+
+  dl::TrainConfig train;
+  train.epochs = config_.detector.epochs;
+  train.batch_size = config_.detector.batch_size;
+  train.learning_rate = config_.detector.learning_rate;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    members_[m].model->fit(slice(standardized, m), train);
+    std::vector<double> scores = member_scores(m, standardized);
+    members_[m].calibration =
+        std::max(1e-9, percentile(scores, config_.member_percentile));
+  }
+  calibrate(combined_scores(raw, nullptr),
+            config_.detector.threshold_percentile);
+}
+
+std::vector<double> EnsembleDetector::combined_scores(
+    const dl::Matrix& raw_windows, std::vector<std::size_t>* dominant) {
+  dl::Matrix standardized = raw_windows;
+  if (scaler_.fitted()) scaler_.apply(standardized);
+  std::vector<double> combined(raw_windows.rows(), 0.0);
+  if (dominant) dominant->assign(raw_windows.rows(), 0);
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    std::vector<double> scores = member_scores(m, standardized);
+    for (std::size_t r = 0; r < scores.size(); ++r) {
+      double normalized = scores[r] / members_[m].calibration;
+      if (normalized > combined[r]) {
+        combined[r] = normalized;
+        if (dominant) (*dominant)[r] = m;
+      }
+    }
+  }
+  return combined;
+}
+
+std::vector<double> EnsembleDetector::score(const WindowDataset& data) {
+  dl::Matrix raw = data.ae_matrix();
+  return combined_scores(raw, nullptr);
+}
+
+double EnsembleDetector::score_window(
+    const std::vector<std::vector<float>>& rows) {
+  assert(rows.size() == window_size_);
+  dl::Matrix raw(1, window_size_ * feature_dim_);
+  for (std::size_t t = 0; t < rows.size(); ++t)
+    for (std::size_t c = 0; c < feature_dim_; ++c)
+      raw.at(0, t * feature_dim_ + c) = rows[t][c];
+  std::vector<std::size_t> dominant;
+  double score = combined_scores(raw, &dominant)[0];
+  last_dominant_ = dominant[0];
+  return score;
+}
+
+}  // namespace xsec::detect

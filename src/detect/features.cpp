@@ -1,0 +1,365 @@
+#include "detect/features.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "ran/nas.hpp"
+#include "ran/rrc.hpp"
+
+namespace xsec::detect {
+
+void EncodeContext::reset() {
+  seen_rntis.clear();
+  tmsi_owners.clear();
+  ue_tmsi.clear();
+  last_timestamp_us = -1;
+  pending_auth.clear();
+  recent_setups.clear();
+}
+
+namespace {
+const std::vector<std::string>& cause_vocab() {
+  static const std::vector<std::string> causes = {
+      "emergency",       "highPriorityAccess", "mt-Access",
+      "mo-Signalling",   "mo-Data",            "mo-VoiceCall",
+      "mo-VideoCall",    "mo-SMS",             "mps-PriorityAccess",
+      "mcs-PriorityAccess"};
+  return causes;
+}
+
+const std::vector<std::string>& alg_suffixes() {
+  static const std::vector<std::string> suffixes = {"0", "1", "2", "3"};
+  return suffixes;
+}
+
+constexpr std::size_t kTimingBuckets = 6;
+constexpr std::size_t kLoadBuckets = 6;
+constexpr std::int64_t kSetupRateWindowUs = 100'000;  // 100ms
+
+std::size_t load_bucket(std::size_t count) {
+  // 0, 1, 2, 3-4, 5-8, 9+
+  if (count == 0) return 0;
+  if (count == 1) return 1;
+  if (count == 2) return 2;
+  if (count <= 4) return 3;
+  if (count <= 8) return 4;
+  return 5;
+}
+
+std::size_t timing_bucket(std::int64_t delta_us) {
+  // log10 buckets: <100us, <1ms, <10ms, <100ms, <1s, >=1s
+  if (delta_us < 100) return 0;
+  if (delta_us < 1'000) return 1;
+  if (delta_us < 10'000) return 2;
+  if (delta_us < 100'000) return 3;
+  if (delta_us < 1'000'000) return 4;
+  return 5;
+}
+}  // namespace
+
+FeatureEncoder::FeatureEncoder(FeatureConfig config) : config_(config) {
+  if (config_.messages) {
+    for (const auto& name : ran::rrc_all_names()) {
+      msg_index_["RRC:" + name] = names_.size();
+      names_.push_back("msg=RRC:" + name);
+    }
+    for (const auto& name : ran::nas_all_names()) {
+      msg_index_["NAS:" + name] = names_.size();
+      names_.push_back("msg=NAS:" + name);
+    }
+    names_.push_back("msg=unknown");
+    names_.push_back("dir=UL");
+  }
+  if (config_.identifiers) {
+    names_.push_back("id.rnti_new");
+    names_.push_back("id.tmsi_present");
+    names_.push_back("id.tmsi_replayed_other_ue");
+    names_.push_back("id.supi_plaintext");
+    names_.push_back("id.suci_null_scheme");
+    names_.push_back("id.release_incomplete");
+  }
+  if (config_.state) {
+    names_.push_back("state.cipher_unknown");
+    for (const auto& s : alg_suffixes()) names_.push_back("state.cipher=NEA" + s);
+    names_.push_back("state.integrity_unknown");
+    for (const auto& s : alg_suffixes())
+      names_.push_back("state.integrity=NIA" + s);
+    names_.push_back("state.cause_unknown");
+    for (const auto& c : cause_vocab()) names_.push_back("state.cause=" + c);
+  }
+  if (config_.timing) {
+    for (std::size_t b = 0; b < kTimingBuckets; ++b)
+      names_.push_back("dt.bucket" + std::to_string(b));
+  }
+  if (config_.load) {
+    for (std::size_t b = 0; b < kLoadBuckets; ++b)
+      names_.push_back("load.pending_auth" + std::to_string(b));
+    for (std::size_t b = 0; b < kLoadBuckets; ++b)
+      names_.push_back("load.setup_rate" + std::to_string(b));
+  }
+  dim_ = names_.size();
+}
+
+std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
+                                          EncodeContext& ctx) const {
+  std::vector<float> out(dim_, 0.0f);
+  std::size_t base = 0;
+
+  if (config_.messages) {
+    auto it = msg_index_.find(record.protocol + ":" + record.msg);
+    std::size_t unknown_slot = msg_index_.size();
+    if (it != msg_index_.end())
+      out[it->second] = 1.0f;
+    else
+      out[unknown_slot] = 1.0f;
+    base = msg_index_.size() + 1;
+    if (record.direction == "UL") out[base] = 1.0f;
+    base += 1;
+  }
+
+  if (config_.identifiers) {
+    bool rnti_new =
+        record.rnti != 0 && !ctx.seen_rntis.count(record.rnti);
+    if (record.rnti != 0) ctx.seen_rntis.insert(record.rnti);
+    out[base + 0] = rnti_new ? 1.0f : 0.0f;
+
+    if (record.s_tmsi != 0) {
+      out[base + 1] = 1.0f;
+      // Ownership is established by UPLINK presentations only; broadcast
+      // paging and downlink allocations must not create owners.
+      if (record.direction == "UL") {
+        auto& owners = ctx.tmsi_owners[record.s_tmsi];
+        owners.insert(record.ue_id);
+        ctx.ue_tmsi[record.ue_id] = record.s_tmsi;
+        // Replay = the identifier is simultaneously live in more than one
+        // context (fires on every record of every involved context while
+        // the conflict persists).
+        out[base + 2] = owners.size() >= 2 ? 1.0f : 0.0f;
+      }
+    }
+    if (record.msg == "RRCRelease") {
+      auto held = ctx.ue_tmsi.find(record.ue_id);
+      if (held != ctx.ue_tmsi.end()) {
+        auto owners_it = ctx.tmsi_owners.find(held->second);
+        if (owners_it != ctx.tmsi_owners.end())
+          owners_it->second.erase(record.ue_id);
+        ctx.ue_tmsi.erase(held);
+      }
+    }
+    if (!record.supi_plain.empty()) out[base + 3] = 1.0f;
+    // A null-scheme SUCI is detectable from the identity string itself.
+    if (!record.suci.empty() && record.suci.find("-0-") != std::string::npos)
+      out[base + 4] = 1.0f;
+    // A context torn down before it ever reached a security context: the
+    // footprint of garbage-collected half-open (DoS) connections.
+    if (record.msg == "RRCRelease" && record.cipher_alg.empty() &&
+        record.s_tmsi == 0)
+      out[base + 5] = 1.0f;
+    base += 6;
+  }
+
+  if (config_.state) {
+    // cipher: [unknown, NEA0..NEA3]
+    if (record.cipher_alg.empty())
+      out[base + 0] = 1.0f;
+    else if (record.cipher_alg.size() == 4 && record.cipher_alg[3] >= '0' &&
+             record.cipher_alg[3] <= '3')
+      out[base + 1 + (record.cipher_alg[3] - '0')] = 1.0f;
+    base += 5;
+    if (record.integrity_alg.empty())
+      out[base + 0] = 1.0f;
+    else if (record.integrity_alg.size() == 4 &&
+             record.integrity_alg[3] >= '0' && record.integrity_alg[3] <= '3')
+      out[base + 1 + (record.integrity_alg[3] - '0')] = 1.0f;
+    base += 5;
+
+    bool cause_found = false;
+    const auto& causes = cause_vocab();
+    for (std::size_t i = 0; i < causes.size(); ++i) {
+      if (record.establishment_cause == causes[i]) {
+        out[base + 1 + i] = 1.0f;
+        cause_found = true;
+        break;
+      }
+    }
+    if (!cause_found) out[base + 0] = 1.0f;
+    base += 1 + causes.size();
+  }
+
+  if (config_.timing) {
+    // The first record of a stream has no predecessor; use a typical
+    // inter-session gap so stream starts don't land in the rarest bucket
+    // (which would make the first window of every capture an outlier).
+    std::int64_t delta =
+        ctx.last_timestamp_us < 0 ? 20'000
+                                  : record.timestamp_us - ctx.last_timestamp_us;
+    ctx.last_timestamp_us = record.timestamp_us;
+    out[base + timing_bucket(delta)] = 1.0f;
+    base += kTimingBuckets;
+  }
+
+  if (config_.load) {
+    // Update the load trackers from this record.
+    if (record.msg == "AuthenticationRequest") {
+      ctx.pending_auth.insert(record.ue_id);
+    } else if (record.msg == "AuthenticationResponse" ||
+               record.msg == "AuthenticationFailure" ||
+               record.msg == "AuthenticationReject" ||
+               record.msg == "RRCRelease") {
+      ctx.pending_auth.erase(record.ue_id);
+    }
+    if (record.msg == "RRCSetupRequest")
+      ctx.recent_setups.push_back(record.timestamp_us);
+    while (!ctx.recent_setups.empty() &&
+           ctx.recent_setups.front() <
+               record.timestamp_us - kSetupRateWindowUs)
+      ctx.recent_setups.pop_front();
+
+    // Emit the buckets only on connection-establishment messages: those
+    // are the records a storm consists of, so the anomaly stays attached
+    // to the attack records instead of every bystander during the storm.
+    bool establishment = record.msg == "RRCSetupRequest" ||
+                         record.msg == "RRCSetup" ||
+                         record.msg == "RRCSetupComplete" ||
+                         record.msg == "RegistrationRequest" ||
+                         record.msg == "AuthenticationRequest";
+    if (establishment) {
+      out[base + load_bucket(ctx.pending_auth.size())] = 1.0f;
+      out[base + kLoadBuckets + load_bucket(ctx.recent_setups.size())] = 1.0f;
+    }
+    base += 2 * kLoadBuckets;
+  }
+
+  assert(base == dim_);
+  return out;
+}
+
+std::vector<std::vector<float>> FeatureEncoder::encode_trace(
+    const mobiflow::Trace& trace) const {
+  EncodeContext ctx;
+  std::vector<std::vector<float>> out;
+  out.reserve(trace.size());
+  for (const auto& entry : trace.entries())
+    out.push_back(encode(entry.record, ctx));
+  return out;
+}
+
+std::string FeatureEncoder::feature_name(std::size_t i) const {
+  assert(i < names_.size());
+  return names_[i];
+}
+
+WindowDataset::WindowDataset(std::vector<std::vector<float>> features,
+                             std::vector<bool> record_labels,
+                             std::size_t window_size)
+    : features_(std::move(features)),
+      labels_(std::move(record_labels)),
+      window_(window_size),
+      dim_(features_.empty() ? 0 : features_[0].size()) {
+  assert(features_.size() == labels_.size());
+  assert(window_ > 0);
+  index_segment(0, features_.size());
+}
+
+void WindowDataset::index_segment(std::size_t begin, std::size_t end) {
+  if (end - begin >= window_)
+    for (std::size_t s = begin; s + window_ <= end; ++s)
+      ae_starts_.push_back(s);
+  if (end - begin > window_)
+    for (std::size_t s = begin; s + window_ < end; ++s)
+      lstm_starts_.push_back(s);
+}
+
+WindowDataset WindowDataset::from_trace(const mobiflow::Trace& trace,
+                                        const FeatureEncoder& encoder,
+                                        std::size_t window_size) {
+  std::vector<bool> labels;
+  labels.reserve(trace.size());
+  for (const auto& entry : trace.entries()) labels.push_back(entry.malicious);
+  return WindowDataset(encoder.encode_trace(trace), std::move(labels),
+                       window_size);
+}
+
+WindowDataset WindowDataset::from_traces(
+    const std::vector<mobiflow::Trace>& traces, const FeatureEncoder& encoder,
+    std::size_t window_size) {
+  std::vector<std::vector<float>> features;
+  std::vector<bool> labels;
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  for (const auto& trace : traces) {
+    std::size_t begin = features.size();
+    auto encoded = encoder.encode_trace(trace);
+    features.insert(features.end(), encoded.begin(), encoded.end());
+    for (const auto& entry : trace.entries())
+      labels.push_back(entry.malicious);
+    segments.emplace_back(begin, features.size());
+  }
+  WindowDataset dataset(std::move(features), std::move(labels), window_size);
+  // Re-index: windows must not straddle capture boundaries.
+  dataset.ae_starts_.clear();
+  dataset.lstm_starts_.clear();
+  for (const auto& [begin, end] : segments)
+    dataset.index_segment(begin, end);
+  return dataset;
+}
+
+std::size_t WindowDataset::ae_sample_count() const {
+  return ae_starts_.size();
+}
+
+dl::Matrix WindowDataset::ae_matrix() const {
+  dl::Matrix out(ae_starts_.size(), window_ * dim_);
+  for (std::size_t i = 0; i < ae_starts_.size(); ++i) {
+    std::size_t s = ae_starts_[i];
+    for (std::size_t t = 0; t < window_; ++t)
+      for (std::size_t c = 0; c < dim_; ++c)
+        out.at(i, t * dim_ + c) = features_[s + t][c];
+  }
+  return out;
+}
+
+std::vector<bool> WindowDataset::ae_labels() const {
+  std::vector<bool> out(ae_starts_.size(), false);
+  for (std::size_t i = 0; i < ae_starts_.size(); ++i) {
+    std::size_t s = ae_starts_[i];
+    for (std::size_t t = 0; t < window_; ++t)
+      if (labels_[s + t]) {
+        out[i] = true;
+        break;
+      }
+  }
+  return out;
+}
+
+std::size_t WindowDataset::lstm_sample_count() const {
+  return lstm_starts_.size();
+}
+
+std::vector<dl::SequenceSample> WindowDataset::lstm_samples() const {
+  std::vector<dl::SequenceSample> out;
+  out.reserve(lstm_starts_.size());
+  for (std::size_t s : lstm_starts_) {
+    dl::SequenceSample sample;
+    sample.window.assign(features_.begin() + static_cast<std::ptrdiff_t>(s),
+                         features_.begin() + static_cast<std::ptrdiff_t>(
+                                                 s + window_));
+    sample.target = features_[s + window_];
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<bool> WindowDataset::lstm_labels() const {
+  std::vector<bool> out(lstm_starts_.size(), false);
+  for (std::size_t i = 0; i < lstm_starts_.size(); ++i) {
+    std::size_t s = lstm_starts_[i];
+    for (std::size_t t = 0; t <= window_; ++t)
+      if (labels_[s + t]) {
+        out[i] = true;
+        break;
+      }
+  }
+  return out;
+}
+
+}  // namespace xsec::detect

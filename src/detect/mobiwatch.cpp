@@ -1,0 +1,197 @@
+#include "detect/mobiwatch.hpp"
+
+#include "common/log.hpp"
+#include "oran/e2sm.hpp"
+
+namespace xsec::detect {
+
+Bytes AnomalyReport::serialize() const {
+  ByteWriter w;
+  w.str(detector);
+  w.u64(node_id);
+  w.f64(score);
+  w.f64(threshold);
+  Bytes window_bytes = window.serialize();
+  w.u32(static_cast<std::uint32_t>(window_bytes.size()));
+  w.raw(window_bytes);
+  Bytes context_bytes = context.serialize();
+  w.u32(static_cast<std::uint32_t>(context_bytes.size()));
+  w.raw(context_bytes);
+  return w.take();
+}
+
+Result<AnomalyReport> AnomalyReport::deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  AnomalyReport report;
+  auto detector = r.str();
+  if (!detector) return detector.error();
+  report.detector = detector.value();
+  auto node_id = r.u64();
+  if (!node_id) return node_id.error();
+  report.node_id = node_id.value();
+  auto score = r.f64();
+  if (!score) return score.error();
+  report.score = score.value();
+  auto threshold = r.f64();
+  if (!threshold) return threshold.error();
+  report.threshold = threshold.value();
+  auto window_len = r.u32();
+  if (!window_len) return window_len.error();
+  auto window_bytes = r.raw(window_len.value());
+  if (!window_bytes) return window_bytes.error();
+  auto window = mobiflow::Trace::deserialize(window_bytes.value());
+  if (!window) return window.error();
+  report.window = window.value();
+  auto context_len = r.u32();
+  if (!context_len) return context_len.error();
+  auto context_bytes = r.raw(context_len.value());
+  if (!context_bytes) return context_bytes.error();
+  auto context = mobiflow::Trace::deserialize(context_bytes.value());
+  if (!context) return context.error();
+  report.context = context.value();
+  return report;
+}
+
+MobiWatchXapp::MobiWatchXapp(MobiWatchConfig config)
+    : oran::XApp("mobiwatch"), config_(config) {}
+
+void MobiWatchXapp::install_detector(
+    std::shared_ptr<AnomalyDetector> detector, FeatureEncoder encoder) {
+  detector_ = std::move(detector);
+  encoder_ = std::make_unique<FeatureEncoder>(std::move(encoder));
+  encode_ctx_.reset();
+  base_threshold_ = detector_->threshold();
+  detector_->set_threshold(base_threshold_ * threshold_scale_);
+}
+
+oran::PolicyStatus MobiWatchXapp::on_policy(const oran::A1Policy& policy) {
+  if (policy.policy_type != oran::kPolicyDetectionTuning)
+    return oran::PolicyStatus::kUnsupported;
+  double scale = policy.get_double("threshold_scale", threshold_scale_);
+  if (scale <= 0.0) return oran::PolicyStatus::kNotEnforced;
+  threshold_scale_ = scale;
+  if (detector_) detector_->set_threshold(base_threshold_ * threshold_scale_);
+  config_.incident_close_gap = static_cast<std::size_t>(policy.get_double(
+      "incident_close_gap",
+      static_cast<double>(config_.incident_close_gap)));
+  return oran::PolicyStatus::kEnforced;
+}
+
+void MobiWatchXapp::on_start() {
+  // Subscribe to the MobiFlow function on every connected node.
+  for (std::uint64_t node_id : ric().connected_nodes()) {
+    const auto* functions = ric().node_functions(node_id);
+    if (!functions) continue;
+    for (const auto& f : *functions) {
+      if (f.function_id != oran::e2sm::kMobiFlowFunctionId) continue;
+      oran::e2sm::EventTriggerDefinition trigger;
+      trigger.report_period_ms = config_.report_period_ms;
+      oran::RicAction action;
+      action.action_id = 1;
+      action.type = oran::RicActionType::kReport;
+      action.definition = oran::e2sm::encode_action_definition(
+          oran::e2sm::ActionDefinition{});
+      ric().subscribe(this, node_id, f.function_id,
+                      oran::e2sm::encode_event_trigger(trigger), {action});
+    }
+  }
+}
+
+void MobiWatchXapp::on_indication(std::uint64_t node_id,
+                                  const oran::RicIndication& indication) {
+  current_node_id_ = node_id;
+  auto message =
+      oran::e2sm::decode_indication_message(indication.message);
+  if (!message) {
+    XSEC_LOG_WARN("mobiwatch", "undecodable indication message");
+    return;
+  }
+  for (const auto& row : message.value().rows)
+    handle_record(mobiflow::Record::from_kv(row));
+}
+
+void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
+  ++records_seen_;
+  // Persist to the SDL so other xApps (and the SMO's rApps) see history.
+  sdl().set(config_.sdl_namespace, oran::Sdl::seq_key(next_seq_++),
+            record.to_kv_bytes());
+
+  if (!detector_ || !encoder_) return;  // collection mode
+
+  recent_.emplace_back(record, encoder_->encode(record, encode_ctx_));
+  std::size_t keep = config_.context_records +
+                     detector_->rows_needed(config_.window_size);
+  while (recent_.size() > keep) recent_.pop_front();
+
+  std::size_t needed = detector_->rows_needed(config_.window_size);
+  if (recent_.size() < needed) return;
+
+  std::vector<std::vector<float>> rows;
+  rows.reserve(needed);
+  for (std::size_t i = recent_.size() - needed; i < recent_.size(); ++i)
+    rows.push_back(recent_[i].second);
+
+  double score = detector_->score_window(rows);
+  ++windows_scored_;
+  bool anomalous = detector_->is_anomalous(score);
+  if (anomalous) ++anomalous_windows_;
+
+  if (burst_active_) {
+    // The incident stays open while anomalous windows keep arriving (and
+    // across short quiet gaps); every record in that span belongs to it.
+    burst_window_.add(record);
+    if (anomalous) {
+      burst_gap_ = 0;
+      burst_peak_ = std::max(burst_peak_, score);
+    } else if (++burst_gap_ > config_.incident_close_gap) {
+      publish_incident();
+    }
+    return;
+  }
+
+  if (!anomalous) return;
+
+  // Open a new incident: the current window starts it, the preceding
+  // records are its context.
+  burst_active_ = true;
+  burst_gap_ = 0;
+  burst_peak_ = score;
+  burst_window_ = mobiflow::Trace();
+  burst_context_ = mobiflow::Trace();
+  std::size_t window_start = recent_.size() - needed;
+  for (std::size_t i = 0; i < recent_.size(); ++i) {
+    if (i < window_start)
+      burst_context_.add(recent_[i].first);
+    else
+      burst_window_.add(recent_[i].first);
+  }
+}
+
+void MobiWatchXapp::publish_incident() {
+  if (!burst_active_) return;
+  burst_active_ = false;
+  ++anomalies_flagged_;
+
+  AnomalyReport report;
+  report.detector = detector_ ? detector_->name() : "";
+  report.node_id = current_node_id_;
+  report.score = burst_peak_;
+  report.threshold = detector_ ? detector_->threshold() : 0.0;
+  report.window = std::move(burst_window_);
+  report.context = std::move(burst_context_);
+  burst_window_ = mobiflow::Trace();
+  burst_context_ = mobiflow::Trace();
+
+  XSEC_LOG_INFO("mobiwatch", "incident reported: peak score=", report.score,
+                " threshold=", report.threshold, " window=",
+                report.window.size(), " records");
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtAnomalyWindow;
+  msg.source = name();
+  msg.payload = report.serialize();
+  router().publish(msg);
+}
+
+void MobiWatchXapp::close_open_incident() { publish_incident(); }
+
+}  // namespace xsec::detect

@@ -1,0 +1,110 @@
+// MOBIWATCH: the unsupervised anomaly-detection xApp (paper §3.2).
+//
+// Subscribes to the E2SM-MOBIFLOW RAN function, stores incoming telemetry
+// in the SDL, featurizes the stream, scores each sliding window with the
+// installed detector, and forwards flagged windows (with their surrounding
+// context) over the message router to the LLM analyzer xApp. Without an
+// installed detector it runs in collection mode, only persisting telemetry
+// — the "train" phase of the paper's train/deploy split.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "detect/scorer.hpp"
+#include "mobiflow/record.hpp"
+#include "mobiflow/trace.hpp"
+#include "oran/ric.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::detect {
+
+/// What MobiWatch hands to the LLM analyzer for a flagged window.
+struct AnomalyReport {
+  std::string detector;
+  /// E2 node the telemetry came from (remediation target).
+  std::uint64_t node_id = 0;
+  double score = 0.0;
+  double threshold = 0.0;
+  /// The anomalous window itself.
+  mobiflow::Trace window;
+  /// Preceding records for context (the paper passes "the sequence plus
+  /// its context window").
+  mobiflow::Trace context;
+
+  Bytes serialize() const;
+  static Result<AnomalyReport> deserialize(const Bytes& wire);
+};
+
+struct MobiWatchConfig {
+  std::size_t window_size = 5;
+  /// Records of preceding context attached to each report.
+  std::size_t context_records = 25;
+  /// E2SM report period requested in the subscription.
+  std::uint32_t report_period_ms = 10;
+  /// SDL namespace telemetry rows are stored under.
+  std::string sdl_namespace = "mobiflow";
+  /// Incident aggregation: a run of anomalous windows forms ONE incident;
+  /// the incident closes (and is reported) after this many consecutive
+  /// quiet windows. Keeps one report per attack burst instead of one per
+  /// overlapping window.
+  std::size_t incident_close_gap = 6;
+};
+
+class MobiWatchXapp : public oran::XApp {
+ public:
+  explicit MobiWatchXapp(MobiWatchConfig config = {});
+
+  /// Installs a pre-trained detector and the encoder it was trained with.
+  /// (Training happens offline / in the SMO; see paper Figure 3.)
+  void install_detector(std::shared_ptr<AnomalyDetector> detector,
+                        FeatureEncoder encoder);
+
+  void on_start() override;
+  void on_indication(std::uint64_t node_id,
+                     const oran::RicIndication& indication) override;
+  /// A1 detection-tuning policy: "threshold_scale" multiplies the trained
+  /// detection threshold (operator sensitivity knob), "incident_close_gap"
+  /// adjusts burst aggregation.
+  oran::PolicyStatus on_policy(const oran::A1Policy& policy) override;
+
+  std::size_t records_seen() const { return records_seen_; }
+  std::size_t windows_scored() const { return windows_scored_; }
+  /// Incidents reported (anomaly bursts, not individual windows).
+  std::size_t anomalies_flagged() const { return anomalies_flagged_; }
+  /// Individual windows that exceeded the threshold.
+  std::size_t anomalous_windows() const { return anomalous_windows_; }
+  bool incident_open() const { return burst_active_; }
+  bool has_detector() const { return detector_ != nullptr; }
+  const MobiWatchConfig& config() const { return config_; }
+
+  /// Closes and reports an incident still open when the stream ends.
+  void close_open_incident();
+
+ private:
+  void handle_record(const mobiflow::Record& record);
+  void publish_incident();
+
+  MobiWatchConfig config_;
+  double threshold_scale_ = 1.0;  // A1-adjustable
+  double base_threshold_ = 0.0;
+  std::shared_ptr<AnomalyDetector> detector_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  EncodeContext encode_ctx_;
+  /// Recent (record, features) pairs; bounded.
+  std::deque<std::pair<mobiflow::Record, std::vector<float>>> recent_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t current_node_id_ = 0;
+  std::size_t records_seen_ = 0;
+  std::size_t windows_scored_ = 0;
+  std::size_t anomalies_flagged_ = 0;
+  std::size_t anomalous_windows_ = 0;
+  // Open-incident state.
+  bool burst_active_ = false;
+  std::size_t burst_gap_ = 0;
+  double burst_peak_ = 0.0;
+  mobiflow::Trace burst_window_;
+  mobiflow::Trace burst_context_;
+};
+
+}  // namespace xsec::detect

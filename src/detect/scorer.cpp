@@ -1,0 +1,194 @@
+#include "detect/scorer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xsec::detect {
+
+void Standardizer::fit(const dl::Matrix& data, float std_floor) {
+  const std::size_t dim = data.cols();
+  mean_.assign(dim, 0.0f);
+  inv_std_.assign(dim, 1.0f);
+  if (data.rows() == 0) return;
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < dim; ++c) mean_[c] += data.at(r, c);
+  for (std::size_t c = 0; c < dim; ++c)
+    mean_[c] /= static_cast<float>(data.rows());
+  std::vector<double> var(dim, 0.0);
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < dim; ++c) {
+      double d = data.at(r, c) - mean_[c];
+      var[c] += d * d;
+    }
+  for (std::size_t c = 0; c < dim; ++c) {
+    float std_dev = static_cast<float>(
+        std::sqrt(var[c] / static_cast<double>(data.rows())));
+    inv_std_[c] = 1.0f / std::max(std_dev, std_floor);
+  }
+}
+
+void Standardizer::apply(dl::Matrix& data) const {
+  assert(data.cols() == mean_.size());
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      data.at(r, c) = (data.at(r, c) - mean_[c]) * inv_std_[c];
+}
+
+void Standardizer::apply(std::vector<float>& row) const {
+  assert(row.size() == mean_.size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    row[c] = (row[c] - mean_[c]) * inv_std_[c];
+}
+
+AutoencoderDetector::AutoencoderDetector(std::size_t window_size,
+                                         std::size_t feature_dim,
+                                         DetectorConfig config,
+                                         std::vector<std::size_t> hidden)
+    : window_size_(window_size),
+      feature_dim_(feature_dim),
+      config_(config),
+      model_(dl::AutoencoderConfig{window_size * feature_dim,
+                                   std::move(hidden), config.seed,
+                                   /*sigmoid_output=*/false}) {}
+
+dl::Matrix AutoencoderDetector::standardize(
+    const dl::Matrix& raw_windows) const {
+  dl::Matrix out = raw_windows;
+  if (scaler_.fitted()) scaler_.apply(out);
+  return out;
+}
+
+void AutoencoderDetector::fit(const WindowDataset& benign) {
+  assert(benign.window_size() == window_size_);
+  assert(benign.feature_dim() == feature_dim_);
+  dl::Matrix raw = benign.ae_matrix();
+  scaler_.fit(raw);
+  dl::Matrix data = standardize(raw);
+  dl::TrainConfig train;
+  train.epochs = config_.epochs;
+  train.batch_size = config_.batch_size;
+  train.learning_rate = config_.learning_rate;
+  model_.fit(data, train);
+  calibrate(window_scores(raw), config_.threshold_percentile);
+}
+
+std::vector<double> AutoencoderDetector::window_scores(
+    const dl::Matrix& raw_windows) {
+  dl::Matrix data = standardize(raw_windows);
+  dl::Matrix recon = model_.reconstruct(data);
+  std::vector<double> scores(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    if (config_.ae_score == DetectorConfig::AeScore::kMean) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < data.cols(); ++c) {
+        double d = static_cast<double>(recon.at(r, c)) - data.at(r, c);
+        acc += d * d;
+      }
+      scores[r] = acc / static_cast<double>(data.cols());
+      continue;
+    }
+    double worst = 0.0;
+    for (std::size_t t = 0; t < window_size_; ++t) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < feature_dim_; ++c) {
+        std::size_t col = t * feature_dim_ + c;
+        double d = static_cast<double>(recon.at(r, col)) - data.at(r, col);
+        acc += d * d;
+      }
+      worst = std::max(worst, acc / static_cast<double>(feature_dim_));
+    }
+    scores[r] = worst;
+  }
+  return scores;
+}
+
+std::vector<double> AutoencoderDetector::score(const WindowDataset& data) {
+  dl::Matrix m = data.ae_matrix();
+  return window_scores(m);
+}
+
+double AutoencoderDetector::score_window(
+    const std::vector<std::vector<float>>& rows) {
+  assert(rows.size() == window_size_);
+  dl::Matrix m(1, window_size_ * feature_dim_);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    assert(rows[t].size() == feature_dim_);
+    for (std::size_t c = 0; c < feature_dim_; ++c)
+      m.at(0, t * feature_dim_ + c) = rows[t][c];
+  }
+  return window_scores(m)[0];
+}
+
+LstmDetector::LstmDetector(std::size_t window_size, std::size_t feature_dim,
+                           DetectorConfig config, std::size_t hidden_dim)
+    : window_size_(window_size),
+      feature_dim_(feature_dim),
+      config_(config),
+      model_(dl::LstmConfig{feature_dim, hidden_dim, config.seed,
+                            /*sigmoid_output=*/false}) {}
+
+void LstmDetector::fit_scaler(
+    const std::vector<dl::SequenceSample>& raw_samples) {
+  // Fit on every record vector appearing in the samples.
+  std::size_t rows = 0;
+  for (const auto& sample : raw_samples) rows += sample.window.size() + 1;
+  dl::Matrix all(rows, feature_dim_);
+  std::size_t r = 0;
+  for (const auto& sample : raw_samples) {
+    for (const auto& row : sample.window) {
+      for (std::size_t c = 0; c < feature_dim_; ++c) all.at(r, c) = row[c];
+      ++r;
+    }
+    for (std::size_t c = 0; c < feature_dim_; ++c)
+      all.at(r, c) = sample.target[c];
+    ++r;
+  }
+  scaler_.fit(all);
+}
+
+std::vector<dl::SequenceSample> LstmDetector::standardize(
+    const std::vector<dl::SequenceSample>& raw_samples) const {
+  std::vector<dl::SequenceSample> out = raw_samples;
+  if (!scaler_.fitted()) return out;
+  for (auto& sample : out) {
+    for (auto& row : sample.window) scaler_.apply(row);
+    scaler_.apply(sample.target);
+  }
+  return out;
+}
+
+std::vector<double> LstmDetector::sample_errors(
+    const std::vector<dl::SequenceSample>& standardized) {
+  if (config_.lstm_score == DetectorConfig::LstmScore::kNextOnly)
+    return model_.prediction_errors(standardized);
+  return model_.max_step_errors(standardized);
+}
+
+void LstmDetector::fit(const WindowDataset& benign) {
+  assert(benign.window_size() == window_size_);
+  assert(benign.feature_dim() == feature_dim_);
+  auto raw = benign.lstm_samples();
+  fit_scaler(raw);
+  auto samples = standardize(raw);
+  dl::LstmTrainConfig train;
+  train.epochs = config_.epochs;
+  train.batch_size = config_.batch_size;
+  train.learning_rate = config_.learning_rate;
+  model_.fit(samples, train);
+  calibrate(sample_errors(samples), config_.threshold_percentile);
+}
+
+std::vector<double> LstmDetector::score(const WindowDataset& data) {
+  return sample_errors(standardize(data.lstm_samples()));
+}
+
+double LstmDetector::score_window(
+    const std::vector<std::vector<float>>& rows) {
+  assert(rows.size() == window_size_ + 1);
+  dl::SequenceSample sample;
+  sample.window.assign(rows.begin(), rows.end() - 1);
+  sample.target = rows.back();
+  return sample_errors(standardize({sample}))[0];
+}
+
+}  // namespace xsec::detect

@@ -1,0 +1,160 @@
+// Anomaly scorers: a uniform train/score/threshold interface over the
+// autoencoder (reconstruction error) and the LSTM (prediction error),
+// including the paper's 99th-percentile threshold calibration on the
+// training-set scores ("assuming 1% outliers within the training set
+// caused by network noise").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/plot.hpp"
+#include "detect/features.hpp"
+#include "dl/autoencoder.hpp"
+#include "dl/lstm.hpp"
+
+namespace xsec::detect {
+
+/// Per-dimension standardization fitted on benign training data. Features
+/// with (near-)zero benign variance — exactly the security indicator dims
+/// an attack flips for the first time — get a floored std and therefore a
+/// large standardized deviation, so single-record anomalies are not
+/// diluted by the window's benign dimensions. Fully unsupervised: only
+/// benign statistics are used.
+class Standardizer {
+ public:
+  void fit(const dl::Matrix& data, float std_floor = 0.05f);
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+
+  void apply(dl::Matrix& data) const;
+  void apply(std::vector<float>& row) const;
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  virtual std::string name() const = 0;
+  /// Trains on benign windows, then calibrates the detection threshold to
+  /// the given percentile of the training scores.
+  virtual void fit(const WindowDataset& benign) = 0;
+  /// Scores every window of the dataset.
+  virtual std::vector<double> score(const WindowDataset& data) = 0;
+  /// Window labels matching score() rows (AE vs LSTM window conventions).
+  virtual std::vector<bool> labels(const WindowDataset& data) const = 0;
+  /// Scores a single window of raw feature rows (inference path in the
+  /// MobiWatch xApp). For the LSTM, the last row is the prediction target.
+  virtual double score_window(
+      const std::vector<std::vector<float>>& rows) = 0;
+  /// Rows a single inference window must contain.
+  virtual std::size_t rows_needed(std::size_t window_size) const = 0;
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+  bool is_anomalous(double score) const { return score > threshold_; }
+
+ protected:
+  void calibrate(std::vector<double> training_scores, double percentile_p) {
+    if (!training_scores.empty())
+      threshold_ = percentile(std::move(training_scores), percentile_p);
+  }
+
+  double threshold_ = 0.0;
+};
+
+struct DetectorConfig {
+  double threshold_percentile = 99.0;  // the paper's choice
+  int epochs = 30;
+  float learning_rate = 3e-3f;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 1234;
+  /// Window scoring for the autoencoder. kMaxRecord takes the worst
+  /// per-record reconstruction error within the window, so a single
+  /// anomalous record is not diluted by its benign neighbours; kMean is
+  /// the plain whole-window MSE (kept for the ablation bench).
+  enum class AeScore { kMaxRecord, kMean };
+  AeScore ae_score = AeScore::kMaxRecord;
+  /// LSTM scoring: kMaxStep takes the worst per-step next-record
+  /// prediction error across the window (catches the anomaly wherever it
+  /// sits); kNextOnly is the paper's literal x̂_{i+N} formulation (kept for
+  /// the ablation bench).
+  enum class LstmScore { kMaxStep, kNextOnly };
+  LstmScore lstm_score = LstmScore::kMaxStep;
+};
+
+class AutoencoderDetector : public AnomalyDetector {
+ public:
+  AutoencoderDetector(std::size_t window_size, std::size_t feature_dim,
+                      DetectorConfig config = {},
+                      std::vector<std::size_t> hidden = {128, 32});
+
+  std::string name() const override { return "Autoencoder"; }
+  void fit(const WindowDataset& benign) override;
+  std::vector<double> score(const WindowDataset& data) override;
+  std::vector<bool> labels(const WindowDataset& data) const override {
+    return data.ae_labels();
+  }
+  double score_window(const std::vector<std::vector<float>>& rows) override;
+  std::size_t rows_needed(std::size_t window_size) const override {
+    return window_size;
+  }
+
+  dl::Autoencoder& model() { return model_; }
+  /// Fits the input standardizer (called automatically by fit(); exposed
+  /// for the cross-validation harness which trains on row subsets).
+  void fit_scaler(const dl::Matrix& raw_windows) { scaler_.fit(raw_windows); }
+  /// Scores rows of an already-flattened RAW window matrix (shared by
+  /// fit, score, and the ablation bench). Standardization is applied
+  /// internally.
+  std::vector<double> window_scores(const dl::Matrix& raw_windows);
+  /// Standardizes a raw window matrix (for callers training via model()).
+  dl::Matrix standardize(const dl::Matrix& raw_windows) const;
+
+ private:
+  std::size_t window_size_;
+  std::size_t feature_dim_;
+  DetectorConfig config_;
+  dl::Autoencoder model_;
+  Standardizer scaler_;
+};
+
+class LstmDetector : public AnomalyDetector {
+ public:
+  LstmDetector(std::size_t window_size, std::size_t feature_dim,
+               DetectorConfig config = {}, std::size_t hidden_dim = 64);
+
+  std::string name() const override { return "LSTM"; }
+  void fit(const WindowDataset& benign) override;
+  std::vector<double> score(const WindowDataset& data) override;
+  std::vector<bool> labels(const WindowDataset& data) const override {
+    return data.lstm_labels();
+  }
+  double score_window(const std::vector<std::vector<float>>& rows) override;
+  std::size_t rows_needed(std::size_t window_size) const override {
+    return window_size + 1;  // window plus the observed next record
+  }
+
+  dl::LstmPredictor& model() { return model_; }
+  void fit_scaler(const std::vector<dl::SequenceSample>& raw_samples);
+  /// Standardizes raw samples for train/score (shared by fit and CV).
+  std::vector<dl::SequenceSample> standardize(
+      const std::vector<dl::SequenceSample>& raw_samples) const;
+  /// Scores STANDARDIZED samples according to the configured score mode.
+  std::vector<double> sample_errors(
+      const std::vector<dl::SequenceSample>& standardized);
+
+ private:
+  std::size_t window_size_;
+  std::size_t feature_dim_;
+  DetectorConfig config_;
+  dl::LstmPredictor model_;
+  Standardizer scaler_;
+};
+
+}  // namespace xsec::detect

@@ -1,0 +1,119 @@
+#include "dl/layers.hpp"
+
+#include <cmath>
+
+namespace xsec::dl {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      grad_weight_(in_dim, out_dim),
+      grad_bias_(1, out_dim) {
+  weight_.xavier_init(rng, in_dim, out_dim);
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  cached_input_ = x;
+  return add_row_vector(matmul(x, weight_), bias_);
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  // dW += x^T * g ; db += sum_rows(g) ; dx = g * W^T
+  Matrix dw = matmul_at(cached_input_, grad_out);
+  add_scaled_inplace(grad_weight_, dw, 1.0f);
+  Matrix db = sum_rows(grad_out);
+  add_scaled_inplace(grad_bias_, db, 1.0f);
+  return matmul_bt(grad_out, weight_);
+}
+
+std::vector<Param> Linear::params() {
+  return {{&weight_, &grad_weight_}, {&bias_, &grad_bias_}};
+}
+
+void Linear::zero_grad() {
+  grad_weight_.zero();
+  grad_bias_.zero();
+}
+
+Matrix Relu::forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix out = x;
+  for (float& v : out.data())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_out) {
+  Matrix grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    if (cached_input_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  return grad;
+}
+
+float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+Matrix sigmoid_mat(const Matrix& x) {
+  Matrix out = x;
+  for (float& v : out.data()) v = sigmoid_scalar(v);
+  return out;
+}
+
+Matrix tanh_mat(const Matrix& x) {
+  Matrix out = x;
+  for (float& v : out.data()) v = std::tanh(v);
+  return out;
+}
+
+Matrix Sigmoid::forward(const Matrix& x) {
+  cached_output_ = sigmoid_mat(x);
+  return cached_output_;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_out) {
+  Matrix grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    float y = cached_output_.data()[i];
+    grad.data()[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Matrix Tanh::forward(const Matrix& x) {
+  cached_output_ = tanh_mat(x);
+  return cached_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  Matrix grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    float y = cached_output_.data()[i];
+    grad.data()[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+Matrix Sequential::forward(const Matrix& x) {
+  Matrix current = x;
+  for (auto& layer : layers_) current = layer->forward(current);
+  return current;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+  Matrix grad = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    grad = (*it)->backward(grad);
+  return grad;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_)
+    for (const Param& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+}  // namespace xsec::dl

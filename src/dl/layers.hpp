@@ -1,0 +1,98 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// Layers cache what their backward pass needs; gradients accumulate into
+// per-parameter buffers that the optimizer consumes. No autograd — each
+// layer's backward is written out, which keeps the LSTM's BPTT legible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dl/tensor.hpp"
+
+namespace xsec::dl {
+
+/// A trainable parameter: the optimizer updates `value` using `grad`.
+struct Param {
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Matrix forward(const Matrix& x) = 0;
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+  virtual std::vector<Param> params() { return {}; }
+  virtual void zero_grad() {}
+};
+
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param> params() override;
+  void zero_grad() override;
+
+  std::size_t in_dim() const { return weight_.rows(); }
+  std::size_t out_dim() const { return weight_.cols(); }
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+
+ private:
+  Matrix weight_;  // in × out
+  Matrix bias_;    // 1 × out
+  Matrix grad_weight_;
+  Matrix grad_bias_;
+  Matrix cached_input_;
+};
+
+class Relu : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+class Tanh : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Sequential container (owns its layers).
+class Sequential : public Layer {
+ public:
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param> params() override;
+  void zero_grad() override;
+  std::size_t layer_count() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Element-wise helpers shared with the LSTM cell.
+float sigmoid_scalar(float x);
+Matrix sigmoid_mat(const Matrix& x);
+Matrix tanh_mat(const Matrix& x);
+
+}  // namespace xsec::dl

@@ -1,0 +1,359 @@
+#include "dl/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xsec::dl {
+
+namespace {
+/// Extracts gate `g` (0..3) from a B × 4H pre-activation matrix.
+Matrix slice_gate(const Matrix& z, std::size_t gate, std::size_t hidden) {
+  Matrix out(z.rows(), hidden);
+  for (std::size_t r = 0; r < z.rows(); ++r)
+    for (std::size_t c = 0; c < hidden; ++c)
+      out.at(r, c) = z.at(r, gate * hidden + c);
+  return out;
+}
+
+void write_gate(Matrix& z, std::size_t gate, std::size_t hidden,
+                const Matrix& values) {
+  for (std::size_t r = 0; r < z.rows(); ++r)
+    for (std::size_t c = 0; c < hidden; ++c)
+      z.at(r, gate * hidden + c) = values.at(r, c);
+}
+}  // namespace
+
+LstmPredictor::LstmPredictor(LstmConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.input_dim > 0);
+  const std::size_t d = config_.input_dim;
+  const std::size_t h = config_.hidden_dim;
+  wx_ = Matrix(d, 4 * h);
+  wh_ = Matrix(h, 4 * h);
+  b_ = Matrix(1, 4 * h);
+  wx_.xavier_init(rng_, d, h);
+  wh_.xavier_init(rng_, h, h);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (std::size_t c = 0; c < h; ++c) b_.at(0, h + c) = 1.0f;
+  grad_wx_ = Matrix(d, 4 * h);
+  grad_wh_ = Matrix(h, 4 * h);
+  grad_b_ = Matrix(1, 4 * h);
+  wo_ = Matrix(h, d);
+  bo_ = Matrix(1, d);
+  wo_.xavier_init(rng_, h, d);
+  grad_wo_ = Matrix(h, d);
+  grad_bo_ = Matrix(1, d);
+}
+
+std::vector<Param> LstmPredictor::params() {
+  return {{&wx_, &grad_wx_}, {&wh_, &grad_wh_}, {&b_, &grad_b_},
+          {&wo_, &grad_wo_}, {&bo_, &grad_bo_}};
+}
+
+Matrix LstmPredictor::forward_steps(const std::vector<Matrix>& steps,
+                                    std::vector<StepCache>* caches,
+                                    std::vector<Matrix>* hidden_states) {
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t batch = steps.empty() ? 0 : steps[0].rows();
+  Matrix h_t(batch, h);
+  Matrix c_t(batch, h);
+  if (caches) caches->clear();
+  if (hidden_states) hidden_states->clear();
+
+  for (const Matrix& x : steps) {
+    Matrix z = add_row_vector(add(matmul(x, wx_), matmul(h_t, wh_)), b_);
+    Matrix i = sigmoid_mat(slice_gate(z, 0, h));
+    Matrix f = sigmoid_mat(slice_gate(z, 1, h));
+    Matrix g = tanh_mat(slice_gate(z, 2, h));
+    Matrix o = sigmoid_mat(slice_gate(z, 3, h));
+    Matrix c_next = add(hadamard(f, c_t), hadamard(i, g));
+    Matrix tanh_c = tanh_mat(c_next);
+    Matrix h_next = hadamard(o, tanh_c);
+
+    if (caches) {
+      StepCache cache;
+      cache.x = x;
+      cache.h_prev = h_t;
+      cache.c_prev = c_t;
+      cache.i = i;
+      cache.f = f;
+      cache.g = g;
+      cache.o = o;
+      cache.c = c_next;
+      cache.tanh_c = tanh_c;
+      caches->push_back(std::move(cache));
+    }
+    h_t = std::move(h_next);
+    c_t = std::move(c_next);
+    if (hidden_states) hidden_states->push_back(h_t);
+  }
+  return h_t;
+}
+
+void LstmPredictor::backward_steps(
+    const std::vector<StepCache>& caches,
+    const std::vector<Matrix>& grad_h_per_step) {
+  assert(grad_h_per_step.size() == caches.size());
+  const std::size_t h = config_.hidden_dim;
+  const std::size_t batch = caches.empty() ? 0 : caches[0].x.rows();
+  Matrix dh(batch, h);
+  Matrix dc(batch, h);
+
+  for (std::size_t t = caches.size(); t-- > 0;) {
+    const StepCache& s = caches[t];
+    dh = add(dh, grad_h_per_step[t]);
+    // h = o ∘ tanh(c)
+    Matrix do_ = hadamard(dh, s.tanh_c);
+    Matrix dtanh_c = hadamard(dh, s.o);
+    // dc += dtanh_c * (1 - tanh(c)^2)
+    Matrix dc_from_h = dtanh_c;
+    for (std::size_t i = 0; i < dc_from_h.size(); ++i) {
+      float tc = s.tanh_c.data()[i];
+      dc_from_h.data()[i] *= 1.0f - tc * tc;
+    }
+    Matrix dc_total = add(dc, dc_from_h);
+
+    // c = f ∘ c_prev + i ∘ g
+    Matrix df = hadamard(dc_total, s.c_prev);
+    Matrix dc_prev = hadamard(dc_total, s.f);
+    Matrix di = hadamard(dc_total, s.g);
+    Matrix dg = hadamard(dc_total, s.i);
+
+    // Through gate nonlinearities back to pre-activations.
+    auto sig_back = [](Matrix& grad, const Matrix& y) {
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        float v = y.data()[i];
+        grad.data()[i] *= v * (1.0f - v);
+      }
+    };
+    sig_back(di, s.i);
+    sig_back(df, s.f);
+    sig_back(do_, s.o);
+    for (std::size_t i = 0; i < dg.size(); ++i) {
+      float v = s.g.data()[i];
+      dg.data()[i] *= 1.0f - v * v;
+    }
+
+    Matrix dz(dh.rows(), 4 * h);
+    write_gate(dz, 0, h, di);
+    write_gate(dz, 1, h, df);
+    write_gate(dz, 2, h, dg);
+    write_gate(dz, 3, h, do_);
+
+    // z = x Wx + h_prev Wh + b
+    add_scaled_inplace(grad_wx_, matmul_at(s.x, dz), 1.0f);
+    add_scaled_inplace(grad_wh_, matmul_at(s.h_prev, dz), 1.0f);
+    add_scaled_inplace(grad_b_, sum_rows(dz), 1.0f);
+
+    dh = matmul_bt(dz, wh_);
+    dc = std::move(dc_prev);
+  }
+}
+
+Matrix LstmPredictor::project(const Matrix& h) const {
+  Matrix pre = add_row_vector(matmul(h, wo_), bo_);
+  return config_.sigmoid_output ? sigmoid_mat(pre) : pre;
+}
+
+Matrix LstmPredictor::output_forward(const Matrix& h) {
+  cached_h_ = h;
+  Matrix pre = add_row_vector(matmul(h, wo_), bo_);
+  cached_y_ = config_.sigmoid_output ? sigmoid_mat(pre) : pre;
+  return cached_y_;
+}
+
+Matrix LstmPredictor::output_backward(const Matrix& grad_y) {
+  Matrix grad_pre = grad_y;
+  if (config_.sigmoid_output) {
+    for (std::size_t i = 0; i < grad_pre.size(); ++i) {
+      float y = cached_y_.data()[i];
+      grad_pre.data()[i] *= y * (1.0f - y);
+    }
+  }
+  add_scaled_inplace(grad_wo_, matmul_at(cached_h_, grad_pre), 1.0f);
+  add_scaled_inplace(grad_bo_, sum_rows(grad_pre), 1.0f);
+  return matmul_bt(grad_pre, wo_);
+}
+
+double LstmPredictor::fit(const std::vector<SequenceSample>& samples,
+                          const LstmTrainConfig& train) {
+  assert(!samples.empty());
+  const std::size_t n_steps = samples[0].window.size();
+  const std::size_t d = config_.input_dim;
+  Adam optimizer(params(), train.learning_rate);
+
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double mean_loss = 0.0;
+  for (int epoch = 0; epoch < train.epochs; ++epoch) {
+    if (train.shuffle) rng_.shuffle(order.begin(), order.end());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += train.batch_size) {
+      std::size_t end = std::min(start + train.batch_size, order.size());
+      std::size_t batch = end - start;
+
+      std::vector<Matrix> steps(n_steps, Matrix(batch, d));
+      Matrix targets(batch, d);
+      for (std::size_t i = start; i < end; ++i) {
+        const SequenceSample& sample = samples[order[i]];
+        assert(sample.window.size() == n_steps);
+        for (std::size_t t = 0; t < n_steps; ++t)
+          for (std::size_t c = 0; c < d; ++c)
+            steps[t].at(i - start, c) = sample.window[t][c];
+        for (std::size_t c = 0; c < d; ++c)
+          targets.at(i - start, c) = sample.target[c];
+      }
+
+      for (const Param& p : params()) p.grad->zero();
+      std::vector<StepCache> caches;
+      std::vector<Matrix> hs;
+      forward_steps(steps, &caches, &hs);
+
+      // Per-step next-record prediction loss: at step t the model predicts
+      // steps[t+1] (or the target after the last step).
+      double loss = 0.0;
+      std::vector<Matrix> grad_h(n_steps);
+      for (std::size_t t = 0; t < n_steps; ++t) {
+        const Matrix& target_t = (t + 1 < n_steps) ? steps[t + 1] : targets;
+        Matrix y = project(hs[t]);
+        Matrix diff = sub(y, target_t);
+        double step_loss = 0.0;
+        for (float v : diff.data())
+          step_loss += static_cast<double>(v) * v;
+        loss += step_loss / static_cast<double>(diff.size() * n_steps);
+
+        Matrix g = diff;
+        scale_inplace(g, 2.0f / static_cast<float>(diff.size() * n_steps));
+        if (config_.sigmoid_output) {
+          for (std::size_t i = 0; i < g.size(); ++i) {
+            float yv = y.data()[i];
+            g.data()[i] *= yv * (1.0f - yv);
+          }
+        }
+        add_scaled_inplace(grad_wo_, matmul_at(hs[t], g), 1.0f);
+        add_scaled_inplace(grad_bo_, sum_rows(g), 1.0f);
+        grad_h[t] = matmul_bt(g, wo_);
+      }
+      backward_steps(caches, grad_h);
+      clip_grad_norm(params(), train.grad_clip);
+      optimizer.step();
+
+      epoch_loss += loss;
+      ++batches;
+    }
+    mean_loss = batches ? epoch_loss / static_cast<double>(batches) : 0.0;
+    if (train.on_epoch) train.on_epoch(epoch, mean_loss);
+  }
+  return mean_loss;
+}
+
+std::vector<float> LstmPredictor::predict(
+    const std::vector<std::vector<float>>& window) {
+  const std::size_t d = config_.input_dim;
+  std::vector<Matrix> steps;
+  steps.reserve(window.size());
+  for (const auto& x : window) {
+    Matrix m(1, d);
+    for (std::size_t c = 0; c < d; ++c) m.at(0, c) = x[c];
+    steps.push_back(std::move(m));
+  }
+  Matrix h = forward_steps(steps, nullptr);
+  Matrix y = output_forward(h);
+  std::vector<float> out(d);
+  for (std::size_t c = 0; c < d; ++c) out[c] = y.at(0, c);
+  return out;
+}
+
+double LstmPredictor::prediction_error(const SequenceSample& sample) {
+  std::vector<float> predicted = predict(sample.window);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < predicted.size(); ++c) {
+    double diff = static_cast<double>(predicted[c]) - sample.target[c];
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+std::vector<double> LstmPredictor::max_step_errors(
+    const std::vector<SequenceSample>& samples) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  if (samples.empty()) return errors;
+
+  const std::size_t n_steps = samples[0].window.size();
+  const std::size_t d = config_.input_dim;
+  const std::size_t kBatch = 64;
+  for (std::size_t start = 0; start < samples.size(); start += kBatch) {
+    std::size_t end = std::min(start + kBatch, samples.size());
+    std::size_t batch = end - start;
+    std::vector<Matrix> steps(n_steps, Matrix(batch, d));
+    Matrix targets(batch, d);
+    for (std::size_t i = start; i < end; ++i) {
+      const SequenceSample& sample = samples[i];
+      for (std::size_t t = 0; t < n_steps; ++t)
+        for (std::size_t c = 0; c < d; ++c)
+          steps[t].at(i - start, c) = sample.window[t][c];
+      for (std::size_t c = 0; c < d; ++c)
+        targets.at(i - start, c) = sample.target[c];
+    }
+    std::vector<Matrix> hs;
+    forward_steps(steps, nullptr, &hs);
+    std::vector<double> worst(batch, 0.0);
+    for (std::size_t t = 0; t < n_steps; ++t) {
+      const Matrix& target_t = (t + 1 < n_steps) ? steps[t + 1] : targets;
+      Matrix y = project(hs[t]);
+      for (std::size_t r = 0; r < batch; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+          double diff = static_cast<double>(y.at(r, c)) - target_t.at(r, c);
+          acc += diff * diff;
+        }
+        worst[r] = std::max(worst[r], acc / static_cast<double>(d));
+      }
+    }
+    errors.insert(errors.end(), worst.begin(), worst.end());
+  }
+  return errors;
+}
+
+std::vector<double> LstmPredictor::prediction_errors(
+    const std::vector<SequenceSample>& samples) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  if (samples.empty()) return errors;
+
+  // Batched evaluation, same layout as training.
+  const std::size_t n_steps = samples[0].window.size();
+  const std::size_t d = config_.input_dim;
+  const std::size_t kBatch = 64;
+  for (std::size_t start = 0; start < samples.size(); start += kBatch) {
+    std::size_t end = std::min(start + kBatch, samples.size());
+    std::size_t batch = end - start;
+    std::vector<Matrix> steps(n_steps, Matrix(batch, d));
+    Matrix targets(batch, d);
+    for (std::size_t i = start; i < end; ++i) {
+      const SequenceSample& sample = samples[i];
+      for (std::size_t t = 0; t < n_steps; ++t)
+        for (std::size_t c = 0; c < d; ++c)
+          steps[t].at(i - start, c) = sample.window[t][c];
+      for (std::size_t c = 0; c < d; ++c)
+        targets.at(i - start, c) = sample.target[c];
+    }
+    Matrix h = forward_steps(steps, nullptr);
+    Matrix y = output_forward(h);
+    for (std::size_t r = 0; r < batch; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        double diff = static_cast<double>(y.at(r, c)) - targets.at(r, c);
+        acc += diff * diff;
+      }
+      errors.push_back(acc / static_cast<double>(d));
+    }
+  }
+  return errors;
+}
+
+}  // namespace xsec::dl

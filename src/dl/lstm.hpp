@@ -1,0 +1,100 @@
+// LSTM next-step predictor for sequence modelling (paper §3.2).
+//
+// Trained on benign windows to predict the next telemetry vector,
+// x̂_{i+N} = f_LSTM(x_i ... x_{i+N-1}); the anomaly score of a window is the
+// mean squared deviation between the prediction and the telemetry that
+// actually followed. Implemented as a single LSTM layer with full
+// backpropagation through time plus a sigmoid-activated output projection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dl/layers.hpp"
+#include "dl/optim.hpp"
+
+namespace xsec::dl {
+
+struct LstmConfig {
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 64;
+  std::uint64_t seed = 5678;
+  /// Sigmoid output suits raw one-hot targets; standardized targets need a
+  /// linear output projection.
+  bool sigmoid_output = true;
+};
+
+struct LstmTrainConfig {
+  int epochs = 40;
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  bool shuffle = true;
+  std::function<void(int, double)> on_epoch;
+};
+
+/// One training/evaluation sample: a window of N input vectors and the
+/// vector that followed it.
+struct SequenceSample {
+  std::vector<std::vector<float>> window;  // N × D
+  std::vector<float> target;               // D
+};
+
+class LstmPredictor {
+ public:
+  explicit LstmPredictor(LstmConfig config);
+
+  double fit(const std::vector<SequenceSample>& samples,
+             const LstmTrainConfig& train);
+
+  /// Per-sample mean squared prediction error of the FINAL step (the
+  /// paper's formulation: x̂_{i+N} vs x_{i+N}).
+  std::vector<double> prediction_errors(
+      const std::vector<SequenceSample>& samples);
+  double prediction_error(const SequenceSample& sample);
+  /// Per-sample WORST per-step prediction error: at every step t the model
+  /// predicts the next record and is compared to what actually followed
+  /// (DeepLog-style). Catches an anomalous record anywhere in the window,
+  /// not only at the target position.
+  std::vector<double> max_step_errors(
+      const std::vector<SequenceSample>& samples);
+  /// Predicted next vector for one window (N × D rows).
+  std::vector<float> predict(const std::vector<std::vector<float>>& window);
+
+  const LstmConfig& config() const { return config_; }
+  std::vector<Param> params();
+
+ private:
+  struct StepCache {
+    Matrix x, h_prev, c_prev;
+    Matrix i, f, g, o, c, tanh_c;
+  };
+
+  /// Forward over a batch: steps[t] is B × D. Returns final hidden (B × H)
+  /// and fills `caches` when training. When `hidden_states` is non-null it
+  /// receives h_t for every step.
+  Matrix forward_steps(const std::vector<Matrix>& steps,
+                       std::vector<StepCache>* caches,
+                       std::vector<Matrix>* hidden_states = nullptr);
+  /// BPTT given the gradient flowing into each step's hidden state from
+  /// the per-step output heads; accumulates parameter gradients.
+  void backward_steps(const std::vector<StepCache>& caches,
+                      const std::vector<Matrix>& grad_h_per_step);
+  Matrix output_forward(const Matrix& h);  // caches for backward
+  Matrix output_backward(const Matrix& grad_y);
+  /// Output head without caching (evaluation paths).
+  Matrix project(const Matrix& h) const;
+
+  LstmConfig config_;
+  Rng rng_;
+  // Gate weights, gate order [i | f | g | o] along the column axis.
+  Matrix wx_, wh_, b_;                    // D×4H, H×4H, 1×4H
+  Matrix grad_wx_, grad_wh_, grad_b_;
+  // Output projection H -> D with sigmoid.
+  Matrix wo_, bo_;
+  Matrix grad_wo_, grad_bo_;
+  Matrix cached_h_, cached_y_;  // output-layer caches
+};
+
+}  // namespace xsec::dl

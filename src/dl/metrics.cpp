@@ -1,0 +1,74 @@
+#include "dl/metrics.hpp"
+
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace xsec::dl {
+
+double Confusion::accuracy() const {
+  if (total() == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(tp + tn) / static_cast<double>(total());
+}
+
+double Confusion::precision() const {
+  if (tp + fp == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double Confusion::recall() const {
+  if (tp + fn == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double Confusion::f1() const {
+  double p = precision();
+  double r = recall();
+  if (std::isnan(p) || std::isnan(r) || p + r == 0.0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return 2.0 * p * r / (p + r);
+}
+
+void Confusion::add(bool predicted_positive, bool actually_positive) {
+  if (predicted_positive && actually_positive)
+    ++tp;
+  else if (predicted_positive && !actually_positive)
+    ++fp;
+  else if (!predicted_positive && actually_positive)
+    ++fn;
+  else
+    ++tn;
+}
+
+Confusion evaluate_threshold(const std::vector<double>& scores,
+                             const std::vector<bool>& labels,
+                             double threshold) {
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    c.add(scores[i] > threshold, labels[i]);
+  return c;
+}
+
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+kfold_indices(std::size_t n, std::size_t k) {
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+      folds;
+  if (k == 0 || n == 0) return folds;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    std::vector<std::size_t> train, test;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % k == fold)
+        test.push_back(i);
+      else
+        train.push_back(i);
+    }
+    folds.emplace_back(std::move(train), std::move(test));
+  }
+  return folds;
+}
+
+std::string format_metric(double value, int decimals) {
+  return format_percent(value, decimals);
+}
+
+}  // namespace xsec::dl

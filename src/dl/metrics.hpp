@@ -1,0 +1,37 @@
+// Binary-classification metrics for the detection evaluation (Table 2).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace xsec::dl {
+
+struct Confusion {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  /// Precision/recall/F1 are NaN when undefined (no positive labels or
+  /// predictions) — the paper reports these cells as "N/A".
+  double precision() const;
+  double recall() const;
+  double f1() const;
+
+  void add(bool predicted_positive, bool actually_positive);
+};
+
+/// Builds a confusion matrix from score vectors and a threshold: a sample
+/// is predicted anomalous when its score strictly exceeds the threshold.
+Confusion evaluate_threshold(const std::vector<double>& scores,
+                             const std::vector<bool>& labels,
+                             double threshold);
+
+/// K-fold cross-validation index split (deterministic contiguous folds, as
+/// used for the paper's benign-dataset accuracy numbers).
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+kfold_indices(std::size_t n, std::size_t k);
+
+std::string format_metric(double value, int decimals = 2);
+
+}  // namespace xsec::dl

@@ -1,0 +1,72 @@
+#include "dl/optim.hpp"
+
+#include <cmath>
+
+namespace xsec::dl {
+
+Sgd::Sgd(std::vector<Param> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const Param& p : params_)
+    velocity_.emplace_back(p.value->rows(), p.value->cols());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& v = velocity_[i];
+    const Matrix& g = *params_[i].grad;
+    Matrix& w = *params_[i].value;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v.data()[j] = momentum_ * v.data()[j] - lr_ * g.data()[j];
+      w.data()[j] += v.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    const Matrix& g = *params_[i].grad;
+    Matrix& w = *params_[i].value;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      float gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * gj * gj;
+      float mhat = m.data()[j] / bc1;
+      float vhat = v.data()[j] / bc2;
+      w.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void clip_grad_norm(const std::vector<Param>& params, float max_norm) {
+  double total = 0.0;
+  for (const Param& p : params)
+    for (float g : p.grad->data()) total += static_cast<double>(g) * g;
+  double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  float scale = static_cast<float>(max_norm / norm);
+  for (const Param& p : params)
+    for (float& g : p.grad->data()) g *= scale;
+}
+
+}  // namespace xsec::dl

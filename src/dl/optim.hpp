@@ -1,0 +1,50 @@
+// Optimizers (SGD with momentum, Adam) over explicit Param lists.
+#pragma once
+
+#include <vector>
+
+#include "dl/layers.hpp"
+
+namespace xsec::dl {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param& p : params_) p.grad->zero();
+  }
+
+ protected:
+  std::vector<Param> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  long t_ = 0;
+};
+
+/// Global-norm gradient clipping (keeps LSTM BPTT stable).
+void clip_grad_norm(const std::vector<Param>& params, float max_norm);
+
+}  // namespace xsec::dl

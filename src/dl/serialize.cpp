@@ -1,0 +1,71 @@
+#include "dl/serialize.hpp"
+
+#include <bit>
+#include <fstream>
+
+namespace xsec::dl {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x584D4C31;  // "XML1" (XSec ModeL v1)
+}
+
+Bytes save_params(const std::vector<Param>& params) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  for (const Param& p : params) {
+    w.u32(static_cast<std::uint32_t>(p.value->rows()));
+    w.u32(static_cast<std::uint32_t>(p.value->cols()));
+    for (float v : p.value->data()) w.u32(std::bit_cast<std::uint32_t>(v));
+  }
+  return w.take();
+}
+
+Status load_params(const std::vector<Param>& params, const Bytes& blob) {
+  ByteReader r(blob);
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (magic.value() != kMagic)
+    return Error::make("malformed", "bad model magic");
+  auto count = r.u32();
+  if (!count) return count.error();
+  if (count.value() != params.size())
+    return Error::make("shape", "parameter count mismatch");
+  for (const Param& p : params) {
+    auto rows = r.u32();
+    if (!rows) return rows.error();
+    auto cols = r.u32();
+    if (!cols) return cols.error();
+    if (rows.value() != p.value->rows() || cols.value() != p.value->cols())
+      return Error::make("shape", "parameter shape mismatch");
+    for (float& v : p.value->data()) {
+      auto bits = r.u32();
+      if (!bits) return bits.error();
+      v = std::bit_cast<float>(bits.value());
+    }
+  }
+  if (!r.exhausted()) return Error::make("malformed", "trailing bytes");
+  return Status::ok_status();
+}
+
+Status save_params_file(const std::vector<Param>& params,
+                        const std::string& path) {
+  Bytes blob = save_params(params);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error::make("io", "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) return Error::make("io", "write failed for " + path);
+  return Status::ok_status();
+}
+
+Status load_params_file(const std::vector<Param>& params,
+                        const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("io", "cannot open " + path);
+  Bytes blob((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return load_params(params, blob);
+}
+
+}  // namespace xsec::dl

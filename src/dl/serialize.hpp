@@ -1,0 +1,27 @@
+// Model weight serialization.
+//
+// In the paper's deployment the SMO trains models offline and pushes them
+// into the MobiWatch xApp; this module is that transfer format: a versioned
+// byte blob of every parameter matrix, loadable into an identically
+// configured model.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "dl/layers.hpp"
+
+namespace xsec::dl {
+
+/// Serializes the parameter matrices (shapes + f32 data) in order.
+Bytes save_params(const std::vector<Param>& params);
+/// Restores into `params`; shapes must match exactly.
+Status load_params(const std::vector<Param>& params, const Bytes& blob);
+
+Status save_params_file(const std::vector<Param>& params,
+                        const std::string& path);
+Status load_params_file(const std::vector<Param>& params,
+                        const std::string& path);
+
+}  // namespace xsec::dl

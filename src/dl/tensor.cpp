@@ -1,0 +1,126 @@
+#include "dl/tensor.hpp"
+
+#include <cmath>
+
+namespace xsec::dl {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void Matrix::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Matrix::xavier_init(Rng& rng, std::size_t fan_in, std::size_t fan_out) {
+  float s = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : data_)
+    v = static_cast<float>(rng.uniform(-s, s));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      float av = arow[k];
+      if (av == 0.0f) continue;  // one-hot inputs are mostly zero
+      const float* brow = b.row(k);
+      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += av * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (std::size_t c = 0; c < b.rows(); ++c) {
+      const float* brow = b.row(c);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t r = 0; r < a.cols(); ++r) {
+      float av = arow[r];
+      if (av == 0.0f) continue;
+      float* orow = out.row(r);
+      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += av * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
+  return out;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  return out;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  return out;
+}
+
+Matrix add_row_vector(const Matrix& a, const Matrix& row) {
+  assert(row.rows() == 1 && row.cols() == a.cols());
+  Matrix out = a;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out.at(r, c) += row.at(0, c);
+  return out;
+}
+
+Matrix sum_rows(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out.at(0, c) += a.at(r, c);
+  return out;
+}
+
+void scale_inplace(Matrix& a, float k) {
+  for (float& v : a.data()) v *= k;
+}
+
+void add_scaled_inplace(Matrix& a, const Matrix& b, float k) {
+  assert(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += k * b.data()[i];
+}
+
+}  // namespace xsec::dl

@@ -1,0 +1,79 @@
+// Dense row-major float matrix with the operations the networks need.
+//
+// The models in this reproduction are small (windowed one-hot inputs, a few
+// hundred hidden units), so a straightforward cache-friendly implementation
+// with no BLAS dependency is both sufficient and deterministic across
+// platforms — which matters for reproducing Table 2 bit-for-bit.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xsec::dl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(const std::vector<std::vector<float>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Xavier/Glorot uniform initialization: U(-s, s), s = sqrt(6/(in+out)).
+  void xavier_init(Rng& rng, std::size_t fan_in, std::size_t fan_out);
+
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a (r×k) * b (k×c)
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// out = a (r×k) * b^T (c×k)
+Matrix matmul_bt(const Matrix& a, const Matrix& b);
+/// out = a^T (k×r) * b (k×c)
+Matrix matmul_at(const Matrix& a, const Matrix& b);
+
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+/// Adds a 1×c row vector to every row of a.
+Matrix add_row_vector(const Matrix& a, const Matrix& row);
+/// Column-wise sum producing a 1×c matrix (bias gradients).
+Matrix sum_rows(const Matrix& a);
+void scale_inplace(Matrix& a, float k);
+void add_scaled_inplace(Matrix& a, const Matrix& b, float k);
+
+}  // namespace xsec::dl

@@ -1,0 +1,201 @@
+#include "llm/analyzer_xapp.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "llm/retrieval.hpp"
+#include "oran/e2sm.hpp"
+
+namespace xsec::llm {
+
+std::string AnalysisReport::to_text() const {
+  std::string out = "=== Incident #" + std::to_string(incident_id) + " ===\n";
+  out += "Flagged by: " + detector +
+         " (score=" + format_fixed(anomaly_score, 6) + ")\n";
+  out += "Analyzed by: " + model + "\n";
+  out += "Cross-comparison: " +
+         std::string(llm_agrees ? "LLM confirms anomaly"
+                                : "CONTRADICTION - LLM says benign, "
+                                  "escalated for human review") +
+         "\n";
+  if (!candidate_attacks.empty())
+    out += "Candidate attacks: " + join(candidate_attacks, "; ") + "\n";
+  if (remediation_issued) out += "Remediation: RIC Control action issued\n";
+  out += response_text;
+  return out;
+}
+
+LlmAnalyzerXapp::LlmAnalyzerXapp(AnalyzerConfig config,
+                                 std::shared_ptr<LlmClient> client)
+    : oran::XApp("llm-analyzer"),
+      config_(std::move(config)),
+      client_(std::move(client)) {}
+
+void LlmAnalyzerXapp::on_start() {
+  router().subscribe(oran::kMtAnomalyWindow,
+                     [this](const oran::RoutedMessage& message) {
+                       handle_anomaly(message);
+                     });
+  // Trailing-telemetry watch: deferred incidents become analyzable as more
+  // records stream into the SDL.
+  sdl().watch(config_.telemetry_namespace,
+              [this](const std::string&, const std::string&) {
+                drain_ready_incidents();
+              });
+}
+
+oran::PolicyStatus LlmAnalyzerXapp::on_policy(const oran::A1Policy& policy) {
+  if (policy.policy_type != oran::kPolicyResponseControl)
+    return oran::PolicyStatus::kUnsupported;
+  config_.auto_remediate =
+      policy.get_bool("auto_remediate", config_.auto_remediate);
+  config_.use_rag = policy.get_bool("use_rag", config_.use_rag);
+  return oran::PolicyStatus::kEnforced;
+}
+
+void LlmAnalyzerXapp::handle_anomaly(const oran::RoutedMessage& message) {
+  auto anomaly = detect::AnomalyReport::deserialize(message.payload);
+  if (!anomaly) {
+    XSEC_LOG_WARN("llm-analyzer", "undecodable anomaly report: ",
+                  anomaly.error().message);
+    return;
+  }
+
+  std::size_t stream_size = sdl().size(config_.telemetry_namespace);
+  if (config_.defer_records == 0 || stream_size == 0) {
+    // No telemetry stream to wait on (or deferral disabled).
+    analyze({std::move(anomaly).value(), stream_size});
+    return;
+  }
+  pending_.push_back({std::move(anomaly).value(), stream_size});
+  drain_ready_incidents();
+}
+
+void LlmAnalyzerXapp::drain_ready_incidents() {
+  std::size_t stream_size = sdl().size(config_.telemetry_namespace);
+  while (!pending_.empty() &&
+         stream_size >= pending_.front().telemetry_snapshot +
+                            config_.defer_records) {
+    PendingIncident incident = std::move(pending_.front());
+    pending_.pop_front();
+    // Attach the trailing records to the analyzed window so evidence that
+    // completed after the flag is visible.
+    auto keys = sdl().keys(config_.telemetry_namespace);
+    for (std::size_t i = incident.telemetry_snapshot; i < keys.size(); ++i) {
+      auto raw = sdl().get(config_.telemetry_namespace, keys[i]);
+      if (!raw) continue;
+      auto record = mobiflow::Record::from_kv_bytes(*raw);
+      if (record) incident.anomaly.window.add(std::move(record).value());
+    }
+    analyze(std::move(incident));
+  }
+}
+
+void LlmAnalyzerXapp::flush_pending() {
+  while (!pending_.empty()) {
+    PendingIncident incident = std::move(pending_.front());
+    pending_.pop_front();
+    analyze(std::move(incident));
+  }
+}
+
+void LlmAnalyzerXapp::analyze(PendingIncident incident) {
+  const detect::AnomalyReport& anomaly = incident.anomaly;
+  LlmRequest request;
+  request.model = config_.model;
+  request.prompt = config_.prompt_template.build(anomaly);
+  if (config_.use_rag) {
+    static const SpecRetriever retriever;
+    request.prompt = retriever.augment_prompt(request.prompt);
+  }
+  auto response = client_->query(request);
+  if (!response) {
+    XSEC_LOG_WARN("llm-analyzer", "LLM query failed: ",
+                  response.error().message);
+    return;
+  }
+
+  AnalysisReport report;
+  report.incident_id = next_incident_++;
+  report.detector = anomaly.detector;
+  report.anomaly_score = anomaly.score;
+  report.model = response.value().model;
+  report.llm_agrees = response.value().verdict_anomalous;
+  report.response_text = response.value().text;
+  report.candidate_attacks = response.value().attacks;
+  ++incidents_;
+
+  if (!report.llm_agrees) {
+    // Contradiction between the anomaly detector and the LLM: per the
+    // paper, human supervision is required.
+    ++contradictions_;
+    oran::RoutedMessage review;
+    review.mtype = oran::kMtHumanReview;
+    review.source = name();
+    std::string text = report.to_text();
+    review.payload = Bytes(text.begin(), text.end());
+    router().publish(review);
+  } else if (config_.auto_remediate) {
+    maybe_remediate(anomaly, report);
+  }
+
+  sdl().set_str(config_.sdl_namespace,
+                oran::Sdl::seq_key(report.incident_id), report.to_text());
+  oran::RoutedMessage out;
+  out.mtype = oran::kMtAnalysisReport;
+  out.source = name();
+  std::string text = report.to_text();
+  out.payload = Bytes(text.begin(), text.end());
+  router().publish(out);
+
+  reports_.push_back(std::move(report));
+}
+
+void LlmAnalyzerXapp::maybe_remediate(const detect::AnomalyReport& anomaly,
+                                      AnalysisReport& report) {
+  if (anomaly.node_id == 0) return;
+  bool dos_class = false;
+  bool replay_class = false;
+  for (const std::string& attack : report.candidate_attacks) {
+    std::string lower = to_lower(attack);
+    if (contains(lower, "replay")) replay_class = true;
+    if (contains(lower, "dos") || contains(lower, "signaling storm") ||
+        contains(lower, "depletion"))
+      dos_class = true;
+  }
+
+  if (replay_class) {
+    // Blind DoS: block the replayed S-TMSI at the DU. The identifier is
+    // the one presented from multiple UE contexts in the flagged window.
+    std::map<std::uint64_t, std::set<std::uint64_t>> owners;
+    for (const auto& entry : anomaly.window.entries())
+      if (entry.record.s_tmsi != 0)
+        owners[entry.record.s_tmsi].insert(entry.record.ue_id);
+    for (const auto& [tmsi, ues] : owners) {
+      if (ues.size() < 2) continue;
+      mobiflow::ControlCommand cmd;
+      cmd.action = mobiflow::ControlCommand::Action::kBlockTmsi;
+      cmd.s_tmsi = tmsi;
+      ric().send_control(this, anomaly.node_id,
+                         oran::e2sm::kMobiFlowFunctionId, {},
+                         mobiflow::encode_control(cmd));
+      ++remediations_;
+      report.remediation_issued = true;
+    }
+  }
+  if (!dos_class) return;
+
+  // For half-open connection floods, command the RAN to release contexts
+  // stalled pre-security (the gNB holds the authoritative state, so
+  // bystanders mid-attach are spared — they complete within a few ms).
+  // This is the knowledge base's first remediation for the storm
+  // signature, realized through the E2 control primitive.
+  mobiflow::ControlCommand cmd;
+  cmd.action = mobiflow::ControlCommand::Action::kReleaseStale;
+  cmd.stale_age_ms = 50;
+  ric().send_control(this, anomaly.node_id, oran::e2sm::kMobiFlowFunctionId,
+                     {}, mobiflow::encode_control(cmd));
+  ++remediations_;
+  report.remediation_issued = true;
+}
+
+}  // namespace xsec::llm

@@ -1,0 +1,98 @@
+// LLM Analyzer xApp (paper §3.3, Figure 3).
+//
+// Receives anomalous windows from MobiWatch over the message router, builds
+// the zero-shot analyst prompt, queries the configured LLM client, and:
+//   - cross-compares the LLM verdict with MobiWatch's (contradictions are
+//     escalated to the human-supervision queue),
+//   - persists the full analysis report to the SDL,
+//   - optionally issues closed-loop RIC Control remediation for attacks
+//     whose knowledge-base entry maps to a data-plane action.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "detect/mobiwatch.hpp"
+#include "llm/client.hpp"
+#include "llm/knowledge.hpp"
+#include "mobiflow/agent.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::llm {
+
+/// Final structured output of the analyzer for one incident.
+struct AnalysisReport {
+  std::uint64_t incident_id = 0;
+  std::string detector;  // MobiWatch model that flagged it
+  double anomaly_score = 0.0;
+  std::string model;     // LLM that analyzed it
+  bool llm_agrees = false;
+  std::string response_text;
+  std::vector<std::string> candidate_attacks;
+  bool remediation_issued = false;
+
+  std::string to_text() const;
+};
+
+struct AnalyzerConfig {
+  /// Model personality to query (must exist for SimLlmClient masking;
+  /// unknown names run at full competence).
+  std::string model = "ChatGPT-4o";
+  std::string sdl_namespace = "xsec-reports";
+  /// Issue RIC Control release commands for DoS-class incidents.
+  bool auto_remediate = false;
+  /// Augment prompts with retrieved 3GPP specification passages (§5's
+  /// RAG proposal).
+  bool use_rag = false;
+  /// Incident aggregation: wait for this many trailing telemetry records
+  /// (from the SDL stream) before analyzing a flagged window, so evidence
+  /// that completes just after the flag (e.g. a storm's missing
+  /// authentication responses) is visible to the analyst. 0 = immediate.
+  std::size_t defer_records = 0;
+  /// SDL namespace MobiWatch streams telemetry into.
+  std::string telemetry_namespace = "mobiflow";
+  PromptTemplate prompt_template;
+};
+
+class LlmAnalyzerXapp : public oran::XApp {
+ public:
+  LlmAnalyzerXapp(AnalyzerConfig config, std::shared_ptr<LlmClient> client);
+
+  void on_start() override;
+  /// A1 response-control policy: "auto_remediate" and "use_rag" toggles.
+  oran::PolicyStatus on_policy(const oran::A1Policy& policy) override;
+
+  std::size_t incidents_analyzed() const { return incidents_; }
+  std::size_t contradictions() const { return contradictions_; }
+  std::size_t remediations_issued() const { return remediations_; }
+  std::size_t incidents_pending() const { return pending_.size(); }
+  const std::vector<AnalysisReport>& reports() const { return reports_; }
+
+  /// Analyzes any incidents still waiting for trailing telemetry (e.g. at
+  /// the end of a capture when the stream stops).
+  void flush_pending();
+
+ private:
+  struct PendingIncident {
+    detect::AnomalyReport anomaly;
+    std::size_t telemetry_snapshot = 0;  // SDL record count at flag time
+  };
+
+  void handle_anomaly(const oran::RoutedMessage& message);
+  void drain_ready_incidents();
+  void analyze(PendingIncident incident);
+  void maybe_remediate(const detect::AnomalyReport& anomaly,
+                       AnalysisReport& report);
+
+  AnalyzerConfig config_;
+  std::shared_ptr<LlmClient> client_;
+  std::vector<AnalysisReport> reports_;
+  std::deque<PendingIncident> pending_;
+  std::uint64_t next_incident_ = 1;
+  std::size_t incidents_ = 0;
+  std::size_t contradictions_ = 0;
+  std::size_t remediations_ = 0;
+};
+
+}  // namespace xsec::llm

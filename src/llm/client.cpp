@@ -1,0 +1,158 @@
+#include "llm/client.hpp"
+
+#include "common/strings.hpp"
+
+namespace xsec::llm {
+
+LlmResponse parse_response_text(const std::string& model,
+                                const std::string& text) {
+  LlmResponse response;
+  response.model = model;
+  response.text = text;
+
+  std::string lower = to_lower(text);
+  // A structured "Verdict:" line wins; otherwise fall back to keyword scan.
+  std::size_t verdict_pos = lower.find("verdict:");
+  if (verdict_pos != std::string::npos) {
+    std::size_t line_end = lower.find('\n', verdict_pos);
+    std::string line = lower.substr(
+        verdict_pos, line_end == std::string::npos ? std::string::npos
+                                                   : line_end - verdict_pos);
+    response.verdict_anomalous = contains(line, "anomal");
+  } else {
+    bool says_anomalous = contains(lower, "anomalous") ||
+                          contains(lower, "likely an attack");
+    bool says_benign = contains(lower, "benign") ||
+                       contains(lower, "normal traffic");
+    response.verdict_anomalous = says_anomalous && !says_benign;
+    if (says_anomalous && says_benign) {
+      // Both present: take the first mention as the conclusion.
+      response.verdict_anomalous =
+          lower.find("anomal") < lower.find("benign");
+    }
+  }
+
+  // Candidate attacks: numbered lines "  1. <name> (...".
+  for (const std::string& line : split(text, '\n')) {
+    std::string trimmed = trim(line);
+    if (trimmed.size() > 3 && trimmed[0] >= '1' && trimmed[0] <= '9' &&
+        trimmed[1] == '.' && trimmed[2] == ' ') {
+      std::string name = trimmed.substr(3);
+      std::size_t paren = name.find(" (");
+      if (paren != std::string::npos) name = name.substr(0, paren);
+      response.attacks.push_back(trim(name));
+    }
+  }
+  return response;
+}
+
+Result<LlmResponse> SimLlmClient::query(const LlmRequest& request) {
+  ++queries_;
+  auto trace = extract_trace_from_prompt(request.prompt);
+  if (!trace)
+    return Error::make("bad-prompt",
+                       "cannot parse telemetry from prompt: " +
+                           trace.error().message);
+
+  std::vector<SignatureKind> mask;
+  std::string style;
+  if (const ModelPersonality* personality = find_model(request.model)) {
+    mask = personality->competence;
+    style = personality->style_prefix;
+  }
+  // Unknown model names (incl. "oracle") analyze at full competence.
+
+  ExpertEngine engine;
+  Analysis analysis = engine.analyze(trace.value(), mask);
+  return parse_response_text(request.model, style + analysis.narrative);
+}
+
+RestLlmClient::RestLlmClient(std::string endpoint_url, std::string api_key,
+                             Transport transport)
+    : endpoint_url_(std::move(endpoint_url)),
+      api_key_(std::move(api_key)),
+      transport_(std::move(transport)) {}
+
+std::string RestLlmClient::build_body(const LlmRequest& request) const {
+  return std::string("{\"model\":\"") + json_escape(request.model) +
+         "\",\"messages\":[{\"role\":\"user\",\"content\":\"" +
+         json_escape(request.prompt) + "\"}]}";
+}
+
+Result<LlmResponse> RestLlmClient::query(const LlmRequest& request) {
+  if (!transport_)
+    return Error::make("transport", "no HTTP transport configured");
+  HttpRequest http;
+  http.url = endpoint_url_;
+  http.headers = {{"Content-Type", "application/json"},
+                  {"Authorization", "Bearer " + api_key_}};
+  http.body = build_body(request);
+  auto body = transport_(http);
+  if (!body) return body.error();
+  auto content = json_extract_string(body.value(), "content");
+  if (!content)
+    return Error::make("bad-response",
+                       "no content field in LLM response body");
+  return parse_response_text(request.model, content.value());
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 16);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Result<std::string> json_extract_string(const std::string& json,
+                                        const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  std::size_t start = json.find(needle);
+  if (start == std::string::npos)
+    return Error::make("missing", "key not found: " + key);
+  start += needle.size();
+  std::string out;
+  for (std::size_t i = start; i < json.size(); ++i) {
+    char c = json[i];
+    if (c == '\\' && i + 1 < json.size()) {
+      char next = json[++i];
+      switch (next) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'u':
+          if (i + 4 < json.size()) {
+            out += static_cast<char>(
+                std::strtoul(json.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += next;
+      }
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return Error::make("malformed", "unterminated JSON string");
+}
+
+}  // namespace xsec::llm

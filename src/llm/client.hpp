@@ -1,0 +1,97 @@
+// LLM client abstraction.
+//
+// The xApp reaches models "through RESTful web APIs from either a
+// pre-trained LLM or a locally fine-tuned model" (paper §3.3). Two
+// implementations:
+//   - SimLlmClient: the offline expert simulation. Consumes ONLY the
+//     prompt text (it re-parses the telemetry lines), runs the expert
+//     engine under the requested model's competence mask, and renders an
+//     analyst-style response. Deterministic.
+//   - RestLlmClient: the production path. Builds the JSON chat request a
+//     real deployment would POST; the HTTP transport is injected so tests
+//     (and air-gapped deployments) supply their own.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "llm/expert.hpp"
+#include "llm/personalities.hpp"
+#include "llm/prompt.hpp"
+
+namespace xsec::llm {
+
+struct LlmRequest {
+  std::string model;  // personality / deployment model name
+  std::string prompt;
+};
+
+struct LlmResponse {
+  std::string model;
+  std::string text;
+  /// Parsed verdict: did the model call the sequence anomalous?
+  bool verdict_anomalous = false;
+  /// Attack names the model proposed (possibly empty).
+  std::vector<std::string> attacks;
+};
+
+/// Extracts the verdict and attack list from analyst response text (keys
+/// on the "Verdict:" line and the numbered candidate list; tolerant of
+/// free-form text that merely contains "anomalous"/"benign").
+LlmResponse parse_response_text(const std::string& model,
+                                const std::string& text);
+
+class LlmClient {
+ public:
+  virtual ~LlmClient() = default;
+  virtual Result<LlmResponse> query(const LlmRequest& request) = 0;
+};
+
+class SimLlmClient : public LlmClient {
+ public:
+  Result<LlmResponse> query(const LlmRequest& request) override;
+
+  std::size_t queries_served() const { return queries_; }
+
+ private:
+  ExpertEngine engine_;
+  std::size_t queries_ = 0;
+};
+
+/// Minimal HTTP request description handed to the injected transport.
+struct HttpRequest {
+  std::string method = "POST";
+  std::string url;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+class RestLlmClient : public LlmClient {
+ public:
+  /// Transport returns the raw response body (JSON) or an error.
+  using Transport = std::function<Result<std::string>(const HttpRequest&)>;
+
+  RestLlmClient(std::string endpoint_url, std::string api_key,
+                Transport transport);
+
+  Result<LlmResponse> query(const LlmRequest& request) override;
+
+  /// Exposed for tests: the JSON body built for a request.
+  std::string build_body(const LlmRequest& request) const;
+
+ private:
+  std::string endpoint_url_;
+  std::string api_key_;
+  Transport transport_;
+};
+
+/// JSON string escaping / extraction helpers (shared with tests).
+std::string json_escape(const std::string& text);
+/// Extracts the string value of the first occurrence of `"key":"..."`,
+/// un-escaping it. Returns error if absent.
+Result<std::string> json_extract_string(const std::string& json,
+                                        const std::string& key);
+
+}  // namespace xsec::llm

@@ -1,0 +1,132 @@
+#include "llm/knowledge.hpp"
+
+#include <cassert>
+
+namespace xsec::llm {
+
+std::string to_string(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kSignalingStorm: return "signaling-storm";
+    case SignatureKind::kTmsiReplay: return "tmsi-replay";
+    case SignatureKind::kPlaintextIdentityUplink:
+      return "plaintext-identity-uplink";
+    case SignatureKind::kIdentityRequestOutOfOrder:
+      return "identity-request-out-of-order";
+    case SignatureKind::kNullCipherDowngrade: return "null-cipher-downgrade";
+  }
+  return "unknown";
+}
+
+const std::vector<AttackKnowledge>& knowledge_base() {
+  static const std::vector<AttackKnowledge> kb = {
+      {SignatureKind::kSignalingStorm,
+       "BTS resource depletion DoS (signaling storm)",
+       "BTS DoS / Touching the Untouchables [Kim et al., S&P'19]",
+       "denial-of-service",
+       "A rogue UE (commodity SDR running a modified open-source stack) "
+       "within radio range of the cell.",
+       "TS 38.331 expects each RRCSetupRequest to be followed by "
+       "RRCSetupComplete and a NAS registration that proceeds to "
+       "authentication. A rapid succession of connection setups from a "
+       "stream of previously unseen RNTIs, none of which progresses past "
+       "the authentication stage, does not match any compliant UE "
+       "behaviour; it is the signature of deliberate RRC/NGAP signaling "
+       "load designed to exhaust the gNB's UE-context table.",
+       "Legitimate UEs receive RRCReject once the admission table is full; "
+       "service in the cell degrades or stops. The gNB wastes CPU and "
+       "memory on half-open contexts.",
+       {"Release the half-open UE contexts via RIC Control (UEContextRelease)",
+        "Rate-limit RRCSetupRequest admissions per radio-resource fingerprint",
+        "Shorten the context-setup garbage-collection timer under load"}},
+
+      {SignatureKind::kTmsiReplay,
+       "Blind DoS via S-TMSI replay",
+       "Blind DoS [Kim et al., S&P'19]",
+       "denial-of-service (targeted)",
+       "A MiTM attacker or rogue UE that sniffed the victim's 5G-S-TMSI "
+       "from paging or a previous connection.",
+       "The 5G-S-TMSI presented in an RRCSetupRequest (ng-5G-S-TMSI-Part1, "
+       "TS 38.331 §6.2.2) is a temporary identity bound to one registered "
+       "UE. Observing the same S-TMSI presented concurrently by a "
+       "different radio context means the identifier was replayed: a "
+       "compliant network never sees one S-TMSI in two simultaneous UE "
+       "contexts. The replayed connection causes the network to tear down "
+       "or desynchronize the victim's legitimate context.",
+       "The victim UE is silently disconnected or loses incoming service "
+       "(blind DoS) without any indication on the device.",
+       {"Reject RRC setups whose S-TMSI is active in another live context",
+        "Trigger GUTI reallocation for the affected subscriber",
+        "Page the genuine UE to re-authenticate and resynchronize"}},
+
+      {SignatureKind::kPlaintextIdentityUplink,
+       "Uplink identity extraction (SUCI downgrade)",
+       "AdaptOver-style uplink overshadowing [Erni et al., MobiCom'22]",
+       "privacy / identity extraction",
+       "An overshadowing MiTM with a software-defined radio close enough "
+       "to the victim to dominate its uplink signal.",
+       "TS 33.501 requires the SUPI to be concealed as a SUCI under the "
+       "home-network public key; the null protection scheme (scheme id 0) "
+       "transmits the MSIN in cleartext and is reserved for unprovisioned "
+       "or emergency cases. A registration that is otherwise fully "
+       "standard-compliant but carries a null-scheme SUCI discloses the "
+       "subscriber's permanent identity to any passive observer. Note the "
+       "message SEQUENCE is benign — only the identity encoding deviates, "
+       "which is why this attack is the hardest to distinguish from "
+       "normal traffic.",
+       "The victim's permanent identity (SUPI/IMSI) leaks, enabling "
+       "location tracking and linkability across sessions.",
+       {"Alert the subscriber's home network of the cleartext disclosure",
+        "Force GUTI reallocation and re-registration with a protected SUCI",
+        "Audit the cell for uplink overshadowing activity"}},
+
+      {SignatureKind::kIdentityRequestOutOfOrder,
+       "Downlink identity extraction (IMSI catching)",
+       "LTrack / downlink Identity Request injection [Kotuliak et al., "
+       "USENIX Sec'22]",
+       "privacy / identity extraction",
+       "A MiTM relay that overwrites downlink NAS messages before "
+       "security activation.",
+       "In the 5G registration call flow (TS 24.501 §5.5.1), a "
+       "RegistrationRequest carrying a valid SUCI is followed by an "
+       "AuthenticationRequest; an IdentityRequest at that point is "
+       "out-of-order, because the network already holds a resolvable "
+       "identity. A pre-security IdentityRequest answered with a "
+       "plaintext identity indicates a downlink message-overwrite attack "
+       "harvesting the subscriber's permanent identifier.",
+       "The UE reveals its permanent identity in cleartext; the attacker "
+       "can track the subscriber's presence and movements.",
+       {"Flag and drop pre-security IdentityRequests for UEs that "
+        "presented a valid SUCI",
+        "Notify the operator of a probable MiTM relay in the cell",
+        "Re-run registration through a different cell and compare flows"}},
+
+      {SignatureKind::kNullCipherDowngrade,
+       "Null cipher & integrity downgrade",
+       "Security-mode bidding-down [Hussain et al., CCS'19 (5GReasoner)]",
+       "security downgrade",
+       "A MiTM relay tampering with the security-mode negotiation, or a "
+       "compromised/misconfigured network element.",
+       "TS 33.501 §5.3 mandates that NEA0 (null ciphering) and NIA0 (null "
+       "integrity) are only acceptable for unauthenticated emergency "
+       "sessions. A SecurityModeCommand selecting NEA0/NIA0 for a UE that "
+       "advertised stronger algorithms in its security capabilities is a "
+       "bidding-down attack: all subsequent NAS and user traffic flows "
+       "unprotected.",
+       "All signalling and user-plane data for the session are readable "
+       "and modifiable over the air.",
+       {"Reject the security context and re-run the security mode "
+        "procedure with non-null algorithms",
+        "Release and re-authenticate the affected UE",
+        "Audit the gNB/AMF algorithm priority configuration for tampering"}},
+  };
+  return kb;
+}
+
+const AttackKnowledge& lookup(SignatureKind kind) {
+  for (const auto& entry : knowledge_base())
+    if (entry.signature == kind) return entry;
+  assert(false && "signature missing from knowledge base");
+  return knowledge_base().front();
+}
+
+}  // namespace xsec::llm

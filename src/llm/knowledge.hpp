@@ -1,0 +1,46 @@
+// Cellular-security knowledge base for the expert engine.
+//
+// Encodes the attack taxonomy of the paper (its five evaluated attacks plus
+// the benign baseline) with the 3GPP-grounded facts needed to produce
+// classification / explanation / attribution / remediation output — the
+// four insight classes of §3.3. This is the domain knowledge a real
+// deployment would retrieve from 3GPP specs via RAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsec::llm {
+
+/// Evidence classes the analysis engine can extract from a telemetry
+/// window. Each attack manifests as one primary signature.
+enum class SignatureKind : std::uint8_t {
+  kSignalingStorm = 0,         // BTS DoS: flood of incomplete RRC connections
+  kTmsiReplay,                 // Blind DoS: victim S-TMSI replayed across UEs
+  kPlaintextIdentityUplink,    // Uplink ID extraction: null-scheme SUCI in a
+                               // standard-compliant registration
+  kIdentityRequestOutOfOrder,  // Downlink ID extraction: IdentityRequest in
+                               // place of AuthenticationRequest
+  kNullCipherDowngrade,        // NEA0/NIA0 selected by SecurityModeCommand
+};
+inline constexpr std::size_t kSignatureCount = 5;
+
+std::string to_string(SignatureKind kind);
+
+struct AttackKnowledge {
+  SignatureKind signature;
+  std::string name;        // e.g. "BTS resource depletion DoS"
+  std::string aka;         // paper/literature name + citation
+  std::string category;    // "denial-of-service", "privacy", "downgrade"
+  std::string attribution; // who is behind it (rogue UE / MiTM relay / ...)
+  std::string explanation; // why the pattern is anomalous (spec-grounded)
+  std::string implications;
+  std::vector<std::string> remediations;
+};
+
+/// The full knowledge base, indexed by signature kind.
+const std::vector<AttackKnowledge>& knowledge_base();
+const AttackKnowledge& lookup(SignatureKind kind);
+
+}  // namespace xsec::llm

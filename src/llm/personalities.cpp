@@ -1,0 +1,57 @@
+#include "llm/personalities.hpp"
+
+namespace xsec::llm {
+
+const std::vector<ModelPersonality>& baseline_models() {
+  using SK = SignatureKind;
+  static const std::vector<ModelPersonality> models = {
+      // Table 3 row-by-row calibration:
+      //   BTS DoS:        GPT ✓  Gemini ✓  Copilot ✓  Llama ✗  Claude ✗
+      //   Blind DoS:      GPT ✓  Gemini ✗  Copilot ✗  Llama ✓  Claude ✗
+      //   Uplink ID:      GPT ✗  Gemini ✗  Copilot ✗  Llama ✗  Claude ✓
+      //   Downlink ID:    GPT ✓  Gemini ✓  Copilot ✗  Llama ✓  Claude ✓
+      //   Null cipher:    GPT ✓  Gemini ✓  Copilot ✗  Llama ✓  Claude ✓
+      {"ChatGPT-4o",
+       "OpenAI",
+       {SK::kSignalingStorm, SK::kTmsiReplay, SK::kIdentityRequestOutOfOrder,
+        SK::kNullCipherDowngrade},
+       "Based on the provided cellular traffic attributes, "},
+      {"Gemini",
+       "Google",
+       {SK::kSignalingStorm, SK::kIdentityRequestOutOfOrder,
+        SK::kNullCipherDowngrade},
+       "Here's an analysis of the provided 5G trace. "},
+      {"Copilot",
+       "Microsoft",
+       {SK::kSignalingStorm},
+       "I've reviewed the network sequence you shared. "},
+      {"Llama3",
+       "Meta",
+       {SK::kTmsiReplay, SK::kIdentityRequestOutOfOrder,
+        SK::kNullCipherDowngrade},
+       "Analyzing the message sequence: "},
+      {"Claude 3 Sonnet",
+       "Anthropic",
+       {SK::kPlaintextIdentityUplink, SK::kIdentityRequestOutOfOrder,
+        SK::kNullCipherDowngrade},
+       "Let me examine this cellular control-plane trace carefully. "},
+  };
+  return models;
+}
+
+const ModelPersonality* find_model(const std::string& name) {
+  for (const auto& model : baseline_models())
+    if (model.name == name) return &model;
+  return nullptr;
+}
+
+ModelPersonality oracle_model() {
+  ModelPersonality oracle;
+  oracle.name = "oracle";
+  oracle.vendor = "xsec";
+  oracle.competence = {};  // empty mask = full competence
+  oracle.style_prefix = "";
+  return oracle;
+}
+
+}  // namespace xsec::llm

@@ -1,0 +1,36 @@
+// Simulated model personalities calibrated to the paper's Table 3.
+//
+// The paper evaluates five production LLMs zero-shot and reports, per
+// attack, which models produced a correct verdict + explanation. Offline we
+// cannot query those services, so each personality runs the deterministic
+// expert engine with a masked evidence set: the mask encodes which evidence
+// classes that model integrated correctly in the paper's experiments (e.g.
+// most models missed the standard-compliant uplink identity extraction).
+// This reproduces the *shape* of Table 3; it is a documented simulation,
+// not a claim about the real services.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/knowledge.hpp"
+
+namespace xsec::llm {
+
+struct ModelPersonality {
+  std::string name;
+  std::string vendor;
+  /// Evidence kinds this model reliably recognizes (Table 3 calibration).
+  std::vector<SignatureKind> competence;
+  /// Cosmetic response framing.
+  std::string style_prefix;
+};
+
+/// The five baseline models of Table 3, in the paper's column order.
+const std::vector<ModelPersonality>& baseline_models();
+const ModelPersonality* find_model(const std::string& name);
+
+/// A hypothetical full-competence analyst (upper bound; empty mask).
+ModelPersonality oracle_model();
+
+}  // namespace xsec::llm

@@ -1,0 +1,160 @@
+#include "llm/prompt.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace xsec::llm {
+
+std::string render_record_line(const mobiflow::Record& record) {
+  std::string out = "t=" + std::to_string(record.timestamp_us) + "us";
+  out += " ue=" + std::to_string(record.ue_id);
+  out += " " + record.direction;
+  out += " " + record.protocol + ":" + record.msg;
+  char rnti_buf[16];
+  std::snprintf(rnti_buf, sizeof(rnti_buf), "0x%04X", record.rnti);
+  out += " rnti=";
+  out += rnti_buf;
+  if (record.s_tmsi != 0)
+    out += " tmsi=" + std::to_string(record.s_tmsi);
+  if (!record.suci.empty()) out += " suci=" + record.suci;
+  if (!record.supi_plain.empty()) out += " supi=" + record.supi_plain;
+  if (!record.cipher_alg.empty()) out += " cipher=" + record.cipher_alg;
+  if (!record.integrity_alg.empty())
+    out += " integrity=" + record.integrity_alg;
+  if (!record.establishment_cause.empty())
+    out += " cause=" + record.establishment_cause;
+  return out;
+}
+
+Result<mobiflow::Record> parse_record_line(const std::string& line) {
+  mobiflow::Record record;
+  bool have_msg = false;
+  for (const std::string& token : split(trim(line), ' ')) {
+    if (token.empty()) continue;
+    auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (token == "UL" || token == "DL") {
+        record.direction = token;
+      } else if (auto colon = token.find(':');
+                 colon != std::string::npos && !have_msg) {
+        record.protocol = token.substr(0, colon);
+        record.msg = token.substr(colon + 1);
+        have_msg = true;
+      }
+      continue;
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "t") {
+      record.timestamp_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "ue") {
+      record.ue_id = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rnti") {
+      record.rnti = static_cast<std::uint16_t>(
+          std::strtoul(value.c_str(), nullptr, 16));
+    } else if (key == "tmsi") {
+      record.s_tmsi = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "suci") {
+      record.suci = value;
+    } else if (key == "supi") {
+      record.supi_plain = value;
+    } else if (key == "cipher") {
+      record.cipher_alg = value;
+    } else if (key == "integrity") {
+      record.integrity_alg = value;
+    } else if (key == "cause") {
+      record.establishment_cause = value;
+    }
+  }
+  if (!have_msg)
+    return Error::make("malformed", "no protocol:message token in line");
+  return record;
+}
+
+std::string data_description() {
+  return
+      "Each line is one control-plane message observed at the RAN, with "
+      "attributes:\n"
+      "  t          microsecond timestamp of the transmission\n"
+      "  ue         RAN-local UE context id (one per RRC connection)\n"
+      "  UL/DL      uplink (device to network) or downlink direction\n"
+      "  RRC:/NAS:  protocol and message name (TS 38.331 / TS 24.501)\n"
+      "  rnti       Radio Network Temporary Identifier assigned by the gNB\n"
+      "  tmsi       5G-S-TMSI temporary subscriber identity, if present\n"
+      "  suci       concealed subscription identifier (scheme 0 = null "
+      "scheme, i.e. NOT concealed)\n"
+      "  supi       permanent subscriber identity IF OBSERVED IN PLAINTEXT\n"
+      "  cipher     ciphering algorithm selected for the UE (NEA0 = null)\n"
+      "  integrity  integrity algorithm selected for the UE (NIA0 = null)\n"
+      "  cause      RRC establishment cause from the UE\n";
+}
+
+namespace {
+std::string render_block(const mobiflow::Trace& trace) {
+  std::string out;
+  for (const auto& entry : trace.entries()) {
+    out += render_record_line(entry.record);
+    out += '\n';
+  }
+  return out;
+}
+}  // namespace
+
+std::string PromptTemplate::build(const detect::AnomalyReport& report) const {
+  std::string prompt = role;
+  prompt +=
+      " You have access to a cellular traffic sequence of attributes:\n";
+  prompt += "<DATA_DESCRIPTIONS>\n" + data_description() +
+            "</DATA_DESCRIPTIONS>\n";
+  if (!report.context.empty()) {
+    prompt += "Preceding context (for reference):\n<CONTEXT>\n";
+    prompt += render_block(report.context);
+    prompt += "</CONTEXT>\n";
+  }
+  prompt += "<DATA>\n" + render_block(report.window) + "</DATA>\n";
+  prompt += task;
+  prompt += '\n';
+  return prompt;
+}
+
+std::string PromptTemplate::build(const mobiflow::Trace& trace) const {
+  std::string prompt = role;
+  prompt +=
+      " You have access to a cellular traffic sequence of attributes:\n";
+  prompt += "<DATA_DESCRIPTIONS>\n" + data_description() +
+            "</DATA_DESCRIPTIONS>\n";
+  prompt += "<DATA>\n" + render_block(trace) + "</DATA>\n";
+  prompt += task;
+  prompt += '\n';
+  return prompt;
+}
+
+Result<mobiflow::Trace> extract_trace_from_prompt(const std::string& prompt) {
+  mobiflow::Trace trace;
+  auto harvest = [&trace, &prompt](const std::string& open,
+                                   const std::string& close) -> Status {
+    std::size_t begin = prompt.find(open);
+    if (begin == std::string::npos) return Status::ok_status();
+    begin += open.size();
+    std::size_t end = prompt.find(close, begin);
+    if (end == std::string::npos)
+      return Error::make("malformed", "unterminated " + open + " block");
+    for (const std::string& line :
+         split(prompt.substr(begin, end - begin), '\n')) {
+      if (trim(line).empty()) continue;
+      auto record = parse_record_line(line);
+      if (!record) return record.error();
+      trace.add(std::move(record).value());
+    }
+    return Status::ok_status();
+  };
+  // Context lines first (chronological order), then the window.
+  if (auto s = harvest("<CONTEXT>\n", "</CONTEXT>"); !s) return s.error();
+  if (auto s = harvest("<DATA>\n", "</DATA>"); !s) return s.error();
+  if (trace.empty())
+    return Error::make("malformed", "no telemetry lines in prompt");
+  return trace;
+}
+
+}  // namespace xsec::llm

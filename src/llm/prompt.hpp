@@ -1,0 +1,47 @@
+// Prompt construction for LLM-based expert referencing (paper Figure 5).
+//
+// Builds the zero-shot analyst prompt: role, data description, the
+// telemetry window rendered as text, and the task instruction asking for a
+// benign/anomalous verdict, explanation, and top-3 candidate attacks.
+// Also provides the inverse (parsing rendered telemetry lines back into
+// records) so the simulated LLM genuinely consumes only the prompt text.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "detect/mobiwatch.hpp"
+#include "mobiflow/record.hpp"
+#include "mobiflow/trace.hpp"
+
+namespace xsec::llm {
+
+/// One telemetry record rendered as a prompt line, e.g.
+/// "t=1234us ue=3 UL RRC:RRCSetupRequest rnti=0x5F1A cause=mo-Signalling".
+std::string render_record_line(const mobiflow::Record& record);
+Result<mobiflow::Record> parse_record_line(const std::string& line);
+
+/// The <DATA_DESCRIPTIONS> block: field-by-field schema explanation.
+std::string data_description();
+
+struct PromptTemplate {
+  std::string role =
+      "You are an AI security analyst tasked with identifying potential "
+      "attacks within a 5G network.";
+  std::string task =
+      "Determine whether this sequence is anomalous or benign and explain "
+      "why. Next, if the sequence constitutes attacks, provide the top 3 "
+      "most possible attacks, and describe the implications.";
+
+  /// Renders the full prompt for an anomaly report (window + context).
+  std::string build(const detect::AnomalyReport& report) const;
+  /// Renders the full prompt for a bare trace (used for the benign rows of
+  /// Table 3, which are fed to the LLM without a MobiWatch flag).
+  std::string build(const mobiflow::Trace& trace) const;
+};
+
+/// Extracts the telemetry lines between the <DATA> ... </DATA> markers of a
+/// built prompt and parses them back into records (in order).
+Result<mobiflow::Trace> extract_trace_from_prompt(const std::string& prompt);
+
+}  // namespace xsec::llm

@@ -1,0 +1,174 @@
+#include "llm/retrieval.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace xsec::llm {
+
+const std::vector<SpecPassage>& spec_corpus() {
+  static const std::vector<SpecPassage> corpus = {
+      {"TS 38.331 §5.3.3", "RRC connection establishment",
+       "The UE initiates RRC connection establishment by transmitting an "
+       "RRCSetupRequest on the common control channel, carrying an initial "
+       "UE identity (a random value or the ng-5G-S-TMSI-Part1) and an "
+       "establishment cause. The network responds with RRCSetup, after "
+       "which the UE sends RRCSetupComplete including the initial NAS "
+       "message. Timer T300 supervises the request; on expiry the UE "
+       "retransmits or abandons the attempt."},
+      {"TS 38.331 §5.3.15", "RRC reject and wait time",
+       "On receiving RRCReject the UE waits for the indicated wait time "
+       "before a new connection attempt. Networks under admission control "
+       "pressure use RRCReject to shed load; repeated rejects to "
+       "legitimate devices indicate resource exhaustion at the cell."},
+      {"TS 24.501 §5.5.1", "5GS registration procedure",
+       "The initial registration carries a 5GS mobile identity: a SUCI, or "
+       "a 5G-GUTI from a previous registration. A RegistrationRequest with "
+       "a resolvable identity is followed by the authentication procedure; "
+       "the AMF requests an identity (IdentityRequest) only when the "
+       "presented GUTI cannot be resolved."},
+      {"TS 24.501 §5.4.3", "NAS identification procedure",
+       "The identification procedure lets the network request a mobile "
+       "identity of a specified type. Before NAS security is activated only "
+       "the SUCI may be requested; a permanent plaintext identifier must "
+       "never be transmitted over the radio interface outside the null "
+       "protection scheme's narrow emergency provisions."},
+      {"TS 33.501 §6.12", "Subscription identifier privacy (SUCI)",
+       "The SUPI is concealed as a SUCI using the home network public key "
+       "(ECIES profiles). Protection scheme identifier 0 is the null "
+       "scheme: the scheme output equals the MSIN in cleartext. The null "
+       "scheme is used only for unauthenticated emergency sessions or when "
+       "the home network has provisioned no key; any other use discloses "
+       "the permanent identity to passive eavesdroppers."},
+      {"TS 33.501 §5.3.2", "Ciphering and integrity requirements",
+       "NEA0 (null ciphering) and NIA0 (null integrity) shall only be used "
+       "for unauthenticated emergency sessions. The network selects the "
+       "highest-priority algorithm from the UE security capabilities; the "
+       "replayed capabilities in the SecurityModeCommand let the UE detect "
+       "a bidding-down modification of its advertised capabilities."},
+      {"TS 33.501 §6.1.3", "5G-AKA authentication",
+       "The AUSF derives an authentication vector (RAND, AUTN, XRES*). The "
+       "UE verifies AUTN to authenticate the network and returns RES*; a "
+       "MAC failure in AUTN indicates the challenge was not produced by "
+       "the subscriber's home network."},
+      {"TS 23.003 §2.10", "5G-S-TMSI structure and usage",
+       "The 5G-S-TMSI (AMF Set ID, AMF Pointer, 5G-TMSI) is a temporary "
+       "identity uniquely assigned to one registered UE within an AMF set. "
+       "It is reallocated by the network at registration; a single value "
+       "must never identify two simultaneously active radio contexts."},
+      {"TS 38.473 §8.4", "F1AP RRC message transfer",
+       "The gNB-DU forwards uplink RRC messages to the gNB-CU in UL RRC "
+       "MESSAGE TRANSFER messages carrying the RRC container and the UE's "
+       "gNB-DU UE F1AP ID; downlink RRC rides DL RRC MESSAGE TRANSFER. "
+       "These interfaces expose every L3 control message for inspection."},
+      {"TS 38.413 §8.6", "NGAP NAS transport",
+       "Initial UE messages and uplink/downlink NAS transport between the "
+       "RAN and the AMF carry the NAS PDU together with RAN and AMF UE "
+       "NGAP identities, providing the correlation needed to attribute "
+       "NAS flows to radio contexts."},
+      {"O-RAN.WG3.E2AP", "E2 interface primitives",
+       "The E2 interface supports four primitives: report, insert, control "
+       "and policy. xApps subscribe to RAN functions through RIC "
+       "subscriptions; RAN nodes deliver telemetry in RIC Indication "
+       "messages and execute RIC Control requests such as UE context "
+       "release."},
+      {"TS 38.331 §5.3.8", "RRC release",
+       "The network releases an RRC connection with RRCRelease. Contexts "
+       "that never complete security activation are released by local "
+       "timers; a burst of such releases indicates connection attempts "
+       "that were abandoned mid-procedure."},
+  };
+  return corpus;
+}
+
+std::vector<std::string> retrieval_tokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) || c == '.') {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      while (!current.empty() && current.back() == '.') current.pop_back();
+      if (current.size() > 1) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  while (!current.empty() && current.back() == '.') current.pop_back();
+  if (current.size() > 1) tokens.push_back(current);
+  return tokens;
+}
+
+SpecRetriever::SpecRetriever() : corpus_(&spec_corpus()) { build_index(); }
+
+SpecRetriever::SpecRetriever(const std::vector<SpecPassage>* corpus)
+    : corpus_(corpus) {
+  build_index();
+}
+
+void SpecRetriever::build_index() {
+  term_counts_.resize(corpus_->size());
+  doc_lengths_.resize(corpus_->size());
+  std::size_t total_length = 0;
+  for (std::size_t d = 0; d < corpus_->size(); ++d) {
+    const SpecPassage& passage = (*corpus_)[d];
+    auto tokens = retrieval_tokens(passage.ref + " " + passage.title + " " +
+                                   passage.text);
+    doc_lengths_[d] = tokens.size();
+    total_length += tokens.size();
+    for (const std::string& token : tokens) ++term_counts_[d][token];
+    for (const auto& [token, count] : term_counts_[d])
+      ++document_frequency_[token];
+  }
+  average_length_ = corpus_->empty()
+                        ? 1.0
+                        : static_cast<double>(total_length) /
+                              static_cast<double>(corpus_->size());
+}
+
+std::vector<RetrievalHit> SpecRetriever::query(const std::string& text,
+                                               std::size_t k) const {
+  constexpr double kB = 0.75;
+  constexpr double kK1 = 1.2;
+  const double n_docs = static_cast<double>(corpus_->size());
+
+  std::vector<RetrievalHit> hits;
+  for (std::size_t d = 0; d < corpus_->size(); ++d) {
+    double score = 0.0;
+    for (const std::string& token : retrieval_tokens(text)) {
+      auto tf_it = term_counts_[d].find(token);
+      if (tf_it == term_counts_[d].end()) continue;
+      double df = static_cast<double>(document_frequency_.at(token));
+      double idf = std::log(1.0 + (n_docs - df + 0.5) / (df + 0.5));
+      double tf = static_cast<double>(tf_it->second);
+      double norm = kK1 * (1.0 - kB + kB * static_cast<double>(
+                                               doc_lengths_[d]) /
+                                          average_length_);
+      score += idf * tf * (kK1 + 1.0) / (tf + norm);
+    }
+    if (score > 0.0) hits.push_back({score, &(*corpus_)[d]});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const RetrievalHit& a, const RetrievalHit& b) {
+              return a.score > b.score;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::string SpecRetriever::augment_prompt(const std::string& prompt,
+                                          std::size_t k) const {
+  auto hits = query(prompt, k);
+  if (hits.empty()) return prompt;
+  std::string out = prompt;
+  out +=
+      "\nRelevant specification context (retrieved):\n<SPEC_CONTEXT>\n";
+  for (const RetrievalHit& hit : hits) {
+    out += "[" + hit.passage->ref + " — " + hit.passage->title + "] " +
+           hit.passage->text + "\n";
+  }
+  out += "</SPEC_CONTEXT>\n";
+  return out;
+}
+
+}  // namespace xsec::llm

@@ -1,0 +1,64 @@
+// Retrieval-augmented generation over cellular specification knowledge.
+//
+// The paper's §5 proposes RAG over 3GPP documents to ground LLM reasoning
+// and curb hallucination. This module implements the retrieval half: a
+// built-in corpus of specification-derived passages (the clauses the five
+// attacks hinge on) indexed with BM25, a prompt augmenter that injects the
+// top-k passages, and a citation hook the expert engine uses to reference
+// clauses in its narratives.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xsec::llm {
+
+struct SpecPassage {
+  std::string ref;   // e.g. "TS 33.501 §6.12.2"
+  std::string title;
+  std::string text;
+};
+
+/// The built-in specification corpus.
+const std::vector<SpecPassage>& spec_corpus();
+
+struct RetrievalHit {
+  double score = 0.0;
+  const SpecPassage* passage = nullptr;
+};
+
+class SpecRetriever {
+ public:
+  /// Indexes the built-in corpus (or a caller-supplied one).
+  SpecRetriever();
+  explicit SpecRetriever(const std::vector<SpecPassage>* corpus);
+
+  /// BM25 top-k retrieval; hits are score-descending, zero-score matches
+  /// are dropped.
+  std::vector<RetrievalHit> query(const std::string& text,
+                                  std::size_t k = 3) const;
+
+  /// Appends a <SPEC_CONTEXT> block with the top-k passages relevant to
+  /// the prompt's telemetry and task (the paper's prompt augmentation).
+  std::string augment_prompt(const std::string& prompt,
+                             std::size_t k = 3) const;
+
+  std::size_t corpus_size() const { return corpus_->size(); }
+
+ private:
+  void build_index();
+
+  const std::vector<SpecPassage>* corpus_;
+  // BM25 state: per-term document frequency and per-doc term counts.
+  std::map<std::string, std::size_t> document_frequency_;
+  std::vector<std::map<std::string, std::size_t>> term_counts_;
+  std::vector<std::size_t> doc_lengths_;
+  double average_length_ = 0.0;
+};
+
+/// Tokenization shared with tests: lowercase alphanumeric words, 3GPP
+/// references kept intact ("38.331" stays one token).
+std::vector<std::string> retrieval_tokens(const std::string& text);
+
+}  // namespace xsec::llm

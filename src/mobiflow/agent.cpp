@@ -1,0 +1,315 @@
+#include "mobiflow/agent.hpp"
+
+#include "common/log.hpp"
+#include "ran/codec.hpp"
+#include "ran/ue.hpp"  // deconceal_suci for null-scheme plaintext recovery
+
+namespace xsec::mobiflow {
+
+Bytes encode_control(const ControlCommand& cmd) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(cmd.action));
+  w.u16(cmd.rnti);
+  w.u64(cmd.s_tmsi);
+  w.u32(cmd.stale_age_ms);
+  return w.take();
+}
+
+Result<ControlCommand> decode_control(const Bytes& wire) {
+  ByteReader r(wire);
+  auto action = r.u8();
+  if (!action) return action.error();
+  if (action.value() > 2)
+    return Error::make("malformed", "control action out of range");
+  auto rnti = r.u16();
+  if (!rnti) return rnti.error();
+  auto tmsi = r.u64();
+  if (!tmsi) return tmsi.error();
+  auto stale = r.u32();
+  if (!stale) return stale.error();
+  ControlCommand cmd;
+  cmd.action = static_cast<ControlCommand::Action>(action.value());
+  cmd.rnti = rnti.value();
+  cmd.s_tmsi = tmsi.value();
+  cmd.stale_age_ms = stale.value();
+  return cmd;
+}
+
+RicAgent::RicAgent(std::uint64_t node_id, AgentHooks hooks)
+    : node_id_(node_id), hooks_(std::move(hooks)) {}
+
+void RicAgent::attach(ran::InterfaceTaps& taps) {
+  taps.add_f1_tap([this](SimTime t, const Bytes& wire) { on_f1(t, wire); });
+  taps.add_ng_tap([this](SimTime t, const Bytes& wire) { on_ng(t, wire); });
+}
+
+Bytes RicAgent::setup_request() {
+  oran::E2SetupRequest setup;
+  setup.node_id = node_id_;
+  setup.functions.push_back(oran::e2sm::make_mobiflow_function());
+  return encode_e2ap(setup);
+}
+
+void RicAgent::on_e2ap(const Bytes& wire) {
+  auto type = oran::e2ap_type(wire);
+  if (!type) return;
+  switch (type.value()) {
+    case oran::E2apType::kSetupResponse:
+      break;  // functions accepted; nothing to store
+    case oran::E2apType::kSubscriptionRequest: {
+      auto request = oran::decode_subscription_request(wire);
+      if (!request) return;
+      oran::RicSubscriptionResponse response;
+      response.request_id = request.value().request_id;
+      response.ran_function_id = request.value().ran_function_id;
+      if (request.value().ran_function_id !=
+              oran::e2sm::kMobiFlowFunctionId ||
+          request.value().actions.empty()) {
+        for (const auto& a : request.value().actions)
+          response.rejected_action_ids.push_back(a.action_id);
+        hooks_.to_ric(node_id_, encode_e2ap(response));
+        return;
+      }
+      Subscription sub;
+      sub.request_id = request.value().request_id;
+      const auto& action = request.value().actions.front();
+      sub.action_id = action.action_id;
+      auto trigger = oran::e2sm::decode_event_trigger(
+          request.value().event_trigger);
+      auto action_def = oran::e2sm::decode_action_definition(action.definition);
+      if (!trigger || !action_def) {
+        response.rejected_action_ids.push_back(action.action_id);
+        hooks_.to_ric(node_id_, encode_e2ap(response));
+        return;
+      }
+      sub.trigger = trigger.value();
+      sub.action = action_def.value();
+      subscriptions_.push_back(sub);
+      response.admitted_action_ids.push_back(action.action_id);
+      hooks_.to_ric(node_id_, encode_e2ap(response));
+      arm_flush_timer();
+      break;
+    }
+    case oran::E2apType::kSubscriptionDeleteRequest: {
+      auto request = oran::decode_subscription_delete(wire);
+      if (!request) return;
+      for (auto it = subscriptions_.begin(); it != subscriptions_.end();
+           ++it) {
+        if (it->request_id == request.value().request_id) {
+          subscriptions_.erase(it);
+          break;
+        }
+      }
+      break;
+    }
+    case oran::E2apType::kControlRequest: {
+      auto request = oran::decode_control_request(wire);
+      if (!request) return;
+      bool ok = false;
+      auto cmd = decode_control(request.value().message);
+      if (cmd && hooks_.apply_control) ok = hooks_.apply_control(cmd.value());
+      oran::RicControlAck ack;
+      ack.request_id = request.value().request_id;
+      ack.ran_function_id = request.value().ran_function_id;
+      ack.success = ok;
+      hooks_.to_ric(node_id_, encode_e2ap(ack));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RicAgent::on_f1(SimTime t, const Bytes& wire) {
+  auto f1 = ran::decode_f1ap(wire);
+  if (!f1) {
+    ++parse_errors_;
+    return;
+  }
+  const auto& msg = f1.value();
+  if (msg.procedure == ran::F1apProcedure::kUeContextSetup ||
+      msg.procedure == ran::F1apProcedure::kUeContextRelease)
+    return;  // no RRC payload
+
+  auto rrc = ran::decode_rrc(msg.rrc_container);
+  if (!rrc) {
+    ++parse_errors_;
+    return;
+  }
+
+  UeState& state = ue_state_[msg.gnb_du_ue_id];
+  state.rnti = msg.rnti.value;
+  last_cell_ = msg.cell;  // NGAP taps carry no cell identity; remember it
+
+  Record record;
+  record.timestamp_us = t.us;
+  record.gnb_id = msg.cell.gnb_id;
+  record.cell = msg.cell.cell;
+  record.ue_id = msg.gnb_du_ue_id;
+  record.protocol = "RRC";
+  record.msg = ran::rrc_name(rrc.value());
+  record.direction = ran::rrc_is_uplink(rrc.value()) ? "UL" : "DL";
+
+  // Update tracked UE state from message contents.
+  std::uint64_t paged_tmsi = 0;
+  std::visit(
+      [&state, &paged_tmsi](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ran::RrcSetupRequest>) {
+          state.establishment_cause = ran::to_string(m.cause);
+          if (m.ue_identity.kind ==
+              ran::InitialUeIdentity::Kind::kNg5gSTmsiPart1)
+            state.s_tmsi = m.ue_identity.value;
+        } else if constexpr (std::is_same_v<T, ran::RrcSetupComplete>) {
+          if (m.s_tmsi) state.s_tmsi = m.s_tmsi->packed();
+        } else if constexpr (std::is_same_v<T, ran::RrcSecurityModeCommand>) {
+          state.cipher_alg = ran::to_string(m.cipher);
+          state.integrity_alg = ran::to_string(m.integrity);
+        } else if constexpr (std::is_same_v<T, ran::Paging>) {
+          // Broadcast, not bound to a UE context: the identifier goes on
+          // the record but not into any context's tracked state.
+          paged_tmsi = m.s_tmsi_packed;
+        }
+      },
+      rrc.value());
+
+  record.rnti = state.rnti;
+  record.s_tmsi = paged_tmsi != 0 ? paged_tmsi : state.s_tmsi;
+  record.cipher_alg = state.cipher_alg;
+  record.integrity_alg = state.integrity_alg;
+  record.establishment_cause = state.establishment_cause;
+  emit(std::move(record));
+}
+
+void RicAgent::fill_identity(Record& record, UeState& state,
+                             const ran::MobileIdentity& identity) {
+  switch (identity.kind) {
+    case ran::MobileIdentity::Kind::kSuci: {
+      record.suci = identity.suci->str();
+      if (identity.suci->is_null_scheme()) {
+        // Null protection scheme: the MSIN is on the air in plaintext.
+        ran::Supi supi{identity.suci->plmn, deconceal_suci(*identity.suci)};
+        record.supi_plain = supi.str();
+      }
+      break;
+    }
+    case ran::MobileIdentity::Kind::kGuti:
+      state.s_tmsi = identity.guti->s_tmsi.packed();
+      break;
+    case ran::MobileIdentity::Kind::kSupiPlain:
+      record.supi_plain = identity.supi->str();
+      break;
+    case ran::MobileIdentity::Kind::kNone:
+      break;
+  }
+}
+
+void RicAgent::on_ng(SimTime t, const Bytes& wire) {
+  auto ngap = ran::decode_ngap(wire);
+  if (!ngap) {
+    ++parse_errors_;
+    return;
+  }
+  const auto& msg = ngap.value();
+  if (msg.nas_pdu.empty()) return;  // context-management procedure
+
+  auto nas = ran::decode_nas(msg.nas_pdu);
+  if (!nas) {
+    ++parse_errors_;
+    return;
+  }
+
+  UeState& state = ue_state_[msg.ran_ue_ngap_id];
+
+  Record record;
+  record.timestamp_us = t.us;
+  record.gnb_id = last_cell_.gnb_id;
+  record.cell = last_cell_.cell;
+  record.ue_id = msg.ran_ue_ngap_id;
+  record.protocol = "NAS";
+  record.msg = ran::nas_name(nas.value());
+  record.direction = ran::nas_is_uplink(nas.value()) ? "UL" : "DL";
+
+  std::visit(
+      [this, &record, &state](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ran::RegistrationRequest>) {
+          fill_identity(record, state, m.identity);
+        } else if constexpr (std::is_same_v<T, ran::IdentityResponse>) {
+          fill_identity(record, state, m.identity);
+        } else if constexpr (std::is_same_v<T, ran::NasSecurityModeCommand>) {
+          state.cipher_alg = ran::to_string(m.cipher);
+          state.integrity_alg = ran::to_string(m.integrity);
+        } else if constexpr (std::is_same_v<T, ran::RegistrationAccept>) {
+          state.s_tmsi = m.guti.s_tmsi.packed();
+        } else if constexpr (std::is_same_v<T, ran::ServiceRequest>) {
+          if (m.s_tmsi) state.s_tmsi = m.s_tmsi->packed();
+        }
+      },
+      nas.value());
+
+  record.rnti = state.rnti;
+  record.s_tmsi = state.s_tmsi;
+  record.cipher_alg = state.cipher_alg;
+  record.integrity_alg = state.integrity_alg;
+  record.establishment_cause = state.establishment_cause;
+  emit(std::move(record));
+}
+
+void RicAgent::emit(Record record) {
+  ++records_collected_;
+  if (record_sink_) record_sink_(record);
+  if (subscriptions_.empty()) return;
+  if (buffer_.empty()) buffer_start_ = hooks_.now();
+  buffer_.push_back(std::move(record));
+  std::uint16_t max_rows = 0xffff;
+  for (const auto& sub : subscriptions_)
+    max_rows = std::min(max_rows, sub.action.max_rows);
+  if (buffer_.size() >= max_rows) flush();
+}
+
+void RicAgent::flush() {
+  if (subscriptions_.empty() || buffer_.empty()) return;
+
+  oran::e2sm::IndicationHeader header;
+  header.collect_start_us = buffer_start_.us;
+  header.gnb_id = buffer_.front().gnb_id;
+  header.cell = buffer_.front().cell;
+
+  oran::e2sm::IndicationMessage message;
+  message.rows.reserve(buffer_.size());
+  for (const auto& record : buffer_) message.rows.push_back(record.to_kv());
+  buffer_.clear();
+
+  // The same report batch goes to every subscriber of the function.
+  Bytes encoded_header = encode_indication_header(header);
+  Bytes encoded_message = encode_indication_message(message);
+  std::uint32_t sequence = next_sequence_++;
+  for (const auto& sub : subscriptions_) {
+    oran::RicIndication indication;
+    indication.request_id = sub.request_id;
+    indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
+    indication.action_id = sub.action_id;
+    indication.sequence_number = sequence;
+    indication.type = oran::RicIndicationType::kReport;
+    indication.header = encoded_header;
+    indication.message = encoded_message;
+    hooks_.to_ric(node_id_, encode_e2ap(indication));
+    ++indications_sent_;
+  }
+}
+
+void RicAgent::arm_flush_timer() {
+  if (flush_timer_armed_ || subscriptions_.empty()) return;
+  flush_timer_armed_ = true;
+  std::uint32_t period_ms = 0xffffffff;
+  for (const auto& sub : subscriptions_)
+    period_ms = std::min(period_ms, sub.trigger.report_period_ms);
+  hooks_.schedule(SimDuration::from_ms(period_ms), [this] {
+    flush_timer_armed_ = false;
+    flush();
+    if (!subscriptions_.empty()) arm_flush_timer();
+  });
+}
+
+}  // namespace xsec::mobiflow

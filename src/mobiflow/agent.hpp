@@ -1,0 +1,118 @@
+// RIC agent: the data-plane side of the E2 connection.
+//
+// Taps the gNB's F1AP and NGAP interfaces, parses the captured bytes into
+// MobiFlow records (tracking per-UE protocol state so each record carries
+// the UE's current identifiers and security configuration), buffers them,
+// and reports them to the near-RT RIC as E2SM-MOBIFLOW RIC Indications per
+// the subscription's report period. Also executes RIC Control actions
+// (remediation) against the gNB.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "mobiflow/record.hpp"
+#include "oran/e2sm.hpp"
+#include "oran/ric.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/nas.hpp"
+
+namespace xsec::mobiflow {
+
+/// A remediation command carried in an E2SM-MOBIFLOW RIC Control message.
+struct ControlCommand {
+  enum class Action : std::uint8_t {
+    kReleaseUe = 0,       // release one context by RNTI
+    kBlockTmsi = 1,       // reject setups replaying this S-TMSI
+    kReleaseStale = 2,    // release contexts stalled pre-security
+  };
+  Action action = Action::kReleaseUe;
+  std::uint16_t rnti = 0;
+  std::uint64_t s_tmsi = 0;
+  /// kReleaseStale: minimum inactivity age (ms) of a pre-security context
+  /// before it is released. Benign attaches pass through the pre-security
+  /// phase in a few ms, so a small threshold only hits stalled floods.
+  std::uint32_t stale_age_ms = 50;
+};
+
+Bytes encode_control(const ControlCommand& cmd);
+Result<ControlCommand> decode_control(const Bytes& wire);
+
+struct AgentHooks {
+  std::function<SimTime()> now;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+  /// Node -> RIC E2AP path (wired to NearRtRic::from_node).
+  std::function<void(std::uint64_t node_id, Bytes wire)> to_ric;
+  /// Executes a control command against the RAN; returns success.
+  std::function<bool(const ControlCommand&)> apply_control;
+};
+
+class RicAgent : public oran::E2NodeLink {
+ public:
+  RicAgent(std::uint64_t node_id, AgentHooks hooks);
+
+  /// Attaches the agent's parsers to the gNB's interface taps.
+  void attach(ran::InterfaceTaps& taps);
+
+  // E2NodeLink:
+  Bytes setup_request() override;
+  void on_e2ap(const Bytes& wire) override;
+
+  std::uint64_t node_id() const { return node_id_; }
+  std::size_t records_collected() const { return records_collected_; }
+  std::size_t indications_sent() const { return indications_sent_; }
+  std::size_t parse_errors() const { return parse_errors_; }
+  bool subscribed() const { return !subscriptions_.empty(); }
+  std::size_t subscription_count() const { return subscriptions_.size(); }
+
+  /// Direct access to collection for offline dataset building (bypasses
+  /// E2 reporting): every parsed record is also handed to this sink.
+  void set_record_sink(std::function<void(const Record&)> sink) {
+    record_sink_ = std::move(sink);
+  }
+
+ private:
+  struct UeState {
+    std::uint16_t rnti = 0;
+    std::uint64_t s_tmsi = 0;
+    std::string establishment_cause;
+    std::string cipher_alg;
+    std::string integrity_alg;
+  };
+  struct Subscription {
+    oran::RicRequestId request_id;
+    std::uint16_t action_id = 0;
+    oran::e2sm::EventTriggerDefinition trigger;
+    oran::e2sm::ActionDefinition action;
+  };
+
+  void on_f1(SimTime t, const Bytes& wire);
+  void on_ng(SimTime t, const Bytes& wire);
+  void emit(Record record);
+  void fill_identity(Record& record, UeState& state,
+                     const ran::MobileIdentity& identity);
+  void flush();
+  void arm_flush_timer();
+
+  std::uint64_t node_id_;
+  AgentHooks hooks_;
+  ran::CellId last_cell_;  // cell identity observed on the F1 taps
+  std::map<std::uint64_t, UeState> ue_state_;  // keyed by CU ue id
+  /// Every admitted subscription gets the same report stream (multiple
+  /// xApps may subscribe to the MobiFlow function concurrently).
+  std::vector<Subscription> subscriptions_;
+  std::vector<Record> buffer_;
+  SimTime buffer_start_{0};
+  std::uint32_t next_sequence_ = 1;
+  std::size_t records_collected_ = 0;
+  std::size_t indications_sent_ = 0;
+  std::size_t parse_errors_ = 0;
+  bool flush_timer_armed_ = false;
+  std::function<void(const Record&)> record_sink_;
+};
+
+}  // namespace xsec::mobiflow

@@ -1,0 +1,117 @@
+#include "mobiflow/record.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace xsec::mobiflow {
+
+oran::e2sm::KvRow Record::to_kv() const {
+  oran::e2sm::KvRow row;
+  row.add("ts", std::to_string(timestamp_us));
+  row.add("gnb", std::to_string(gnb_id));
+  row.add("cell", std::to_string(cell));
+  row.add("ue", std::to_string(ue_id));
+  row.add("proto", protocol);
+  row.add("msg", msg);
+  row.add("dir", direction);
+  row.add("rnti", std::to_string(rnti));
+  row.add("s_tmsi", std::to_string(s_tmsi));
+  if (!supi_plain.empty()) row.add("supi", supi_plain);
+  if (!suci.empty()) row.add("suci", suci);
+  if (!cipher_alg.empty()) row.add("cipher_alg", cipher_alg);
+  if (!integrity_alg.empty()) row.add("integrity_alg", integrity_alg);
+  if (!establishment_cause.empty())
+    row.add("est_cause", establishment_cause);
+  return row;
+}
+
+Record Record::from_kv(const oran::e2sm::KvRow& row) {
+  Record r;
+  auto to_i64 = [](const std::string& s) -> std::int64_t {
+    return s.empty() ? 0 : std::strtoll(s.c_str(), nullptr, 10);
+  };
+  auto to_u64 = [](const std::string& s) -> std::uint64_t {
+    return s.empty() ? 0 : std::strtoull(s.c_str(), nullptr, 10);
+  };
+  r.timestamp_us = to_i64(row.get("ts"));
+  r.gnb_id = static_cast<std::uint32_t>(to_u64(row.get("gnb")));
+  r.cell = static_cast<std::uint16_t>(to_u64(row.get("cell")));
+  r.ue_id = to_u64(row.get("ue"));
+  r.protocol = row.get("proto");
+  r.msg = row.get("msg");
+  r.direction = row.get("dir");
+  r.rnti = static_cast<std::uint16_t>(to_u64(row.get("rnti")));
+  r.s_tmsi = to_u64(row.get("s_tmsi"));
+  r.supi_plain = row.get("supi");
+  r.suci = row.get("suci");
+  r.cipher_alg = row.get("cipher_alg");
+  r.integrity_alg = row.get("integrity_alg");
+  r.establishment_cause = row.get("est_cause");
+  return r;
+}
+
+Bytes Record::to_kv_bytes() const {
+  ByteWriter w;
+  auto kv = to_kv();
+  w.u16(static_cast<std::uint16_t>(kv.fields.size()));
+  for (const auto& [key, value] : kv.fields) {
+    w.str(key);
+    w.str(value);
+  }
+  return w.take();
+}
+
+Result<Record> Record::from_kv_bytes(const Bytes& wire) {
+  ByteReader r(wire);
+  auto fields = r.u16();
+  if (!fields) return fields.error();
+  oran::e2sm::KvRow row;
+  for (std::uint16_t f = 0; f < fields.value(); ++f) {
+    auto key = r.str();
+    if (!key) return key.error();
+    auto value = r.str();
+    if (!value) return value.error();
+    row.add(key.value(), value.value());
+  }
+  return from_kv(row);
+}
+
+std::string Record::summary() const {
+  char rnti_buf[8];
+  std::snprintf(rnti_buf, sizeof(rnti_buf), "0x%04X", rnti);
+  std::string out = "t=" + std::to_string(timestamp_us) + "us " + direction +
+                    " " + protocol + ":" + msg + " rnti=" + rnti_buf;
+  if (s_tmsi != 0) {
+    char tmsi_buf[16];
+    std::snprintf(tmsi_buf, sizeof(tmsi_buf), "0x%08llX",
+                  static_cast<unsigned long long>(s_tmsi & 0xffffffff));
+    out += " tmsi=";
+    out += tmsi_buf;
+  }
+  if (!supi_plain.empty()) out += " supi=" + supi_plain + " (PLAINTEXT)";
+  if (!suci.empty()) out += " suci=" + suci;
+  if (!cipher_alg.empty()) out += " cipher=" + cipher_alg;
+  if (!integrity_alg.empty()) out += " integrity=" + integrity_alg;
+  if (!establishment_cause.empty()) out += " cause=" + establishment_cause;
+  return out;
+}
+
+std::string record_csv_header() {
+  return "ts_us,gnb,cell,ue,proto,msg,dir,rnti,s_tmsi,supi,suci,cipher_alg,"
+         "integrity_alg,est_cause";
+}
+
+std::string record_csv_row(const Record& r) {
+  std::vector<std::string> cells = {
+      std::to_string(r.timestamp_us), std::to_string(r.gnb_id),
+      std::to_string(r.cell),         std::to_string(r.ue_id),
+      r.protocol,                     r.msg,
+      r.direction,                    std::to_string(r.rnti),
+      std::to_string(r.s_tmsi),       r.supi_plain,
+      r.suci,                         r.cipher_alg,
+      r.integrity_alg,                r.establishment_cause};
+  return join(cells, ",");
+}
+
+}  // namespace xsec::mobiflow

@@ -1,0 +1,61 @@
+// MobiFlow security telemetry record (paper Table 1).
+//
+// One record is produced per control message transmission:
+//   x_i = [t_i, m_i, p1_i, ..., pk_i]
+// with the message name m_i and the UE-specific parameter set K covering
+// identifiers (RNTI, S-TMSI, SUPI) and state (cipher_alg, integrity_alg,
+// establishment_cause). Records convert to/from the E2SM key-value rows
+// that ride inside RIC Indications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oran/e2sm.hpp"
+
+namespace xsec::mobiflow {
+
+struct Record {
+  // --- envelope ---
+  std::int64_t timestamp_us = 0;
+  std::uint32_t gnb_id = 0;
+  std::uint16_t cell = 0;
+  std::uint64_t ue_id = 0;  // CU-local UE correlation id
+
+  // --- message ---
+  std::string protocol;  // "RRC" | "NAS"
+  std::string msg;       // e.g. "RRCSetupRequest", "AuthenticationRequest"
+  std::string direction; // "UL" | "DL"
+
+  // --- identifiers ---
+  std::uint16_t rnti = 0;
+  std::uint64_t s_tmsi = 0;  // packed 5G-S-TMSI; 0 = not (yet) known
+  /// Permanent identity observed in PLAINTEXT on the interface (the
+  /// identity-extraction red flag). Empty when the UE used a protected SUCI.
+  std::string supi_plain;
+  /// Concealed identity as observed (SUCI string); empty if none.
+  std::string suci;
+
+  // --- state ---
+  std::string cipher_alg;      // "" until security mode completes
+  std::string integrity_alg;
+  std::string establishment_cause;
+
+  bool operator==(const Record&) const = default;
+
+  oran::e2sm::KvRow to_kv() const;
+  static Record from_kv(const oran::e2sm::KvRow& row);
+
+  /// Compact byte form of the KV row (the SDL storage format).
+  Bytes to_kv_bytes() const;
+  static Result<Record> from_kv_bytes(const Bytes& wire);
+
+  /// Compact single-line rendering used in prompts and examples.
+  std::string summary() const;
+};
+
+/// CSV header/row helpers used by trace export.
+std::string record_csv_header();
+std::string record_csv_row(const Record& r);
+
+}  // namespace xsec::mobiflow

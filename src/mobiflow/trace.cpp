@@ -1,0 +1,101 @@
+#include "mobiflow/trace.hpp"
+
+#include <fstream>
+
+namespace xsec::mobiflow {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D465431;  // "MFT1"
+}
+
+void Trace::append(const Trace& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+std::size_t Trace::malicious_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.malicious) ++n;
+  return n;
+}
+
+Trace Trace::filter_ue(std::uint64_t ue_id) const {
+  Trace out;
+  for (const auto& e : entries_)
+    if (e.record.ue_id == ue_id) out.entries_.push_back(e);
+  return out;
+}
+
+Bytes Trace::serialize() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    w.boolean(e.malicious);
+    auto kv = e.record.to_kv();
+    w.u16(static_cast<std::uint16_t>(kv.fields.size()));
+    for (const auto& [key, value] : kv.fields) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+  return w.take();
+}
+
+Result<Trace> Trace::deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (magic.value() != kMagic)
+    return Error::make("malformed", "bad trace magic");
+  auto count = r.u32();
+  if (!count) return count.error();
+  Trace trace;
+  trace.entries_.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto malicious = r.boolean();
+    if (!malicious) return malicious.error();
+    auto fields = r.u16();
+    if (!fields) return fields.error();
+    oran::e2sm::KvRow row;
+    for (std::uint16_t f = 0; f < fields.value(); ++f) {
+      auto key = r.str();
+      if (!key) return key.error();
+      auto value = r.str();
+      if (!value) return value.error();
+      row.add(key.value(), value.value());
+    }
+    trace.entries_.push_back({Record::from_kv(row), malicious.value()});
+  }
+  return trace;
+}
+
+Status Trace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error::make("io", "cannot open " + path);
+  Bytes wire = serialize();
+  out.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size()));
+  if (!out) return Error::make("io", "write failed for " + path);
+  return Status::ok_status();
+}
+
+Result<Trace> Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("io", "cannot open " + path);
+  Bytes wire((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return deserialize(wire);
+}
+
+std::string Trace::to_csv() const {
+  std::string out = record_csv_header() + ",malicious\n";
+  for (const auto& e : entries_) {
+    out += record_csv_row(e.record);
+    out += e.malicious ? ",1\n" : ",0\n";
+  }
+  return out;
+}
+
+}  // namespace xsec::mobiflow

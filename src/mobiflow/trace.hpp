@@ -1,0 +1,54 @@
+// Telemetry traces and datasets.
+//
+// A Trace is an ordered list of MobiFlow records with per-record ground
+// truth labels (the paper's manual labeling step: "we manually identify
+// and label each malicious telemetry entry x_i"). Traces serialize to a
+// compact binary format — the reproduction's stand-in for the released
+// pcap-derived datasets — and export to CSV for inspection.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mobiflow/record.hpp"
+
+namespace xsec::mobiflow {
+
+struct LabeledRecord {
+  Record record;
+  bool malicious = false;
+};
+
+/// Ground-truth predicate used to label records at collection time (the
+/// attack scenarios know which traffic they generated).
+using LabelFn = std::function<bool(const Record&)>;
+
+class Trace {
+ public:
+  void add(Record record, bool malicious = false) {
+    entries_.push_back({std::move(record), malicious});
+  }
+  void append(const Trace& other);
+
+  const std::vector<LabeledRecord>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t malicious_count() const;
+
+  /// Splits out the records belonging to one UE (by CU ue id).
+  Trace filter_ue(std::uint64_t ue_id) const;
+
+  Bytes serialize() const;
+  static Result<Trace> deserialize(const Bytes& wire);
+  Status save(const std::string& path) const;
+  static Result<Trace> load(const std::string& path);
+
+  std::string to_csv() const;
+
+ private:
+  std::vector<LabeledRecord> entries_;
+};
+
+}  // namespace xsec::mobiflow

@@ -1,0 +1,35 @@
+#include "oran/a1.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace xsec::oran {
+
+double A1Policy::get_double(const std::string& key, double fallback) const {
+  auto it = content.find(key);
+  if (it == content.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : value;
+}
+
+bool A1Policy::get_bool(const std::string& key, bool fallback) const {
+  auto it = content.find(key);
+  if (it == content.end()) return fallback;
+  std::string lower = to_lower(it->second);
+  if (lower == "true" || lower == "1" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "off") return false;
+  return fallback;
+}
+
+std::string to_string(PolicyStatus status) {
+  switch (status) {
+    case PolicyStatus::kEnforced: return "ENFORCED";
+    case PolicyStatus::kNotEnforced: return "NOT_ENFORCED";
+    case PolicyStatus::kUnsupported: return "UNSUPPORTED";
+  }
+  return "?";
+}
+
+}  // namespace xsec::oran

@@ -1,0 +1,39 @@
+// A1 interface: non-RT RIC -> near-RT RIC policy management.
+//
+// Figure 1 of the paper shows the SMO/non-RT RIC steering near-RT xApps
+// over A1. This is the minimal A1-P subset: typed policies with key-value
+// content, delivered to named xApps, acknowledged with a status. xApps opt
+// in by overriding XApp::on_policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace xsec::oran {
+
+/// Policy type ids (the A1 policy-type registry; 20000+ is vendor space).
+enum PolicyTypeId : std::uint32_t {
+  kPolicyDetectionTuning = 20001,   // threshold scaling, holdoff, ...
+  kPolicyResponseControl = 20002,   // auto-remediation on/off, RAG on/off
+};
+
+struct A1Policy {
+  std::uint32_t policy_type = 0;
+  std::string policy_id;  // instance id assigned by the non-RT RIC
+  std::map<std::string, std::string> content;
+
+  std::string get(const std::string& key, const std::string& fallback = {}) const {
+    auto it = content.find(key);
+    return it == content.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+};
+
+enum class PolicyStatus { kEnforced, kNotEnforced, kUnsupported };
+std::string to_string(PolicyStatus status);
+
+}  // namespace xsec::oran

@@ -1,0 +1,112 @@
+#include "oran/e2sm.hpp"
+
+namespace xsec::oran::e2sm {
+
+std::string KvRow::get(const std::string& key) const {
+  for (const auto& [k, v] : fields)
+    if (k == key) return v;
+  return {};
+}
+
+bool KvRow::has(const std::string& key) const {
+  for (const auto& [k, v] : fields)
+    if (k == key) return true;
+  return false;
+}
+
+Bytes encode_event_trigger(const EventTriggerDefinition& m) {
+  ByteWriter w;
+  w.u32(m.report_period_ms);
+  return w.take();
+}
+
+Result<EventTriggerDefinition> decode_event_trigger(const Bytes& wire) {
+  ByteReader r(wire);
+  auto period = r.u32();
+  if (!period) return period.error();
+  return EventTriggerDefinition{period.value()};
+}
+
+Bytes encode_action_definition(const ActionDefinition& m) {
+  ByteWriter w;
+  w.u8(m.categories);
+  w.u16(m.max_rows);
+  return w.take();
+}
+
+Result<ActionDefinition> decode_action_definition(const Bytes& wire) {
+  ByteReader r(wire);
+  auto cats = r.u8();
+  if (!cats) return cats.error();
+  auto max_rows = r.u16();
+  if (!max_rows) return max_rows.error();
+  return ActionDefinition{cats.value(), max_rows.value()};
+}
+
+Bytes encode_indication_header(const IndicationHeader& m) {
+  ByteWriter w;
+  w.i64(m.collect_start_us);
+  w.u32(m.gnb_id);
+  w.u16(m.cell);
+  return w.take();
+}
+
+Result<IndicationHeader> decode_indication_header(const Bytes& wire) {
+  ByteReader r(wire);
+  auto t = r.i64();
+  if (!t) return t.error();
+  auto gnb = r.u32();
+  if (!gnb) return gnb.error();
+  auto cell = r.u16();
+  if (!cell) return cell.error();
+  return IndicationHeader{t.value(), gnb.value(), cell.value()};
+}
+
+Bytes encode_indication_message(const IndicationMessage& m) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(m.rows.size()));
+  for (const auto& row : m.rows) {
+    w.u16(static_cast<std::uint16_t>(row.fields.size()));
+    for (const auto& [key, value] : row.fields) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+  return w.take();
+}
+
+Result<IndicationMessage> decode_indication_message(const Bytes& wire) {
+  ByteReader r(wire);
+  auto count = r.u32();
+  if (!count) return count.error();
+  IndicationMessage m;
+  m.rows.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto fields = r.u16();
+    if (!fields) return fields.error();
+    KvRow row;
+    for (std::uint16_t f = 0; f < fields.value(); ++f) {
+      auto key = r.str();
+      if (!key) return key.error();
+      auto value = r.str();
+      if (!value) return value.error();
+      row.add(key.value(), value.value());
+    }
+    m.rows.push_back(std::move(row));
+  }
+  return m;
+}
+
+RanFunction make_mobiflow_function() {
+  RanFunction f;
+  f.function_id = kMobiFlowFunctionId;
+  f.oid = kMobiFlowOid;
+  f.description = kMobiFlowName;
+  ByteWriter w;
+  w.str("MobiFlow security telemetry");
+  w.u8(kAll);
+  f.definition = w.take();
+  return f;
+}
+
+}  // namespace xsec::oran::e2sm

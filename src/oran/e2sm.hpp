@@ -1,0 +1,80 @@
+// E2SM-MOBIFLOW: the security-telemetry service model.
+//
+// The paper extends the O-RAN reference E2SM-KPM service model so the RIC
+// agent can report MobiFlow telemetry "per time interval, where the
+// telemetry can be encoded as (key, value) data". This header defines that
+// service model: the RAN function identity, the event trigger (periodic
+// report), the action definition (which telemetry categories to collect),
+// and the indication header/message formats carrying the key-value rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "oran/e2ap.hpp"
+
+namespace xsec::oran::e2sm {
+
+inline constexpr std::uint16_t kMobiFlowFunctionId = 100;
+inline constexpr const char* kMobiFlowOid = "1.3.6.1.4.1.53148.1.1.2.100";
+inline constexpr const char* kMobiFlowName = "ORAN-E2SM-MOBIFLOW";
+
+/// Telemetry categories (Table 1's three groups), OR-able.
+enum Category : std::uint8_t {
+  kMessages = 1 << 0,
+  kIdentifiers = 1 << 1,
+  kState = 1 << 2,
+  kAll = kMessages | kIdentifiers | kState,
+};
+
+struct EventTriggerDefinition {
+  /// Report batching period. The agent buffers telemetry rows and flushes
+  /// one RIC Indication per period (or earlier if the buffer fills).
+  std::uint32_t report_period_ms = 10;
+};
+
+struct ActionDefinition {
+  std::uint8_t categories = kAll;
+  /// Max rows per indication before an early flush.
+  std::uint16_t max_rows = 64;
+};
+
+struct IndicationHeader {
+  std::int64_t collect_start_us = 0;
+  std::uint32_t gnb_id = 0;
+  std::uint16_t cell = 0;
+};
+
+/// One telemetry row: ordered (key, value) string pairs. The MobiFlow
+/// record schema lives in src/mobiflow; the service model is agnostic.
+struct KvRow {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void add(std::string key, std::string value) {
+    fields.emplace_back(std::move(key), std::move(value));
+  }
+  /// Returns empty string when the key is absent.
+  std::string get(const std::string& key) const;
+  bool has(const std::string& key) const;
+};
+
+struct IndicationMessage {
+  std::vector<KvRow> rows;
+};
+
+Bytes encode_event_trigger(const EventTriggerDefinition& m);
+Result<EventTriggerDefinition> decode_event_trigger(const Bytes& wire);
+Bytes encode_action_definition(const ActionDefinition& m);
+Result<ActionDefinition> decode_action_definition(const Bytes& wire);
+Bytes encode_indication_header(const IndicationHeader& m);
+Result<IndicationHeader> decode_indication_header(const Bytes& wire);
+Bytes encode_indication_message(const IndicationMessage& m);
+Result<IndicationMessage> decode_indication_message(const Bytes& wire);
+
+/// The RAN function advertisement the agent sends at E2 Setup.
+RanFunction make_mobiflow_function();
+
+}  // namespace xsec::oran::e2sm

@@ -1,0 +1,185 @@
+#include "oran/ric.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::oran {
+
+std::uint64_t NearRtRic::connect_node(E2NodeLink* link) {
+  Bytes wire = link->setup_request();
+  auto setup = decode_setup_request(wire);
+  if (!setup) {
+    XSEC_LOG_WARN("ric", "malformed E2 setup request: ",
+                  setup.error().message);
+    return 0;
+  }
+  if (setup.value().functions.empty()) {
+    XSEC_LOG_WARN("ric", "E2 setup with no RAN functions rejected");
+    return 0;
+  }
+  Node node;
+  node.link = link;
+  node.functions = setup.value().functions;
+  std::uint64_t node_id = setup.value().node_id;
+  nodes_[node_id] = std::move(node);
+
+  E2SetupResponse response;
+  for (const auto& f : nodes_[node_id].functions)
+    response.accepted_function_ids.push_back(f.function_id);
+  link->on_e2ap(encode_e2ap(response));
+  XSEC_LOG_INFO("ric", "E2 node ", node_id, " connected with ",
+                nodes_[node_id].functions.size(), " RAN function(s)");
+  return node_id;
+}
+
+void NearRtRic::disconnect_node(std::uint64_t node_id) {
+  nodes_.erase(node_id);
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->first.node_id == node_id)
+      it = subscriptions_.erase(it);
+    else
+      ++it;
+  }
+}
+
+const std::vector<RanFunction>* NearRtRic::node_functions(
+    std::uint64_t node_id) const {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return nullptr;
+  return &it->second.functions;
+}
+
+std::vector<std::uint64_t> NearRtRic::connected_nodes() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+XApp* NearRtRic::register_xapp(std::unique_ptr<XApp> xapp) {
+  XApp* raw = xapp.get();
+  raw->attach(this, &sdl_, &router_, next_requestor_id_++);
+  xapps_.push_back(std::move(xapp));
+  raw->on_start();
+  XSEC_LOG_INFO("ric", "xApp registered: ", raw->name());
+  return raw;
+}
+
+PolicyStatus NearRtRic::apply_policy(const std::string& xapp_name,
+                                     const A1Policy& policy) {
+  XApp* xapp = find_xapp(xapp_name);
+  if (!xapp) {
+    XSEC_LOG_WARN("ric", "A1 policy for unknown xApp ", xapp_name);
+    return PolicyStatus::kNotEnforced;
+  }
+  PolicyStatus status = xapp->on_policy(policy);
+  XSEC_LOG_INFO("ric", "A1 policy ", policy.policy_id, " -> ", xapp_name,
+                ": ", to_string(status));
+  return status;
+}
+
+XApp* NearRtRic::find_xapp(const std::string& name) {
+  for (const auto& xapp : xapps_)
+    if (xapp->name() == name) return xapp.get();
+  return nullptr;
+}
+
+RicRequestId NearRtRic::subscribe(XApp* xapp, std::uint64_t node_id,
+                                  std::uint16_t ran_function_id,
+                                  Bytes event_trigger,
+                                  std::vector<RicAction> actions) {
+  RicRequestId id{xapp->requestor_id(), next_instance_id_++};
+  auto node_it = nodes_.find(node_id);
+  if (node_it == nodes_.end()) {
+    XSEC_LOG_WARN("ric", "subscribe to unknown node ", node_id);
+    return id;
+  }
+  subscriptions_[SubscriptionKey{node_id, id.requestor_id, id.instance_id}] =
+      xapp;
+
+  RicSubscriptionRequest request;
+  request.request_id = id;
+  request.ran_function_id = ran_function_id;
+  request.event_trigger = std::move(event_trigger);
+  request.actions = std::move(actions);
+  node_it->second.link->on_e2ap(encode_e2ap(request));
+  return id;
+}
+
+void NearRtRic::unsubscribe(XApp* xapp, std::uint64_t node_id,
+                            RicRequestId id) {
+  (void)xapp;
+  auto node_it = nodes_.find(node_id);
+  subscriptions_.erase(
+      SubscriptionKey{node_id, id.requestor_id, id.instance_id});
+  if (node_it == nodes_.end()) return;
+  RicSubscriptionDeleteRequest request;
+  request.request_id = id;
+  node_it->second.link->on_e2ap(encode_e2ap(request));
+}
+
+void NearRtRic::send_control(XApp* xapp, std::uint64_t node_id,
+                             std::uint16_t ran_function_id, Bytes header,
+                             Bytes message) {
+  auto node_it = nodes_.find(node_id);
+  if (node_it == nodes_.end()) return;
+  RicControlRequest request;
+  request.request_id = RicRequestId{xapp->requestor_id(), 0};
+  request.ran_function_id = ran_function_id;
+  request.header = std::move(header);
+  request.message = std::move(message);
+  node_it->second.link->on_e2ap(encode_e2ap(request));
+}
+
+void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
+  auto type = e2ap_type(e2ap_wire);
+  if (!type) {
+    XSEC_LOG_WARN("ric", "undecodable E2AP from node ", node_id);
+    return;
+  }
+  switch (type.value()) {
+    case E2apType::kIndication: {
+      auto indication = decode_indication(e2ap_wire);
+      if (!indication) {
+        ++indications_dropped_;
+        return;
+      }
+      ++indications_received_;
+      const RicRequestId& id = indication.value().request_id;
+      auto it = subscriptions_.find(
+          SubscriptionKey{node_id, id.requestor_id, id.instance_id});
+      if (it == subscriptions_.end()) {
+        ++indications_dropped_;
+        XSEC_LOG_DEBUG("ric", "indication without subscription from node ",
+                       node_id);
+        return;
+      }
+      it->second->on_indication(node_id, indication.value());
+      break;
+    }
+    case E2apType::kSubscriptionResponse: {
+      // Admission bookkeeping only; rejected actions are logged.
+      auto response = decode_subscription_response(e2ap_wire);
+      if (response && !response.value().rejected_action_ids.empty())
+        XSEC_LOG_WARN("ric", "node ", node_id, " rejected ",
+                      response.value().rejected_action_ids.size(),
+                      " subscription action(s)");
+      break;
+    }
+    case E2apType::kControlAck: {
+      auto ack = decode_control_ack(e2ap_wire);
+      if (!ack) return;
+      for (const auto& xapp : xapps_) {
+        if (xapp->requestor_id() == ack.value().request_id.requestor_id) {
+          xapp->on_control_ack(node_id, ack.value());
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      XSEC_LOG_WARN("ric", "unexpected E2AP PDU type from node ", node_id);
+      break;
+  }
+}
+
+}  // namespace xsec::oran

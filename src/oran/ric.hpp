@@ -1,0 +1,110 @@
+// Near Real-Time RAN Intelligent Controller (nRT-RIC).
+//
+// Hosts xApps, terminates E2 connections from RAN nodes (E2T), manages
+// subscriptions, and routes RIC Indications to their owning xApp. Models
+// the OSC reference implementation's platform: E2 termination + xApp
+// manager + subscription manager + SDL + RMR router, collapsed into one
+// deterministic in-process controller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oran/e2ap.hpp"
+#include "oran/router.hpp"
+#include "oran/sdl.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::oran {
+
+/// The RIC's handle to a connected E2 node (the RAN-side RIC agent
+/// implements this). E2AP flows RIC -> node through on_e2ap(); the node
+/// sends node -> RIC traffic by calling NearRtRic::from_node().
+class E2NodeLink {
+ public:
+  virtual ~E2NodeLink() = default;
+  /// Encoded E2SetupRequest advertising the node's RAN functions.
+  virtual Bytes setup_request() = 0;
+  /// Delivers an encoded E2AP PDU (subscription / control) to the node.
+  virtual void on_e2ap(const Bytes& wire) = 0;
+};
+
+class NearRtRic {
+ public:
+  NearRtRic() = default;
+
+  NearRtRic(const NearRtRic&) = delete;
+  NearRtRic& operator=(const NearRtRic&) = delete;
+
+  Sdl& sdl() { return sdl_; }
+  MessageRouter& router() { return router_; }
+
+  // --- E2 termination -----------------------------------------------------
+
+  /// Performs the E2 Setup exchange with a node. Returns the node id, or 0
+  /// if the setup request was malformed or advertised no functions.
+  std::uint64_t connect_node(E2NodeLink* link);
+  void disconnect_node(std::uint64_t node_id);
+  /// Entry point for node -> RIC E2AP traffic (indications, subscription
+  /// responses, control acks).
+  void from_node(std::uint64_t node_id, const Bytes& e2ap_wire);
+
+  /// RAN functions a connected node advertised at setup.
+  const std::vector<RanFunction>* node_functions(std::uint64_t node_id) const;
+  std::vector<std::uint64_t> connected_nodes() const;
+
+  // --- xApp management ----------------------------------------------------
+
+  /// Registers and starts an xApp. The RIC owns it.
+  XApp* register_xapp(std::unique_ptr<XApp> xapp);
+  XApp* find_xapp(const std::string& name);
+
+  /// A1 termination: delivers a policy from the non-RT RIC to one xApp.
+  PolicyStatus apply_policy(const std::string& xapp_name,
+                            const A1Policy& policy);
+
+  // --- xApp-facing services -----------------------------------------------
+
+  /// Creates an E2 subscription on behalf of `xapp`. Returns the request id
+  /// used to correlate indications.
+  RicRequestId subscribe(XApp* xapp, std::uint64_t node_id,
+                         std::uint16_t ran_function_id, Bytes event_trigger,
+                         std::vector<RicAction> actions);
+  void unsubscribe(XApp* xapp, std::uint64_t node_id, RicRequestId id);
+  /// Sends a RIC Control request to a node.
+  void send_control(XApp* xapp, std::uint64_t node_id,
+                    std::uint16_t ran_function_id, Bytes header, Bytes message);
+
+  // --- statistics -----------------------------------------------------------
+
+  std::size_t indications_received() const { return indications_received_; }
+  std::size_t indications_dropped() const { return indications_dropped_; }
+  std::size_t subscriptions_active() const { return subscriptions_.size(); }
+
+ private:
+  struct Node {
+    E2NodeLink* link = nullptr;
+    std::vector<RanFunction> functions;
+  };
+  struct SubscriptionKey {
+    std::uint64_t node_id;
+    std::uint32_t requestor_id;
+    std::uint32_t instance_id;
+    auto operator<=>(const SubscriptionKey&) const = default;
+  };
+
+  Sdl sdl_;
+  MessageRouter router_;
+  std::map<std::uint64_t, Node> nodes_;
+  std::vector<std::unique_ptr<XApp>> xapps_;
+  std::map<SubscriptionKey, XApp*> subscriptions_;
+  std::uint32_t next_requestor_id_ = 1;
+  std::uint32_t next_instance_id_ = 1;
+  std::size_t indications_received_ = 0;
+  std::size_t indications_dropped_ = 0;
+};
+
+}  // namespace xsec::oran

@@ -1,0 +1,35 @@
+#include "oran/router.hpp"
+
+namespace xsec::oran {
+
+std::uint64_t MessageRouter::subscribe(std::uint32_t mtype, Handler handler) {
+  std::uint64_t id = next_id_++;
+  routes_[mtype].push_back(Subscription{id, std::move(handler)});
+  return id;
+}
+
+void MessageRouter::unsubscribe(std::uint64_t subscription_id) {
+  for (auto& [mtype, subs] : routes_) {
+    for (auto it = subs.begin(); it != subs.end(); ++it) {
+      if (it->id == subscription_id) {
+        subs.erase(it);
+        return;
+      }
+    }
+  }
+}
+
+std::size_t MessageRouter::publish(const RoutedMessage& message) {
+  auto it = routes_.find(message.mtype);
+  if (it == routes_.end() || it->second.empty()) {
+    ++dropped_;
+    return 0;
+  }
+  // Copy the subscriber list so handlers may (un)subscribe re-entrantly.
+  auto subscribers = it->second;
+  for (const auto& sub : subscribers) sub.handler(message);
+  delivered_ += subscribers.size();
+  return subscribers.size();
+}
+
+}  // namespace xsec::oran

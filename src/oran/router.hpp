@@ -1,0 +1,58 @@
+// RMR-style message router.
+//
+// The OSC RIC's internal message routing (RMR) delivers typed messages
+// between platform services and xApps. This is the channel MobiWatch uses
+// to hand flagged windows to the LLM analyzer xApp. Delivery is
+// synchronous and deterministic (the simulation is single-threaded).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace xsec::oran {
+
+/// Message types (RMR mtype space; 30000+ is the xApp range by convention).
+enum MessageType : std::uint32_t {
+  kMtAnomalyWindow = 30001,   // MobiWatch -> LLM analyzer
+  kMtAnalysisReport = 30002,  // LLM analyzer -> subscribers (e.g. SMO shim)
+  kMtControlAction = 30003,   // analyzer-proposed remediation
+  kMtHumanReview = 30004,     // contradictory verdicts escalated to operator
+};
+
+struct RoutedMessage {
+  std::uint32_t mtype = 0;
+  std::string source;  // xApp name
+  Bytes payload;
+};
+
+class MessageRouter {
+ public:
+  using Handler = std::function<void(const RoutedMessage&)>;
+
+  /// Subscribes `handler` to a message type; returns a subscription id.
+  std::uint64_t subscribe(std::uint32_t mtype, Handler handler);
+  void unsubscribe(std::uint64_t subscription_id);
+
+  /// Delivers to all subscribers of the mtype; returns receiver count.
+  std::size_t publish(const RoutedMessage& message);
+
+  std::size_t delivered_count() const { return delivered_; }
+  std::size_t dropped_count() const { return dropped_; }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    Handler handler;
+  };
+  std::map<std::uint32_t, std::vector<Subscription>> routes_;
+  std::uint64_t next_id_ = 1;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace xsec::oran

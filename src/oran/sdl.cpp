@@ -1,0 +1,86 @@
+#include "oran/sdl.hpp"
+
+#include <cstdio>
+
+namespace xsec::oran {
+
+void Sdl::set(const std::string& ns, const std::string& key, Bytes value) {
+  namespaces_[ns][key] = std::move(value);
+  notify(ns, key);
+}
+
+void Sdl::set_str(const std::string& ns, const std::string& key,
+                  const std::string& value) {
+  set(ns, key, Bytes(value.begin(), value.end()));
+}
+
+std::optional<Bytes> Sdl::get(const std::string& ns,
+                              const std::string& key) const {
+  auto ns_it = namespaces_.find(ns);
+  if (ns_it == namespaces_.end()) return std::nullopt;
+  auto it = ns_it->second.find(key);
+  if (it == ns_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Sdl::get_str(const std::string& ns,
+                                        const std::string& key) const {
+  auto raw = get(ns, key);
+  if (!raw) return std::nullopt;
+  return std::string(raw->begin(), raw->end());
+}
+
+bool Sdl::remove(const std::string& ns, const std::string& key) {
+  auto ns_it = namespaces_.find(ns);
+  if (ns_it == namespaces_.end()) return false;
+  bool erased = ns_it->second.erase(key) > 0;
+  if (erased) notify(ns, key);
+  return erased;
+}
+
+std::vector<std::string> Sdl::keys(const std::string& ns) const {
+  std::vector<std::string> out;
+  auto ns_it = namespaces_.find(ns);
+  if (ns_it == namespaces_.end()) return out;
+  out.reserve(ns_it->second.size());
+  for (const auto& [key, value] : ns_it->second) out.push_back(key);
+  return out;
+}
+
+std::vector<std::string> Sdl::keys_in_range(const std::string& ns,
+                                            const std::string& first,
+                                            const std::string& last) const {
+  std::vector<std::string> out;
+  auto ns_it = namespaces_.find(ns);
+  if (ns_it == namespaces_.end()) return out;
+  for (auto it = ns_it->second.lower_bound(first);
+       it != ns_it->second.end() && it->first < last; ++it)
+    out.push_back(it->first);
+  return out;
+}
+
+std::size_t Sdl::size(const std::string& ns) const {
+  auto ns_it = namespaces_.find(ns);
+  return ns_it == namespaces_.end() ? 0 : ns_it->second.size();
+}
+
+void Sdl::clear(const std::string& ns) { namespaces_.erase(ns); }
+
+void Sdl::watch(const std::string& ns, WatchHandler handler) {
+  watchers_[ns].push_back(std::move(handler));
+}
+
+void Sdl::notify(const std::string& ns, const std::string& key) {
+  auto it = watchers_.find(ns);
+  if (it == watchers_.end()) return;
+  for (const auto& handler : it->second) handler(ns, key);
+}
+
+std::string Sdl::seq_key(std::uint64_t seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+}  // namespace xsec::oran

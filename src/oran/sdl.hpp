@@ -1,0 +1,55 @@
+// Shared Data Layer (SDL).
+//
+// The OSC near-RT RIC's centralized store that xApps and platform services
+// share (backed by Redis in the reference implementation). Namespaced
+// key-value with ordered iteration and change notification — MobiWatch
+// stores telemetry here and the LLM analyzer reads flagged windows back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace xsec::oran {
+
+class Sdl {
+ public:
+  using WatchHandler =
+      std::function<void(const std::string& ns, const std::string& key)>;
+
+  void set(const std::string& ns, const std::string& key, Bytes value);
+  void set_str(const std::string& ns, const std::string& key,
+               const std::string& value);
+  std::optional<Bytes> get(const std::string& ns, const std::string& key) const;
+  std::optional<std::string> get_str(const std::string& ns,
+                                     const std::string& key) const;
+  bool remove(const std::string& ns, const std::string& key);
+  /// All keys in a namespace, lexicographically ordered.
+  std::vector<std::string> keys(const std::string& ns) const;
+  /// Keys in [first, last) — useful for sequence-numbered telemetry.
+  std::vector<std::string> keys_in_range(const std::string& ns,
+                                         const std::string& first,
+                                         const std::string& last) const;
+  std::size_t size(const std::string& ns) const;
+  void clear(const std::string& ns);
+
+  /// Registers a change listener for a namespace (set and remove).
+  void watch(const std::string& ns, WatchHandler handler);
+
+  /// Formats a zero-padded numeric key so lexicographic order equals
+  /// numeric order ("00000000000000000042").
+  static std::string seq_key(std::uint64_t seq);
+
+ private:
+  void notify(const std::string& ns, const std::string& key);
+
+  std::map<std::string, std::map<std::string, Bytes>> namespaces_;
+  std::map<std::string, std::vector<WatchHandler>> watchers_;
+};
+
+}  // namespace xsec::oran

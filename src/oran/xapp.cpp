@@ -1,0 +1,4 @@
+#include "oran/xapp.hpp"
+
+// XApp is header-only today; this TU anchors the vtable.
+namespace xsec::oran {}

@@ -1,0 +1,77 @@
+// xApp framework.
+//
+// xApps are modular control-plane applications hosted by the near-RT RIC
+// (paper §2.1). They reach the platform through three services: E2
+// subscriptions (via the RIC), the SDL, and the message router.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oran/a1.hpp"
+#include "oran/e2ap.hpp"
+#include "oran/router.hpp"
+#include "oran/sdl.hpp"
+
+namespace xsec::oran {
+
+class NearRtRic;
+
+class XApp {
+ public:
+  explicit XApp(std::string name) : name_(std::move(name)) {}
+  virtual ~XApp() = default;
+
+  XApp(const XApp&) = delete;
+  XApp& operator=(const XApp&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called by the RIC after registration; platform services are available
+  /// from here on. Subscriptions are typically created in this hook.
+  virtual void on_start() {}
+
+  /// An E2 indication matching one of this xApp's subscriptions.
+  virtual void on_indication(std::uint64_t node_id,
+                             const RicIndication& indication) {
+    (void)node_id;
+    (void)indication;
+  }
+
+  /// Acknowledgement for a control request this xApp issued.
+  virtual void on_control_ack(std::uint64_t node_id,
+                              const RicControlAck& ack) {
+    (void)node_id;
+    (void)ack;
+  }
+
+  /// An A1 policy from the non-RT RIC. Default: unsupported.
+  virtual PolicyStatus on_policy(const A1Policy& policy) {
+    (void)policy;
+    return PolicyStatus::kUnsupported;
+  }
+
+  // Wired by NearRtRic::register_xapp.
+  void attach(NearRtRic* ric, Sdl* sdl, MessageRouter* router,
+              std::uint32_t requestor_id) {
+    ric_ = ric;
+    sdl_ = sdl;
+    router_ = router;
+    requestor_id_ = requestor_id;
+  }
+  std::uint32_t requestor_id() const { return requestor_id_; }
+
+ protected:
+  NearRtRic& ric() { return *ric_; }
+  Sdl& sdl() { return *sdl_; }
+  MessageRouter& router() { return *router_; }
+
+ private:
+  std::string name_;
+  NearRtRic* ric_ = nullptr;
+  Sdl* sdl_ = nullptr;
+  MessageRouter* router_ = nullptr;
+  std::uint32_t requestor_id_ = 0;
+};
+
+}  // namespace xsec::oran

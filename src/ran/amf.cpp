@@ -1,0 +1,246 @@
+#include "ran/amf.hpp"
+
+#include "common/log.hpp"
+#include "ran/ue.hpp"  // deconceal_suci
+
+namespace xsec::ran {
+
+std::optional<Supi> SubscriberDb::find_by_msin(std::uint64_t msin,
+                                               const Plmn& plmn) const {
+  Supi candidate{plmn, msin};
+  if (supis_.count(candidate)) return candidate;
+  return std::nullopt;
+}
+
+Amf::Amf(AmfConfig config, AmfHooks hooks, SubscriberDb* db)
+    : config_(config), hooks_(std::move(hooks)), db_(db), rng_(config.seed) {}
+
+void Amf::on_ngap(const Bytes& ngap_wire) {
+  auto decoded = decode_ngap(ngap_wire);
+  if (!decoded) {
+    XSEC_LOG_WARN("amf", "undecodable NGAP");
+    return;
+  }
+  const NgapMessage& msg = decoded.value();
+
+  switch (msg.procedure) {
+    case NgapProcedure::kInitialUeMessage: {
+      Session session;
+      session.ran_ue_ngap_id = msg.ran_ue_ngap_id;
+      session.amf_ue_ngap_id = next_amf_ue_id_++;
+      auto [it, inserted] =
+          sessions_.insert_or_assign(msg.ran_ue_ngap_id, session);
+      auto nas = decode_nas(msg.nas_pdu);
+      if (!nas) {
+        XSEC_LOG_WARN("amf", "undecodable initial NAS");
+        return;
+      }
+      handle_nas(it->second, nas.value());
+      break;
+    }
+    case NgapProcedure::kUplinkNasTransport: {
+      auto it = sessions_.find(msg.ran_ue_ngap_id);
+      if (it == sessions_.end()) return;
+      auto nas = decode_nas(msg.nas_pdu);
+      if (!nas) {
+        XSEC_LOG_WARN("amf", "undecodable NAS PDU");
+        return;
+      }
+      handle_nas(it->second, nas.value());
+      break;
+    }
+    case NgapProcedure::kUeContextReleaseComplete: {
+      sessions_.erase(msg.ran_ue_ngap_id);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Amf::handle_nas(Session& session, const NasMessage& msg) {
+  std::visit(
+      [this, &session](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegistrationRequest>) {
+          handle_registration_request(session, m);
+        } else if constexpr (std::is_same_v<T, IdentityResponse>) {
+          if (session.state != NasState::kAwaitingIdentity) return;
+          session.supi = resolve_identity(m.identity);
+          if (!session.supi) {
+            send_nas(session,
+                     NasMessage{RegistrationReject{MmCause::kIllegalUe}});
+            release(session);
+            return;
+          }
+          start_authentication(session);
+        } else if constexpr (std::is_same_v<T, AuthenticationResponse>) {
+          if (session.state != NasState::kAwaitingAuthResponse) return;
+          if (m.res != session.expected_res) {
+            ++auth_failures_;
+            send_nas(session, NasMessage{AuthenticationReject{}});
+            release(session);
+            return;
+          }
+          // AKA succeeded: activate NAS security.
+          session.state = NasState::kAwaitingSmcComplete;
+          NasSecurityModeCommand smc;
+          smc.cipher = config_.nas_policy.select_cipher(session.capabilities);
+          smc.integrity =
+              config_.nas_policy.select_integrity(session.capabilities);
+          smc.replayed_capabilities = session.capabilities;
+          send_nas(session, NasMessage{smc});
+          arm_procedure_timer(session);
+        } else if constexpr (std::is_same_v<T, AuthenticationFailure>) {
+          ++auth_failures_;
+          release(session);
+        } else if constexpr (std::is_same_v<T, NasSecurityModeComplete>) {
+          if (session.state != NasState::kAwaitingSmcComplete) return;
+          session.state = NasState::kAwaitingRegComplete;
+          // Trigger AS security at the gNB, then accept the registration.
+          NgapMessage ctx_setup;
+          ctx_setup.procedure = NgapProcedure::kInitialContextSetup;
+          ctx_setup.ran_ue_ngap_id = session.ran_ue_ngap_id;
+          ctx_setup.amf_ue_ngap_id = session.amf_ue_ngap_id;
+          hooks_.to_gnb(encode_ngap(ctx_setup));
+
+          RegistrationAccept accept;
+          accept.guti = allocate_guti(*session.supi);
+          send_nas(session, NasMessage{accept});
+          arm_procedure_timer(session);
+        } else if constexpr (std::is_same_v<T, NasSecurityModeReject>) {
+          release(session);
+        } else if constexpr (std::is_same_v<T, RegistrationComplete>) {
+          if (session.state != NasState::kAwaitingRegComplete) return;
+          session.state = NasState::kRegistered;
+          ++session.generation;  // cancel the procedure timer
+          ++registered_;
+        } else if constexpr (std::is_same_v<T, DeregistrationRequestUe>) {
+          send_nas(session, NasMessage{DeregistrationAcceptNw{}});
+          release(session);
+        } else if constexpr (std::is_same_v<T, ServiceRequest>) {
+          // Service requests ride on an existing registration.
+          if (session.state == NasState::kRegistered)
+            send_nas(session, NasMessage{ServiceAccept{}});
+          else
+            send_nas(session,
+                     NasMessage{ServiceReject{MmCause::kIllegalUe}});
+        }
+      },
+      msg);
+}
+
+void Amf::handle_registration_request(Session& session,
+                                      const RegistrationRequest& msg) {
+  session.capabilities = msg.capabilities;
+  session.supi = resolve_identity(msg.identity);
+  if (!session.supi) {
+    if (msg.identity.kind == MobileIdentity::Kind::kGuti) {
+      // Unknown GUTI (e.g., AMF restart): ask for the permanent identity.
+      // This benign IdentityRequest flow is why identity requests alone are
+      // ambiguous evidence of an attack (paper §5, Limitations).
+      session.state = NasState::kAwaitingIdentity;
+      send_nas(session, NasMessage{IdentityRequest{IdentityType::kSuci}});
+      arm_procedure_timer(session);
+      return;
+    }
+    send_nas(session, NasMessage{RegistrationReject{MmCause::kIllegalUe}});
+    release(session);
+    return;
+  }
+  start_authentication(session);
+}
+
+void Amf::start_authentication(Session& session) {
+  Key k = subscriber_key(session.supi->str());
+  std::uint64_t rand = rng_.uniform_u64(1, Rng::max());
+  AuthVector vec = generate_auth_vector(k, rand);
+  session.auth_rand = rand;
+  session.expected_res = vec.xres;
+  session.state = NasState::kAwaitingAuthResponse;
+  AuthenticationRequest req;
+  req.ng_ksi = 0;
+  req.rand = vec.rand;
+  req.autn = vec.autn;
+  send_nas(session, NasMessage{req});
+  arm_procedure_timer(session);
+}
+
+void Amf::send_nas(Session& session, const NasMessage& msg) {
+  NgapMessage ngap;
+  ngap.procedure = NgapProcedure::kDownlinkNasTransport;
+  ngap.ran_ue_ngap_id = session.ran_ue_ngap_id;
+  ngap.amf_ue_ngap_id = session.amf_ue_ngap_id;
+  ngap.nas_pdu = encode_nas(msg);
+  hooks_.to_gnb(encode_ngap(ngap));
+}
+
+void Amf::release(Session& session) {
+  NgapMessage cmd;
+  cmd.procedure = NgapProcedure::kUeContextReleaseCommand;
+  cmd.ran_ue_ngap_id = session.ran_ue_ngap_id;
+  cmd.amf_ue_ngap_id = session.amf_ue_ngap_id;
+  hooks_.to_gnb(encode_ngap(cmd));
+  ++session.generation;
+  // The session map entry is erased when ReleaseComplete arrives.
+}
+
+void Amf::arm_procedure_timer(Session& session) {
+  std::uint64_t ran_id = session.ran_ue_ngap_id;
+  std::uint64_t generation = ++session.generation;
+  hooks_.schedule(config_.procedure_timeout, [this, ran_id, generation] {
+    auto it = sessions_.find(ran_id);
+    if (it == sessions_.end()) return;
+    if (it->second.generation != generation) return;
+    XSEC_LOG_DEBUG("amf", "procedure timeout for ran_id=", ran_id);
+    release(it->second);
+  });
+}
+
+std::optional<Supi> Amf::resolve_identity(const MobileIdentity& identity) {
+  switch (identity.kind) {
+    case MobileIdentity::Kind::kSuci: {
+      std::uint64_t msin = deconceal_suci(*identity.suci);
+      return db_->find_by_msin(msin, identity.suci->plmn);
+    }
+    case MobileIdentity::Kind::kGuti: {
+      auto it = guti_map_.find(identity.guti->s_tmsi.packed());
+      if (it == guti_map_.end()) return std::nullopt;
+      return it->second;
+    }
+    case MobileIdentity::Kind::kSupiPlain:
+      // Plaintext SUPI: accepted, but this is the red flag MobiFlow records.
+      if (db_->is_provisioned(*identity.supi)) return identity.supi;
+      return std::nullopt;
+    case MobileIdentity::Kind::kNone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool Amf::page(const Supi& supi) {
+  // Find the most recently allocated GUTI for this subscriber.
+  std::uint64_t packed = 0;
+  for (const auto& [tmsi, owner] : guti_map_)
+    if (owner == supi) packed = tmsi;
+  if (packed == 0) return false;
+  NgapMessage paging;
+  paging.procedure = NgapProcedure::kPaging;
+  paging.paging_tmsi = packed;
+  hooks_.to_gnb(encode_ngap(paging));
+  ++pages_sent_;
+  return true;
+}
+
+Guti Amf::allocate_guti(const Supi& supi) {
+  Guti guti;
+  guti.plmn = config_.plmn;
+  guti.amf_region = 1;
+  guti.s_tmsi.amf_set_id = 1;
+  guti.s_tmsi.amf_pointer = 0;
+  guti.s_tmsi.tmsi = static_cast<std::uint32_t>(rng_.uniform_u64(1, 0xfffffffe));
+  guti_map_[guti.s_tmsi.packed()] = supi;
+  return guti;
+}
+
+}  // namespace xsec::ran

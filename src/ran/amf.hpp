@@ -1,0 +1,113 @@
+// AMF (Access and Mobility Management Function) — the 5G core's NAS
+// endpoint. Runs 5G-AKA against the subscriber database, drives NAS
+// security mode, allocates GUTIs, and accepts registrations. Sits behind
+// the gNB over NGAP; per the paper's threat model the core is trusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "ran/codec.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/nas.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+
+/// Provisioned subscribers. Keys are derived deterministically from the
+/// SUPI (the same derivation the UE's simulated SIM uses), so provisioning
+/// is just membership.
+class SubscriberDb {
+ public:
+  void provision(const Supi& supi) { supis_.insert(supi); }
+  bool is_provisioned(const Supi& supi) const { return supis_.count(supi) > 0; }
+  std::optional<Supi> find_by_msin(std::uint64_t msin, const Plmn& plmn) const;
+  std::size_t size() const { return supis_.size(); }
+
+ private:
+  std::set<Supi> supis_;
+};
+
+struct AmfConfig {
+  Plmn plmn = Plmn::test_network();
+  AlgorithmPolicy nas_policy;
+  /// Authentication / identity procedure timeout.
+  SimDuration procedure_timeout = SimDuration::from_ms(300);
+  std::uint64_t seed = 11;
+};
+
+struct AmfHooks {
+  std::function<void(Bytes)> to_gnb;  // downlink NGAP
+  std::function<SimTime()> now;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+};
+
+class Amf {
+ public:
+  Amf(AmfConfig config, AmfHooks hooks, SubscriberDb* db);
+
+  Amf(const Amf&) = delete;
+  Amf& operator=(const Amf&) = delete;
+
+  /// Delivers an uplink NGAP message from the gNB.
+  void on_ngap(const Bytes& ngap_wire);
+
+  /// Pages a registered subscriber (mobile-terminated traffic arrived).
+  /// Broadcasts the subscriber's current 5G-S-TMSI via the gNB. Returns
+  /// false when the subscriber holds no GUTI.
+  bool page(const Supi& supi);
+  std::size_t pages_sent() const { return pages_sent_; }
+
+  std::size_t registered_count() const { return registered_; }
+  std::size_t auth_failures() const { return auth_failures_; }
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  enum class NasState {
+    kIdle,
+    kAwaitingIdentity,
+    kAwaitingAuthResponse,
+    kAwaitingSmcComplete,
+    kAwaitingRegComplete,
+    kRegistered,
+  };
+
+  struct Session {
+    std::uint64_t ran_ue_ngap_id = 0;
+    std::uint64_t amf_ue_ngap_id = 0;
+    NasState state = NasState::kIdle;
+    std::optional<Supi> supi;
+    SecurityCapabilities capabilities;
+    std::uint64_t expected_res = 0;
+    std::uint64_t auth_rand = 0;
+    std::uint64_t generation = 0;  // cancels stale procedure timers
+  };
+
+  void handle_nas(Session& session, const NasMessage& msg);
+  void handle_registration_request(Session& session,
+                                   const RegistrationRequest& msg);
+  void start_authentication(Session& session);
+  void send_nas(Session& session, const NasMessage& msg);
+  void release(Session& session);
+  void arm_procedure_timer(Session& session);
+  std::optional<Supi> resolve_identity(const MobileIdentity& identity);
+  Guti allocate_guti(const Supi& supi);
+
+  AmfConfig config_;
+  AmfHooks hooks_;
+  SubscriberDb* db_;
+  Rng rng_;
+  std::map<std::uint64_t, Session> sessions_;  // keyed by ran_ue_ngap_id
+  std::map<std::uint64_t, Supi> guti_map_;     // packed S-TMSI -> SUPI
+  std::uint64_t next_amf_ue_id_ = 1;
+  std::size_t registered_ = 0;
+  std::size_t auth_failures_ = 0;
+  std::size_t pages_sent_ = 0;
+};
+
+}  // namespace xsec::ran

@@ -1,0 +1,546 @@
+#include "ran/codec.hpp"
+
+namespace xsec::ran {
+
+namespace {
+
+// Variant index is the wire type tag. Adding a message type appends to the
+// variant, so existing tags stay stable (the trace-file format depends on
+// this).
+
+void encode_plmn(ByteWriter& w, const Plmn& plmn) {
+  w.u16(plmn.mcc);
+  w.u16(plmn.mnc);
+}
+
+Result<Plmn> decode_plmn(ByteReader& r) {
+  auto mcc = r.u16();
+  if (!mcc) return mcc.error();
+  auto mnc = r.u16();
+  if (!mnc) return mnc.error();
+  return Plmn{mcc.value(), mnc.value()};
+}
+
+void encode_stmsi(ByteWriter& w, const STmsi& s) { w.u64(s.packed()); }
+
+Result<STmsi> decode_stmsi(ByteReader& r) {
+  auto packed = r.u64();
+  if (!packed) return packed.error();
+  return STmsi::from_packed(packed.value());
+}
+
+void encode_caps(ByteWriter& w, const SecurityCapabilities& caps) {
+  w.u8(caps.nea_mask);
+  w.u8(caps.nia_mask);
+}
+
+Result<SecurityCapabilities> decode_caps(ByteReader& r) {
+  auto nea = r.u8();
+  if (!nea) return nea.error();
+  auto nia = r.u8();
+  if (!nia) return nia.error();
+  return SecurityCapabilities{nea.value(), nia.value()};
+}
+
+void encode_bytes(ByteWriter& w, const Bytes& b) {
+  w.u32(static_cast<std::uint32_t>(b.size()));
+  w.raw(b);
+}
+
+Result<Bytes> decode_bytes(ByteReader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  return r.raw(n.value());
+}
+
+Result<CipherAlg> decode_cipher(ByteReader& r) {
+  auto v = r.u8();
+  if (!v) return v.error();
+  if (v.value() > 3) return Error::make("malformed", "cipher alg out of range");
+  return static_cast<CipherAlg>(v.value());
+}
+
+Result<IntegrityAlg> decode_integrity(ByteReader& r) {
+  auto v = r.u8();
+  if (!v) return v.error();
+  if (v.value() > 3)
+    return Error::make("malformed", "integrity alg out of range");
+  return static_cast<IntegrityAlg>(v.value());
+}
+
+}  // namespace
+
+void encode_guti(ByteWriter& w, const Guti& guti) {
+  encode_plmn(w, guti.plmn);
+  w.u8(guti.amf_region);
+  encode_stmsi(w, guti.s_tmsi);
+}
+
+Result<Guti> decode_guti(ByteReader& r) {
+  auto plmn = decode_plmn(r);
+  if (!plmn) return plmn.error();
+  auto region = r.u8();
+  if (!region) return region.error();
+  auto stmsi = decode_stmsi(r);
+  if (!stmsi) return stmsi.error();
+  return Guti{plmn.value(), region.value(), stmsi.value()};
+}
+
+void encode_mobile_identity(ByteWriter& w, const MobileIdentity& id) {
+  w.u8(static_cast<std::uint8_t>(id.kind));
+  switch (id.kind) {
+    case MobileIdentity::Kind::kSuci:
+      encode_plmn(w, id.suci->plmn);
+      w.u64(id.suci->concealed);
+      w.u8(id.suci->protection_scheme);
+      break;
+    case MobileIdentity::Kind::kGuti:
+      encode_guti(w, *id.guti);
+      break;
+    case MobileIdentity::Kind::kSupiPlain:
+      encode_plmn(w, id.supi->plmn);
+      w.u64(id.supi->msin);
+      break;
+    case MobileIdentity::Kind::kNone:
+      break;
+  }
+}
+
+Result<MobileIdentity> decode_mobile_identity(ByteReader& r) {
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (kind.value() > 3)
+    return Error::make("malformed", "mobile identity kind out of range");
+  MobileIdentity id;
+  id.kind = static_cast<MobileIdentity::Kind>(kind.value());
+  switch (id.kind) {
+    case MobileIdentity::Kind::kSuci: {
+      auto plmn = decode_plmn(r);
+      if (!plmn) return plmn.error();
+      auto concealed = r.u64();
+      if (!concealed) return concealed.error();
+      auto scheme = r.u8();
+      if (!scheme) return scheme.error();
+      id.suci = Suci{plmn.value(), concealed.value(), scheme.value()};
+      break;
+    }
+    case MobileIdentity::Kind::kGuti: {
+      auto guti = decode_guti(r);
+      if (!guti) return guti.error();
+      id.guti = guti.value();
+      break;
+    }
+    case MobileIdentity::Kind::kSupiPlain: {
+      auto plmn = decode_plmn(r);
+      if (!plmn) return plmn.error();
+      auto msin = r.u64();
+      if (!msin) return msin.error();
+      id.supi = Supi{plmn.value(), msin.value()};
+      break;
+    }
+    case MobileIdentity::Kind::kNone:
+      break;
+  }
+  return id;
+}
+
+// --- RRC ---------------------------------------------------------------
+
+Bytes encode_rrc(const RrcMessage& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.index()));
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RrcSetupRequest>) {
+          w.u8(static_cast<std::uint8_t>(m.ue_identity.kind));
+          w.u64(m.ue_identity.value);
+          w.u8(static_cast<std::uint8_t>(m.cause));
+        } else if constexpr (std::is_same_v<T, RrcSetupComplete>) {
+          encode_plmn(w, m.selected_plmn);
+          encode_bytes(w, m.dedicated_nas);
+          w.boolean(m.s_tmsi.has_value());
+          if (m.s_tmsi) encode_stmsi(w, *m.s_tmsi);
+        } else if constexpr (std::is_same_v<T, RrcSecurityModeFailure>) {
+          w.u8(m.cause);
+        } else if constexpr (std::is_same_v<T, UeCapabilityInformation>) {
+          w.str(m.rat_capabilities);
+          w.u8(m.num_bands);
+        } else if constexpr (std::is_same_v<T, UlInformationTransfer> ||
+                             std::is_same_v<T, DlInformationTransfer>) {
+          encode_bytes(w, m.dedicated_nas);
+        } else if constexpr (std::is_same_v<T, MeasurementReport>) {
+          w.u8(static_cast<std::uint8_t>(m.rsrp_dbm));
+          w.u8(static_cast<std::uint8_t>(m.rsrq_db));
+        } else if constexpr (std::is_same_v<T, RrcReestablishmentRequest>) {
+          w.u16(m.old_rnti.value);
+          w.u16(m.phys_cell_id);
+          w.u8(m.cause);
+        } else if constexpr (std::is_same_v<T, RrcReject>) {
+          w.u8(m.wait_time_s);
+        } else if constexpr (std::is_same_v<T, RrcSecurityModeCommand>) {
+          w.u8(static_cast<std::uint8_t>(m.cipher));
+          w.u8(static_cast<std::uint8_t>(m.integrity));
+        } else if constexpr (std::is_same_v<T, RrcReconfiguration>) {
+          w.u8(m.transaction_id);
+        } else if constexpr (std::is_same_v<T, RrcRelease>) {
+          w.u8(static_cast<std::uint8_t>(m.cause));
+          w.boolean(m.suspend);
+        } else if constexpr (std::is_same_v<T, Paging>) {
+          w.u64(m.s_tmsi_packed);
+        }
+        // RrcSetup, RrcSecurityModeComplete, RrcReconfigurationComplete,
+        // UeCapabilityEnquiry carry no body fields in this subset.
+      },
+      msg);
+  return w.take();
+}
+
+Result<RrcMessage> decode_rrc(const Bytes& wire) {
+  ByteReader r(wire);
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (tag.value()) {
+    case 0: {  // RrcSetupRequest
+      auto kind = r.u8();
+      if (!kind) return kind.error();
+      if (kind.value() > 1)
+        return Error::make("malformed", "initial UE identity kind");
+      auto value = r.u64();
+      if (!value) return value.error();
+      auto cause = r.u8();
+      if (!cause) return cause.error();
+      if (cause.value() > 9)
+        return Error::make("malformed", "establishment cause out of range");
+      RrcSetupRequest m;
+      m.ue_identity.kind =
+          static_cast<InitialUeIdentity::Kind>(kind.value());
+      m.ue_identity.value = value.value();
+      m.cause = static_cast<EstablishmentCause>(cause.value());
+      return RrcMessage{m};
+    }
+    case 1: {  // RrcSetupComplete
+      auto plmn = decode_plmn(r);
+      if (!plmn) return plmn.error();
+      auto nas = decode_bytes(r);
+      if (!nas) return nas.error();
+      auto has_stmsi = r.boolean();
+      if (!has_stmsi) return has_stmsi.error();
+      RrcSetupComplete m;
+      m.selected_plmn = plmn.value();
+      m.dedicated_nas = nas.value();
+      if (has_stmsi.value()) {
+        auto stmsi = decode_stmsi(r);
+        if (!stmsi) return stmsi.error();
+        m.s_tmsi = stmsi.value();
+      }
+      return RrcMessage{m};
+    }
+    case 2:
+      return RrcMessage{RrcSecurityModeComplete{}};
+    case 3: {
+      auto cause = r.u8();
+      if (!cause) return cause.error();
+      return RrcMessage{RrcSecurityModeFailure{cause.value()}};
+    }
+    case 4: {
+      auto caps = r.str();
+      if (!caps) return caps.error();
+      auto bands = r.u8();
+      if (!bands) return bands.error();
+      return RrcMessage{UeCapabilityInformation{caps.value(), bands.value()}};
+    }
+    case 5:
+      return RrcMessage{RrcReconfigurationComplete{}};
+    case 6: {
+      auto nas = decode_bytes(r);
+      if (!nas) return nas.error();
+      return RrcMessage{UlInformationTransfer{nas.value()}};
+    }
+    case 7: {
+      auto rsrp = r.u8();
+      if (!rsrp) return rsrp.error();
+      auto rsrq = r.u8();
+      if (!rsrq) return rsrq.error();
+      return RrcMessage{
+          MeasurementReport{static_cast<std::int8_t>(rsrp.value()),
+                            static_cast<std::int8_t>(rsrq.value())}};
+    }
+    case 8: {
+      auto rnti = r.u16();
+      if (!rnti) return rnti.error();
+      auto pci = r.u16();
+      if (!pci) return pci.error();
+      auto cause = r.u8();
+      if (!cause) return cause.error();
+      return RrcMessage{RrcReestablishmentRequest{Rnti{rnti.value()},
+                                                  pci.value(), cause.value()}};
+    }
+    case 9:
+      return RrcMessage{RrcSetup{}};
+    case 10: {
+      auto wait = r.u8();
+      if (!wait) return wait.error();
+      return RrcMessage{RrcReject{wait.value()}};
+    }
+    case 11: {
+      auto cipher = decode_cipher(r);
+      if (!cipher) return cipher.error();
+      auto integrity = decode_integrity(r);
+      if (!integrity) return integrity.error();
+      return RrcMessage{
+          RrcSecurityModeCommand{cipher.value(), integrity.value()}};
+    }
+    case 12:
+      return RrcMessage{UeCapabilityEnquiry{}};
+    case 13: {
+      auto tid = r.u8();
+      if (!tid) return tid.error();
+      return RrcMessage{RrcReconfiguration{tid.value()}};
+    }
+    case 14: {
+      auto nas = decode_bytes(r);
+      if (!nas) return nas.error();
+      return RrcMessage{DlInformationTransfer{nas.value()}};
+    }
+    case 15: {
+      auto cause = r.u8();
+      if (!cause) return cause.error();
+      if (cause.value() > 1)
+        return Error::make("malformed", "release cause out of range");
+      auto suspend = r.boolean();
+      if (!suspend) return suspend.error();
+      return RrcMessage{
+          RrcRelease{static_cast<RrcRelease::Cause>(cause.value()),
+                     suspend.value()}};
+    }
+    case 16: {
+      auto tmsi = r.u64();
+      if (!tmsi) return tmsi.error();
+      return RrcMessage{Paging{tmsi.value()}};
+    }
+    default:
+      return Error::make("malformed",
+                         "unknown RRC tag " + std::to_string(tag.value()));
+  }
+}
+
+// --- NAS ---------------------------------------------------------------
+
+Bytes encode_nas(const NasMessage& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.index()));
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegistrationRequest>) {
+          w.u8(static_cast<std::uint8_t>(m.type));
+          w.u8(m.ng_ksi);
+          encode_mobile_identity(w, m.identity);
+          encode_caps(w, m.capabilities);
+        } else if constexpr (std::is_same_v<T, AuthenticationResponse>) {
+          w.u64(m.res);
+        } else if constexpr (std::is_same_v<T, AuthenticationFailure>) {
+          w.u8(static_cast<std::uint8_t>(m.cause));
+        } else if constexpr (std::is_same_v<T, NasSecurityModeComplete>) {
+          w.boolean(m.imeisv_supi.has_value());
+          if (m.imeisv_supi) {
+            w.u16(m.imeisv_supi->plmn.mcc);
+            w.u16(m.imeisv_supi->plmn.mnc);
+            w.u64(m.imeisv_supi->msin);
+          }
+        } else if constexpr (std::is_same_v<T, NasSecurityModeReject>) {
+          w.u8(static_cast<std::uint8_t>(m.cause));
+        } else if constexpr (std::is_same_v<T, IdentityResponse>) {
+          encode_mobile_identity(w, m.identity);
+        } else if constexpr (std::is_same_v<T, ServiceRequest>) {
+          w.u8(m.service_type);
+          w.boolean(m.s_tmsi.has_value());
+          if (m.s_tmsi) encode_stmsi(w, *m.s_tmsi);
+        } else if constexpr (std::is_same_v<T, DeregistrationRequestUe>) {
+          w.boolean(m.switch_off);
+        } else if constexpr (std::is_same_v<T, AuthenticationRequest>) {
+          w.u8(m.ng_ksi);
+          w.u64(m.rand);
+          w.u64(m.autn);
+        } else if constexpr (std::is_same_v<T, NasSecurityModeCommand>) {
+          w.u8(static_cast<std::uint8_t>(m.cipher));
+          w.u8(static_cast<std::uint8_t>(m.integrity));
+          encode_caps(w, m.replayed_capabilities);
+        } else if constexpr (std::is_same_v<T, IdentityRequest>) {
+          w.u8(static_cast<std::uint8_t>(m.type));
+        } else if constexpr (std::is_same_v<T, RegistrationAccept>) {
+          encode_guti(w, m.guti);
+          w.u16(m.t3512_min);
+        } else if constexpr (std::is_same_v<T, RegistrationReject>) {
+          w.u8(static_cast<std::uint8_t>(m.cause));
+        } else if constexpr (std::is_same_v<T, ServiceReject>) {
+          w.u8(static_cast<std::uint8_t>(m.cause));
+        } else if constexpr (std::is_same_v<T, ConfigurationUpdateCommand>) {
+          w.boolean(m.new_guti.has_value());
+          if (m.new_guti) encode_guti(w, *m.new_guti);
+        }
+        // Messages without body fields: RegistrationComplete,
+        // AuthenticationReject, ServiceAccept, DeregistrationAcceptNw.
+      },
+      msg);
+  return w.take();
+}
+
+namespace {
+Result<MmCause> decode_cause(ByteReader& r) {
+  auto v = r.u8();
+  if (!v) return v.error();
+  return static_cast<MmCause>(v.value());
+}
+}  // namespace
+
+Result<NasMessage> decode_nas(const Bytes& wire) {
+  ByteReader r(wire);
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (tag.value()) {
+    case 0: {  // RegistrationRequest
+      auto type = r.u8();
+      if (!type) return type.error();
+      if (type.value() < 1 || type.value() > 4)
+        return Error::make("malformed", "registration type out of range");
+      auto ksi = r.u8();
+      if (!ksi) return ksi.error();
+      auto id = decode_mobile_identity(r);
+      if (!id) return id.error();
+      auto caps = decode_caps(r);
+      if (!caps) return caps.error();
+      return NasMessage{
+          RegistrationRequest{static_cast<RegistrationType>(type.value()),
+                              ksi.value(), id.value(), caps.value()}};
+    }
+    case 1: {
+      auto res = r.u64();
+      if (!res) return res.error();
+      return NasMessage{AuthenticationResponse{res.value()}};
+    }
+    case 2: {
+      auto cause = decode_cause(r);
+      if (!cause) return cause.error();
+      return NasMessage{AuthenticationFailure{cause.value()}};
+    }
+    case 3: {
+      auto has = r.boolean();
+      if (!has) return has.error();
+      NasSecurityModeComplete m;
+      if (has.value()) {
+        auto mcc = r.u16();
+        if (!mcc) return mcc.error();
+        auto mnc = r.u16();
+        if (!mnc) return mnc.error();
+        auto msin = r.u64();
+        if (!msin) return msin.error();
+        m.imeisv_supi = Supi{Plmn{mcc.value(), mnc.value()}, msin.value()};
+      }
+      return NasMessage{m};
+    }
+    case 4: {
+      auto cause = decode_cause(r);
+      if (!cause) return cause.error();
+      return NasMessage{NasSecurityModeReject{cause.value()}};
+    }
+    case 5: {
+      auto id = decode_mobile_identity(r);
+      if (!id) return id.error();
+      return NasMessage{IdentityResponse{id.value()}};
+    }
+    case 6:
+      return NasMessage{RegistrationComplete{}};
+    case 7: {
+      auto type = r.u8();
+      if (!type) return type.error();
+      auto has = r.boolean();
+      if (!has) return has.error();
+      ServiceRequest m;
+      m.service_type = type.value();
+      if (has.value()) {
+        auto stmsi = decode_stmsi(r);
+        if (!stmsi) return stmsi.error();
+        m.s_tmsi = stmsi.value();
+      }
+      return NasMessage{m};
+    }
+    case 8: {
+      auto off = r.boolean();
+      if (!off) return off.error();
+      return NasMessage{DeregistrationRequestUe{off.value()}};
+    }
+    case 9: {
+      auto ksi = r.u8();
+      if (!ksi) return ksi.error();
+      auto rand = r.u64();
+      if (!rand) return rand.error();
+      auto autn = r.u64();
+      if (!autn) return autn.error();
+      return NasMessage{
+          AuthenticationRequest{ksi.value(), rand.value(), autn.value()}};
+    }
+    case 10:
+      return NasMessage{AuthenticationReject{}};
+    case 11: {
+      auto cipher = r.u8();
+      if (!cipher) return cipher.error();
+      if (cipher.value() > 3)
+        return Error::make("malformed", "cipher alg out of range");
+      auto integrity = r.u8();
+      if (!integrity) return integrity.error();
+      if (integrity.value() > 3)
+        return Error::make("malformed", "integrity alg out of range");
+      auto caps = decode_caps(r);
+      if (!caps) return caps.error();
+      return NasMessage{
+          NasSecurityModeCommand{static_cast<CipherAlg>(cipher.value()),
+                                 static_cast<IntegrityAlg>(integrity.value()),
+                                 caps.value()}};
+    }
+    case 12: {
+      auto type = r.u8();
+      if (!type) return type.error();
+      return NasMessage{
+          IdentityRequest{static_cast<IdentityType>(type.value())}};
+    }
+    case 13: {
+      auto guti = decode_guti(r);
+      if (!guti) return guti.error();
+      auto t3512 = r.u16();
+      if (!t3512) return t3512.error();
+      return NasMessage{RegistrationAccept{guti.value(), t3512.value()}};
+    }
+    case 14: {
+      auto cause = decode_cause(r);
+      if (!cause) return cause.error();
+      return NasMessage{RegistrationReject{cause.value()}};
+    }
+    case 15:
+      return NasMessage{ServiceAccept{}};
+    case 16: {
+      auto cause = decode_cause(r);
+      if (!cause) return cause.error();
+      return NasMessage{ServiceReject{cause.value()}};
+    }
+    case 17:
+      return NasMessage{DeregistrationAcceptNw{}};
+    case 18: {
+      auto has = r.boolean();
+      if (!has) return has.error();
+      ConfigurationUpdateCommand m;
+      if (has.value()) {
+        auto guti = decode_guti(r);
+        if (!guti) return guti.error();
+        m.new_guti = guti.value();
+      }
+      return NasMessage{m};
+    }
+    default:
+      return Error::make("malformed",
+                         "unknown NAS tag " + std::to_string(tag.value()));
+  }
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,29 @@
+// Wire codec for RRC and NAS messages.
+//
+// Stands in for ASN.1 UPER (RRC) and the 24.501 TLV encoding (NAS): a type
+// tag followed by fixed-order fields. Round-tripping through this codec is
+// what the trace files, the F1AP/NGAP shims, and the E2 indications carry,
+// so the MobiFlow agent genuinely *parses* captured bytes rather than being
+// handed in-memory structs.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "ran/nas.hpp"
+#include "ran/rrc.hpp"
+
+namespace xsec::ran {
+
+Bytes encode_rrc(const RrcMessage& msg);
+Result<RrcMessage> decode_rrc(const Bytes& wire);
+
+Bytes encode_nas(const NasMessage& msg);
+Result<NasMessage> decode_nas(const Bytes& wire);
+
+// Identifier field helpers shared with the E2SM encoding.
+void encode_mobile_identity(ByteWriter& w, const MobileIdentity& id);
+Result<MobileIdentity> decode_mobile_identity(ByteReader& r);
+void encode_guti(ByteWriter& w, const Guti& guti);
+Result<Guti> decode_guti(ByteReader& r);
+
+}  // namespace xsec::ran

@@ -1,0 +1,286 @@
+#include "ran/gnb.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::ran {
+
+Gnb::Gnb(GnbConfig config, GnbHooks hooks, InterfaceTaps* taps)
+    : config_(config),
+      hooks_(std::move(hooks)),
+      taps_(taps),
+      rnti_alloc_(Rng(config.seed)) {}
+
+void Gnb::tap_f1(F1apProcedure proc, const UeContext& ctx, const Bytes& rrc) {
+  if (!taps_) return;
+  F1apMessage f1;
+  f1.procedure = proc;
+  // Export the CU-side id so the collector can correlate F1AP and NGAP
+  // telemetry for the same UE.
+  f1.gnb_du_ue_id = static_cast<std::uint32_t>(ctx.ran_ue_ngap_id);
+  f1.rnti = ctx.rnti;
+  f1.cell = config_.cell;
+  f1.rrc_container = rrc;
+  taps_->emit_f1(hooks_.now(), encode_f1ap(f1));
+}
+
+void Gnb::on_uplink(const AirFrame& frame) {
+  if (!frame.uplink) return;
+
+  if (!frame.rnti) {
+    // CCCH: must be an RRCSetupRequest from a UE without a C-RNTI yet.
+    auto decoded = decode_rrc(frame.rrc_wire);
+    if (!decoded || !std::holds_alternative<RrcSetupRequest>(decoded.value())) {
+      XSEC_LOG_WARN("gnb", "non-setup message on CCCH, dropping");
+      return;
+    }
+    const auto& setup = std::get<RrcSetupRequest>(decoded.value());
+    if (setup.ue_identity.kind == InitialUeIdentity::Kind::kNg5gSTmsiPart1 &&
+        blocked_tmsis_.count(setup.ue_identity.value)) {
+      // RIC-installed replay blocklist (Blind DoS remediation).
+      ++blocked_setups_;
+      AirFrame reject;
+      reject.uplink = false;
+      reject.radio_tag = frame.radio_tag;
+      reject.rrc_wire = encode_rrc(RrcMessage{RrcReject{1}});
+      hooks_.send_downlink(std::move(reject));
+      return;
+    }
+    if (contexts_.size() >= config_.max_ue_contexts) {
+      // Admission control full: this is the denial of service a BTS DoS
+      // attack causes for legitimate UEs.
+      ++rejected_;
+      AirFrame reject;
+      reject.uplink = false;
+      reject.radio_tag = frame.radio_tag;
+      reject.rrc_wire = encode_rrc(RrcMessage{RrcReject{1}});
+      hooks_.send_downlink(std::move(reject));
+      return;
+    }
+    auto rnti = rnti_alloc_.allocate();
+    if (!rnti) {
+      ++rejected_;
+      return;
+    }
+    UeContext ctx;
+    ctx.du_ue_id = next_du_ue_id_++;
+    // NGAP id mirrors the DU id (offset into this gNB's id space) so
+    // interface taps can correlate F1AP and NGAP traffic for the same UE.
+    ctx.ran_ue_ngap_id = config_.ngap_id_base + ctx.du_ue_id;
+    ctx.rnti = *rnti;
+    ctx.radio_tag = frame.radio_tag;
+    ctx.state = CtxState::kSetup;
+    ctx.last_activity = hooks_.now();
+    tap_f1(F1apProcedure::kInitialUlRrcMessageTransfer, ctx, frame.rrc_wire);
+    auto [it, inserted] = contexts_.emplace(rnti->value, ctx);
+    ++admitted_;
+    arm_context_timer(ctx.ran_ue_ngap_id);
+    send_rrc_dl(it->second, RrcMessage{RrcSetup{}});
+    return;
+  }
+
+  auto it = contexts_.find(frame.rnti->value);
+  if (it == contexts_.end()) {
+    XSEC_LOG_DEBUG("gnb", "uplink for unknown RNTI ", frame.rnti->str());
+    return;
+  }
+  UeContext& ctx = it->second;
+  ctx.last_activity = hooks_.now();
+  tap_f1(F1apProcedure::kUlRrcMessageTransfer, ctx, frame.rrc_wire);
+
+  auto decoded = decode_rrc(frame.rrc_wire);
+  if (!decoded) {
+    XSEC_LOG_WARN("gnb", "undecodable uplink RRC from ", frame.rnti->str());
+    return;
+  }
+  handle_rrc(ctx, decoded.value());
+}
+
+void Gnb::handle_rrc(UeContext& ctx, const RrcMessage& msg) {
+  std::visit(
+      [this, &ctx](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RrcSetupComplete>) {
+          ctx.state = CtxState::kRegistering;
+          forward_nas_ul(ctx, m.dedicated_nas, /*initial=*/true);
+        } else if constexpr (std::is_same_v<T, UlInformationTransfer>) {
+          forward_nas_ul(ctx, m.dedicated_nas, /*initial=*/false);
+        } else if constexpr (std::is_same_v<T, RrcSecurityModeComplete>) {
+          ctx.state = CtxState::kActive;
+          send_rrc_dl(ctx, RrcMessage{UeCapabilityEnquiry{}});
+        } else if constexpr (std::is_same_v<T, RrcSecurityModeFailure>) {
+          release_context(ctx.ran_ue_ngap_id, /*notify_ue=*/true);
+        } else if constexpr (std::is_same_v<T, UeCapabilityInformation>) {
+          send_rrc_dl(ctx, RrcMessage{RrcReconfiguration{1}});
+        } else if constexpr (std::is_same_v<T, RrcReconfigurationComplete>) {
+          // Context fully configured; nothing further to do at the DU.
+        } else if constexpr (std::is_same_v<T, MeasurementReport>) {
+          // Activity already refreshed the inactivity timestamp.
+        } else if constexpr (std::is_same_v<T, RrcReestablishmentRequest>) {
+          // Reestablishment is not modelled; release instead.
+          release_context(ctx.ran_ue_ngap_id, /*notify_ue=*/true);
+        }
+      },
+      msg);
+}
+
+void Gnb::send_rrc_dl(UeContext& ctx, const RrcMessage& msg) {
+  Bytes wire = encode_rrc(msg);
+  tap_f1(F1apProcedure::kDlRrcMessageTransfer, ctx, wire);
+  AirFrame frame;
+  frame.rnti = ctx.rnti;
+  frame.uplink = false;
+  frame.radio_tag = ctx.radio_tag;
+  frame.rrc_wire = std::move(wire);
+  hooks_.send_downlink(std::move(frame));
+}
+
+void Gnb::forward_nas_ul(UeContext& ctx, const Bytes& nas_pdu, bool initial) {
+  NgapMessage ngap;
+  ngap.procedure = initial ? NgapProcedure::kInitialUeMessage
+                           : NgapProcedure::kUplinkNasTransport;
+  ngap.ran_ue_ngap_id = ctx.ran_ue_ngap_id;
+  ngap.nas_pdu = nas_pdu;
+  send_ngap(ngap);
+}
+
+void Gnb::send_ngap(const NgapMessage& msg) {
+  Bytes wire = encode_ngap(msg);
+  if (taps_) taps_->emit_ng(hooks_.now(), wire);
+  hooks_.to_amf(std::move(wire));
+}
+
+void Gnb::on_ngap(const Bytes& ngap_wire) {
+  if (taps_) taps_->emit_ng(hooks_.now(), ngap_wire);
+  auto decoded = decode_ngap(ngap_wire);
+  if (!decoded) {
+    XSEC_LOG_WARN("gnb", "undecodable NGAP from AMF");
+    return;
+  }
+  const NgapMessage& msg = decoded.value();
+
+  if (msg.procedure == NgapProcedure::kPaging) {
+    // Broadcast on the paging channel (radio_tag 0 = all endpoints). The
+    // full ng-5G-S-TMSI goes out in the clear — the exposure Blind DoS
+    // attackers harvest.
+    Bytes wire = encode_rrc(RrcMessage{Paging{msg.paging_tmsi}});
+    if (taps_) {
+      F1apMessage f1;
+      f1.procedure = F1apProcedure::kDlRrcMessageTransfer;
+      f1.cell = config_.cell;
+      f1.rrc_container = wire;
+      taps_->emit_f1(hooks_.now(), encode_f1ap(f1));
+    }
+    AirFrame frame;
+    frame.uplink = false;
+    frame.radio_tag = 0;  // broadcast
+    frame.rrc_wire = std::move(wire);
+    hooks_.send_downlink(std::move(frame));
+    return;
+  }
+
+  UeContext* ctx = find_by_ran_id(msg.ran_ue_ngap_id);
+  if (!ctx) return;
+
+  switch (msg.procedure) {
+    case NgapProcedure::kDownlinkNasTransport: {
+      send_rrc_dl(*ctx, RrcMessage{DlInformationTransfer{msg.nas_pdu}});
+      break;
+    }
+    case NgapProcedure::kInitialContextSetup: {
+      // AMF established NAS security; activate AS security.
+      ctx->state = CtxState::kSecuring;
+      SecurityCapabilities caps;  // capability IEs elided in this subset
+      RrcSecurityModeCommand smc;
+      smc.cipher = config_.rrc_policy.select_cipher(caps);
+      smc.integrity = config_.rrc_policy.select_integrity(caps);
+      send_rrc_dl(*ctx, RrcMessage{smc});
+      break;
+    }
+    case NgapProcedure::kUeContextReleaseCommand: {
+      std::uint64_t ran_id = msg.ran_ue_ngap_id;
+      release_context(ran_id, /*notify_ue=*/true);
+      NgapMessage complete;
+      complete.procedure = NgapProcedure::kUeContextReleaseComplete;
+      complete.ran_ue_ngap_id = ran_id;
+      send_ngap(complete);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Gnb::block_tmsi(std::uint64_t s_tmsi_part1) {
+  blocked_tmsis_.insert(s_tmsi_part1 & ((1ULL << 39) - 1));
+}
+
+void Gnb::unblock_tmsi(std::uint64_t s_tmsi_part1) {
+  blocked_tmsis_.erase(s_tmsi_part1 & ((1ULL << 39) - 1));
+}
+
+std::size_t Gnb::release_stale_contexts(SimDuration min_age) {
+  std::vector<std::uint64_t> stale;
+  SimTime now = hooks_.now();
+  for (const auto& [rnti, ctx] : contexts_) {
+    if (ctx.state == CtxState::kActive) continue;
+    if (now - ctx.last_activity >= min_age) stale.push_back(ctx.ran_ue_ngap_id);
+  }
+  for (std::uint64_t ran_id : stale)
+    release_context(ran_id, /*notify_ue=*/true);
+  return stale.size();
+}
+
+bool Gnb::force_release(Rnti rnti) {
+  auto it = contexts_.find(rnti.value);
+  if (it == contexts_.end()) return false;
+  release_context(it->second.ran_ue_ngap_id, /*notify_ue=*/true);
+  return true;
+}
+
+void Gnb::release_context(std::uint64_t ran_ue_ngap_id, bool notify_ue) {
+  UeContext* ctx = find_by_ran_id(ran_ue_ngap_id);
+  if (!ctx) return;
+  if (notify_ue) {
+    send_rrc_dl(*ctx, RrcMessage{RrcRelease{}});
+  }
+  tap_f1(F1apProcedure::kUeContextRelease, *ctx, {});
+  Rnti rnti = ctx->rnti;
+  contexts_.erase(rnti.value);
+  rnti_alloc_.release(rnti);
+}
+
+void Gnb::arm_context_timer(std::uint64_t ran_ue_ngap_id) {
+  hooks_.schedule(config_.context_setup_timeout, [this, ran_ue_ngap_id] {
+    UeContext* ctx = find_by_ran_id(ran_ue_ngap_id);
+    if (!ctx) return;
+    if (ctx->state == CtxState::kActive) {
+      // Fully set up: switch to inactivity supervision.
+      SimTime deadline = ctx->last_activity + config_.inactivity_timeout;
+      if (hooks_.now() >= deadline) {
+        release_context(ran_ue_ngap_id, /*notify_ue=*/true);
+      } else {
+        hooks_.schedule(deadline - hooks_.now(), [this, ran_ue_ngap_id] {
+          UeContext* c = find_by_ran_id(ran_ue_ngap_id);
+          if (!c) return;
+          if (hooks_.now() - c->last_activity >= config_.inactivity_timeout)
+            release_context(ran_ue_ngap_id, /*notify_ue=*/true);
+          else
+            arm_context_timer(ran_ue_ngap_id);
+        });
+      }
+      return;
+    }
+    // Still mid-setup after the timeout: garbage-collect the context. This
+    // is the defence the BTS DoS attack races against.
+    XSEC_LOG_DEBUG("gnb", "GC incomplete context ran_id=", ran_ue_ngap_id);
+    release_context(ran_ue_ngap_id, /*notify_ue=*/false);
+  });
+}
+
+Gnb::UeContext* Gnb::find_by_ran_id(std::uint64_t ran_ue_ngap_id) {
+  for (auto& [rnti, ctx] : contexts_)
+    if (ctx.ran_ue_ngap_id == ran_ue_ngap_id) return &ctx;
+  return nullptr;
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,121 @@
+// gNodeB: collapsed O-DU + O-CU logical node.
+//
+// Terminates RRC toward UEs, relays NAS to the AMF over NGAP, and — the
+// part 6G-XSec cares about — mirrors every RRC message into an F1AP
+// envelope and every NAS PDU into an NGAP envelope on the InterfaceTaps, so
+// the RIC agent can collect telemetry exactly where the paper instruments
+// OAI. Admission control (a bounded UE-context table) is what the BTS DoS
+// attack exhausts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "ran/codec.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+
+struct GnbConfig {
+  CellId cell{1, 1};
+  /// Admission limit: simultaneous UE contexts the DU can hold. The BTS DoS
+  /// attack fills this, causing RRCReject for legitimate UEs.
+  std::size_t max_ue_contexts = 64;
+  /// Incomplete connections (no registration progress) are garbage
+  /// collected after this long.
+  SimDuration context_setup_timeout = SimDuration::from_ms(400);
+  /// Registered-but-silent UEs are released after this long.
+  SimDuration inactivity_timeout = SimDuration::from_ms(300);
+  AlgorithmPolicy rrc_policy;
+  std::uint64_t seed = 7;
+  /// Base offset for RAN UE NGAP ids, so several gNBs sharing one AMF
+  /// allocate from disjoint id spaces (the testbed routes downlink NGAP
+  /// back by this).
+  std::uint64_t ngap_id_base = 0;
+};
+
+struct GnbHooks {
+  std::function<void(AirFrame)> send_downlink;
+  std::function<SimTime()> now;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+  /// Uplink NGAP toward the AMF (already tap-mirrored by the gNB).
+  std::function<void(Bytes)> to_amf;
+};
+
+class Gnb {
+ public:
+  Gnb(GnbConfig config, GnbHooks hooks, InterfaceTaps* taps);
+
+  Gnb(const Gnb&) = delete;
+  Gnb& operator=(const Gnb&) = delete;
+
+  /// Delivers an uplink frame from the radio.
+  void on_uplink(const AirFrame& frame);
+  /// Delivers a downlink NGAP message from the AMF.
+  void on_ngap(const Bytes& ngap_wire);
+
+  /// RIC-initiated remediation: releases the UE context holding `rnti`.
+  /// Returns false if no such context exists.
+  bool force_release(Rnti rnti);
+  /// RIC-initiated remediation against half-open floods: releases every
+  /// context that has not reached the active state and has been idle for
+  /// at least `min_age`. Returns the number of contexts released.
+  std::size_t release_stale_contexts(SimDuration min_age);
+  /// RIC-initiated remediation against S-TMSI replay (Blind DoS): setups
+  /// presenting this identifier are rejected until unblocked.
+  void block_tmsi(std::uint64_t s_tmsi_part1);
+  void unblock_tmsi(std::uint64_t s_tmsi_part1);
+  std::size_t blocked_tmsi_count() const { return blocked_tmsis_.size(); }
+  std::size_t blocked_setup_attempts() const { return blocked_setups_; }
+
+  std::size_t active_contexts() const { return contexts_.size(); }
+  std::size_t rejected_connections() const { return rejected_; }
+  std::size_t admitted_connections() const { return admitted_; }
+  const GnbConfig& config() const { return config_; }
+
+ private:
+  enum class CtxState {
+    kSetup,          // RRCSetup sent, awaiting SetupComplete
+    kRegistering,    // NAS in flight
+    kSecuring,       // RRC security mode in progress
+    kActive,         // fully configured
+  };
+
+  struct UeContext {
+    std::uint32_t du_ue_id = 0;
+    std::uint64_t ran_ue_ngap_id = 0;
+    Rnti rnti;
+    std::uint64_t radio_tag = 0;
+    CtxState state = CtxState::kSetup;
+    SimTime last_activity;
+    bool release_pending = false;
+  };
+
+  void handle_rrc(UeContext& ctx, const RrcMessage& msg);
+  void send_rrc_dl(UeContext& ctx, const RrcMessage& msg);
+  void forward_nas_ul(UeContext& ctx, const Bytes& nas_pdu, bool initial);
+  void send_ngap(const NgapMessage& msg);
+  void release_context(std::uint64_t ran_ue_ngap_id, bool notify_ue);
+  void arm_context_timer(std::uint64_t ran_ue_ngap_id);
+  UeContext* find_by_ran_id(std::uint64_t ran_ue_ngap_id);
+  void tap_f1(F1apProcedure proc, const UeContext& ctx, const Bytes& rrc);
+
+  GnbConfig config_;
+  GnbHooks hooks_;
+  InterfaceTaps* taps_;
+  RntiAllocator rnti_alloc_;
+  std::map<std::uint16_t, UeContext> contexts_;  // keyed by RNTI value
+  std::uint32_t next_du_ue_id_ = 1;
+  std::size_t rejected_ = 0;
+  std::size_t admitted_ = 0;
+  std::set<std::uint64_t> blocked_tmsis_;  // 39-bit ng-5G-S-TMSI-Part1
+  std::size_t blocked_setups_ = 0;
+};
+
+}  // namespace xsec::ran

@@ -1,0 +1,71 @@
+#include "ran/identifiers.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xsec::ran {
+
+std::string Rnti::str() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04X", value);
+  return buf;
+}
+
+std::string STmsi::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%03u-%02u-0x%08X", amf_set_id, amf_pointer,
+                tmsi);
+  return buf;
+}
+
+std::string Plmn::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%03u/%02u", mcc, mnc);
+  return buf;
+}
+
+std::string Supi::str() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "imsi-%03u%02u%010llu", plmn.mcc, plmn.mnc,
+                static_cast<unsigned long long>(msin));
+  return buf;
+}
+
+std::string Suci::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "suci-%03u-%02u-%u-%016llx", plmn.mcc,
+                plmn.mnc, protection_scheme,
+                static_cast<unsigned long long>(concealed));
+  return buf;
+}
+
+std::string Guti::str() const {
+  return "5g-guti-" + plmn.str() + "-r" + std::to_string(amf_region) + "-" +
+         s_tmsi.str();
+}
+
+std::string CellId::str() const {
+  return "nci-" + std::to_string(gnb_id) + "-" + std::to_string(cell);
+}
+
+std::optional<Rnti> RntiAllocator::allocate() {
+  constexpr std::size_t kSpan =
+      static_cast<std::size_t>(Rnti::kMaxCRnti) - Rnti::kMinCRnti + 1;
+  if (used_.size() >= kSpan) return std::nullopt;
+  for (;;) {
+    auto candidate = static_cast<std::uint16_t>(
+        rng_.uniform_u64(Rnti::kMinCRnti, Rnti::kMaxCRnti));
+    auto it = std::lower_bound(used_.begin(), used_.end(), candidate);
+    if (it == used_.end() || *it != candidate) {
+      used_.insert(it, candidate);
+      return Rnti{candidate};
+    }
+  }
+}
+
+void RntiAllocator::release(Rnti rnti) {
+  auto it = std::lower_bound(used_.begin(), used_.end(), rnti.value);
+  if (it != used_.end() && *it == rnti.value) used_.erase(it);
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,124 @@
+// Cellular identifiers (3GPP TS 23.003 subset).
+//
+// These are the identifier telemetry fields of MobiFlow (paper Table 1):
+// RNTI, S-TMSI, and SUPI. Strong types prevent the classic bug of passing a
+// TMSI where an RNTI is expected — both are "just integers" on the wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace xsec::ran {
+
+/// Radio Network Temporary Identifier — L2 identity assigned by the gNB at
+/// RACH/RRC-setup time. 16-bit; the C-RNTI range excludes reserved values.
+struct Rnti {
+  std::uint16_t value = 0;
+
+  auto operator<=>(const Rnti&) const = default;
+
+  static constexpr std::uint16_t kMinCRnti = 0x0001;
+  static constexpr std::uint16_t kMaxCRnti = 0xFFEF;
+
+  std::string str() const;
+};
+
+/// 5G-S-TMSI: AMF Set ID (10b) | AMF Pointer (6b) | 5G-TMSI (32b).
+struct STmsi {
+  std::uint16_t amf_set_id = 0;  // 10 bits used
+  std::uint8_t amf_pointer = 0;  // 6 bits used
+  std::uint32_t tmsi = 0;
+
+  auto operator<=>(const STmsi&) const = default;
+
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(amf_set_id & 0x3ff) << 38) |
+           (static_cast<std::uint64_t>(amf_pointer & 0x3f) << 32) | tmsi;
+  }
+  static STmsi from_packed(std::uint64_t packed) {
+    return STmsi{static_cast<std::uint16_t>((packed >> 38) & 0x3ff),
+                 static_cast<std::uint8_t>((packed >> 32) & 0x3f),
+                 static_cast<std::uint32_t>(packed & 0xffffffff)};
+  }
+  std::string str() const;
+};
+
+/// Public Land Mobile Network identity (MCC + MNC).
+struct Plmn {
+  std::uint16_t mcc = 1;   // 3 digits
+  std::uint16_t mnc = 1;   // 2-3 digits
+
+  auto operator<=>(const Plmn&) const = default;
+
+  std::string str() const;
+  /// Test-network PLMN 001/01 used throughout the testbed (as OAI does).
+  static Plmn test_network() { return Plmn{1, 1}; }
+};
+
+/// Subscription Permanent Identifier, IMSI-based: PLMN + 10-digit MSIN.
+struct Supi {
+  Plmn plmn;
+  std::uint64_t msin = 0;
+
+  auto operator<=>(const Supi&) const = default;
+
+  std::string str() const;  // "imsi-00101xxxxxxxxxx"
+};
+
+/// Subscription Concealed Identifier. The real SUCI conceals the MSIN under
+/// the home-network public key (ECIES); we model concealment as an opaque
+/// value that only the AMF (via SubscriberDb) can invert, which preserves
+/// the property the attacks care about: a SUCI cannot be linked to a SUPI
+/// by an eavesdropper, but a plaintext SUPI/IMSI disclosure can.
+struct Suci {
+  Plmn plmn;
+  std::uint64_t concealed = 0;  // opaque ciphertext of the MSIN
+  std::uint8_t protection_scheme = 1;  // 0 = null scheme (plaintext!)
+
+  auto operator<=>(const Suci&) const = default;
+
+  bool is_null_scheme() const { return protection_scheme == 0; }
+  std::string str() const;
+};
+
+/// 5G-GUTI: PLMN + AMF Region + S-TMSI.
+struct Guti {
+  Plmn plmn;
+  std::uint8_t amf_region = 1;
+  STmsi s_tmsi;
+
+  auto operator<=>(const Guti&) const = default;
+
+  std::string str() const;
+};
+
+/// NR Cell Global Identity (gNB id + cell).
+struct CellId {
+  std::uint32_t gnb_id = 1;
+  std::uint16_t cell = 1;
+
+  auto operator<=>(const CellId&) const = default;
+
+  std::string str() const;
+};
+
+/// Allocates unique RNTIs within a cell and recycles released ones.
+class RntiAllocator {
+ public:
+  explicit RntiAllocator(Rng rng) : rng_(rng) {}
+
+  /// Draws an unused C-RNTI uniformly at random (as OAI does); returns
+  /// nullopt when the cell is exhausted.
+  std::optional<Rnti> allocate();
+  void release(Rnti rnti);
+  std::size_t in_use() const { return used_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<std::uint16_t> used_;  // sorted
+};
+
+}  // namespace xsec::ran

@@ -1,0 +1,122 @@
+#include "ran/interfaces.hpp"
+
+namespace xsec::ran {
+
+std::string to_string(F1apProcedure p) {
+  switch (p) {
+    case F1apProcedure::kInitialUlRrcMessageTransfer:
+      return "InitialULRRCMessageTransfer";
+    case F1apProcedure::kUlRrcMessageTransfer: return "ULRRCMessageTransfer";
+    case F1apProcedure::kDlRrcMessageTransfer: return "DLRRCMessageTransfer";
+    case F1apProcedure::kUeContextSetup: return "UEContextSetup";
+    case F1apProcedure::kUeContextRelease: return "UEContextRelease";
+  }
+  return "unknown";
+}
+
+std::string to_string(NgapProcedure p) {
+  switch (p) {
+    case NgapProcedure::kInitialUeMessage: return "InitialUEMessage";
+    case NgapProcedure::kUplinkNasTransport: return "UplinkNASTransport";
+    case NgapProcedure::kDownlinkNasTransport: return "DownlinkNASTransport";
+    case NgapProcedure::kInitialContextSetup: return "InitialContextSetup";
+    case NgapProcedure::kUeContextReleaseCommand:
+      return "UEContextReleaseCommand";
+    case NgapProcedure::kUeContextReleaseComplete:
+      return "UEContextReleaseComplete";
+    case NgapProcedure::kPaging: return "Paging";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr std::uint16_t kF1apMagic = 0xF1A0;
+constexpr std::uint16_t kNgapMagic = 0x06A0;
+}  // namespace
+
+Bytes encode_f1ap(const F1apMessage& msg) {
+  ByteWriter w;
+  w.u16(kF1apMagic);
+  w.u8(static_cast<std::uint8_t>(msg.procedure));
+  w.u32(msg.gnb_du_ue_id);
+  w.u16(msg.rnti.value);
+  w.u32(msg.cell.gnb_id);
+  w.u16(msg.cell.cell);
+  w.u32(static_cast<std::uint32_t>(msg.rrc_container.size()));
+  w.raw(msg.rrc_container);
+  return w.take();
+}
+
+Result<F1apMessage> decode_f1ap(const Bytes& wire) {
+  ByteReader r(wire);
+  auto magic = r.u16();
+  if (!magic) return magic.error();
+  if (magic.value() != kF1apMagic)
+    return Error::make("malformed", "bad F1AP magic");
+  auto proc = r.u8();
+  if (!proc) return proc.error();
+  if (proc.value() > 4)
+    return Error::make("malformed", "F1AP procedure out of range");
+  auto du_id = r.u32();
+  if (!du_id) return du_id.error();
+  auto rnti = r.u16();
+  if (!rnti) return rnti.error();
+  auto gnb = r.u32();
+  if (!gnb) return gnb.error();
+  auto cell = r.u16();
+  if (!cell) return cell.error();
+  auto len = r.u32();
+  if (!len) return len.error();
+  auto container = r.raw(len.value());
+  if (!container) return container.error();
+  F1apMessage msg;
+  msg.procedure = static_cast<F1apProcedure>(proc.value());
+  msg.gnb_du_ue_id = du_id.value();
+  msg.rnti = Rnti{rnti.value()};
+  msg.cell = CellId{gnb.value(), cell.value()};
+  msg.rrc_container = container.value();
+  return msg;
+}
+
+Bytes encode_ngap(const NgapMessage& msg) {
+  ByteWriter w;
+  w.u16(kNgapMagic);
+  w.u8(static_cast<std::uint8_t>(msg.procedure));
+  w.u64(msg.ran_ue_ngap_id);
+  w.u64(msg.amf_ue_ngap_id);
+  w.u32(static_cast<std::uint32_t>(msg.nas_pdu.size()));
+  w.raw(msg.nas_pdu);
+  w.u64(msg.paging_tmsi);
+  return w.take();
+}
+
+Result<NgapMessage> decode_ngap(const Bytes& wire) {
+  ByteReader r(wire);
+  auto magic = r.u16();
+  if (!magic) return magic.error();
+  if (magic.value() != kNgapMagic)
+    return Error::make("malformed", "bad NGAP magic");
+  auto proc = r.u8();
+  if (!proc) return proc.error();
+  if (proc.value() > 6)
+    return Error::make("malformed", "NGAP procedure out of range");
+  auto ran_id = r.u64();
+  if (!ran_id) return ran_id.error();
+  auto amf_id = r.u64();
+  if (!amf_id) return amf_id.error();
+  auto len = r.u32();
+  if (!len) return len.error();
+  auto pdu = r.raw(len.value());
+  if (!pdu) return pdu.error();
+  auto paging = r.u64();
+  if (!paging) return paging.error();
+  NgapMessage msg;
+  msg.procedure = static_cast<NgapProcedure>(proc.value());
+  msg.ran_ue_ngap_id = ran_id.value();
+  msg.amf_ue_ngap_id = amf_id.value();
+  msg.nas_pdu = pdu.value();
+  msg.paging_tmsi = paging.value();
+  return msg;
+}
+
+}  // namespace xsec::ran

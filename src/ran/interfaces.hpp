@@ -1,0 +1,101 @@
+// O-RAN data-plane interface shims: Uu (air), F1AP (O-DU <-> O-CU, TS
+// 38.473 subset) and NGAP (O-CU <-> AMF, TS 38.413 subset).
+//
+// The paper's RIC agent "instruments these interfaces or parses the pcap
+// streams" to extract MobiFlow telemetry. We reproduce that: every RRC
+// message crossing DU<->CU is wrapped in an F1apMessage and every NAS PDU
+// crossing CU<->AMF in an NgapMessage, both byte-encoded; taps observe the
+// *encoded* traffic and must parse it, exactly like a pcap-based collector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "ran/identifiers.hpp"
+
+namespace xsec::ran {
+
+/// A frame on the simulated air interface. The RNTI is absent only on the
+/// very first CCCH uplink (RRCSetupRequest before the gNB assigns a C-RNTI).
+/// `radio_tag` models the MAC-layer RA-RNTI / contention-resolution
+/// correlation: the cell stamps uplink frames with the transmitting
+/// endpoint's tag and routes downlink frames back by the same tag.
+struct AirFrame {
+  std::optional<Rnti> rnti;
+  bool uplink = true;
+  Bytes rrc_wire;
+  std::uint64_t radio_tag = 0;
+};
+
+/// F1AP procedure codes (subset).
+enum class F1apProcedure : std::uint8_t {
+  kInitialUlRrcMessageTransfer = 0,
+  kUlRrcMessageTransfer = 1,
+  kDlRrcMessageTransfer = 2,
+  kUeContextSetup = 3,
+  kUeContextRelease = 4,
+};
+std::string to_string(F1apProcedure p);
+
+struct F1apMessage {
+  F1apProcedure procedure = F1apProcedure::kUlRrcMessageTransfer;
+  std::uint32_t gnb_du_ue_id = 0;
+  Rnti rnti;
+  CellId cell;
+  Bytes rrc_container;  // encoded RrcMessage (empty for context procedures)
+};
+
+Bytes encode_f1ap(const F1apMessage& msg);
+Result<F1apMessage> decode_f1ap(const Bytes& wire);
+
+/// NGAP procedure codes (subset).
+enum class NgapProcedure : std::uint8_t {
+  kInitialUeMessage = 0,
+  kUplinkNasTransport = 1,
+  kDownlinkNasTransport = 2,
+  kInitialContextSetup = 3,
+  kUeContextReleaseCommand = 4,
+  kUeContextReleaseComplete = 5,
+  kPaging = 6,
+};
+std::string to_string(NgapProcedure p);
+
+struct NgapMessage {
+  NgapProcedure procedure = NgapProcedure::kUplinkNasTransport;
+  std::uint64_t ran_ue_ngap_id = 0;
+  std::uint64_t amf_ue_ngap_id = 0;
+  Bytes nas_pdu;  // encoded NasMessage (empty for context procedures)
+  /// kPaging only: the packed 5G-S-TMSI to page.
+  std::uint64_t paging_tmsi = 0;
+};
+
+Bytes encode_ngap(const NgapMessage& msg);
+Result<NgapMessage> decode_ngap(const Bytes& wire);
+
+/// Interface taps — how the RIC agent sees data-plane traffic. Handlers
+/// receive the encoded interface message; decoding failures are the tap's
+/// problem (as with real pcap capture).
+struct InterfaceTaps {
+  using F1Handler = std::function<void(SimTime, const Bytes& f1ap_wire)>;
+  using NgHandler = std::function<void(SimTime, const Bytes& ngap_wire)>;
+
+  void add_f1_tap(F1Handler handler) { f1_taps.push_back(std::move(handler)); }
+  void add_ng_tap(NgHandler handler) { ng_taps.push_back(std::move(handler)); }
+
+  void emit_f1(SimTime t, const Bytes& wire) const {
+    for (const auto& tap : f1_taps) tap(t, wire);
+  }
+  void emit_ng(SimTime t, const Bytes& wire) const {
+    for (const auto& tap : ng_taps) tap(t, wire);
+  }
+
+  std::vector<F1Handler> f1_taps;
+  std::vector<NgHandler> ng_taps;
+};
+
+}  // namespace xsec::ran

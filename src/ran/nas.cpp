@@ -1,0 +1,154 @@
+#include "ran/nas.hpp"
+
+namespace xsec::ran {
+
+MobileIdentity MobileIdentity::from_suci(Suci s) {
+  MobileIdentity id;
+  id.kind = Kind::kSuci;
+  id.suci = s;
+  return id;
+}
+
+MobileIdentity MobileIdentity::from_guti(Guti g) {
+  MobileIdentity id;
+  id.kind = Kind::kGuti;
+  id.guti = g;
+  return id;
+}
+
+MobileIdentity MobileIdentity::from_supi_plain(Supi s) {
+  MobileIdentity id;
+  id.kind = Kind::kSupiPlain;
+  id.supi = s;
+  return id;
+}
+
+std::string MobileIdentity::str() const {
+  switch (kind) {
+    case Kind::kSuci: return suci ? suci->str() : "suci-?";
+    case Kind::kGuti: return guti ? guti->str() : "guti-?";
+    case Kind::kSupiPlain: return supi ? supi->str() : "imsi-?";
+    case Kind::kNone: return "no-identity";
+  }
+  return "?";
+}
+
+std::string to_string(RegistrationType t) {
+  switch (t) {
+    case RegistrationType::kInitial: return "initial";
+    case RegistrationType::kMobilityUpdating: return "mobility-updating";
+    case RegistrationType::kPeriodicUpdating: return "periodic-updating";
+    case RegistrationType::kEmergency: return "emergency";
+  }
+  return "unknown";
+}
+
+std::string to_string(MmCause cause) {
+  switch (cause) {
+    case MmCause::kIllegalUe: return "illegal-UE";
+    case MmCause::kPlmnNotAllowed: return "PLMN-not-allowed";
+    case MmCause::kCongestion: return "congestion";
+    case MmCause::kMacFailure: return "MAC-failure";
+    case MmCause::kSynchFailure: return "synch-failure";
+    case MmCause::kProtocolError: return "protocol-error";
+  }
+  return "unknown";
+}
+
+std::string to_string(IdentityType t) {
+  switch (t) {
+    case IdentityType::kSuci: return "SUCI";
+    case IdentityType::kGuti: return "GUTI";
+    case IdentityType::kImei: return "IMEI";
+    case IdentityType::kImeisv: return "IMEISV";
+  }
+  return "unknown";
+}
+
+namespace {
+template <class>
+inline constexpr bool always_false_v = false;
+}  // namespace
+
+std::string nas_name(const NasMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RegistrationRequest>)
+          return "RegistrationRequest";
+        else if constexpr (std::is_same_v<T, AuthenticationResponse>)
+          return "AuthenticationResponse";
+        else if constexpr (std::is_same_v<T, AuthenticationFailure>)
+          return "AuthenticationFailure";
+        else if constexpr (std::is_same_v<T, NasSecurityModeComplete>)
+          return "SecurityModeComplete";
+        else if constexpr (std::is_same_v<T, NasSecurityModeReject>)
+          return "SecurityModeReject";
+        else if constexpr (std::is_same_v<T, IdentityResponse>)
+          return "IdentityResponse";
+        else if constexpr (std::is_same_v<T, RegistrationComplete>)
+          return "RegistrationComplete";
+        else if constexpr (std::is_same_v<T, ServiceRequest>)
+          return "ServiceRequest";
+        else if constexpr (std::is_same_v<T, DeregistrationRequestUe>)
+          return "DeregistrationRequest";
+        else if constexpr (std::is_same_v<T, AuthenticationRequest>)
+          return "AuthenticationRequest";
+        else if constexpr (std::is_same_v<T, AuthenticationReject>)
+          return "AuthenticationReject";
+        else if constexpr (std::is_same_v<T, NasSecurityModeCommand>)
+          return "SecurityModeCommand";
+        else if constexpr (std::is_same_v<T, IdentityRequest>)
+          return "IdentityRequest";
+        else if constexpr (std::is_same_v<T, RegistrationAccept>)
+          return "RegistrationAccept";
+        else if constexpr (std::is_same_v<T, RegistrationReject>)
+          return "RegistrationReject";
+        else if constexpr (std::is_same_v<T, ServiceAccept>)
+          return "ServiceAccept";
+        else if constexpr (std::is_same_v<T, ServiceReject>)
+          return "ServiceReject";
+        else if constexpr (std::is_same_v<T, DeregistrationAcceptNw>)
+          return "DeregistrationAccept";
+        else if constexpr (std::is_same_v<T, ConfigurationUpdateCommand>)
+          return "ConfigurationUpdateCommand";
+        else
+          static_assert(always_false_v<T>, "unhandled NAS message");
+      },
+      msg);
+}
+
+bool nas_is_uplink(const NasMessage& msg) {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        return std::is_same_v<T, RegistrationRequest> ||
+               std::is_same_v<T, AuthenticationResponse> ||
+               std::is_same_v<T, AuthenticationFailure> ||
+               std::is_same_v<T, NasSecurityModeComplete> ||
+               std::is_same_v<T, NasSecurityModeReject> ||
+               std::is_same_v<T, IdentityResponse> ||
+               std::is_same_v<T, RegistrationComplete> ||
+               std::is_same_v<T, ServiceRequest> ||
+               std::is_same_v<T, DeregistrationRequestUe>;
+      },
+      msg);
+}
+
+const std::vector<std::string>& nas_all_names() {
+  static const std::vector<std::string> names = {
+      "RegistrationRequest",   "AuthenticationResponse",
+      "AuthenticationFailure", "SecurityModeComplete",
+      "SecurityModeReject",    "IdentityResponse",
+      "RegistrationComplete",  "ServiceRequest",
+      "DeregistrationRequest", "AuthenticationRequest",
+      "AuthenticationReject",  "SecurityModeCommand",
+      "IdentityRequest",       "RegistrationAccept",
+      "RegistrationReject",    "ServiceAccept",
+      "ServiceReject",         "DeregistrationAccept",
+      "ConfigurationUpdateCommand",
+  };
+  return names;
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,158 @@
+// NAS 5GMM (Non-Access-Stratum mobility management, TS 24.501 subset).
+//
+// NAS messages ride inside RRC information-transfer containers between the
+// UE and the AMF; they are the second message family MobiFlow records. The
+// subset covers registration, 5G-AKA authentication, NAS security mode,
+// identity procedures (the identity-extraction attacks), service requests,
+// and deregistration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "ran/identifiers.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+
+/// 5GS mobile identity: exactly one of SUCI / GUTI / plaintext SUPI (IMSI).
+/// A plaintext SUPI on the air interface is the identity-extraction red
+/// flag; the standard only allows it in degenerate null-scheme cases.
+struct MobileIdentity {
+  enum class Kind : std::uint8_t { kSuci = 0, kGuti = 1, kSupiPlain = 2, kNone = 3 };
+  Kind kind = Kind::kNone;
+  std::optional<Suci> suci;
+  std::optional<Guti> guti;
+  std::optional<Supi> supi;
+
+  static MobileIdentity from_suci(Suci s);
+  static MobileIdentity from_guti(Guti g);
+  static MobileIdentity from_supi_plain(Supi s);
+
+  std::string str() const;
+};
+
+enum class RegistrationType : std::uint8_t {
+  kInitial = 1,
+  kMobilityUpdating = 2,
+  kPeriodicUpdating = 3,
+  kEmergency = 4,
+};
+std::string to_string(RegistrationType t);
+
+/// 5GMM cause values (24.501 §9.11.3.2 subset).
+enum class MmCause : std::uint8_t {
+  kIllegalUe = 3,
+  kPlmnNotAllowed = 11,
+  kCongestion = 22,
+  kMacFailure = 20,
+  kSynchFailure = 21,
+  kProtocolError = 111,
+};
+std::string to_string(MmCause cause);
+
+enum class IdentityType : std::uint8_t {
+  kSuci = 1,
+  kGuti = 2,
+  kImei = 3,
+  kImeisv = 5,
+};
+std::string to_string(IdentityType t);
+
+// --- Uplink NAS ------------------------------------------------------------
+
+struct RegistrationRequest {
+  RegistrationType type = RegistrationType::kInitial;
+  std::uint8_t ng_ksi = 7;  // 7 = no key available
+  MobileIdentity identity;
+  SecurityCapabilities capabilities;
+};
+
+struct AuthenticationResponse {
+  std::uint64_t res = 0;
+};
+
+struct AuthenticationFailure {
+  MmCause cause = MmCause::kMacFailure;
+};
+
+struct NasSecurityModeComplete {
+  /// The full initial NAS message is replayed ciphered per 24.501 §5.4.2.3.
+  std::optional<Supi> imeisv_supi;  // elided; presence flag only
+};
+
+struct NasSecurityModeReject {
+  MmCause cause = MmCause::kProtocolError;
+};
+
+struct IdentityResponse {
+  MobileIdentity identity;
+};
+
+struct RegistrationComplete {};
+
+struct ServiceRequest {
+  std::uint8_t service_type = 0;
+  std::optional<STmsi> s_tmsi;
+};
+
+struct DeregistrationRequestUe {
+  bool switch_off = false;
+};
+
+// --- Downlink NAS ----------------------------------------------------------
+
+struct AuthenticationRequest {
+  std::uint8_t ng_ksi = 0;
+  std::uint64_t rand = 0;
+  std::uint64_t autn = 0;
+};
+
+struct AuthenticationReject {};
+
+struct NasSecurityModeCommand {
+  CipherAlg cipher = CipherAlg::kNea2;
+  IntegrityAlg integrity = IntegrityAlg::kNia2;
+  SecurityCapabilities replayed_capabilities;
+};
+
+struct IdentityRequest {
+  IdentityType type = IdentityType::kSuci;
+};
+
+struct RegistrationAccept {
+  Guti guti;
+  std::uint16_t t3512_min = 54;  // periodic registration timer
+};
+
+struct RegistrationReject {
+  MmCause cause = MmCause::kPlmnNotAllowed;
+};
+
+struct ServiceAccept {};
+
+struct ServiceReject {
+  MmCause cause = MmCause::kCongestion;
+};
+
+struct DeregistrationAcceptNw {};
+
+struct ConfigurationUpdateCommand {
+  std::optional<Guti> new_guti;
+};
+
+using NasMessage = std::variant<
+    RegistrationRequest, AuthenticationResponse, AuthenticationFailure,
+    NasSecurityModeComplete, NasSecurityModeReject, IdentityResponse,
+    RegistrationComplete, ServiceRequest, DeregistrationRequestUe,
+    AuthenticationRequest, AuthenticationReject, NasSecurityModeCommand,
+    IdentityRequest, RegistrationAccept, RegistrationReject, ServiceAccept,
+    ServiceReject, DeregistrationAcceptNw, ConfigurationUpdateCommand>;
+
+std::string nas_name(const NasMessage& msg);
+bool nas_is_uplink(const NasMessage& msg);
+const std::vector<std::string>& nas_all_names();
+
+}  // namespace xsec::ran

@@ -1,0 +1,112 @@
+#include "ran/rrc.hpp"
+
+#include <cstdio>
+
+namespace xsec::ran {
+
+std::string to_string(EstablishmentCause cause) {
+  switch (cause) {
+    case EstablishmentCause::kEmergency: return "emergency";
+    case EstablishmentCause::kHighPriorityAccess: return "highPriorityAccess";
+    case EstablishmentCause::kMtAccess: return "mt-Access";
+    case EstablishmentCause::kMoSignalling: return "mo-Signalling";
+    case EstablishmentCause::kMoData: return "mo-Data";
+    case EstablishmentCause::kMoVoiceCall: return "mo-VoiceCall";
+    case EstablishmentCause::kMoVideoCall: return "mo-VideoCall";
+    case EstablishmentCause::kMoSms: return "mo-SMS";
+    case EstablishmentCause::kMpsPriorityAccess: return "mps-PriorityAccess";
+    case EstablishmentCause::kMcsPriorityAccess: return "mcs-PriorityAccess";
+  }
+  return "unknown";
+}
+
+std::string InitialUeIdentity::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s:%010llx",
+                kind == Kind::kRandomValue ? "rand" : "tmsi1",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+namespace {
+template <class>
+inline constexpr bool always_false_v = false;
+}  // namespace
+
+std::string rrc_name(const RrcMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RrcSetupRequest>)
+          return "RRCSetupRequest";
+        else if constexpr (std::is_same_v<T, RrcSetupComplete>)
+          return "RRCSetupComplete";
+        else if constexpr (std::is_same_v<T, RrcSecurityModeComplete>)
+          return "RRCSecurityModeComplete";
+        else if constexpr (std::is_same_v<T, RrcSecurityModeFailure>)
+          return "RRCSecurityModeFailure";
+        else if constexpr (std::is_same_v<T, UeCapabilityInformation>)
+          return "UECapabilityInformation";
+        else if constexpr (std::is_same_v<T, RrcReconfigurationComplete>)
+          return "RRCReconfigurationComplete";
+        else if constexpr (std::is_same_v<T, UlInformationTransfer>)
+          return "ULInformationTransfer";
+        else if constexpr (std::is_same_v<T, MeasurementReport>)
+          return "MeasurementReport";
+        else if constexpr (std::is_same_v<T, RrcReestablishmentRequest>)
+          return "RRCReestablishmentRequest";
+        else if constexpr (std::is_same_v<T, RrcSetup>)
+          return "RRCSetup";
+        else if constexpr (std::is_same_v<T, RrcReject>)
+          return "RRCReject";
+        else if constexpr (std::is_same_v<T, RrcSecurityModeCommand>)
+          return "RRCSecurityModeCommand";
+        else if constexpr (std::is_same_v<T, UeCapabilityEnquiry>)
+          return "UECapabilityEnquiry";
+        else if constexpr (std::is_same_v<T, RrcReconfiguration>)
+          return "RRCReconfiguration";
+        else if constexpr (std::is_same_v<T, DlInformationTransfer>)
+          return "DLInformationTransfer";
+        else if constexpr (std::is_same_v<T, RrcRelease>)
+          return "RRCRelease";
+        else if constexpr (std::is_same_v<T, Paging>)
+          return "Paging";
+        else
+          static_assert(always_false_v<T>, "unhandled RRC message");
+      },
+      msg);
+}
+
+bool rrc_is_uplink(const RrcMessage& msg) {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        return std::is_same_v<T, RrcSetupRequest> ||
+               std::is_same_v<T, RrcSetupComplete> ||
+               std::is_same_v<T, RrcSecurityModeComplete> ||
+               std::is_same_v<T, RrcSecurityModeFailure> ||
+               std::is_same_v<T, UeCapabilityInformation> ||
+               std::is_same_v<T, RrcReconfigurationComplete> ||
+               std::is_same_v<T, UlInformationTransfer> ||
+               std::is_same_v<T, MeasurementReport> ||
+               std::is_same_v<T, RrcReestablishmentRequest>;
+      },
+      msg);
+}
+
+const std::vector<std::string>& rrc_all_names() {
+  static const std::vector<std::string> names = {
+      "RRCSetupRequest",        "RRCSetupComplete",
+      "RRCSecurityModeComplete", "RRCSecurityModeFailure",
+      "UECapabilityInformation", "RRCReconfigurationComplete",
+      "ULInformationTransfer",   "MeasurementReport",
+      "RRCReestablishmentRequest", "RRCSetup",
+      "RRCReject",               "RRCSecurityModeCommand",
+      "UECapabilityEnquiry",     "RRCReconfiguration",
+      "DLInformationTransfer",   "RRCRelease",
+      "Paging",
+  };
+  return names;
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,144 @@
+// RRC (Radio Resource Control, TS 38.331 subset) message taxonomy.
+//
+// These are the layer-3 control messages MobiFlow records as the `msg`
+// telemetry field. Each message is a plain struct; RrcMessage is the sum
+// type carried over the simulated Uu/F1 interfaces. The subset covers every
+// message the paper's five attacks and the benign registration flow touch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "ran/identifiers.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+
+/// RRC establishment cause (38.331 §6.2.2) — a MobiFlow state field.
+enum class EstablishmentCause : std::uint8_t {
+  kEmergency = 0,
+  kHighPriorityAccess,
+  kMtAccess,
+  kMoSignalling,
+  kMoData,
+  kMoVoiceCall,
+  kMoVideoCall,
+  kMoSms,
+  kMpsPriorityAccess,
+  kMcsPriorityAccess,
+};
+std::string to_string(EstablishmentCause cause);
+
+/// Initial UE identity in RRCSetupRequest: either a random 39-bit value or
+/// the 39-bit ng-5G-S-TMSI-Part1. Replaying a victim's part1 across
+/// sessions is the Blind DoS signature.
+struct InitialUeIdentity {
+  enum class Kind : std::uint8_t { kRandomValue = 0, kNg5gSTmsiPart1 = 1 };
+  Kind kind = Kind::kRandomValue;
+  std::uint64_t value = 0;  // 39 bits
+
+  auto operator<=>(const InitialUeIdentity&) const = default;
+  std::string str() const;
+};
+
+// --- Uplink RRC messages -------------------------------------------------
+
+struct RrcSetupRequest {
+  InitialUeIdentity ue_identity;
+  EstablishmentCause cause = EstablishmentCause::kMoSignalling;
+};
+
+struct RrcSetupComplete {
+  Plmn selected_plmn;
+  /// Piggybacked initial NAS message (RegistrationRequest / ServiceRequest).
+  Bytes dedicated_nas;
+  std::optional<STmsi> s_tmsi;  // ng-5G-S-TMSI-Part2 context
+};
+
+struct RrcSecurityModeComplete {};
+struct RrcSecurityModeFailure {
+  std::uint8_t cause = 0;
+};
+
+struct UeCapabilityInformation {
+  std::string rat_capabilities = "nr";  // abbreviated capability blob
+  std::uint8_t num_bands = 4;
+};
+
+struct RrcReconfigurationComplete {};
+
+struct UlInformationTransfer {
+  Bytes dedicated_nas;
+};
+
+struct MeasurementReport {
+  std::int8_t rsrp_dbm = -90;
+  std::int8_t rsrq_db = -12;
+};
+
+struct RrcReestablishmentRequest {
+  Rnti old_rnti;
+  std::uint16_t phys_cell_id = 0;
+  std::uint8_t cause = 0;
+};
+
+// --- Downlink RRC messages -----------------------------------------------
+
+struct RrcSetup {
+  // SRB1 configuration elided; the assigned C-RNTI lives in the MAC header
+  // and is tracked in the message envelope.
+};
+
+struct RrcReject {
+  std::uint8_t wait_time_s = 1;
+};
+
+struct RrcSecurityModeCommand {
+  CipherAlg cipher = CipherAlg::kNea2;
+  IntegrityAlg integrity = IntegrityAlg::kNia2;
+};
+
+struct UeCapabilityEnquiry {};
+
+struct RrcReconfiguration {
+  std::uint8_t transaction_id = 0;
+};
+
+struct DlInformationTransfer {
+  Bytes dedicated_nas;
+};
+
+struct RrcRelease {
+  enum class Cause : std::uint8_t { kNormal = 0, kOther = 1 };
+  Cause cause = Cause::kNormal;
+  bool suspend = false;
+};
+
+/// Paging (38.331 §5.3.2): broadcast on the paging channel with the full
+/// ng-5G-S-TMSI in the clear — which is exactly how Blind DoS attackers
+/// harvest victim identifiers.
+struct Paging {
+  std::uint64_t s_tmsi_packed = 0;
+};
+
+using RrcMessage =
+    std::variant<RrcSetupRequest, RrcSetupComplete, RrcSecurityModeComplete,
+                 RrcSecurityModeFailure, UeCapabilityInformation,
+                 RrcReconfigurationComplete, UlInformationTransfer,
+                 MeasurementReport, RrcReestablishmentRequest, RrcSetup,
+                 RrcReject, RrcSecurityModeCommand, UeCapabilityEnquiry,
+                 RrcReconfiguration, DlInformationTransfer, RrcRelease,
+                 Paging>;
+
+/// Stable wire/telemetry name for a message ("RRCSetupRequest", ...).
+std::string rrc_name(const RrcMessage& msg);
+/// True for messages sent UE -> network.
+bool rrc_is_uplink(const RrcMessage& msg);
+
+/// Complete list of RRC message names in codec order (for one-hot vocab).
+const std::vector<std::string>& rrc_all_names();
+
+}  // namespace xsec::ran

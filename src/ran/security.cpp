@@ -1,0 +1,162 @@
+#include "ran/security.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace xsec::ran {
+
+std::string to_string(CipherAlg alg) {
+  switch (alg) {
+    case CipherAlg::kNea0: return "NEA0";
+    case CipherAlg::kNea1: return "NEA1";
+    case CipherAlg::kNea2: return "NEA2";
+    case CipherAlg::kNea3: return "NEA3";
+  }
+  return "NEA?";
+}
+
+std::string to_string(IntegrityAlg alg) {
+  switch (alg) {
+    case IntegrityAlg::kNia0: return "NIA0";
+    case IntegrityAlg::kNia1: return "NIA1";
+    case IntegrityAlg::kNia2: return "NIA2";
+    case IntegrityAlg::kNia3: return "NIA3";
+  }
+  return "NIA?";
+}
+
+std::string SecurityCapabilities::str() const {
+  std::vector<std::string> parts;
+  for (std::uint8_t i = 0; i < 4; ++i)
+    if (nea_mask & (1u << i)) parts.push_back("NEA" + std::to_string(i));
+  for (std::uint8_t i = 0; i < 4; ++i)
+    if (nia_mask & (1u << i)) parts.push_back("NIA" + std::to_string(i));
+  return join(parts, "|");
+}
+
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t prf64(const Key& key, std::string_view label,
+                    std::uint64_t context, std::uint64_t block) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto absorb = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+    h = mix64(h);
+  };
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    std::uint64_t chunk = 0;
+    for (int j = 0; j < 8; ++j)
+      chunk |= static_cast<std::uint64_t>(key[i + j]) << (j * 8);
+    absorb(chunk);
+  }
+  h ^= fnv1a(label);
+  h = mix64(h);
+  absorb(context);
+  absorb(block);
+  return h;
+}
+}  // namespace
+
+Key kdf(const Key& key, std::string_view label, std::uint64_t context) {
+  Key out{};
+  for (std::uint64_t block = 0; block < 4; ++block) {
+    std::uint64_t v = prf64(key, label, context, block);
+    for (int j = 0; j < 8; ++j)
+      out[block * 8 + j] = static_cast<std::uint8_t>(v >> (j * 8));
+  }
+  return out;
+}
+
+Key subscriber_key(std::string_view supi) {
+  Key seed{};
+  std::uint64_t h = fnv1a(supi);
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    h = mix64(h + i);
+    seed[i] = static_cast<std::uint8_t>(h);
+  }
+  return kdf(seed, "K");
+}
+
+AuthVector generate_auth_vector(const Key& k, std::uint64_t rand) {
+  AuthVector v;
+  v.rand = rand;
+  v.autn = prf64(k, "AUTN", rand, 0);
+  v.xres = prf64(k, "RES", rand, 0);
+  return v;
+}
+
+bool verify_autn(const Key& k, std::uint64_t rand, std::uint64_t autn) {
+  return prf64(k, "AUTN", rand, 0) == autn;
+}
+
+std::uint64_t compute_res(const Key& k, std::uint64_t rand) {
+  return prf64(k, "RES", rand, 0);
+}
+
+Bytes cipher(CipherAlg alg, const Key& key, std::uint32_t count,
+             const Bytes& payload) {
+  if (alg == CipherAlg::kNea0) return payload;  // null cipher: plaintext
+  Bytes out = payload;
+  std::uint64_t keystream = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i % 8 == 0)
+      keystream = prf64(key, "NEA", (static_cast<std::uint64_t>(
+                                         static_cast<std::uint8_t>(alg))
+                                     << 32) |
+                                        count,
+                        i / 8);
+    out[i] ^= static_cast<std::uint8_t>(keystream >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+Bytes decipher(CipherAlg alg, const Key& key, std::uint32_t count,
+               const Bytes& payload) {
+  return cipher(alg, key, count, payload);  // XOR stream is an involution
+}
+
+std::uint32_t compute_mac(IntegrityAlg alg, const Key& key,
+                          std::uint32_t count, const Bytes& payload) {
+  if (alg == IntegrityAlg::kNia0) return 0;  // null integrity: constant MAC
+  std::uint64_t h = prf64(key, "NIA",
+                          (static_cast<std::uint64_t>(
+                               static_cast<std::uint8_t>(alg))
+                           << 32) |
+                              count,
+                          fnv1a(payload));
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+bool verify_mac(IntegrityAlg alg, const Key& key, std::uint32_t count,
+                const Bytes& payload, std::uint32_t mac) {
+  return compute_mac(alg, key, count, payload) == mac;
+}
+
+CipherAlg AlgorithmPolicy::select_cipher(
+    const SecurityCapabilities& caps) const {
+  for (CipherAlg alg : cipher_priority)
+    if (caps.supports(alg)) return alg;
+  // NEA0 must always be supported per 33.501; fall back to it.
+  return CipherAlg::kNea0;
+}
+
+IntegrityAlg AlgorithmPolicy::select_integrity(
+    const SecurityCapabilities& caps) const {
+  for (IntegrityAlg alg : integrity_priority)
+    if (caps.supports(alg)) return alg;
+  return IntegrityAlg::kNia0;
+}
+
+}  // namespace xsec::ran

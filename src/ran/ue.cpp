@@ -1,0 +1,340 @@
+#include "ran/ue.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::ran {
+
+namespace {
+constexpr std::uint64_t kMsinMask = (1ULL << 40) - 1;
+
+Key home_network_key(const Plmn& plmn) {
+  return subscriber_key("home-network-" + plmn.str());
+}
+
+std::uint64_t suci_keystream(const Plmn& plmn, std::uint32_t nonce) {
+  Key hk = home_network_key(plmn);
+  return kdf(hk, "SUCI", nonce)[0] |
+         (static_cast<std::uint64_t>(kdf(hk, "SUCI", nonce)[1]) << 8) |
+         (static_cast<std::uint64_t>(kdf(hk, "SUCI", nonce)[2]) << 16) |
+         (static_cast<std::uint64_t>(kdf(hk, "SUCI", nonce)[3]) << 24) |
+         (static_cast<std::uint64_t>(kdf(hk, "SUCI", nonce)[4]) << 32);
+}
+}  // namespace
+
+Suci make_suci(const Supi& supi, std::uint32_t nonce, bool null_scheme) {
+  Suci suci;
+  suci.plmn = supi.plmn;
+  if (null_scheme) {
+    // Null protection scheme: the "concealed" value IS the MSIN.
+    suci.protection_scheme = 0;
+    suci.concealed = supi.msin;
+    return suci;
+  }
+  suci.protection_scheme = 1;
+  std::uint64_t ks = suci_keystream(supi.plmn, nonce) & kMsinMask;
+  suci.concealed =
+      (static_cast<std::uint64_t>(nonce & 0xffffff) << 40) |
+      ((supi.msin ^ ks) & kMsinMask);
+  return suci;
+}
+
+std::uint64_t deconceal_suci(const Suci& suci) {
+  if (suci.is_null_scheme()) return suci.concealed;
+  auto nonce = static_cast<std::uint32_t>(suci.concealed >> 40);
+  std::uint64_t ks = suci_keystream(suci.plmn, nonce) & kMsinMask;
+  return (suci.concealed & kMsinMask) ^ ks;
+}
+
+Ue::Ue(UeConfig config, UeHooks hooks)
+    : config_(std::move(config)),
+      hooks_(std::move(hooks)),
+      rng_(config_.seed),
+      k_(subscriber_key(config_.supi.str())) {}
+
+void Ue::power_on() {
+  if (rrc_state_ != RrcState::kIdle) return;
+  setup_attempts_ = 0;
+  send_setup_request();
+}
+
+void Ue::send_setup_request() {
+  ++setup_attempts_;
+  rrc_state_ = RrcState::kSetupRequested;
+
+  RrcSetupRequest req;
+  if (config_.stored_guti) {
+    req.ue_identity.kind = InitialUeIdentity::Kind::kNg5gSTmsiPart1;
+    // Part1 = low 39 bits of the packed S-TMSI.
+    req.ue_identity.value =
+        config_.stored_guti->s_tmsi.packed() & ((1ULL << 39) - 1);
+  } else {
+    req.ue_identity.kind = InitialUeIdentity::Kind::kRandomValue;
+    req.ue_identity.value = rng_.uniform_u64(0, (1ULL << 39) - 1);
+  }
+  req.cause = config_.establishment_cause;
+  send_rrc(RrcMessage{req});
+
+  // T300: retransmit the setup request if the network does not answer.
+  std::uint64_t generation = generation_;
+  hooks_.schedule(config_.setup_retry_timeout, [this, generation] {
+    if (generation != generation_) return;
+    if (rrc_state_ == RrcState::kSetupRequested &&
+        setup_attempts_ < config_.max_setup_attempts) {
+      XSEC_LOG_DEBUG("ue", config_.supi.str(), " T300 expiry, attempt ",
+                     setup_attempts_ + 1);
+      send_setup_request();
+    } else if (rrc_state_ == RrcState::kSetupRequested) {
+      end_session();
+    }
+  });
+}
+
+void Ue::receive(const AirFrame& frame) {
+  if (frame.uplink) return;  // not for us
+  if (session_ended_) return;
+  auto decoded = decode_rrc(frame.rrc_wire);
+  if (!decoded) {
+    XSEC_LOG_WARN("ue", "undecodable downlink RRC: ",
+                  decoded.error().message);
+    return;
+  }
+  const RrcMessage& msg = decoded.value();
+
+  // The RRCSetup delivery carries the assigned C-RNTI in the MAC envelope.
+  if (std::holds_alternative<RrcSetup>(msg) && frame.rnti) {
+    rnti_ = frame.rnti;
+    rnti_history_.push_back(*frame.rnti);
+  }
+
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RrcSetup>)
+          handle_rrc_setup(m);
+        else if constexpr (std::is_same_v<T, RrcReject>)
+          handle_rrc_reject(m);
+        else if constexpr (std::is_same_v<T, RrcRelease>)
+          handle_rrc_release(m);
+        else if constexpr (std::is_same_v<T, RrcSecurityModeCommand>)
+          handle_rrc_security_mode_command(m);
+        else if constexpr (std::is_same_v<T, UeCapabilityEnquiry>)
+          handle_capability_enquiry(m);
+        else if constexpr (std::is_same_v<T, RrcReconfiguration>)
+          handle_reconfiguration(m);
+        else if constexpr (std::is_same_v<T, DlInformationTransfer>) {
+          auto nas = decode_nas(m.dedicated_nas);
+          if (!nas) {
+            XSEC_LOG_WARN("ue", "undecodable NAS PDU: ", nas.error().message);
+            return;
+          }
+          handle_nas(nas.value());
+        }
+        // Other downlink messages are ignored by the UE in this subset.
+      },
+      msg);
+}
+
+RegistrationRequest Ue::build_registration_request() {
+  RegistrationRequest reg;
+  reg.type = RegistrationType::kInitial;
+  reg.capabilities = config_.capabilities;
+  if (config_.stored_guti) {
+    reg.ng_ksi = 0;
+    reg.identity = MobileIdentity::from_guti(*config_.stored_guti);
+  } else {
+    reg.ng_ksi = 7;
+    auto nonce = static_cast<std::uint32_t>(rng_.uniform_u64(1, 0xffffff));
+    reg.identity = MobileIdentity::from_suci(
+        make_suci(config_.supi, nonce, config_.force_null_scheme_suci));
+  }
+  return reg;
+}
+
+void Ue::handle_rrc_setup(const RrcSetup&) {
+  if (rrc_state_ != RrcState::kSetupRequested) return;
+  rrc_state_ = RrcState::kConnected;
+  mm_state_ = MmState::kRegistrationInitiated;
+
+  RrcSetupComplete complete;
+  complete.selected_plmn = config_.supi.plmn;
+  complete.dedicated_nas = encode_nas(NasMessage{build_registration_request()});
+  if (config_.stored_guti) complete.s_tmsi = config_.stored_guti->s_tmsi;
+  send_rrc(RrcMessage{complete});
+}
+
+void Ue::handle_rrc_reject(const RrcReject& msg) {
+  XSEC_LOG_DEBUG("ue", config_.supi.str(), " rejected, wait ",
+                 static_cast<int>(msg.wait_time_s), "s");
+  rrc_state_ = RrcState::kIdle;
+  if (reject_retries_ < config_.max_reject_retries) {
+    ++reject_retries_;
+    ++generation_;  // cancel the pending T300 timer
+    std::uint64_t generation = generation_;
+    hooks_.schedule(SimDuration::from_s(msg.wait_time_s),
+                    [this, generation] {
+                      if (generation != generation_ || session_ended_) return;
+                      setup_attempts_ = 0;
+                      send_setup_request();
+                    });
+    return;
+  }
+  end_session();
+}
+
+void Ue::handle_rrc_release(const RrcRelease&) {
+  rrc_state_ = RrcState::kIdle;
+  rnti_.reset();
+  end_session();
+}
+
+void Ue::handle_rrc_security_mode_command(const RrcSecurityModeCommand& msg) {
+  rrc_cipher_ = msg.cipher;
+  rrc_integrity_ = msg.integrity;
+  send_rrc(RrcMessage{RrcSecurityModeComplete{}});
+}
+
+void Ue::handle_capability_enquiry(const UeCapabilityEnquiry&) {
+  UeCapabilityInformation info;
+  info.rat_capabilities = "nr;bands=n78,n41";
+  info.num_bands = 2;
+  send_rrc(RrcMessage{info});
+}
+
+void Ue::handle_reconfiguration(const RrcReconfiguration& msg) {
+  (void)msg;
+  send_rrc(RrcMessage{RrcReconfigurationComplete{}});
+}
+
+void Ue::handle_nas(const NasMessage& msg) {
+  std::visit(
+      [this](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AuthenticationRequest>)
+          handle_authentication_request(m);
+        else if constexpr (std::is_same_v<T, NasSecurityModeCommand>)
+          handle_nas_security_mode_command(m);
+        else if constexpr (std::is_same_v<T, IdentityRequest>)
+          handle_identity_request(m);
+        else if constexpr (std::is_same_v<T, RegistrationAccept>)
+          handle_registration_accept(m);
+        else if constexpr (std::is_same_v<T, RegistrationReject>)
+          handle_registration_reject(m);
+        else if constexpr (std::is_same_v<T, DeregistrationAcceptNw>)
+          end_session();
+        else if constexpr (std::is_same_v<T, ConfigurationUpdateCommand>) {
+          if (m.new_guti) config_.stored_guti = m.new_guti;
+        } else if constexpr (std::is_same_v<T, AuthenticationReject>) {
+          end_session();
+        } else if constexpr (std::is_same_v<T, ServiceAccept>) {
+          // No-op: service continues.
+        } else if constexpr (std::is_same_v<T, ServiceReject>) {
+          end_session();
+        }
+      },
+      msg);
+}
+
+void Ue::handle_authentication_request(const AuthenticationRequest& msg) {
+  if (!verify_autn(k_, msg.rand, msg.autn)) {
+    // Network failed authentication — looks like a rogue gNB.
+    send_nas(NasMessage{AuthenticationFailure{MmCause::kMacFailure}});
+    return;
+  }
+  mm_state_ = MmState::kAuthenticated;
+  k_amf_ = kdf(k_, "K_AMF", msg.rand);
+  send_nas(NasMessage{AuthenticationResponse{compute_res(k_, msg.rand)}});
+}
+
+void Ue::handle_nas_security_mode_command(const NasSecurityModeCommand& msg) {
+  // A mismatch between replayed and sent capabilities reveals a MiTM
+  // bidding-down attack; a compliant UE rejects it.
+  if (msg.replayed_capabilities != config_.capabilities &&
+      !config_.accept_capability_mismatch) {
+    send_nas(NasMessage{NasSecurityModeReject{MmCause::kProtocolError}});
+    return;
+  }
+  nas_cipher_ = msg.cipher;
+  nas_integrity_ = msg.integrity;
+  nas_security_active_ = true;
+  mm_state_ = MmState::kSecured;
+  send_nas(NasMessage{NasSecurityModeComplete{}});
+}
+
+void Ue::handle_identity_request(const IdentityRequest& msg) {
+  MobileIdentity identity;
+  if (msg.type == IdentityType::kSuci) {
+    auto nonce = static_cast<std::uint32_t>(rng_.uniform_u64(1, 0xffffff));
+    // The exploitable behaviour from [32, 40]: before security activation a
+    // buggy UE answers with a null-scheme (plaintext) SUCI.
+    bool plaintext = !nas_security_active_ && config_.identity_disclosure_bug;
+    identity = MobileIdentity::from_suci(
+        make_suci(config_.supi, nonce, plaintext));
+  } else if (msg.type == IdentityType::kGuti && config_.stored_guti) {
+    identity = MobileIdentity::from_guti(*config_.stored_guti);
+  }
+  send_nas(NasMessage{IdentityResponse{identity}});
+}
+
+void Ue::handle_registration_accept(const RegistrationAccept& msg) {
+  mm_state_ = MmState::kRegistered;
+  config_.stored_guti = msg.guti;
+  send_nas(NasMessage{RegistrationComplete{}});
+  begin_activity();
+}
+
+void Ue::handle_registration_reject(const RegistrationReject& msg) {
+  XSEC_LOG_DEBUG("ue", config_.supi.str(), " registration rejected: ",
+                 to_string(msg.cause));
+  end_session();
+}
+
+void Ue::begin_activity() {
+  if (reports_sent_ >= config_.activity_reports) {
+    if (config_.deregister_at_end) {
+      send_nas(NasMessage{DeregistrationRequestUe{false}});
+    }
+    // Otherwise wait for network-initiated release (inactivity timer).
+    return;
+  }
+  std::uint64_t generation = generation_;
+  hooks_.schedule(config_.activity_interval, [this, generation] {
+    if (generation != generation_ || session_ended_) return;
+    if (rrc_state_ != RrcState::kConnected) return;
+    MeasurementReport report;
+    report.rsrp_dbm = static_cast<std::int8_t>(rng_.uniform_i64(-110, -70));
+    report.rsrq_db = static_cast<std::int8_t>(rng_.uniform_i64(-18, -6));
+    send_rrc(RrcMessage{report});
+    ++reports_sent_;
+    begin_activity();
+  });
+}
+
+void Ue::send_rrc(const RrcMessage& msg) {
+  AirFrame frame;
+  frame.rnti = rnti_;
+  frame.uplink = true;
+  frame.rrc_wire = encode_rrc(msg);
+  if (config_.processing_delay.us > 0) {
+    // Model the device's baseband processing latency; equal delays keep
+    // message order intact.
+    hooks_.schedule(config_.processing_delay,
+                    [this, f = std::move(frame)]() mutable {
+                      if (!session_ended_) hooks_.send(std::move(f));
+                    });
+  } else {
+    hooks_.send(std::move(frame));
+  }
+}
+
+void Ue::send_nas(const NasMessage& msg) {
+  send_rrc(RrcMessage{UlInformationTransfer{encode_nas(msg)}});
+}
+
+void Ue::end_session() {
+  if (session_ended_) return;
+  session_ended_ = true;
+  ++generation_;
+  if (hooks_.on_session_end) hooks_.on_session_end();
+}
+
+}  // namespace xsec::ran

@@ -1,0 +1,165 @@
+// UE (User Equipment) protocol state machine.
+//
+// Implements the benign 5G SA attach flow end-to-end: RRC setup ->
+// registration -> 5G-AKA authentication -> NAS security mode -> RRC
+// security mode -> capability exchange -> reconfiguration -> registration
+// accept -> activity -> release/deregistration. Attack UEs (src/attacks/)
+// override the protected virtual handlers to inject malicious logic, the
+// same way the paper inserts malicious logic into OAI's UE stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "ran/codec.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/nas.hpp"
+#include "ran/rrc.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+
+/// Computes a null-scheme or protected SUCI for a subscriber. The protected
+/// scheme hides the MSIN under the home-network key with a caller-supplied
+/// nonce; the null scheme IS the plaintext MSIN (what SUCI-catchers reap).
+Suci make_suci(const Supi& supi, std::uint32_t nonce, bool null_scheme = false);
+/// Home-network side: recovers the MSIN from a protected SUCI.
+std::uint64_t deconceal_suci(const Suci& suci);
+
+struct UeConfig {
+  Supi supi;
+  SecurityCapabilities capabilities;
+  EstablishmentCause establishment_cause = EstablishmentCause::kMoSignalling;
+  /// Stored GUTI from a previous registration (drives S-TMSI reuse and
+  /// GUTI-based RegistrationRequest, both benign variation sources).
+  std::optional<Guti> stored_guti;
+  /// Number of MeasurementReports sent while registered.
+  int activity_reports = 2;
+  SimDuration activity_interval = SimDuration::from_ms(40);
+  /// If true the UE ends the session with a DeregistrationRequest;
+  /// otherwise it idles until the network releases it.
+  bool deregister_at_end = true;
+  /// T300-style RRC setup retransmission (models radio loss; the paper
+  /// names RRC retransmissions as a false-positive source).
+  SimDuration setup_retry_timeout = SimDuration::from_ms(60);
+  int max_setup_attempts = 3;
+  /// On RRCReject the UE waits the network's wait-time and tries again
+  /// (38.331 §5.3.15), up to this many times.
+  int max_reject_retries = 2;
+  /// Exploitable identity-disclosure behaviour: pre-security identity
+  /// requests are answered with a null-scheme (plaintext) SUCI, mirroring
+  /// the commercial UEs attacked in [32, 40]. Default on, as in the paper's
+  /// victim devices.
+  bool identity_disclosure_bug = true;
+  /// Forces null-scheme SUCI in the initial RegistrationRequest (used by
+  /// the uplink identity-extraction attack's downgraded victim).
+  bool force_null_scheme_suci = false;
+  /// Compliance bug from [37]: skip the 24.501 §5.4.2.3 check that the
+  /// capabilities replayed in SecurityModeCommand match what the UE sent —
+  /// the hole the null-cipher bidding-down attack needs.
+  bool accept_capability_mismatch = false;
+  /// Per-UE deterministic seed for nonces and jitter.
+  std::uint64_t seed = 1;
+  /// Processing delay before each reply (varies per device profile).
+  SimDuration processing_delay = SimDuration::from_ms(2);
+};
+
+struct UeHooks {
+  std::function<void(AirFrame)> send;
+  std::function<SimTime()> now;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+  /// Called once when the session reaches a terminal state.
+  std::function<void()> on_session_end;
+};
+
+class Ue {
+ public:
+  enum class RrcState { kIdle, kSetupRequested, kConnected };
+  enum class MmState {
+    kDeregistered,
+    kRegistrationInitiated,
+    kAuthenticated,
+    kSecured,
+    kRegistered,
+  };
+
+  Ue(UeConfig config, UeHooks hooks);
+  virtual ~Ue() = default;
+
+  Ue(const Ue&) = delete;
+  Ue& operator=(const Ue&) = delete;
+
+  /// Starts the attach procedure.
+  virtual void power_on();
+  /// Delivers a downlink frame from the radio.
+  void receive(const AirFrame& frame);
+
+  RrcState rrc_state() const { return rrc_state_; }
+  MmState mm_state() const { return mm_state_; }
+  std::optional<Rnti> rnti() const { return rnti_; }
+  /// Every C-RNTI this UE was ever assigned (ground-truth labeling).
+  const std::vector<Rnti>& rnti_history() const { return rnti_history_; }
+  std::optional<Guti> guti() const { return config_.stored_guti; }
+  const UeConfig& config() const { return config_; }
+  bool session_ended() const { return session_ended_; }
+  /// Algorithms the network selected for this UE (telemetry ground truth).
+  std::optional<CipherAlg> selected_cipher() const { return nas_cipher_; }
+  std::optional<IntegrityAlg> selected_integrity() const {
+    return nas_integrity_;
+  }
+
+ protected:
+  // Overridable per-message behaviour (attack hook points).
+  virtual void handle_rrc_setup(const RrcSetup& msg);
+  virtual void handle_rrc_reject(const RrcReject& msg);
+  virtual void handle_rrc_release(const RrcRelease& msg);
+  virtual void handle_rrc_security_mode_command(
+      const RrcSecurityModeCommand& msg);
+  virtual void handle_capability_enquiry(const UeCapabilityEnquiry& msg);
+  virtual void handle_reconfiguration(const RrcReconfiguration& msg);
+  virtual void handle_nas(const NasMessage& msg);
+  virtual void handle_authentication_request(const AuthenticationRequest& msg);
+  virtual void handle_nas_security_mode_command(
+      const NasSecurityModeCommand& msg);
+  virtual void handle_identity_request(const IdentityRequest& msg);
+  virtual void handle_registration_accept(const RegistrationAccept& msg);
+  virtual void handle_registration_reject(const RegistrationReject& msg);
+
+  /// Builds the initial RegistrationRequest (fresh SUCI or stored GUTI).
+  virtual RegistrationRequest build_registration_request();
+  /// Activity phase once registered; default sends measurement reports then
+  /// ends the session.
+  virtual void begin_activity();
+
+  void send_rrc(const RrcMessage& msg);
+  void send_nas(const NasMessage& msg);
+  void send_setup_request();
+  void end_session();
+
+  UeConfig config_;
+  UeHooks hooks_;
+  Rng rng_;
+
+  RrcState rrc_state_ = RrcState::kIdle;
+  MmState mm_state_ = MmState::kDeregistered;
+  std::optional<Rnti> rnti_;
+  std::vector<Rnti> rnti_history_;
+  Key k_;           // long-term subscriber key
+  Key k_amf_{};     // derived after AKA
+  std::optional<CipherAlg> nas_cipher_;
+  std::optional<IntegrityAlg> nas_integrity_;
+  std::optional<CipherAlg> rrc_cipher_;
+  std::optional<IntegrityAlg> rrc_integrity_;
+  bool nas_security_active_ = false;
+  int setup_attempts_ = 0;
+  int reject_retries_ = 0;
+  int reports_sent_ = 0;
+  bool session_ended_ = false;
+  std::uint64_t generation_ = 0;  // invalidates stale timer callbacks
+};
+
+}  // namespace xsec::ran

@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace xsec::sim {
+
+void EventQueue::schedule_at(SimTime t, Action action) {
+  assert(t >= now_ && "cannot schedule in the past");
+  heap_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(SimTime end) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= end) {
+    // Copy out before pop so the action may schedule new events.
+    Entry entry{heap_.top().time, heap_.top().seq,
+                std::move(const_cast<Entry&>(heap_.top()).action)};
+    heap_.pop();
+    now_ = entry.time;
+    entry.action();
+    ++executed;
+  }
+  if (now_ < end) now_ = end;
+  return executed;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && executed < max_events) {
+    Entry entry{heap_.top().time, heap_.top().seq,
+                std::move(const_cast<Entry&>(heap_.top()).action)};
+    heap_.pop();
+    now_ = entry.time;
+    entry.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace xsec::sim

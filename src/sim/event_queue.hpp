@@ -1,0 +1,56 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded priority queue of (time, sequence, closure). Sequence
+// numbers make same-timestamp events FIFO, which keeps protocol message
+// ordering deterministic — a hard requirement for reproducible datasets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace xsec::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, Action action);
+  void schedule_after(SimDuration d, Action action) {
+    schedule_at(now_ + d, std::move(action));
+  }
+
+  /// Runs events until the queue drains or `end` is reached; returns the
+  /// number of events executed.
+  std::size_t run_until(SimTime end);
+  /// Runs until the queue drains (bounded by max_events as a livelock
+  /// guard; attacks that flood forever need run_until instead).
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace xsec::sim

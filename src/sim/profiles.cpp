@@ -1,0 +1,95 @@
+#include "sim/profiles.hpp"
+
+namespace xsec::sim {
+
+const std::vector<DeviceProfile>& standard_profiles() {
+  using EC = ran::EstablishmentCause;
+  static const std::vector<DeviceProfile> profiles = [] {
+    std::vector<DeviceProfile> p;
+
+    DeviceProfile pixel5;
+    pixel5.name = "Pixel 5";
+    pixel5.capabilities = ran::SecurityCapabilities{0b0111, 0b0110};
+    pixel5.cause_weights = {{EC::kMoSignalling, 0.5},
+                            {EC::kMoData, 0.35},
+                            {EC::kMtAccess, 0.1},
+                            {EC::kMoVoiceCall, 0.05}};
+    pixel5.processing_delay = SimDuration::from_ms(2);
+    pixel5.min_activity_reports = 1;
+    pixel5.max_activity_reports = 4;
+    pixel5.deregister_probability = 0.7;
+    pixel5.guti_reuse_probability = 0.65;
+    p.push_back(pixel5);
+
+    DeviceProfile pixel6 = pixel5;
+    pixel6.name = "Pixel 6";
+    pixel6.capabilities = ran::SecurityCapabilities{0b1111, 0b1110};
+    pixel6.processing_delay = SimDuration::from_ms(1);
+    pixel6.cause_weights = {{EC::kMoSignalling, 0.45},
+                            {EC::kMoData, 0.4},
+                            {EC::kMtAccess, 0.1},
+                            {EC::kMoSms, 0.05}};
+    p.push_back(pixel6);
+
+    DeviceProfile a22;
+    a22.name = "Galaxy A22";
+    a22.capabilities = ran::SecurityCapabilities{0b0111, 0b0110};
+    a22.cause_weights = {{EC::kMoSignalling, 0.6},
+                         {EC::kMoData, 0.3},
+                         {EC::kMoSms, 0.1}};
+    a22.processing_delay = SimDuration::from_ms(3);
+    a22.min_activity_reports = 0;
+    a22.max_activity_reports = 3;
+    a22.deregister_probability = 0.5;
+    a22.guti_reuse_probability = 0.5;
+    p.push_back(a22);
+
+    DeviceProfile a53 = a22;
+    a53.name = "Galaxy A53";
+    a53.capabilities = ran::SecurityCapabilities{0b1111, 0b0110};
+    a53.processing_delay = SimDuration::from_ms(2);
+    a53.max_activity_reports = 5;
+    a53.deregister_probability = 0.6;
+    p.push_back(a53);
+
+    DeviceProfile oai;
+    oai.name = "OAI soft-UE (COLOSSEUM)";
+    oai.capabilities = ran::SecurityCapabilities{0b0011, 0b0010};
+    oai.cause_weights = {{EC::kMoSignalling, 0.8}, {EC::kMoData, 0.2}};
+    oai.processing_delay = SimDuration::from_ms(1);
+    oai.min_activity_reports = 0;
+    oai.max_activity_reports = 2;
+    oai.activity_interval = SimDuration::from_ms(25);
+    oai.deregister_probability = 0.9;
+    oai.guti_reuse_probability = 0.2;
+    p.push_back(oai);
+
+    return p;
+  }();
+  return profiles;
+}
+
+ran::UeConfig make_session_config(const DeviceProfile& profile,
+                                  const ran::Supi& supi, Rng& rng) {
+  ran::UeConfig config;
+  config.supi = supi;
+  config.capabilities = profile.capabilities;
+
+  std::vector<double> weights;
+  weights.reserve(profile.cause_weights.size());
+  for (const auto& [cause, weight] : profile.cause_weights)
+    weights.push_back(weight);
+  config.establishment_cause =
+      profile.cause_weights[rng.weighted_index(weights)].first;
+
+  config.activity_reports = static_cast<int>(rng.uniform_i64(
+      profile.min_activity_reports, profile.max_activity_reports));
+  // Jitter the activity cadence +/-50% around the profile nominal.
+  config.activity_interval = profile.activity_interval * rng.uniform(0.5, 1.5);
+  config.deregister_at_end = rng.chance(profile.deregister_probability);
+  config.processing_delay = profile.processing_delay;
+  config.seed = rng();
+  return config;
+}
+
+}  // namespace xsec::sim

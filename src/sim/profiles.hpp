@@ -1,0 +1,46 @@
+// Device profiles for benign traffic diversity.
+//
+// The paper collects benign traffic from four commodity phones (Pixel 5,
+// Pixel 6, Galaxy A22, Galaxy A53) plus OAI soft-UEs on COLOSSEUM. Each
+// profile varies the observable parameters a phone model actually varies:
+// advertised security capabilities, establishment-cause mix, session
+// activity shape, processing latency, and how often the device returns with
+// a stored GUTI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "ran/rrc.hpp"
+#include "ran/security.hpp"
+#include "ran/ue.hpp"
+
+namespace xsec::sim {
+
+struct DeviceProfile {
+  std::string name;
+  ran::SecurityCapabilities capabilities;
+  /// (cause, weight) pairs sampled per session.
+  std::vector<std::pair<ran::EstablishmentCause, double>> cause_weights;
+  SimDuration processing_delay = SimDuration::from_ms(2);
+  int min_activity_reports = 1;
+  int max_activity_reports = 4;
+  SimDuration activity_interval = SimDuration::from_ms(40);
+  /// Probability a session ends with an explicit deregistration (vs. idling
+  /// until the network releases the UE).
+  double deregister_probability = 0.7;
+  /// Probability a returning subscriber reuses its stored GUTI.
+  double guti_reuse_probability = 0.6;
+};
+
+/// The five benign device profiles of the paper's dataset.
+const std::vector<DeviceProfile>& standard_profiles();
+
+/// Builds a UeConfig for one session of `supi` under `profile`, sampling
+/// the per-session stochastic fields from `rng`.
+ran::UeConfig make_session_config(const DeviceProfile& profile,
+                                  const ran::Supi& supi, Rng& rng);
+
+}  // namespace xsec::sim

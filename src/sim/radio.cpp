@@ -1,0 +1,87 @@
+#include "sim/radio.hpp"
+
+#include "common/log.hpp"
+
+namespace xsec::sim {
+
+RadioCell::RadioCell(EventQueue* queue, RadioParams params, Rng rng)
+    : queue_(queue), params_(params), rng_(rng) {}
+
+std::uint64_t RadioCell::add_endpoint(DownlinkHandler handler) {
+  std::uint64_t tag = next_tag_++;
+  endpoints_[tag] = std::move(handler);
+  return tag;
+}
+
+void RadioCell::remove_endpoint(std::uint64_t tag) { endpoints_.erase(tag); }
+
+void RadioCell::uplink(std::uint64_t tag, ran::AirFrame frame) {
+  frame.radio_tag = tag;
+  std::optional<ran::AirFrame> current = std::move(frame);
+  for (FrameInterceptor* interceptor : interceptors_) {
+    current = interceptor->on_uplink(*current);
+    if (!current) return;  // dropped by the attacker
+  }
+  // Only contention-based CCCH (no C-RNTI yet) is subject to loss; see
+  // RadioParams::loss_probability.
+  if (!current->rnti && rng_.chance(params_.loss_probability)) {
+    ++frames_lost_;
+    return;
+  }
+  queue_->schedule_after(params_.ul_delay,
+                         [this, f = std::move(*current)]() mutable {
+                           deliver_uplink(std::move(f));
+                         });
+}
+
+void RadioCell::inject_uplink(std::uint64_t tag, ran::AirFrame frame) {
+  frame.radio_tag = tag;
+  queue_->schedule_after(params_.ul_delay,
+                         [this, f = std::move(frame)]() mutable {
+                           deliver_uplink(std::move(f));
+                         });
+}
+
+void RadioCell::downlink(ran::AirFrame frame) {
+  std::optional<ran::AirFrame> current = std::move(frame);
+  for (FrameInterceptor* interceptor : interceptors_) {
+    current = interceptor->on_downlink(*current);
+    if (!current) return;
+  }
+  queue_->schedule_after(params_.dl_delay,
+                         [this, f = std::move(*current)]() mutable {
+                           deliver_downlink(std::move(f));
+                         });
+}
+
+void RadioCell::inject_downlink(ran::AirFrame frame) {
+  queue_->schedule_after(params_.dl_delay,
+                         [this, f = std::move(frame)]() mutable {
+                           deliver_downlink(std::move(f));
+                         });
+}
+
+void RadioCell::deliver_uplink(ran::AirFrame frame) {
+  if (!gnb_) return;
+  ++frames_delivered_;
+  gnb_->on_uplink(frame);
+}
+
+void RadioCell::deliver_downlink(ran::AirFrame frame) {
+  if (frame.radio_tag == 0) {
+    // Broadcast channel (paging): every endpoint hears it.
+    for (const auto& [tag, handler] : endpoints_) handler(frame);
+    frames_delivered_ += endpoints_.size();
+    return;
+  }
+  auto it = endpoints_.find(frame.radio_tag);
+  if (it == endpoints_.end()) {
+    XSEC_LOG_DEBUG("radio", "downlink for detached endpoint tag=",
+                   frame.radio_tag);
+    return;
+  }
+  ++frames_delivered_;
+  it->second(frame);
+}
+
+}  // namespace xsec::sim

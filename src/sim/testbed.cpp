@@ -1,0 +1,134 @@
+#include "sim/testbed.hpp"
+
+namespace xsec::sim {
+
+namespace {
+/// Id-space stride separating each gNB's RAN UE NGAP ids.
+constexpr std::uint64_t kNgapIdStride = 1'000'000;
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  if (config_.num_cells == 0) config_.num_cells = 1;
+
+  for (std::size_t site_index = 0; site_index < config_.num_cells;
+       ++site_index) {
+    auto site = std::make_unique<Site>();
+    site->cell = std::make_unique<RadioCell>(
+        &queue_, config_.radio,
+        Rng(config_.seed ^ (0xce11 + site_index * 7919)));
+
+    ran::GnbConfig gnb_config = config_.gnb;
+    gnb_config.cell.gnb_id = static_cast<std::uint32_t>(site_index + 1);
+    gnb_config.seed = config_.gnb.seed + site_index;
+    gnb_config.ngap_id_base = site_index * kNgapIdStride;
+
+    ran::GnbHooks gnb_hooks;
+    Site* raw_site = site.get();
+    gnb_hooks.send_downlink = [raw_site](ran::AirFrame frame) {
+      raw_site->cell->downlink(std::move(frame));
+    };
+    gnb_hooks.now = [this] { return queue_.now(); };
+    gnb_hooks.schedule = [this](SimDuration d, std::function<void()> fn) {
+      queue_.schedule_after(d, std::move(fn));
+    };
+    gnb_hooks.to_amf = [this](Bytes wire) {
+      queue_.schedule_after(config_.ngap_delay, [this, w = std::move(wire)] {
+        amf_->on_ngap(w);
+      });
+    };
+    site->gnb = std::make_unique<ran::Gnb>(gnb_config, std::move(gnb_hooks),
+                                           &site->taps);
+    site->cell->attach_gnb(site->gnb.get());
+    sites_.push_back(std::move(site));
+  }
+
+  ran::AmfHooks amf_hooks;
+  amf_hooks.to_gnb = [this](Bytes wire) {
+    // Route downlink NGAP to the gNB owning the session's id space;
+    // paging (no session id) goes to every cell in the tracking area.
+    auto decoded = ran::decode_ngap(wire);
+    std::size_t site_index = 0;
+    bool broadcast = false;
+    if (decoded) {
+      if (decoded.value().procedure == ran::NgapProcedure::kPaging)
+        broadcast = true;
+      else
+        site_index = std::min<std::size_t>(
+            sites_.size() - 1,
+            decoded.value().ran_ue_ngap_id / kNgapIdStride);
+    }
+    queue_.schedule_after(config_.ngap_delay, [this, w = std::move(wire),
+                                               site_index, broadcast] {
+      if (broadcast) {
+        for (auto& site : sites_) site->gnb->on_ngap(w);
+      } else {
+        sites_[site_index]->gnb->on_ngap(w);
+      }
+    });
+  };
+  amf_hooks.now = [this] { return queue_.now(); };
+  amf_hooks.schedule = [this](SimDuration d, std::function<void()> fn) {
+    queue_.schedule_after(d, std::move(fn));
+  };
+  amf_ = std::make_unique<ran::Amf>(config_.amf, std::move(amf_hooks),
+                                    &subscribers_);
+}
+
+ran::UeHooks Testbed::make_hooks(UeSlot* slot) {
+  ran::UeHooks hooks;
+  hooks.send = [this, slot](ran::AirFrame frame) {
+    sites_[slot->cell_index]->cell->uplink(slot->tag, std::move(frame));
+  };
+  hooks.now = [this] { return queue_.now(); };
+  hooks.schedule = [this](SimDuration d, std::function<void()> fn) {
+    queue_.schedule_after(d, std::move(fn));
+  };
+  return hooks;
+}
+
+ran::Ue* Testbed::add_ue(ran::UeConfig config, SimTime start,
+                         std::size_t cell_index) {
+  subscribers_.provision(config.supi);
+  auto slot = std::make_unique<UeSlot>();
+  UeSlot* raw = slot.get();
+  raw->cell_index = std::min(cell_index, sites_.size() - 1);
+  raw->tag = sites_[raw->cell_index]->cell->add_endpoint(
+      [raw](const ran::AirFrame& frame) {
+        if (raw->ue) raw->ue->receive(frame);
+      });
+  raw->ue = std::make_unique<ran::Ue>(std::move(config), make_hooks(raw));
+  slots_.push_back(std::move(slot));
+  queue_.schedule_at(start, [raw] { raw->ue->power_on(); });
+  return raw->ue.get();
+}
+
+ran::Ue* Testbed::add_custom_ue(const ran::Supi& supi, UeFactory factory,
+                                SimTime start, std::size_t cell_index) {
+  subscribers_.provision(supi);
+  auto slot = std::make_unique<UeSlot>();
+  UeSlot* raw = slot.get();
+  raw->cell_index = std::min(cell_index, sites_.size() - 1);
+  raw->tag = sites_[raw->cell_index]->cell->add_endpoint(
+      [raw](const ran::AirFrame& frame) {
+        if (raw->ue) raw->ue->receive(frame);
+      });
+  raw->ue = factory(make_hooks(raw));
+  slots_.push_back(std::move(slot));
+  queue_.schedule_at(start, [raw] { raw->ue->power_on(); });
+  return raw->ue.get();
+}
+
+std::uint64_t Testbed::tag_of(const ran::Ue* ue) const {
+  for (const auto& slot : slots_)
+    if (slot->ue.get() == ue) return slot->tag;
+  return 0;
+}
+
+std::size_t Testbed::sessions_ended() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_)
+    if (slot->ue && slot->ue->session_ended()) ++n;
+  return n;
+}
+
+}  // namespace xsec::sim

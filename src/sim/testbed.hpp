@@ -1,0 +1,95 @@
+// End-to-end 5G SA testbed wiring: UEs <-> RadioCell(s) <-> gNB(s) <-> one
+// shared AMF, plus per-gNB InterfaceTaps the RIC agents collect from. This
+// is the simulated equivalent of the paper's OAI + USRP B210 testbed;
+// multi-cell configurations model a RIC managing several E2 nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ran/amf.hpp"
+#include "ran/gnb.hpp"
+#include "ran/interfaces.hpp"
+#include "ran/ue.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/radio.hpp"
+
+namespace xsec::sim {
+
+struct TestbedConfig {
+  ran::GnbConfig gnb;
+  ran::AmfConfig amf;
+  RadioParams radio;
+  SimDuration ngap_delay = SimDuration::from_ms(1);
+  std::uint64_t seed = 2024;
+  /// Number of cells/gNBs (each with its own radio cell and taps), all
+  /// served by the shared AMF.
+  std::size_t num_cells = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  EventQueue& queue() { return queue_; }
+  ran::Amf& amf() { return *amf_; }
+  ran::SubscriberDb& subscribers() { return subscribers_; }
+  SimTime now() const { return queue_.now(); }
+
+  std::size_t cell_count() const { return sites_.size(); }
+  RadioCell& cell(std::size_t index = 0) { return *sites_[index]->cell; }
+  ran::Gnb& gnb(std::size_t index = 0) { return *sites_[index]->gnb; }
+  ran::InterfaceTaps& taps(std::size_t index = 0) {
+    return sites_[index]->taps;
+  }
+
+  /// Factory signature for custom (attack) UEs: receives fully wired hooks.
+  using UeFactory =
+      std::function<std::unique_ptr<ran::Ue>(ran::UeHooks hooks)>;
+
+  /// Creates, provisions, and owns a benign UE; powers it on at `start`,
+  /// camped on `cell_index`.
+  ran::Ue* add_ue(ran::UeConfig config, SimTime start,
+                  std::size_t cell_index = 0);
+  /// Same, but the UE object is built by `factory` (attack UEs). The SUPI
+  /// is only used for subscriber provisioning.
+  ran::Ue* add_custom_ue(const ran::Supi& supi, UeFactory factory,
+                         SimTime start, std::size_t cell_index = 0);
+
+  void run_for(SimDuration d) { queue_.run_until(queue_.now() + d); }
+  void run_until(SimTime t) { queue_.run_until(t); }
+  /// Drains all pending events (bounded).
+  void run_all() { queue_.run_all(); }
+
+  std::size_t sessions_created() const { return slots_.size(); }
+  std::size_t sessions_ended() const;
+  /// Radio endpoint tag of a UE created by this testbed (0 if unknown).
+  /// MiTM attacks use this to aim their interceptors at a specific victim.
+  std::uint64_t tag_of(const ran::Ue* ue) const;
+
+ private:
+  struct Site {
+    ran::InterfaceTaps taps;
+    std::unique_ptr<RadioCell> cell;
+    std::unique_ptr<ran::Gnb> gnb;
+  };
+  struct UeSlot {
+    std::unique_ptr<ran::Ue> ue;
+    std::uint64_t tag = 0;
+    std::size_t cell_index = 0;
+  };
+
+  ran::UeHooks make_hooks(UeSlot* slot);
+
+  TestbedConfig config_;
+  EventQueue queue_;
+  ran::SubscriberDb subscribers_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<ran::Amf> amf_;
+  std::vector<std::unique_ptr<UeSlot>> slots_;
+};
+
+}  // namespace xsec::sim

@@ -1,0 +1,59 @@
+#include "sim/traffic.hpp"
+
+namespace xsec::sim {
+
+BenignTrafficGenerator::BenignTrafficGenerator(Testbed* testbed,
+                                               TrafficConfig config)
+    : testbed_(testbed), config_(std::move(config)), rng_(config_.seed) {}
+
+void BenignTrafficGenerator::schedule_all() {
+  // Assign each subscriber a device profile up front.
+  for (int i = 0; i < config_.num_subscribers; ++i) {
+    std::uint64_t msin = config_.base_msin + static_cast<std::uint64_t>(i);
+    subscriber_profile_[msin] =
+        rng_.uniform_u64(0, config_.profiles.size() - 1);
+  }
+
+  SimTime t = config_.start;
+  for (int s = 0; s < config_.num_sessions; ++s) {
+    std::uint64_t msin =
+        config_.base_msin +
+        rng_.uniform_u64(0, static_cast<std::uint64_t>(
+                                config_.num_subscribers - 1));
+    // Sample the per-session randomness now (deterministic given the seed);
+    // build the UE lazily at its start time so GUTI reuse can observe the
+    // subscriber's previous sessions.
+    const DeviceProfile& profile = config_.profiles[subscriber_profile_[msin]];
+    ran::Supi supi{config_.plmn, msin};
+    ran::UeConfig ue_config = make_session_config(profile, supi, rng_);
+    bool try_guti_reuse = rng_.chance(profile.guti_reuse_probability);
+
+    testbed_->queue().schedule_at(
+        t, [this, msin, ue_config = std::move(ue_config),
+            try_guti_reuse]() mutable {
+          SubscriberState& state = subscriber_state_[msin];
+          // The previous session (if any) published its GUTI when it got
+          // RegistrationAccept; reuse it for an S-TMSI-based setup.
+          if (state.last_session) {
+            auto guti = state.last_session->guti();
+            if (guti) state.last_guti = guti;
+          }
+          if (try_guti_reuse && state.last_guti)
+            ue_config.stored_guti = state.last_guti;
+          // Mobile-terminated sessions are preceded by the paging that
+          // caused them (benign Paging on the broadcast channel).
+          if (ue_config.establishment_cause ==
+              ran::EstablishmentCause::kMtAccess)
+            testbed_->amf().page(ue_config.supi);
+          state.last_session = testbed_->add_ue(
+              std::move(ue_config),
+              testbed_->now() + SimDuration::from_ms(20));
+        });
+
+    ++sessions_scheduled_;
+    t = t + SimDuration::from_us(static_cast<std::int64_t>(
+            rng_.exponential(static_cast<double>(config_.arrival_mean.us))));
+  }
+}
+
+}  // namespace xsec::sim

@@ -1,0 +1,268 @@
+// Codec tests: every RRC and NAS message round-trips through the wire
+// format; malformed and truncated inputs are rejected without UB.
+#include <gtest/gtest.h>
+
+#include "ran/codec.hpp"
+#include "ran/ue.hpp"
+
+namespace xsec::ran {
+namespace {
+
+// --- Parameterized RRC round-trips -------------------------------------
+
+std::vector<RrcMessage> all_rrc_messages() {
+  RrcSetupRequest setup_req;
+  setup_req.ue_identity = {InitialUeIdentity::Kind::kNg5gSTmsiPart1,
+                           0x1234567890ULL & ((1ULL << 39) - 1)};
+  setup_req.cause = EstablishmentCause::kMoData;
+
+  RrcSetupComplete complete;
+  complete.selected_plmn = Plmn{310, 26};
+  complete.dedicated_nas = {1, 2, 3};
+  complete.s_tmsi = STmsi{5, 2, 0xCAFE};
+
+  RrcSetupComplete complete_no_tmsi;
+  complete_no_tmsi.dedicated_nas = {};
+
+  UeCapabilityInformation caps;
+  caps.rat_capabilities = "nr;bands=n78";
+  caps.num_bands = 3;
+
+  UlInformationTransfer ul;
+  ul.dedicated_nas = {9, 9, 9};
+
+  MeasurementReport meas;
+  meas.rsrp_dbm = -101;
+  meas.rsrq_db = -17;
+
+  RrcReestablishmentRequest reest;
+  reest.old_rnti = Rnti{0xBEEF};
+  reest.phys_cell_id = 77;
+  reest.cause = 2;
+
+  RrcSecurityModeCommand smc;
+  smc.cipher = CipherAlg::kNea0;
+  smc.integrity = IntegrityAlg::kNia1;
+
+  DlInformationTransfer dl;
+  dl.dedicated_nas = {4, 5};
+
+  RrcRelease release;
+  release.cause = RrcRelease::Cause::kOther;
+  release.suspend = true;
+
+  return {
+      RrcMessage{setup_req},
+      RrcMessage{complete},
+      RrcMessage{complete_no_tmsi},
+      RrcMessage{RrcSecurityModeComplete{}},
+      RrcMessage{RrcSecurityModeFailure{3}},
+      RrcMessage{caps},
+      RrcMessage{RrcReconfigurationComplete{}},
+      RrcMessage{ul},
+      RrcMessage{meas},
+      RrcMessage{reest},
+      RrcMessage{RrcSetup{}},
+      RrcMessage{RrcReject{7}},
+      RrcMessage{smc},
+      RrcMessage{UeCapabilityEnquiry{}},
+      RrcMessage{RrcReconfiguration{9}},
+      RrcMessage{dl},
+      RrcMessage{release},
+      RrcMessage{Paging{0x123456789ULL}},
+  };
+}
+
+class RrcRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RrcRoundTrip, EncodeDecodeEncodeIsStable) {
+  RrcMessage original = all_rrc_messages()[GetParam()];
+  Bytes wire = encode_rrc(original);
+  auto decoded = decode_rrc(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(rrc_name(decoded.value()), rrc_name(original));
+  // Re-encoding the decoded message must produce identical bytes.
+  EXPECT_EQ(encode_rrc(decoded.value()), wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRrcMessages, RrcRoundTrip,
+                         ::testing::Range<std::size_t>(
+                             0, all_rrc_messages().size()));
+
+// --- Parameterized NAS round-trips -------------------------------------
+
+std::vector<NasMessage> all_nas_messages() {
+  Supi supi{Plmn::test_network(), 2089900001ULL};
+
+  RegistrationRequest reg_suci;
+  reg_suci.identity = MobileIdentity::from_suci(make_suci(supi, 42));
+  reg_suci.capabilities = SecurityCapabilities{0b1111, 0b0110};
+
+  RegistrationRequest reg_guti;
+  reg_guti.type = RegistrationType::kMobilityUpdating;
+  reg_guti.ng_ksi = 2;
+  reg_guti.identity =
+      MobileIdentity::from_guti(Guti{Plmn::test_network(), 1,
+                                     STmsi{1, 0, 0xABCDEF}});
+
+  RegistrationRequest reg_plain;
+  reg_plain.identity = MobileIdentity::from_supi_plain(supi);
+
+  NasSecurityModeComplete smc_complete;
+  smc_complete.imeisv_supi = supi;
+
+  IdentityResponse id_resp;
+  id_resp.identity = MobileIdentity::from_suci(make_suci(supi, 1, true));
+
+  ServiceRequest service;
+  service.service_type = 1;
+  service.s_tmsi = STmsi{1, 0, 0x1111};
+
+  NasSecurityModeCommand nas_smc;
+  nas_smc.cipher = CipherAlg::kNea0;
+  nas_smc.integrity = IntegrityAlg::kNia0;
+  nas_smc.replayed_capabilities = SecurityCapabilities{0b0001, 0b0001};
+
+  RegistrationAccept accept;
+  accept.guti = Guti{Plmn::test_network(), 1, STmsi{1, 0, 0x2222}};
+  accept.t3512_min = 90;
+
+  ConfigurationUpdateCommand update;
+  update.new_guti = Guti{Plmn::test_network(), 2, STmsi{2, 1, 0x3333}};
+
+  return {
+      NasMessage{reg_suci},
+      NasMessage{reg_guti},
+      NasMessage{reg_plain},
+      NasMessage{AuthenticationResponse{0xDEADULL}},
+      NasMessage{AuthenticationFailure{MmCause::kSynchFailure}},
+      NasMessage{smc_complete},
+      NasMessage{NasSecurityModeComplete{}},
+      NasMessage{NasSecurityModeReject{MmCause::kProtocolError}},
+      NasMessage{id_resp},
+      NasMessage{RegistrationComplete{}},
+      NasMessage{service},
+      NasMessage{ServiceRequest{}},
+      NasMessage{DeregistrationRequestUe{true}},
+      NasMessage{AuthenticationRequest{1, 0x12, 0x34}},
+      NasMessage{AuthenticationReject{}},
+      NasMessage{nas_smc},
+      NasMessage{IdentityRequest{IdentityType::kImeisv}},
+      NasMessage{accept},
+      NasMessage{RegistrationReject{MmCause::kPlmnNotAllowed}},
+      NasMessage{ServiceAccept{}},
+      NasMessage{ServiceReject{MmCause::kCongestion}},
+      NasMessage{DeregistrationAcceptNw{}},
+      NasMessage{update},
+      NasMessage{ConfigurationUpdateCommand{}},
+  };
+}
+
+class NasRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NasRoundTrip, EncodeDecodeEncodeIsStable) {
+  NasMessage original = all_nas_messages()[GetParam()];
+  Bytes wire = encode_nas(original);
+  auto decoded = decode_nas(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(nas_name(decoded.value()), nas_name(original));
+  EXPECT_EQ(encode_nas(decoded.value()), wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNasMessages, NasRoundTrip,
+                         ::testing::Range<std::size_t>(
+                             0, all_nas_messages().size()));
+
+// --- Field fidelity ------------------------------------------------------
+
+TEST(Codec, RrcSetupRequestFieldsPreserved) {
+  auto msgs = all_rrc_messages();
+  auto decoded = decode_rrc(encode_rrc(msgs[0]));
+  ASSERT_TRUE(decoded.ok());
+  const auto& m = std::get<RrcSetupRequest>(decoded.value());
+  EXPECT_EQ(m.ue_identity.kind, InitialUeIdentity::Kind::kNg5gSTmsiPart1);
+  EXPECT_EQ(m.cause, EstablishmentCause::kMoData);
+}
+
+TEST(Codec, NestedNasSurvivesRrcContainer) {
+  NasMessage inner = NasMessage{AuthenticationRequest{1, 0xAA, 0xBB}};
+  DlInformationTransfer transfer{encode_nas(inner)};
+  auto rrc = decode_rrc(encode_rrc(RrcMessage{transfer}));
+  ASSERT_TRUE(rrc.ok());
+  auto nas = decode_nas(
+      std::get<DlInformationTransfer>(rrc.value()).dedicated_nas);
+  ASSERT_TRUE(nas.ok());
+  EXPECT_EQ(std::get<AuthenticationRequest>(nas.value()).rand, 0xAAu);
+}
+
+TEST(Codec, NullSchemeSuciSurvivesRoundTrip) {
+  Supi supi{Plmn::test_network(), 777};
+  IdentityResponse resp{MobileIdentity::from_suci(make_suci(supi, 1, true))};
+  auto decoded = decode_nas(encode_nas(NasMessage{resp}));
+  ASSERT_TRUE(decoded.ok());
+  const auto& m = std::get<IdentityResponse>(decoded.value());
+  ASSERT_TRUE(m.identity.suci.has_value());
+  EXPECT_TRUE(m.identity.suci->is_null_scheme());
+  EXPECT_EQ(deconceal_suci(*m.identity.suci), 777u);
+}
+
+// --- Robustness ----------------------------------------------------------
+
+TEST(Codec, EmptyBufferRejected) {
+  EXPECT_FALSE(decode_rrc({}).ok());
+  EXPECT_FALSE(decode_nas({}).ok());
+}
+
+TEST(Codec, UnknownTagRejected) {
+  EXPECT_FALSE(decode_rrc({0xFF}).ok());
+  EXPECT_FALSE(decode_nas({0xFF}).ok());
+}
+
+TEST(Codec, TruncationNeverCrashes) {
+  for (const RrcMessage& msg : all_rrc_messages()) {
+    Bytes wire = encode_rrc(msg);
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      Bytes truncated(wire.begin(), wire.begin() + cut);
+      (void)decode_rrc(truncated);  // must not crash; may fail or not
+    }
+  }
+  for (const NasMessage& msg : all_nas_messages()) {
+    Bytes wire = encode_nas(msg);
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      Bytes truncated(wire.begin(), wire.begin() + cut);
+      (void)decode_nas(truncated);
+    }
+  }
+}
+
+TEST(Codec, OutOfRangeEnumsRejected) {
+  // RrcSetupRequest with establishment cause 99.
+  Bytes wire = encode_rrc(RrcMessage{RrcSetupRequest{}});
+  wire.back() = 99;
+  EXPECT_FALSE(decode_rrc(wire).ok());
+}
+
+TEST(Codec, MessageNamesMatchVocabulary) {
+  for (const RrcMessage& msg : all_rrc_messages()) {
+    const auto& names = rrc_all_names();
+    EXPECT_NE(std::find(names.begin(), names.end(), rrc_name(msg)),
+              names.end())
+        << rrc_name(msg);
+  }
+  for (const NasMessage& msg : all_nas_messages()) {
+    const auto& names = nas_all_names();
+    EXPECT_NE(std::find(names.begin(), names.end(), nas_name(msg)),
+              names.end())
+        << nas_name(msg);
+  }
+}
+
+TEST(Codec, DirectionConventions) {
+  EXPECT_TRUE(rrc_is_uplink(RrcMessage{RrcSetupRequest{}}));
+  EXPECT_FALSE(rrc_is_uplink(RrcMessage{RrcSetup{}}));
+  EXPECT_TRUE(nas_is_uplink(NasMessage{RegistrationRequest{}}));
+  EXPECT_FALSE(nas_is_uplink(NasMessage{AuthenticationRequest{}}));
+}
+
+}  // namespace
+}  // namespace xsec::ran

@@ -1,0 +1,381 @@
+// Unit tests for src/common: rng, bytes, strings, table, plot, clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "common/plot.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace xsec {
+namespace {
+
+// --- Rng -------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64FullRangeDoesNotHang) {
+  Rng rng(7);
+  (void)rng.uniform_u64(0, Rng::max());
+}
+
+TEST(Rng, UniformI64NegativeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    std::int64_t v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproximateMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ForkedStreamIndependent) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    values.insert(parent());
+    values.insert(child());
+  }
+  EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v.begin(), v.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// --- Bytes -----------------------------------------------------------
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.14159);
+  w.boolean(true);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.str("hello \0 world");
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), "hello \0 world");
+  EXPECT_EQ(r.str().value(), "");
+}
+
+TEST(Bytes, VarintRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 40,
+                          ~0ULL}) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.varint().value(), v);
+  }
+}
+
+TEST(Bytes, TruncatedReadsFail) {
+  Bytes two = {0x01, 0x02};
+  ByteReader r(two);
+  EXPECT_FALSE(r.u32().ok());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow but none do
+  ByteReader r(w.bytes());
+  auto result = r.str();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "truncated");
+}
+
+TEST(Bytes, MalformedBooleanFails) {
+  Bytes b = {0x02};
+  ByteReader r(b);
+  EXPECT_FALSE(r.boolean().ok());
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data = {0xDE, 0xAD, 0x00, 0xFF};
+  EXPECT_EQ(to_hex(data), "dead00ff");
+  EXPECT_EQ(from_hex("dead00ff").value(), data);
+  EXPECT_EQ(from_hex("DEAD00FF").value(), data);
+}
+
+TEST(Bytes, HexRejectsBadInput) {
+  EXPECT_FALSE(from_hex("abc").ok());   // odd length
+  EXPECT_FALSE(from_hex("zz").ok());    // non-hex
+}
+
+TEST(Bytes, Fnv1aStability) {
+  EXPECT_EQ(fnv1a(std::string_view("")), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a(std::string_view("a")), fnv1a(std::string_view("b")));
+}
+
+// --- Result ----------------------------------------------------------
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> bad(Error::make("code", "msg"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "code");
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, StatusDefaultsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status failed(Error::make("io"));
+  EXPECT_FALSE(failed.ok());
+}
+
+// --- Strings ---------------------------------------------------------
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+}
+
+TEST(Strings, ContainsAndStartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(contains("foobar", "oba"));
+  EXPECT_FALSE(contains("foobar", "baz"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(replace_all("abc", "", "y"), "abc");
+}
+
+TEST(Strings, FormatFixedAndPercent) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.9323), "93.23%");
+  EXPECT_EQ(format_percent(std::nan("")), "N/A");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcdef");
+}
+
+TEST(Strings, WrapText) {
+  std::string wrapped = wrap_text("one two three four", 9);
+  EXPECT_EQ(wrapped, "one two\nthree\nfour");
+}
+
+// --- Table -----------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"A", "Long header"});
+  t.add_row({"x", "y"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("| A | Long header |"), std::string::npos);
+  EXPECT_NE(out.find("| x | y           |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name"});
+  t.add_row({"a,b \"quoted\""});
+  EXPECT_NE(t.to_csv().find("\"a,b \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t({"c"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::string out = t.render();
+  // header rule + top + bottom + separator = 4 rules
+  int rules = 0;
+  for (const auto& line : split(out, '\n'))
+    if (!line.empty() && line[0] == '+') ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+// --- Plot / percentile -------------------------------------------------
+
+TEST(Percentile, LinearInterpolation) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(AsciiPlot, RendersPointsAndThreshold) {
+  AsciiPlot plot(40, 10);
+  plot.add_series({1, 2, 3, 10}, '*');
+  plot.set_threshold(5.0);
+  std::string out = plot.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotSafe) {
+  AsciiPlot plot(10, 5);
+  EXPECT_EQ(plot.render(), "(empty plot)\n");
+}
+
+// --- Clock -----------------------------------------------------------
+
+TEST(Clock, ArithmeticAndConversions) {
+  SimTime t = SimTime::from_ms(2.5);
+  EXPECT_EQ(t.us, 2500);
+  SimTime later = t + SimDuration::from_us(500);
+  EXPECT_EQ(later.us, 3000);
+  EXPECT_EQ((later - t).us, 500);
+  EXPECT_LT(t, later);
+  EXPECT_DOUBLE_EQ(SimDuration::from_s(1.5).to_ms(), 1500.0);
+  EXPECT_EQ((SimDuration::from_ms(10) * 2.5).us, 25000);
+}
+
+// --- Log -------------------------------------------------------------
+
+TEST(Log, CaptureAndLevelFilter) {
+  Log::capture(true);
+  Log::set_level(LogLevel::kWarn);
+  XSEC_LOG_INFO("test", "hidden");
+  XSEC_LOG_WARN("test", "visible ", 42);
+  std::string captured = Log::captured();
+  Log::capture(false);
+  EXPECT_EQ(captured.find("hidden"), std::string::npos);
+  EXPECT_NE(captured.find("visible 42"), std::string::npos);
+  EXPECT_NE(captured.find("[test]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsec

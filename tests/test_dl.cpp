@@ -1,0 +1,401 @@
+// Deep-learning substrate tests: tensor ops, layer gradients (numerical
+// checks), optimizers, autoencoder + LSTM end-to-end on toy problems,
+// metrics, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dl/autoencoder.hpp"
+#include "dl/layers.hpp"
+#include "dl/lstm.hpp"
+#include "dl/metrics.hpp"
+#include "dl/optim.hpp"
+#include "dl/serialize.hpp"
+#include "dl/tensor.hpp"
+
+namespace xsec::dl {
+namespace {
+
+// --- Matrix ----------------------------------------------------------
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  Rng rng(1);
+  Matrix a(3, 4);
+  Matrix b(4, 5);
+  a.xavier_init(rng, 3, 4);
+  b.xavier_init(rng, 4, 5);
+  // matmul_bt(a, b^T stored as (5x4)) == matmul(a, b)
+  Matrix bt = b.transposed();
+  Matrix via_bt = matmul_bt(a, bt);
+  Matrix direct = matmul(a, b);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_NEAR(via_bt.data()[i], direct.data()[i], 1e-5);
+  // matmul_at(a^T stored as a (3x4), c) == matmul(a^T, c)
+  Matrix c(3, 2);
+  c.xavier_init(rng, 3, 2);
+  Matrix via_at = matmul_at(a, c);
+  Matrix direct_at = matmul(a.transposed(), c);
+  for (std::size_t i = 0; i < direct_at.size(); ++i)
+    EXPECT_NEAR(via_at.data()[i], direct_at.data()[i], 1e-5);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a = Matrix::from_rows({{1, 2}});
+  Matrix b = Matrix::from_rows({{3, 4}});
+  EXPECT_FLOAT_EQ(add(a, b).at(0, 1), 6);
+  EXPECT_FLOAT_EQ(sub(a, b).at(0, 0), -2);
+  EXPECT_FLOAT_EQ(hadamard(a, b).at(0, 1), 8);
+  Matrix row = Matrix::from_rows({{10, 20}});
+  EXPECT_FLOAT_EQ(add_row_vector(a, row).at(0, 1), 22);
+  Matrix two = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix sums = sum_rows(two);
+  EXPECT_FLOAT_EQ(sums.at(0, 0), 4);
+  EXPECT_FLOAT_EQ(sums.at(0, 1), 6);
+}
+
+// --- Numerical gradient checking --------------------------------------
+
+/// Checks layer backward against central finite differences of a scalar
+/// loss L = sum(forward(x) * weights_const).
+void check_layer_gradients(Layer& layer, Matrix x, float tolerance = 2e-2f) {
+  Matrix out = layer.forward(x);
+  // L = sum of outputs; dL/dout = 1.
+  Matrix grad_out(out.rows(), out.cols(), 1.0f);
+  layer.zero_grad();
+  Matrix grad_in = layer.backward(grad_out);
+
+  const float eps = 1e-3f;
+  auto loss_of = [&layer](const Matrix& input) {
+    Matrix output = layer.forward(input);
+    double total = 0;
+    for (float v : output.data()) total += v;
+    return total;
+  };
+  // Check input gradient.
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(
+                                            1, x.size() / 7)) {
+    Matrix xp = x;
+    xp.data()[i] += eps;
+    Matrix xm = x;
+    xm.data()[i] -= eps;
+    double numeric = (loss_of(xp) - loss_of(xm)) / (2 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, tolerance)
+        << "input grad mismatch at " << i;
+  }
+  // Check parameter gradients.
+  for (Param p : layer.params()) {
+    for (std::size_t i = 0; i < p.value->size();
+         i += std::max<std::size_t>(1, p.value->size() / 5)) {
+      float saved = p.value->data()[i];
+      p.value->data()[i] = saved + eps;
+      double lp = loss_of(x);
+      p.value->data()[i] = saved - eps;
+      double lm = loss_of(x);
+      p.value->data()[i] = saved;
+      double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p.grad->data()[i], numeric, tolerance)
+          << "param grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(Gradients, Linear) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  Matrix x(2, 4);
+  x.xavier_init(rng, 4, 3);
+  check_layer_gradients(layer, x);
+}
+
+TEST(Gradients, Relu) {
+  Rng rng(4);
+  Relu layer;
+  Matrix x(2, 5);
+  x.xavier_init(rng, 5, 5);
+  for (float& v : x.data()) v += (v >= 0 ? 0.1f : -0.1f);  // avoid kink
+  check_layer_gradients(layer, x);
+}
+
+TEST(Gradients, SigmoidAndTanh) {
+  Rng rng(5);
+  Matrix x(2, 4);
+  x.xavier_init(rng, 4, 4);
+  Sigmoid sigmoid;
+  check_layer_gradients(sigmoid, x);
+  Tanh tanh_layer;
+  check_layer_gradients(tanh_layer, x);
+}
+
+TEST(Gradients, SequentialStack) {
+  Rng rng(6);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 6, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Linear>(6, 2, rng));
+  net.add(std::make_unique<Sigmoid>());
+  Matrix x(3, 4);
+  x.xavier_init(rng, 4, 4);
+  check_layer_gradients(net, x);
+}
+
+// --- Optimizers ---------------------------------------------------------
+
+TEST(Optim, SgdAndAdamMinimizeQuadratic) {
+  // minimize f(w) = sum (w - 3)^2 via explicit gradient.
+  for (int use_adam = 0; use_adam <= 1; ++use_adam) {
+    Matrix w(1, 4, 0.0f);
+    Matrix g(1, 4);
+    std::vector<Param> params = {{&w, &g}};
+    std::unique_ptr<Optimizer> opt;
+    if (use_adam)
+      opt = std::make_unique<Adam>(params, 0.1f);
+    else
+      opt = std::make_unique<Sgd>(params, 0.05f, 0.9f);
+    for (int step = 0; step < 300; ++step) {
+      for (std::size_t i = 0; i < w.size(); ++i)
+        g.data()[i] = 2 * (w.data()[i] - 3.0f);
+      opt->step();
+    }
+    for (float v : w.data()) EXPECT_NEAR(v, 3.0f, 0.05f);
+  }
+}
+
+TEST(Optim, ClipGradNorm) {
+  Matrix w(1, 2);
+  Matrix g = Matrix::from_rows({{3.0f, 4.0f}});  // norm 5
+  std::vector<Param> params = {{&w, &g}};
+  clip_grad_norm(params, 1.0f);
+  double norm = std::sqrt(g.at(0, 0) * g.at(0, 0) + g.at(0, 1) * g.at(0, 1));
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  // Below the cap: untouched.
+  Matrix g2 = Matrix::from_rows({{0.3f, 0.4f}});
+  std::vector<Param> params2 = {{&w, &g2}};
+  clip_grad_norm(params2, 1.0f);
+  EXPECT_FLOAT_EQ(g2.at(0, 0), 0.3f);
+}
+
+// --- Autoencoder ---------------------------------------------------------
+
+Matrix toy_benign_data(Rng& rng, std::size_t n) {
+  // Two one-hot groups with a fixed correlation: class k in group 1 pairs
+  // with class k in group 2.
+  Matrix data(n, 8, 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t k = rng.uniform_u64(0, 3);
+    data.at(r, k) = 1.0f;
+    data.at(r, 4 + k) = 1.0f;
+  }
+  return data;
+}
+
+TEST(Autoencoder, LearnsToyDistributionAndFlagsOutliers) {
+  Rng rng(7);
+  Matrix benign = toy_benign_data(rng, 256);
+  Autoencoder model(AutoencoderConfig{8, {16, 4}, 99});
+  TrainConfig train;
+  train.epochs = 120;
+  train.learning_rate = 5e-3f;
+  double final_loss = model.fit(benign, train);
+  EXPECT_LT(final_loss, 0.05);
+
+  auto benign_errors = model.reconstruction_errors(benign);
+  double benign_mean = 0;
+  for (double e : benign_errors) benign_mean += e;
+  benign_mean /= static_cast<double>(benign_errors.size());
+
+  // An outlier breaking the correlation must reconstruct worse.
+  Matrix outlier(1, 8, 0.0f);
+  outlier.at(0, 0) = 1.0f;
+  outlier.at(0, 4 + 2) = 1.0f;  // mismatched pair
+  double outlier_error = model.reconstruction_errors(outlier)[0];
+  EXPECT_GT(outlier_error, benign_mean * 3);
+}
+
+TEST(Autoencoder, EpochCallbackInvokedAndLossDecreases) {
+  Rng rng(8);
+  Matrix data = toy_benign_data(rng, 64);
+  Autoencoder model(AutoencoderConfig{8, {8, 2}, 1});
+  std::vector<double> losses;
+  TrainConfig train;
+  train.epochs = 30;
+  train.on_epoch = [&](int, double loss) { losses.push_back(loss); };
+  model.fit(data, train);
+  ASSERT_EQ(losses.size(), 30u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Autoencoder, DeterministicGivenSeed) {
+  Rng rng(9);
+  Matrix data = toy_benign_data(rng, 64);
+  auto run = [&data] {
+    Autoencoder model(AutoencoderConfig{8, {8, 2}, 55});
+    TrainConfig train;
+    train.epochs = 10;
+    model.fit(data, train);
+    return model.reconstruction_errors(data);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- LSTM ------------------------------------------------------------
+
+std::vector<SequenceSample> toy_sequences(std::size_t n) {
+  // Deterministic cyclic pattern over 4 one-hot symbols: 0 1 2 3 0 1 ...
+  std::vector<SequenceSample> samples;
+  for (std::size_t start = 0; start < n; ++start) {
+    SequenceSample s;
+    for (std::size_t t = 0; t < 3; ++t) {
+      std::vector<float> x(4, 0.0f);
+      x[(start + t) % 4] = 1.0f;
+      s.window.push_back(x);
+    }
+    s.target.assign(4, 0.0f);
+    s.target[(start + 3) % 4] = 1.0f;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Lstm, LearnsCyclicSequence) {
+  auto samples = toy_sequences(64);
+  LstmPredictor model(LstmConfig{4, 16, 11});
+  LstmTrainConfig train;
+  train.epochs = 150;
+  train.learning_rate = 5e-3f;
+  double loss = model.fit(samples, train);
+  EXPECT_LT(loss, 0.03);
+
+  // Prediction puts most mass on the correct next symbol.
+  auto predicted = model.predict(samples[0].window);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < predicted.size(); ++i)
+    if (predicted[i] > predicted[argmax]) argmax = i;
+  EXPECT_EQ(argmax, 3u);  // window 0,1,2 -> next is 3
+}
+
+TEST(Lstm, AnomalousNextSymbolScoresHigher) {
+  auto samples = toy_sequences(64);
+  LstmPredictor model(LstmConfig{4, 16, 12});
+  LstmTrainConfig train;
+  train.epochs = 150;
+  train.learning_rate = 5e-3f;
+  model.fit(samples, train);
+
+  double benign_error = model.prediction_error(samples[0]);
+  SequenceSample anomalous = samples[0];
+  anomalous.target.assign(4, 0.0f);
+  anomalous.target[1] = 1.0f;  // wrong symbol follows
+  EXPECT_GT(model.prediction_error(anomalous), benign_error * 4);
+}
+
+TEST(Lstm, MaxStepErrorsCatchMidWindowAnomaly) {
+  auto samples = toy_sequences(64);
+  LstmPredictor model(LstmConfig{4, 16, 13});
+  LstmTrainConfig train;
+  train.epochs = 150;
+  train.learning_rate = 5e-3f;
+  model.fit(samples, train);
+
+  SequenceSample corrupted = samples[0];
+  corrupted.window[2].assign(4, 0.0f);
+  corrupted.window[2][0] = 1.0f;  // out-of-order symbol mid-window
+  double clean = model.max_step_errors({samples[0]})[0];
+  double broken = model.max_step_errors({corrupted})[0];
+  EXPECT_GT(broken, clean * 3);
+}
+
+TEST(Lstm, BatchedAndSingleErrorsAgree) {
+  auto samples = toy_sequences(10);
+  LstmPredictor model(LstmConfig{4, 8, 14});
+  LstmTrainConfig train;
+  train.epochs = 5;
+  model.fit(samples, train);
+  auto batched = model.prediction_errors(samples);
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    EXPECT_NEAR(batched[i], model.prediction_error(samples[i]), 1e-9);
+}
+
+// --- Metrics ----------------------------------------------------------
+
+TEST(Metrics, ConfusionMath) {
+  Confusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.tn = 85;
+  c.fn = 5;
+  EXPECT_NEAR(c.accuracy(), 0.93, 1e-9);
+  EXPECT_NEAR(c.precision(), 0.8, 1e-9);
+  EXPECT_NEAR(c.recall(), 8.0 / 13.0, 1e-9);
+  double p = c.precision(), r = c.recall();
+  EXPECT_NEAR(c.f1(), 2 * p * r / (p + r), 1e-9);
+}
+
+TEST(Metrics, UndefinedCellsAreNaN) {
+  Confusion c;
+  c.tn = 10;
+  EXPECT_TRUE(std::isnan(c.precision()));
+  EXPECT_TRUE(std::isnan(c.recall()));
+  EXPECT_TRUE(std::isnan(c.f1()));
+  EXPECT_NEAR(c.accuracy(), 1.0, 1e-9);
+}
+
+TEST(Metrics, EvaluateThresholdStrictlyGreater) {
+  Confusion c = evaluate_threshold({0.5, 1.0, 2.0}, {false, false, true}, 1.0);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 0u);
+  EXPECT_EQ(c.tn, 2u);  // score == threshold is benign
+}
+
+TEST(Metrics, KfoldPartitionsEverything) {
+  auto folds = kfold_indices(10, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  std::vector<int> seen(10, 0);
+  for (const auto& [train, test] : folds) {
+    EXPECT_EQ(train.size() + test.size(), 10u);
+    for (std::size_t i : test) ++seen[i];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+// --- Serialization ------------------------------------------------------
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  Rng rng(20);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);
+  Bytes blob = save_params(a.params());
+  ASSERT_TRUE(load_params(b.params(), blob).ok());
+  EXPECT_EQ(a.weight().data(), b.weight().data());
+  EXPECT_EQ(a.bias().data(), b.bias().data());
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Rng rng(21);
+  Linear a(4, 3, rng);
+  Linear wrong(3, 4, rng);
+  Bytes blob = save_params(a.params());
+  EXPECT_FALSE(load_params(wrong.params(), blob).ok());
+}
+
+TEST(Serialize, LstmModelRoundTrip) {
+  LstmPredictor a(LstmConfig{4, 8, 1});
+  LstmPredictor b(LstmConfig{4, 8, 2});
+  auto samples = toy_sequences(8);
+  EXPECT_NE(a.prediction_errors(samples), b.prediction_errors(samples));
+  Bytes blob = save_params(a.params());
+  ASSERT_TRUE(load_params(b.params(), blob).ok());
+  EXPECT_EQ(a.prediction_errors(samples), b.prediction_errors(samples));
+}
+
+}  // namespace
+}  // namespace xsec::dl

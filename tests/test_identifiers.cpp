@@ -1,0 +1,122 @@
+// Unit tests for cellular identifiers (src/ran/identifiers.*).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ran/identifiers.hpp"
+#include "ran/ue.hpp"  // make_suci / deconceal_suci
+
+namespace xsec::ran {
+namespace {
+
+TEST(Rnti, Formatting) {
+  EXPECT_EQ(Rnti{0x5F}.str(), "0x005F");
+  EXPECT_EQ(Rnti{0xFFEF}.str(), "0xFFEF");
+}
+
+TEST(STmsi, PackRoundTrip) {
+  STmsi s{0x3FF, 0x3F, 0xDEADBEEF};
+  STmsi back = STmsi::from_packed(s.packed());
+  EXPECT_EQ(back, s);
+}
+
+TEST(STmsi, PackedFieldsDoNotOverlap) {
+  STmsi a{1, 0, 0};
+  STmsi b{0, 1, 0};
+  STmsi c{0, 0, 1};
+  EXPECT_NE(a.packed(), b.packed());
+  EXPECT_NE(b.packed(), c.packed());
+  EXPECT_EQ(c.packed(), 1u);
+}
+
+TEST(Plmn, TestNetworkString) {
+  EXPECT_EQ(Plmn::test_network().str(), "001/01");
+}
+
+TEST(Supi, ImsiFormatting) {
+  Supi supi{Plmn::test_network(), 2089900001ULL};
+  EXPECT_EQ(supi.str(), "imsi-001012089900001");
+}
+
+TEST(Supi, Ordering) {
+  Supi a{Plmn::test_network(), 1};
+  Supi b{Plmn::test_network(), 2};
+  EXPECT_LT(a, b);
+}
+
+TEST(Guti, StringContainsParts) {
+  Guti guti{Plmn::test_network(), 2, STmsi{1, 0, 0xABCD}};
+  std::string s = guti.str();
+  EXPECT_NE(s.find("001/01"), std::string::npos);
+  EXPECT_NE(s.find("r2"), std::string::npos);
+}
+
+TEST(RntiAllocator, AllocatesUniqueValues) {
+  RntiAllocator alloc(Rng{1});
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto rnti = alloc.allocate();
+    ASSERT_TRUE(rnti.has_value());
+    EXPECT_GE(rnti->value, Rnti::kMinCRnti);
+    EXPECT_LE(rnti->value, Rnti::kMaxCRnti);
+    EXPECT_TRUE(seen.insert(rnti->value).second) << "duplicate RNTI";
+  }
+  EXPECT_EQ(alloc.in_use(), 500u);
+}
+
+TEST(RntiAllocator, ReleaseAllowsReuse) {
+  RntiAllocator alloc(Rng{2});
+  auto rnti = alloc.allocate();
+  ASSERT_TRUE(rnti.has_value());
+  EXPECT_EQ(alloc.in_use(), 1u);
+  alloc.release(*rnti);
+  EXPECT_EQ(alloc.in_use(), 0u);
+}
+
+TEST(RntiAllocator, ReleaseUnknownIsNoop) {
+  RntiAllocator alloc(Rng{3});
+  alloc.release(Rnti{0x1234});
+  EXPECT_EQ(alloc.in_use(), 0u);
+}
+
+// --- SUCI concealment ---------------------------------------------------
+
+TEST(Suci, ProtectedSchemeConcealsMsin) {
+  Supi supi{Plmn::test_network(), 2089900005ULL};
+  Suci suci = make_suci(supi, /*nonce=*/1234);
+  EXPECT_FALSE(suci.is_null_scheme());
+  EXPECT_NE(suci.concealed & ((1ULL << 40) - 1), supi.msin);
+  EXPECT_EQ(deconceal_suci(suci), supi.msin);
+}
+
+TEST(Suci, DifferentNoncesGiveUnlinkableSucis) {
+  Supi supi{Plmn::test_network(), 2089900005ULL};
+  Suci a = make_suci(supi, 1);
+  Suci b = make_suci(supi, 2);
+  EXPECT_NE(a.concealed, b.concealed);
+  EXPECT_EQ(deconceal_suci(a), deconceal_suci(b));
+}
+
+TEST(Suci, NullSchemeIsPlaintext) {
+  Supi supi{Plmn::test_network(), 2089900005ULL};
+  Suci suci = make_suci(supi, 99, /*null_scheme=*/true);
+  EXPECT_TRUE(suci.is_null_scheme());
+  EXPECT_EQ(suci.concealed, supi.msin);  // the MSIN is on the air
+  EXPECT_EQ(deconceal_suci(suci), supi.msin);
+}
+
+TEST(Suci, NullSchemeVisibleInString) {
+  Supi supi{Plmn::test_network(), 42};
+  EXPECT_NE(make_suci(supi, 1, true).str().find("-0-"), std::string::npos);
+  EXPECT_NE(make_suci(supi, 1, false).str().find("-1-"), std::string::npos);
+}
+
+TEST(Suci, DeconcealRequiresMatchingPlmn) {
+  Supi supi{Plmn::test_network(), 2089900005ULL};
+  Suci suci = make_suci(supi, 7);
+  suci.plmn = Plmn{310, 410};  // different home network key
+  EXPECT_NE(deconceal_suci(suci), supi.msin);
+}
+
+}  // namespace
+}  // namespace xsec::ran

@@ -1,0 +1,250 @@
+// End-to-end integration tests: the full Figure 3 pipeline — telemetry
+// collection over E2, MobiWatch detection, LLM analysis, closed-loop
+// control — against live attacks.
+#include <gtest/gtest.h>
+
+#include "attacks/attack.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "dl/serialize.hpp"
+#include "sim/traffic.hpp"
+
+namespace xsec {
+namespace {
+
+/// Shared trained detector (training is the slow part; do it once).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Two independent benign captures for generalization across seeds.
+    std::vector<mobiflow::Trace> captures;
+    double arrival_ms = 60.0;
+    for (std::uint64_t seed : {71u, 72u}) {
+      core::ScenarioConfig benign_config;
+      benign_config.testbed.seed = seed;
+      benign_config.traffic.num_sessions = 40;
+      benign_config.traffic.seed = seed * 13;
+      benign_config.traffic.arrival_mean = SimDuration::from_ms(arrival_ms);
+      benign_config.run_time = SimDuration::from_s(8);
+      captures.push_back(core::collect_benign(benign_config));
+      arrival_ms += 60.0;
+    }
+    benign_ = new std::vector<mobiflow::Trace>(std::move(captures));
+    core::EvalConfig eval;
+    eval.detector.epochs = 25;
+    detector_ = new std::shared_ptr<detect::AnomalyDetector>(
+        core::train_detector(core::ModelKind::kAutoencoder, *benign_, eval));
+    eval_config_ = new core::EvalConfig(eval);
+  }
+  static void TearDownTestSuite() {
+    delete benign_;
+    delete detector_;
+    delete eval_config_;
+  }
+
+  /// Runs the live pipeline with light benign traffic plus one attack.
+  struct RunResult {
+    std::size_t anomalies = 0;
+    std::size_t incidents = 0;
+    std::size_t agreements = 0;
+    std::vector<std::string> attack_names;
+    std::size_t remediations = 0;
+  };
+
+  RunResult run_attack_through_pipeline(
+      std::unique_ptr<attacks::Attack> attack, const std::string& model,
+      bool auto_remediate = false) {
+    core::PipelineConfig config;
+    config.analyzer.model = model;
+    config.analyzer.auto_remediate = auto_remediate;
+    core::Pipeline pipeline(config);
+    pipeline.install_detector(
+        *detector_, detect::FeatureEncoder(eval_config_->features));
+
+    sim::TrafficConfig traffic;
+    traffic.num_sessions = 8;
+    traffic.arrival_mean = SimDuration::from_ms(60);
+    traffic.seed = 99;
+    sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+    generator.schedule_all();
+    if (attack) attack->launch(pipeline.testbed(), SimTime::from_ms(250));
+    pipeline.run_for(SimDuration::from_s(4));
+    pipeline.finalize();
+
+    RunResult result;
+    result.anomalies = pipeline.mobiwatch().anomalies_flagged();
+    result.incidents = pipeline.analyzer().incidents_analyzed();
+    result.remediations = pipeline.analyzer().remediations_issued();
+    for (const auto& report : pipeline.analyzer().reports()) {
+      if (report.llm_agrees) ++result.agreements;
+      for (const auto& name : report.candidate_attacks)
+        result.attack_names.push_back(name);
+    }
+    return result;
+  }
+
+  static std::vector<mobiflow::Trace>* benign_;
+  static std::shared_ptr<detect::AnomalyDetector>* detector_;
+  static core::EvalConfig* eval_config_;
+};
+
+std::vector<mobiflow::Trace>* PipelineTest::benign_ = nullptr;
+std::shared_ptr<detect::AnomalyDetector>* PipelineTest::detector_ = nullptr;
+core::EvalConfig* PipelineTest::eval_config_ = nullptr;
+
+bool names_contain(const std::vector<std::string>& names,
+                   const std::string& needle) {
+  for (const auto& name : names)
+    if (name.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST_F(PipelineTest, E2PlumbingDeliversTelemetry) {
+  core::Pipeline pipeline;
+  EXPECT_NE(pipeline.node_id(), 0u);
+  EXPECT_TRUE(pipeline.agent().subscribed());
+
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 5;
+  traffic.seed = 3;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+  pipeline.run_for(SimDuration::from_s(2));
+
+  EXPECT_GT(pipeline.agent().records_collected(), 50u);
+  EXPECT_GT(pipeline.agent().indications_sent(), 0u);
+  EXPECT_EQ(pipeline.mobiwatch().records_seen(),
+            pipeline.agent().records_collected());
+  // Telemetry persisted to the SDL.
+  EXPECT_EQ(pipeline.ric().sdl().size("mobiflow"),
+            pipeline.mobiwatch().records_seen());
+}
+
+TEST_F(PipelineTest, BenignFalsePositiveRateUnderPaperBound) {
+  // The paper reports "<10%" false positives on benign traffic with the
+  // 99th-percentile threshold; a run on an unseen capture must stay under
+  // that bound (and each false alarm lands in the human-review path, never
+  // in remediation).
+  core::PipelineConfig config;
+  config.analyzer.model = "ChatGPT-4o";
+  core::Pipeline pipeline(config);
+  pipeline.install_detector(*detector_,
+                            detect::FeatureEncoder(eval_config_->features));
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 8;
+  traffic.arrival_mean = SimDuration::from_ms(60);
+  traffic.seed = 99;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+  pipeline.run_for(SimDuration::from_s(4));
+
+  ASSERT_GT(pipeline.mobiwatch().windows_scored(), 100u);
+  double fp_rate =
+      static_cast<double>(pipeline.mobiwatch().anomalies_flagged()) /
+      static_cast<double>(pipeline.mobiwatch().windows_scored());
+  EXPECT_LT(fp_rate, 0.10);
+}
+
+TEST_F(PipelineTest, BtsDosDetectedAndExplained) {
+  auto result =
+      run_attack_through_pipeline(attacks::make_bts_dos(), "ChatGPT-4o");
+  EXPECT_GT(result.anomalies, 0u);
+  EXPECT_GT(result.agreements, 0u);
+  EXPECT_TRUE(names_contain(result.attack_names, "BTS resource depletion"));
+}
+
+TEST_F(PipelineTest, BlindDosDetectedAndExplained) {
+  auto result =
+      run_attack_through_pipeline(attacks::make_blind_dos(), "ChatGPT-4o");
+  EXPECT_GT(result.anomalies, 0u);
+  EXPECT_TRUE(names_contain(result.attack_names, "S-TMSI replay"));
+}
+
+TEST_F(PipelineTest, UplinkExtractionDetectedOnlyByClaude) {
+  // MobiWatch flags it; ChatGPT-4o (per Table 3) cannot confirm it...
+  auto gpt = run_attack_through_pipeline(
+      attacks::make_uplink_id_extraction(), "ChatGPT-4o");
+  EXPECT_GT(gpt.anomalies, 0u);
+  EXPECT_FALSE(names_contain(gpt.attack_names, "Uplink identity"));
+  // ...but Claude 3 Sonnet can.
+  auto claude = run_attack_through_pipeline(
+      attacks::make_uplink_id_extraction(), "Claude 3 Sonnet");
+  EXPECT_GT(claude.anomalies, 0u);
+  EXPECT_TRUE(names_contain(claude.attack_names, "identity extraction"));
+}
+
+TEST_F(PipelineTest, DownlinkExtractionDetectedAndExplained) {
+  auto result = run_attack_through_pipeline(
+      attacks::make_downlink_id_extraction(), "ChatGPT-4o");
+  EXPECT_GT(result.anomalies, 0u);
+  EXPECT_TRUE(names_contain(result.attack_names, "Downlink identity"));
+}
+
+TEST_F(PipelineTest, NullCipherDetectedAndExplained) {
+  auto result =
+      run_attack_through_pipeline(attacks::make_null_cipher(), "ChatGPT-4o");
+  EXPECT_GT(result.anomalies, 0u);
+  EXPECT_TRUE(names_contain(result.attack_names, "Null cipher"));
+}
+
+TEST_F(PipelineTest, ClosedLoopRemediationReleasesAttackContexts) {
+  auto result = run_attack_through_pipeline(attacks::make_bts_dos(),
+                                            "ChatGPT-4o",
+                                            /*auto_remediate=*/true);
+  EXPECT_GT(result.remediations, 0u);
+}
+
+TEST_F(PipelineTest, ContradictionsEscalatedForHumanReview) {
+  // Copilot only recognizes signaling storms; a null-cipher incident it
+  // analyzes must land in the human-review queue.
+  core::PipelineConfig config;
+  config.analyzer.model = "Copilot";
+  core::Pipeline pipeline(config);
+  pipeline.install_detector(*detector_,
+                            detect::FeatureEncoder(eval_config_->features));
+  int reviews = 0;
+  pipeline.ric().router().subscribe(
+      oran::kMtHumanReview, [&](const oran::RoutedMessage&) { ++reviews; });
+
+  auto attack = attacks::make_null_cipher();
+  attack->launch(pipeline.testbed(), SimTime::from_ms(50));
+  pipeline.run_for(SimDuration::from_s(3));
+  pipeline.finalize();
+  EXPECT_GT(pipeline.analyzer().contradictions(), 0u);
+  EXPECT_GT(reviews, 0);
+}
+
+TEST(ModelDeployment, SerializedDetectorSurvivesRedeployment) {
+  // Train, serialize (the SMO->xApp deploy step), reload into a fresh
+  // detector, and check identical scoring.
+  core::ScenarioConfig config;
+  config.traffic.num_sessions = 20;
+  config.traffic.seed = 13;
+  config.run_time = SimDuration::from_s(4);
+  mobiflow::Trace benign = core::collect_benign(config);
+
+  core::EvalConfig eval;
+  eval.detector.epochs = 5;
+  detect::FeatureEncoder encoder(eval.features);
+  auto dataset =
+      detect::WindowDataset::from_trace(benign, encoder, eval.window_size);
+
+  detect::AutoencoderDetector trained(eval.window_size, encoder.dim(),
+                                      eval.detector, eval.ae_hidden);
+  trained.fit(dataset);
+  Bytes blob = dl::save_params(trained.model().params());
+
+  detect::DetectorConfig other = eval.detector;
+  other.seed = 999;  // different init; weights come from the blob
+  detect::AutoencoderDetector restored(eval.window_size, encoder.dim(), other,
+                                       eval.ae_hidden);
+  restored.fit_scaler(dataset.ae_matrix());
+  ASSERT_TRUE(dl::load_params(restored.model().params(), blob).ok());
+  restored.set_threshold(trained.threshold());
+
+  EXPECT_EQ(trained.score(dataset), restored.score(dataset));
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,98 @@
+// F1AP / NGAP shim and interface tap tests.
+#include <gtest/gtest.h>
+
+#include "ran/codec.hpp"
+#include "ran/interfaces.hpp"
+
+namespace xsec::ran {
+namespace {
+
+TEST(F1ap, RoundTrip) {
+  F1apMessage msg;
+  msg.procedure = F1apProcedure::kDlRrcMessageTransfer;
+  msg.gnb_du_ue_id = 42;
+  msg.rnti = Rnti{0xBEEF};
+  msg.cell = CellId{7, 3};
+  msg.rrc_container = encode_rrc(RrcMessage{RrcSetup{}});
+  auto decoded = decode_f1ap(encode_f1ap(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().procedure, msg.procedure);
+  EXPECT_EQ(decoded.value().gnb_du_ue_id, 42u);
+  EXPECT_EQ(decoded.value().rnti, msg.rnti);
+  EXPECT_EQ(decoded.value().cell, msg.cell);
+  EXPECT_EQ(decoded.value().rrc_container, msg.rrc_container);
+}
+
+TEST(F1ap, EmptyContainerAllowed) {
+  F1apMessage msg;
+  msg.procedure = F1apProcedure::kUeContextRelease;
+  auto decoded = decode_f1ap(encode_f1ap(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().rrc_container.empty());
+}
+
+TEST(F1ap, BadMagicRejected) {
+  Bytes wire = encode_f1ap(F1apMessage{});
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(decode_f1ap(wire).ok());
+}
+
+TEST(F1ap, NgapWireRejected) {
+  // Feeding an NGAP message to the F1AP decoder must fail cleanly.
+  NgapMessage ngap;
+  EXPECT_FALSE(decode_f1ap(encode_ngap(ngap)).ok());
+}
+
+TEST(Ngap, RoundTrip) {
+  NgapMessage msg;
+  msg.procedure = NgapProcedure::kInitialUeMessage;
+  msg.ran_ue_ngap_id = 9;
+  msg.amf_ue_ngap_id = 100;
+  msg.nas_pdu = encode_nas(NasMessage{RegistrationComplete{}});
+  auto decoded = decode_ngap(encode_ngap(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().procedure, msg.procedure);
+  EXPECT_EQ(decoded.value().ran_ue_ngap_id, 9u);
+  EXPECT_EQ(decoded.value().amf_ue_ngap_id, 100u);
+  EXPECT_EQ(decoded.value().nas_pdu, msg.nas_pdu);
+}
+
+TEST(Ngap, TruncatedRejected) {
+  Bytes wire = encode_ngap(NgapMessage{});
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(decode_ngap(wire).ok());
+}
+
+TEST(Taps, FanOutToAllHandlers) {
+  InterfaceTaps taps;
+  int f1_calls = 0, ng_calls = 0;
+  taps.add_f1_tap([&](SimTime, const Bytes&) { ++f1_calls; });
+  taps.add_f1_tap([&](SimTime, const Bytes&) { ++f1_calls; });
+  taps.add_ng_tap([&](SimTime, const Bytes&) { ++ng_calls; });
+  taps.emit_f1(SimTime{1}, {1, 2});
+  taps.emit_ng(SimTime{2}, {3});
+  taps.emit_ng(SimTime{3}, {4});
+  EXPECT_EQ(f1_calls, 2);
+  EXPECT_EQ(ng_calls, 2);
+}
+
+TEST(Taps, HandlersSeeWireBytes) {
+  InterfaceTaps taps;
+  Bytes seen;
+  taps.add_f1_tap([&](SimTime, const Bytes& wire) { seen = wire; });
+  F1apMessage msg;
+  msg.rnti = Rnti{0x1234};
+  Bytes wire = encode_f1ap(msg);
+  taps.emit_f1(SimTime{0}, wire);
+  EXPECT_EQ(seen, wire);
+}
+
+TEST(ProcedureNames, Strings) {
+  EXPECT_EQ(to_string(F1apProcedure::kInitialUlRrcMessageTransfer),
+            "InitialULRRCMessageTransfer");
+  EXPECT_EQ(to_string(NgapProcedure::kDownlinkNasTransport),
+            "DownlinkNASTransport");
+}
+
+}  // namespace
+}  // namespace xsec::ran

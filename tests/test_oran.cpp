@@ -1,0 +1,370 @@
+// O-RAN control-plane tests: E2AP codec, E2SM framing, SDL, router, RIC.
+#include <gtest/gtest.h>
+
+#include "oran/e2ap.hpp"
+#include "oran/e2sm.hpp"
+#include "oran/ric.hpp"
+#include "oran/router.hpp"
+#include "oran/sdl.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::oran {
+namespace {
+
+// --- E2AP -------------------------------------------------------------
+
+TEST(E2ap, SetupRequestRoundTrip) {
+  E2SetupRequest setup;
+  setup.node_id = 1001;
+  setup.functions.push_back(e2sm::make_mobiflow_function());
+  Bytes wire = encode_e2ap(setup);
+  EXPECT_EQ(e2ap_type(wire).value(), E2apType::kSetupRequest);
+  auto decoded = decode_setup_request(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().node_id, 1001u);
+  ASSERT_EQ(decoded.value().functions.size(), 1u);
+  EXPECT_EQ(decoded.value().functions[0].function_id,
+            e2sm::kMobiFlowFunctionId);
+  EXPECT_EQ(decoded.value().functions[0].description, e2sm::kMobiFlowName);
+}
+
+TEST(E2ap, SubscriptionRoundTrip) {
+  RicSubscriptionRequest request;
+  request.request_id = {3, 9};
+  request.ran_function_id = 100;
+  request.event_trigger = {1, 2, 3};
+  request.actions.push_back({1, RicActionType::kReport, {4, 5}});
+  request.actions.push_back({2, RicActionType::kPolicy, {}});
+  auto decoded = decode_subscription_request(encode_e2ap(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id, (RicRequestId{3, 9}));
+  ASSERT_EQ(decoded.value().actions.size(), 2u);
+  EXPECT_EQ(decoded.value().actions[1].type, RicActionType::kPolicy);
+}
+
+TEST(E2ap, IndicationRoundTrip) {
+  RicIndication indication;
+  indication.request_id = {1, 2};
+  indication.ran_function_id = 100;
+  indication.action_id = 1;
+  indication.sequence_number = 77;
+  indication.type = RicIndicationType::kInsert;
+  indication.header = {0xAA};
+  indication.message = {0xBB, 0xCC};
+  auto decoded = decode_indication(encode_e2ap(indication));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sequence_number, 77u);
+  EXPECT_EQ(decoded.value().type, RicIndicationType::kInsert);
+  EXPECT_EQ(decoded.value().message, (Bytes{0xBB, 0xCC}));
+}
+
+TEST(E2ap, ControlRoundTrip) {
+  RicControlRequest control;
+  control.request_id = {5, 0};
+  control.ran_function_id = 100;
+  control.message = {9};
+  auto decoded = decode_control_request(encode_e2ap(control));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().message, Bytes{9});
+
+  RicControlAck ack;
+  ack.request_id = {5, 0};
+  ack.success = false;
+  auto ack_decoded = decode_control_ack(encode_e2ap(ack));
+  ASSERT_TRUE(ack_decoded.ok());
+  EXPECT_FALSE(ack_decoded.value().success);
+}
+
+TEST(E2ap, TypeMismatchRejected) {
+  Bytes wire = encode_e2ap(E2SetupResponse{});
+  EXPECT_FALSE(decode_setup_request(wire).ok());
+  EXPECT_FALSE(decode_indication(wire).ok());
+}
+
+TEST(E2ap, GarbageRejected) {
+  EXPECT_FALSE(e2ap_type({}).ok());
+  EXPECT_FALSE(e2ap_type({0x01, 0xFF}).ok());
+  EXPECT_FALSE(decode_indication({0x01, 0x05}).ok());  // truncated body
+}
+
+// --- E2SM ---------------------------------------------------------------
+
+TEST(E2sm, TriggerAndActionRoundTrip) {
+  auto trigger = e2sm::decode_event_trigger(
+      e2sm::encode_event_trigger({25}));
+  ASSERT_TRUE(trigger.ok());
+  EXPECT_EQ(trigger.value().report_period_ms, 25u);
+
+  e2sm::ActionDefinition action{e2sm::kMessages | e2sm::kState, 99};
+  auto decoded = e2sm::decode_action_definition(
+      e2sm::encode_action_definition(action));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().categories, action.categories);
+  EXPECT_EQ(decoded.value().max_rows, 99u);
+}
+
+TEST(E2sm, IndicationMessageRoundTrip) {
+  e2sm::IndicationMessage message;
+  e2sm::KvRow row;
+  row.add("msg", "RRCSetupRequest");
+  row.add("rnti", "24143");
+  message.rows.push_back(row);
+  message.rows.push_back(e2sm::KvRow{});
+  auto decoded = e2sm::decode_indication_message(
+      e2sm::encode_indication_message(message));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().rows.size(), 2u);
+  EXPECT_EQ(decoded.value().rows[0].get("msg"), "RRCSetupRequest");
+  EXPECT_TRUE(decoded.value().rows[0].has("rnti"));
+  EXPECT_FALSE(decoded.value().rows[0].has("nope"));
+  EXPECT_EQ(decoded.value().rows[0].get("nope"), "");
+}
+
+TEST(E2sm, IndicationHeaderRoundTrip) {
+  e2sm::IndicationHeader header{123456, 7, 2};
+  auto decoded = e2sm::decode_indication_header(
+      e2sm::encode_indication_header(header));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().collect_start_us, 123456);
+  EXPECT_EQ(decoded.value().gnb_id, 7u);
+}
+
+// --- SDL ----------------------------------------------------------------
+
+TEST(Sdl, SetGetRemove) {
+  Sdl sdl;
+  sdl.set("ns", "k1", {1, 2});
+  EXPECT_EQ(sdl.get("ns", "k1").value(), (Bytes{1, 2}));
+  EXPECT_FALSE(sdl.get("ns", "k2").has_value());
+  EXPECT_FALSE(sdl.get("other", "k1").has_value());
+  EXPECT_TRUE(sdl.remove("ns", "k1"));
+  EXPECT_FALSE(sdl.remove("ns", "k1"));
+  EXPECT_FALSE(sdl.get("ns", "k1").has_value());
+}
+
+TEST(Sdl, StringHelpers) {
+  Sdl sdl;
+  sdl.set_str("ns", "k", "value");
+  EXPECT_EQ(sdl.get_str("ns", "k").value(), "value");
+}
+
+TEST(Sdl, KeysOrderedAndRanged) {
+  Sdl sdl;
+  sdl.set("ns", "b", {});
+  sdl.set("ns", "a", {});
+  sdl.set("ns", "c", {});
+  EXPECT_EQ(sdl.keys("ns"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(sdl.keys_in_range("ns", "a", "c"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(sdl.size("ns"), 3u);
+  sdl.clear("ns");
+  EXPECT_EQ(sdl.size("ns"), 0u);
+}
+
+TEST(Sdl, SeqKeyPreservesNumericOrder) {
+  EXPECT_LT(Sdl::seq_key(9), Sdl::seq_key(10));
+  EXPECT_LT(Sdl::seq_key(99), Sdl::seq_key(100));
+}
+
+TEST(Sdl, WatchersNotified) {
+  Sdl sdl;
+  std::vector<std::string> events;
+  sdl.watch("ns", [&](const std::string& ns, const std::string& key) {
+    events.push_back(ns + "/" + key);
+  });
+  sdl.set("ns", "x", {});
+  sdl.set("other", "y", {});  // not watched
+  sdl.remove("ns", "x");
+  EXPECT_EQ(events, (std::vector<std::string>{"ns/x", "ns/x"}));
+}
+
+// --- Router ---------------------------------------------------------------
+
+TEST(Router, PublishReachesSubscribers) {
+  MessageRouter router;
+  int received = 0;
+  router.subscribe(kMtAnomalyWindow, [&](const RoutedMessage& m) {
+    EXPECT_EQ(m.source, "mobiwatch");
+    ++received;
+  });
+  router.subscribe(kMtAnomalyWindow, [&](const RoutedMessage&) { ++received; });
+  RoutedMessage msg;
+  msg.mtype = kMtAnomalyWindow;
+  msg.source = "mobiwatch";
+  EXPECT_EQ(router.publish(msg), 2u);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(router.delivered_count(), 2u);
+}
+
+TEST(Router, UnroutedMessagesCountedAsDropped) {
+  MessageRouter router;
+  RoutedMessage msg;
+  msg.mtype = 12345;
+  EXPECT_EQ(router.publish(msg), 0u);
+  EXPECT_EQ(router.dropped_count(), 1u);
+}
+
+TEST(Router, UnsubscribeStopsDelivery) {
+  MessageRouter router;
+  int received = 0;
+  auto id = router.subscribe(1, [&](const RoutedMessage&) { ++received; });
+  router.unsubscribe(id);
+  router.publish(RoutedMessage{1, "x", {}});
+  EXPECT_EQ(received, 0);
+}
+
+// --- NearRtRic ------------------------------------------------------------
+
+/// Minimal scripted E2 node for RIC tests.
+class FakeNode : public E2NodeLink {
+ public:
+  explicit FakeNode(std::uint64_t id, bool advertise = true)
+      : id_(id), advertise_(advertise) {}
+
+  Bytes setup_request() override {
+    E2SetupRequest setup;
+    setup.node_id = id_;
+    if (advertise_) setup.functions.push_back(e2sm::make_mobiflow_function());
+    return encode_e2ap(setup);
+  }
+  void on_e2ap(const Bytes& wire) override {
+    received.push_back(wire);
+    auto type = e2ap_type(wire);
+    if (type && type.value() == E2apType::kSubscriptionRequest) {
+      auto request = decode_subscription_request(wire);
+      last_subscription = request.value().request_id;
+    }
+  }
+
+  std::vector<Bytes> received;
+  RicRequestId last_subscription;
+
+ private:
+  std::uint64_t id_;
+  bool advertise_;
+};
+
+class RecordingXapp : public XApp {
+ public:
+  RecordingXapp() : XApp("recorder") {}
+  void on_indication(std::uint64_t node,
+                     const RicIndication& indication) override {
+    indications.emplace_back(node, indication.sequence_number);
+  }
+  void on_control_ack(std::uint64_t, const RicControlAck& ack) override {
+    acks.push_back(ack.success);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> indications;
+  std::vector<bool> acks;
+};
+
+TEST(Ric, ConnectNodePerformsSetup) {
+  NearRtRic ric;
+  FakeNode node(42);
+  EXPECT_EQ(ric.connect_node(&node), 42u);
+  ASSERT_EQ(ric.connected_nodes().size(), 1u);
+  const auto* functions = ric.node_functions(42);
+  ASSERT_NE(functions, nullptr);
+  EXPECT_EQ(functions->at(0).function_id, e2sm::kMobiFlowFunctionId);
+  // The node received an E2SetupResponse.
+  ASSERT_EQ(node.received.size(), 1u);
+  EXPECT_EQ(e2ap_type(node.received[0]).value(), E2apType::kSetupResponse);
+}
+
+TEST(Ric, RejectsNodeWithNoFunctions) {
+  NearRtRic ric;
+  FakeNode node(43, /*advertise=*/false);
+  EXPECT_EQ(ric.connect_node(&node), 0u);
+  EXPECT_TRUE(ric.connected_nodes().empty());
+}
+
+TEST(Ric, IndicationRoutedToSubscribedXapp) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ric.connect_node(&node);
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id =
+      ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+
+  RicIndication indication;
+  indication.request_id = id;
+  indication.sequence_number = 5;
+  ric.from_node(1, encode_e2ap(indication));
+  ASSERT_EQ(xapp->indications.size(), 1u);
+  EXPECT_EQ(xapp->indications[0], std::make_pair(std::uint64_t{1},
+                                                 std::uint32_t{5}));
+  EXPECT_EQ(ric.indications_received(), 1u);
+}
+
+TEST(Ric, IndicationWithoutSubscriptionDropped) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ric.connect_node(&node);
+  RicIndication indication;
+  indication.request_id = {99, 99};
+  ric.from_node(1, encode_e2ap(indication));
+  EXPECT_EQ(ric.indications_dropped(), 1u);
+}
+
+TEST(Ric, UnsubscribeStopsRouting) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ric.connect_node(&node);
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, 100, {}, {});
+  ric.unsubscribe(xapp, 1, id);
+  RicIndication indication;
+  indication.request_id = id;
+  ric.from_node(1, encode_e2ap(indication));
+  EXPECT_TRUE(xapp->indications.empty());
+}
+
+TEST(Ric, ControlAckRoutedByRequestor) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ric.connect_node(&node);
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  ric.send_control(xapp, 1, 100, {}, {1, 2, 3});
+  // Node got the control request.
+  bool saw_control = false;
+  for (const Bytes& wire : node.received)
+    if (e2ap_type(wire).value() == E2apType::kControlRequest)
+      saw_control = true;
+  EXPECT_TRUE(saw_control);
+
+  RicControlAck ack;
+  ack.request_id = {xapp->requestor_id(), 0};
+  ack.success = true;
+  ric.from_node(1, encode_e2ap(ack));
+  ASSERT_EQ(xapp->acks.size(), 1u);
+  EXPECT_TRUE(xapp->acks[0]);
+}
+
+TEST(Ric, FindXappByName) {
+  NearRtRic ric;
+  ric.register_xapp(std::make_unique<RecordingXapp>());
+  EXPECT_NE(ric.find_xapp("recorder"), nullptr);
+  EXPECT_EQ(ric.find_xapp("missing"), nullptr);
+}
+
+TEST(Ric, DisconnectRemovesSubscriptions) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ric.connect_node(&node);
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, 100, {}, {});
+  EXPECT_EQ(ric.subscriptions_active(), 1u);
+  ric.disconnect_node(1);
+  EXPECT_EQ(ric.subscriptions_active(), 0u);
+  RicIndication indication;
+  indication.request_id = id;
+  ric.from_node(1, encode_e2ap(indication));
+  EXPECT_TRUE(xapp->indications.empty());
+}
+
+}  // namespace
+}  // namespace xsec::oran

@@ -1,0 +1,333 @@
+// Property-style tests: randomized sweeps over invariants that must hold
+// for ALL inputs — codec round-trips under random messages, reader safety
+// under random truncation/corruption, percentile monotonicity, event-queue
+// ordering under random schedules, allocator uniqueness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/plot.hpp"
+#include "common/rng.hpp"
+#include "detect/scorer.hpp"
+#include "oran/e2sm.hpp"
+#include "ran/codec.hpp"
+#include "ran/ue.hpp"
+#include "sim/event_queue.hpp"
+
+namespace xsec {
+namespace {
+
+using xsec::Bytes;
+
+// --- Random message generators ------------------------------------------
+
+ran::MobileIdentity random_identity(Rng& rng) {
+  ran::Supi supi{ran::Plmn::test_network(), rng.uniform_u64(1, 9999999999ULL)};
+  switch (rng.uniform_u64(0, 3)) {
+    case 0:
+      return ran::MobileIdentity::from_suci(
+          ran::make_suci(supi, static_cast<std::uint32_t>(
+                                   rng.uniform_u64(1, 0xffffff)),
+                         rng.chance(0.2)));
+    case 1: {
+      ran::Guti guti;
+      guti.s_tmsi = ran::STmsi::from_packed(rng.uniform_u64(0, (1ULL << 48) - 1));
+      return ran::MobileIdentity::from_guti(guti);
+    }
+    case 2:
+      return ran::MobileIdentity::from_supi_plain(supi);
+    default:
+      return ran::MobileIdentity{};
+  }
+}
+
+ran::NasMessage random_nas(Rng& rng) {
+  switch (rng.uniform_u64(0, 7)) {
+    case 0: {
+      ran::RegistrationRequest m;
+      m.type = static_cast<ran::RegistrationType>(rng.uniform_u64(1, 4));
+      m.ng_ksi = static_cast<std::uint8_t>(rng.uniform_u64(0, 7));
+      m.identity = random_identity(rng);
+      m.capabilities = ran::SecurityCapabilities{
+          static_cast<std::uint8_t>(rng.uniform_u64(0, 15)),
+          static_cast<std::uint8_t>(rng.uniform_u64(0, 15))};
+      return ran::NasMessage{m};
+    }
+    case 1:
+      return ran::NasMessage{ran::AuthenticationRequest{
+          static_cast<std::uint8_t>(rng.uniform_u64(0, 7)), rng(), rng()}};
+    case 2:
+      return ran::NasMessage{ran::AuthenticationResponse{rng()}};
+    case 3:
+      return ran::NasMessage{ran::IdentityResponse{random_identity(rng)}};
+    case 4: {
+      ran::NasSecurityModeCommand m;
+      m.cipher = static_cast<ran::CipherAlg>(rng.uniform_u64(0, 3));
+      m.integrity = static_cast<ran::IntegrityAlg>(rng.uniform_u64(0, 3));
+      return ran::NasMessage{m};
+    }
+    case 5: {
+      ran::RegistrationAccept m;
+      m.guti.s_tmsi =
+          ran::STmsi::from_packed(rng.uniform_u64(0, (1ULL << 48) - 1));
+      m.t3512_min = static_cast<std::uint16_t>(rng.uniform_u64(0, 65535));
+      return ran::NasMessage{m};
+    }
+    case 6: {
+      ran::ServiceRequest m;
+      if (rng.chance(0.5))
+        m.s_tmsi =
+            ran::STmsi::from_packed(rng.uniform_u64(0, (1ULL << 48) - 1));
+      return ran::NasMessage{m};
+    }
+    default:
+      return ran::NasMessage{ran::RegistrationComplete{}};
+  }
+}
+
+ran::RrcMessage random_rrc(Rng& rng) {
+  switch (rng.uniform_u64(0, 5)) {
+    case 0: {
+      ran::RrcSetupRequest m;
+      m.ue_identity.kind = static_cast<ran::InitialUeIdentity::Kind>(
+          rng.uniform_u64(0, 1));
+      m.ue_identity.value = rng.uniform_u64(0, (1ULL << 39) - 1);
+      m.cause = static_cast<ran::EstablishmentCause>(rng.uniform_u64(0, 9));
+      return ran::RrcMessage{m};
+    }
+    case 1: {
+      ran::RrcSetupComplete m;
+      m.dedicated_nas = ran::encode_nas(random_nas(rng));
+      if (rng.chance(0.5))
+        m.s_tmsi =
+            ran::STmsi::from_packed(rng.uniform_u64(0, (1ULL << 48) - 1));
+      return ran::RrcMessage{m};
+    }
+    case 2: {
+      ran::RrcSecurityModeCommand m;
+      m.cipher = static_cast<ran::CipherAlg>(rng.uniform_u64(0, 3));
+      m.integrity = static_cast<ran::IntegrityAlg>(rng.uniform_u64(0, 3));
+      return ran::RrcMessage{m};
+    }
+    case 3:
+      return ran::RrcMessage{
+          ran::DlInformationTransfer{ran::encode_nas(random_nas(rng))}};
+    case 4: {
+      ran::MeasurementReport m;
+      m.rsrp_dbm = static_cast<std::int8_t>(rng.uniform_i64(-127, 0));
+      m.rsrq_db = static_cast<std::int8_t>(rng.uniform_i64(-30, 0));
+      return ran::RrcMessage{m};
+    }
+    default: {
+      ran::RrcRelease m;
+      m.cause = static_cast<ran::RrcRelease::Cause>(rng.uniform_u64(0, 1));
+      m.suspend = rng.chance(0.5);
+      return ran::RrcMessage{m};
+    }
+  }
+}
+
+// --- Codec properties -----------------------------------------------------
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RandomNasRoundTripsExactly) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    ran::NasMessage msg = random_nas(rng);
+    Bytes wire = ran::encode_nas(msg);
+    auto decoded = ran::decode_nas(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(ran::encode_nas(decoded.value()), wire);
+  }
+}
+
+TEST_P(CodecProperty, RandomRrcRoundTripsExactly) {
+  Rng rng(GetParam() ^ 0xabc);
+  for (int i = 0; i < 200; ++i) {
+    ran::RrcMessage msg = random_rrc(rng);
+    Bytes wire = ran::encode_rrc(msg);
+    auto decoded = ran::decode_rrc(wire);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(ran::encode_rrc(decoded.value()), wire);
+  }
+}
+
+TEST_P(CodecProperty, RandomCorruptionNeverCrashesDecoders) {
+  Rng rng(GetParam() ^ 0xdef);
+  for (int i = 0; i < 300; ++i) {
+    Bytes wire = ran::encode_nas(random_nas(rng));
+    // Random byte flips and truncation.
+    if (!wire.empty() && rng.chance(0.7))
+      wire[rng.uniform_u64(0, wire.size() - 1)] ^=
+          static_cast<std::uint8_t>(rng.uniform_u64(1, 255));
+    if (rng.chance(0.5)) wire.resize(rng.uniform_u64(0, wire.size()));
+    (void)ran::decode_nas(wire);   // must not crash
+    (void)ran::decode_rrc(wire);   // cross-decoder abuse
+    (void)ran::decode_f1ap(wire);
+    (void)ran::decode_ngap(wire);
+  }
+}
+
+TEST_P(CodecProperty, RandomKvRowsRoundTrip) {
+  Rng rng(GetParam() ^ 0x777);
+  oran::e2sm::IndicationMessage message;
+  for (int r = 0; r < 20; ++r) {
+    oran::e2sm::KvRow row;
+    int fields = static_cast<int>(rng.uniform_u64(0, 6));
+    for (int f = 0; f < fields; ++f)
+      row.add("k" + std::to_string(f),
+              std::to_string(rng.uniform_u64(0, 1'000'000)));
+    message.rows.push_back(std::move(row));
+  }
+  auto decoded = oran::e2sm::decode_indication_message(
+      oran::e2sm::encode_indication_message(message));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().rows.size(), message.rows.size());
+  for (std::size_t i = 0; i < message.rows.size(); ++i)
+    EXPECT_EQ(decoded.value().rows[i].fields, message.rows[i].fields);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+// --- Percentile properties -------------------------------------------------
+
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneInPAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  std::size_t n = rng.uniform_u64(1, 200);
+  for (std::size_t i = 0; i < n; ++i) values.push_back(rng.normal(0, 10));
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  double previous = lo;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    double value = percentile(values, p);
+    EXPECT_GE(value, lo);
+    EXPECT_LE(value, hi);
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty,
+                         ::testing::Values(7, 8, 9, 10));
+
+// --- Event queue property --------------------------------------------------
+
+class QueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueProperty, ExecutionTimesNeverDecrease) {
+  Rng rng(GetParam());
+  sim::EventQueue queue;
+  std::vector<std::int64_t> executed_at;
+  // Random schedule, including re-entrant scheduling from handlers.
+  for (int i = 0; i < 100; ++i) {
+    SimTime t{static_cast<std::int64_t>(rng.uniform_u64(0, 10000))};
+    queue.schedule_at(t, [&executed_at, &queue, &rng] {
+      executed_at.push_back(queue.now().us);
+      if (rng.chance(0.3))
+        queue.schedule_after(
+            SimDuration::from_us(
+                static_cast<std::int64_t>(rng.uniform_u64(0, 500))),
+            [&executed_at, &queue] {
+              executed_at.push_back(queue.now().us);
+            });
+    });
+  }
+  queue.run_all();
+  for (std::size_t i = 1; i < executed_at.size(); ++i)
+    EXPECT_LE(executed_at[i - 1], executed_at[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty, ::testing::Values(11, 12, 13));
+
+// --- SUCI property --------------------------------------------------------
+
+class SuciProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuciProperty, ConcealmentAlwaysInvertible) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    ran::Supi supi{ran::Plmn::test_network(),
+                   rng.uniform_u64(0, 9'999'999'999ULL)};
+    auto nonce = static_cast<std::uint32_t>(rng.uniform_u64(1, 0xffffff));
+    bool null_scheme = rng.chance(0.3);
+    ran::Suci suci = ran::make_suci(supi, nonce, null_scheme);
+    EXPECT_EQ(ran::deconceal_suci(suci), supi.msin);
+    EXPECT_EQ(suci.is_null_scheme(), null_scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuciProperty, ::testing::Values(21, 22, 23));
+
+// --- Standardizer property --------------------------------------------------
+
+TEST(StandardizerProperty, TrainingDataMapsToZeroMeanUnitVariance) {
+  Rng rng(31);
+  dl::Matrix data(200, 6);
+  for (std::size_t r = 0; r < data.rows(); ++r)
+    for (std::size_t c = 0; c < data.cols(); ++c)
+      data.at(r, c) = static_cast<float>(
+          rng.normal(static_cast<double>(c), 1.0 + static_cast<double>(c)));
+  detect::Standardizer scaler;
+  scaler.fit(data);
+  dl::Matrix scaled = data;
+  scaler.apply(scaled);
+  for (std::size_t c = 0; c < scaled.cols(); ++c) {
+    double mean = 0, sq = 0;
+    for (std::size_t r = 0; r < scaled.rows(); ++r) {
+      mean += scaled.at(r, c);
+      sq += scaled.at(r, c) * scaled.at(r, c);
+    }
+    mean /= static_cast<double>(scaled.rows());
+    double var = sq / static_cast<double>(scaled.rows()) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+// --- Windowing property -----------------------------------------------------
+
+class WindowProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowProperty, LabelCountsConsistentForAnyWindowSize) {
+  std::size_t window = GetParam();
+  Rng rng(window * 101);
+  mobiflow::Trace trace;
+  std::vector<bool> truth;
+  for (int i = 0; i < 60; ++i) {
+    mobiflow::Record r;
+    r.protocol = "RRC";
+    r.msg = "MeasurementReport";
+    r.direction = "UL";
+    r.rnti = 1;
+    r.timestamp_us = i;
+    bool malicious = rng.chance(0.1);
+    truth.push_back(malicious);
+    trace.add(r, malicious);
+  }
+  detect::FeatureEncoder encoder;
+  auto dataset = detect::WindowDataset::from_trace(trace, encoder, window);
+  auto ae = dataset.ae_labels();
+  ASSERT_EQ(ae.size(), dataset.ae_sample_count());
+  for (std::size_t s = 0; s < ae.size(); ++s) {
+    bool any = false;
+    for (std::size_t t = 0; t < window; ++t) any = any || truth[s + t];
+    EXPECT_EQ(ae[s], any);
+  }
+  auto lstm = dataset.lstm_labels();
+  for (std::size_t s = 0; s < lstm.size(); ++s) {
+    bool any = false;
+    for (std::size_t t = 0; t <= window; ++t) any = any || truth[s + t];
+    EXPECT_EQ(lstm[s], any);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, WindowProperty,
+                         ::testing::Values(2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,251 @@
+// End-to-end RAN protocol flow tests: UE <-> gNB <-> AMF on the testbed.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.hpp"
+
+namespace xsec {
+namespace {
+
+using ran::Ue;
+
+ran::UeConfig basic_ue(std::uint64_t msin, std::uint64_t seed = 1) {
+  ran::UeConfig config;
+  config.supi = ran::Supi{ran::Plmn::test_network(), msin};
+  config.seed = seed;
+  config.activity_reports = 1;
+  return config;
+}
+
+TEST(AttachFlow, FullRegistrationSucceeds) {
+  sim::Testbed testbed;
+  Ue* ue = testbed.add_ue(basic_ue(100), SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(testbed.amf().registered_count(), 1u);
+  EXPECT_TRUE(ue->guti().has_value());
+  EXPECT_TRUE(ue->session_ended());
+  EXPECT_EQ(ue->selected_cipher(), ran::CipherAlg::kNea2);
+  EXPECT_EQ(ue->selected_integrity(), ran::IntegrityAlg::kNia2);
+}
+
+TEST(AttachFlow, RntiAssignedAndRecorded) {
+  sim::Testbed testbed;
+  Ue* ue = testbed.add_ue(basic_ue(101), SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(ue->rnti_history().size(), 1u);
+}
+
+TEST(AttachFlow, DeregistrationReleasesContext) {
+  sim::Testbed testbed;
+  ran::UeConfig config = basic_ue(102);
+  config.deregister_at_end = true;
+  testbed.add_ue(config, SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(testbed.gnb().active_contexts(), 0u);
+  EXPECT_EQ(testbed.amf().active_sessions(), 0u);
+}
+
+TEST(AttachFlow, IdleUeReleasedByInactivityTimer) {
+  sim::Testbed testbed;
+  ran::UeConfig config = basic_ue(103);
+  config.deregister_at_end = false;
+  config.activity_reports = 0;
+  Ue* ue = testbed.add_ue(config, SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(3));
+  EXPECT_TRUE(ue->session_ended());
+  EXPECT_EQ(testbed.gnb().active_contexts(), 0u);
+}
+
+TEST(AttachFlow, GutiReuseSkipsIdentityProcedures) {
+  sim::Testbed testbed;
+  // First session: initial registration establishes a GUTI.
+  Ue* first = testbed.add_ue(basic_ue(104, 1), SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  ASSERT_TRUE(first->guti().has_value());
+
+  // Second session: returning subscriber presents the stored GUTI.
+  ran::UeConfig config = basic_ue(104, 2);
+  config.stored_guti = first->guti();
+  Ue* second = testbed.add_ue(config, testbed.now() + SimDuration::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(testbed.amf().registered_count(), 2u);
+  // A fresh GUTI is allocated on every successful registration.
+  ASSERT_TRUE(second->guti().has_value());
+  EXPECT_NE(second->guti()->s_tmsi.packed(), first->guti()->s_tmsi.packed());
+}
+
+TEST(AttachFlow, RadioLossTriggersT300Retransmission) {
+  sim::TestbedConfig config;
+  config.radio.loss_probability = 0.25;
+  config.seed = 5;
+  sim::Testbed testbed(config);
+  // Several UEs; with 25% loss some setups need retransmission but all
+  // sessions should still complete.
+  for (int i = 0; i < 10; ++i)
+    testbed.add_ue(basic_ue(200 + static_cast<std::uint64_t>(i),
+                            static_cast<std::uint64_t>(i + 1)),
+                   SimTime::from_ms(1 + i * 60));
+  testbed.run_for(SimDuration::from_s(4));
+  EXPECT_GE(testbed.amf().registered_count(), 7u);
+  EXPECT_GT(testbed.cell().frames_lost(), 0u);
+}
+
+TEST(Gnb, AdmissionControlRejectsWhenFull) {
+  sim::TestbedConfig config;
+  config.gnb.max_ue_contexts = 3;
+  sim::Testbed testbed(config);
+  for (int i = 0; i < 6; ++i) {
+    ran::UeConfig ue = basic_ue(300 + static_cast<std::uint64_t>(i),
+                                static_cast<std::uint64_t>(i + 1));
+    ue.deregister_at_end = false;
+    ue.activity_reports = 0;
+    testbed.add_ue(ue, SimTime::from_ms(1));  // all at once
+  }
+  testbed.run_for(SimDuration::from_ms(100));
+  EXPECT_EQ(testbed.gnb().active_contexts(), 3u);
+  EXPECT_EQ(testbed.gnb().rejected_connections(), 3u);
+}
+
+TEST(Gnb, IncompleteContextGarbageCollected) {
+  // A UE that stalls mid-attach is released after context_setup_timeout.
+  class StallingUe : public Ue {
+   public:
+    using Ue::Ue;
+
+   protected:
+    void handle_authentication_request(
+        const ran::AuthenticationRequest&) override {}
+  };
+
+  sim::Testbed testbed;
+  ran::Supi supi{ran::Plmn::test_network(), 400};
+  testbed.add_custom_ue(
+      supi,
+      [&](ran::UeHooks hooks) {
+        return std::make_unique<StallingUe>(basic_ue(400), std::move(hooks));
+      },
+      SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_ms(200));
+  EXPECT_EQ(testbed.gnb().active_contexts(), 1u);
+  testbed.run_for(SimDuration::from_s(1));
+  EXPECT_EQ(testbed.gnb().active_contexts(), 0u);
+  EXPECT_EQ(testbed.amf().registered_count(), 0u);
+}
+
+TEST(Gnb, ForceReleaseRemovesContext) {
+  sim::Testbed testbed;
+  ran::UeConfig config = basic_ue(500);
+  config.deregister_at_end = false;
+  config.activity_reports = 0;
+  Ue* ue = testbed.add_ue(config, SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_ms(100));
+  ASSERT_TRUE(ue->rnti().has_value());
+  EXPECT_TRUE(testbed.gnb().force_release(*ue->rnti()));
+  testbed.run_for(SimDuration::from_ms(50));
+  EXPECT_EQ(testbed.gnb().active_contexts(), 0u);
+  EXPECT_FALSE(testbed.gnb().force_release(ran::Rnti{0x0042}));
+}
+
+TEST(Amf, UnknownSubscriberRejected) {
+  sim::Testbed testbed;
+  // Bypass add_ue's auto-provisioning by provisioning a different SUPI.
+  ran::Supi provisioned{ran::Plmn::test_network(), 600};
+  ran::Supi rogue{ran::Plmn::test_network(), 601};
+  auto config = basic_ue(601);
+  Ue* ue = testbed.add_custom_ue(
+      provisioned,
+      [&](ran::UeHooks hooks) {
+        return std::make_unique<Ue>(config, std::move(hooks));
+      },
+      SimTime::from_ms(1));
+  (void)rogue;
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(testbed.amf().registered_count(), 0u);
+  EXPECT_TRUE(ue->session_ended());
+}
+
+TEST(Amf, WrongResRejectedAndCounted) {
+  // A UE claiming another subscriber's GUTI cannot pass 5G-AKA.
+  sim::Testbed testbed;
+  Ue* victim = testbed.add_ue(basic_ue(700, 1), SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  ASSERT_TRUE(victim->guti().has_value());
+
+  ran::UeConfig imposter = basic_ue(701, 2);  // different key material
+  imposter.stored_guti = victim->guti();
+  testbed.add_ue(imposter, testbed.now() + SimDuration::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  EXPECT_EQ(testbed.amf().auth_failures(), 1u);
+  EXPECT_EQ(testbed.amf().registered_count(), 1u);
+}
+
+TEST(Paging, BroadcastReachesAllEndpointsWithSubscriberTmsi) {
+  sim::Testbed testbed;
+  Ue* ue = testbed.add_ue(basic_ue(900), SimTime::from_ms(1));
+  testbed.run_for(SimDuration::from_s(2));
+  ASSERT_TRUE(ue->guti().has_value());
+
+  // Observe the broadcast from an unrelated radio endpoint (the sniffer's
+  // vantage point) and via the F1AP tap (the RIC agent's).
+  std::vector<std::uint64_t> heard;
+  testbed.cell().add_endpoint([&](const ran::AirFrame& frame) {
+    auto rrc = ran::decode_rrc(frame.rrc_wire);
+    if (rrc && std::holds_alternative<ran::Paging>(rrc.value()))
+      heard.push_back(std::get<ran::Paging>(rrc.value()).s_tmsi_packed);
+  });
+  std::vector<std::string> tapped;
+  testbed.taps().add_f1_tap([&](SimTime, const Bytes& wire) {
+    auto f1 = ran::decode_f1ap(wire);
+    if (!f1) return;
+    auto rrc = ran::decode_rrc(f1.value().rrc_container);
+    if (rrc) tapped.push_back(ran::rrc_name(rrc.value()));
+  });
+
+  EXPECT_TRUE(testbed.amf().page(ue->config().supi));
+  testbed.run_for(SimDuration::from_ms(50));
+  ASSERT_EQ(heard.size(), 1u);
+  EXPECT_EQ(heard[0], ue->guti()->s_tmsi.packed());
+  EXPECT_NE(std::find(tapped.begin(), tapped.end(), "Paging"), tapped.end());
+  EXPECT_EQ(testbed.amf().pages_sent(), 1u);
+}
+
+TEST(Paging, UnknownSubscriberNotPaged) {
+  sim::Testbed testbed;
+  EXPECT_FALSE(
+      testbed.amf().page(ran::Supi{ran::Plmn::test_network(), 12345}));
+  EXPECT_EQ(testbed.amf().pages_sent(), 0u);
+}
+
+TEST(Ue, CapabilityMismatchRejectedByCompliantUe) {
+  // Direct unit check of the UE's bidding-down defence.
+  ran::UeConfig config = basic_ue(800);
+  std::vector<ran::RrcMessage> sent;
+  ran::UeHooks hooks;
+  hooks.send = [&sent](ran::AirFrame frame) {
+    auto msg = ran::decode_rrc(frame.rrc_wire);
+    ASSERT_TRUE(msg.ok());
+    sent.push_back(msg.value());
+  };
+  hooks.now = [] { return SimTime{0}; };
+  hooks.schedule = [](SimDuration, std::function<void()> fn) { fn(); };
+  config.processing_delay = SimDuration{0};
+  Ue ue(config, std::move(hooks));
+
+  // Deliver a NAS SecurityModeCommand whose replayed capabilities differ.
+  ran::NasSecurityModeCommand smc;
+  smc.replayed_capabilities = ran::SecurityCapabilities{0b0001, 0b0001};
+  ran::AirFrame frame;
+  frame.uplink = false;
+  frame.rrc_wire = ran::encode_rrc(ran::RrcMessage{
+      ran::DlInformationTransfer{encode_nas(ran::NasMessage{smc})}});
+  ue.receive(frame);
+
+  ASSERT_EQ(sent.size(), 1u);
+  auto nas = ran::decode_nas(
+      std::get<ran::UlInformationTransfer>(sent[0]).dedicated_nas);
+  ASSERT_TRUE(nas.ok());
+  EXPECT_TRUE(
+      std::holds_alternative<ran::NasSecurityModeReject>(nas.value()));
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,121 @@
+// Unit tests for the 5G security model (src/ran/security.*).
+#include <gtest/gtest.h>
+
+#include "ran/security.hpp"
+
+namespace xsec::ran {
+namespace {
+
+TEST(Kdf, DeterministicAndSensitive) {
+  Key k = subscriber_key("imsi-001012089900001");
+  EXPECT_EQ(kdf(k, "A", 1), kdf(k, "A", 1));
+  EXPECT_NE(kdf(k, "A", 1), kdf(k, "A", 2));
+  EXPECT_NE(kdf(k, "A", 1), kdf(k, "B", 1));
+  Key k2 = subscriber_key("imsi-001012089900002");
+  EXPECT_NE(kdf(k, "A", 1), kdf(k2, "A", 1));
+}
+
+TEST(SubscriberKey, DistinctPerSupi) {
+  EXPECT_NE(subscriber_key("imsi-001010000000001"),
+            subscriber_key("imsi-001010000000002"));
+}
+
+TEST(Aka, VectorVerifiesWithCorrectKey) {
+  Key k = subscriber_key("imsi-001012089900001");
+  AuthVector v = generate_auth_vector(k, 0x1234);
+  EXPECT_TRUE(verify_autn(k, v.rand, v.autn));
+  EXPECT_EQ(compute_res(k, v.rand), v.xres);
+}
+
+TEST(Aka, WrongKeyFailsAutnAndRes) {
+  Key k = subscriber_key("imsi-001012089900001");
+  Key wrong = subscriber_key("imsi-001019999999999");
+  AuthVector v = generate_auth_vector(k, 0x9876);
+  EXPECT_FALSE(verify_autn(wrong, v.rand, v.autn));
+  EXPECT_NE(compute_res(wrong, v.rand), v.xres);
+}
+
+TEST(Aka, TamperedAutnRejected) {
+  Key k = subscriber_key("imsi-001012089900001");
+  AuthVector v = generate_auth_vector(k, 0x55);
+  EXPECT_FALSE(verify_autn(k, v.rand, v.autn ^ 1));
+  EXPECT_FALSE(verify_autn(k, v.rand ^ 1, v.autn));
+}
+
+TEST(Cipher, RoundTripAllRealAlgorithms) {
+  Key k = subscriber_key("imsi-001012089900001");
+  Bytes payload = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  for (CipherAlg alg : {CipherAlg::kNea1, CipherAlg::kNea2, CipherAlg::kNea3}) {
+    Bytes ciphered = cipher(alg, k, 7, payload);
+    EXPECT_NE(ciphered, payload) << to_string(alg);
+    EXPECT_EQ(decipher(alg, k, 7, ciphered), payload) << to_string(alg);
+  }
+}
+
+TEST(Cipher, Nea0IsPlaintext) {
+  Key k = subscriber_key("x");
+  Bytes payload = {9, 8, 7};
+  EXPECT_EQ(cipher(CipherAlg::kNea0, k, 1, payload), payload);
+}
+
+TEST(Cipher, CountSeparatesKeystreams) {
+  Key k = subscriber_key("x");
+  Bytes payload = {1, 2, 3, 4};
+  EXPECT_NE(cipher(CipherAlg::kNea2, k, 1, payload),
+            cipher(CipherAlg::kNea2, k, 2, payload));
+}
+
+TEST(Mac, VerifiesAndDetectsTampering) {
+  Key k = subscriber_key("y");
+  Bytes payload = {4, 5, 6};
+  std::uint32_t mac = compute_mac(IntegrityAlg::kNia2, k, 3, payload);
+  EXPECT_TRUE(verify_mac(IntegrityAlg::kNia2, k, 3, payload, mac));
+  Bytes tampered = payload;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(verify_mac(IntegrityAlg::kNia2, k, 3, tampered, mac));
+  EXPECT_FALSE(verify_mac(IntegrityAlg::kNia2, k, 4, payload, mac));
+}
+
+TEST(Mac, Nia0IsConstant) {
+  Key k = subscriber_key("z");
+  EXPECT_EQ(compute_mac(IntegrityAlg::kNia0, k, 1, {1, 2}), 0u);
+  EXPECT_EQ(compute_mac(IntegrityAlg::kNia0, k, 9, {3}), 0u);
+}
+
+TEST(Capabilities, SupportChecks) {
+  SecurityCapabilities caps{0b0101, 0b0010};
+  EXPECT_TRUE(caps.supports(CipherAlg::kNea0));
+  EXPECT_FALSE(caps.supports(CipherAlg::kNea1));
+  EXPECT_TRUE(caps.supports(CipherAlg::kNea2));
+  EXPECT_TRUE(caps.supports(IntegrityAlg::kNia1));
+  EXPECT_FALSE(caps.supports(IntegrityAlg::kNia0));
+}
+
+TEST(Capabilities, StringLists) {
+  SecurityCapabilities caps{0b0001, 0b0010};
+  EXPECT_EQ(caps.str(), "NEA0|NIA1");
+}
+
+TEST(Policy, SelectsHighestMutuallySupported) {
+  AlgorithmPolicy policy;
+  SecurityCapabilities caps{0b0111, 0b0110};
+  EXPECT_EQ(policy.select_cipher(caps), CipherAlg::kNea2);
+  EXPECT_EQ(policy.select_integrity(caps), IntegrityAlg::kNia2);
+}
+
+TEST(Policy, FallsBackToNullAlgorithms) {
+  // The bidding-down attack spoofs caps to null-only; selection must fall
+  // through to NEA0/NIA0 (this is the exploited behaviour).
+  AlgorithmPolicy policy;
+  SecurityCapabilities spoofed{0b0001, 0b0001};
+  EXPECT_EQ(policy.select_cipher(spoofed), CipherAlg::kNea0);
+  EXPECT_EQ(policy.select_integrity(spoofed), IntegrityAlg::kNia0);
+}
+
+TEST(AlgStrings, Names) {
+  EXPECT_EQ(to_string(CipherAlg::kNea0), "NEA0");
+  EXPECT_EQ(to_string(IntegrityAlg::kNia3), "NIA3");
+}
+
+}  // namespace
+}  // namespace xsec::ran

@@ -1,0 +1,289 @@
+// Discrete-event kernel, radio cell, device profiles, traffic generator.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/profiles.hpp"
+#include "sim/radio.hpp"
+#include "sim/testbed.hpp"
+#include "sim/traffic.hpp"
+
+namespace xsec::sim {
+namespace {
+
+// --- EventQueue -----------------------------------------------------------
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+  q.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+  q.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(SimTime{5}, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution) {
+  EventQueue q;
+  SimTime seen{0};
+  q.schedule_at(SimTime{100}, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen.us, 100);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(SimTime{10}, [&] { ++count; });
+  q.schedule_at(SimTime{20}, [&] { ++count; });
+  q.schedule_at(SimTime{30}, [&] { ++count; });
+  EXPECT_EQ(q.run_until(SimTime{20}), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now().us, 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_after(SimDuration::from_us(1), recurse);
+  };
+  q.schedule_at(SimTime{0}, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now().us, 4);
+}
+
+TEST(EventQueue, RunAllBoundedByMaxEvents) {
+  EventQueue q;
+  std::function<void()> forever = [&] {
+    q.schedule_after(SimDuration::from_us(1), forever);
+  };
+  q.schedule_at(SimTime{0}, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+}
+
+// --- RadioCell --------------------------------------------------------
+
+TEST(RadioCell, UplinkStampsTagAndDelivers) {
+  EventQueue q;
+  RadioCell cell(&q, RadioParams{}, Rng{1});
+  ran::GnbConfig config;
+  ran::GnbHooks hooks;
+  std::vector<ran::AirFrame> received;
+  hooks.send_downlink = [](ran::AirFrame) {};
+  hooks.now = [&q] { return q.now(); };
+  hooks.schedule = [&q](SimDuration d, std::function<void()> fn) {
+    q.schedule_after(d, std::move(fn));
+  };
+  hooks.to_amf = [](Bytes) {};
+  ran::InterfaceTaps taps;
+  ran::Gnb gnb(config, std::move(hooks), &taps);
+  cell.attach_gnb(&gnb);
+
+  std::uint64_t tag = cell.add_endpoint([](const ran::AirFrame&) {});
+  ran::AirFrame frame;
+  frame.uplink = true;
+  frame.rrc_wire = ran::encode_rrc(ran::RrcMessage{ran::RrcSetupRequest{}});
+  cell.uplink(tag, frame);
+  // Run only past the propagation delay (run_all would also fire the
+  // gNB's context garbage-collection timer).
+  q.run_until(SimTime::from_ms(10));
+  // The gNB admitted the CCCH request -> one context exists.
+  EXPECT_EQ(gnb.active_contexts(), 1u);
+}
+
+TEST(RadioCell, DownlinkRoutedByTag) {
+  EventQueue q;
+  RadioCell cell(&q, RadioParams{}, Rng{1});
+  int a_frames = 0, b_frames = 0;
+  std::uint64_t tag_a = cell.add_endpoint(
+      [&](const ran::AirFrame&) { ++a_frames; });
+  std::uint64_t tag_b = cell.add_endpoint(
+      [&](const ran::AirFrame&) { ++b_frames; });
+  (void)tag_a;
+  ran::AirFrame frame;
+  frame.uplink = false;
+  frame.radio_tag = tag_b;
+  cell.downlink(frame);
+  q.run_all();
+  EXPECT_EQ(a_frames, 0);
+  EXPECT_EQ(b_frames, 1);
+}
+
+TEST(RadioCell, LossDropsOnlyCcchFrames) {
+  EventQueue q;
+  RadioParams params;
+  params.loss_probability = 1.0;
+  RadioCell cell(&q, params, Rng{1});
+  std::uint64_t tag = cell.add_endpoint([](const ran::AirFrame&) {});
+  // CCCH uplink (no C-RNTI yet): lost.
+  ran::AirFrame ccch;
+  ccch.uplink = true;
+  cell.uplink(tag, ccch);
+  q.run_until(SimTime::from_ms(5));
+  EXPECT_EQ(cell.frames_lost(), 1u);
+  // Established-bearer downlink rides RLC AM: delivered despite "loss".
+  int received = 0;
+  std::uint64_t tag2 =
+      cell.add_endpoint([&](const ran::AirFrame&) { ++received; });
+  ran::AirFrame dcch;
+  dcch.uplink = false;
+  dcch.rnti = ran::Rnti{0x10};
+  dcch.radio_tag = tag2;
+  cell.downlink(dcch);
+  q.run_until(SimTime::from_ms(10));
+  EXPECT_EQ(received, 1);
+}
+
+class DropAllInterceptor : public FrameInterceptor {
+ public:
+  std::optional<ran::AirFrame> on_uplink(const ran::AirFrame&) override {
+    ++dropped;
+    return std::nullopt;
+  }
+  int dropped = 0;
+};
+
+TEST(RadioCell, InterceptorCanDropUplink) {
+  EventQueue q;
+  RadioCell cell(&q, RadioParams{}, Rng{1});
+  DropAllInterceptor interceptor;
+  cell.add_interceptor(&interceptor);
+  std::uint64_t tag = cell.add_endpoint([](const ran::AirFrame&) {});
+  ran::AirFrame frame;
+  frame.uplink = true;
+  cell.uplink(tag, frame);
+  q.run_all();
+  EXPECT_EQ(interceptor.dropped, 1);
+  EXPECT_EQ(cell.frames_delivered(), 0u);
+}
+
+TEST(RadioCell, InjectBypassesInterceptors) {
+  EventQueue q;
+  RadioCell cell(&q, RadioParams{}, Rng{1});
+  DropAllInterceptor interceptor;
+  cell.add_interceptor(&interceptor);
+  int received = 0;
+  std::uint64_t tag = cell.add_endpoint(
+      [&](const ran::AirFrame&) { ++received; });
+  ran::AirFrame frame;
+  frame.uplink = false;
+  frame.radio_tag = tag;
+  cell.inject_downlink(frame);
+  q.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(interceptor.dropped, 0);
+}
+
+TEST(RadioCell, PropagationDelayApplied) {
+  EventQueue q;
+  RadioParams params;
+  params.dl_delay = SimDuration::from_ms(5);
+  RadioCell cell(&q, params, Rng{1});
+  SimTime delivered_at{0};
+  std::uint64_t tag = cell.add_endpoint(
+      [&](const ran::AirFrame&) { delivered_at = q.now(); });
+  ran::AirFrame frame;
+  frame.uplink = false;
+  frame.radio_tag = tag;
+  cell.downlink(frame);
+  q.run_all();
+  EXPECT_EQ(delivered_at.us, 5000);
+}
+
+// --- Profiles ---------------------------------------------------------
+
+TEST(Profiles, FiveStandardProfiles) {
+  const auto& profiles = standard_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "Pixel 5");
+  EXPECT_EQ(profiles[4].name, "OAI soft-UE (COLOSSEUM)");
+}
+
+TEST(Profiles, SessionConfigSamplesWithinProfileBounds) {
+  Rng rng(4);
+  const DeviceProfile& profile = standard_profiles()[0];
+  ran::Supi supi{ran::Plmn::test_network(), 2089900000ULL};
+  for (int i = 0; i < 50; ++i) {
+    ran::UeConfig config = make_session_config(profile, supi, rng);
+    EXPECT_EQ(config.supi, supi);
+    EXPECT_EQ(config.capabilities, profile.capabilities);
+    EXPECT_GE(config.activity_reports, profile.min_activity_reports);
+    EXPECT_LE(config.activity_reports, profile.max_activity_reports);
+    EXPECT_GE(config.activity_interval.us, profile.activity_interval.us / 2);
+    EXPECT_LE(config.activity_interval.us,
+              profile.activity_interval.us * 3 / 2);
+  }
+}
+
+TEST(Profiles, CauseSampledFromProfileWeights) {
+  Rng rng(5);
+  const DeviceProfile& profile = standard_profiles()[4];  // OAI
+  ran::Supi supi{ran::Plmn::test_network(), 1};
+  for (int i = 0; i < 50; ++i) {
+    ran::UeConfig config = make_session_config(profile, supi, rng);
+    bool allowed = false;
+    for (const auto& [cause, weight] : profile.cause_weights)
+      if (config.establishment_cause == cause) allowed = true;
+    EXPECT_TRUE(allowed);
+  }
+}
+
+// --- Traffic generator -------------------------------------------------
+
+TEST(Traffic, SchedulesRequestedSessions) {
+  Testbed testbed;
+  TrafficConfig config;
+  config.num_sessions = 30;
+  config.num_subscribers = 10;
+  config.arrival_mean = SimDuration::from_ms(20);
+  config.seed = 5;
+  BenignTrafficGenerator generator(&testbed, config);
+  generator.schedule_all();
+  EXPECT_EQ(generator.sessions_scheduled(), 30);
+  testbed.run_for(SimDuration::from_s(4));
+  EXPECT_EQ(testbed.sessions_created(), 30u);
+  // The vast majority of benign sessions must run to completion.
+  EXPECT_GE(testbed.sessions_ended(), 27u);
+}
+
+TEST(Traffic, SessionsRegisterWithCore) {
+  Testbed testbed;
+  TrafficConfig config;
+  config.num_sessions = 20;
+  config.arrival_mean = SimDuration::from_ms(30);
+  config.seed = 6;
+  BenignTrafficGenerator generator(&testbed, config);
+  generator.schedule_all();
+  testbed.run_for(SimDuration::from_s(4));
+  EXPECT_GE(testbed.amf().registered_count(), 18u);
+  EXPECT_EQ(testbed.amf().auth_failures(), 0u);
+}
+
+TEST(Traffic, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Testbed testbed;
+    TrafficConfig config;
+    config.num_sessions = 15;
+    config.seed = 77;
+    config.arrival_mean = SimDuration::from_ms(20);
+    BenignTrafficGenerator generator(&testbed, config);
+    generator.schedule_all();
+    testbed.run_for(SimDuration::from_s(3));
+    return testbed.amf().registered_count();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace xsec::sim
