@@ -16,10 +16,12 @@ namespace {
 mobiflow::Record flow_record(const char* proto, const char* msg,
                              const char* dir, std::uint16_t rnti,
                              std::uint64_t ue, std::int64_t t) {
+  namespace vocab = mobiflow::vocab;
   mobiflow::Record r;
-  r.protocol = proto;
-  r.msg = msg;
-  r.direction = dir;
+  r.protocol = vocab::protocol_or_unknown(proto);
+  r.msg = vocab::msg_or_unknown(msg);
+  r.direction = std::string_view(dir) == "DL" ? vocab::Direction::kDl
+                                              : vocab::Direction::kUl;
   r.rnti = rnti;
   r.ue_id = ue;
   r.timestamp_us = t;
@@ -64,7 +66,10 @@ struct Trained {
     ae->fit(dataset);
     lstm = std::make_unique<detect::LstmDetector>(5, encoder.dim(), config);
     lstm->fit(dataset);
-    rows.assign(dataset.features().begin(), dataset.features().begin() + 6);
+    rows.clear();
+    for (std::size_t i = 0; i < 6; ++i)
+      rows.emplace_back(dataset.features().row(i),
+                        dataset.features().row(i) + dataset.features().cols());
   }
 };
 

@@ -23,15 +23,15 @@ mobiflow::Record sample_record() {
   r.gnb_id = 1;
   r.cell = 1;
   r.ue_id = 42;
-  r.protocol = "NAS";
-  r.msg = "RegistrationRequest";
-  r.direction = "UL";
+  r.protocol = mobiflow::vocab::Protocol::kNas;
+  r.msg = mobiflow::vocab::MsgType::kRegistrationRequest;
+  r.direction = mobiflow::vocab::Direction::kUl;
   r.rnti = 0x5F1A;
   r.s_tmsi = 0x123456789AULL;
   r.suci = "suci-001-01-1-00000000deadbeef";
-  r.cipher_alg = "NEA2";
-  r.integrity_alg = "NIA2";
-  r.establishment_cause = "mo-Signalling";
+  r.cipher_alg = mobiflow::vocab::CipherAlg::kNea2;
+  r.integrity_alg = mobiflow::vocab::IntegrityAlg::kNia2;
+  r.establishment_cause = mobiflow::vocab::EstablishmentCause::kMoSignalling;
   return r;
 }
 
@@ -74,8 +74,8 @@ BENCHMARK(BM_F1apTapParse);
 void BM_RecordToKvAndBack(benchmark::State& state) {
   mobiflow::Record record = sample_record();
   for (auto _ : state) {
-    auto kv = record.to_kv();
-    auto back = mobiflow::Record::from_kv(kv);
+    Bytes wire = record.to_kv_bytes();
+    auto back = mobiflow::Record::from_kv_bytes(wire);
     benchmark::DoNotOptimize(back);
   }
 }
@@ -86,7 +86,7 @@ void BM_IndicationEncodeDecode(benchmark::State& state) {
   const std::size_t rows = static_cast<std::size_t>(state.range(0));
   oran::e2sm::IndicationMessage message;
   for (std::size_t i = 0; i < rows; ++i)
-    message.rows.push_back(sample_record().to_kv());
+    message.rows.push_back(sample_record().to_kv_bytes());
   for (auto _ : state) {
     oran::RicIndication indication;
     indication.message = encode_indication_message(message);
@@ -105,12 +105,37 @@ void BM_FeatureEncode(benchmark::State& state) {
   detect::FeatureEncoder encoder;
   detect::EncodeContext ctx;
   mobiflow::Record record = sample_record();
+  std::vector<float> out(encoder.dim());
   for (auto _ : state) {
-    auto features = encoder.encode(record, ctx);
-    benchmark::DoNotOptimize(features);
+    encoder.encode_into(record, ctx, out.data());
+    benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_FeatureEncode);
+
+void BM_FeatureEncodeBatch(benchmark::State& state) {
+  // Window-at-a-time encoding into a preallocated matrix: the path
+  // WindowDataset and the xApp replay use.
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  detect::FeatureEncoder encoder;
+  std::vector<mobiflow::Record> batch;
+  for (std::size_t i = 0; i < rows; ++i) {
+    mobiflow::Record r = sample_record();
+    r.rnti = static_cast<std::uint16_t>(0x100 + i);
+    r.ue_id = i + 1;
+    r.timestamp_us = static_cast<std::int64_t>(1000 * i);
+    batch.push_back(r);
+  }
+  dl::Matrix out(rows, encoder.dim());
+  for (auto _ : state) {
+    detect::EncodeContext ctx;
+    encoder.encode_batch(batch, ctx, out);
+    benchmark::DoNotOptimize(out.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_FeatureEncodeBatch)->Arg(16)->Arg(256);
 
 void BM_SuciConcealDeconceal(benchmark::State& state) {
   ran::Supi supi{ran::Plmn::test_network(), 2089900001ULL};

@@ -83,9 +83,9 @@ int main() {
                            "transport)\"}");
       });
   mobiflow::Record demo;
-  demo.protocol = "RRC";
-  demo.msg = "RRCSetupRequest";
-  demo.direction = "UL";
+  demo.protocol = mobiflow::vocab::Protocol::kRrc;
+  demo.msg = mobiflow::vocab::MsgType::kRrcSetupRequest;
+  demo.direction = mobiflow::vocab::Direction::kUl;
   demo.rnti = 0x1234;
   mobiflow::Trace demo_trace;
   demo_trace.add(demo);

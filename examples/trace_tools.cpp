@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
     std::int64_t first = 0, last = 0;
     for (const auto& entry : trace.entries()) {
       ues.insert(entry.record.ue_id);
-      if (entry.record.protocol == "RRC") ++rrc;
-      if (entry.record.protocol == "NAS") ++nas;
+      if (entry.record.protocol == mobiflow::vocab::Protocol::kRrc) ++rrc;
+      if (entry.record.protocol == mobiflow::vocab::Protocol::kNas) ++nas;
       if (first == 0) first = entry.record.timestamp_us;
       last = entry.record.timestamp_us;
     }

@@ -15,6 +15,7 @@
 #include "core/datasets.hpp"
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
+#include "mobiflow/record.hpp"
 #include "oran/e2sm.hpp"
 #include "sim/traffic.hpp"
 
@@ -43,11 +44,13 @@ class KpmCounterXapp : public oran::XApp {
     auto message = oran::e2sm::decode_indication_message(indication.message);
     if (!message) return;
     for (const auto& row : message.value().rows) {
-      ++counters_[{node_id, row.get("proto")}];
+      auto record = mobiflow::Record::from_kv_bytes(row);
+      if (!record.ok()) continue;
+      std::string proto(record.value().protocol_name());
+      ++counters_[{node_id, proto}];
       // Publish the running counter to the SDL for other consumers.
-      sdl().set_str("kpm",
-                    "node" + std::to_string(node_id) + "/" + row.get("proto"),
-                    std::to_string(counters_[{node_id, row.get("proto")}]));
+      sdl().set_str("kpm", "node" + std::to_string(node_id) + "/" + proto,
+                    std::to_string(counters_[{node_id, proto}]));
     }
   }
 

@@ -41,7 +41,7 @@ class DownlinkIdExtractionAttack : public Attack {
 
   bool is_malicious(const mobiflow::Record& record) const override {
     // The out-of-order identity disclosure is the malicious entry.
-    return record.msg == "IdentityResponse" &&
+    return record.msg == mobiflow::vocab::MsgType::kIdentityResponse &&
            record.supi_plain == victim_supi_.str();
   }
 

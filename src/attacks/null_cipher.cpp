@@ -42,7 +42,8 @@ class NullCipherAttack : public Attack {
     if (!victim_rnti || record.rnti != victim_rnti->value) return false;
     // Every message of the downgraded session that carries null protection
     // state is malicious telemetry.
-    return record.cipher_alg == "NEA0" || record.integrity_alg == "NIA0";
+    return record.cipher_alg == mobiflow::vocab::CipherAlg::kNea0 ||
+           record.integrity_alg == mobiflow::vocab::IntegrityAlg::kNia0;
   }
 
  private:

@@ -1,0 +1,46 @@
+// Generic enum <-> name table.
+//
+// Every dense enum in the repo (telemetry vocab, model kinds, ...) pairs a
+// `enum class E : uint8_t` whose underlying values run 0..N-1 with a fixed
+// array of names. NameTable centralizes the two lookups so each enum gets
+// to_name/parse helpers from one table instead of a hand-written switch.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace xsec {
+
+template <typename E, std::size_t N>
+class NameTable {
+ public:
+  constexpr explicit NameTable(std::array<std::string_view, N> names)
+      : names_(names) {}
+
+  static constexpr std::size_t size() { return N; }
+
+  constexpr std::string_view name(E value) const {
+    auto i = static_cast<std::size_t>(value);
+    return i < N ? names_[i] : std::string_view("?");
+  }
+
+  constexpr std::optional<E> find(std::string_view name) const {
+    for (std::size_t i = 0; i < N; ++i)
+      if (names_[i] == name) return static_cast<E>(i);
+    return std::nullopt;
+  }
+
+ private:
+  std::array<std::string_view, N> names_;
+};
+
+/// Deduction helper: make_name_table<E>("a", "b", ...).
+template <typename E, typename... Names>
+constexpr NameTable<E, sizeof...(Names)> make_name_table(Names... names) {
+  return NameTable<E, sizeof...(Names)>(
+      std::array<std::string_view, sizeof...(Names)>{names...});
+}
+
+}  // namespace xsec

@@ -1,17 +1,18 @@
 #include "core/evaluation.hpp"
 
+#include "common/names.hpp"
 #include "common/plot.hpp"
 #include "detect/ensemble.hpp"
 
 namespace xsec::core {
 
+namespace {
+constexpr auto kModelNames =
+    make_name_table<ModelKind>("Autoencoder", "LSTM", "Ensemble-AE");
+}  // namespace
+
 std::string to_string(ModelKind kind) {
-  switch (kind) {
-    case ModelKind::kAutoencoder: return "Autoencoder";
-    case ModelKind::kLstm: return "LSTM";
-    case ModelKind::kEnsemble: return "Ensemble-AE";
-  }
-  return "?";
+  return std::string(kModelNames.name(kind));
 }
 
 std::unique_ptr<detect::AnomalyDetector> make_detector(

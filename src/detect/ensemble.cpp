@@ -1,6 +1,7 @@
 #include "detect/ensemble.hpp"
 
 #include <cassert>
+#include <cstring>
 
 #include "common/plot.hpp"
 #include "common/strings.hpp"
@@ -136,13 +137,11 @@ std::vector<double> EnsembleDetector::score(const WindowDataset& data) {
   return combined_scores(raw, nullptr);
 }
 
-double EnsembleDetector::score_window(
-    const std::vector<std::vector<float>>& rows) {
-  assert(rows.size() == window_size_);
+double EnsembleDetector::score_window(const float* rows, std::size_t n_rows) {
+  assert(n_rows == window_size_);
+  (void)n_rows;
   dl::Matrix raw(1, window_size_ * feature_dim_);
-  for (std::size_t t = 0; t < rows.size(); ++t)
-    for (std::size_t c = 0; c < feature_dim_; ++c)
-      raw.at(0, t * feature_dim_ + c) = rows[t][c];
+  std::memcpy(raw.row(0), rows, window_size_ * feature_dim_ * sizeof(float));
   std::vector<std::size_t> dominant;
   double score = combined_scores(raw, &dominant)[0];
   last_dominant_ = dominant[0];

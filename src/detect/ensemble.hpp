@@ -47,7 +47,8 @@ class EnsembleDetector : public AnomalyDetector {
   std::vector<bool> labels(const WindowDataset& data) const override {
     return data.ae_labels();
   }
-  double score_window(const std::vector<std::vector<float>>& rows) override;
+  using AnomalyDetector::score_window;
+  double score_window(const float* rows, std::size_t n_rows) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }

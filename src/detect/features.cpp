@@ -1,12 +1,14 @@
 #include "detect/features.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
-
-#include "ran/nas.hpp"
-#include "ran/rrc.hpp"
+#include <cstring>
 
 namespace xsec::detect {
+
+namespace vocab = mobiflow::vocab;
+using vocab::MsgType;
 
 void EncodeContext::reset() {
   seen_rntis.clear();
@@ -18,20 +20,6 @@ void EncodeContext::reset() {
 }
 
 namespace {
-const std::vector<std::string>& cause_vocab() {
-  static const std::vector<std::string> causes = {
-      "emergency",       "highPriorityAccess", "mt-Access",
-      "mo-Signalling",   "mo-Data",            "mo-VoiceCall",
-      "mo-VideoCall",    "mo-SMS",             "mps-PriorityAccess",
-      "mcs-PriorityAccess"};
-  return causes;
-}
-
-const std::vector<std::string>& alg_suffixes() {
-  static const std::vector<std::string> suffixes = {"0", "1", "2", "3"};
-  return suffixes;
-}
-
 constexpr std::size_t kTimingBuckets = 6;
 constexpr std::size_t kLoadBuckets = 6;
 constexpr std::int64_t kSetupRateWindowUs = 100'000;  // 100ms
@@ -59,15 +47,15 @@ std::size_t timing_bucket(std::int64_t delta_us) {
 
 FeatureEncoder::FeatureEncoder(FeatureConfig config) : config_(config) {
   if (config_.messages) {
-    for (const auto& name : ran::rrc_all_names()) {
-      msg_index_["RRC:" + name] = names_.size();
-      names_.push_back("msg=RRC:" + name);
-    }
-    for (const auto& name : ran::nas_all_names()) {
-      msg_index_["NAS:" + name] = names_.size();
-      names_.push_back("msg=NAS:" + name);
-    }
+    // Column index == MsgType value: the explicit unknown bucket first,
+    // then RRC and NAS message types in vocab order.
     names_.push_back("msg=unknown");
+    for (std::size_t m = 1; m < vocab::kMsgTypeCount; ++m) {
+      auto type = static_cast<MsgType>(m);
+      std::string proto(vocab::to_name(vocab::protocol_of(type)));
+      names_.push_back("msg=" + proto + ":" +
+                       std::string(vocab::to_name(type)));
+    }
     names_.push_back("dir=UL");
   }
   if (config_.identifiers) {
@@ -79,13 +67,23 @@ FeatureEncoder::FeatureEncoder(FeatureConfig config) : config_(config) {
     names_.push_back("id.release_incomplete");
   }
   if (config_.state) {
+    // Column index == enum value within each block (0 = not-yet-known).
     names_.push_back("state.cipher_unknown");
-    for (const auto& s : alg_suffixes()) names_.push_back("state.cipher=NEA" + s);
+    for (std::size_t a = 1; a < vocab::kCipherAlgCount; ++a)
+      names_.push_back(
+          "state.cipher=" +
+          std::string(vocab::to_name(static_cast<vocab::CipherAlg>(a))));
     names_.push_back("state.integrity_unknown");
-    for (const auto& s : alg_suffixes())
-      names_.push_back("state.integrity=NIA" + s);
+    for (std::size_t a = 1; a < vocab::kIntegrityAlgCount; ++a)
+      names_.push_back(
+          "state.integrity=" +
+          std::string(vocab::to_name(static_cast<vocab::IntegrityAlg>(a))));
     names_.push_back("state.cause_unknown");
-    for (const auto& c : cause_vocab()) names_.push_back("state.cause=" + c);
+    for (std::size_t c = 1; c < vocab::kEstablishmentCauseCount; ++c)
+      names_.push_back(
+          "state.cause=" +
+          std::string(
+              vocab::to_name(static_cast<vocab::EstablishmentCause>(c))));
   }
   if (config_.timing) {
     for (std::size_t b = 0; b < kTimingBuckets; ++b)
@@ -100,20 +98,19 @@ FeatureEncoder::FeatureEncoder(FeatureConfig config) : config_(config) {
   dim_ = names_.size();
 }
 
-std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
-                                          EncodeContext& ctx) const {
-  std::vector<float> out(dim_, 0.0f);
+void FeatureEncoder::encode_into(const mobiflow::Record& record,
+                                 EncodeContext& ctx, float* out) const {
+  std::fill(out, out + dim_, 0.0f);
   std::size_t base = 0;
 
   if (config_.messages) {
-    auto it = msg_index_.find(record.protocol + ":" + record.msg);
-    std::size_t unknown_slot = msg_index_.size();
-    if (it != msg_index_.end())
-      out[it->second] = 1.0f;
-    else
-      out[unknown_slot] = 1.0f;
-    base = msg_index_.size() + 1;
-    if (record.direction == "UL") out[base] = 1.0f;
+    // One-hot by enum value; out-of-range values (possible only via a
+    // corrupted cast) fall into the explicit unknown column 0 instead of
+    // silently encoding as all-zeros.
+    auto m = static_cast<std::size_t>(record.msg);
+    out[m < vocab::kMsgTypeCount ? m : 0] = 1.0f;
+    base = vocab::kMsgTypeCount;
+    if (record.direction == vocab::Direction::kUl) out[base] = 1.0f;
     base += 1;
   }
 
@@ -127,7 +124,7 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
       out[base + 1] = 1.0f;
       // Ownership is established by UPLINK presentations only; broadcast
       // paging and downlink allocations must not create owners.
-      if (record.direction == "UL") {
+      if (record.direction == vocab::Direction::kUl) {
         auto& owners = ctx.tmsi_owners[record.s_tmsi];
         owners.insert(record.ue_id);
         ctx.ue_tmsi[record.ue_id] = record.s_tmsi;
@@ -137,7 +134,7 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
         out[base + 2] = owners.size() >= 2 ? 1.0f : 0.0f;
       }
     }
-    if (record.msg == "RRCRelease") {
+    if (record.msg == MsgType::kRrcRelease) {
       auto held = ctx.ue_tmsi.find(record.ue_id);
       if (held != ctx.ue_tmsi.end()) {
         auto owners_it = ctx.tmsi_owners.find(held->second);
@@ -152,38 +149,21 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
       out[base + 4] = 1.0f;
     // A context torn down before it ever reached a security context: the
     // footprint of garbage-collected half-open (DoS) connections.
-    if (record.msg == "RRCRelease" && record.cipher_alg.empty() &&
-        record.s_tmsi == 0)
+    if (record.msg == MsgType::kRrcRelease &&
+        record.cipher_alg == vocab::CipherAlg::kNone && record.s_tmsi == 0)
       out[base + 5] = 1.0f;
     base += 6;
   }
 
   if (config_.state) {
-    // cipher: [unknown, NEA0..NEA3]
-    if (record.cipher_alg.empty())
-      out[base + 0] = 1.0f;
-    else if (record.cipher_alg.size() == 4 && record.cipher_alg[3] >= '0' &&
-             record.cipher_alg[3] <= '3')
-      out[base + 1 + (record.cipher_alg[3] - '0')] = 1.0f;
-    base += 5;
-    if (record.integrity_alg.empty())
-      out[base + 0] = 1.0f;
-    else if (record.integrity_alg.size() == 4 &&
-             record.integrity_alg[3] >= '0' && record.integrity_alg[3] <= '3')
-      out[base + 1 + (record.integrity_alg[3] - '0')] = 1.0f;
-    base += 5;
-
-    bool cause_found = false;
-    const auto& causes = cause_vocab();
-    for (std::size_t i = 0; i < causes.size(); ++i) {
-      if (record.establishment_cause == causes[i]) {
-        out[base + 1 + i] = 1.0f;
-        cause_found = true;
-        break;
-      }
-    }
-    if (!cause_found) out[base + 0] = 1.0f;
-    base += 1 + causes.size();
+    // Each block's column offset is the enum value itself; value 0 (kNone)
+    // is the "unknown / not yet negotiated" column.
+    out[base + static_cast<std::size_t>(record.cipher_alg)] = 1.0f;
+    base += vocab::kCipherAlgCount;
+    out[base + static_cast<std::size_t>(record.integrity_alg)] = 1.0f;
+    base += vocab::kIntegrityAlgCount;
+    out[base + static_cast<std::size_t>(record.establishment_cause)] = 1.0f;
+    base += vocab::kEstablishmentCauseCount;
   }
 
   if (config_.timing) {
@@ -200,15 +180,20 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
 
   if (config_.load) {
     // Update the load trackers from this record.
-    if (record.msg == "AuthenticationRequest") {
-      ctx.pending_auth.insert(record.ue_id);
-    } else if (record.msg == "AuthenticationResponse" ||
-               record.msg == "AuthenticationFailure" ||
-               record.msg == "AuthenticationReject" ||
-               record.msg == "RRCRelease") {
-      ctx.pending_auth.erase(record.ue_id);
+    switch (record.msg) {
+      case MsgType::kAuthenticationRequest:
+        ctx.pending_auth.insert(record.ue_id);
+        break;
+      case MsgType::kAuthenticationResponse:
+      case MsgType::kAuthenticationFailure:
+      case MsgType::kAuthenticationReject:
+      case MsgType::kRrcRelease:
+        ctx.pending_auth.erase(record.ue_id);
+        break;
+      default:
+        break;
     }
-    if (record.msg == "RRCSetupRequest")
+    if (record.msg == MsgType::kRrcSetupRequest)
       ctx.recent_setups.push_back(record.timestamp_us);
     while (!ctx.recent_setups.empty() &&
            ctx.recent_setups.front() <
@@ -218,11 +203,11 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
     // Emit the buckets only on connection-establishment messages: those
     // are the records a storm consists of, so the anomaly stays attached
     // to the attack records instead of every bystander during the storm.
-    bool establishment = record.msg == "RRCSetupRequest" ||
-                         record.msg == "RRCSetup" ||
-                         record.msg == "RRCSetupComplete" ||
-                         record.msg == "RegistrationRequest" ||
-                         record.msg == "AuthenticationRequest";
+    bool establishment = record.msg == MsgType::kRrcSetupRequest ||
+                         record.msg == MsgType::kRrcSetup ||
+                         record.msg == MsgType::kRrcSetupComplete ||
+                         record.msg == MsgType::kRegistrationRequest ||
+                         record.msg == MsgType::kAuthenticationRequest;
     if (establishment) {
       out[base + load_bucket(ctx.pending_auth.size())] = 1.0f;
       out[base + kLoadBuckets + load_bucket(ctx.recent_setups.size())] = 1.0f;
@@ -231,16 +216,30 @@ std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
   }
 
   assert(base == dim_);
+}
+
+std::vector<float> FeatureEncoder::encode(const mobiflow::Record& record,
+                                          EncodeContext& ctx) const {
+  std::vector<float> out(dim_);
+  encode_into(record, ctx, out.data());
   return out;
 }
 
-std::vector<std::vector<float>> FeatureEncoder::encode_trace(
-    const mobiflow::Trace& trace) const {
+void FeatureEncoder::encode_batch(std::span<const mobiflow::Record> records,
+                                  EncodeContext& ctx, dl::Matrix& out,
+                                  std::size_t first_row) const {
+  assert(out.cols() == dim_);
+  assert(first_row + records.size() <= out.rows());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    encode_into(records[i], ctx, out.row(first_row + i));
+}
+
+dl::Matrix FeatureEncoder::encode_trace(const mobiflow::Trace& trace) const {
   EncodeContext ctx;
-  std::vector<std::vector<float>> out;
-  out.reserve(trace.size());
+  dl::Matrix out(trace.size(), dim_);
+  std::size_t row = 0;
   for (const auto& entry : trace.entries())
-    out.push_back(encode(entry.record, ctx));
+    encode_into(entry.record, ctx, out.row(row++));
   return out;
 }
 
@@ -249,16 +248,16 @@ std::string FeatureEncoder::feature_name(std::size_t i) const {
   return names_[i];
 }
 
-WindowDataset::WindowDataset(std::vector<std::vector<float>> features,
+WindowDataset::WindowDataset(dl::Matrix features,
                              std::vector<bool> record_labels,
                              std::size_t window_size)
     : features_(std::move(features)),
       labels_(std::move(record_labels)),
       window_(window_size),
-      dim_(features_.empty() ? 0 : features_[0].size()) {
-  assert(features_.size() == labels_.size());
+      dim_(features_.cols()) {
+  assert(features_.rows() == labels_.size());
   assert(window_ > 0);
-  index_segment(0, features_.size());
+  index_segment(0, features_.rows());
 }
 
 void WindowDataset::index_segment(std::size_t begin, std::size_t end) {
@@ -283,16 +282,21 @@ WindowDataset WindowDataset::from_trace(const mobiflow::Trace& trace,
 WindowDataset WindowDataset::from_traces(
     const std::vector<mobiflow::Trace>& traces, const FeatureEncoder& encoder,
     std::size_t window_size) {
-  std::vector<std::vector<float>> features;
+  std::size_t total = 0;
+  for (const auto& trace : traces) total += trace.size();
+  dl::Matrix features(total, encoder.dim());
   std::vector<bool> labels;
+  labels.reserve(total);
   std::vector<std::pair<std::size_t, std::size_t>> segments;
+  std::size_t row = 0;
   for (const auto& trace : traces) {
-    std::size_t begin = features.size();
-    auto encoded = encoder.encode_trace(trace);
-    features.insert(features.end(), encoded.begin(), encoded.end());
-    for (const auto& entry : trace.entries())
+    std::size_t begin = row;
+    EncodeContext ctx;  // each capture gets a fresh streaming context
+    for (const auto& entry : trace.entries()) {
+      encoder.encode_into(entry.record, ctx, features.row(row++));
       labels.push_back(entry.malicious);
-    segments.emplace_back(begin, features.size());
+    }
+    segments.emplace_back(begin, row);
   }
   WindowDataset dataset(std::move(features), std::move(labels), window_size);
   // Re-index: windows must not straddle capture boundaries.
@@ -309,12 +313,11 @@ std::size_t WindowDataset::ae_sample_count() const {
 
 dl::Matrix WindowDataset::ae_matrix() const {
   dl::Matrix out(ae_starts_.size(), window_ * dim_);
-  for (std::size_t i = 0; i < ae_starts_.size(); ++i) {
-    std::size_t s = ae_starts_[i];
-    for (std::size_t t = 0; t < window_; ++t)
-      for (std::size_t c = 0; c < dim_; ++c)
-        out.at(i, t * dim_ + c) = features_[s + t][c];
-  }
+  // A window of consecutive rows is contiguous in the feature matrix, so
+  // each AE sample is a single block copy.
+  for (std::size_t i = 0; i < ae_starts_.size(); ++i)
+    std::memcpy(out.row(i), features_.row(ae_starts_[i]),
+                window_ * dim_ * sizeof(float));
   return out;
 }
 
@@ -340,10 +343,12 @@ std::vector<dl::SequenceSample> WindowDataset::lstm_samples() const {
   out.reserve(lstm_starts_.size());
   for (std::size_t s : lstm_starts_) {
     dl::SequenceSample sample;
-    sample.window.assign(features_.begin() + static_cast<std::ptrdiff_t>(s),
-                         features_.begin() + static_cast<std::ptrdiff_t>(
-                                                 s + window_));
-    sample.target = features_[s + window_];
+    sample.window.reserve(window_);
+    for (std::size_t t = 0; t < window_; ++t)
+      sample.window.emplace_back(features_.row(s + t),
+                                 features_.row(s + t) + dim_);
+    sample.target.assign(features_.row(s + window_),
+                         features_.row(s + window_) + dim_);
     out.push_back(std::move(sample));
   }
   return out;

@@ -6,12 +6,18 @@
 // RNTI, S-TMSI replayed across UE contexts, plaintext SUPI), since raw
 // identifier values carry no distributional meaning. A sliding window of
 // size N converts the record stream into model samples.
+//
+// One-hot indices are the vocab enum values themselves — encoding a record
+// is a handful of array stores with no string lookups, and the batched
+// entry points write rows straight into a caller-owned dl::Matrix so the
+// agent -> detector hot path performs no per-record heap allocation.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "dl/lstm.hpp"
@@ -60,13 +66,26 @@ class FeatureEncoder {
   std::size_t dim() const { return dim_; }
   const FeatureConfig& config() const { return config_; }
 
+  /// Encodes one record into out[0, dim()), updating the streaming
+  /// context. `out` is overwritten (no pre-zeroing needed). This is the
+  /// allocation-free hot path.
+  void encode_into(const mobiflow::Record& record, EncodeContext& ctx,
+                   float* out) const;
+
   /// Encodes one record, updating the streaming context.
   std::vector<float> encode(const mobiflow::Record& record,
                             EncodeContext& ctx) const;
 
-  /// Encodes a whole trace in order (fresh context).
-  std::vector<std::vector<float>> encode_trace(
-      const mobiflow::Trace& trace) const;
+  /// Encodes a batch of records into consecutive rows of a preallocated
+  /// matrix starting at `first_row` (out must have dim() columns and at
+  /// least first_row + records.size() rows).
+  void encode_batch(std::span<const mobiflow::Record> records,
+                    EncodeContext& ctx, dl::Matrix& out,
+                    std::size_t first_row = 0) const;
+
+  /// Encodes a whole trace in order (fresh context) into one matrix row
+  /// per record.
+  dl::Matrix encode_trace(const mobiflow::Trace& trace) const;
 
   /// Human-readable name of feature column `i` (for explanations).
   std::string feature_name(std::size_t i) const;
@@ -74,15 +93,16 @@ class FeatureEncoder {
  private:
   FeatureConfig config_;
   std::vector<std::string> names_;
-  std::map<std::string, std::size_t> msg_index_;
   std::size_t dim_ = 0;
 };
 
-/// A windowed dataset over one encoded trace.
+/// A windowed dataset over one encoded trace. Features live in one
+/// contiguous row-major matrix (a window of rows is therefore one
+/// contiguous float span).
 class WindowDataset {
  public:
-  WindowDataset(std::vector<std::vector<float>> features,
-                std::vector<bool> record_labels, std::size_t window_size);
+  WindowDataset(dl::Matrix features, std::vector<bool> record_labels,
+                std::size_t window_size);
 
   static WindowDataset from_trace(const mobiflow::Trace& trace,
                                   const FeatureEncoder& encoder,
@@ -98,7 +118,7 @@ class WindowDataset {
 
   std::size_t window_size() const { return window_; }
   std::size_t feature_dim() const { return dim_; }
-  std::size_t record_count() const { return features_.size(); }
+  std::size_t record_count() const { return features_.rows(); }
 
   /// Autoencoder samples: flattened windows of N consecutive records.
   /// Row i covers records [i, i+N-1]. Empty if fewer than N records.
@@ -112,7 +132,7 @@ class WindowDataset {
   std::size_t lstm_sample_count() const;
   std::vector<bool> lstm_labels() const;
 
-  const std::vector<std::vector<float>>& features() const { return features_; }
+  const dl::Matrix& features() const { return features_; }
   const std::vector<bool>& record_labels() const { return labels_; }
 
  private:
@@ -122,7 +142,7 @@ class WindowDataset {
   std::vector<std::size_t> lstm_starts_;
   void index_segment(std::size_t begin, std::size_t end);
 
-  std::vector<std::vector<float>> features_;
+  dl::Matrix features_;
   std::vector<bool> labels_;
   std::size_t window_;
   std::size_t dim_;

@@ -1,5 +1,7 @@
 #include "detect/mobiwatch.hpp"
 
+#include <cstring>
+
 #include "common/log.hpp"
 #include "oran/e2sm.hpp"
 
@@ -60,6 +62,11 @@ void MobiWatchXapp::install_detector(
   detector_ = std::move(detector);
   encoder_ = std::make_unique<FeatureEncoder>(std::move(encoder));
   encode_ctx_.reset();
+  keep_ = config_.context_records +
+          detector_->rows_needed(config_.window_size);
+  recent_feats_ = dl::Matrix(keep_, encoder_->dim());
+  filled_ = 0;
+  recent_.clear();
   base_threshold_ = detector_->threshold();
   detector_->set_threshold(base_threshold_ * threshold_scale_);
 }
@@ -106,8 +113,15 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
     XSEC_LOG_WARN("mobiwatch", "undecodable indication message");
     return;
   }
-  for (const auto& row : message.value().rows)
-    handle_record(mobiflow::Record::from_kv(row));
+  for (const auto& row : message.value().rows) {
+    auto record = mobiflow::Record::from_kv_bytes(row);
+    if (!record) {
+      XSEC_LOG_WARN("mobiwatch", "undecodable telemetry row: ",
+                    record.error().message);
+      continue;
+    }
+    handle_record(record.value());
+  }
 }
 
 void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
@@ -118,20 +132,23 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
 
   if (!detector_ || !encoder_) return;  // collection mode
 
-  recent_.emplace_back(record, encoder_->encode(record, encode_ctx_));
-  std::size_t keep = config_.context_records +
-                     detector_->rows_needed(config_.window_size);
-  while (recent_.size() > keep) recent_.pop_front();
+  if (filled_ == keep_) {
+    // Slide the feature window one row: the matrix stays contiguous so the
+    // detector can score straight off a row pointer.
+    std::memmove(recent_feats_.row(0), recent_feats_.row(1),
+                 (keep_ - 1) * recent_feats_.cols() * sizeof(float));
+    recent_.pop_front();
+    --filled_;
+  }
+  encoder_->encode_into(record, encode_ctx_, recent_feats_.row(filled_));
+  ++filled_;
+  recent_.push_back(record);
 
   std::size_t needed = detector_->rows_needed(config_.window_size);
-  if (recent_.size() < needed) return;
+  if (filled_ < needed) return;
 
-  std::vector<std::vector<float>> rows;
-  rows.reserve(needed);
-  for (std::size_t i = recent_.size() - needed; i < recent_.size(); ++i)
-    rows.push_back(recent_[i].second);
-
-  double score = detector_->score_window(rows);
+  double score =
+      detector_->score_window(recent_feats_.row(filled_ - needed), needed);
   ++windows_scored_;
   bool anomalous = detector_->is_anomalous(score);
   if (anomalous) ++anomalous_windows_;
@@ -161,9 +178,9 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
   std::size_t window_start = recent_.size() - needed;
   for (std::size_t i = 0; i < recent_.size(); ++i) {
     if (i < window_start)
-      burst_context_.add(recent_[i].first);
+      burst_context_.add(recent_[i]);
     else
-      burst_window_.add(recent_[i].first);
+      burst_window_.add(recent_[i]);
   }
 }
 

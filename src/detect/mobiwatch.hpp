@@ -91,8 +91,14 @@ class MobiWatchXapp : public oran::XApp {
   std::shared_ptr<AnomalyDetector> detector_;
   std::unique_ptr<FeatureEncoder> encoder_;
   EncodeContext encode_ctx_;
-  /// Recent (record, features) pairs; bounded.
-  std::deque<std::pair<mobiflow::Record, std::vector<float>>> recent_;
+  /// Recent records (bounded to keep_), mirrored by a preallocated sliding
+  /// feature matrix: row i of recent_feats_ is the encoding of recent_[i].
+  /// Per record the steady state is one memmove + one in-place encode — no
+  /// heap allocation on the scoring path.
+  std::deque<mobiflow::Record> recent_;
+  dl::Matrix recent_feats_;
+  std::size_t keep_ = 0;
+  std::size_t filled_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t current_node_id_ = 0;
   std::size_t records_seen_ = 0;

@@ -2,8 +2,18 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace xsec::detect {
+
+double AnomalyDetector::score_window(
+    const std::vector<std::vector<float>>& rows) {
+  std::vector<float> flat;
+  std::size_t dim = rows.empty() ? 0 : rows[0].size();
+  flat.reserve(rows.size() * dim);
+  for (const auto& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+  return score_window(flat.data(), rows.size());
+}
 
 void Standardizer::fit(const dl::Matrix& data, float std_floor) {
   const std::size_t dim = data.cols();
@@ -107,15 +117,12 @@ std::vector<double> AutoencoderDetector::score(const WindowDataset& data) {
   return window_scores(m);
 }
 
-double AutoencoderDetector::score_window(
-    const std::vector<std::vector<float>>& rows) {
-  assert(rows.size() == window_size_);
+double AutoencoderDetector::score_window(const float* rows,
+                                         std::size_t n_rows) {
+  assert(n_rows == window_size_);
+  (void)n_rows;
   dl::Matrix m(1, window_size_ * feature_dim_);
-  for (std::size_t t = 0; t < rows.size(); ++t) {
-    assert(rows[t].size() == feature_dim_);
-    for (std::size_t c = 0; c < feature_dim_; ++c)
-      m.at(0, t * feature_dim_ + c) = rows[t][c];
-  }
+  std::memcpy(m.row(0), rows, window_size_ * feature_dim_ * sizeof(float));
   return window_scores(m)[0];
 }
 
@@ -182,12 +189,16 @@ std::vector<double> LstmDetector::score(const WindowDataset& data) {
   return sample_errors(standardize(data.lstm_samples()));
 }
 
-double LstmDetector::score_window(
-    const std::vector<std::vector<float>>& rows) {
-  assert(rows.size() == window_size_ + 1);
+double LstmDetector::score_window(const float* rows, std::size_t n_rows) {
+  assert(n_rows == window_size_ + 1);
+  (void)n_rows;
   dl::SequenceSample sample;
-  sample.window.assign(rows.begin(), rows.end() - 1);
-  sample.target = rows.back();
+  sample.window.reserve(window_size_);
+  for (std::size_t t = 0; t < window_size_; ++t)
+    sample.window.emplace_back(rows + t * feature_dim_,
+                               rows + (t + 1) * feature_dim_);
+  sample.target.assign(rows + window_size_ * feature_dim_,
+                       rows + (window_size_ + 1) * feature_dim_);
   return sample_errors(standardize({sample}))[0];
 }
 

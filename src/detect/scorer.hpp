@@ -48,10 +48,13 @@ class AnomalyDetector {
   virtual std::vector<double> score(const WindowDataset& data) = 0;
   /// Window labels matching score() rows (AE vs LSTM window conventions).
   virtual std::vector<bool> labels(const WindowDataset& data) const = 0;
-  /// Scores a single window of raw feature rows (inference path in the
-  /// MobiWatch xApp). For the LSTM, the last row is the prediction target.
-  virtual double score_window(
-      const std::vector<std::vector<float>>& rows) = 0;
+  /// Scores a single window of `n_rows` consecutive raw feature rows laid
+  /// out contiguously row-major at `rows` (the allocation-free inference
+  /// path in the MobiWatch xApp). For the LSTM, the last row is the
+  /// prediction target.
+  virtual double score_window(const float* rows, std::size_t n_rows) = 0;
+  /// Convenience wrapper for callers holding per-record row vectors.
+  double score_window(const std::vector<std::vector<float>>& rows);
   /// Rows a single inference window must contain.
   virtual std::size_t rows_needed(std::size_t window_size) const = 0;
 
@@ -100,7 +103,8 @@ class AutoencoderDetector : public AnomalyDetector {
   std::vector<bool> labels(const WindowDataset& data) const override {
     return data.ae_labels();
   }
-  double score_window(const std::vector<std::vector<float>>& rows) override;
+  using AnomalyDetector::score_window;
+  double score_window(const float* rows, std::size_t n_rows) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }
@@ -135,7 +139,8 @@ class LstmDetector : public AnomalyDetector {
   std::vector<bool> labels(const WindowDataset& data) const override {
     return data.lstm_labels();
   }
-  double score_window(const std::vector<std::vector<float>>& rows) override;
+  using AnomalyDetector::score_window;
+  double score_window(const float* rows, std::size_t n_rows) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size + 1;  // window plus the observed next record
   }

@@ -9,6 +9,10 @@
 
 namespace xsec::llm {
 
+namespace vocab = mobiflow::vocab;
+using vocab::Direction;
+using vocab::MsgType;
+
 WindowStats extract_stats(const mobiflow::Trace& trace) {
   WindowStats stats;
   stats.total_records = trace.size();
@@ -37,13 +41,13 @@ WindowStats extract_stats(const mobiflow::Trace& trace) {
     ues.insert(r.ue_id);
 
     // Track concurrent S-TMSI ownership across all uplink presentations.
-    if (r.s_tmsi != 0 && r.direction == "UL") {
+    if (r.s_tmsi != 0 && r.direction == Direction::kUl) {
       auto& owners = tmsi_uplink_owners[r.s_tmsi];
       owners.insert(r.ue_id);
       ue_held_tmsi[r.ue_id] = r.s_tmsi;
       if (owners.size() >= 2) replayed.insert(r.s_tmsi);
     }
-    if (r.msg == "RRCRelease") {
+    if (r.msg == MsgType::kRrcRelease) {
       auto held = ue_held_tmsi.find(r.ue_id);
       if (held != ue_held_tmsi.end()) {
         auto owners_it = tmsi_uplink_owners.find(held->second);
@@ -53,7 +57,7 @@ WindowStats extract_stats(const mobiflow::Trace& trace) {
       }
     }
 
-    if (r.msg == "RRCSetupRequest") {
+    if (r.msg == MsgType::kRrcSetupRequest) {
       ++stats.setup_requests;
       if (r.s_tmsi == 0) {
         ++stats.setup_requests_fresh;
@@ -61,15 +65,15 @@ WindowStats extract_stats(const mobiflow::Trace& trace) {
       }
       if (r.rnti != 0) setup_rntis.insert(r.rnti);
       setup_times.push_back(r.timestamp_us);
-    } else if (r.msg == "AuthenticationRequest") {
+    } else if (r.msg == MsgType::kAuthenticationRequest) {
       ++stats.auth_requests;
       auth_request_seen[r.ue_id] = true;
-    } else if (r.msg == "AuthenticationResponse") {
+    } else if (r.msg == MsgType::kAuthenticationResponse) {
       ++stats.auth_responses;
       responded.insert(r.ue_id);
-    } else if (r.msg == "RegistrationAccept") {
+    } else if (r.msg == MsgType::kRegistrationAccept) {
       ++stats.registration_accepts;
-    } else if (r.msg == "RegistrationRequest") {
+    } else if (r.msg == MsgType::kRegistrationRequest) {
       if (!r.suci.empty()) {
         bool null_scheme = r.suci.find("-0-") != std::string::npos;
         if (null_scheme)
@@ -77,28 +81,34 @@ WindowStats extract_stats(const mobiflow::Trace& trace) {
         else
           protected_suci[r.ue_id] = true;
       }
-      if (r.s_tmsi != 0 && r.direction == "UL")
+      if (r.s_tmsi != 0 && r.direction == Direction::kUl)
         tmsi_uplink_owners[r.s_tmsi].insert(r.ue_id);
-    } else if (r.msg == "IdentityRequest" && r.direction == "DL") {
+    } else if (r.msg == MsgType::kIdentityRequest &&
+               r.direction == Direction::kDl) {
       identity_request_seen[r.ue_id] = true;
       if (protected_suci.count(r.ue_id)) out_of_order.insert(r.ue_id);
-    } else if (r.msg == "IdentityResponse" && r.direction == "UL") {
+    } else if (r.msg == MsgType::kIdentityResponse &&
+               r.direction == Direction::kUl) {
       // An IdentityResponse answering an AuthenticationRequest (no
       // IdentityRequest visible at the tap) is the overwritten-downlink
       // signature of Figure 2a: Auth.Req -> Iden.Resp.
       if (auth_request_seen.count(r.ue_id) &&
           !identity_request_seen.count(r.ue_id))
         out_of_order.insert(r.ue_id);
-    } else if (r.msg == "SecurityModeCommand" ||
-               r.msg == "RRCSecurityModeCommand") {
-      if (r.cipher_alg == "NEA0" || r.integrity_alg == "NIA0")
+    } else if (r.msg == MsgType::kSecurityModeCommand ||
+               r.msg == MsgType::kRrcSecurityModeCommand) {
+      if (r.cipher_alg == vocab::CipherAlg::kNea0 ||
+          r.integrity_alg == vocab::IntegrityAlg::kNia0)
         null_cipher.insert(r.ue_id);
-    } else if (r.msg == "RRCRelease" && r.direction == "DL") {
-      if (r.cipher_alg.empty() && r.s_tmsi == 0) ++stats.incomplete_releases;
+    } else if (r.msg == MsgType::kRrcRelease &&
+               r.direction == Direction::kDl) {
+      if (r.cipher_alg == vocab::CipherAlg::kNone && r.s_tmsi == 0)
+        ++stats.incomplete_releases;
     }
 
     if (!r.supi_plain.empty())
-      stats.plaintext_identities.emplace_back(r.supi_plain, r.msg);
+      stats.plaintext_identities.emplace_back(r.supi_plain,
+                                              std::string(r.msg_name()));
   }
 
   // A fresh setup is "abandoned" when its UE never answered the challenge

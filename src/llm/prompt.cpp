@@ -6,11 +6,17 @@
 
 namespace xsec::llm {
 
+namespace vocab = mobiflow::vocab;
+
 std::string render_record_line(const mobiflow::Record& record) {
   std::string out = "t=" + std::to_string(record.timestamp_us) + "us";
   out += " ue=" + std::to_string(record.ue_id);
-  out += " " + record.direction;
-  out += " " + record.protocol + ":" + record.msg;
+  out += ' ';
+  out += record.direction_name();
+  out += ' ';
+  out += record.protocol_name();
+  out += ':';
+  out += record.msg_name();
   char rnti_buf[16];
   std::snprintf(rnti_buf, sizeof(rnti_buf), "0x%04X", record.rnti);
   out += " rnti=";
@@ -19,11 +25,18 @@ std::string render_record_line(const mobiflow::Record& record) {
     out += " tmsi=" + std::to_string(record.s_tmsi);
   if (!record.suci.empty()) out += " suci=" + record.suci;
   if (!record.supi_plain.empty()) out += " supi=" + record.supi_plain;
-  if (!record.cipher_alg.empty()) out += " cipher=" + record.cipher_alg;
-  if (!record.integrity_alg.empty())
-    out += " integrity=" + record.integrity_alg;
-  if (!record.establishment_cause.empty())
-    out += " cause=" + record.establishment_cause;
+  if (record.cipher_alg != vocab::CipherAlg::kNone) {
+    out += " cipher=";
+    out += record.cipher_name();
+  }
+  if (record.integrity_alg != vocab::IntegrityAlg::kNone) {
+    out += " integrity=";
+    out += record.integrity_name();
+  }
+  if (record.establishment_cause != vocab::EstablishmentCause::kNone) {
+    out += " cause=";
+    out += record.cause_name();
+  }
   return out;
 }
 
@@ -35,11 +48,15 @@ Result<mobiflow::Record> parse_record_line(const std::string& line) {
     auto eq = token.find('=');
     if (eq == std::string::npos) {
       if (token == "UL" || token == "DL") {
-        record.direction = token;
+        record.direction = token == "UL" ? vocab::Direction::kUl
+                                         : vocab::Direction::kDl;
       } else if (auto colon = token.find(':');
                  colon != std::string::npos && !have_msg) {
-        record.protocol = token.substr(0, colon);
-        record.msg = token.substr(colon + 1);
+        // Lenient on purpose: an LLM-mangled name degrades to the unknown
+        // bucket instead of failing the whole line.
+        record.protocol =
+            vocab::protocol_or_unknown(token.substr(0, colon));
+        record.msg = vocab::msg_or_unknown(token.substr(colon + 1));
         have_msg = true;
       }
       continue;
@@ -60,11 +77,11 @@ Result<mobiflow::Record> parse_record_line(const std::string& line) {
     } else if (key == "supi") {
       record.supi_plain = value;
     } else if (key == "cipher") {
-      record.cipher_alg = value;
+      record.cipher_alg = vocab::cipher_or_none(value);
     } else if (key == "integrity") {
-      record.integrity_alg = value;
+      record.integrity_alg = vocab::integrity_or_none(value);
     } else if (key == "cause") {
-      record.establishment_cause = value;
+      record.establishment_cause = vocab::cause_or_none(value);
     }
   }
   if (!have_msg)

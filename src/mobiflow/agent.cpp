@@ -146,9 +146,10 @@ void RicAgent::on_f1(SimTime t, const Bytes& wire) {
   record.gnb_id = msg.cell.gnb_id;
   record.cell = msg.cell.cell;
   record.ue_id = msg.gnb_du_ue_id;
-  record.protocol = "RRC";
-  record.msg = ran::rrc_name(rrc.value());
-  record.direction = ran::rrc_is_uplink(rrc.value()) ? "UL" : "DL";
+  record.protocol = vocab::Protocol::kRrc;
+  record.msg = vocab::msg_from_rrc_index(rrc.value().index());
+  record.direction = ran::rrc_is_uplink(rrc.value()) ? vocab::Direction::kUl
+                                                     : vocab::Direction::kDl;
 
   // Update tracked UE state from message contents.
   std::uint64_t paged_tmsi = 0;
@@ -156,15 +157,15 @@ void RicAgent::on_f1(SimTime t, const Bytes& wire) {
       [&state, &paged_tmsi](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, ran::RrcSetupRequest>) {
-          state.establishment_cause = ran::to_string(m.cause);
+          state.establishment_cause = vocab::from_ran(m.cause);
           if (m.ue_identity.kind ==
               ran::InitialUeIdentity::Kind::kNg5gSTmsiPart1)
             state.s_tmsi = m.ue_identity.value;
         } else if constexpr (std::is_same_v<T, ran::RrcSetupComplete>) {
           if (m.s_tmsi) state.s_tmsi = m.s_tmsi->packed();
         } else if constexpr (std::is_same_v<T, ran::RrcSecurityModeCommand>) {
-          state.cipher_alg = ran::to_string(m.cipher);
-          state.integrity_alg = ran::to_string(m.integrity);
+          state.cipher_alg = vocab::from_ran(m.cipher);
+          state.integrity_alg = vocab::from_ran(m.integrity);
         } else if constexpr (std::is_same_v<T, ran::Paging>) {
           // Broadcast, not bound to a UE context: the identifier goes on
           // the record but not into any context's tracked state.
@@ -226,9 +227,10 @@ void RicAgent::on_ng(SimTime t, const Bytes& wire) {
   record.gnb_id = last_cell_.gnb_id;
   record.cell = last_cell_.cell;
   record.ue_id = msg.ran_ue_ngap_id;
-  record.protocol = "NAS";
-  record.msg = ran::nas_name(nas.value());
-  record.direction = ran::nas_is_uplink(nas.value()) ? "UL" : "DL";
+  record.protocol = vocab::Protocol::kNas;
+  record.msg = vocab::msg_from_nas_index(nas.value().index());
+  record.direction = ran::nas_is_uplink(nas.value()) ? vocab::Direction::kUl
+                                                     : vocab::Direction::kDl;
 
   std::visit(
       [this, &record, &state](const auto& m) {
@@ -238,8 +240,8 @@ void RicAgent::on_ng(SimTime t, const Bytes& wire) {
         } else if constexpr (std::is_same_v<T, ran::IdentityResponse>) {
           fill_identity(record, state, m.identity);
         } else if constexpr (std::is_same_v<T, ran::NasSecurityModeCommand>) {
-          state.cipher_alg = ran::to_string(m.cipher);
-          state.integrity_alg = ran::to_string(m.integrity);
+          state.cipher_alg = vocab::from_ran(m.cipher);
+          state.integrity_alg = vocab::from_ran(m.integrity);
         } else if constexpr (std::is_same_v<T, ran::RegistrationAccept>) {
           state.s_tmsi = m.guti.s_tmsi.packed();
         } else if constexpr (std::is_same_v<T, ran::ServiceRequest>) {
@@ -278,7 +280,8 @@ void RicAgent::flush() {
 
   oran::e2sm::IndicationMessage message;
   message.rows.reserve(buffer_.size());
-  for (const auto& record : buffer_) message.rows.push_back(record.to_kv());
+  for (const auto& record : buffer_)
+    message.rows.push_back(record.to_kv_bytes());
   buffer_.clear();
 
   // The same report batch goes to every subscriber of the function.

@@ -79,9 +79,10 @@ class RicAgent : public oran::E2NodeLink {
   struct UeState {
     std::uint16_t rnti = 0;
     std::uint64_t s_tmsi = 0;
-    std::string establishment_cause;
-    std::string cipher_alg;
-    std::string integrity_alg;
+    vocab::EstablishmentCause establishment_cause =
+        vocab::EstablishmentCause::kNone;
+    vocab::CipherAlg cipher_alg = vocab::CipherAlg::kNone;
+    vocab::IntegrityAlg integrity_alg = vocab::IntegrityAlg::kNone;
   };
   struct Subscription {
     oran::RicRequestId request_id;

@@ -2,16 +2,20 @@
 //
 // One record is produced per control message transmission:
 //   x_i = [t_i, m_i, p1_i, ..., pk_i]
-// with the message name m_i and the UE-specific parameter set K covering
+// with the message type m_i and the UE-specific parameter set K covering
 // identifiers (RNTI, S-TMSI, SUPI) and state (cipher_alg, integrity_alg,
-// establishment_cause). Records convert to/from the E2SM key-value rows
-// that ride inside RIC Indications.
+// establishment_cause). Categorical fields are vocab enums — one varint on
+// the wire, a direct one-hot index in the feature encoder; only free-form
+// identity payloads (SUPI/SUCI) stay strings. Records serialize to a
+// compact tag+varint form that rides inside RIC Indications and the SDL.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
-#include "oran/e2sm.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "mobiflow/vocab.hpp"
 
 namespace xsec::mobiflow {
 
@@ -23,9 +27,9 @@ struct Record {
   std::uint64_t ue_id = 0;  // CU-local UE correlation id
 
   // --- message ---
-  std::string protocol;  // "RRC" | "NAS"
-  std::string msg;       // e.g. "RRCSetupRequest", "AuthenticationRequest"
-  std::string direction; // "UL" | "DL"
+  vocab::Protocol protocol = vocab::Protocol::kUnknown;
+  vocab::MsgType msg = vocab::MsgType::kUnknown;
+  vocab::Direction direction = vocab::Direction::kUl;
 
   // --- identifiers ---
   std::uint16_t rnti = 0;
@@ -37,16 +41,36 @@ struct Record {
   std::string suci;
 
   // --- state ---
-  std::string cipher_alg;      // "" until security mode completes
-  std::string integrity_alg;
-  std::string establishment_cause;
+  vocab::CipherAlg cipher_alg = vocab::CipherAlg::kNone;
+  vocab::IntegrityAlg integrity_alg = vocab::IntegrityAlg::kNone;
+  vocab::EstablishmentCause establishment_cause =
+      vocab::EstablishmentCause::kNone;
 
   bool operator==(const Record&) const = default;
 
-  oran::e2sm::KvRow to_kv() const;
-  static Record from_kv(const oran::e2sm::KvRow& row);
+  // Presentation names (empty string for not-yet-known state fields).
+  std::string_view protocol_name() const { return vocab::to_name(protocol); }
+  std::string_view msg_name() const { return vocab::to_name(msg); }
+  std::string_view direction_name() const {
+    return vocab::to_name(direction);
+  }
+  std::string_view cipher_name() const { return vocab::to_name(cipher_alg); }
+  std::string_view integrity_name() const {
+    return vocab::to_name(integrity_alg);
+  }
+  std::string_view cause_name() const {
+    return vocab::to_name(establishment_cause);
+  }
 
-  /// Compact byte form of the KV row (the SDL storage format).
+  /// Appends the tag+varint wire form (terminated by an end-of-record tag),
+  /// suitable for streaming several records into one buffer.
+  void encode(ByteWriter& w) const;
+  /// Decodes one record from the reader's current position. Rejects unknown
+  /// tags and out-of-range enum values ("malformed") and inputs that end
+  /// before all required fields arrived ("truncated").
+  static Result<Record> decode(ByteReader& r);
+
+  /// Compact standalone byte form (the SDL storage / indication-row format).
   Bytes to_kv_bytes() const;
   static Result<Record> from_kv_bytes(const Bytes& wire);
 

@@ -5,7 +5,8 @@
 namespace xsec::mobiflow {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4D465431;  // "MFT1"
+// v2: compact tag+varint record encoding (v1 carried string KV pairs).
+constexpr std::uint32_t kMagic = 0x4D465432;  // "MFT2"
 }
 
 void Trace::append(const Trace& other) {
@@ -33,12 +34,7 @@ Bytes Trace::serialize() const {
   w.u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& e : entries_) {
     w.boolean(e.malicious);
-    auto kv = e.record.to_kv();
-    w.u16(static_cast<std::uint16_t>(kv.fields.size()));
-    for (const auto& [key, value] : kv.fields) {
-      w.str(key);
-      w.str(value);
-    }
+    e.record.encode(w);
   }
   return w.take();
 }
@@ -56,17 +52,9 @@ Result<Trace> Trace::deserialize(const Bytes& wire) {
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto malicious = r.boolean();
     if (!malicious) return malicious.error();
-    auto fields = r.u16();
-    if (!fields) return fields.error();
-    oran::e2sm::KvRow row;
-    for (std::uint16_t f = 0; f < fields.value(); ++f) {
-      auto key = r.str();
-      if (!key) return key.error();
-      auto value = r.str();
-      if (!value) return value.error();
-      row.add(key.value(), value.value());
-    }
-    trace.entries_.push_back({Record::from_kv(row), malicious.value()});
+    auto record = Record::decode(r);
+    if (!record) return record.error();
+    trace.entries_.push_back({std::move(record).value(), malicious.value()});
   }
   return trace;
 }

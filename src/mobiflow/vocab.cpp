@@ -1,0 +1,106 @@
+#include "mobiflow/vocab.hpp"
+
+#include "common/names.hpp"
+
+namespace xsec::mobiflow::vocab {
+
+namespace {
+
+constexpr auto kProtocolNames = make_name_table<Protocol>("?", "RRC", "NAS");
+
+constexpr auto kDirectionNames = make_name_table<Direction>("UL", "DL");
+
+constexpr auto kMsgNames = make_name_table<MsgType>(
+    "?",
+    // RRC, rrc_all_names() order
+    "RRCSetupRequest", "RRCSetupComplete", "RRCSecurityModeComplete",
+    "RRCSecurityModeFailure", "UECapabilityInformation",
+    "RRCReconfigurationComplete", "ULInformationTransfer", "MeasurementReport",
+    "RRCReestablishmentRequest", "RRCSetup", "RRCReject",
+    "RRCSecurityModeCommand", "UECapabilityEnquiry", "RRCReconfiguration",
+    "DLInformationTransfer", "RRCRelease", "Paging",
+    // NAS, nas_all_names() order
+    "RegistrationRequest", "AuthenticationResponse", "AuthenticationFailure",
+    "SecurityModeComplete", "SecurityModeReject", "IdentityResponse",
+    "RegistrationComplete", "ServiceRequest", "DeregistrationRequest",
+    "AuthenticationRequest", "AuthenticationReject", "SecurityModeCommand",
+    "IdentityRequest", "RegistrationAccept", "RegistrationReject",
+    "ServiceAccept", "ServiceReject", "DeregistrationAccept",
+    "ConfigurationUpdateCommand");
+static_assert(kMsgNames.size() == kMsgTypeCount);
+
+constexpr auto kCipherNames =
+    make_name_table<CipherAlg>("", "NEA0", "NEA1", "NEA2", "NEA3");
+static_assert(kCipherNames.size() == kCipherAlgCount);
+
+constexpr auto kIntegrityNames =
+    make_name_table<IntegrityAlg>("", "NIA0", "NIA1", "NIA2", "NIA3");
+static_assert(kIntegrityNames.size() == kIntegrityAlgCount);
+
+constexpr auto kCauseNames = make_name_table<EstablishmentCause>(
+    "", "emergency", "highPriorityAccess", "mt-Access", "mo-Signalling",
+    "mo-Data", "mo-VoiceCall", "mo-VideoCall", "mo-SMS", "mps-PriorityAccess",
+    "mcs-PriorityAccess");
+static_assert(kCauseNames.size() == kEstablishmentCauseCount);
+
+template <typename E, std::size_t N>
+Result<E> strict_parse(const NameTable<E, N>& table, std::string_view name,
+                       const char* what) {
+  if (auto found = table.find(name)) return *found;
+  return Error::make("malformed",
+                     std::string("unknown ") + what + " name: " +
+                         std::string(name));
+}
+
+}  // namespace
+
+std::string_view to_name(Protocol p) { return kProtocolNames.name(p); }
+std::string_view to_name(Direction d) { return kDirectionNames.name(d); }
+std::string_view to_name(MsgType m) { return kMsgNames.name(m); }
+std::string_view to_name(CipherAlg a) { return kCipherNames.name(a); }
+std::string_view to_name(IntegrityAlg a) { return kIntegrityNames.name(a); }
+std::string_view to_name(EstablishmentCause c) { return kCauseNames.name(c); }
+
+Result<Protocol> parse_protocol(std::string_view name) {
+  return strict_parse(kProtocolNames, name, "protocol");
+}
+Result<MsgType> parse_msg(std::string_view name) {
+  return strict_parse(kMsgNames, name, "message");
+}
+Result<Direction> parse_direction(std::string_view name) {
+  return strict_parse(kDirectionNames, name, "direction");
+}
+Result<CipherAlg> parse_cipher(std::string_view name) {
+  return strict_parse(kCipherNames, name, "cipher algorithm");
+}
+Result<IntegrityAlg> parse_integrity(std::string_view name) {
+  return strict_parse(kIntegrityNames, name, "integrity algorithm");
+}
+Result<EstablishmentCause> parse_cause(std::string_view name) {
+  return strict_parse(kCauseNames, name, "establishment cause");
+}
+
+Protocol protocol_or_unknown(std::string_view name) {
+  return kProtocolNames.find(name).value_or(Protocol::kUnknown);
+}
+MsgType msg_or_unknown(std::string_view name) {
+  return kMsgNames.find(name).value_or(MsgType::kUnknown);
+}
+CipherAlg cipher_or_none(std::string_view name) {
+  return kCipherNames.find(name).value_or(CipherAlg::kNone);
+}
+IntegrityAlg integrity_or_none(std::string_view name) {
+  return kIntegrityNames.find(name).value_or(IntegrityAlg::kNone);
+}
+EstablishmentCause cause_or_none(std::string_view name) {
+  return kCauseNames.find(name).value_or(EstablishmentCause::kNone);
+}
+
+Protocol protocol_of(MsgType m) {
+  auto v = static_cast<std::uint8_t>(m);
+  if (v >= kFirstNasMsg && v < kMsgTypeCount) return Protocol::kNas;
+  if (v >= kFirstRrcMsg) return Protocol::kRrc;
+  return Protocol::kUnknown;
+}
+
+}  // namespace xsec::mobiflow::vocab

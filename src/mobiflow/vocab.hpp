@@ -1,0 +1,190 @@
+// Telemetry vocabulary: the closed enums behind MobiFlow records.
+//
+// Every categorical field of a mobiflow::Record is a small enum here, with
+// one shared name table per enum (enum <-> std::string_view). The enums are
+// what travels on the wire (one varint each) and what the feature encoder
+// indexes by value; the names exist only at presentation boundaries (CSV,
+// summaries, LLM prompts) and at lenient text-parsing boundaries.
+//
+// Extension recipe (adding a message/cause/algorithm):
+//   1. Append the enumerator BEFORE the kCount-deriving constants change
+//      meaning — enums are dense, so append at the end of its protocol block
+//      and renumber the following block (wire compatibility is versioned via
+//      the trace-file magic, not per-enum).
+//   2. Add the name at the same position in the matching table in vocab.cpp.
+//   3. The static_asserts below and the vocab alignment tests will catch a
+//      table/enum mismatch at compile/test time.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "ran/rrc.hpp"
+#include "ran/security.hpp"
+
+namespace xsec::mobiflow::vocab {
+
+enum class Protocol : std::uint8_t { kUnknown = 0, kRrc = 1, kNas = 2 };
+
+enum class Direction : std::uint8_t { kUl = 0, kDl = 1 };
+
+/// All control-plane message types MobiFlow can report. Value 0 is the
+/// explicit unknown bucket (novel or unparseable names land there, so a
+/// never-seen message perturbs the one-hot encoding instead of zeroing it).
+/// RRC values follow ran::rrc_all_names() order, NAS values follow
+/// ran::nas_all_names() order — the agent maps variant indices directly.
+enum class MsgType : std::uint8_t {
+  kUnknown = 0,
+  // --- RRC (TS 38.331), codec order ---
+  kRrcSetupRequest = 1,
+  kRrcSetupComplete,
+  kRrcSecurityModeComplete,
+  kRrcSecurityModeFailure,
+  kUeCapabilityInformation,
+  kRrcReconfigurationComplete,
+  kUlInformationTransfer,
+  kMeasurementReport,
+  kRrcReestablishmentRequest,
+  kRrcSetup,
+  kRrcReject,
+  kRrcSecurityModeCommand,
+  kUeCapabilityEnquiry,
+  kRrcReconfiguration,
+  kDlInformationTransfer,
+  kRrcRelease,
+  kPaging,
+  // --- NAS (TS 24.501), codec order ---
+  kRegistrationRequest = 18,
+  kAuthenticationResponse,
+  kAuthenticationFailure,
+  kSecurityModeComplete,
+  kSecurityModeReject,
+  kIdentityResponse,
+  kRegistrationComplete,
+  kServiceRequest,
+  kDeregistrationRequest,
+  kAuthenticationRequest,
+  kAuthenticationReject,
+  kSecurityModeCommand,
+  kIdentityRequest,
+  kRegistrationAccept,
+  kRegistrationReject,
+  kServiceAccept,
+  kServiceReject,
+  kDeregistrationAccept,
+  kConfigurationUpdateCommand,
+};
+
+inline constexpr std::size_t kRrcMsgCount = 17;
+inline constexpr std::size_t kNasMsgCount = 19;
+inline constexpr std::uint8_t kFirstRrcMsg = 1;
+inline constexpr std::uint8_t kFirstNasMsg = kFirstRrcMsg + kRrcMsgCount;
+inline constexpr std::size_t kMsgTypeCount = 1 + kRrcMsgCount + kNasMsgCount;
+static_assert(static_cast<std::uint8_t>(MsgType::kRegistrationRequest) ==
+              kFirstNasMsg);
+static_assert(static_cast<std::size_t>(MsgType::kConfigurationUpdateCommand) ==
+              kMsgTypeCount - 1);
+
+/// Security algorithms / establishment cause carry an explicit "not yet
+/// known" zero value: a record before SecurityModeCommand has kNone, which
+/// renders as the empty string and one-hot-encodes as the unknown column.
+enum class CipherAlg : std::uint8_t {
+  kNone = 0,
+  kNea0,
+  kNea1,
+  kNea2,
+  kNea3,
+};
+enum class IntegrityAlg : std::uint8_t {
+  kNone = 0,
+  kNia0,
+  kNia1,
+  kNia2,
+  kNia3,
+};
+enum class EstablishmentCause : std::uint8_t {
+  kNone = 0,
+  kEmergency,
+  kHighPriorityAccess,
+  kMtAccess,
+  kMoSignalling,
+  kMoData,
+  kMoVoiceCall,
+  kMoVideoCall,
+  kMoSms,
+  kMpsPriorityAccess,
+  kMcsPriorityAccess,
+};
+
+inline constexpr std::size_t kCipherAlgCount = 5;
+inline constexpr std::size_t kIntegrityAlgCount = 5;
+inline constexpr std::size_t kEstablishmentCauseCount = 11;
+
+// --- names (presentation boundary) ---------------------------------------
+// kNone/kUnknown values of the optional-ish enums render as "" so the
+// "empty until security completes" CSV/summary semantics are preserved.
+
+std::string_view to_name(Protocol p);           // "?", "RRC", "NAS"
+std::string_view to_name(Direction d);          // "UL", "DL"
+std::string_view to_name(MsgType m);            // "?" for kUnknown
+std::string_view to_name(CipherAlg a);          // "" for kNone
+std::string_view to_name(IntegrityAlg a);       // "" for kNone
+std::string_view to_name(EstablishmentCause c); // "" for kNone
+
+// --- strict parses (wire / trusted-text decode) ---------------------------
+
+Result<Protocol> parse_protocol(std::string_view name);
+Result<MsgType> parse_msg(std::string_view name);
+Result<Direction> parse_direction(std::string_view name);
+Result<CipherAlg> parse_cipher(std::string_view name);
+Result<IntegrityAlg> parse_integrity(std::string_view name);
+Result<EstablishmentCause> parse_cause(std::string_view name);
+
+// --- lenient parses (untrusted text, e.g. LLM prompt round-trips) ---------
+
+Protocol protocol_or_unknown(std::string_view name);
+MsgType msg_or_unknown(std::string_view name);
+CipherAlg cipher_or_none(std::string_view name);
+IntegrityAlg integrity_or_none(std::string_view name);
+EstablishmentCause cause_or_none(std::string_view name);
+
+// --- structure ------------------------------------------------------------
+
+/// Which protocol a message type belongs to (kUnknown for kUnknown).
+Protocol protocol_of(MsgType m);
+
+/// Maps a ran::RrcMessage / ran::NasMessage variant index (codec order,
+/// matching rrc_all_names() / nas_all_names()) to its MsgType.
+constexpr MsgType msg_from_rrc_index(std::size_t variant_index) {
+  return variant_index < kRrcMsgCount
+             ? static_cast<MsgType>(kFirstRrcMsg + variant_index)
+             : MsgType::kUnknown;
+}
+constexpr MsgType msg_from_nas_index(std::size_t variant_index) {
+  return variant_index < kNasMsgCount
+             ? static_cast<MsgType>(kFirstNasMsg + variant_index)
+             : MsgType::kUnknown;
+}
+
+// --- converters from the ran-layer enums ----------------------------------
+// The ran enums have no "none" value; vocab shifts them up by one.
+
+constexpr CipherAlg from_ran(ran::CipherAlg a) {
+  return static_cast<CipherAlg>(static_cast<std::uint8_t>(a) + 1);
+}
+constexpr IntegrityAlg from_ran(ran::IntegrityAlg a) {
+  return static_cast<IntegrityAlg>(static_cast<std::uint8_t>(a) + 1);
+}
+constexpr EstablishmentCause from_ran(ran::EstablishmentCause c) {
+  return static_cast<EstablishmentCause>(static_cast<std::uint8_t>(c) + 1);
+}
+static_assert(from_ran(ran::CipherAlg::kNea0) == CipherAlg::kNea0);
+static_assert(from_ran(ran::CipherAlg::kNea3) == CipherAlg::kNea3);
+static_assert(from_ran(ran::IntegrityAlg::kNia0) == IntegrityAlg::kNia0);
+static_assert(from_ran(ran::EstablishmentCause::kEmergency) ==
+              EstablishmentCause::kEmergency);
+static_assert(from_ran(ran::EstablishmentCause::kMcsPriorityAccess) ==
+              EstablishmentCause::kMcsPriorityAccess);
+
+}  // namespace xsec::mobiflow::vocab

@@ -2,18 +2,6 @@
 
 namespace xsec::oran::e2sm {
 
-std::string KvRow::get(const std::string& key) const {
-  for (const auto& [k, v] : fields)
-    if (k == key) return v;
-  return {};
-}
-
-bool KvRow::has(const std::string& key) const {
-  for (const auto& [k, v] : fields)
-    if (k == key) return true;
-  return false;
-}
-
 Bytes encode_event_trigger(const EventTriggerDefinition& m) {
   ByteWriter w;
   w.u32(m.report_period_ms);
@@ -66,11 +54,8 @@ Bytes encode_indication_message(const IndicationMessage& m) {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(m.rows.size()));
   for (const auto& row : m.rows) {
-    w.u16(static_cast<std::uint16_t>(row.fields.size()));
-    for (const auto& [key, value] : row.fields) {
-      w.str(key);
-      w.str(value);
-    }
+    w.varint(row.size());
+    w.raw(row);
   }
   return w.take();
 }
@@ -82,17 +67,11 @@ Result<IndicationMessage> decode_indication_message(const Bytes& wire) {
   IndicationMessage m;
   m.rows.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
-    auto fields = r.u16();
-    if (!fields) return fields.error();
-    KvRow row;
-    for (std::uint16_t f = 0; f < fields.value(); ++f) {
-      auto key = r.str();
-      if (!key) return key.error();
-      auto value = r.str();
-      if (!value) return value.error();
-      row.add(key.value(), value.value());
-    }
-    m.rows.push_back(std::move(row));
+    auto len = r.varint();
+    if (!len) return len.error();
+    auto row = r.raw(len.value());
+    if (!row) return row.error();
+    m.rows.push_back(std::move(row).value());
   }
   return m;
 }

@@ -48,21 +48,13 @@ struct IndicationHeader {
   std::uint16_t cell = 0;
 };
 
-/// One telemetry row: ordered (key, value) string pairs. The MobiFlow
-/// record schema lives in src/mobiflow; the service model is agnostic.
-struct KvRow {
-  std::vector<std::pair<std::string, std::string>> fields;
-
-  void add(std::string key, std::string value) {
-    fields.emplace_back(std::move(key), std::move(value));
-  }
-  /// Returns empty string when the key is absent.
-  std::string get(const std::string& key) const;
-  bool has(const std::string& key) const;
-};
+/// One telemetry row: an opaque compact-encoded record (tag+varint form;
+/// the MobiFlow record schema lives in src/mobiflow — the service model is
+/// agnostic and only frames the blobs).
+using Row = Bytes;
 
 struct IndicationMessage {
-  std::vector<KvRow> rows;
+  std::vector<Row> rows;
 };
 
 Bytes encode_event_trigger(const EventTriggerDefinition& m);

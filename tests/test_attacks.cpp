@@ -10,6 +10,8 @@
 namespace xsec::attacks {
 namespace {
 
+using mobiflow::vocab::MsgType;
+
 /// Runs one attack with light background traffic and returns the labeled
 /// trace.
 mobiflow::Trace run_attack(Attack& attack, std::uint64_t seed = 9) {
@@ -46,8 +48,9 @@ TEST(BtsDos, FloodsIncompleteConnections) {
   int setups = 0, auth_responses = 0;
   for (const auto& entry : trace.entries()) {
     if (!entry.malicious) continue;
-    if (entry.record.msg == "RRCSetupRequest") ++setups;
-    if (entry.record.msg == "AuthenticationResponse") ++auth_responses;
+    if (entry.record.msg == MsgType::kRrcSetupRequest) ++setups;
+    if (entry.record.msg == MsgType::kAuthenticationResponse)
+      ++auth_responses;
   }
   EXPECT_GE(setups, 8);
   EXPECT_EQ(auth_responses, 0);
@@ -105,7 +108,7 @@ TEST(BlindDos, ReplaysVictimTmsiAcrossSessions) {
   // The attack chain starts from the paging broadcast the sniffer used.
   bool saw_paging = false;
   for (const auto& entry : trace.entries())
-    if (entry.record.msg == "Paging") saw_paging = true;
+    if (entry.record.msg == MsgType::kPaging) saw_paging = true;
   EXPECT_TRUE(saw_paging);
 
   // Find the replayed TMSI: presented by multiple UE contexts in uplink.
@@ -114,7 +117,7 @@ TEST(BlindDos, ReplaysVictimTmsiAcrossSessions) {
   // Authentication fails for the rogues (they lack the victim's key).
   int failures = 0;
   for (const auto& entry : trace.entries())
-    if (entry.malicious && entry.record.msg == "AuthenticationFailure")
+    if (entry.malicious && entry.record.msg == MsgType::kAuthenticationFailure)
       ++failures;
   EXPECT_GE(failures, 1);
 }
@@ -127,7 +130,7 @@ TEST(UplinkIdExtraction, DisclosesPlaintextSupiInCompliantFlow) {
   for (const auto& entry : trace.entries())
     if (entry.malicious) disclosure = &entry.record;
   ASSERT_NE(disclosure, nullptr);
-  EXPECT_EQ(disclosure->msg, "RegistrationRequest");
+  EXPECT_EQ(disclosure->msg, MsgType::kRegistrationRequest);
   EXPECT_EQ(disclosure->supi_plain, "imsi-001019970000000");
   // The message sequence around it stays standard-compliant: the victim
   // still completes registration.
@@ -144,7 +147,7 @@ TEST(DownlinkIdExtraction, ProducesOutOfOrderIdentityResponse) {
   for (const auto& entry : trace.entries())
     if (entry.malicious) disclosure = &entry.record;
   ASSERT_NE(disclosure, nullptr);
-  EXPECT_EQ(disclosure->msg, "IdentityResponse");
+  EXPECT_EQ(disclosure->msg, MsgType::kIdentityResponse);
   EXPECT_EQ(disclosure->supi_plain, "imsi-001019960000000");
 
   auto stats = llm::extract_stats(trace);
@@ -195,10 +198,11 @@ TEST(NullCipher, DowngradesSessionToNullAlgorithms) {
   ASSERT_GT(trace.malicious_count(), 0u);
   bool saw_null_smc = false;
   for (const auto& entry : trace.entries()) {
-    if (entry.record.msg == "SecurityModeCommand" &&
-        entry.record.cipher_alg == "NEA0")
+    if (entry.record.msg == MsgType::kSecurityModeCommand &&
+        entry.record.cipher_alg == mobiflow::vocab::CipherAlg::kNea0)
       saw_null_smc = true;
-    if (entry.malicious) EXPECT_EQ(entry.record.cipher_alg, "NEA0");
+    if (entry.malicious)
+      EXPECT_EQ(entry.record.cipher_alg, mobiflow::vocab::CipherAlg::kNea0);
   }
   EXPECT_TRUE(saw_null_smc);
   auto stats = llm::extract_stats(trace);

@@ -145,7 +145,8 @@ TEST(Pipeline, MultiCellPagingBroadcastsToAllCells) {
     auto raw = sdl.get("mobiflow", key);
     if (!raw) continue;
     auto record = mobiflow::Record::from_kv_bytes(*raw);
-    if (record && record.value().msg == "Paging") ++paging_records;
+    if (record && record.value().msg == mobiflow::vocab::MsgType::kPaging)
+      ++paging_records;
   }
   EXPECT_EQ(paging_records, 2u);
 }

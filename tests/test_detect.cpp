@@ -5,18 +5,22 @@
 #include "detect/features.hpp"
 #include "detect/mobiwatch.hpp"
 #include "detect/scorer.hpp"
+#include "oran/e2sm.hpp"
 #include "oran/ric.hpp"
 
 namespace xsec::detect {
 namespace {
 
+namespace vocab = mobiflow::vocab;
+
 mobiflow::Record make_record(const std::string& proto, const std::string& msg,
                              const std::string& dir, std::uint16_t rnti,
                              std::int64_t ts = 0, std::uint64_t ue = 1) {
   mobiflow::Record r;
-  r.protocol = proto;
-  r.msg = msg;
-  r.direction = dir;
+  r.protocol = vocab::protocol_or_unknown(proto);
+  r.msg = vocab::msg_or_unknown(msg);
+  r.direction =
+      dir == "DL" ? vocab::Direction::kDl : vocab::Direction::kUl;
   r.rnti = rnti;
   r.timestamp_us = ts;
   r.ue_id = ue;
@@ -66,10 +70,19 @@ TEST(Features, UnknownMessageUsesUnknownSlot) {
   EncodeContext ctx;
   auto v = encoder.encode(make_record("RRC", "NotAMessage", "DL", 1), ctx);
   bool unknown_hot = false;
-  for (std::size_t i = 0; i < v.size(); ++i)
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum += v[i];
     if (v[i] == 1.0f && encoder.feature_name(i) == "msg=unknown")
       unknown_hot = true;
+  }
   EXPECT_TRUE(unknown_hot);
+  // A novel name perturbs the vector (explicit unknown column) rather than
+  // zeroing the whole message block.
+  EXPECT_GT(sum, 0.0f);
+  EncodeContext ctx2;
+  auto known = encoder.encode(make_record("RRC", "Paging", "DL", 1), ctx2);
+  EXPECT_NE(v, known);
 }
 
 std::size_t feature_index(const FeatureEncoder& encoder,
@@ -114,6 +127,44 @@ TEST(Features, TmsiReplayFiresOnlyForConcurrentOwners) {
   EXPECT_EQ(encoder.encode(c, ctx)[replay], 1.0f);
 }
 
+// Release must clean up BOTH ownership maps: the owners set of the held
+// TMSI and the UE's held-TMSI entry. Sequential GUTI reuse across a chain
+// of released contexts must never trip the Blind-DoS replay indicator.
+TEST(Features, ReleaseErasesTmsiOwnershipState) {
+  FeatureEncoder encoder;
+  EncodeContext ctx;
+  std::size_t replay = feature_index(encoder, "id.tmsi_replayed_other_ue");
+
+  mobiflow::Record a = make_record("RRC", "RRCSetupRequest", "UL", 1, 0, 1);
+  a.s_tmsi = 42;
+  encoder.encode(a, ctx);
+  ASSERT_EQ(ctx.tmsi_owners.at(42).count(1), 1u);
+  ASSERT_EQ(ctx.ue_tmsi.at(1), 42u);
+
+  // The release record itself need not carry the TMSI; cleanup is keyed on
+  // the UE's held identifier.
+  encoder.encode(make_record("RRC", "RRCRelease", "DL", 1, 1, 1), ctx);
+  EXPECT_TRUE(ctx.tmsi_owners.at(42).empty());
+  EXPECT_EQ(ctx.ue_tmsi.count(1), 0u);
+
+  // The network hands the same GUTI to a chain of successive UEs; each
+  // lifetime is disjoint, so no presentation counts as a replay.
+  for (std::uint64_t ue = 2; ue <= 4; ++ue) {
+    mobiflow::Record reuse =
+        make_record("RRC", "RRCSetupRequest", "UL",
+                    static_cast<std::uint16_t>(ue),
+                    static_cast<std::int64_t>(ue) * 10, ue);
+    reuse.s_tmsi = 42;
+    EXPECT_EQ(encoder.encode(reuse, ctx)[replay], 0.0f) << "ue " << ue;
+    encoder.encode(make_record("RRC", "RRCRelease", "DL",
+                               static_cast<std::uint16_t>(ue),
+                               static_cast<std::int64_t>(ue) * 10 + 5, ue),
+                   ctx);
+  }
+  // A release for a UE that never held a TMSI is a no-op, not a crash.
+  encoder.encode(make_record("RRC", "RRCRelease", "DL", 99, 100, 99), ctx);
+}
+
 TEST(Features, PlaintextIdentityFlags) {
   FeatureEncoder encoder;
   EncodeContext ctx;
@@ -134,7 +185,7 @@ TEST(Features, ReleaseIncompleteFlag) {
   EXPECT_EQ(bad[idx], 1.0f);
   // Normal release carries both.
   mobiflow::Record good = make_record("RRC", "RRCRelease", "DL", 2);
-  good.cipher_alg = "NEA2";
+  good.cipher_alg = vocab::CipherAlg::kNea2;
   good.s_tmsi = 7;
   EXPECT_EQ(encoder.encode(good, ctx)[idx], 0.0f);
 }
@@ -143,8 +194,8 @@ TEST(Features, NullCipherStateOneHot) {
   FeatureEncoder encoder;
   EncodeContext ctx;
   mobiflow::Record r = make_record("NAS", "SecurityModeCommand", "DL", 1);
-  r.cipher_alg = "NEA0";
-  r.integrity_alg = "NIA0";
+  r.cipher_alg = vocab::CipherAlg::kNea0;
+  r.integrity_alg = vocab::IntegrityAlg::kNia0;
   auto v = encoder.encode(r, ctx);
   EXPECT_EQ(v[feature_index(encoder, "state.cipher=NEA0")], 1.0f);
   EXPECT_EQ(v[feature_index(encoder, "state.integrity=NIA0")], 1.0f);
@@ -196,6 +247,30 @@ TEST(Features, PendingAuthTracksChallengeLifecycle) {
       make_record("NAS", "AuthenticationRequest", "DL", 2, 2, 2), ctx);
   EXPECT_EQ(next[pending1], 1.0f);  // only UE 2 outstanding now
   EXPECT_EQ(next[pending0], 0.0f);
+}
+
+// encode_batch writes the same rows one encode_into would, sharing one
+// running context across the whole span.
+TEST(Features, EncodeBatchMatchesSequentialEncode) {
+  FeatureEncoder encoder;
+  std::vector<mobiflow::Record> records;
+  for (int i = 0; i < 6; ++i) {
+    mobiflow::Record r = make_record(
+        i % 2 ? "NAS" : "RRC", i % 2 ? "RegistrationRequest" : "RRCSetupRequest",
+        "UL", static_cast<std::uint16_t>(i + 1), i * 1000, i + 1);
+    r.s_tmsi = i % 3 == 0 ? 42 : 0;
+    records.push_back(r);
+  }
+  dl::Matrix batch(records.size(), encoder.dim());
+  EncodeContext batch_ctx;
+  encoder.encode_batch(records, batch_ctx, batch);
+
+  EncodeContext seq_ctx;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto row = encoder.encode(records[i], seq_ctx);
+    for (std::size_t c = 0; c < encoder.dim(); ++c)
+      EXPECT_EQ(batch.at(i, c), row[c]) << "row " << i << " col " << c;
+  }
 }
 
 // --- WindowDataset -------------------------------------------------------
@@ -323,9 +398,15 @@ TEST(Detectors, ScoreWindowMatchesBatchScore) {
   AutoencoderDetector detector(5, encoder.dim(), config);
   detector.fit(benign);
   auto batch = detector.score(benign);
-  // Rebuild window 0 rows manually.
-  std::vector<std::vector<float>> rows(benign.features().begin(),
-                                       benign.features().begin() + 5);
+  // Score window 0 straight off the contiguous feature matrix rows.
+  EXPECT_NEAR(detector.score_window(benign.features().row(0), 5), batch[0],
+              1e-6);
+  // The allocating convenience overload agrees.
+  std::vector<std::vector<float>> rows;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const float* p = benign.features().row(i);
+    rows.emplace_back(p, p + encoder.dim());
+  }
   EXPECT_NEAR(detector.score_window(rows), batch[0], 1e-6);
 }
 
@@ -363,7 +444,8 @@ class ScriptedDetector : public AnomalyDetector {
   std::vector<bool> labels(const WindowDataset& data) const override {
     return data.ae_labels();
   }
-  double score_window(const std::vector<std::vector<float>>&) override {
+  using AnomalyDetector::score_window;
+  double score_window(const float*, std::size_t) override {
     double s = scores_[std::min(next_, scores_.size() - 1)];
     ++next_;
     return s;
@@ -399,7 +481,7 @@ struct MobiWatchHarness {
       message.rows.push_back(
           make_record("RRC", "MeasurementReport", "UL", 1,
                       static_cast<std::int64_t>(fed_) * 1000)
-              .to_kv());
+              .to_kv_bytes());
       indication.message = encode_indication_message(message);
       xapp->on_indication(1, indication);
       ++fed_;

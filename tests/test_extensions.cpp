@@ -15,6 +15,8 @@
 namespace xsec {
 namespace {
 
+namespace vocab = mobiflow::vocab;
+
 // --- Event extraction ------------------------------------------------------
 
 TEST(Events, ExtractsMaximalRuns) {
@@ -123,9 +125,9 @@ TEST(Ensemble, DetectsInjectedIdentifierAnomaly) {
                             "AuthenticationResponse", "RegistrationAccept",
                             "RRCRelease"}) {
       mobiflow::Record r;
-      r.protocol = (msg[0] == 'R' && msg[1] == 'R') ? "RRC" : "NAS";
-      r.msg = msg;
-      r.direction = "UL";
+      r.msg = vocab::msg_or_unknown(msg);
+      r.protocol = vocab::protocol_of(r.msg);
+      r.direction = vocab::Direction::kUl;
       r.rnti = static_cast<std::uint16_t>(100 + s);
       r.ue_id = static_cast<std::uint64_t>(s + 1);
       r.timestamp_us = (t += 2500);
@@ -145,13 +147,16 @@ TEST(Ensemble, DetectsInjectedIdentifierAnomaly) {
 
   // A window with a plaintext-SUPI record must alarm, and the identifier
   // member should dominate.
-  std::vector<std::vector<float>> rows(dataset.features().begin(),
-                                       dataset.features().begin() + 5);
+  std::vector<std::vector<float>> rows;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const float* p = dataset.features().row(i);
+    rows.emplace_back(p, p + encoder.dim());
+  }
   double benign_score = detector.score_window(rows);
   mobiflow::Record evil;
-  evil.protocol = "NAS";
-  evil.msg = "RegistrationRequest";
-  evil.direction = "UL";
+  evil.protocol = vocab::Protocol::kNas;
+  evil.msg = vocab::MsgType::kRegistrationRequest;
+  evil.direction = vocab::Direction::kUl;
   evil.rnti = 0x666;
   evil.supi_plain = "imsi-001019999999999";
   evil.timestamp_us = t + 1000;
@@ -246,9 +251,9 @@ TEST(TmsiBlocklist, BlocksReplayedSetupButNotOthers) {
 
 TEST(RecordKvBytes, RoundTrip) {
   mobiflow::Record r;
-  r.protocol = "NAS";
-  r.msg = "RegistrationRequest";
-  r.direction = "UL";
+  r.protocol = vocab::Protocol::kNas;
+  r.msg = vocab::MsgType::kRegistrationRequest;
+  r.direction = vocab::Direction::kUl;
   r.rnti = 0x77;
   r.s_tmsi = 42;
   r.supi_plain = "imsi-001010000000042";
@@ -338,9 +343,10 @@ TEST(ExpertPaging, BenignPagingProducesNoEvidence) {
                       std::uint64_t ue, std::int64_t t,
                       std::uint64_t tmsi = 0) {
     mobiflow::Record r;
-    r.protocol = proto;
-    r.msg = msg;
-    r.direction = dir;
+    r.protocol = vocab::protocol_or_unknown(proto);
+    r.msg = vocab::msg_or_unknown(msg);
+    r.direction = std::string_view(dir) == "DL" ? vocab::Direction::kDl
+                                                : vocab::Direction::kUl;
     r.ue_id = ue;
     r.rnti = static_cast<std::uint16_t>(0x100 + ue);
     r.timestamp_us = t;

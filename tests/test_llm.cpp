@@ -13,13 +13,16 @@
 namespace xsec::llm {
 namespace {
 
+namespace vocab = mobiflow::vocab;
+
 mobiflow::Record rec(const std::string& proto, const std::string& msg,
                      const std::string& dir, std::uint16_t rnti,
                      std::uint64_t ue, std::int64_t ts) {
   mobiflow::Record r;
-  r.protocol = proto;
-  r.msg = msg;
-  r.direction = dir;
+  r.protocol = vocab::protocol_or_unknown(proto);
+  r.msg = vocab::msg_or_unknown(msg);
+  r.direction =
+      dir == "DL" ? vocab::Direction::kDl : vocab::Direction::kUl;
   r.rnti = rnti;
   r.ue_id = ue;
   r.timestamp_us = ts;
@@ -41,8 +44,8 @@ mobiflow::Trace benign_trace() {
   t.add(rec("NAS", "AuthenticationRequest", "DL", rnti, 1, ts += 2000));
   t.add(rec("NAS", "AuthenticationResponse", "UL", rnti, 1, ts += 2000));
   auto smc = rec("NAS", "SecurityModeCommand", "DL", rnti, 1, ts += 2000);
-  smc.cipher_alg = "NEA2";
-  smc.integrity_alg = "NIA2";
+  smc.cipher_alg = vocab::CipherAlg::kNea2;
+  smc.integrity_alg = vocab::IntegrityAlg::kNia2;
   t.add(smc);
   t.add(rec("NAS", "RegistrationAccept", "DL", rnti, 1, ts += 2000));
   return t;
@@ -87,7 +90,7 @@ mobiflow::Trace uplink_extraction_trace() {
   // stays standard-compliant.
   mobiflow::Trace out;
   for (auto entry : t.entries()) {
-    if (entry.record.msg == "RegistrationRequest") {
+    if (entry.record.msg == vocab::MsgType::kRegistrationRequest) {
       entry.record.suci = "suci-001-01-0-00000002537b1f00";
       entry.record.supi_plain = "imsi-001019970000000";
     }
@@ -118,9 +121,9 @@ mobiflow::Trace null_cipher_trace() {
   mobiflow::Trace t = benign_trace();
   mobiflow::Trace out;
   for (auto entry : t.entries()) {
-    if (entry.record.msg == "SecurityModeCommand") {
-      entry.record.cipher_alg = "NEA0";
-      entry.record.integrity_alg = "NIA0";
+    if (entry.record.msg == vocab::MsgType::kSecurityModeCommand) {
+      entry.record.cipher_alg = vocab::CipherAlg::kNea0;
+      entry.record.integrity_alg = vocab::IntegrityAlg::kNia0;
     }
     out.add(entry.record, entry.malicious);
   }
@@ -160,9 +163,9 @@ TEST(Prompt, RecordLineRoundTrip) {
   r.s_tmsi = 0xCAFE;
   r.suci = "suci-001-01-1-abc";
   r.supi_plain = "imsi-001012089900001";
-  r.cipher_alg = "NEA2";
-  r.integrity_alg = "NIA2";
-  r.establishment_cause = "mo-Data";
+  r.cipher_alg = vocab::CipherAlg::kNea2;
+  r.integrity_alg = vocab::IntegrityAlg::kNia2;
+  r.establishment_cause = vocab::EstablishmentCause::kMoData;
   auto parsed = parse_record_line(render_record_line(r));
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value(), r);
@@ -200,8 +203,10 @@ TEST(Prompt, ExtractIncludesContextBeforeWindow) {
   auto extracted = extract_trace_from_prompt(tmpl.build(report));
   ASSERT_TRUE(extracted.ok());
   ASSERT_EQ(extracted.value().size(), 2u);
-  EXPECT_EQ(extracted.value().entries()[0].record.msg, "RRCSetup");
-  EXPECT_EQ(extracted.value().entries()[1].record.msg, "RRCRelease");
+  EXPECT_EQ(extracted.value().entries()[0].record.msg,
+            vocab::MsgType::kRrcSetup);
+  EXPECT_EQ(extracted.value().entries()[1].record.msg,
+            vocab::MsgType::kRrcRelease);
 }
 
 TEST(Prompt, ExtractFailsWithoutData) {
@@ -504,9 +509,9 @@ TEST(AnalyzerXapp, DeferredAnalysisWaitsForTrailingTelemetry) {
   // Seed the telemetry stream so deferral engages.
   auto put_record = [&ric](std::uint64_t seq) {
     mobiflow::Record r;
-    r.protocol = "RRC";
-    r.msg = "MeasurementReport";
-    r.direction = "UL";
+    r.protocol = vocab::Protocol::kRrc;
+    r.msg = vocab::MsgType::kMeasurementReport;
+    r.direction = vocab::Direction::kUl;
     r.rnti = 1;
     r.timestamp_us = static_cast<std::int64_t>(seq);
     ric.sdl().set("mobiflow", oran::Sdl::seq_key(seq), r.to_kv_bytes());
@@ -541,9 +546,9 @@ TEST(AnalyzerXapp, FlushPendingDrainsAtStreamEnd) {
       std::make_unique<LlmAnalyzerXapp>(config,
                                         std::make_shared<SimLlmClient>())));
   mobiflow::Record r;
-  r.protocol = "RRC";
-  r.msg = "MeasurementReport";
-  r.direction = "UL";
+  r.protocol = vocab::Protocol::kRrc;
+  r.msg = vocab::MsgType::kMeasurementReport;
+  r.direction = vocab::Direction::kUl;
   ric.sdl().set("mobiflow", oran::Sdl::seq_key(1), r.to_kv_bytes());
 
   oran::RoutedMessage msg;

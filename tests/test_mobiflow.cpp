@@ -20,12 +20,12 @@ Record sample_record() {
   r.gnb_id = 1;
   r.cell = 2;
   r.ue_id = 7;
-  r.protocol = "RRC";
-  r.msg = "RRCSetupRequest";
-  r.direction = "UL";
+  r.protocol = vocab::Protocol::kRrc;
+  r.msg = vocab::MsgType::kRrcSetupRequest;
+  r.direction = vocab::Direction::kUl;
   r.rnti = 0x5F1A;
   r.s_tmsi = 0xCAFEBABEULL;
-  r.establishment_cause = "mo-Signalling";
+  r.establishment_cause = vocab::EstablishmentCause::kMoSignalling;
   return r;
 }
 
@@ -33,17 +33,24 @@ TEST(Record, KvRoundTrip) {
   Record r = sample_record();
   r.supi_plain = "imsi-001012089900001";
   r.suci = "suci-001-01-1-abc";
-  r.cipher_alg = "NEA2";
-  r.integrity_alg = "NIA2";
-  EXPECT_EQ(Record::from_kv(r.to_kv()), r);
+  r.cipher_alg = vocab::CipherAlg::kNea2;
+  r.integrity_alg = vocab::IntegrityAlg::kNia2;
+  auto back = Record::from_kv_bytes(r.to_kv_bytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), r);
 }
 
 TEST(Record, EmptyOptionalFieldsOmittedFromKv) {
   Record r = sample_record();
-  auto kv = r.to_kv();
-  EXPECT_FALSE(kv.has("supi"));
-  EXPECT_FALSE(kv.has("cipher_alg"));
-  EXPECT_EQ(Record::from_kv(kv), r);
+  Bytes lean = r.to_kv_bytes();
+  Record with_ids = r;
+  with_ids.supi_plain = "imsi-001012089900001";
+  with_ids.suci = "suci-001-01-1-abc";
+  // The optional identity strings cost wire bytes only when present.
+  EXPECT_LT(lean.size(), with_ids.to_kv_bytes().size());
+  auto back = Record::from_kv_bytes(lean);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), r);
 }
 
 TEST(Record, SummaryMentionsKeyFields) {
@@ -61,6 +68,35 @@ TEST(Record, CsvRowFieldCountMatchesHeader) {
   };
   EXPECT_EQ(count_commas(record_csv_header()),
             count_commas(record_csv_row(sample_record())));
+}
+
+// --- Vocab -------------------------------------------------------------
+
+// The agent maps ran codec variant indices straight to MsgType values, so
+// the vocab name table must track rrc_all_names()/nas_all_names() exactly.
+TEST(Vocab, AlignsWithRanCodecNameTables) {
+  const auto& rrc = ran::rrc_all_names();
+  ASSERT_EQ(rrc.size(), vocab::kRrcMsgCount);
+  for (std::size_t i = 0; i < rrc.size(); ++i)
+    EXPECT_EQ(vocab::to_name(vocab::msg_from_rrc_index(i)), rrc[i]);
+  const auto& nas = ran::nas_all_names();
+  ASSERT_EQ(nas.size(), vocab::kNasMsgCount);
+  for (std::size_t i = 0; i < nas.size(); ++i)
+    EXPECT_EQ(vocab::to_name(vocab::msg_from_nas_index(i)), nas[i]);
+}
+
+TEST(Vocab, StrictParseRejectsWhatLenientBuckets) {
+  EXPECT_FALSE(vocab::parse_msg("NotAMessage").ok());
+  EXPECT_EQ(vocab::msg_or_unknown("NotAMessage"), vocab::MsgType::kUnknown);
+  auto parsed = vocab::parse_msg("RRCSetupRequest");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), vocab::MsgType::kRrcSetupRequest);
+  EXPECT_EQ(vocab::protocol_of(vocab::MsgType::kRrcSetupRequest),
+            vocab::Protocol::kRrc);
+  EXPECT_EQ(vocab::protocol_of(vocab::MsgType::kRegistrationRequest),
+            vocab::Protocol::kNas);
+  EXPECT_EQ(vocab::protocol_of(vocab::MsgType::kUnknown),
+            vocab::Protocol::kUnknown);
 }
 
 // --- Trace -----------------------------------------------------------
@@ -196,11 +232,14 @@ TEST_F(AgentFixture, ParsesRrcFromF1ap) {
   setup.cause = ran::EstablishmentCause::kMoData;
   feed_f1(ran::RrcMessage{setup}, 5, 0xABCD);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].msg, "RRCSetupRequest");
-  EXPECT_EQ(records[0].protocol, "RRC");
-  EXPECT_EQ(records[0].direction, "UL");
+  EXPECT_EQ(records[0].msg, vocab::MsgType::kRrcSetupRequest);
+  EXPECT_EQ(records[0].protocol, vocab::Protocol::kRrc);
+  EXPECT_EQ(records[0].direction, vocab::Direction::kUl);
+  EXPECT_EQ(records[0].msg_name(), "RRCSetupRequest");
   EXPECT_EQ(records[0].rnti, 0xABCD);
-  EXPECT_EQ(records[0].establishment_cause, "mo-Data");
+  EXPECT_EQ(records[0].establishment_cause,
+            vocab::EstablishmentCause::kMoData);
+  EXPECT_EQ(records[0].cause_name(), "mo-Data");
   EXPECT_EQ(records[0].timestamp_us, 1000);
   EXPECT_EQ(agent->records_collected(), 1u);
 }
@@ -211,8 +250,8 @@ TEST_F(AgentFixture, ParsesNasFromNgap) {
   reg.identity = ran::MobileIdentity::from_suci(ran::make_suci(supi, 1));
   feed_ng(ran::NasMessage{reg}, 5);
   ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0].protocol, "NAS");
-  EXPECT_EQ(records[0].msg, "RegistrationRequest");
+  EXPECT_EQ(records[0].protocol, vocab::Protocol::kNas);
+  EXPECT_EQ(records[0].msg, vocab::MsgType::kRegistrationRequest);
   EXPECT_FALSE(records[0].suci.empty());
   EXPECT_TRUE(records[0].supi_plain.empty());  // protected SUCI
 }
@@ -234,10 +273,11 @@ TEST_F(AgentFixture, TracksSecurityStateAcrossMessages) {
   feed_ng(ran::NasMessage{smc}, 3);
   feed_ng(ran::NasMessage{ran::RegistrationComplete{}}, 3);
   ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0].cipher_alg, "NEA0");
+  EXPECT_EQ(records[0].cipher_alg, vocab::CipherAlg::kNea0);
   // The state persists onto later records of the same UE.
-  EXPECT_EQ(records[1].cipher_alg, "NEA0");
-  EXPECT_EQ(records[1].integrity_alg, "NIA0");
+  EXPECT_EQ(records[1].cipher_alg, vocab::CipherAlg::kNea0);
+  EXPECT_EQ(records[1].integrity_alg, vocab::IntegrityAlg::kNia0);
+  EXPECT_EQ(records[1].cipher_name(), "NEA0");
 }
 
 TEST_F(AgentFixture, TracksTmsiFromRegistrationAccept) {
@@ -288,7 +328,9 @@ TEST_F(AgentFixture, SubscriptionEnablesBufferedReporting) {
       oran::e2sm::decode_indication_message(indication.value().message);
   ASSERT_TRUE(message.ok());
   ASSERT_EQ(message.value().rows.size(), 2u);
-  EXPECT_EQ(message.value().rows[0].get("msg"), "RRCSetupRequest");
+  auto first = Record::from_kv_bytes(message.value().rows[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().msg, vocab::MsgType::kRrcSetupRequest);
 }
 
 TEST_F(AgentFixture, PeriodicFlushViaTimer) {
@@ -399,7 +441,7 @@ TEST(AgentLive, CollectsFullSessionTelemetry) {
 
   // The attach flow produces the canonical message sequence.
   std::vector<std::string> msgs;
-  for (const auto& r : records) msgs.push_back(r.msg);
+  for (const auto& r : records) msgs.push_back(std::string(r.msg_name()));
   auto has = [&](const std::string& name) {
     return std::find(msgs.begin(), msgs.end(), name) != msgs.end();
   };

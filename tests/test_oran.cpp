@@ -104,20 +104,17 @@ TEST(E2sm, TriggerAndActionRoundTrip) {
 }
 
 TEST(E2sm, IndicationMessageRoundTrip) {
+  // Rows are opaque byte strings to the service model; the indication
+  // codec must preserve them exactly, including empty rows.
   e2sm::IndicationMessage message;
-  e2sm::KvRow row;
-  row.add("msg", "RRCSetupRequest");
-  row.add("rnti", "24143");
-  message.rows.push_back(row);
-  message.rows.push_back(e2sm::KvRow{});
+  message.rows.push_back(Bytes{1, 2, 3, 0xFF, 0});
+  message.rows.push_back(Bytes{});
   auto decoded = e2sm::decode_indication_message(
       e2sm::encode_indication_message(message));
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded.value().rows.size(), 2u);
-  EXPECT_EQ(decoded.value().rows[0].get("msg"), "RRCSetupRequest");
-  EXPECT_TRUE(decoded.value().rows[0].has("rnti"));
-  EXPECT_FALSE(decoded.value().rows[0].has("nope"));
-  EXPECT_EQ(decoded.value().rows[0].get("nope"), "");
+  EXPECT_EQ(decoded.value().rows[0], (Bytes{1, 2, 3, 0xFF, 0}));
+  EXPECT_TRUE(decoded.value().rows[1].empty());
 }
 
 TEST(E2sm, IndicationHeaderRoundTrip) {
