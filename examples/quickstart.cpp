@@ -42,6 +42,9 @@ int main() {
   core::PipelineConfig pipeline_config;
   pipeline_config.analyzer.model = "ChatGPT-4o";
   pipeline_config.analyzer.auto_remediate = true;
+  // A mildly lossy E2 transport: a couple of indications get dropped and
+  // NACK-recovered along the way, visible in the counters printed below.
+  pipeline_config.fault_plan.drop_probability = 0.02;
   core::Pipeline pipeline(pipeline_config);
   pipeline.install_detector(detector,
                             detect::FeatureEncoder(eval_config.features));
@@ -72,6 +75,7 @@ int main() {
             << pipeline.analyzer().incidents_analyzed() << "\n";
   std::cout << "      remediations issued:         "
             << pipeline.analyzer().remediations_issued() << "\n\n";
+  std::cout << pipeline.stats().to_text() << "\n";
 
   // Show the first incident the LLM CONFIRMED (false alarms it contradicts
   // land in the human-review queue instead — the paper's cross-comparison).

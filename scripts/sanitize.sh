@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the full test suite — including the chaos tests and their fixed-seed
+# fault sweeps — under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# This is the satellite job ROADMAP.md's robustness item calls for: every
+# recovery path (reconnect, retransmission, gap handling) executes with
+# memory and UB checking enabled, so a fault-injection bug that only
+# corrupts memory without failing an assertion still fails the build.
+#
+# Usage: scripts/sanitize.sh [extra ctest args...]
+#   e.g. scripts/sanitize.sh -R Chaos        # only the chaos suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -eq 0 ]]; then
+  exec cmake --workflow --preset sanitize
+fi
+
+# Extra ctest args requested: run the steps individually so the args can be
+# appended to the test step.
+cmake --preset sanitize
+cmake --build --preset sanitize -j
+ctest --preset sanitize "$@"

@@ -8,20 +8,19 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   testbed_ = std::make_unique<sim::Testbed>(config_.testbed);
   ric_ = std::make_unique<oran::NearRtRic>();
 
-  // One RIC agent (E2 node) per cell site.
+  // One RIC agent (E2 node) per cell site, each behind its own
+  // fault-injected transport. The hooks reach the transport through an
+  // index because the agent is constructed first (the transport wraps it).
   for (std::size_t site = 0; site < testbed_->cell_count(); ++site) {
     mobiflow::AgentHooks hooks;
     hooks.now = [this] { return testbed_->now(); };
     hooks.schedule = [this](SimDuration d, std::function<void()> fn) {
       testbed_->queue().schedule_after(d, std::move(fn));
     };
-    hooks.to_ric = [this](std::uint64_t node_id, Bytes wire) {
-      // E2 messages cross the RIC's transport with a small delay.
-      testbed_->queue().schedule_after(
-          SimDuration::from_ms(1), [this, node_id, w = std::move(wire)] {
-            ric_->from_node(node_id, w);
-          });
+    hooks.to_ric = [this, site](std::uint64_t node_id, Bytes wire) {
+      transports_[site]->to_ric(node_id, std::move(wire));
     };
+    hooks.try_connect = [this, site] { return transports_[site]->connect(); };
     hooks.apply_control = [this, site](const mobiflow::ControlCommand& cmd) {
       ran::Gnb& gnb = testbed_->gnb(site);
       switch (cmd.action) {
@@ -39,10 +38,28 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     auto agent = std::make_unique<mobiflow::RicAgent>(
         config_.e2_node_id + site, std::move(hooks));
     agent->attach(testbed_->taps(site));
-    std::uint64_t node_id = ric_->connect_node(agent.get());
-    if (node_id == 0)
-      XSEC_LOG_ERROR("pipeline", "E2 setup failed for agent of cell ", site);
-    node_ids_.push_back(node_id);
+
+    oran::FaultPlan plan = config_.fault_plan;
+    plan.seed = config_.fault_plan.seed + site;  // independent fault streams
+    oran::TransportHooks transport_hooks;
+    transport_hooks.now = [this] { return testbed_->now(); };
+    transport_hooks.schedule = [this](SimDuration d,
+                                      std::function<void()> fn) {
+      testbed_->queue().schedule_after(d, std::move(fn));
+    };
+    auto transport = std::make_unique<oran::FaultyE2Transport>(
+        ric_.get(), agent.get(), plan, std::move(transport_hooks));
+    transport->arm_epochs();
+    transports_.push_back(std::move(transport));
+
+    auto connected = transports_[site]->connect();
+    if (!connected) {
+      XSEC_LOG_ERROR("pipeline", "E2 setup failed for agent of cell ", site,
+                     ": ", connected.error().message);
+      node_ids_.push_back(0);
+    } else {
+      node_ids_.push_back(connected.value());
+    }
     agents_.push_back(std::move(agent));
   }
 
@@ -52,10 +69,94 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
 
   if (!config_.llm_client)
     config_.llm_client = std::make_shared<llm::SimLlmClient>();
+  auto resilient = std::make_shared<llm::ResilientLlmClient>(
+      config_.llm_client, config_.llm_resilience);
+  resilient_llm_ = resilient.get();
   auto analyzer = std::make_unique<llm::LlmAnalyzerXapp>(config_.analyzer,
-                                                         config_.llm_client);
+                                                         std::move(resilient));
   analyzer_ = analyzer.get();
   ric_->register_xapp(std::move(analyzer));
+}
+
+PipelineStats Pipeline::stats() const {
+  PipelineStats s;
+  for (const auto& transport : transports_) {
+    const auto& c = transport->counters();
+    s.frames_sent += c.frames_sent;
+    s.frames_delivered += c.frames_delivered;
+    s.frames_dropped += c.frames_dropped;
+    s.frames_duplicated += c.frames_duplicated;
+    s.frames_reordered += c.frames_reordered;
+    s.link_down_drops += c.link_down_drops;
+    s.link_down_events += c.link_down_events;
+  }
+  for (const auto& agent : agents_) {
+    s.records_collected += agent->records_collected();
+    s.indications_sent += agent->indications_sent();
+    s.indications_retransmitted += agent->indications_retransmitted();
+    s.agent_reconnects += agent->reconnects();
+    s.reconnect_attempts += agent->reconnect_attempts();
+    s.records_dropped_outage += agent->records_dropped_outage();
+  }
+  s.indications_received = ric_->indications_received();
+  s.duplicates_suppressed = ric_->duplicates_suppressed();
+  s.indications_recovered = ric_->indications_recovered();
+  s.gaps_detected = ric_->gaps_detected();
+  s.nacks_sent = ric_->nacks_sent();
+  s.node_reconnects = ric_->node_reconnects();
+  s.stale_subscriptions_cleared = ric_->stale_subscriptions_cleared();
+  s.records_seen = mobiwatch_->records_seen();
+  s.windows_scored = mobiwatch_->windows_scored();
+  s.anomalies_flagged = mobiwatch_->anomalies_flagged();
+  s.gaps_observed = mobiwatch_->gaps_observed();
+  s.incidents_analyzed = analyzer_->incidents_analyzed();
+  s.llm_retries = resilient_llm_->retries();
+  s.llm_breaker_trips = resilient_llm_->breaker_trips();
+  s.llm_deferrals = analyzer_->llm_deferrals();
+  s.incidents_dropped = analyzer_->incidents_dropped();
+  return s;
+}
+
+std::string PipelineStats::to_text() const {
+  auto line = [](const char* label, std::size_t value) {
+    return std::string("  ") + label + ": " + std::to_string(value) + "\n";
+  };
+  std::string out = "=== Pipeline robustness counters ===\n";
+  out += "E2 transport:\n";
+  out += line("frames sent", frames_sent);
+  out += line("frames delivered", frames_delivered);
+  out += line("frames dropped", frames_dropped);
+  out += line("frames duplicated", frames_duplicated);
+  out += line("frames reordered", frames_reordered);
+  out += line("frames lost to link-down", link_down_drops);
+  out += line("link-down events", link_down_events);
+  out += "RIC agents:\n";
+  out += line("records collected", records_collected);
+  out += line("indications sent", indications_sent);
+  out += line("indications retransmitted", indications_retransmitted);
+  out += line("reconnects", agent_reconnects);
+  out += line("reconnect attempts", reconnect_attempts);
+  out += line("records dropped in outage", records_dropped_outage);
+  out += "near-RT RIC:\n";
+  out += line("indications received", indications_received);
+  out += line("duplicates suppressed", duplicates_suppressed);
+  out += line("indications recovered", indications_recovered);
+  out += line("gaps declared", gaps_detected);
+  out += line("NACKs sent", nacks_sent);
+  out += line("node reconnects", node_reconnects);
+  out += line("stale subscriptions cleared", stale_subscriptions_cleared);
+  out += "MobiWatch:\n";
+  out += line("records seen", records_seen);
+  out += line("windows scored", windows_scored);
+  out += line("incidents flagged", anomalies_flagged);
+  out += line("telemetry gaps observed", gaps_observed);
+  out += "LLM analyzer:\n";
+  out += line("incidents analyzed", incidents_analyzed);
+  out += line("LLM retries", llm_retries);
+  out += line("LLM breaker trips", llm_breaker_trips);
+  out += line("incidents deferred", llm_deferrals);
+  out += line("incidents dropped", incidents_dropped);
+  return out;
 }
 
 }  // namespace xsec::core

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "detect/mobiwatch.hpp"
 #include "llm/analyzer_xapp.hpp"
 #include "mobiflow/agent.hpp"
 #include "oran/ric.hpp"
+#include "oran/transport.hpp"
 #include "sim/testbed.hpp"
 
 namespace xsec::core {
@@ -24,8 +26,58 @@ struct PipelineConfig {
   /// E2 node id of the first cell's agent; additional cells get
   /// consecutive ids.
   std::uint64_t e2_node_id = 1001;
-  /// LLM client; defaults to the offline SimLlmClient.
+  /// LLM client; defaults to the offline SimLlmClient. Always wrapped in a
+  /// ResilientLlmClient (retry + circuit breaker) before the analyzer
+  /// sees it.
   std::shared_ptr<llm::LlmClient> llm_client;
+  /// Retry / circuit-breaker settings for the LLM path.
+  llm::ResilienceConfig llm_resilience;
+  /// Fault plan applied to every agent's E2 transport. The default plan is
+  /// fault-free and reproduces the seed pipeline's timing exactly. Each
+  /// site's transport gets an independent fault stream (seed + site).
+  oran::FaultPlan fault_plan;
+};
+
+/// One robustness-counter snapshot across every layer of the pipeline,
+/// aggregated over all cell sites. What the chaos tests assert on and the
+/// examples print.
+struct PipelineStats {
+  // E2 transport
+  std::size_t frames_sent = 0;
+  std::size_t frames_delivered = 0;
+  std::size_t frames_dropped = 0;
+  std::size_t frames_duplicated = 0;
+  std::size_t frames_reordered = 0;
+  std::size_t link_down_drops = 0;
+  std::size_t link_down_events = 0;
+  // RIC agents
+  std::size_t records_collected = 0;
+  std::size_t indications_sent = 0;
+  std::size_t indications_retransmitted = 0;
+  std::size_t agent_reconnects = 0;
+  std::size_t reconnect_attempts = 0;
+  std::size_t records_dropped_outage = 0;
+  // near-RT RIC
+  std::size_t indications_received = 0;
+  std::size_t duplicates_suppressed = 0;
+  std::size_t indications_recovered = 0;
+  std::size_t gaps_detected = 0;
+  std::size_t nacks_sent = 0;
+  std::size_t node_reconnects = 0;
+  std::size_t stale_subscriptions_cleared = 0;
+  // MobiWatch
+  std::size_t records_seen = 0;
+  std::size_t windows_scored = 0;
+  std::size_t anomalies_flagged = 0;
+  std::size_t gaps_observed = 0;
+  // LLM analyzer
+  std::size_t incidents_analyzed = 0;
+  std::size_t llm_retries = 0;
+  std::size_t llm_breaker_trips = 0;
+  std::size_t llm_deferrals = 0;
+  std::size_t incidents_dropped = 0;
+
+  std::string to_text() const;
 };
 
 class Pipeline {
@@ -42,11 +94,19 @@ class Pipeline {
     return *agents_[index];
   }
   std::size_t agent_count() const { return agents_.size(); }
+  /// The fault-injected transport carrying cell `index`'s E2 traffic.
+  oran::FaultyE2Transport& transport(std::size_t index = 0) {
+    return *transports_[index];
+  }
   detect::MobiWatchXapp& mobiwatch() { return *mobiwatch_; }
   llm::LlmAnalyzerXapp& analyzer() { return *analyzer_; }
+  llm::ResilientLlmClient& llm_client() { return *resilient_llm_; }
   std::uint64_t node_id(std::size_t index = 0) const {
     return node_ids_[index];
   }
+
+  /// Snapshot of every robustness counter in the system.
+  PipelineStats stats() const;
 
   /// Installs a pre-trained detector into MobiWatch (the SMO "deploy" arrow
   /// of Figure 3).
@@ -57,10 +117,12 @@ class Pipeline {
 
   void run_for(SimDuration d) { testbed_->run_for(d); }
 
-  /// End-of-capture housekeeping: closes any open MobiWatch incident and
-  /// drains the analyzer's deferred queue. Call once after the last
-  /// run_for of a scenario.
+  /// End-of-capture housekeeping: drains the RIC's reorder buffers (turning
+  /// still-missing runs into explicit gaps), closes any open MobiWatch
+  /// incident, and drains the analyzer's deferred queue. Call once after
+  /// the last run_for of a scenario.
   void finalize() {
+    ric_->flush_streams();
     mobiwatch_->close_open_incident();
     analyzer_->flush_pending();
   }
@@ -70,9 +132,11 @@ class Pipeline {
   std::unique_ptr<sim::Testbed> testbed_;
   std::unique_ptr<oran::NearRtRic> ric_;
   std::vector<std::unique_ptr<mobiflow::RicAgent>> agents_;
+  std::vector<std::unique_ptr<oran::FaultyE2Transport>> transports_;
   std::vector<std::uint64_t> node_ids_;
   detect::MobiWatchXapp* mobiwatch_ = nullptr;  // owned by the RIC
   llm::LlmAnalyzerXapp* analyzer_ = nullptr;    // owned by the RIC
+  llm::ResilientLlmClient* resilient_llm_ = nullptr;  // shared_ptr'd below
 };
 
 }  // namespace xsec::core

@@ -84,24 +84,64 @@ oran::PolicyStatus MobiWatchXapp::on_policy(const oran::A1Policy& policy) {
   return oran::PolicyStatus::kEnforced;
 }
 
+void MobiWatchXapp::subscribe_to_node(std::uint64_t node_id) {
+  const auto* functions = ric().node_functions(node_id);
+  if (!functions) return;
+  for (const auto& f : *functions) {
+    if (f.function_id != oran::e2sm::kMobiFlowFunctionId) continue;
+    oran::e2sm::EventTriggerDefinition trigger;
+    trigger.report_period_ms = config_.report_period_ms;
+    oran::RicAction action;
+    action.action_id = 1;
+    action.type = oran::RicActionType::kReport;
+    action.definition = oran::e2sm::encode_action_definition(
+        oran::e2sm::ActionDefinition{});
+    ric().subscribe(this, node_id, f.function_id,
+                    oran::e2sm::encode_event_trigger(trigger), {action});
+  }
+}
+
 void MobiWatchXapp::on_start() {
   // Subscribe to the MobiFlow function on every connected node.
-  for (std::uint64_t node_id : ric().connected_nodes()) {
-    const auto* functions = ric().node_functions(node_id);
-    if (!functions) continue;
-    for (const auto& f : *functions) {
-      if (f.function_id != oran::e2sm::kMobiFlowFunctionId) continue;
-      oran::e2sm::EventTriggerDefinition trigger;
-      trigger.report_period_ms = config_.report_period_ms;
-      oran::RicAction action;
-      action.action_id = 1;
-      action.type = oran::RicActionType::kReport;
-      action.definition = oran::e2sm::encode_action_definition(
-          oran::e2sm::ActionDefinition{});
-      ric().subscribe(this, node_id, f.function_id,
-                      oran::e2sm::encode_event_trigger(trigger), {action});
-    }
-  }
+  for (std::uint64_t node_id : ric().connected_nodes())
+    subscribe_to_node(node_id);
+}
+
+void MobiWatchXapp::on_node_connected(std::uint64_t node_id) {
+  subscribe_to_node(node_id);
+  // A re-setup after we had telemetry means the link was down for a while:
+  // the stream is discontinuous even though no sequence gap is visible
+  // (the agent was not flushing during the outage).
+  if (records_seen_ > 0) note_gap(node_id, "link recovery");
+}
+
+void MobiWatchXapp::on_telemetry_gap(std::uint64_t node_id,
+                                     const oran::RicRequestId& request_id,
+                                     std::uint32_t first_sequence,
+                                     std::uint32_t last_sequence) {
+  (void)request_id;
+  note_gap(node_id, "indications " + std::to_string(first_sequence) + "-" +
+                        std::to_string(last_sequence) + " lost");
+}
+
+void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
+  ++gaps_observed_;
+  XSEC_LOG_WARN("mobiwatch", "telemetry gap on node ", node_id, " (", why,
+                "): quarantining windows that span it");
+  // Persist a gap marker next to the telemetry so downstream consumers
+  // (rApps, audits) know the stored stream is discontinuous here.
+  sdl().set_str(config_.sdl_namespace + ".gaps",
+                oran::Sdl::seq_key(next_seq_++),
+                "node=" + std::to_string(node_id) + " " + why);
+  // An open incident's evidence (pre-gap records) is intact — report it
+  // rather than tainting it with post-gap telemetry.
+  if (burst_active_) publish_incident();
+  // Quarantine: drop the sliding window so no scored window mixes records
+  // from both sides of the discontinuity. Scoring resumes once a full
+  // window of contiguous post-gap records has accumulated.
+  recent_.clear();
+  filled_ = 0;
+  encode_ctx_.reset();
 }
 
 void MobiWatchXapp::on_indication(std::uint64_t node_id,

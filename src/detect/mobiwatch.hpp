@@ -63,6 +63,17 @@ class MobiWatchXapp : public oran::XApp {
   void on_start() override;
   void on_indication(std::uint64_t node_id,
                      const oran::RicIndication& indication) override;
+  /// Link recovery: the old subscription died with the link — re-subscribe,
+  /// and treat the outage as a telemetry gap (records collected while the
+  /// link was down may be delayed or lost).
+  void on_node_connected(std::uint64_t node_id) override;
+  /// The RIC's sequence tracker abandoned a run of indications. Windows
+  /// spanning the gap would mix pre- and post-gap telemetry that is not
+  /// actually contiguous — quarantine them instead of scoring them.
+  void on_telemetry_gap(std::uint64_t node_id,
+                        const oran::RicRequestId& request_id,
+                        std::uint32_t first_sequence,
+                        std::uint32_t last_sequence) override;
   /// A1 detection-tuning policy: "threshold_scale" multiplies the trained
   /// detection threshold (operator sensitivity knob), "incident_close_gap"
   /// adjusts burst aggregation.
@@ -77,6 +88,9 @@ class MobiWatchXapp : public oran::XApp {
   bool incident_open() const { return burst_active_; }
   bool has_detector() const { return detector_ != nullptr; }
   const MobiWatchConfig& config() const { return config_; }
+  /// Telemetry discontinuities observed (sequence gaps + link outages).
+  /// Each one reset the sliding window so no scored window spans it.
+  std::size_t gaps_observed() const { return gaps_observed_; }
 
   /// Closes and reports an incident still open when the stream ends.
   void close_open_incident();
@@ -84,6 +98,8 @@ class MobiWatchXapp : public oran::XApp {
  private:
   void handle_record(const mobiflow::Record& record);
   void publish_incident();
+  void subscribe_to_node(std::uint64_t node_id);
+  void note_gap(std::uint64_t node_id, const std::string& why);
 
   MobiWatchConfig config_;
   double threshold_scale_ = 1.0;  // A1-adjustable
@@ -105,6 +121,7 @@ class MobiWatchXapp : public oran::XApp {
   std::size_t windows_scored_ = 0;
   std::size_t anomalies_flagged_ = 0;
   std::size_t anomalous_windows_ = 0;
+  std::size_t gaps_observed_ = 0;
   // Open-incident state.
   bool burst_active_ = false;
   std::size_t burst_gap_ = 0;

@@ -109,8 +109,23 @@ void LlmAnalyzerXapp::analyze(PendingIncident incident) {
   }
   auto response = client_->query(request);
   if (!response) {
-    XSEC_LOG_WARN("llm-analyzer", "LLM query failed: ",
-                  response.error().message);
+    // LLM outage (timeout, 5xx, open circuit breaker): the incident goes
+    // back on the pending queue instead of being silently lost, with a
+    // fresh telemetry snapshot so it is retried once the stream moves on.
+    ++incident.llm_attempts;
+    if (incident.llm_attempts >= kMaxLlmAttempts) {
+      ++incidents_dropped_;
+      XSEC_LOG_WARN("llm-analyzer", "incident dropped after ",
+                    incident.llm_attempts, " failed LLM queries: ",
+                    response.error().message);
+      return;
+    }
+    ++llm_deferrals_;
+    XSEC_LOG_WARN("llm-analyzer", "LLM query failed (",
+                  response.error().message, "); incident deferred (attempt ",
+                  incident.llm_attempts, "/", kMaxLlmAttempts, ")");
+    incident.telemetry_snapshot = sdl().size(config_.telemetry_namespace);
+    pending_.push_back(std::move(incident));
     return;
   }
 

@@ -67,6 +67,10 @@ class LlmAnalyzerXapp : public oran::XApp {
   std::size_t contradictions() const { return contradictions_; }
   std::size_t remediations_issued() const { return remediations_; }
   std::size_t incidents_pending() const { return pending_.size(); }
+  /// Incidents put back on the pending queue after a failed LLM query.
+  std::size_t llm_deferrals() const { return llm_deferrals_; }
+  /// Incidents abandoned after exhausting the per-incident query budget.
+  std::size_t incidents_dropped() const { return incidents_dropped_; }
   const std::vector<AnalysisReport>& reports() const { return reports_; }
 
   /// Analyzes any incidents still waiting for trailing telemetry (e.g. at
@@ -77,7 +81,13 @@ class LlmAnalyzerXapp : public oran::XApp {
   struct PendingIncident {
     detect::AnomalyReport anomaly;
     std::size_t telemetry_snapshot = 0;  // SDL record count at flag time
+    /// Failed LLM queries for this incident so far. Monotonic, so the
+    /// defer-retry cycle always terminates.
+    std::size_t llm_attempts = 0;
   };
+
+  /// LLM queries per incident before it is dropped as unanalyzable.
+  static constexpr std::size_t kMaxLlmAttempts = 3;
 
   void handle_anomaly(const oran::RoutedMessage& message);
   void drain_ready_incidents();
@@ -93,6 +103,8 @@ class LlmAnalyzerXapp : public oran::XApp {
   std::size_t incidents_ = 0;
   std::size_t contradictions_ = 0;
   std::size_t remediations_ = 0;
+  std::size_t llm_deferrals_ = 0;
+  std::size_t incidents_dropped_ = 0;
 };
 
 }  // namespace xsec::llm

@@ -67,6 +67,45 @@ Result<LlmResponse> SimLlmClient::query(const LlmRequest& request) {
   return parse_response_text(request.model, style + analysis.narrative);
 }
 
+ResilientLlmClient::ResilientLlmClient(std::shared_ptr<LlmClient> inner,
+                                       ResilienceConfig config)
+    : inner_(std::move(inner)), config_(config) {}
+
+Result<LlmResponse> ResilientLlmClient::query(const LlmRequest& request) {
+  if (open_) {
+    if (cooldown_remaining_ > 0) {
+      --cooldown_remaining_;
+      ++queries_rejected_;
+      return Error::make("breaker-open",
+                         "LLM circuit breaker open; query rejected");
+    }
+    // Cooldown elapsed: let this query through as the half-open probe.
+  }
+
+  Error last = Error::make("llm", "no attempts made");
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    auto response = inner_->query(request);
+    if (response) {
+      consecutive_failures_ = 0;
+      open_ = false;
+      return response;
+    }
+    last = response.error();
+  }
+
+  ++failed_queries_;
+  ++consecutive_failures_;
+  if (open_ || consecutive_failures_ >= config_.breaker_threshold) {
+    // Either the half-open probe failed or the failure run crossed the
+    // threshold: (re-)open and start a fresh cooldown.
+    open_ = true;
+    cooldown_remaining_ = config_.breaker_cooldown;
+    ++breaker_trips_;
+  }
+  return last;
+}
+
 RestLlmClient::RestLlmClient(std::string endpoint_url, std::string api_key,
                              Transport transport)
     : endpoint_url_(std::move(endpoint_url)),

@@ -60,6 +60,55 @@ class SimLlmClient : public LlmClient {
   std::size_t queries_ = 0;
 };
 
+/// Retry / circuit-breaker settings for ResilientLlmClient. "Time" here is
+/// counted in queries, not wall-clock: the analyzer is driven by the
+/// discrete-event pipeline, so a cooldown of N means the breaker rejects N
+/// queries before letting a probe through.
+struct ResilienceConfig {
+  /// Attempts per query (first try + retries).
+  std::size_t max_attempts = 3;
+  /// Consecutive failed queries (all retries exhausted) that open the
+  /// breaker.
+  std::size_t breaker_threshold = 5;
+  /// Queries rejected while open before a half-open probe is allowed.
+  std::size_t breaker_cooldown = 8;
+};
+
+/// Decorator adding retry-with-budget and a circuit breaker around any
+/// LlmClient. A flaky backend (timeouts, 5xx — modeled as error Results
+/// from the inner client) is retried up to max_attempts; sustained failure
+/// opens the breaker so the analyzer fails fast and defers incidents to
+/// its pending queue instead of hammering a dead endpoint.
+class ResilientLlmClient : public LlmClient {
+ public:
+  explicit ResilientLlmClient(std::shared_ptr<LlmClient> inner,
+                              ResilienceConfig config = {});
+
+  Result<LlmResponse> query(const LlmRequest& request) override;
+
+  bool breaker_open() const { return open_; }
+  /// Extra attempts made after a first-try failure.
+  std::size_t retries() const { return retries_; }
+  /// Times the breaker transitioned to open (including re-opens after a
+  /// failed half-open probe).
+  std::size_t breaker_trips() const { return breaker_trips_; }
+  /// Queries that exhausted every attempt.
+  std::size_t failed_queries() const { return failed_queries_; }
+  /// Queries rejected outright while the breaker was open.
+  std::size_t queries_rejected() const { return queries_rejected_; }
+
+ private:
+  std::shared_ptr<LlmClient> inner_;
+  ResilienceConfig config_;
+  bool open_ = false;
+  std::size_t cooldown_remaining_ = 0;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t breaker_trips_ = 0;
+  std::size_t failed_queries_ = 0;
+  std::size_t queries_rejected_ = 0;
+};
+
 /// Minimal HTTP request description handed to the injected transport.
 struct HttpRequest {
   std::string method = "POST";

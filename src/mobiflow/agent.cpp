@@ -1,5 +1,7 @@
 #include "mobiflow/agent.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "ran/codec.hpp"
 #include "ran/ue.hpp"  // deconceal_suci for null-scheme plaintext recovery
@@ -36,7 +38,9 @@ Result<ControlCommand> decode_control(const Bytes& wire) {
 }
 
 RicAgent::RicAgent(std::uint64_t node_id, AgentHooks hooks)
-    : node_id_(node_id), hooks_(std::move(hooks)) {}
+    : node_id_(node_id),
+      hooks_(std::move(hooks)),
+      backoff_rng_(0xbacc0ff ^ node_id) {}
 
 void RicAgent::attach(ran::InterfaceTaps& taps) {
   taps.add_f1_tap([this](SimTime t, const Bytes& wire) { on_f1(t, wire); });
@@ -85,6 +89,7 @@ void RicAgent::on_e2ap(const Bytes& wire) {
       sub.trigger = trigger.value();
       sub.action = action_def.value();
       subscriptions_.push_back(sub);
+      ever_subscribed_ = true;
       response.admitted_action_ids.push_back(action.action_id);
       hooks_.to_ric(node_id_, encode_e2ap(response));
       arm_flush_timer();
@@ -100,6 +105,19 @@ void RicAgent::on_e2ap(const Bytes& wire) {
           break;
         }
       }
+      if (subscriptions_.empty()) {
+        // Clean teardown (as opposed to link loss): nobody is coming back
+        // for the buffered telemetry.
+        ever_subscribed_ = false;
+        buffer_.clear();
+        retx_ring_.clear();
+      }
+      break;
+    }
+    case oran::E2apType::kIndicationNack: {
+      auto nack = oran::decode_indication_nack(wire);
+      if (!nack) return;
+      handle_nack(nack.value());
       break;
     }
     case oran::E2apType::kControlRequest: {
@@ -261,9 +279,19 @@ void RicAgent::on_ng(SimTime t, const Bytes& wire) {
 void RicAgent::emit(Record record) {
   ++records_collected_;
   if (record_sink_) record_sink_(record);
-  if (subscriptions_.empty()) return;
+  if (subscriptions_.empty() && !ever_subscribed_) return;
   if (buffer_.empty()) buffer_start_ = hooks_.now();
   buffer_.push_back(std::move(record));
+  if (subscriptions_.empty()) {
+    // Outage backlog: keep the most recent telemetry for delivery after
+    // the subscription is re-established, bounded so a long outage cannot
+    // grow memory without limit.
+    if (buffer_.size() > kOutageBufferMax) {
+      buffer_.erase(buffer_.begin());
+      ++records_dropped_outage_;
+    }
+    return;
+  }
   std::uint16_t max_rows = 0xffff;
   for (const auto& sub : subscriptions_)
     max_rows = std::min(max_rows, sub.action.max_rows);
@@ -273,33 +301,120 @@ void RicAgent::emit(Record record) {
 void RicAgent::flush() {
   if (subscriptions_.empty() || buffer_.empty()) return;
 
-  oran::e2sm::IndicationHeader header;
-  header.collect_start_us = buffer_start_.us;
-  header.gnb_id = buffer_.front().gnb_id;
-  header.cell = buffer_.front().cell;
+  std::uint16_t max_rows = 0xffff;
+  for (const auto& sub : subscriptions_)
+    max_rows = std::min(max_rows, sub.action.max_rows);
+  if (max_rows == 0) max_rows = 1;
 
-  oran::e2sm::IndicationMessage message;
-  message.rows.reserve(buffer_.size());
-  for (const auto& record : buffer_)
-    message.rows.push_back(record.to_kv_bytes());
-  buffer_.clear();
+  // A post-outage backlog can exceed the subscription's row cap: report it
+  // as multiple batches, each with its own sequence number.
+  std::size_t offset = 0;
+  bool first_chunk = true;
+  while (offset < buffer_.size()) {
+    std::size_t count =
+        std::min<std::size_t>(max_rows, buffer_.size() - offset);
 
-  // The same report batch goes to every subscriber of the function.
-  Bytes encoded_header = encode_indication_header(header);
-  Bytes encoded_message = encode_indication_message(message);
-  std::uint32_t sequence = next_sequence_++;
-  for (const auto& sub : subscriptions_) {
-    oran::RicIndication indication;
-    indication.request_id = sub.request_id;
-    indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
-    indication.action_id = sub.action_id;
-    indication.sequence_number = sequence;
-    indication.type = oran::RicIndicationType::kReport;
-    indication.header = encoded_header;
-    indication.message = encoded_message;
-    hooks_.to_ric(node_id_, encode_e2ap(indication));
-    ++indications_sent_;
+    oran::e2sm::IndicationHeader header;
+    header.collect_start_us =
+        first_chunk ? buffer_start_.us : buffer_[offset].timestamp_us;
+    header.gnb_id = buffer_[offset].gnb_id;
+    header.cell = buffer_[offset].cell;
+
+    oran::e2sm::IndicationMessage message;
+    message.rows.reserve(count);
+    for (std::size_t i = offset; i < offset + count; ++i)
+      message.rows.push_back(buffer_[i].to_kv_bytes());
+
+    // The same report batch goes to every subscriber of the function.
+    Bytes encoded_header = encode_indication_header(header);
+    Bytes encoded_message = encode_indication_message(message);
+    std::uint32_t sequence = next_sequence_++;
+    retx_ring_.push_back(SentBatch{sequence, encoded_header, encoded_message});
+    if (retx_ring_.size() > kRetxRingCapacity) retx_ring_.pop_front();
+    for (const auto& sub : subscriptions_) {
+      oran::RicIndication indication;
+      indication.request_id = sub.request_id;
+      indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
+      indication.action_id = sub.action_id;
+      indication.sequence_number = sequence;
+      indication.type = oran::RicIndicationType::kReport;
+      indication.header = encoded_header;
+      indication.message = encoded_message;
+      hooks_.to_ric(node_id_, encode_e2ap(indication));
+      ++indications_sent_;
+    }
+    offset += count;
+    first_chunk = false;
   }
+  buffer_.clear();
+}
+
+void RicAgent::handle_nack(const oran::RicIndicationNack& nack) {
+  const Subscription* sub = nullptr;
+  for (const auto& s : subscriptions_) {
+    if (s.request_id == nack.request_id) {
+      sub = &s;
+      break;
+    }
+  }
+  if (!sub) return;  // subscription torn down since the batch was sent
+  for (std::uint64_t seq = nack.first_sequence; seq <= nack.last_sequence;
+       ++seq) {
+    for (const auto& batch : retx_ring_) {
+      if (batch.sequence != seq) continue;
+      oran::RicIndication indication;
+      indication.request_id = sub->request_id;
+      indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
+      indication.action_id = sub->action_id;
+      indication.sequence_number = batch.sequence;
+      indication.type = oran::RicIndicationType::kReport;
+      indication.header = batch.header;
+      indication.message = batch.message;
+      hooks_.to_ric(node_id_, encode_e2ap(indication));
+      ++indications_retransmitted_;
+      break;
+    }
+  }
+}
+
+void RicAgent::on_link_state(bool up) {
+  link_up_ = up;
+  if (up) return;  // a pending backoff attempt will land the re-setup
+  // Link lost: the RIC tears down everything keyed to this connection, so
+  // local subscription state is stale. Keep collecting into the outage
+  // buffer (emit() path) and start the reconnect loop.
+  subscriptions_.clear();
+  retx_ring_.clear();
+  XSEC_LOG_WARN("agent", "node ", node_id_,
+                " lost E2 link; entering reconnect backoff");
+  if (hooks_.try_connect && !reconnect_pending_) {
+    backoff_ms_ = kBackoffBaseMs;
+    schedule_reconnect();
+  }
+}
+
+void RicAgent::schedule_reconnect() {
+  reconnect_pending_ = true;
+  // Exponential backoff with +/-20% jitter so a fleet of agents does not
+  // retry in lockstep after a shared outage.
+  double jitter = backoff_rng_.uniform(0.8, 1.2);
+  SimDuration delay =
+      SimDuration::from_ms(static_cast<double>(backoff_ms_) * jitter);
+  backoff_ms_ = std::min(backoff_ms_ * 2, kBackoffCapMs);
+  hooks_.schedule(delay, [this] { attempt_reconnect(); });
+}
+
+void RicAgent::attempt_reconnect() {
+  reconnect_pending_ = false;
+  ++reconnect_attempts_;
+  auto connected = hooks_.try_connect();
+  if (connected) {
+    ++reconnects_;
+    backoff_ms_ = kBackoffBaseMs;
+    XSEC_LOG_INFO("agent", "node ", node_id_, " re-established E2 setup");
+    return;
+  }
+  schedule_reconnect();
 }
 
 void RicAgent::arm_flush_timer() {

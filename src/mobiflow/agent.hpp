@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "mobiflow/record.hpp"
 #include "oran/e2sm.hpp"
 #include "oran/ric.hpp"
@@ -49,6 +51,9 @@ struct AgentHooks {
   std::function<void(std::uint64_t node_id, Bytes wire)> to_ric;
   /// Executes a control command against the RAN; returns success.
   std::function<bool(const ControlCommand&)> apply_control;
+  /// Attempts the E2 Setup exchange (wired to FaultyE2Transport::connect).
+  /// Optional: without it the agent cannot reconnect after link loss.
+  std::function<Result<std::uint64_t>()> try_connect;
 };
 
 class RicAgent : public oran::E2NodeLink {
@@ -61,6 +66,7 @@ class RicAgent : public oran::E2NodeLink {
   // E2NodeLink:
   Bytes setup_request() override;
   void on_e2ap(const Bytes& wire) override;
+  void on_link_state(bool up) override;
 
   std::uint64_t node_id() const { return node_id_; }
   std::size_t records_collected() const { return records_collected_; }
@@ -68,6 +74,17 @@ class RicAgent : public oran::E2NodeLink {
   std::size_t parse_errors() const { return parse_errors_; }
   bool subscribed() const { return !subscriptions_.empty(); }
   std::size_t subscription_count() const { return subscriptions_.size(); }
+
+  /// Successful E2 Setup exchanges after a link loss.
+  std::size_t reconnects() const { return reconnects_; }
+  /// Setup attempts made by the backoff loop (including failures).
+  std::size_t reconnect_attempts() const { return reconnect_attempts_; }
+  /// Indications replayed from the retransmission ring in response to NACKs.
+  std::size_t indications_retransmitted() const {
+    return indications_retransmitted_;
+  }
+  /// Records discarded because the outage backlog overflowed.
+  std::size_t records_dropped_outage() const { return records_dropped_outage_; }
 
   /// Direct access to collection for offline dataset building (bypasses
   /// E2 reporting): every parsed record is also handed to this sink.
@@ -90,6 +107,21 @@ class RicAgent : public oran::E2NodeLink {
     oran::e2sm::EventTriggerDefinition trigger;
     oran::e2sm::ActionDefinition action;
   };
+  /// One sent report batch, kept for NACK-driven replay. The header and
+  /// message encodings are shared by every subscription's copy.
+  struct SentBatch {
+    std::uint32_t sequence = 0;
+    Bytes header;
+    Bytes message;
+  };
+
+  /// Sent batches retained for retransmission (oldest evicted first).
+  static constexpr std::size_t kRetxRingCapacity = 128;
+  /// Records buffered while disconnected, waiting for re-subscription
+  /// (oldest evicted first — recent telemetry matters most on recovery).
+  static constexpr std::size_t kOutageBufferMax = 8192;
+  static constexpr std::int64_t kBackoffBaseMs = 100;
+  static constexpr std::int64_t kBackoffCapMs = 5000;
 
   void on_f1(SimTime t, const Bytes& wire);
   void on_ng(SimTime t, const Bytes& wire);
@@ -98,6 +130,9 @@ class RicAgent : public oran::E2NodeLink {
                      const ran::MobileIdentity& identity);
   void flush();
   void arm_flush_timer();
+  void handle_nack(const oran::RicIndicationNack& nack);
+  void schedule_reconnect();
+  void attempt_reconnect();
 
   std::uint64_t node_id_;
   AgentHooks hooks_;
@@ -114,6 +149,21 @@ class RicAgent : public oran::E2NodeLink {
   std::size_t parse_errors_ = 0;
   bool flush_timer_armed_ = false;
   std::function<void(const Record&)> record_sink_;
+
+  // --- resilience state ---
+  std::deque<SentBatch> retx_ring_;
+  /// True once any subscription was admitted; records captured while the
+  /// link is down are buffered (bounded) instead of discarded, because a
+  /// reconnect is expected to restore the subscription.
+  bool ever_subscribed_ = false;
+  bool link_up_ = true;
+  bool reconnect_pending_ = false;
+  std::int64_t backoff_ms_ = kBackoffBaseMs;
+  Rng backoff_rng_;
+  std::size_t reconnects_ = 0;
+  std::size_t reconnect_attempts_ = 0;
+  std::size_t indications_retransmitted_ = 0;
+  std::size_t records_dropped_outage_ = 0;
 };
 
 }  // namespace xsec::mobiflow

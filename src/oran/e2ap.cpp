@@ -63,7 +63,7 @@ Result<E2apType> e2ap_type(const Bytes& wire) {
   if (!version) return version.error();
   auto type = r.u8();
   if (!type) return type.error();
-  if (type.value() > 7) return Error::make("malformed", "bad E2AP PDU type");
+  if (type.value() > 8) return Error::make("malformed", "bad E2AP PDU type");
   return static_cast<E2apType>(type.value());
 }
 
@@ -287,6 +287,38 @@ Result<RicIndication> decode_indication(const Bytes& wire) {
   auto msg = decode_blob(r);
   if (!msg) return msg.error();
   m.message = msg.value();
+  return m;
+}
+
+Bytes encode_e2ap(const RicIndicationNack& m) {
+  ByteWriter w;
+  header(w, E2apType::kIndicationNack);
+  encode_request_id(w, m.request_id);
+  w.u16(m.ran_function_id);
+  w.u32(m.first_sequence);
+  w.u32(m.last_sequence);
+  return w.take();
+}
+
+Result<RicIndicationNack> decode_indication_nack(const Bytes& wire) {
+  auto reader = open(wire, E2apType::kIndicationNack);
+  if (!reader) return reader.error();
+  ByteReader& r = reader.value();
+  RicIndicationNack m;
+  auto id = decode_request_id(r);
+  if (!id) return id.error();
+  m.request_id = id.value();
+  auto fn = r.u16();
+  if (!fn) return fn.error();
+  m.ran_function_id = fn.value();
+  auto first = r.u32();
+  if (!first) return first.error();
+  m.first_sequence = first.value();
+  auto last = r.u32();
+  if (!last) return last.error();
+  m.last_sequence = last.value();
+  if (m.last_sequence < m.first_sequence)
+    return Error::make("malformed", "NACK sequence range inverted");
   return m;
 }
 

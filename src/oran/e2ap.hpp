@@ -81,6 +81,17 @@ struct RicIndication {
   Bytes message;  // service-model indication message
 };
 
+/// Node-bound retransmission request for a run of missing indication
+/// sequence numbers (inclusive range). Not part of O-RAN E2AP — this
+/// reproduction's reliability extension: the RIC detects sequence gaps per
+/// subscription and asks the agent to replay from its retransmission ring.
+struct RicIndicationNack {
+  RicRequestId request_id;
+  std::uint16_t ran_function_id = 0;
+  std::uint32_t first_sequence = 0;
+  std::uint32_t last_sequence = 0;
+};
+
 struct RicControlRequest {
   RicRequestId request_id;
   std::uint16_t ran_function_id = 0;
@@ -104,6 +115,7 @@ enum class E2apType : std::uint8_t {
   kIndication = 5,
   kControlRequest = 6,
   kControlAck = 7,
+  kIndicationNack = 8,
 };
 
 Bytes encode_e2ap(const E2SetupRequest& m);
@@ -112,6 +124,7 @@ Bytes encode_e2ap(const RicSubscriptionRequest& m);
 Bytes encode_e2ap(const RicSubscriptionResponse& m);
 Bytes encode_e2ap(const RicSubscriptionDeleteRequest& m);
 Bytes encode_e2ap(const RicIndication& m);
+Bytes encode_e2ap(const RicIndicationNack& m);
 Bytes encode_e2ap(const RicControlRequest& m);
 Bytes encode_e2ap(const RicControlAck& m);
 
@@ -125,6 +138,7 @@ Result<RicSubscriptionResponse> decode_subscription_response(const Bytes& wire);
 Result<RicSubscriptionDeleteRequest> decode_subscription_delete(
     const Bytes& wire);
 Result<RicIndication> decode_indication(const Bytes& wire);
+Result<RicIndicationNack> decode_indication_nack(const Bytes& wire);
 Result<RicControlRequest> decode_control_request(const Bytes& wire);
 Result<RicControlAck> decode_control_ack(const Bytes& wire);
 

@@ -4,22 +4,32 @@
 
 namespace xsec::oran {
 
-std::uint64_t NearRtRic::connect_node(E2NodeLink* link) {
+Result<std::uint64_t> NearRtRic::connect_node(E2NodeLink* link) {
   Bytes wire = link->setup_request();
   auto setup = decode_setup_request(wire);
   if (!setup) {
     XSEC_LOG_WARN("ric", "malformed E2 setup request: ",
                   setup.error().message);
-    return 0;
+    return Error::make("malformed", setup.error().message);
   }
   if (setup.value().functions.empty()) {
     XSEC_LOG_WARN("ric", "E2 setup with no RAN functions rejected");
-    return 0;
+    return Error::make("no-functions", "E2 setup advertised no RAN functions");
+  }
+  std::uint64_t node_id = setup.value().node_id;
+  bool reconnect = nodes_.count(node_id) > 0;
+  if (reconnect) {
+    // Node-side restart (or link recovery): everything keyed to the old
+    // connection is stale. Tear it down explicitly — subscriptions do not
+    // survive an E2 Setup — and let xApps re-establish below.
+    ++node_reconnects_;
+    clear_node_state(node_id);
+    XSEC_LOG_INFO("ric", "E2 node ", node_id,
+                  " re-setup: stale subscription state torn down");
   }
   Node node;
   node.link = link;
   node.functions = setup.value().functions;
-  std::uint64_t node_id = setup.value().node_id;
   nodes_[node_id] = std::move(node);
 
   E2SetupResponse response;
@@ -28,17 +38,36 @@ std::uint64_t NearRtRic::connect_node(E2NodeLink* link) {
   link->on_e2ap(encode_e2ap(response));
   XSEC_LOG_INFO("ric", "E2 node ", node_id, " connected with ",
                 nodes_[node_id].functions.size(), " RAN function(s)");
+  // Registered xApps resume their subscriptions on the fresh connection.
+  // (Initial pipeline bring-up connects nodes before any xApp registers;
+  // those subscribe from on_start instead.)
+  for (const auto& xapp : xapps_) xapp->on_node_connected(node_id);
   return node_id;
 }
 
-void NearRtRic::disconnect_node(std::uint64_t node_id) {
-  nodes_.erase(node_id);
+void NearRtRic::clear_node_state(std::uint64_t node_id) {
   for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
-    if (it->first.node_id == node_id)
+    if (it->first.node_id == node_id) {
+      ++stale_subscriptions_cleared_;
+      streams_.erase(it->first);
       it = subscriptions_.erase(it);
-    else
+    } else {
       ++it;
+    }
   }
+  nodes_.erase(node_id);
+}
+
+void NearRtRic::disconnect_node(std::uint64_t node_id) {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->first.node_id == node_id) {
+      streams_.erase(it->first);
+      it = subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  nodes_.erase(node_id);
 }
 
 const std::vector<RanFunction>* NearRtRic::node_functions(
@@ -109,8 +138,9 @@ void NearRtRic::unsubscribe(XApp* xapp, std::uint64_t node_id,
                             RicRequestId id) {
   (void)xapp;
   auto node_it = nodes_.find(node_id);
-  subscriptions_.erase(
-      SubscriptionKey{node_id, id.requestor_id, id.instance_id});
+  SubscriptionKey key{node_id, id.requestor_id, id.instance_id};
+  subscriptions_.erase(key);
+  streams_.erase(key);
   if (node_it == nodes_.end()) return;
   RicSubscriptionDeleteRequest request;
   request.request_id = id;
@@ -130,6 +160,127 @@ void NearRtRic::send_control(XApp* xapp, std::uint64_t node_id,
   node_it->second.link->on_e2ap(encode_e2ap(request));
 }
 
+void NearRtRic::deliver_in_order(const SubscriptionKey& key, Stream& stream) {
+  auto sub = subscriptions_.find(key);
+  if (sub == subscriptions_.end()) return;
+  while (!stream.pending.empty() &&
+         stream.pending.begin()->first == stream.next_expected) {
+    RicIndication next = std::move(stream.pending.begin()->second);
+    stream.pending.erase(stream.pending.begin());
+    stream.nack_counts.erase(stream.next_expected);
+    ++stream.next_expected;
+    ++indications_recovered_;
+    sub->second->on_indication(key.node_id, next);
+  }
+}
+
+void NearRtRic::declare_gap(const SubscriptionKey& key, Stream& stream,
+                            std::uint32_t up_to) {
+  auto sub = subscriptions_.find(key);
+  std::uint32_t first = stream.next_expected;
+  for (std::uint32_t seq = first; seq != up_to; ++seq)
+    stream.nack_counts.erase(seq);
+  stream.next_expected = up_to;
+  ++gaps_detected_;
+  XSEC_LOG_WARN("ric", "telemetry gap on node ", key.node_id,
+                ": indications [", first, ", ", up_to - 1, "] lost");
+  if (sub != subscriptions_.end())
+    sub->second->on_telemetry_gap(
+        key.node_id, RicRequestId{key.requestor_id, key.instance_id}, first,
+        up_to - 1);
+}
+
+void NearRtRic::maybe_nack(const SubscriptionKey& key, Stream& stream) {
+  auto node_it = nodes_.find(key.node_id);
+  if (node_it == nodes_.end() || stream.pending.empty()) return;
+  std::uint32_t lowest_pending = stream.pending.begin()->first;
+  // Request the whole missing run in one NACK, budgeting per sequence so a
+  // run that keeps getting lost is eventually abandoned by declare_gap.
+  bool any_budget = false;
+  for (std::uint32_t seq = stream.next_expected; seq != lowest_pending;
+       ++seq) {
+    std::uint8_t& count = stream.nack_counts[seq];
+    if (count < kMaxNacks) {
+      ++count;
+      any_budget = true;
+    }
+  }
+  if (!any_budget) return;
+  RicIndicationNack nack;
+  nack.request_id = RicRequestId{key.requestor_id, key.instance_id};
+  nack.first_sequence = stream.next_expected;
+  nack.last_sequence = lowest_pending - 1;
+  ++nacks_sent_;
+  node_it->second.link->on_e2ap(encode_e2ap(nack));
+}
+
+void NearRtRic::handle_indication(std::uint64_t node_id,
+                                  RicIndication indication) {
+  const RicRequestId& id = indication.request_id;
+  SubscriptionKey key{node_id, id.requestor_id, id.instance_id};
+  auto sub = subscriptions_.find(key);
+  if (sub == subscriptions_.end()) {
+    ++indications_dropped_;
+    XSEC_LOG_DEBUG("ric", "indication without subscription from node ",
+                   node_id);
+    return;
+  }
+  Stream& stream = streams_[key];
+  std::uint32_t seq = indication.sequence_number;
+  if (!stream.started) {
+    // Subscriptions join the agent's global sequence mid-stream; the first
+    // arrival anchors the tracker.
+    stream.started = true;
+    stream.next_expected = seq;
+  }
+  if (seq < stream.next_expected) {
+    ++duplicates_suppressed_;
+    return;
+  }
+  if (seq == stream.next_expected) {
+    ++stream.next_expected;
+    stream.nack_counts.erase(seq);
+    sub->second->on_indication(node_id, indication);
+    deliver_in_order(key, stream);
+    return;
+  }
+  // Ahead of sequence: buffer and chase the missing run.
+  if (stream.pending.count(seq)) {
+    ++duplicates_suppressed_;
+    return;
+  }
+  stream.pending.emplace(seq, std::move(indication));
+  // Chase the missing run while retransmission budget remains; once every
+  // sequence in it has been NACKed kMaxNacks times without an answer (or
+  // the reorder buffer overflows), give up and declare the gap.
+  std::uint32_t lowest_pending = stream.pending.begin()->first;
+  bool budget_left = false;
+  for (std::uint32_t s = stream.next_expected; s != lowest_pending; ++s) {
+    auto it = stream.nack_counts.find(s);
+    if (it == stream.nack_counts.end() || it->second < kMaxNacks) {
+      budget_left = true;
+      break;
+    }
+  }
+  if (budget_left && stream.pending.size() <= kReorderWindow) {
+    maybe_nack(key, stream);
+  } else {
+    declare_gap(key, stream, lowest_pending);
+    deliver_in_order(key, stream);
+  }
+}
+
+void NearRtRic::flush_streams() {
+  for (auto& [key, stream] : streams_) {
+    while (!stream.pending.empty()) {
+      std::uint32_t lowest_pending = stream.pending.begin()->first;
+      if (lowest_pending != stream.next_expected)
+        declare_gap(key, stream, lowest_pending);
+      deliver_in_order(key, stream);
+    }
+  }
+}
+
 void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
   auto type = e2ap_type(e2ap_wire);
   if (!type) {
@@ -144,16 +295,7 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
         return;
       }
       ++indications_received_;
-      const RicRequestId& id = indication.value().request_id;
-      auto it = subscriptions_.find(
-          SubscriptionKey{node_id, id.requestor_id, id.instance_id});
-      if (it == subscriptions_.end()) {
-        ++indications_dropped_;
-        XSEC_LOG_DEBUG("ric", "indication without subscription from node ",
-                       node_id);
-        return;
-      }
-      it->second->on_indication(node_id, indication.value());
+      handle_indication(node_id, std::move(indication).value());
       break;
     }
     case E2apType::kSubscriptionResponse: {

@@ -5,6 +5,11 @@
 // the OSC reference implementation's platform: E2 termination + xApp
 // manager + subscription manager + SDL + RMR router, collapsed into one
 // deterministic in-process controller.
+//
+// Indication streams are NOT assumed lossless: every subscription carries
+// a sequence tracker (reorder buffer + duplicate suppression + NACK-driven
+// retransmission) so xApps see an in-order stream with explicit gap events
+// where recovery failed, instead of a silently corrupted sequence.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "oran/e2ap.hpp"
 #include "oran/router.hpp"
 #include "oran/sdl.hpp"
@@ -30,6 +36,10 @@ class E2NodeLink {
   virtual Bytes setup_request() = 0;
   /// Delivers an encoded E2AP PDU (subscription / control) to the node.
   virtual void on_e2ap(const Bytes& wire) = 0;
+  /// Transport link state change (loss detection / recovery). A node that
+  /// implements reconnection reacts to `up == false` by clearing its
+  /// subscription state and retrying E2 Setup with backoff.
+  virtual void on_link_state(bool up) { (void)up; }
 };
 
 class NearRtRic {
@@ -44,13 +54,20 @@ class NearRtRic {
 
   // --- E2 termination -----------------------------------------------------
 
-  /// Performs the E2 Setup exchange with a node. Returns the node id, or 0
-  /// if the setup request was malformed or advertised no functions.
-  std::uint64_t connect_node(E2NodeLink* link);
+  /// Performs the E2 Setup exchange with a node. On success returns the
+  /// node id. A repeated setup for an already-connected node id is treated
+  /// as a node-side restart: stale subscription and stream state is torn
+  /// down and registered xApps are told to re-subscribe.
+  Result<std::uint64_t> connect_node(E2NodeLink* link);
   void disconnect_node(std::uint64_t node_id);
   /// Entry point for node -> RIC E2AP traffic (indications, subscription
   /// responses, control acks).
   void from_node(std::uint64_t node_id, const Bytes& e2ap_wire);
+
+  /// Declares a permanent gap for every still-missing sequence and drains
+  /// the reorder buffers. Call at end of capture so buffered telemetry is
+  /// not silently discarded.
+  void flush_streams();
 
   /// RAN functions a connected node advertised at setup.
   const std::vector<RanFunction>* node_functions(std::uint64_t node_id) const;
@@ -83,6 +100,23 @@ class NearRtRic {
   std::size_t indications_received() const { return indications_received_; }
   std::size_t indications_dropped() const { return indications_dropped_; }
   std::size_t subscriptions_active() const { return subscriptions_.size(); }
+  /// Indications discarded because their sequence number was already
+  /// delivered or already buffered (transport duplicates, replayed retx).
+  std::size_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  /// Out-of-order indications that were buffered and later delivered in
+  /// order (reordering healed without a gap).
+  std::size_t indications_recovered() const { return indications_recovered_; }
+  /// Sequence ranges abandoned after retransmission failed; each raised an
+  /// on_telemetry_gap event on the owning xApp.
+  std::size_t gaps_detected() const { return gaps_detected_; }
+  std::size_t nacks_sent() const { return nacks_sent_; }
+  /// E2 Setup exchanges that replaced an existing connection (node-side
+  /// restart / link recovery).
+  std::size_t node_reconnects() const { return node_reconnects_; }
+  /// Stale subscriptions torn down by a reconnect.
+  std::size_t stale_subscriptions_cleared() const {
+    return stale_subscriptions_cleared_;
+  }
 
  private:
   struct Node {
@@ -95,16 +129,46 @@ class NearRtRic {
     std::uint32_t instance_id;
     auto operator<=>(const SubscriptionKey&) const = default;
   };
+  /// Per-subscription sequence tracker. The agent numbers indications with
+  /// a monotonically increasing sequence; the tracker delivers in order,
+  /// buffers ahead-of-sequence arrivals, NACKs missing runs, and declares
+  /// a gap when the retransmission budget is exhausted.
+  struct Stream {
+    bool started = false;
+    std::uint32_t next_expected = 0;
+    std::map<std::uint32_t, RicIndication> pending;
+    std::map<std::uint32_t, std::uint8_t> nack_counts;
+  };
+
+  /// Reorder-buffer capacity; exceeding it forces a gap declaration.
+  static constexpr std::size_t kReorderWindow = 64;
+  /// Retransmission requests per missing sequence before giving up.
+  static constexpr std::uint8_t kMaxNacks = 3;
+
+  void handle_indication(std::uint64_t node_id, RicIndication indication);
+  void deliver_in_order(const SubscriptionKey& key, Stream& stream);
+  /// Gives up on [stream.next_expected, up_to) and tells the xApp.
+  void declare_gap(const SubscriptionKey& key, Stream& stream,
+                   std::uint32_t up_to);
+  void maybe_nack(const SubscriptionKey& key, Stream& stream);
+  void clear_node_state(std::uint64_t node_id);
 
   Sdl sdl_;
   MessageRouter router_;
   std::map<std::uint64_t, Node> nodes_;
   std::vector<std::unique_ptr<XApp>> xapps_;
   std::map<SubscriptionKey, XApp*> subscriptions_;
+  std::map<SubscriptionKey, Stream> streams_;
   std::uint32_t next_requestor_id_ = 1;
   std::uint32_t next_instance_id_ = 1;
   std::size_t indications_received_ = 0;
   std::size_t indications_dropped_ = 0;
+  std::size_t duplicates_suppressed_ = 0;
+  std::size_t indications_recovered_ = 0;
+  std::size_t gaps_detected_ = 0;
+  std::size_t nacks_sent_ = 0;
+  std::size_t node_reconnects_ = 0;
+  std::size_t stale_subscriptions_cleared_ = 0;
 };
 
 }  // namespace xsec::oran

@@ -67,13 +67,21 @@ std::size_t Sdl::size(const std::string& ns) const {
 void Sdl::clear(const std::string& ns) { namespaces_.erase(ns); }
 
 void Sdl::watch(const std::string& ns, WatchHandler handler) {
-  watchers_[ns].push_back(std::move(handler));
+  watchers_[ns].push_back(std::make_shared<WatchHandler>(std::move(handler)));
 }
 
 void Sdl::notify(const std::string& ns, const std::string& key) {
   auto it = watchers_.find(ns);
   if (it == watchers_.end()) return;
-  for (const auto& handler : it->second) handler(ns, key);
+  // Snapshot the count and copy each handle before invoking: a handler may
+  // register new watchers (growing the vector, possibly reallocating) — the
+  // copies keep the executing handler alive, and new registrations only
+  // fire for subsequent notifications.
+  std::size_t count = it->second.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::shared_ptr<WatchHandler> handler = it->second[i];
+    (*handler)(ns, key);
+  }
 }
 
 std::string Sdl::seq_key(std::uint64_t seq) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,7 +50,10 @@ class Sdl {
   void notify(const std::string& ns, const std::string& key);
 
   std::map<std::string, std::map<std::string, Bytes>> namespaces_;
-  std::map<std::string, std::vector<WatchHandler>> watchers_;
+  // Handlers are held by shared_ptr and invoked through a copied handle:
+  // a handler may itself call watch() (re-entrancy), which would otherwise
+  // reallocate the vector out from under the executing std::function.
+  std::map<std::string, std::vector<std::shared_ptr<WatchHandler>>> watchers_;
 };
 
 }  // namespace xsec::oran

@@ -1,0 +1,124 @@
+#include "oran/transport.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace xsec::oran {
+
+FaultyE2Transport::FaultyE2Transport(NearRtRic* ric, E2NodeLink* node,
+                                     FaultPlan plan, TransportHooks hooks)
+    : ric_(ric),
+      node_(node),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      rng_(plan_.seed) {}
+
+void FaultyE2Transport::arm_epochs() {
+  SimTime now = hooks_.now();
+  for (const auto& epoch : plan_.link_epochs) {
+    SimDuration until_down = epoch.down_at - now;
+    if (until_down.us < 0) until_down.us = 0;
+    hooks_.schedule(until_down, [this] { go_down(); });
+    hooks_.schedule(until_down + epoch.duration, [this] { go_up(); });
+  }
+}
+
+Result<std::uint64_t> FaultyE2Transport::connect() {
+  if (!link_up_)
+    return Error::make("link-down", "E2 transport link is down");
+  auto connected = ric_->connect_node(this);
+  if (connected) node_id_ = connected.value();
+  return connected;
+}
+
+void FaultyE2Transport::to_ric(std::uint64_t node_id, Bytes wire) {
+  send(std::move(wire), /*toward_ric=*/true, node_id);
+}
+
+void FaultyE2Transport::on_e2ap(const Bytes& wire) {
+  send(wire, /*toward_ric=*/false, node_id_);
+}
+
+void FaultyE2Transport::send(Bytes wire, bool toward_ric,
+                             std::uint64_t node_id) {
+  ++counters_.frames_sent;
+  if (!link_up_) {
+    ++counters_.link_down_drops;
+    return;
+  }
+  // Random faults target the telemetry path (indications and the NACKs
+  // chasing them). E2AP control procedures run over SCTP with their own
+  // reliable delivery, so setup/subscription/control frames only see the
+  // base transit delay — and the hard link-down epochs above.
+  auto type = e2ap_type(wire);
+  bool faultable = type && (type.value() == E2apType::kIndication ||
+                            type.value() == E2apType::kIndicationNack);
+  if (faultable && plan_.drop_probability > 0.0 &&
+      rng_.chance(plan_.drop_probability)) {
+    ++counters_.frames_dropped;
+    return;
+  }
+  int copies = 1;
+  if (faultable && plan_.duplicate_probability > 0.0 &&
+      rng_.chance(plan_.duplicate_probability)) {
+    ++counters_.frames_duplicated;
+    copies = 2;
+  }
+  std::int64_t base_ms =
+      toward_ric ? plan_.delay_node_to_ric_ms : plan_.delay_ric_to_node_ms;
+  for (int i = 0; i < copies; ++i) {
+    std::int64_t delay_ms = base_ms;
+    if (faultable && plan_.reorder_probability > 0.0 &&
+        rng_.chance(plan_.reorder_probability)) {
+      ++counters_.frames_reordered;
+      delay_ms += static_cast<std::int64_t>(
+          rng_.uniform_u64(1, plan_.reorder_extra_ms_max));
+    }
+    if (delay_ms == 0) {
+      // Zero transit delay: deliver synchronously. This is the seed
+      // pipeline's RIC -> node semantics and several tests depend on it
+      // (e.g. subscription state visible immediately after connect).
+      deliver(wire, toward_ric, node_id);
+      continue;
+    }
+    hooks_.schedule(
+        SimDuration::from_ms(static_cast<double>(delay_ms)),
+        [this, wire, toward_ric, node_id] {
+          // The link may have gone down while the frame was in flight.
+          if (!link_up_) {
+            ++counters_.link_down_drops;
+            return;
+          }
+          deliver(wire, toward_ric, node_id);
+        });
+  }
+}
+
+void FaultyE2Transport::deliver(const Bytes& wire, bool toward_ric,
+                                std::uint64_t node_id) {
+  ++counters_.frames_delivered;
+  if (toward_ric)
+    ric_->from_node(node_id, wire);
+  else
+    node_->on_e2ap(wire);
+}
+
+void FaultyE2Transport::go_down() {
+  if (!link_up_) return;
+  link_up_ = false;
+  ++counters_.link_down_events;
+  XSEC_LOG_WARN("transport", "E2 link down (node ", node_id_, ")");
+  if (node_id_ != 0) ric_->disconnect_node(node_id_);
+  node_->on_link_state(false);
+}
+
+void FaultyE2Transport::go_up() {
+  if (link_up_) return;
+  link_up_ = true;
+  ++counters_.link_up_events;
+  XSEC_LOG_INFO("transport", "E2 link up (node ", node_id_, ")");
+  node_->on_link_state(true);
+}
+
+}  // namespace xsec::oran

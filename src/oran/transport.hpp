@@ -1,0 +1,114 @@
+// Fault-injected E2 transport.
+//
+// Sits between a RAN node's RIC agent and the near-RT RIC and subjects
+// E2AP traffic (both directions) to a schedulable fault plan: random
+// drop / duplication / reordering / delay of telemetry-path frames
+// (indications and indication NACKs — control procedures model SCTP's
+// reliable delivery and only see transit delay), plus forced link-down
+// epochs during which the node is disconnected outright and ALL frames
+// are lost. All randomness comes
+// from a seeded Rng and all timing from injected hooks, so a chaos run is
+// bit-reproducible.
+//
+// With the default (all-zero) FaultPlan the transport is transparent: it
+// reproduces the seed pipeline's exact timing — RIC -> node frames are
+// delivered synchronously, node -> RIC frames after a 1 ms E2 link delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "oran/ric.hpp"
+
+namespace xsec::oran {
+
+/// One forced outage: the link goes down at `down_at` and recovers
+/// `duration` later.
+struct LinkEpoch {
+  SimTime down_at;
+  SimDuration duration;
+};
+
+/// Per-frame fault probabilities and transit delays. Probabilities are
+/// sampled independently per frame and direction.
+struct FaultPlan {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double reorder_probability = 0.0;
+  /// Extra transit delay added to a reordered frame, uniform in
+  /// [1, reorder_extra_ms_max] ms — later frames overtake it.
+  std::uint32_t reorder_extra_ms_max = 5;
+  /// Base transit delays. The seed pipeline delivers node -> RIC frames
+  /// after 1 ms and RIC -> node frames synchronously; keep those defaults
+  /// unless the experiment is about latency.
+  std::uint32_t delay_node_to_ric_ms = 1;
+  std::uint32_t delay_ric_to_node_ms = 0;
+  std::vector<LinkEpoch> link_epochs;
+  std::uint64_t seed = 0x715EC;
+};
+
+struct TransportCounters {
+  std::size_t frames_sent = 0;       // frames offered, both directions
+  std::size_t frames_delivered = 0;  // reached the far side (incl. copies)
+  std::size_t frames_dropped = 0;    // lost to random drop
+  std::size_t frames_duplicated = 0; // extra copies injected
+  std::size_t frames_reordered = 0;  // frames given extra transit delay
+  std::size_t link_down_drops = 0;   // frames lost to a down link
+  std::size_t link_down_events = 0;
+  std::size_t link_up_events = 0;
+};
+
+/// Timing hooks so the oran layer stays independent of the sim module
+/// (mirrors mobiflow::AgentHooks).
+struct TransportHooks {
+  std::function<SimTime()> now;
+  std::function<void(SimDuration, std::function<void()>)> schedule;
+};
+
+/// The transport interposes as the RIC's E2NodeLink: the RIC talks to it
+/// believing it is the node, and the node's `to_ric` traffic is funneled
+/// through it before reaching NearRtRic::from_node.
+class FaultyE2Transport : public E2NodeLink {
+ public:
+  FaultyE2Transport(NearRtRic* ric, E2NodeLink* node, FaultPlan plan,
+                    TransportHooks hooks);
+
+  /// Schedules the fault plan's link-down/up epochs on the event queue.
+  /// Call once, before the run starts.
+  void arm_epochs();
+
+  /// Attempts the E2 Setup exchange through the transport. Fails fast
+  /// while the link is down (the caller retries with backoff).
+  Result<std::uint64_t> connect();
+
+  /// Node -> RIC direction, subject to the fault plan.
+  void to_ric(std::uint64_t node_id, Bytes wire);
+
+  // E2NodeLink (the RIC-facing side; RIC -> node direction):
+  Bytes setup_request() override { return node_->setup_request(); }
+  void on_e2ap(const Bytes& wire) override;
+
+  bool link_up() const { return link_up_; }
+  const TransportCounters& counters() const { return counters_; }
+
+ private:
+  void send(Bytes wire, bool toward_ric, std::uint64_t node_id);
+  void deliver(const Bytes& wire, bool toward_ric, std::uint64_t node_id);
+  void go_down();
+  void go_up();
+
+  NearRtRic* ric_;
+  E2NodeLink* node_;
+  FaultPlan plan_;
+  TransportHooks hooks_;
+  Rng rng_;
+  bool link_up_ = true;
+  std::uint64_t node_id_ = 0;  // learned from a successful connect()
+  TransportCounters counters_;
+};
+
+}  // namespace xsec::oran

@@ -45,6 +45,26 @@ class XApp {
     (void)ack;
   }
 
+  /// An E2 node completed (re-)setup after this xApp registered. Any
+  /// subscription the xApp held on that node was torn down with the old
+  /// link — re-establish here. Not called for nodes already connected at
+  /// registration time (use on_start for those).
+  virtual void on_node_connected(std::uint64_t node_id) { (void)node_id; }
+
+  /// The RIC's per-subscription sequence tracker gave up on a run of
+  /// indications [first_sequence, last_sequence]: they were lost in
+  /// transit and retransmission failed. Telemetry windows spanning this
+  /// gap are unreliable.
+  virtual void on_telemetry_gap(std::uint64_t node_id,
+                                const RicRequestId& request_id,
+                                std::uint32_t first_sequence,
+                                std::uint32_t last_sequence) {
+    (void)node_id;
+    (void)request_id;
+    (void)first_sequence;
+    (void)last_sequence;
+  }
+
   /// An A1 policy from the non-RT RIC. Default: unsupported.
   virtual PolicyStatus on_policy(const A1Policy& policy) {
     (void)policy;

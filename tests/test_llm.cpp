@@ -443,6 +443,95 @@ TEST(SimClient, RejectsPromptWithoutTelemetry) {
   EXPECT_FALSE(client.query({"oracle", "tell me a joke"}).ok());
 }
 
+// --- ResilientLlmClient -----------------------------------------------------
+
+/// Fails its first `fail_first` queries (modeling timeouts / 5xx), then
+/// answers every query with an "anomalous" verdict.
+class ScriptedLlmClient : public LlmClient {
+ public:
+  explicit ScriptedLlmClient(std::size_t fail_first) : fail_(fail_first) {}
+  Result<LlmResponse> query(const LlmRequest& request) override {
+    ++calls;
+    if (calls <= fail_)
+      return Error::make("timeout", "upstream request timed out");
+    LlmResponse response;
+    response.model = request.model;
+    response.text = "Verdict: ANOMALOUS";
+    response.verdict_anomalous = true;
+    return response;
+  }
+  std::size_t calls = 0;
+  std::size_t fail_ = 0;
+};
+
+TEST(ResilientClient, RetriesWithinBudgetAndSucceeds) {
+  auto inner = std::make_shared<ScriptedLlmClient>(2);
+  ResilienceConfig config;
+  config.max_attempts = 3;
+  ResilientLlmClient client(inner, config);
+  auto response = client.query({"m", "p"});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(inner->calls, 3u);
+  EXPECT_EQ(client.retries(), 2u);
+  EXPECT_EQ(client.failed_queries(), 0u);
+  EXPECT_FALSE(client.breaker_open());
+}
+
+TEST(ResilientClient, BreakerOpensAfterConsecutiveFailuresAndFailsFast) {
+  auto inner = std::make_shared<ScriptedLlmClient>(1000000);  // always fail
+  ResilienceConfig config;
+  config.max_attempts = 2;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 3;
+  ResilientLlmClient client(inner, config);
+  EXPECT_FALSE(client.query({"m", "p"}).ok());
+  EXPECT_FALSE(client.breaker_open());
+  EXPECT_FALSE(client.query({"m", "p"}).ok());
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.breaker_trips(), 1u);
+  EXPECT_EQ(inner->calls, 4u);  // 2 queries x 2 attempts
+  // While open, queries are rejected without touching the backend.
+  EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
+  EXPECT_EQ(inner->calls, 4u);
+  EXPECT_EQ(client.queries_rejected(), 1u);
+}
+
+TEST(ResilientClient, HalfOpenProbeClosesBreakerOnRecovery) {
+  auto inner = std::make_shared<ScriptedLlmClient>(2);
+  ResilienceConfig config;
+  config.max_attempts = 1;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 1;
+  ResilientLlmClient client(inner, config);
+  EXPECT_FALSE(client.query({"m", "p"}).ok());
+  EXPECT_FALSE(client.query({"m", "p"}).ok());
+  EXPECT_TRUE(client.breaker_open());
+  // One query absorbed by the cooldown...
+  EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
+  // ...then the half-open probe goes through; the backend has recovered.
+  EXPECT_TRUE(client.query({"m", "p"}).ok());
+  EXPECT_FALSE(client.breaker_open());
+  EXPECT_TRUE(client.query({"m", "p"}).ok());
+}
+
+TEST(ResilientClient, FailedProbeReopensWithFreshCooldown) {
+  auto inner = std::make_shared<ScriptedLlmClient>(1000000);
+  ResilienceConfig config;
+  config.max_attempts = 1;
+  config.breaker_threshold = 1;
+  config.breaker_cooldown = 2;
+  ResilientLlmClient client(inner, config);
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // trips the breaker
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // cooldown 1
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // cooldown 2
+  std::size_t calls_before = inner->calls;
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // probe -> fails -> reopen
+  EXPECT_EQ(inner->calls, calls_before + 1);
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.breaker_trips(), 2u);
+}
+
 // --- Analyzer xApp ----------------------------------------------------------
 
 detect::AnomalyReport report_for(const mobiflow::Trace& window) {
@@ -559,6 +648,54 @@ TEST(AnalyzerXapp, FlushPendingDrainsAtStreamEnd) {
   analyzer->flush_pending();
   EXPECT_EQ(analyzer->incidents_pending(), 0u);
   EXPECT_EQ(analyzer->incidents_analyzed(), 1u);
+}
+
+TEST(AnalyzerXapp, LlmOutageDefersIncidentUntilRecovery) {
+  oran::NearRtRic ric;
+  AnalyzerConfig config;
+  config.model = "ChatGPT-4o";
+  auto inner = std::make_shared<ScriptedLlmClient>(1);  // one outage, then up
+  ResilienceConfig resilience;
+  resilience.max_attempts = 1;
+  auto* analyzer = static_cast<LlmAnalyzerXapp*>(ric.register_xapp(
+      std::make_unique<LlmAnalyzerXapp>(
+          config, std::make_shared<ResilientLlmClient>(inner, resilience))));
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtAnomalyWindow;
+  msg.payload = report_for(storm_trace()).serialize();
+  ric.router().publish(msg);
+  // The query failed: the incident is parked, not lost.
+  EXPECT_EQ(analyzer->incidents_analyzed(), 0u);
+  EXPECT_EQ(analyzer->llm_deferrals(), 1u);
+  EXPECT_EQ(analyzer->incidents_pending(), 1u);
+  // Backend recovers; the retry drains the queue.
+  analyzer->flush_pending();
+  EXPECT_EQ(analyzer->incidents_analyzed(), 1u);
+  EXPECT_EQ(analyzer->incidents_pending(), 0u);
+  EXPECT_EQ(analyzer->incidents_dropped(), 0u);
+}
+
+TEST(AnalyzerXapp, IncidentDroppedAfterSustainedLlmOutage) {
+  oran::NearRtRic ric;
+  auto inner = std::make_shared<ScriptedLlmClient>(1000000);  // never up
+  ResilienceConfig resilience;
+  resilience.max_attempts = 1;
+  auto* analyzer = static_cast<LlmAnalyzerXapp*>(ric.register_xapp(
+      std::make_unique<LlmAnalyzerXapp>(
+          AnalyzerConfig{},
+          std::make_shared<ResilientLlmClient>(inner, resilience))));
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtAnomalyWindow;
+  msg.payload = report_for(storm_trace()).serialize();
+  ric.router().publish(msg);
+  EXPECT_EQ(analyzer->incidents_pending(), 1u);
+  // End-of-capture flush burns the remaining attempts; the incident is
+  // accounted as dropped rather than looping forever.
+  analyzer->flush_pending();
+  EXPECT_EQ(analyzer->incidents_pending(), 0u);
+  EXPECT_EQ(analyzer->incidents_analyzed(), 0u);
+  EXPECT_EQ(analyzer->incidents_dropped(), 1u);
+  EXPECT_EQ(analyzer->llm_deferrals(), 2u);
 }
 
 TEST(AnalyzerXapp, MalformedPayloadIgnored) {

@@ -251,14 +251,41 @@ class RecordingXapp : public XApp {
   void on_control_ack(std::uint64_t, const RicControlAck& ack) override {
     acks.push_back(ack.success);
   }
+  void on_node_connected(std::uint64_t node_id) override {
+    connected.push_back(node_id);
+  }
+  void on_telemetry_gap(std::uint64_t, const RicRequestId&,
+                        std::uint32_t first, std::uint32_t last) override {
+    gaps.emplace_back(first, last);
+  }
   std::vector<std::pair<std::uint64_t, std::uint32_t>> indications;
   std::vector<bool> acks;
+  std::vector<std::uint64_t> connected;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> gaps;
 };
+
+/// Sends one encoded indication with the given sequence into the RIC.
+void send_indication(NearRtRic& ric, std::uint64_t node_id, RicRequestId id,
+                     std::uint32_t sequence) {
+  RicIndication indication;
+  indication.request_id = id;
+  indication.sequence_number = sequence;
+  ric.from_node(node_id, encode_e2ap(indication));
+}
+
+std::size_t count_nacks(const FakeNode& node) {
+  std::size_t n = 0;
+  for (const Bytes& wire : node.received)
+    if (e2ap_type(wire).value() == E2apType::kIndicationNack) ++n;
+  return n;
+}
 
 TEST(Ric, ConnectNodePerformsSetup) {
   NearRtRic ric;
   FakeNode node(42);
-  EXPECT_EQ(ric.connect_node(&node), 42u);
+  auto connected = ric.connect_node(&node);
+  ASSERT_TRUE(connected.ok());
+  EXPECT_EQ(connected.value(), 42u);
   ASSERT_EQ(ric.connected_nodes().size(), 1u);
   const auto* functions = ric.node_functions(42);
   ASSERT_NE(functions, nullptr);
@@ -271,7 +298,9 @@ TEST(Ric, ConnectNodePerformsSetup) {
 TEST(Ric, RejectsNodeWithNoFunctions) {
   NearRtRic ric;
   FakeNode node(43, /*advertise=*/false);
-  EXPECT_EQ(ric.connect_node(&node), 0u);
+  auto connected = ric.connect_node(&node);
+  ASSERT_FALSE(connected.ok());
+  EXPECT_EQ(connected.error().code, "no-functions");
   EXPECT_TRUE(ric.connected_nodes().empty());
 }
 
@@ -345,6 +374,149 @@ TEST(Ric, FindXappByName) {
   ric.register_xapp(std::make_unique<RecordingXapp>());
   EXPECT_NE(ric.find_xapp("recorder"), nullptr);
   EXPECT_EQ(ric.find_xapp("missing"), nullptr);
+}
+
+TEST(Ric, ReconnectTearsDownStaleSubscriptionsAndNotifiesXapps) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ASSERT_TRUE(ric.connect_node(&node).ok());
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+  EXPECT_EQ(ric.subscriptions_active(), 1u);
+
+  // Node-side restart: the same node id performs E2 Setup again.
+  FakeNode reborn(1);
+  auto reconnected = ric.connect_node(&reborn);
+  ASSERT_TRUE(reconnected.ok());
+  EXPECT_EQ(ric.node_reconnects(), 1u);
+  EXPECT_EQ(ric.stale_subscriptions_cleared(), 1u);
+  // The stale subscription did not survive, and the xApp was told so it
+  // can re-establish.
+  EXPECT_EQ(ric.subscriptions_active(), 0u);
+  ASSERT_EQ(xapp->connected.size(), 1u);
+  EXPECT_EQ(xapp->connected[0], 1u);
+  // Indications on the old subscription id are dropped, not misrouted.
+  send_indication(ric, 1, RicRequestId{xapp->requestor_id(), 1}, 1);
+  EXPECT_TRUE(xapp->indications.empty());
+}
+
+TEST(Ric, StreamSuppressesDuplicates) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ASSERT_TRUE(ric.connect_node(&node).ok());
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+
+  send_indication(ric, 1, id, 1);
+  send_indication(ric, 1, id, 1);
+  ASSERT_EQ(xapp->indications.size(), 1u);
+  EXPECT_EQ(ric.duplicates_suppressed(), 1u);
+}
+
+TEST(Ric, StreamHealsReorderingViaNack) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ASSERT_TRUE(ric.connect_node(&node).ok());
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+
+  send_indication(ric, 1, id, 1);
+  send_indication(ric, 1, id, 3);  // 2 missing -> buffered + NACK
+  EXPECT_EQ(count_nacks(node), 1u);
+  ASSERT_EQ(xapp->indications.size(), 1u);  // 3 held back
+  send_indication(ric, 1, id, 2);  // the retransmission arrives
+  ASSERT_EQ(xapp->indications.size(), 3u);
+  EXPECT_EQ(xapp->indications[1].second, 2u);
+  EXPECT_EQ(xapp->indications[2].second, 3u);
+  EXPECT_EQ(ric.indications_recovered(), 1u);
+  EXPECT_EQ(ric.gaps_detected(), 0u);
+}
+
+TEST(Ric, StreamDeclaresGapWhenNackBudgetExhausted) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ASSERT_TRUE(ric.connect_node(&node).ok());
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+
+  send_indication(ric, 1, id, 1);
+  // Sequence 2 never arrives; each later arrival spends NACK budget on it.
+  send_indication(ric, 1, id, 3);
+  send_indication(ric, 1, id, 4);
+  send_indication(ric, 1, id, 5);
+  ASSERT_EQ(xapp->indications.size(), 1u);  // all held behind the hole
+  send_indication(ric, 1, id, 6);  // budget exhausted -> gap declared
+  ASSERT_EQ(xapp->gaps.size(), 1u);
+  EXPECT_EQ(xapp->gaps[0], std::make_pair(std::uint32_t{2},
+                                          std::uint32_t{2}));
+  // The buffered run was released in order after the gap.
+  ASSERT_EQ(xapp->indications.size(), 5u);
+  EXPECT_EQ(xapp->indications.back().second, 6u);
+  EXPECT_EQ(ric.gaps_detected(), 1u);
+  EXPECT_EQ(count_nacks(node), 3u);
+}
+
+TEST(Ric, FlushStreamsDrainsPendingAsGaps) {
+  NearRtRic ric;
+  FakeNode node(1);
+  ASSERT_TRUE(ric.connect_node(&node).ok());
+  auto* xapp = static_cast<RecordingXapp*>(
+      ric.register_xapp(std::make_unique<RecordingXapp>()));
+  RicRequestId id = ric.subscribe(xapp, 1, e2sm::kMobiFlowFunctionId, {}, {});
+
+  send_indication(ric, 1, id, 1);
+  send_indication(ric, 1, id, 3);
+  ASSERT_EQ(xapp->indications.size(), 1u);
+  ric.flush_streams();
+  // End of capture: 2 is declared lost, buffered 3 is delivered.
+  ASSERT_EQ(xapp->gaps.size(), 1u);
+  ASSERT_EQ(xapp->indications.size(), 2u);
+  EXPECT_EQ(xapp->indications.back().second, 3u);
+}
+
+TEST(E2ap, IndicationNackRoundTrip) {
+  RicIndicationNack nack;
+  nack.request_id = {7, 9};
+  nack.ran_function_id = 3;
+  nack.first_sequence = 100;
+  nack.last_sequence = 104;
+  Bytes wire = encode_e2ap(nack);
+  EXPECT_EQ(e2ap_type(wire).value(), E2apType::kIndicationNack);
+  auto decoded = decode_indication_nack(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request_id.requestor_id, 7u);
+  EXPECT_EQ(decoded.value().request_id.instance_id, 9u);
+  EXPECT_EQ(decoded.value().first_sequence, 100u);
+  EXPECT_EQ(decoded.value().last_sequence, 104u);
+}
+
+TEST(Sdl, WatchHandlerMayRegisterWatchersDuringNotify) {
+  // Regression: a handler calling watch() used to reallocate the handler
+  // vector being iterated, destroying the executing std::function.
+  Sdl sdl;
+  int outer_calls = 0;
+  int inner_calls = 0;
+  sdl.watch("ns", [&](const std::string&, const std::string&) {
+    ++outer_calls;
+    if (outer_calls == 1) {
+      // Register enough new watchers to force a reallocation mid-notify.
+      for (int i = 0; i < 16; ++i)
+        sdl.watch("ns", [&](const std::string&, const std::string&) {
+          ++inner_calls;
+        });
+    }
+  });
+  sdl.set_str("ns", "k1", "v");
+  // Watchers added during a notification do not see that notification.
+  EXPECT_EQ(outer_calls, 1);
+  EXPECT_EQ(inner_calls, 0);
+  sdl.set_str("ns", "k2", "v");
+  EXPECT_EQ(outer_calls, 2);
+  EXPECT_EQ(inner_calls, 16);
 }
 
 TEST(Ric, DisconnectRemovesSubscriptions) {

@@ -189,6 +189,175 @@ TEST_P(CodecProperty, RandomOpaqueRowsRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
                          ::testing::Values(1, 2, 3, 42, 1337));
 
+// --- E2AP wire robustness -------------------------------------------------
+
+Bytes random_blob(Rng& rng, std::size_t max_len) {
+  Bytes blob(rng.uniform_u64(0, max_len));
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+  return blob;
+}
+
+oran::RicRequestId random_request_id(Rng& rng) {
+  return {static_cast<std::uint32_t>(rng.uniform_u64(0, 0xffffffff)),
+          static_cast<std::uint32_t>(rng.uniform_u64(0, 0xffffffff))};
+}
+
+/// One random encoding of every E2AP PDU type.
+std::vector<Bytes> random_e2ap_wires(Rng& rng) {
+  std::vector<Bytes> wires;
+  oran::E2SetupRequest setup;
+  setup.node_id = rng();
+  for (std::uint64_t i = 0, n = rng.uniform_u64(0, 3); i < n; ++i) {
+    oran::RanFunction f;
+    f.function_id = static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff));
+    f.oid = "1.3.6.1.4.1." + std::to_string(rng.uniform_u64(0, 999));
+    f.description = "fn";
+    f.definition = random_blob(rng, 16);
+    setup.functions.push_back(std::move(f));
+  }
+  wires.push_back(encode_e2ap(setup));
+
+  oran::E2SetupResponse setup_response;
+  for (std::uint64_t i = 0, n = rng.uniform_u64(0, 4); i < n; ++i)
+    setup_response.accepted_function_ids.push_back(
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff)));
+  wires.push_back(encode_e2ap(setup_response));
+
+  oran::RicSubscriptionRequest sub;
+  sub.request_id = random_request_id(rng);
+  sub.ran_function_id = static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff));
+  sub.event_trigger = random_blob(rng, 24);
+  for (std::uint64_t i = 0, n = rng.uniform_u64(0, 3); i < n; ++i) {
+    oran::RicAction action;
+    action.action_id = static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff));
+    action.type = static_cast<oran::RicActionType>(rng.uniform_u64(0, 2));
+    action.definition = random_blob(rng, 16);
+    sub.actions.push_back(std::move(action));
+  }
+  wires.push_back(encode_e2ap(sub));
+
+  oran::RicSubscriptionResponse sub_response;
+  sub_response.request_id = random_request_id(rng);
+  for (std::uint64_t i = 0, n = rng.uniform_u64(0, 3); i < n; ++i)
+    sub_response.admitted_action_ids.push_back(
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff)));
+  wires.push_back(encode_e2ap(sub_response));
+
+  oran::RicSubscriptionDeleteRequest sub_delete;
+  sub_delete.request_id = random_request_id(rng);
+  wires.push_back(encode_e2ap(sub_delete));
+
+  oran::RicIndication indication;
+  indication.request_id = random_request_id(rng);
+  indication.sequence_number =
+      static_cast<std::uint32_t>(rng.uniform_u64(0, 0xffffffff));
+  indication.type = static_cast<oran::RicIndicationType>(rng.uniform_u64(0, 1));
+  indication.header = random_blob(rng, 32);
+  indication.message = random_blob(rng, 64);
+  wires.push_back(encode_e2ap(indication));
+
+  oran::RicControlRequest control;
+  control.request_id = random_request_id(rng);
+  control.header = random_blob(rng, 16);
+  control.message = random_blob(rng, 32);
+  wires.push_back(encode_e2ap(control));
+
+  oran::RicControlAck ack;
+  ack.request_id = random_request_id(rng);
+  ack.success = rng.chance(0.5);
+  wires.push_back(encode_e2ap(ack));
+
+  oran::RicIndicationNack nack;
+  nack.request_id = random_request_id(rng);
+  nack.first_sequence =
+      static_cast<std::uint32_t>(rng.uniform_u64(0, 0x7fffffff));
+  nack.last_sequence =
+      nack.first_sequence +
+      static_cast<std::uint32_t>(rng.uniform_u64(0, 1000));
+  wires.push_back(encode_e2ap(nack));
+  return wires;
+}
+
+/// Runs every E2AP decoder over the wire; none may crash.
+void decode_with_all(const Bytes& wire) {
+  (void)oran::e2ap_type(wire);
+  (void)oran::decode_setup_request(wire);
+  (void)oran::decode_setup_response(wire);
+  (void)oran::decode_subscription_request(wire);
+  (void)oran::decode_subscription_response(wire);
+  (void)oran::decode_subscription_delete(wire);
+  (void)oran::decode_indication(wire);
+  (void)oran::decode_indication_nack(wire);
+  (void)oran::decode_control_request(wire);
+  (void)oran::decode_control_ack(wire);
+}
+
+class E2apProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(E2apProperty, EveryTruncationOfEveryTypeRejected) {
+  Rng rng(GetParam() ^ 0xe2a9);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Bytes> wires = random_e2ap_wires(rng);
+    ASSERT_EQ(wires.size(), 9u);  // one per E2apType
+    for (std::size_t type = 0; type < wires.size(); ++type) {
+      const Bytes& wire = wires[type];
+      for (std::size_t len = 0; len < wire.size(); ++len) {
+        Bytes cut(wire.begin(), wire.begin() + len);
+        bool ok = false;
+        switch (static_cast<oran::E2apType>(type)) {
+          case oran::E2apType::kSetupRequest:
+            ok = oran::decode_setup_request(cut).ok();
+            break;
+          case oran::E2apType::kSetupResponse:
+            ok = oran::decode_setup_response(cut).ok();
+            break;
+          case oran::E2apType::kSubscriptionRequest:
+            ok = oran::decode_subscription_request(cut).ok();
+            break;
+          case oran::E2apType::kSubscriptionResponse:
+            ok = oran::decode_subscription_response(cut).ok();
+            break;
+          case oran::E2apType::kSubscriptionDeleteRequest:
+            ok = oran::decode_subscription_delete(cut).ok();
+            break;
+          case oran::E2apType::kIndication:
+            ok = oran::decode_indication(cut).ok();
+            break;
+          case oran::E2apType::kControlRequest:
+            ok = oran::decode_control_request(cut).ok();
+            break;
+          case oran::E2apType::kControlAck:
+            ok = oran::decode_control_ack(cut).ok();
+            break;
+          case oran::E2apType::kIndicationNack:
+            ok = oran::decode_indication_nack(cut).ok();
+            break;
+        }
+        EXPECT_FALSE(ok) << "type " << type << " decoded from a "
+                         << len << "-byte prefix of " << wire.size();
+        decode_with_all(cut);  // cross-decoder abuse must not crash either
+      }
+    }
+  }
+}
+
+TEST_P(E2apProperty, RandomBitFlipsNeverCrashAnyDecoder) {
+  Rng rng(GetParam() ^ 0xf11b);
+  for (int round = 0; round < 40; ++round) {
+    for (Bytes wire : random_e2ap_wires(rng)) {
+      if (wire.empty()) continue;
+      for (int flips = 0, n = static_cast<int>(rng.uniform_u64(1, 4));
+           flips < n; ++flips)
+        wire[rng.uniform_u64(0, wire.size() - 1)] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform_u64(0, 7));
+      decode_with_all(wire);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, E2apProperty,
+                         ::testing::Values(31, 32, 33, 4242));
+
 // --- MobiFlow record wire properties ---------------------------------------
 
 mobiflow::Record random_record(Rng& rng) {
