@@ -11,6 +11,7 @@
 #include "core/datasets.hpp"
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
+#include "core/smo.hpp"
 #include "sim/traffic.hpp"
 
 using namespace xsec;
@@ -45,6 +46,9 @@ int main() {
   // A mildly lossy E2 transport: a couple of indications get dropped and
   // NACK-recovered along the way, visible in the counters printed below.
   pipeline_config.fault_plan.drop_probability = 0.02;
+  // SMO-bound telemetry: the MetricsReportXapp exports the platform
+  // metrics registry every second (Prometheus + JSON into the SDL).
+  pipeline_config.metrics_report_period = SimDuration::from_s(1);
   core::Pipeline pipeline(pipeline_config);
   pipeline.install_detector(detector,
                             detect::FeatureEncoder(eval_config.features));
@@ -76,6 +80,25 @@ int main() {
   std::cout << "      remediations issued:         "
             << pipeline.analyzer().remediations_issued() << "\n\n";
   std::cout << pipeline.stats().to_text() << "\n";
+
+  // The same numbers, as the SMO sees them: per-stage latency
+  // distributions from the sim-time tracer, exported periodically by the
+  // MetricsReportXapp.
+  std::cout << "--- SMO metrics report (excerpt, "
+            << pipeline.metrics_report()->reports_emitted()
+            << " periodic exports) ---\n";
+  for (const char* span :
+       {"span.agent.encode", "span.e2.transit", "span.mobiwatch.score",
+        "span.llm.analyze"}) {
+    const obs::Histogram* h = pipeline.metrics().find_histogram(span);
+    if (!h || h->count() == 0) continue;
+    std::cout << "      " << span << ": n=" << h->count()
+              << " p50<=" << h->quantile_upper(0.5) << "us"
+              << " p99<=" << h->quantile_upper(0.99) << "us\n";
+  }
+  std::cout << "      full Prometheus export: "
+            << pipeline.metrics_report()->latest_prometheus().size()
+            << " bytes in SDL namespace \"obs\"\n\n";
 
   // Show the first incident the LLM CONFIRMED (false alarms it contradicts
   // land in the human-review queue instead — the paper's cross-comparison).

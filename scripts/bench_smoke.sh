@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Link/run smoke check over every bench binary.
+#
+# Each paper-artifact bench runs end to end in its reduced mode (--quick
+# where the bench supports it), and each google-benchmark binary runs with
+# --benchmark_min_time=0.01s, so the whole sweep verifies that every bench
+# still links and executes — not that its numbers are meaningful. Pairs
+# with scripts/sanitize.sh: sanitize covers the test suite, this covers
+# the bench targets CI never exercises otherwise.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]   (default: build)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . || exit 1
+fi
+cmake --build "$BUILD_DIR" -j || exit 1
+
+failures=0
+
+run() {
+  local label="$1"
+  shift
+  local start=$SECONDS
+  if "$@" > /dev/null 2>&1; then
+    echo "PASS  ${label}  ($((SECONDS - start))s)"
+  else
+    echo "FAIL  ${label}  (exit $?)"
+    failures=$((failures + 1))
+  fi
+}
+
+# google-benchmark binaries. Newer releases take a duration suffix
+# (0.01s); the baked-in one predates that and wants a plain double — try
+# the suffixed form first and fall back.
+run_gbench() {
+  local bin="$1"
+  if "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01s > /dev/null 2>&1; then
+    echo "PASS  $bin (min_time=0.01s)"
+  else
+    run "$bin (min_time=0.01)" "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
+  fi
+}
+
+run_gbench bench_pipeline_perf
+run_gbench bench_inference_latency
+
+# Paper-artifact benches: --quick shrinks datasets/epochs where training is
+# involved; the rest are already smoke-sized.
+run "bench_table1_telemetry"          "$BUILD_DIR/bench/bench_table1_telemetry"
+run "bench_table2_detection --quick"  "$BUILD_DIR/bench/bench_table2_detection" --quick
+run "bench_table3_llm --quick"        "$BUILD_DIR/bench/bench_table3_llm" --quick
+run "bench_fig4_reconstruction --quick" "$BUILD_DIR/bench/bench_fig4_reconstruction" --quick
+run "bench_fig5_prompt"               "$BUILD_DIR/bench/bench_fig5_prompt"
+run "bench_ablation --quick"          "$BUILD_DIR/bench/bench_ablation" --quick
+run "bench_classifier --quick"        "$BUILD_DIR/bench/bench_classifier" --quick
+run "bench_dos_efficacy --quick"      "$BUILD_DIR/bench/bench_dos_efficacy" --quick
+run "bench_chaos_recovery"            "$BUILD_DIR/bench/bench_chaos_recovery"
+
+if [[ $failures -gt 0 ]]; then
+  echo "bench smoke: $failures bench(es) failed"
+  exit 1
+fi
+echo "bench smoke: all benches link and run"

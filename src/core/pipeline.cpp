@@ -1,12 +1,23 @@
 #include "core/pipeline.hpp"
 
 #include "common/log.hpp"
+#include "core/smo.hpp"
 
 namespace xsec::core {
 
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   testbed_ = std::make_unique<sim::Testbed>(config_.testbed);
+
+  // Platform-wide observability: one registry + tracer, driven by the sim
+  // clock, shared by the RIC, every agent/transport, and the LLM path.
+  obs_ = std::make_unique<obs::Observability>();
+  obs_->set_clock([this] { return testbed_->now(); });
+
   ric_ = std::make_unique<oran::NearRtRic>();
+  ric_->set_observability(obs_.get());
+  ric_->set_scheduler([this](SimDuration d, std::function<void()> fn) {
+    testbed_->queue().schedule_after(d, std::move(fn));
+  });
 
   // One RIC agent (E2 node) per cell site, each behind its own
   // fault-injected transport. The hooks reach the transport through an
@@ -21,6 +32,7 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
       transports_[site]->to_ric(node_id, std::move(wire));
     };
     hooks.try_connect = [this, site] { return transports_[site]->connect(); };
+    hooks.obs = obs_.get();
     hooks.apply_control = [this, site](const mobiflow::ControlCommand& cmd) {
       ran::Gnb& gnb = testbed_->gnb(site);
       switch (cmd.action) {
@@ -47,6 +59,9 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
                                       std::function<void()> fn) {
       testbed_->queue().schedule_after(d, std::move(fn));
     };
+    transport_hooks.obs = obs_.get();
+    transport_hooks.metric_scope =
+        "e2.node" + std::to_string(config_.e2_node_id + site);
     auto transport = std::make_unique<oran::FaultyE2Transport>(
         ric_.get(), agent.get(), plan, std::move(transport_hooks));
     transport->arm_epochs();
@@ -71,11 +86,24 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     config_.llm_client = std::make_shared<llm::SimLlmClient>();
   auto resilient = std::make_shared<llm::ResilientLlmClient>(
       config_.llm_client, config_.llm_resilience);
+  resilient->set_clock([this] { return testbed_->now(); });
+  resilient->set_observability(obs_.get());
   resilient_llm_ = resilient.get();
   auto analyzer = std::make_unique<llm::LlmAnalyzerXapp>(config_.analyzer,
                                                          std::move(resilient));
   analyzer_ = analyzer.get();
   ric_->register_xapp(std::move(analyzer));
+
+  if (config_.metrics_report_period.us > 0) {
+    MetricsReportConfig report_config;
+    report_config.period = config_.metrics_report_period;
+    auto reporter = std::make_unique<MetricsReportXapp>(
+        report_config, [this](SimDuration d, std::function<void()> fn) {
+          testbed_->queue().schedule_after(d, std::move(fn));
+        });
+    metrics_report_ = reporter.get();
+    ric_->register_xapp(std::move(reporter));
+  }
 }
 
 PipelineStats Pipeline::stats() const {
@@ -103,6 +131,7 @@ PipelineStats Pipeline::stats() const {
   s.indications_recovered = ric_->indications_recovered();
   s.gaps_detected = ric_->gaps_detected();
   s.nacks_sent = ric_->nacks_sent();
+  s.nacks_batched = ric_->nacks_batched();
   s.node_reconnects = ric_->node_reconnects();
   s.stale_subscriptions_cleared = ric_->stale_subscriptions_cleared();
   s.records_seen = mobiwatch_->records_seen();
@@ -143,6 +172,7 @@ std::string PipelineStats::to_text() const {
   out += line("indications recovered", indications_recovered);
   out += line("gaps declared", gaps_detected);
   out += line("NACKs sent", nacks_sent);
+  out += line("NACK ranges batched", nacks_batched);
   out += line("node reconnects", node_reconnects);
   out += line("stale subscriptions cleared", stale_subscriptions_cleared);
   out += "MobiWatch:\n";

@@ -13,11 +13,14 @@
 #include "detect/mobiwatch.hpp"
 #include "llm/analyzer_xapp.hpp"
 #include "mobiflow/agent.hpp"
+#include "obs/trace.hpp"
 #include "oran/ric.hpp"
 #include "oran/transport.hpp"
 #include "sim/testbed.hpp"
 
 namespace xsec::core {
+
+class MetricsReportXapp;
 
 struct PipelineConfig {
   sim::TestbedConfig testbed;
@@ -36,6 +39,9 @@ struct PipelineConfig {
   /// fault-free and reproduces the seed pipeline's timing exactly. Each
   /// site's transport gets an independent fault stream (seed + site).
   oran::FaultPlan fault_plan;
+  /// Period of the MetricsReportXapp's SMO export loop; 0 (default)
+  /// disables the xApp entirely.
+  SimDuration metrics_report_period{0};
 };
 
 /// One robustness-counter snapshot across every layer of the pipeline,
@@ -63,6 +69,8 @@ struct PipelineStats {
   std::size_t indications_recovered = 0;
   std::size_t gaps_detected = 0;
   std::size_t nacks_sent = 0;
+  /// Extra sequence ranges coalesced into already-counted NACK PDUs.
+  std::size_t nacks_batched = 0;
   std::size_t node_reconnects = 0;
   std::size_t stale_subscriptions_cleared = 0;
   // MobiWatch
@@ -101,6 +109,12 @@ class Pipeline {
   detect::MobiWatchXapp& mobiwatch() { return *mobiwatch_; }
   llm::LlmAnalyzerXapp& analyzer() { return *analyzer_; }
   llm::ResilientLlmClient& llm_client() { return *resilient_llm_; }
+  /// The platform-wide observability bundle every component records into.
+  obs::Observability& observability() { return *obs_; }
+  obs::MetricsRegistry& metrics() { return obs_->metrics; }
+  obs::Tracer& tracer() { return obs_->tracer; }
+  /// The periodic exporter, or nullptr when metrics_report_period is 0.
+  MetricsReportXapp* metrics_report() { return metrics_report_; }
   std::uint64_t node_id(std::size_t index = 0) const {
     return node_ids_[index];
   }
@@ -128,6 +142,9 @@ class Pipeline {
   }
 
  private:
+  /// Declared first so it is destroyed last: every component below holds
+  /// raw handles into this registry.
+  std::unique_ptr<obs::Observability> obs_;
   PipelineConfig config_;
   std::unique_ptr<sim::Testbed> testbed_;
   std::unique_ptr<oran::NearRtRic> ric_;
@@ -137,6 +154,7 @@ class Pipeline {
   detect::MobiWatchXapp* mobiwatch_ = nullptr;  // owned by the RIC
   llm::LlmAnalyzerXapp* analyzer_ = nullptr;    // owned by the RIC
   llm::ResilientLlmClient* resilient_llm_ = nullptr;  // shared_ptr'd below
+  MetricsReportXapp* metrics_report_ = nullptr;  // owned by the RIC
 };
 
 }  // namespace xsec::core

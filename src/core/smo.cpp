@@ -4,6 +4,55 @@
 
 namespace xsec::core {
 
+MetricsReportXapp::MetricsReportXapp(MetricsReportConfig config,
+                                     Scheduler scheduler)
+    : oran::XApp("metrics-report"),
+      config_(std::move(config)),
+      scheduler_(std::move(scheduler)) {}
+
+void MetricsReportXapp::on_start() {
+  if (scheduler_ && config_.period.us > 0)
+    scheduler_(config_.period, [this] { tick(); });
+}
+
+void MetricsReportXapp::tick() {
+  obs::Observability& o = obs();
+  std::string prometheus = obs::render_prometheus(o.metrics);
+  std::string json = obs::render_json(o.metrics, &o.tracer);
+  sdl().set_str(config_.sdl_namespace, "prometheus", prometheus);
+  sdl().set_str(config_.sdl_namespace, "json", json);
+  o.metrics.counter("obs.reports_emitted").inc();
+
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtMetricsReport;
+  msg.source = name();
+  msg.payload = Bytes(prometheus.begin(), prometheus.end());
+  router().publish(msg);
+
+  scheduler_(config_.period, [this] { tick(); });
+}
+
+std::size_t MetricsReportXapp::reports_emitted() const {
+  auto* counter = obs().metrics.find_counter("obs.reports_emitted");
+  return counter ? counter->value() : 0;
+}
+
+std::string MetricsReportXapp::latest_prometheus() {
+  return sdl().get_str(config_.sdl_namespace, "prometheus").value_or("");
+}
+
+std::string MetricsReportXapp::latest_json() {
+  return sdl().get_str(config_.sdl_namespace, "json").value_or("");
+}
+
+std::string prometheus_report(Pipeline& pipeline) {
+  return obs::render_prometheus(pipeline.metrics());
+}
+
+std::string json_report(Pipeline& pipeline) {
+  return obs::render_json(pipeline.metrics(), &pipeline.tracer());
+}
+
 TrainingRApp::TrainingRApp(Pipeline* pipeline, TrainingRAppConfig config)
     : pipeline_(pipeline), config_(std::move(config)) {}
 

@@ -9,8 +9,13 @@
 // model into MobiWatch.
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "oran/xapp.hpp"
 
 namespace xsec::core {
 
@@ -24,6 +29,44 @@ struct TrainingRAppConfig {
   /// SDL namespace MobiWatch stores telemetry under.
   std::string sdl_namespace = "mobiflow";
 };
+
+struct MetricsReportConfig {
+  /// How often a snapshot is exported. Must be > 0 to arm the loop.
+  SimDuration period = SimDuration::from_s(1);
+  /// SDL namespace the rendered exports are stored under.
+  std::string sdl_namespace = "obs";
+};
+
+/// Periodic telemetry exporter (the SMO-facing end of the observability
+/// subsystem). Every period it renders the platform registry as both
+/// Prometheus text and a JSON snapshot, persists them to the SDL
+/// ("<ns>/prometheus", "<ns>/json"), and publishes a kMtMetricsReport
+/// message so SMO shims / rApps can stream the export off-platform.
+class MetricsReportXapp : public oran::XApp {
+ public:
+  using Scheduler = std::function<void(SimDuration, std::function<void()>)>;
+
+  MetricsReportXapp(MetricsReportConfig config, Scheduler scheduler);
+
+  void on_start() override;
+
+  std::size_t reports_emitted() const;
+  /// The most recent Prometheus rendering (empty before the first tick).
+  std::string latest_prometheus();
+  /// The most recent JSON snapshot (empty before the first tick).
+  std::string latest_json();
+
+ private:
+  void tick();
+
+  MetricsReportConfig config_;
+  Scheduler scheduler_;
+};
+
+/// Renders the pipeline's full registry as Prometheus exposition text.
+std::string prometheus_report(Pipeline& pipeline);
+/// Renders the pipeline's registry + span ledger as a JSON snapshot.
+std::string json_report(Pipeline& pipeline);
 
 class TrainingRApp {
  public:

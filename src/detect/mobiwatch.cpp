@@ -57,6 +57,19 @@ Result<AnomalyReport> AnomalyReport::deserialize(const Bytes& wire) {
 MobiWatchXapp::MobiWatchXapp(MobiWatchConfig config)
     : oran::XApp("mobiwatch"), config_(config) {}
 
+MobiWatchXapp::Metrics& MobiWatchXapp::m() const {
+  if (!metrics_.bound) {
+    obs::MetricsRegistry& r = obs().metrics;
+    metrics_.records_seen = &r.counter("mobiwatch.records_seen");
+    metrics_.windows_scored = &r.counter("mobiwatch.windows_scored");
+    metrics_.anomalies_flagged = &r.counter("mobiwatch.incidents_flagged");
+    metrics_.anomalous_windows = &r.counter("mobiwatch.anomalous_windows");
+    metrics_.gaps_observed = &r.counter("mobiwatch.gaps_observed");
+    metrics_.bound = true;
+  }
+  return metrics_;
+}
+
 void MobiWatchXapp::install_detector(
     std::shared_ptr<AnomalyDetector> detector, FeatureEncoder encoder) {
   detector_ = std::move(detector);
@@ -112,7 +125,7 @@ void MobiWatchXapp::on_node_connected(std::uint64_t node_id) {
   // A re-setup after we had telemetry means the link was down for a while:
   // the stream is discontinuous even though no sequence gap is visible
   // (the agent was not flushing during the outage).
-  if (records_seen_ > 0) note_gap(node_id, "link recovery");
+  if (records_seen() > 0) note_gap(node_id, "link recovery");
 }
 
 void MobiWatchXapp::on_telemetry_gap(std::uint64_t node_id,
@@ -125,7 +138,9 @@ void MobiWatchXapp::on_telemetry_gap(std::uint64_t node_id,
 }
 
 void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
-  ++gaps_observed_;
+  m().gaps_observed->inc();
+  obs().metrics.counter("mobiwatch.node" + std::to_string(node_id) + ".gaps")
+      .inc();
   XSEC_LOG_WARN("mobiwatch", "telemetry gap on node ", node_id, " (", why,
                 "): quarantining windows that span it");
   // Persist a gap marker next to the telemetry so downstream consumers
@@ -153,6 +168,9 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
     XSEC_LOG_WARN("mobiwatch", "undecodable indication message");
     return;
   }
+  // Nests under the RIC's open ric.deliver span for this indication.
+  obs::Span ingest = obs().tracer.begin(
+      "mobiwatch.ingest", (node_id << 32) | indication.sequence_number);
   for (const auto& row : message.value().rows) {
     auto record = mobiflow::Record::from_kv_bytes(row);
     if (!record) {
@@ -165,7 +183,7 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
 }
 
 void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
-  ++records_seen_;
+  m().records_seen->inc();
   // Persist to the SDL so other xApps (and the SMO's rApps) see history.
   sdl().set(config_.sdl_namespace, oran::Sdl::seq_key(next_seq_++),
             record.to_kv_bytes());
@@ -187,11 +205,16 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
   std::size_t needed = detector_->rows_needed(config_.window_size);
   if (filled_ < needed) return;
 
-  double score =
-      detector_->score_window(recent_feats_.row(filled_ - needed), needed);
-  ++windows_scored_;
+  double score;
+  {
+    // Auto-nests under the enclosing mobiwatch.ingest span.
+    obs::Span scoring = obs().tracer.begin("mobiwatch.score");
+    score =
+        detector_->score_window(recent_feats_.row(filled_ - needed), needed);
+  }
+  m().windows_scored->inc();
   bool anomalous = detector_->is_anomalous(score);
-  if (anomalous) ++anomalous_windows_;
+  if (anomalous) m().anomalous_windows->inc();
 
   if (burst_active_) {
     // The incident stays open while anomalous windows keep arriving (and
@@ -227,7 +250,7 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
 void MobiWatchXapp::publish_incident() {
   if (!burst_active_) return;
   burst_active_ = false;
-  ++anomalies_flagged_;
+  m().anomalies_flagged->inc();
 
   AnomalyReport report;
   report.detector = detector_ ? detector_->name() : "";

@@ -79,23 +79,39 @@ class MobiWatchXapp : public oran::XApp {
   /// adjusts burst aggregation.
   oran::PolicyStatus on_policy(const oran::A1Policy& policy) override;
 
-  std::size_t records_seen() const { return records_seen_; }
-  std::size_t windows_scored() const { return windows_scored_; }
+  std::size_t records_seen() const { return m().records_seen->value(); }
+  std::size_t windows_scored() const { return m().windows_scored->value(); }
   /// Incidents reported (anomaly bursts, not individual windows).
-  std::size_t anomalies_flagged() const { return anomalies_flagged_; }
+  std::size_t anomalies_flagged() const {
+    return m().anomalies_flagged->value();
+  }
   /// Individual windows that exceeded the threshold.
-  std::size_t anomalous_windows() const { return anomalous_windows_; }
+  std::size_t anomalous_windows() const {
+    return m().anomalous_windows->value();
+  }
   bool incident_open() const { return burst_active_; }
   bool has_detector() const { return detector_ != nullptr; }
   const MobiWatchConfig& config() const { return config_; }
   /// Telemetry discontinuities observed (sequence gaps + link outages).
   /// Each one reset the sliding window so no scored window spans it.
-  std::size_t gaps_observed() const { return gaps_observed_; }
+  std::size_t gaps_observed() const { return m().gaps_observed->value(); }
 
   /// Closes and reports an incident still open when the stream ends.
   void close_open_incident();
 
  private:
+  /// Registry handles, bound lazily on first use ("mobiwatch.*") so the
+  /// xApp works both attached to a RIC (shared registry) and standalone.
+  struct Metrics {
+    obs::Counter* records_seen = nullptr;
+    obs::Counter* windows_scored = nullptr;
+    obs::Counter* anomalies_flagged = nullptr;
+    obs::Counter* anomalous_windows = nullptr;
+    obs::Counter* gaps_observed = nullptr;
+    bool bound = false;
+  };
+
+  Metrics& m() const;
   void handle_record(const mobiflow::Record& record);
   void publish_incident();
   void subscribe_to_node(std::uint64_t node_id);
@@ -117,11 +133,7 @@ class MobiWatchXapp : public oran::XApp {
   std::size_t filled_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t current_node_id_ = 0;
-  std::size_t records_seen_ = 0;
-  std::size_t windows_scored_ = 0;
-  std::size_t anomalies_flagged_ = 0;
-  std::size_t anomalous_windows_ = 0;
-  std::size_t gaps_observed_ = 0;
+  mutable Metrics metrics_;
   // Open-incident state.
   bool burst_active_ = false;
   std::size_t burst_gap_ = 0;

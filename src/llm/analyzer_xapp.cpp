@@ -1,5 +1,7 @@
 #include "llm/analyzer_xapp.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "llm/retrieval.hpp"
@@ -29,6 +31,19 @@ LlmAnalyzerXapp::LlmAnalyzerXapp(AnalyzerConfig config,
     : oran::XApp("llm-analyzer"),
       config_(std::move(config)),
       client_(std::move(client)) {}
+
+LlmAnalyzerXapp::Metrics& LlmAnalyzerXapp::m() const {
+  if (!metrics_.bound) {
+    obs::MetricsRegistry& r = obs().metrics;
+    metrics_.incidents_analyzed = &r.counter("llm.incidents_analyzed");
+    metrics_.contradictions = &r.counter("llm.contradictions");
+    metrics_.remediations_issued = &r.counter("llm.remediations_issued");
+    metrics_.deferrals = &r.counter("llm.deferrals");
+    metrics_.incidents_dropped = &r.counter("llm.incidents_dropped");
+    metrics_.bound = true;
+  }
+  return metrics_;
+}
 
 void LlmAnalyzerXapp::on_start() {
   router().subscribe(oran::kMtAnomalyWindow,
@@ -114,13 +129,13 @@ void LlmAnalyzerXapp::analyze(PendingIncident incident) {
     // fresh telemetry snapshot so it is retried once the stream moves on.
     ++incident.llm_attempts;
     if (incident.llm_attempts >= kMaxLlmAttempts) {
-      ++incidents_dropped_;
+      m().incidents_dropped->inc();
       XSEC_LOG_WARN("llm-analyzer", "incident dropped after ",
                     incident.llm_attempts, " failed LLM queries: ",
                     response.error().message);
       return;
     }
-    ++llm_deferrals_;
+    m().deferrals->inc();
     XSEC_LOG_WARN("llm-analyzer", "LLM query failed (",
                   response.error().message, "); incident deferred (attempt ",
                   incident.llm_attempts, "/", kMaxLlmAttempts, ")");
@@ -137,12 +152,22 @@ void LlmAnalyzerXapp::analyze(PendingIncident incident) {
   report.llm_agrees = response.value().verdict_anomalous;
   report.response_text = response.value().text;
   report.candidate_attacks = response.value().attacks;
-  ++incidents_;
+  m().incidents_analyzed->inc();
+  // Analysis latency span: from the newest evidence record to now. Only
+  // meaningful when the platform clock drives the tracer (pipeline runs).
+  obs::Tracer& tracer = obs().tracer;
+  if (tracer.has_clock()) {
+    std::int64_t newest_us = 0;
+    for (const auto& entry : anomaly.window.entries())
+      newest_us = std::max(newest_us, entry.record.timestamp_us);
+    tracer.record("llm.analyze", report.incident_id, /*parent_id=*/0,
+                  SimTime{newest_us}, tracer.now());
+  }
 
   if (!report.llm_agrees) {
     // Contradiction between the anomaly detector and the LLM: per the
     // paper, human supervision is required.
-    ++contradictions_;
+    m().contradictions->inc();
     oran::RoutedMessage review;
     review.mtype = oran::kMtHumanReview;
     review.source = name();
@@ -193,7 +218,7 @@ void LlmAnalyzerXapp::maybe_remediate(const detect::AnomalyReport& anomaly,
       ric().send_control(this, anomaly.node_id,
                          oran::e2sm::kMobiFlowFunctionId, {},
                          mobiflow::encode_control(cmd));
-      ++remediations_;
+      m().remediations_issued->inc();
       report.remediation_issued = true;
     }
   }
@@ -209,7 +234,7 @@ void LlmAnalyzerXapp::maybe_remediate(const detect::AnomalyReport& anomaly,
   cmd.stale_age_ms = 50;
   ric().send_control(this, anomaly.node_id, oran::e2sm::kMobiFlowFunctionId,
                      {}, mobiflow::encode_control(cmd));
-  ++remediations_;
+  m().remediations_issued->inc();
   report.remediation_issued = true;
 }
 

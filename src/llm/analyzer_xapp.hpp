@@ -63,14 +63,20 @@ class LlmAnalyzerXapp : public oran::XApp {
   /// A1 response-control policy: "auto_remediate" and "use_rag" toggles.
   oran::PolicyStatus on_policy(const oran::A1Policy& policy) override;
 
-  std::size_t incidents_analyzed() const { return incidents_; }
-  std::size_t contradictions() const { return contradictions_; }
-  std::size_t remediations_issued() const { return remediations_; }
+  std::size_t incidents_analyzed() const {
+    return m().incidents_analyzed->value();
+  }
+  std::size_t contradictions() const { return m().contradictions->value(); }
+  std::size_t remediations_issued() const {
+    return m().remediations_issued->value();
+  }
   std::size_t incidents_pending() const { return pending_.size(); }
   /// Incidents put back on the pending queue after a failed LLM query.
-  std::size_t llm_deferrals() const { return llm_deferrals_; }
+  std::size_t llm_deferrals() const { return m().deferrals->value(); }
   /// Incidents abandoned after exhausting the per-incident query budget.
-  std::size_t incidents_dropped() const { return incidents_dropped_; }
+  std::size_t incidents_dropped() const {
+    return m().incidents_dropped->value();
+  }
   const std::vector<AnalysisReport>& reports() const { return reports_; }
 
   /// Analyzes any incidents still waiting for trailing telemetry (e.g. at
@@ -89,6 +95,17 @@ class LlmAnalyzerXapp : public oran::XApp {
   /// LLM queries per incident before it is dropped as unanalyzable.
   static constexpr std::size_t kMaxLlmAttempts = 3;
 
+  /// Registry handles, bound lazily on first use ("llm.*").
+  struct Metrics {
+    obs::Counter* incidents_analyzed = nullptr;
+    obs::Counter* contradictions = nullptr;
+    obs::Counter* remediations_issued = nullptr;
+    obs::Counter* deferrals = nullptr;
+    obs::Counter* incidents_dropped = nullptr;
+    bool bound = false;
+  };
+
+  Metrics& m() const;
   void handle_anomaly(const oran::RoutedMessage& message);
   void drain_ready_incidents();
   void analyze(PendingIncident incident);
@@ -100,11 +117,7 @@ class LlmAnalyzerXapp : public oran::XApp {
   std::vector<AnalysisReport> reports_;
   std::deque<PendingIncident> pending_;
   std::uint64_t next_incident_ = 1;
-  std::size_t incidents_ = 0;
-  std::size_t contradictions_ = 0;
-  std::size_t remediations_ = 0;
-  std::size_t llm_deferrals_ = 0;
-  std::size_t incidents_dropped_ = 0;
+  mutable Metrics metrics_;
 };
 
 }  // namespace xsec::llm

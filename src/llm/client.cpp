@@ -69,13 +69,38 @@ Result<LlmResponse> SimLlmClient::query(const LlmRequest& request) {
 
 ResilientLlmClient::ResilientLlmClient(std::shared_ptr<LlmClient> inner,
                                        ResilienceConfig config)
-    : inner_(std::move(inner)), config_(config) {}
+    : inner_(std::move(inner)), config_(config) {
+  own_obs_ = std::make_unique<obs::Observability>();
+  bind(own_obs_->metrics);
+}
+
+void ResilientLlmClient::bind(obs::MetricsRegistry& registry) {
+  retries_ = &registry.counter("llm.retries");
+  breaker_trips_ = &registry.counter("llm.breaker_trips");
+  failed_queries_ = &registry.counter("llm.failed_queries");
+  queries_rejected_ = &registry.counter("llm.queries_rejected");
+  breaker_open_ = &registry.gauge("llm.breaker_open");
+}
+
+void ResilientLlmClient::set_observability(obs::Observability* observability) {
+  if (!observability) return;
+  bind(observability->metrics);
+  breaker_open_->set(open_ ? 1.0 : 0.0);
+}
+
+SimTime ResilientLlmClient::now() {
+  if (clock_) return clock_();
+  return pseudo_now_;
+}
 
 Result<LlmResponse> ResilientLlmClient::query(const LlmRequest& request) {
+  // Query-tick pseudo-clock fallback: keeps the breaker schedule
+  // deterministic when no sim clock is injected (standalone tests).
+  if (!clock_) pseudo_now_ = pseudo_now_ + SimDuration::from_ms(1);
+
   if (open_) {
-    if (cooldown_remaining_ > 0) {
-      --cooldown_remaining_;
-      ++queries_rejected_;
+    if (now().us < open_until_.us) {
+      queries_rejected_->inc();
       return Error::make("breaker-open",
                          "LLM circuit breaker open; query rejected");
     }
@@ -84,24 +109,26 @@ Result<LlmResponse> ResilientLlmClient::query(const LlmRequest& request) {
 
   Error last = Error::make("llm", "no attempts made");
   for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    if (attempt > 0) ++retries_;
+    if (attempt > 0) retries_->inc();
     auto response = inner_->query(request);
     if (response) {
       consecutive_failures_ = 0;
       open_ = false;
+      breaker_open_->set(0.0);
       return response;
     }
     last = response.error();
   }
 
-  ++failed_queries_;
+  failed_queries_->inc();
   ++consecutive_failures_;
   if (open_ || consecutive_failures_ >= config_.breaker_threshold) {
     // Either the half-open probe failed or the failure run crossed the
     // threshold: (re-)open and start a fresh cooldown.
     open_ = true;
-    cooldown_remaining_ = config_.breaker_cooldown;
-    ++breaker_trips_;
+    open_until_ = now() + config_.breaker_cooldown;
+    breaker_trips_->inc();
+    breaker_open_->set(1.0);
   }
   return last;
 }

@@ -16,8 +16,10 @@
 #include <memory>
 #include <string>
 
+#include "common/clock.hpp"
 #include "common/result.hpp"
 #include "llm/expert.hpp"
+#include "obs/trace.hpp"
 #include "llm/personalities.hpp"
 #include "llm/prompt.hpp"
 
@@ -60,18 +62,19 @@ class SimLlmClient : public LlmClient {
   std::size_t queries_ = 0;
 };
 
-/// Retry / circuit-breaker settings for ResilientLlmClient. "Time" here is
-/// counted in queries, not wall-clock: the analyzer is driven by the
-/// discrete-event pipeline, so a cooldown of N means the breaker rejects N
-/// queries before letting a probe through.
+/// Retry / circuit-breaker settings for ResilientLlmClient.
 struct ResilienceConfig {
   /// Attempts per query (first try + retries).
   std::size_t max_attempts = 3;
   /// Consecutive failed queries (all retries exhausted) that open the
   /// breaker.
   std::size_t breaker_threshold = 5;
-  /// Queries rejected while open before a half-open probe is allowed.
-  std::size_t breaker_cooldown = 8;
+  /// Time the breaker stays open before a half-open probe is allowed.
+  /// Measured on the injected clock (the pipeline wires the sim clock, so
+  /// the half-open schedule is deterministic under any seed); without a
+  /// clock the client falls back to an internal query-tick pseudo-clock
+  /// advancing 1 ms per query.
+  SimDuration breaker_cooldown = SimDuration::from_ms(500);
 };
 
 /// Decorator adding retry-with-budget and a circuit breaker around any
@@ -84,29 +87,46 @@ class ResilientLlmClient : public LlmClient {
   explicit ResilientLlmClient(std::shared_ptr<LlmClient> inner,
                               ResilienceConfig config = {});
 
+  /// Drives the breaker's cooldown schedule (the pipeline wires the sim
+  /// clock). Without one, an internal pseudo-clock ticks 1 ms per query.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  /// Rebinds the counters into a shared registry (the pipeline's). The
+  /// client starts with a private bundle so it works standalone.
+  void set_observability(obs::Observability* observability);
+
   Result<LlmResponse> query(const LlmRequest& request) override;
 
   bool breaker_open() const { return open_; }
+  /// When the breaker admits the next half-open probe (meaningful only
+  /// while open).
+  SimTime open_until() const { return open_until_; }
   /// Extra attempts made after a first-try failure.
-  std::size_t retries() const { return retries_; }
+  std::size_t retries() const { return retries_->value(); }
   /// Times the breaker transitioned to open (including re-opens after a
   /// failed half-open probe).
-  std::size_t breaker_trips() const { return breaker_trips_; }
+  std::size_t breaker_trips() const { return breaker_trips_->value(); }
   /// Queries that exhausted every attempt.
-  std::size_t failed_queries() const { return failed_queries_; }
+  std::size_t failed_queries() const { return failed_queries_->value(); }
   /// Queries rejected outright while the breaker was open.
-  std::size_t queries_rejected() const { return queries_rejected_; }
+  std::size_t queries_rejected() const { return queries_rejected_->value(); }
 
  private:
+  SimTime now();
+  void bind(obs::MetricsRegistry& registry);
+
   std::shared_ptr<LlmClient> inner_;
   ResilienceConfig config_;
+  std::function<SimTime()> clock_;
+  SimTime pseudo_now_{0};
   bool open_ = false;
-  std::size_t cooldown_remaining_ = 0;
+  SimTime open_until_{0};
   std::size_t consecutive_failures_ = 0;
-  std::size_t retries_ = 0;
-  std::size_t breaker_trips_ = 0;
-  std::size_t failed_queries_ = 0;
-  std::size_t queries_rejected_ = 0;
+  std::unique_ptr<obs::Observability> own_obs_;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* breaker_trips_ = nullptr;
+  obs::Counter* failed_queries_ = nullptr;
+  obs::Counter* queries_rejected_ = nullptr;
+  obs::Gauge* breaker_open_ = nullptr;
 };
 
 /// Minimal HTTP request description handed to the injected transport.

@@ -1,6 +1,7 @@
 #include "mobiflow/agent.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hpp"
 #include "ran/codec.hpp"
@@ -40,7 +41,22 @@ Result<ControlCommand> decode_control(const Bytes& wire) {
 RicAgent::RicAgent(std::uint64_t node_id, AgentHooks hooks)
     : node_id_(node_id),
       hooks_(std::move(hooks)),
-      backoff_rng_(0xbacc0ff ^ node_id) {}
+      backoff_rng_(0xbacc0ff ^ node_id) {
+  obs_ = hooks_.obs;
+  if (!obs_) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs_ = own_obs_.get();
+  }
+  std::string scope = "agent.node" + std::to_string(node_id_) + ".";
+  obs::MetricsRegistry& r = obs_->metrics;
+  records_collected_ = &r.counter(scope + "records_collected");
+  indications_sent_ = &r.counter(scope + "indications_sent");
+  parse_errors_ = &r.counter(scope + "parse_errors");
+  reconnects_ = &r.counter(scope + "reconnects");
+  reconnect_attempts_ = &r.counter(scope + "reconnect_attempts");
+  indications_retransmitted_ = &r.counter(scope + "indications_retransmitted");
+  records_dropped_outage_ = &r.counter(scope + "records_dropped_outage");
+}
 
 void RicAgent::attach(ran::InterfaceTaps& taps) {
   taps.add_f1_tap([this](SimTime t, const Bytes& wire) { on_f1(t, wire); });
@@ -141,7 +157,7 @@ void RicAgent::on_e2ap(const Bytes& wire) {
 void RicAgent::on_f1(SimTime t, const Bytes& wire) {
   auto f1 = ran::decode_f1ap(wire);
   if (!f1) {
-    ++parse_errors_;
+    parse_errors_->inc();
     return;
   }
   const auto& msg = f1.value();
@@ -151,7 +167,7 @@ void RicAgent::on_f1(SimTime t, const Bytes& wire) {
 
   auto rrc = ran::decode_rrc(msg.rrc_container);
   if (!rrc) {
-    ++parse_errors_;
+    parse_errors_->inc();
     return;
   }
 
@@ -226,7 +242,7 @@ void RicAgent::fill_identity(Record& record, UeState& state,
 void RicAgent::on_ng(SimTime t, const Bytes& wire) {
   auto ngap = ran::decode_ngap(wire);
   if (!ngap) {
-    ++parse_errors_;
+    parse_errors_->inc();
     return;
   }
   const auto& msg = ngap.value();
@@ -234,7 +250,7 @@ void RicAgent::on_ng(SimTime t, const Bytes& wire) {
 
   auto nas = ran::decode_nas(msg.nas_pdu);
   if (!nas) {
-    ++parse_errors_;
+    parse_errors_->inc();
     return;
   }
 
@@ -277,7 +293,7 @@ void RicAgent::on_ng(SimTime t, const Bytes& wire) {
 }
 
 void RicAgent::emit(Record record) {
-  ++records_collected_;
+  records_collected_->inc();
   if (record_sink_) record_sink_(record);
   if (subscriptions_.empty() && !ever_subscribed_) return;
   if (buffer_.empty()) buffer_start_ = hooks_.now();
@@ -288,7 +304,7 @@ void RicAgent::emit(Record record) {
     // grow memory without limit.
     if (buffer_.size() > kOutageBufferMax) {
       buffer_.erase(buffer_.begin());
-      ++records_dropped_outage_;
+      records_dropped_outage_->inc();
     }
     return;
   }
@@ -329,7 +345,15 @@ void RicAgent::flush() {
     Bytes encoded_header = encode_indication_header(header);
     Bytes encoded_message = encode_indication_message(message);
     std::uint32_t sequence = next_sequence_++;
-    retx_ring_.push_back(SentBatch{sequence, encoded_header, encoded_message});
+    std::int64_t sent_at_us = hooks_.now ? hooks_.now().us : 0;
+    // Collection-to-send span for this batch: starts when the first
+    // buffered record was captured, ends at first transmission.
+    obs_->tracer.record("agent.encode",
+                        (node_id_ << 32) | sequence, /*parent_id=*/0,
+                        SimTime{header.collect_start_us},
+                        SimTime{sent_at_us});
+    retx_ring_.push_back(
+        SentBatch{sequence, encoded_header, encoded_message, sent_at_us});
     if (retx_ring_.size() > kRetxRingCapacity) retx_ring_.pop_front();
     for (const auto& sub : subscriptions_) {
       oran::RicIndication indication;
@@ -337,11 +361,12 @@ void RicAgent::flush() {
       indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
       indication.action_id = sub.action_id;
       indication.sequence_number = sequence;
+      indication.sent_at_us = sent_at_us;
       indication.type = oran::RicIndicationType::kReport;
       indication.header = encoded_header;
       indication.message = encoded_message;
       hooks_.to_ric(node_id_, encode_e2ap(indication));
-      ++indications_sent_;
+      indications_sent_->inc();
     }
     offset += count;
     first_chunk = false;
@@ -350,29 +375,34 @@ void RicAgent::flush() {
 }
 
 void RicAgent::handle_nack(const oran::RicIndicationNack& nack) {
-  const Subscription* sub = nullptr;
-  for (const auto& s : subscriptions_) {
-    if (s.request_id == nack.request_id) {
-      sub = &s;
-      break;
+  // A batched NACK may carry ranges for several subscriptions (the RIC
+  // coalesces per node); resolve each range's subscription independently.
+  for (const auto& range : nack.ranges) {
+    const Subscription* sub = nullptr;
+    for (const auto& s : subscriptions_) {
+      if (s.request_id == range.request_id) {
+        sub = &s;
+        break;
+      }
     }
-  }
-  if (!sub) return;  // subscription torn down since the batch was sent
-  for (std::uint64_t seq = nack.first_sequence; seq <= nack.last_sequence;
-       ++seq) {
-    for (const auto& batch : retx_ring_) {
-      if (batch.sequence != seq) continue;
-      oran::RicIndication indication;
-      indication.request_id = sub->request_id;
-      indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
-      indication.action_id = sub->action_id;
-      indication.sequence_number = batch.sequence;
-      indication.type = oran::RicIndicationType::kReport;
-      indication.header = batch.header;
-      indication.message = batch.message;
-      hooks_.to_ric(node_id_, encode_e2ap(indication));
-      ++indications_retransmitted_;
-      break;
+    if (!sub) continue;  // subscription torn down since the batch was sent
+    for (std::uint64_t seq = range.first_sequence; seq <= range.last_sequence;
+         ++seq) {
+      for (const auto& batch : retx_ring_) {
+        if (batch.sequence != seq) continue;
+        oran::RicIndication indication;
+        indication.request_id = sub->request_id;
+        indication.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
+        indication.action_id = sub->action_id;
+        indication.sequence_number = batch.sequence;
+        indication.sent_at_us = batch.sent_at_us;
+        indication.type = oran::RicIndicationType::kReport;
+        indication.header = batch.header;
+        indication.message = batch.message;
+        hooks_.to_ric(node_id_, encode_e2ap(indication));
+        indications_retransmitted_->inc();
+        break;
+      }
     }
   }
 }
@@ -406,10 +436,10 @@ void RicAgent::schedule_reconnect() {
 
 void RicAgent::attempt_reconnect() {
   reconnect_pending_ = false;
-  ++reconnect_attempts_;
+  reconnect_attempts_->inc();
   auto connected = hooks_.try_connect();
   if (connected) {
-    ++reconnects_;
+    reconnects_->inc();
     backoff_ms_ = kBackoffBaseMs;
     XSEC_LOG_INFO("agent", "node ", node_id_, " re-established E2 setup");
     return;

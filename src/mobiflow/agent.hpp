@@ -12,12 +12,14 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "mobiflow/record.hpp"
+#include "obs/trace.hpp"
 #include "oran/e2sm.hpp"
 #include "oran/ric.hpp"
 #include "ran/interfaces.hpp"
@@ -54,6 +56,9 @@ struct AgentHooks {
   /// Attempts the E2 Setup exchange (wired to FaultyE2Transport::connect).
   /// Optional: without it the agent cannot reconnect after link loss.
   std::function<Result<std::uint64_t>()> try_connect;
+  /// Shared observability bundle; the agent creates a private one when
+  /// absent (standalone tests). Metric names are "agent.node<id>.*".
+  obs::Observability* obs = nullptr;
 };
 
 class RicAgent : public oran::E2NodeLink {
@@ -69,22 +74,26 @@ class RicAgent : public oran::E2NodeLink {
   void on_link_state(bool up) override;
 
   std::uint64_t node_id() const { return node_id_; }
-  std::size_t records_collected() const { return records_collected_; }
-  std::size_t indications_sent() const { return indications_sent_; }
-  std::size_t parse_errors() const { return parse_errors_; }
+  std::size_t records_collected() const { return records_collected_->value(); }
+  std::size_t indications_sent() const { return indications_sent_->value(); }
+  std::size_t parse_errors() const { return parse_errors_->value(); }
   bool subscribed() const { return !subscriptions_.empty(); }
   std::size_t subscription_count() const { return subscriptions_.size(); }
 
   /// Successful E2 Setup exchanges after a link loss.
-  std::size_t reconnects() const { return reconnects_; }
+  std::size_t reconnects() const { return reconnects_->value(); }
   /// Setup attempts made by the backoff loop (including failures).
-  std::size_t reconnect_attempts() const { return reconnect_attempts_; }
+  std::size_t reconnect_attempts() const {
+    return reconnect_attempts_->value();
+  }
   /// Indications replayed from the retransmission ring in response to NACKs.
   std::size_t indications_retransmitted() const {
-    return indications_retransmitted_;
+    return indications_retransmitted_->value();
   }
   /// Records discarded because the outage backlog overflowed.
-  std::size_t records_dropped_outage() const { return records_dropped_outage_; }
+  std::size_t records_dropped_outage() const {
+    return records_dropped_outage_->value();
+  }
 
   /// Direct access to collection for offline dataset building (bypasses
   /// E2 reporting): every parsed record is also handed to this sink.
@@ -108,11 +117,15 @@ class RicAgent : public oran::E2NodeLink {
     oran::e2sm::ActionDefinition action;
   };
   /// One sent report batch, kept for NACK-driven replay. The header and
-  /// message encodings are shared by every subscription's copy.
+  /// message encodings are shared by every subscription's copy. The
+  /// first-transmission timestamp rides along so a replayed indication
+  /// still carries the original send time (the RIC's transit span then
+  /// includes the retransmission delay).
   struct SentBatch {
     std::uint32_t sequence = 0;
     Bytes header;
     Bytes message;
+    std::int64_t sent_at_us = 0;
   };
 
   /// Sent batches retained for retransmission (oldest evicted first).
@@ -144,11 +157,20 @@ class RicAgent : public oran::E2NodeLink {
   std::vector<Record> buffer_;
   SimTime buffer_start_{0};
   std::uint32_t next_sequence_ = 1;
-  std::size_t records_collected_ = 0;
-  std::size_t indications_sent_ = 0;
-  std::size_t parse_errors_ = 0;
   bool flush_timer_armed_ = false;
   std::function<void(const Record&)> record_sink_;
+
+  /// Registry handles bound once at construction under "agent.node<id>.*"
+  /// (hot path stays allocation- and lookup-free).
+  std::unique_ptr<obs::Observability> own_obs_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* records_collected_ = nullptr;
+  obs::Counter* indications_sent_ = nullptr;
+  obs::Counter* parse_errors_ = nullptr;
+  obs::Counter* reconnects_ = nullptr;
+  obs::Counter* reconnect_attempts_ = nullptr;
+  obs::Counter* indications_retransmitted_ = nullptr;
+  obs::Counter* records_dropped_outage_ = nullptr;
 
   // --- resilience state ---
   std::deque<SentBatch> retx_ring_;
@@ -160,10 +182,6 @@ class RicAgent : public oran::E2NodeLink {
   bool reconnect_pending_ = false;
   std::int64_t backoff_ms_ = kBackoffBaseMs;
   Rng backoff_rng_;
-  std::size_t reconnects_ = 0;
-  std::size_t reconnect_attempts_ = 0;
-  std::size_t indications_retransmitted_ = 0;
-  std::size_t records_dropped_outage_ = 0;
 };
 
 }  // namespace xsec::mobiflow

@@ -1,0 +1,151 @@
+#include "obs/export.hpp"
+
+#include "common/strings.hpp"
+
+namespace xsec::obs {
+
+namespace {
+
+/// Deterministic fixed-point rendering for gauge values. Gauges hold
+/// operator-scale levels (thresholds, flags, depths); six decimals is
+/// enough and never exercises locale/float-format variance.
+std::string render_double(double v) { return format_fixed(v, 6); }
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "xsec_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& metrics) {
+  std::string out;
+  for (const auto& [name, c] : metrics.counters()) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : metrics.gauges()) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + render_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    std::string pname = prometheus_name(name);
+    out += "# TYPE " + pname + " histogram\n";
+    // Cumulative buckets, only at occupied edges (log2 buckets make the
+    // full ladder 65 lines of mostly zeros).
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      cumulative += n;
+      out += pname + "_bucket{le=\"" +
+             std::to_string(Histogram::bucket_upper_edge(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += pname + "_sum " + std::to_string(h->sum()) + "\n";
+    out += pname + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const MetricsRegistry& metrics, const Tracer* tracer,
+                        std::size_t max_spans) {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : metrics.counters()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : metrics.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + render_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"min\":" + std::to_string(h->min()) +
+           ",\"max\":" + std::to_string(h->max()) +
+           ",\"p50\":" + std::to_string(h->quantile_upper(0.5)) +
+           ",\"p99\":" + std::to_string(h->quantile_upper(0.99)) +
+           ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "[" + std::to_string(Histogram::bucket_upper_edge(b)) + "," +
+             std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}";
+  if (tracer) {
+    out += ",\"spans\":{\"started\":" + std::to_string(tracer->spans_started()) +
+           ",\"finished\":" + std::to_string(tracer->spans_finished()) +
+           ",\"evicted\":" + std::to_string(tracer->spans_evicted()) +
+           ",\"recent\":[";
+    const auto& finished = tracer->finished();
+    std::size_t start =
+        finished.size() > max_spans ? finished.size() - max_spans : 0;
+    for (std::size_t i = start; i < finished.size(); ++i) {
+      const SpanRecord& s = finished[i];
+      if (i != start) out += ',';
+      out += "{\"name\":";
+      append_json_string(out, s.name);
+      out += ",\"trace\":" + std::to_string(s.trace_id) +
+             ",\"id\":" + std::to_string(s.span_id) +
+             ",\"parent\":" + std::to_string(s.parent_id) +
+             ",\"start_us\":" + std::to_string(s.start_us) +
+             ",\"end_us\":" + std::to_string(s.end_us) + "}";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xsec::obs

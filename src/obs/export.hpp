@@ -1,0 +1,33 @@
+// Metric / span exporters.
+//
+// Two machine-readable snapshot formats, both byte-stable for a fixed
+// seed: instruments render in sorted name order, counters and histogram
+// buckets as plain integers, gauges in fixed-point — no wall-clock
+// timestamps, pointers, or float round-trips anywhere.
+//   - Prometheus text exposition (what an SMO-side scraper ingests);
+//     metric names are sanitized ('.' -> '_') and prefixed "xsec_".
+//   - JSON snapshot (metrics plus the most recent completed spans), for
+//     the SDL-published report and offline diffing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xsec::obs {
+
+/// Prometheus text exposition of every instrument in the registry.
+std::string render_prometheus(const MetricsRegistry& metrics);
+
+/// JSON snapshot: all metrics, plus (when a tracer is given) span totals
+/// and the `max_spans` most recent completed spans.
+std::string render_json(const MetricsRegistry& metrics,
+                        const Tracer* tracer = nullptr,
+                        std::size_t max_spans = 64);
+
+/// "agent.node1001.records" -> "xsec_agent_node1001_records".
+std::string prometheus_name(const std::string& name);
+
+}  // namespace xsec::obs

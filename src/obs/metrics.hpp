@@ -1,0 +1,142 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms.
+//
+// The observability core for the whole pipeline. Design constraints:
+//   - Dependency-free (only common/): the oran layer links it, so it can
+//     pull in nothing above bytes/strings/clock.
+//   - Allocation-free hot path: callers resolve a metric by name ONCE
+//     (binding a raw pointer) and then increment/observe through the
+//     pointer. The registry itself only allocates at bind time.
+//   - Deterministic export: metrics iterate in sorted name order and hold
+//     only integer/fixed-point state, so two identical seeded runs render
+//     byte-identical snapshots.
+//   - Lock-free friendly: each instrument is a single word (or a fixed
+//     array of words) that could be made atomic without changing the API;
+//     the sim is single-threaded so plain integers are used today.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace xsec::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, breaker state, threshold).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram over non-negative integer samples (microsecond
+/// latencies, batch sizes). Bucket b counts samples of bit-width b, i.e.
+/// bucket 0 holds the value 0 and bucket b>0 holds [2^(b-1), 2^b). The
+/// bucket array is fixed-size, so observe() never allocates.
+class Histogram {
+ public:
+  /// Buckets for bit widths 0..64 inclusive.
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Largest value bucket b can hold (inclusive upper edge): 2^b - 1.
+  static std::uint64_t bucket_upper_edge(std::size_t b) {
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void observe(std::uint64_t v) {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    ++count_;
+    sum_ += v;
+    ++buckets_[bucket_of(v)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket_count(std::size_t b) const { return buckets_[b]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Upper edge of the bucket containing the q-th quantile (q in [0,1]).
+  /// Log-bucketed, so this is an upper bound accurate to 2x.
+  std::uint64_t quantile_upper(double q) const;
+
+  void reset() {
+    count_ = sum_ = min_ = max_ = 0;
+    buckets_.fill(0);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Name -> instrument registry. Instruments are owned by the registry and
+/// never move once created, so the references handed out stay valid for
+/// the registry's lifetime (components bind them once and increment
+/// through the pointer on the hot path).
+class MetricsRegistry {
+ public:
+  using CounterMap =
+      std::map<std::string, std::unique_ptr<Counter>, std::less<>>;
+  using GaugeMap = std::map<std::string, std::unique_ptr<Gauge>, std::less<>>;
+  using HistogramMap =
+      std::map<std::string, std::unique_ptr<Histogram>, std::less<>>;
+
+  /// Get-or-create. A name identifies exactly one instrument kind; asking
+  /// for the same name with the same kind returns the same instrument.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  const CounterMap& counters() const { return counters_; }
+  const GaugeMap& gauges() const { return gauges_; }
+  const HistogramMap& histograms() const { return histograms_; }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zeroes every instrument (names stay registered).
+  void reset();
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  HistogramMap histograms_;
+};
+
+}  // namespace xsec::obs

@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace xsec::obs {
+
+void Span::finish() {
+  if (!tracer_) return;
+  tracer_->finish_span(id_);
+  tracer_ = nullptr;
+  id_ = 0;
+}
+
+Span Tracer::begin(std::string_view name, std::uint64_t trace_id,
+                   std::uint32_t parent_id) {
+  OpenSpan span;
+  span.span_id = next_span_id_++;
+  span.trace_id = trace_id != 0 ? trace_id
+                 : open_.empty() ? 0
+                                 : open_.back().trace_id;
+  span.parent_id = parent_id != 0 ? parent_id : current();
+  span.name = std::string(name);
+  span.start_us = now().us;
+  ++spans_started_;
+  if (span.parent_id == 0 && span.trace_id != 0)
+    note_root(span.trace_id, span.span_id);
+  open_.push_back(std::move(span));
+  return Span(this, open_.back().span_id);
+}
+
+std::uint32_t Tracer::record(std::string_view name, std::uint64_t trace_id,
+                             std::uint32_t parent_id, SimTime start,
+                             SimTime end) {
+  SpanRecord record;
+  record.span_id = next_span_id_++;
+  record.trace_id = trace_id;
+  record.parent_id = parent_id;
+  record.name = std::string(name);
+  record.start_us = start.us;
+  record.end_us = end.us;
+  ++spans_started_;
+  if (parent_id == 0 && trace_id != 0) note_root(trace_id, record.span_id);
+  std::uint32_t id = record.span_id;
+  complete(std::move(record));
+  return id;
+}
+
+void Tracer::finish_span(std::uint32_t id) {
+  // RAII scoping makes finishes LIFO, but moved-from / reassigned spans can
+  // finish out of order; find the entry wherever it sits.
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [id](const OpenSpan& s) { return s.span_id == id; });
+  if (it == open_.end()) return;
+  SpanRecord record;
+  record.span_id = it->span_id;
+  record.parent_id = it->parent_id;
+  record.trace_id = it->trace_id;
+  record.name = std::move(it->name);
+  record.start_us = it->start_us;
+  record.end_us = now().us;
+  open_.erase(it);
+  complete(std::move(record));
+}
+
+void Tracer::complete(SpanRecord record) {
+  ++spans_finished_;
+  if (metrics_) {
+    std::int64_t d = record.duration_us();
+    metrics_->histogram("span." + record.name)
+        .observe(d > 0 ? static_cast<std::uint64_t>(d) : 0);
+  }
+  finished_.push_back(std::move(record));
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++spans_evicted_;
+  }
+}
+
+void Tracer::note_root(std::uint64_t trace_id, std::uint32_t span_id) {
+  auto [it, inserted] = roots_.emplace(trace_id, span_id);
+  if (!inserted) {
+    it->second = span_id;  // a fresh root supersedes (trace-id reuse)
+    return;
+  }
+  root_order_.push_back(trace_id);
+  while (root_order_.size() > kMaxRoots) {
+    roots_.erase(root_order_.front());
+    root_order_.pop_front();
+  }
+}
+
+std::uint32_t Tracer::root_of(std::uint64_t trace_id) const {
+  auto it = roots_.find(trace_id);
+  return it == roots_.end() ? 0 : it->second;
+}
+
+void Tracer::reset() {
+  open_.clear();
+  finished_.clear();
+  roots_.clear();
+  root_order_.clear();
+  next_span_id_ = 1;
+  spans_started_ = spans_finished_ = spans_evicted_ = 0;
+}
+
+}  // namespace xsec::obs

@@ -253,6 +253,7 @@ Bytes encode_e2ap(const RicIndication& m) {
   w.u16(m.ran_function_id);
   w.u16(m.action_id);
   w.u32(m.sequence_number);
+  w.i64(m.sent_at_us);
   w.u8(static_cast<std::uint8_t>(m.type));
   encode_blob(w, m.header);
   encode_blob(w, m.message);
@@ -276,6 +277,9 @@ Result<RicIndication> decode_indication(const Bytes& wire) {
   auto sn = r.u32();
   if (!sn) return sn.error();
   m.sequence_number = sn.value();
+  auto sent_at = r.i64();
+  if (!sent_at) return sent_at.error();
+  m.sent_at_us = sent_at.value();
   auto type = r.u8();
   if (!type) return type.error();
   if (type.value() > 1)
@@ -293,10 +297,13 @@ Result<RicIndication> decode_indication(const Bytes& wire) {
 Bytes encode_e2ap(const RicIndicationNack& m) {
   ByteWriter w;
   header(w, E2apType::kIndicationNack);
-  encode_request_id(w, m.request_id);
   w.u16(m.ran_function_id);
-  w.u32(m.first_sequence);
-  w.u32(m.last_sequence);
+  w.u16(static_cast<std::uint16_t>(m.ranges.size()));
+  for (const auto& range : m.ranges) {
+    encode_request_id(w, range.request_id);
+    w.u32(range.first_sequence);
+    w.u32(range.last_sequence);
+  }
   return w.take();
 }
 
@@ -305,20 +312,28 @@ Result<RicIndicationNack> decode_indication_nack(const Bytes& wire) {
   if (!reader) return reader.error();
   ByteReader& r = reader.value();
   RicIndicationNack m;
-  auto id = decode_request_id(r);
-  if (!id) return id.error();
-  m.request_id = id.value();
   auto fn = r.u16();
   if (!fn) return fn.error();
   m.ran_function_id = fn.value();
-  auto first = r.u32();
-  if (!first) return first.error();
-  m.first_sequence = first.value();
-  auto last = r.u32();
-  if (!last) return last.error();
-  m.last_sequence = last.value();
-  if (m.last_sequence < m.first_sequence)
-    return Error::make("malformed", "NACK sequence range inverted");
+  auto count = r.u16();
+  if (!count) return count.error();
+  if (count.value() == 0)
+    return Error::make("malformed", "NACK carries no sequence ranges");
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    NackRange range;
+    auto id = decode_request_id(r);
+    if (!id) return id.error();
+    range.request_id = id.value();
+    auto first = r.u32();
+    if (!first) return first.error();
+    range.first_sequence = first.value();
+    auto last = r.u32();
+    if (!last) return last.error();
+    range.last_sequence = last.value();
+    if (range.last_sequence < range.first_sequence)
+      return Error::make("malformed", "NACK sequence range inverted");
+    m.ranges.push_back(range);
+  }
   return m;
 }
 

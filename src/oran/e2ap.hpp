@@ -76,20 +76,33 @@ struct RicIndication {
   std::uint16_t ran_function_id = 0;
   std::uint16_t action_id = 0;
   std::uint32_t sequence_number = 0;
+  /// Sim time (us) the batch was FIRST transmitted. Retransmissions carry
+  /// the original stamp, so the RIC's delivery-time minus sent_at_us is
+  /// the true E2 transit latency including retransmission delay. 0 on
+  /// frames from senders that do not stamp.
+  std::int64_t sent_at_us = 0;
   RicIndicationType type = RicIndicationType::kReport;
   Bytes header;   // service-model indication header
   Bytes message;  // service-model indication message
 };
 
-/// Node-bound retransmission request for a run of missing indication
-/// sequence numbers (inclusive range). Not part of O-RAN E2AP — this
-/// reproduction's reliability extension: the RIC detects sequence gaps per
-/// subscription and asks the agent to replay from its retransmission ring.
-struct RicIndicationNack {
+/// One missing run of indication sequence numbers (inclusive range) on one
+/// subscription's stream.
+struct NackRange {
   RicRequestId request_id;
-  std::uint16_t ran_function_id = 0;
   std::uint32_t first_sequence = 0;
   std::uint32_t last_sequence = 0;
+  auto operator<=>(const NackRange&) const = default;
+};
+
+/// Node-bound retransmission request. Not part of O-RAN E2AP — this
+/// reproduction's reliability extension: the RIC detects sequence gaps per
+/// subscription and asks the agent to replay from its retransmission ring.
+/// Carries one range per subscription stream so the RIC can coalesce every
+/// stream's NACK for a node into a single reverse-path PDU per round.
+struct RicIndicationNack {
+  std::uint16_t ran_function_id = 0;
+  std::vector<NackRange> ranges;
 };
 
 struct RicControlRequest {

@@ -1,8 +1,45 @@
 #include "oran/ric.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace xsec::oran {
+
+obs::Observability& NearRtRic::observability() const {
+  if (obs_) return *obs_;
+  if (!own_obs_) own_obs_ = std::make_unique<obs::Observability>();
+  return *own_obs_;
+}
+
+void NearRtRic::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  metrics_ = Metrics{};  // re-bind against the injected registry
+  sdl_.set_metrics(obs ? &obs->metrics : nullptr);
+}
+
+NearRtRic::Metrics& NearRtRic::m() const {
+  if (!metrics_.bound) {
+    obs::MetricsRegistry& r = observability().metrics;
+    metrics_.received = &r.counter("ric.indications_received");
+    metrics_.dropped = &r.counter("ric.indications_dropped");
+    metrics_.duplicates = &r.counter("ric.duplicates_suppressed");
+    metrics_.recovered = &r.counter("ric.indications_recovered");
+    metrics_.gaps = &r.counter("ric.gaps_detected");
+    metrics_.nacks = &r.counter("ric.nacks_sent");
+    metrics_.nack_batched = &r.counter("e2.nack_batched");
+    metrics_.reconnects = &r.counter("ric.node_reconnects");
+    metrics_.stale_cleared = &r.counter("ric.stale_subscriptions_cleared");
+    metrics_.bound = true;
+  }
+  return metrics_;
+}
+
+obs::Counter& NearRtRic::node_counter(const char* what,
+                                      std::uint64_t node_id) const {
+  return observability().metrics.counter("ric.node" + std::to_string(node_id) +
+                                         "." + what);
+}
 
 Result<std::uint64_t> NearRtRic::connect_node(E2NodeLink* link) {
   Bytes wire = link->setup_request();
@@ -22,7 +59,7 @@ Result<std::uint64_t> NearRtRic::connect_node(E2NodeLink* link) {
     // Node-side restart (or link recovery): everything keyed to the old
     // connection is stale. Tear it down explicitly — subscriptions do not
     // survive an E2 Setup — and let xApps re-establish below.
-    ++node_reconnects_;
+    m().reconnects->inc();
     clear_node_state(node_id);
     XSEC_LOG_INFO("ric", "E2 node ", node_id,
                   " re-setup: stale subscription state torn down");
@@ -30,6 +67,7 @@ Result<std::uint64_t> NearRtRic::connect_node(E2NodeLink* link) {
   Node node;
   node.link = link;
   node.functions = setup.value().functions;
+  node.indications = &node_counter("indications", node_id);
   nodes_[node_id] = std::move(node);
 
   E2SetupResponse response;
@@ -48,13 +86,14 @@ Result<std::uint64_t> NearRtRic::connect_node(E2NodeLink* link) {
 void NearRtRic::clear_node_state(std::uint64_t node_id) {
   for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
     if (it->first.node_id == node_id) {
-      ++stale_subscriptions_cleared_;
+      m().stale_cleared->inc();
       streams_.erase(it->first);
       it = subscriptions_.erase(it);
     } else {
       ++it;
     }
   }
+  staged_nacks_.erase(node_id);
   nodes_.erase(node_id);
 }
 
@@ -67,6 +106,7 @@ void NearRtRic::disconnect_node(std::uint64_t node_id) {
       ++it;
     }
   }
+  staged_nacks_.erase(node_id);
   nodes_.erase(node_id);
 }
 
@@ -86,7 +126,7 @@ std::vector<std::uint64_t> NearRtRic::connected_nodes() const {
 
 XApp* NearRtRic::register_xapp(std::unique_ptr<XApp> xapp) {
   XApp* raw = xapp.get();
-  raw->attach(this, &sdl_, &router_, next_requestor_id_++);
+  raw->attach(this, &sdl_, &router_, next_requestor_id_++, &observability());
   xapps_.push_back(std::move(xapp));
   raw->on_start();
   XSEC_LOG_INFO("ric", "xApp registered: ", raw->name());
@@ -160,6 +200,25 @@ void NearRtRic::send_control(XApp* xapp, std::uint64_t node_id,
   node_it->second.link->on_e2ap(encode_e2ap(request));
 }
 
+void NearRtRic::deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
+                                const RicIndication& indication) {
+  obs::Observability& o = observability();
+  // One trace per indication of a node; every stage of its journey
+  // (agent.encode -> e2.transit -> ric.deliver -> mobiwatch.*) shares it.
+  std::uint64_t trace_id =
+      (key.node_id << 32) | indication.sequence_number;
+  std::uint32_t transit_id = 0;
+  if (indication.sent_at_us > 0 && o.tracer.has_clock()) {
+    // Transit measured from the FIRST transmission (retransmits keep the
+    // original stamp), so the distribution includes retransmission delay.
+    transit_id =
+        o.tracer.record("e2.transit", trace_id, o.tracer.root_of(trace_id),
+                        SimTime{indication.sent_at_us}, o.tracer.now());
+  }
+  obs::Span span = o.tracer.begin("ric.deliver", trace_id, transit_id);
+  xapp->on_indication(key.node_id, indication);
+}
+
 void NearRtRic::deliver_in_order(const SubscriptionKey& key, Stream& stream) {
   auto sub = subscriptions_.find(key);
   if (sub == subscriptions_.end()) return;
@@ -169,8 +228,8 @@ void NearRtRic::deliver_in_order(const SubscriptionKey& key, Stream& stream) {
     stream.pending.erase(stream.pending.begin());
     stream.nack_counts.erase(stream.next_expected);
     ++stream.next_expected;
-    ++indications_recovered_;
-    sub->second->on_indication(key.node_id, next);
+    m().recovered->inc();
+    deliver_to_xapp(key, sub->second, next);
   }
 }
 
@@ -181,13 +240,26 @@ void NearRtRic::declare_gap(const SubscriptionKey& key, Stream& stream,
   for (std::uint32_t seq = first; seq != up_to; ++seq)
     stream.nack_counts.erase(seq);
   stream.next_expected = up_to;
-  ++gaps_detected_;
+  m().gaps->inc();
+  node_counter("gaps_detected", key.node_id).inc();
   XSEC_LOG_WARN("ric", "telemetry gap on node ", key.node_id,
                 ": indications [", first, ", ", up_to - 1, "] lost");
   if (sub != subscriptions_.end())
     sub->second->on_telemetry_gap(
         key.node_id, RicRequestId{key.requestor_id, key.instance_id}, first,
         up_to - 1);
+}
+
+void NearRtRic::send_single_nack(const SubscriptionKey& key, Stream& stream,
+                                 std::uint32_t lowest_pending) {
+  auto node_it = nodes_.find(key.node_id);
+  if (node_it == nodes_.end()) return;
+  RicIndicationNack nack;
+  nack.ranges.push_back(
+      NackRange{RicRequestId{key.requestor_id, key.instance_id},
+                stream.next_expected, lowest_pending - 1});
+  m().nacks->inc();
+  node_it->second.link->on_e2ap(encode_e2ap(nack));
 }
 
 void NearRtRic::maybe_nack(const SubscriptionKey& key, Stream& stream) {
@@ -206,11 +278,50 @@ void NearRtRic::maybe_nack(const SubscriptionKey& key, Stream& stream) {
     }
   }
   if (!any_budget) return;
+  if (!scheduler_) {
+    // Standalone mode: every missing run is chased immediately.
+    send_single_nack(key, stream, lowest_pending);
+    return;
+  }
+  // Batched mode: stage this stream's request and flush every stream's
+  // staged NACK for the node as ONE multi-range PDU at zero delay — after
+  // the rest of the reverse-path round's arrivals (same sim time) have
+  // been processed, so ranges healed within the round are not chased.
+  auto& staged = staged_nacks_[key.node_id];
+  bool flush_pending = !staged.empty();
+  if (std::find(staged.begin(), staged.end(), key) == staged.end())
+    staged.push_back(key);
+  if (!flush_pending) {
+    scheduler_(SimDuration{0},
+               [this, node_id = key.node_id] { flush_nacks(node_id); });
+  }
+}
+
+void NearRtRic::flush_nacks(std::uint64_t node_id) {
+  auto staged_it = staged_nacks_.find(node_id);
+  if (staged_it == staged_nacks_.end()) return;
+  std::vector<SubscriptionKey> staged = std::move(staged_it->second);
+  staged_nacks_.erase(staged_it);
+  auto node_it = nodes_.find(node_id);
+  if (node_it == nodes_.end()) return;  // link died between stage and flush
   RicIndicationNack nack;
-  nack.request_id = RicRequestId{key.requestor_id, key.instance_id};
-  nack.first_sequence = stream.next_expected;
-  nack.last_sequence = lowest_pending - 1;
-  ++nacks_sent_;
+  for (const SubscriptionKey& key : staged) {
+    auto stream_it = streams_.find(key);
+    if (stream_it == streams_.end()) continue;
+    Stream& stream = stream_it->second;
+    // Re-derive the missing run at flush time: an arrival later in the
+    // same round may have shrunk or healed it.
+    if (stream.pending.empty()) continue;
+    std::uint32_t lowest_pending = stream.pending.begin()->first;
+    if (stream.next_expected >= lowest_pending) continue;
+    nack.ranges.push_back(
+        NackRange{RicRequestId{key.requestor_id, key.instance_id},
+                  stream.next_expected, lowest_pending - 1});
+  }
+  if (nack.ranges.empty()) return;
+  m().nacks->inc();
+  if (nack.ranges.size() > 1)
+    m().nack_batched->inc(nack.ranges.size() - 1);
   node_it->second.link->on_e2ap(encode_e2ap(nack));
 }
 
@@ -220,7 +331,7 @@ void NearRtRic::handle_indication(std::uint64_t node_id,
   SubscriptionKey key{node_id, id.requestor_id, id.instance_id};
   auto sub = subscriptions_.find(key);
   if (sub == subscriptions_.end()) {
-    ++indications_dropped_;
+    m().dropped->inc();
     XSEC_LOG_DEBUG("ric", "indication without subscription from node ",
                    node_id);
     return;
@@ -234,19 +345,19 @@ void NearRtRic::handle_indication(std::uint64_t node_id,
     stream.next_expected = seq;
   }
   if (seq < stream.next_expected) {
-    ++duplicates_suppressed_;
+    m().duplicates->inc();
     return;
   }
   if (seq == stream.next_expected) {
     ++stream.next_expected;
     stream.nack_counts.erase(seq);
-    sub->second->on_indication(node_id, indication);
+    deliver_to_xapp(key, sub->second, indication);
     deliver_in_order(key, stream);
     return;
   }
   // Ahead of sequence: buffer and chase the missing run.
   if (stream.pending.count(seq)) {
-    ++duplicates_suppressed_;
+    m().duplicates->inc();
     return;
   }
   stream.pending.emplace(seq, std::move(indication));
@@ -291,10 +402,13 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
     case E2apType::kIndication: {
       auto indication = decode_indication(e2ap_wire);
       if (!indication) {
-        ++indications_dropped_;
+        m().dropped->inc();
         return;
       }
-      ++indications_received_;
+      m().received->inc();
+      auto node_it = nodes_.find(node_id);
+      if (node_it != nodes_.end() && node_it->second.indications)
+        node_it->second.indications->inc();
       handle_indication(node_id, std::move(indication).value());
       break;
     }

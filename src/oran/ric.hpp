@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "obs/trace.hpp"
 #include "oran/e2ap.hpp"
 #include "oran/router.hpp"
 #include "oran/sdl.hpp"
@@ -51,6 +52,24 @@ class NearRtRic {
 
   Sdl& sdl() { return sdl_; }
   MessageRouter& router() { return router_; }
+
+  /// Injects the shared observability bundle (pipeline mode). Must be
+  /// called before traffic flows; counters already bound to a private
+  /// registry are re-bound. Also instruments the SDL and is handed to
+  /// every xApp registered afterwards.
+  void set_observability(obs::Observability* obs);
+  /// The bundle in use: the injected one, or a lazily created private one
+  /// (standalone construction in unit tests).
+  obs::Observability& observability() const;
+
+  /// Event-queue hook enabling NACK batching: when set, per-stream NACKs
+  /// raised while one reverse-path round is processed are coalesced into a
+  /// single multi-range PDU per node, flushed at zero delay. Without it
+  /// (standalone unit tests) every NACK is sent immediately.
+  void set_scheduler(
+      std::function<void(SimDuration, std::function<void()>)> schedule) {
+    scheduler_ = std::move(schedule);
+  }
 
   // --- E2 termination -----------------------------------------------------
 
@@ -96,32 +115,45 @@ class NearRtRic {
                     std::uint16_t ran_function_id, Bytes header, Bytes message);
 
   // --- statistics -----------------------------------------------------------
+  // Every counter lives in the observability registry (names "ric.*" /
+  // "e2.*"); the accessors are snapshot views of the same instruments.
 
-  std::size_t indications_received() const { return indications_received_; }
-  std::size_t indications_dropped() const { return indications_dropped_; }
+  std::size_t indications_received() const {
+    return counter_value(m().received);
+  }
+  std::size_t indications_dropped() const { return counter_value(m().dropped); }
   std::size_t subscriptions_active() const { return subscriptions_.size(); }
   /// Indications discarded because their sequence number was already
   /// delivered or already buffered (transport duplicates, replayed retx).
-  std::size_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  std::size_t duplicates_suppressed() const {
+    return counter_value(m().duplicates);
+  }
   /// Out-of-order indications that were buffered and later delivered in
   /// order (reordering healed without a gap).
-  std::size_t indications_recovered() const { return indications_recovered_; }
+  std::size_t indications_recovered() const {
+    return counter_value(m().recovered);
+  }
   /// Sequence ranges abandoned after retransmission failed; each raised an
   /// on_telemetry_gap event on the owning xApp.
-  std::size_t gaps_detected() const { return gaps_detected_; }
-  std::size_t nacks_sent() const { return nacks_sent_; }
+  std::size_t gaps_detected() const { return counter_value(m().gaps); }
+  /// NACK PDUs sent (a batched PDU carrying several ranges counts once).
+  std::size_t nacks_sent() const { return counter_value(m().nacks); }
+  /// Extra per-stream NACKs absorbed by batching: ranges carried in
+  /// multi-range PDUs beyond the first ("e2.nack_batched").
+  std::size_t nacks_batched() const { return counter_value(m().nack_batched); }
   /// E2 Setup exchanges that replaced an existing connection (node-side
   /// restart / link recovery).
-  std::size_t node_reconnects() const { return node_reconnects_; }
+  std::size_t node_reconnects() const { return counter_value(m().reconnects); }
   /// Stale subscriptions torn down by a reconnect.
   std::size_t stale_subscriptions_cleared() const {
-    return stale_subscriptions_cleared_;
+    return counter_value(m().stale_cleared);
   }
 
  private:
   struct Node {
     E2NodeLink* link = nullptr;
     std::vector<RanFunction> functions;
+    obs::Counter* indications = nullptr;  // "ric.node<id>.indications"
   };
   struct SubscriptionKey {
     std::uint64_t node_id;
@@ -145,13 +177,41 @@ class NearRtRic {
   /// Retransmission requests per missing sequence before giving up.
   static constexpr std::uint8_t kMaxNacks = 3;
 
+  /// Registry handles, bound lazily on first use so standalone tests that
+  /// never inject an Observability get a private registry transparently.
+  struct Metrics {
+    obs::Counter* received = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::Counter* recovered = nullptr;
+    obs::Counter* gaps = nullptr;
+    obs::Counter* nacks = nullptr;
+    obs::Counter* nack_batched = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* stale_cleared = nullptr;
+    bool bound = false;
+  };
+
   void handle_indication(std::uint64_t node_id, RicIndication indication);
   void deliver_in_order(const SubscriptionKey& key, Stream& stream);
   /// Gives up on [stream.next_expected, up_to) and tells the xApp.
   void declare_gap(const SubscriptionKey& key, Stream& stream,
                    std::uint32_t up_to);
   void maybe_nack(const SubscriptionKey& key, Stream& stream);
+  void send_single_nack(const SubscriptionKey& key, Stream& stream,
+                        std::uint32_t lowest_pending);
+  void flush_nacks(std::uint64_t node_id);
   void clear_node_state(std::uint64_t node_id);
+  /// Deliver to the owning xApp inside a "ric.deliver" span (so xApp-side
+  /// spans nest under it) and record the indication's e2.transit latency.
+  void deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
+                       const RicIndication& indication);
+
+  Metrics& m() const;
+  static std::size_t counter_value(const obs::Counter* c) {
+    return c ? static_cast<std::size_t>(c->value()) : 0;
+  }
+  obs::Counter& node_counter(const char* what, std::uint64_t node_id) const;
 
   Sdl sdl_;
   MessageRouter router_;
@@ -161,14 +221,14 @@ class NearRtRic {
   std::map<SubscriptionKey, Stream> streams_;
   std::uint32_t next_requestor_id_ = 1;
   std::uint32_t next_instance_id_ = 1;
-  std::size_t indications_received_ = 0;
-  std::size_t indications_dropped_ = 0;
-  std::size_t duplicates_suppressed_ = 0;
-  std::size_t indications_recovered_ = 0;
-  std::size_t gaps_detected_ = 0;
-  std::size_t nacks_sent_ = 0;
-  std::size_t node_reconnects_ = 0;
-  std::size_t stale_subscriptions_cleared_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  mutable std::unique_ptr<obs::Observability> own_obs_;
+  mutable Metrics metrics_;
+  std::function<void(SimDuration, std::function<void()>)> scheduler_;
+  /// Subscription streams with a staged NACK, per node, for the pending
+  /// zero-delay flush round.
+  std::map<std::uint64_t, std::vector<SubscriptionKey>> staged_nacks_;
 };
 
 }  // namespace xsec::oran

@@ -22,6 +22,7 @@ enum MessageType : std::uint32_t {
   kMtAnalysisReport = 30002,  // LLM analyzer -> subscribers (e.g. SMO shim)
   kMtControlAction = 30003,   // analyzer-proposed remediation
   kMtHumanReview = 30004,     // contradictory verdicts escalated to operator
+  kMtMetricsReport = 30005,   // periodic observability export (SMO-bound)
 };
 
 struct RoutedMessage {

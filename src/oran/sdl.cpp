@@ -4,7 +4,18 @@
 
 namespace xsec::oran {
 
+void Sdl::set_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    sets_ = gets_ = removes_ = nullptr;
+    return;
+  }
+  sets_ = &registry->counter("sdl.sets");
+  gets_ = &registry->counter("sdl.gets");
+  removes_ = &registry->counter("sdl.removes");
+}
+
 void Sdl::set(const std::string& ns, const std::string& key, Bytes value) {
+  if (sets_) sets_->inc();
   namespaces_[ns][key] = std::move(value);
   notify(ns, key);
 }
@@ -16,6 +27,7 @@ void Sdl::set_str(const std::string& ns, const std::string& key,
 
 std::optional<Bytes> Sdl::get(const std::string& ns,
                               const std::string& key) const {
+  if (gets_) gets_->inc();
   auto ns_it = namespaces_.find(ns);
   if (ns_it == namespaces_.end()) return std::nullopt;
   auto it = ns_it->second.find(key);
@@ -31,6 +43,7 @@ std::optional<std::string> Sdl::get_str(const std::string& ns,
 }
 
 bool Sdl::remove(const std::string& ns, const std::string& key) {
+  if (removes_) removes_->inc();
   auto ns_it = namespaces_.find(ns);
   if (ns_it == namespaces_.end()) return false;
   bool erased = ns_it->second.erase(key) > 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "obs/metrics.hpp"
 
 namespace xsec::oran {
 
@@ -22,6 +23,11 @@ class Sdl {
  public:
   using WatchHandler =
       std::function<void(const std::string& ns, const std::string& key)>;
+
+  /// Binds op counters ("sdl.sets" / "sdl.gets" / "sdl.removes") into a
+  /// registry. nullptr detaches (ops stop counting). Wired by
+  /// NearRtRic::set_observability.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   void set(const std::string& ns, const std::string& key, Bytes value);
   void set_str(const std::string& ns, const std::string& key,
@@ -49,6 +55,9 @@ class Sdl {
  private:
   void notify(const std::string& ns, const std::string& key);
 
+  obs::Counter* sets_ = nullptr;
+  obs::Counter* gets_ = nullptr;
+  obs::Counter* removes_ = nullptr;
   std::map<std::string, std::map<std::string, Bytes>> namespaces_;
   // Handlers are held by shared_ptr and invoked through a copied handle:
   // a handler may itself call watch() (re-entrancy), which would otherwise

@@ -12,7 +12,37 @@ FaultyE2Transport::FaultyE2Transport(NearRtRic* ric, E2NodeLink* node,
       node_(node),
       plan_(std::move(plan)),
       hooks_(std::move(hooks)),
-      rng_(plan_.seed) {}
+      rng_(plan_.seed) {
+  obs::Observability* obs = hooks_.obs;
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  const std::string& scope = hooks_.metric_scope;
+  obs::MetricsRegistry& r = obs->metrics;
+  frames_sent_ = &r.counter(scope + ".frames_sent");
+  frames_delivered_ = &r.counter(scope + ".frames_delivered");
+  frames_dropped_ = &r.counter(scope + ".frames_dropped");
+  frames_duplicated_ = &r.counter(scope + ".frames_duplicated");
+  frames_reordered_ = &r.counter(scope + ".frames_reordered");
+  link_down_drops_ = &r.counter(scope + ".link_down_drops");
+  link_down_events_ = &r.counter(scope + ".link_down_events");
+  link_up_events_ = &r.counter(scope + ".link_up_events");
+  transit_us_ = &r.histogram(scope + ".transit_us");
+}
+
+TransportCounters FaultyE2Transport::counters() const {
+  TransportCounters c;
+  c.frames_sent = frames_sent_->value();
+  c.frames_delivered = frames_delivered_->value();
+  c.frames_dropped = frames_dropped_->value();
+  c.frames_duplicated = frames_duplicated_->value();
+  c.frames_reordered = frames_reordered_->value();
+  c.link_down_drops = link_down_drops_->value();
+  c.link_down_events = link_down_events_->value();
+  c.link_up_events = link_up_events_->value();
+  return c;
+}
 
 void FaultyE2Transport::arm_epochs() {
   SimTime now = hooks_.now();
@@ -42,9 +72,9 @@ void FaultyE2Transport::on_e2ap(const Bytes& wire) {
 
 void FaultyE2Transport::send(Bytes wire, bool toward_ric,
                              std::uint64_t node_id) {
-  ++counters_.frames_sent;
+  frames_sent_->inc();
   if (!link_up_) {
-    ++counters_.link_down_drops;
+    link_down_drops_->inc();
     return;
   }
   // Random faults target the telemetry path (indications and the NACKs
@@ -56,22 +86,23 @@ void FaultyE2Transport::send(Bytes wire, bool toward_ric,
                             type.value() == E2apType::kIndicationNack);
   if (faultable && plan_.drop_probability > 0.0 &&
       rng_.chance(plan_.drop_probability)) {
-    ++counters_.frames_dropped;
+    frames_dropped_->inc();
     return;
   }
   int copies = 1;
   if (faultable && plan_.duplicate_probability > 0.0 &&
       rng_.chance(plan_.duplicate_probability)) {
-    ++counters_.frames_duplicated;
+    frames_duplicated_->inc();
     copies = 2;
   }
+  SimTime sent_at = hooks_.now ? hooks_.now() : SimTime{0};
   std::int64_t base_ms =
       toward_ric ? plan_.delay_node_to_ric_ms : plan_.delay_ric_to_node_ms;
   for (int i = 0; i < copies; ++i) {
     std::int64_t delay_ms = base_ms;
     if (faultable && plan_.reorder_probability > 0.0 &&
         rng_.chance(plan_.reorder_probability)) {
-      ++counters_.frames_reordered;
+      frames_reordered_->inc();
       delay_ms += static_cast<std::int64_t>(
           rng_.uniform_u64(1, plan_.reorder_extra_ms_max));
     }
@@ -79,25 +110,30 @@ void FaultyE2Transport::send(Bytes wire, bool toward_ric,
       // Zero transit delay: deliver synchronously. This is the seed
       // pipeline's RIC -> node semantics and several tests depend on it
       // (e.g. subscription state visible immediately after connect).
-      deliver(wire, toward_ric, node_id);
+      deliver(wire, toward_ric, node_id, sent_at);
       continue;
     }
     hooks_.schedule(
         SimDuration::from_ms(static_cast<double>(delay_ms)),
-        [this, wire, toward_ric, node_id] {
+        [this, wire, toward_ric, node_id, sent_at] {
           // The link may have gone down while the frame was in flight.
           if (!link_up_) {
-            ++counters_.link_down_drops;
+            link_down_drops_->inc();
             return;
           }
-          deliver(wire, toward_ric, node_id);
+          deliver(wire, toward_ric, node_id, sent_at);
         });
   }
 }
 
 void FaultyE2Transport::deliver(const Bytes& wire, bool toward_ric,
-                                std::uint64_t node_id) {
-  ++counters_.frames_delivered;
+                                std::uint64_t node_id, SimTime sent_at) {
+  frames_delivered_->inc();
+  if (toward_ric && hooks_.now) {
+    SimDuration transit = hooks_.now() - sent_at;
+    if (transit.us >= 0)
+      transit_us_->observe(static_cast<std::uint64_t>(transit.us));
+  }
   if (toward_ric)
     ric_->from_node(node_id, wire);
   else
@@ -107,7 +143,7 @@ void FaultyE2Transport::deliver(const Bytes& wire, bool toward_ric,
 void FaultyE2Transport::go_down() {
   if (!link_up_) return;
   link_up_ = false;
-  ++counters_.link_down_events;
+  link_down_events_->inc();
   XSEC_LOG_WARN("transport", "E2 link down (node ", node_id_, ")");
   if (node_id_ != 0) ric_->disconnect_node(node_id_);
   node_->on_link_state(false);
@@ -116,7 +152,7 @@ void FaultyE2Transport::go_down() {
 void FaultyE2Transport::go_up() {
   if (link_up_) return;
   link_up_ = true;
-  ++counters_.link_up_events;
+  link_up_events_->inc();
   XSEC_LOG_INFO("transport", "E2 link up (node ", node_id_, ")");
   node_->on_link_state(true);
 }

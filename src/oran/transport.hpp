@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -67,6 +69,11 @@ struct TransportCounters {
 struct TransportHooks {
   std::function<SimTime()> now;
   std::function<void(SimDuration, std::function<void()>)> schedule;
+  /// Shared observability bundle; the transport creates a private one when
+  /// absent (standalone tests).
+  obs::Observability* obs = nullptr;
+  /// Metric name prefix, e.g. "e2.node1001" in the multi-site pipeline.
+  std::string metric_scope = "e2";
 };
 
 /// The transport interposes as the RIC's E2NodeLink: the RIC talks to it
@@ -93,11 +100,13 @@ class FaultyE2Transport : public E2NodeLink {
   void on_e2ap(const Bytes& wire) override;
 
   bool link_up() const { return link_up_; }
-  const TransportCounters& counters() const { return counters_; }
+  /// Snapshot assembled from the registry counters ("<scope>.*").
+  TransportCounters counters() const;
 
  private:
   void send(Bytes wire, bool toward_ric, std::uint64_t node_id);
-  void deliver(const Bytes& wire, bool toward_ric, std::uint64_t node_id);
+  void deliver(const Bytes& wire, bool toward_ric, std::uint64_t node_id,
+               SimTime sent_at);
   void go_down();
   void go_up();
 
@@ -108,7 +117,19 @@ class FaultyE2Transport : public E2NodeLink {
   Rng rng_;
   bool link_up_ = true;
   std::uint64_t node_id_ = 0;  // learned from a successful connect()
-  TransportCounters counters_;
+
+  /// Registry handles bound once at construction (hot path stays
+  /// allocation- and lookup-free).
+  std::unique_ptr<obs::Observability> own_obs_;
+  obs::Counter* frames_sent_ = nullptr;
+  obs::Counter* frames_delivered_ = nullptr;
+  obs::Counter* frames_dropped_ = nullptr;
+  obs::Counter* frames_duplicated_ = nullptr;
+  obs::Counter* frames_reordered_ = nullptr;
+  obs::Counter* link_down_drops_ = nullptr;
+  obs::Counter* link_down_events_ = nullptr;
+  obs::Counter* link_up_events_ = nullptr;
+  obs::Histogram* transit_us_ = nullptr;
 };
 
 }  // namespace xsec::oran

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "oran/a1.hpp"
 #include "oran/e2ap.hpp"
 #include "oran/router.hpp"
@@ -73,11 +75,13 @@ class XApp {
 
   // Wired by NearRtRic::register_xapp.
   void attach(NearRtRic* ric, Sdl* sdl, MessageRouter* router,
-              std::uint32_t requestor_id) {
+              std::uint32_t requestor_id,
+              obs::Observability* observability = nullptr) {
     ric_ = ric;
     sdl_ = sdl;
     router_ = router;
     requestor_id_ = requestor_id;
+    obs_ = observability;
   }
   std::uint32_t requestor_id() const { return requestor_id_; }
 
@@ -85,12 +89,23 @@ class XApp {
   NearRtRic& ric() { return *ric_; }
   Sdl& sdl() { return *sdl_; }
   MessageRouter& router() { return *router_; }
+  /// The platform's observability bundle (the RIC's, shared by every
+  /// xApp), or a lazily created private one when the xApp is exercised
+  /// standalone — instrumentation code never needs a null check. Const so
+  /// stat accessors can read registry counters.
+  obs::Observability& obs() const {
+    if (obs_) return *obs_;
+    if (!own_obs_) own_obs_ = std::make_unique<obs::Observability>();
+    return *own_obs_;
+  }
 
  private:
   std::string name_;
   NearRtRic* ric_ = nullptr;
   Sdl* sdl_ = nullptr;
   MessageRouter* router_ = nullptr;
+  obs::Observability* obs_ = nullptr;
+  mutable std::unique_ptr<obs::Observability> own_obs_;
   std::uint32_t requestor_id_ = 0;
 };
 

@@ -482,15 +482,20 @@ TEST(ResilientClient, BreakerOpensAfterConsecutiveFailuresAndFailsFast) {
   ResilienceConfig config;
   config.max_attempts = 2;
   config.breaker_threshold = 2;
-  config.breaker_cooldown = 3;
+  config.breaker_cooldown = SimDuration::from_ms(3);
   ResilientLlmClient client(inner, config);
+  SimTime t{0};
+  client.set_clock([&t] { return t; });
   EXPECT_FALSE(client.query({"m", "p"}).ok());
   EXPECT_FALSE(client.breaker_open());
   EXPECT_FALSE(client.query({"m", "p"}).ok());
   EXPECT_TRUE(client.breaker_open());
   EXPECT_EQ(client.breaker_trips(), 1u);
+  EXPECT_EQ(client.open_until().us, SimDuration::from_ms(3).us);
   EXPECT_EQ(inner->calls, 4u);  // 2 queries x 2 attempts
-  // While open, queries are rejected without touching the backend.
+  // While the cooldown runs, queries are rejected without touching the
+  // backend.
+  t = t + SimDuration::from_ms(2);
   EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
   EXPECT_EQ(inner->calls, 4u);
   EXPECT_EQ(client.queries_rejected(), 1u);
@@ -501,14 +506,19 @@ TEST(ResilientClient, HalfOpenProbeClosesBreakerOnRecovery) {
   ResilienceConfig config;
   config.max_attempts = 1;
   config.breaker_threshold = 2;
-  config.breaker_cooldown = 1;
+  config.breaker_cooldown = SimDuration::from_ms(10);
   ResilientLlmClient client(inner, config);
+  SimTime t{0};
+  client.set_clock([&t] { return t; });
   EXPECT_FALSE(client.query({"m", "p"}).ok());
   EXPECT_FALSE(client.query({"m", "p"}).ok());
   EXPECT_TRUE(client.breaker_open());
-  // One query absorbed by the cooldown...
+  // Queries inside the cooldown window are absorbed...
+  t = t + SimDuration::from_ms(9);
   EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
-  // ...then the half-open probe goes through; the backend has recovered.
+  // ...then once the cooldown elapses the half-open probe goes through;
+  // the backend has recovered.
+  t = t + SimDuration::from_ms(1);
   EXPECT_TRUE(client.query({"m", "p"}).ok());
   EXPECT_FALSE(client.breaker_open());
   EXPECT_TRUE(client.query({"m", "p"}).ok());
@@ -519,17 +529,44 @@ TEST(ResilientClient, FailedProbeReopensWithFreshCooldown) {
   ResilienceConfig config;
   config.max_attempts = 1;
   config.breaker_threshold = 1;
-  config.breaker_cooldown = 2;
+  config.breaker_cooldown = SimDuration::from_ms(5);
   ResilientLlmClient client(inner, config);
+  SimTime t{0};
+  client.set_clock([&t] { return t; });
   EXPECT_FALSE(client.query({"m", "p"}).ok());  // trips the breaker
   EXPECT_TRUE(client.breaker_open());
-  EXPECT_FALSE(client.query({"m", "p"}).ok());  // cooldown 1
-  EXPECT_FALSE(client.query({"m", "p"}).ok());  // cooldown 2
+  t = t + SimDuration::from_ms(4);
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // still cooling down
   std::size_t calls_before = inner->calls;
+  t = t + SimDuration::from_ms(1);              // cooldown elapsed
   EXPECT_FALSE(client.query({"m", "p"}).ok());  // probe -> fails -> reopen
   EXPECT_EQ(inner->calls, calls_before + 1);
   EXPECT_TRUE(client.breaker_open());
   EXPECT_EQ(client.breaker_trips(), 2u);
+  // The reopened breaker runs a FRESH cooldown from the failed probe.
+  EXPECT_EQ(client.open_until().us, (t + SimDuration::from_ms(5)).us);
+  t = t + SimDuration::from_ms(4);
+  EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
+}
+
+TEST(ResilientClient, PseudoClockKeepsBreakerDeterministicWithoutClock) {
+  // No injected clock: the internal query-tick pseudo-clock (1 ms per
+  // query) still drives a terminating cooldown schedule.
+  auto inner = std::make_shared<ScriptedLlmClient>(1);
+  ResilienceConfig config;
+  config.max_attempts = 1;
+  config.breaker_threshold = 1;
+  config.breaker_cooldown = SimDuration::from_ms(3);
+  ResilientLlmClient client(inner, config);
+  EXPECT_FALSE(client.query({"m", "p"}).ok());  // fails, trips breaker
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
+  EXPECT_EQ(client.query({"m", "p"}).error().code, "breaker-open");
+  // Third query after the trip: pseudo-clock reaches the cooldown edge,
+  // the probe goes through and the backend has recovered.
+  EXPECT_TRUE(client.query({"m", "p"}).ok());
+  EXPECT_FALSE(client.breaker_open());
+  EXPECT_EQ(client.queries_rejected(), 2u);
 }
 
 // --- Analyzer xApp ----------------------------------------------------------

@@ -1,0 +1,326 @@
+// Observability subsystem tests: metrics registry semantics (counter /
+// gauge / log-bucketed histogram), sim-time tracing spans (nesting,
+// parent links, ring eviction), exporter round-trips, and the end-to-end
+// guarantee the subsystem exists for — a fixed-seed pipeline run emits
+// every stage's spans and metrics, and its exports are byte-stable.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/smo.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/traffic.hpp"
+
+namespace xsec {
+namespace {
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("a.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Get-or-create returns the same instrument for the same name.
+  EXPECT_EQ(&registry.counter("a.count"), &c);
+  EXPECT_EQ(registry.counter("a.count").value(), 5u);
+
+  obs::Gauge& g = registry.gauge("a.level");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_gauge("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+  ASSERT_NE(registry.find_counter("a.count"), nullptr);
+  EXPECT_EQ(registry.find_counter("a.count")->value(), 5u);
+  EXPECT_EQ(registry.size(), 2u);
+
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(registry.size(), 2u) << "reset clears values, not instruments";
+}
+
+TEST(Metrics, HistogramLogBucketing) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat");
+  // Powers-of-two buckets: 0 | 1 | 2-3 | 4-7 | 8-15 | ...
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_edge(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_edge(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_upper_edge(3), 7u);
+
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(1000)), 1u);
+  // Quantiles resolve to the upper edge of the rank's bucket.
+  EXPECT_EQ(h.quantile_upper(0.5), 3u);   // rank 3 of 5 -> bucket [2,3]
+  EXPECT_EQ(h.quantile_upper(0.99), obs::Histogram::bucket_upper_edge(
+                                        obs::Histogram::bucket_of(1000)));
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper(0.5), 0u);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(Trace, SpanNestingAndParentLinks) {
+  obs::Observability o;
+  SimTime t{0};
+  o.set_clock([&t] { return t; });
+
+  std::uint64_t root_id = 0;
+  {
+    obs::Span root = o.tracer.begin("stage.a", /*trace_id=*/42);
+    root_id = root.id();
+    t.us += 100;
+    {
+      // No explicit trace/parent: nests under the innermost open span.
+      obs::Span child = o.tracer.begin("stage.b");
+      t.us += 50;
+    }
+    t.us += 25;
+  }
+  ASSERT_EQ(o.tracer.finished().size(), 2u);
+  // Children finish before parents (RAII), so stage.b is first.
+  const obs::SpanRecord& child = o.tracer.finished()[0];
+  const obs::SpanRecord& root = o.tracer.finished()[1];
+  EXPECT_EQ(child.name, "stage.b");
+  EXPECT_EQ(child.trace_id, 42u);
+  EXPECT_EQ(child.parent_id, root_id);
+  EXPECT_EQ(child.duration_us(), 50);
+  EXPECT_EQ(root.name, "stage.a");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(root.duration_us(), 175);
+  EXPECT_EQ(o.tracer.root_of(42), root_id);
+
+  // Every completed span feeds a per-name latency histogram.
+  const obs::Histogram* h = o.metrics.find_histogram("span.stage.b");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum(), 50u);
+}
+
+TEST(Trace, ExplicitRecordAndCrossEventParenting) {
+  obs::Observability o;
+  SimTime t{5000};
+  o.set_clock([&t] { return t; });
+
+  // An explicitly-timed span (the cross-event pattern: encode happened in
+  // a past event, its timestamps ride the wire).
+  std::uint32_t encode_id =
+      o.tracer.record("agent.encode", 7, 0, SimTime{1000}, SimTime{2000});
+  EXPECT_NE(encode_id, 0u);
+  EXPECT_EQ(o.tracer.root_of(7), encode_id);
+  std::uint32_t transit_id = o.tracer.record("e2.transit", 7, encode_id,
+                                             SimTime{2000}, SimTime{5000});
+  {
+    obs::Span deliver = o.tracer.begin("ric.deliver", 7, transit_id);
+  }
+  ASSERT_EQ(o.tracer.finished().size(), 3u);
+  EXPECT_EQ(o.tracer.finished()[1].parent_id, encode_id);
+  EXPECT_EQ(o.tracer.finished()[1].duration_us(), 3000);
+  EXPECT_EQ(o.tracer.finished()[2].name, "ric.deliver");
+  EXPECT_EQ(o.tracer.finished()[2].parent_id, transit_id);
+}
+
+TEST(Trace, RingEvictionKeepsHistograms) {
+  obs::Observability o;
+  o.tracer.set_capacity(8);
+  for (int i = 0; i < 100; ++i)
+    o.tracer.record("tick", 0, 0, SimTime{0}, SimTime{10});
+  EXPECT_EQ(o.tracer.finished().size(), 8u);
+  EXPECT_EQ(o.tracer.spans_started(), 100u);
+  EXPECT_EQ(o.tracer.spans_finished(), 100u);
+  EXPECT_EQ(o.tracer.spans_evicted(), 92u);
+  // The latency distribution survives eviction.
+  ASSERT_NE(o.metrics.find_histogram("span.tick"), nullptr);
+  EXPECT_EQ(o.metrics.find_histogram("span.tick")->count(), 100u);
+}
+
+// --- Exporters --------------------------------------------------------------
+
+TEST(Export, PrometheusNameSanitization) {
+  EXPECT_EQ(obs::prometheus_name("agent.node1001.records"),
+            "xsec_agent_node1001_records");
+}
+
+TEST(Export, PrometheusAndJsonRenderAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("b.count").inc(3);
+  registry.gauge("a.level").set(1.5);
+  registry.histogram("c.lat").observe(5);
+  registry.histogram("c.lat").observe(100);
+
+  std::string prom = obs::render_prometheus(registry);
+  EXPECT_NE(prom.find("# TYPE xsec_b_count counter"), std::string::npos);
+  EXPECT_NE(prom.find("xsec_b_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("xsec_a_level 1.500000"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE xsec_c_lat histogram"), std::string::npos);
+  EXPECT_NE(prom.find("xsec_c_lat_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("xsec_c_lat_sum 105"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\"} 2"), std::string::npos);
+
+  std::string json = obs::render_json(registry);
+  EXPECT_NE(json.find("\"b.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.level\":1.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(Export, IdenticalContentRendersIdenticalBytes) {
+  auto build = [] {
+    obs::MetricsRegistry registry;
+    registry.counter("x").inc(7);
+    registry.gauge("y").set(0.25);
+    for (std::uint64_t v = 0; v < 20; ++v) registry.histogram("z").observe(v);
+    return obs::render_prometheus(registry) + obs::render_json(registry);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+// --- End-to-end: the pipeline under observation -----------------------------
+
+/// Flags every scored window so all five stages (and the LLM path) fire
+/// without a training phase.
+class AlwaysAnomalousDetector : public detect::AnomalyDetector {
+ public:
+  std::string name() const override { return "stub-always-anomalous"; }
+  void fit(const detect::WindowDataset&) override {}
+  std::vector<double> score(const detect::WindowDataset&) override {
+    return {};
+  }
+  std::vector<bool> labels(const detect::WindowDataset&) const override {
+    return {};
+  }
+  double score_window(const float*, std::size_t) override { return 1.0; }
+  std::size_t rows_needed(std::size_t window_size) const override {
+    return window_size;
+  }
+};
+
+core::PipelineConfig observed_config() {
+  core::PipelineConfig config;
+  config.metrics_report_period = SimDuration::from_s(1);
+  return config;
+}
+
+void drive_pipeline(core::Pipeline& pipeline) {
+  pipeline.install_detector(std::make_shared<AlwaysAnomalousDetector>(),
+                            detect::FeatureEncoder());
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 8;
+  traffic.arrival_mean = SimDuration::from_ms(60);
+  traffic.seed = 11;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+  pipeline.run_for(SimDuration::from_s(2.5));
+  pipeline.finalize();
+}
+
+TEST(ObsPipeline, EveryStageEmitsSpansAndMetrics) {
+  core::Pipeline pipeline(observed_config());
+  drive_pipeline(pipeline);
+
+  // All five per-indication stages plus the LLM stage left latency
+  // distributions behind.
+  for (const char* span : {"span.agent.encode", "span.e2.transit",
+                           "span.ric.deliver", "span.mobiwatch.ingest",
+                           "span.mobiwatch.score", "span.llm.analyze"}) {
+    const obs::Histogram* h = pipeline.metrics().find_histogram(span);
+    ASSERT_NE(h, nullptr) << span;
+    EXPECT_GT(h->count(), 0u) << span;
+  }
+  // The E2 transit span includes real transport latency (1 ms link).
+  const obs::Histogram* transit =
+      pipeline.metrics().find_histogram("span.e2.transit");
+  EXPECT_GE(transit->quantile_upper(0.5), 1000u);
+
+  // Spans link up: ric.deliver's parent is the e2.transit record of the
+  // same trace, whose parent is the agent.encode root.
+  bool verified_chain = false;
+  for (const obs::SpanRecord& span : pipeline.tracer().finished()) {
+    if (span.name != "mobiwatch.ingest" || span.parent_id == 0) continue;
+    std::uint32_t root = pipeline.tracer().root_of(span.trace_id);
+    ASSERT_NE(root, 0u);
+    verified_chain = true;
+    break;
+  }
+  EXPECT_TRUE(verified_chain) << "no parented mobiwatch.ingest span found";
+
+  // Every layer's counters landed in the one shared registry.
+  for (const char* counter :
+       {"agent.node1001.records_collected", "agent.node1001.indications_sent",
+        "e2.node1001.frames_sent", "ric.indications_received",
+        "ric.node1001.indications", "sdl.sets",
+        "mobiwatch.records_seen", "mobiwatch.windows_scored",
+        "llm.incidents_analyzed", "obs.reports_emitted"}) {
+    const obs::Counter* c = pipeline.metrics().find_counter(counter);
+    ASSERT_NE(c, nullptr) << counter;
+    EXPECT_GT(c->value(), 0u) << counter;
+  }
+
+  // The accessor views and the registry agree (one stats mechanism).
+  core::PipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.records_seen,
+            pipeline.metrics().find_counter("mobiwatch.records_seen")->value());
+  EXPECT_EQ(
+      stats.indications_received,
+      pipeline.metrics().find_counter("ric.indications_received")->value());
+}
+
+TEST(ObsPipeline, MetricsReportXappExportsPeriodically) {
+  core::Pipeline pipeline(observed_config());
+  drive_pipeline(pipeline);
+
+  ASSERT_NE(pipeline.metrics_report(), nullptr);
+  EXPECT_GE(pipeline.metrics_report()->reports_emitted(), 2u);
+  std::string prom = pipeline.metrics_report()->latest_prometheus();
+  std::string json = pipeline.metrics_report()->latest_json();
+  EXPECT_NE(prom.find("xsec_mobiwatch_records_seen"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  // The same exports are in the SDL for rApps.
+  EXPECT_EQ(pipeline.ric().sdl().get_str("obs", "prometheus").value_or(""),
+            prom);
+  // And the free-function reports render the live registry.
+  EXPECT_NE(core::prometheus_report(pipeline).find("xsec_sdl_sets"),
+            std::string::npos);
+  EXPECT_NE(core::json_report(pipeline).find("\"histograms\""),
+            std::string::npos);
+}
+
+TEST(ObsPipeline, ExportsAreByteStableAcrossIdenticalSeededRuns) {
+  auto run = [] {
+    core::Pipeline pipeline(observed_config());
+    drive_pipeline(pipeline);
+    return core::prometheus_report(pipeline) + "\n---\n" +
+           core::json_report(pipeline);
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -480,18 +480,31 @@ TEST(Ric, FlushStreamsDrainsPendingAsGaps) {
 
 TEST(E2ap, IndicationNackRoundTrip) {
   RicIndicationNack nack;
-  nack.request_id = {7, 9};
   nack.ran_function_id = 3;
-  nack.first_sequence = 100;
-  nack.last_sequence = 104;
+  nack.ranges.push_back(NackRange{{7, 9}, 100, 104});
+  nack.ranges.push_back(NackRange{{7, 10}, 210, 210});
   Bytes wire = encode_e2ap(nack);
   EXPECT_EQ(e2ap_type(wire).value(), E2apType::kIndicationNack);
   auto decoded = decode_indication_nack(wire);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded.value().request_id.requestor_id, 7u);
-  EXPECT_EQ(decoded.value().request_id.instance_id, 9u);
-  EXPECT_EQ(decoded.value().first_sequence, 100u);
-  EXPECT_EQ(decoded.value().last_sequence, 104u);
+  ASSERT_EQ(decoded.value().ranges.size(), 2u);
+  EXPECT_EQ(decoded.value().ranges[0].request_id.requestor_id, 7u);
+  EXPECT_EQ(decoded.value().ranges[0].request_id.instance_id, 9u);
+  EXPECT_EQ(decoded.value().ranges[0].first_sequence, 100u);
+  EXPECT_EQ(decoded.value().ranges[0].last_sequence, 104u);
+  EXPECT_EQ(decoded.value().ranges[1].first_sequence, 210u);
+  EXPECT_EQ(decoded.value().ranges[1].last_sequence, 210u);
+}
+
+TEST(E2ap, IndicationNackRejectsEmptyAndInvertedRanges) {
+  RicIndicationNack empty;
+  empty.ran_function_id = 1;
+  EXPECT_FALSE(decode_indication_nack(encode_e2ap(empty)).ok());
+
+  RicIndicationNack inverted;
+  inverted.ran_function_id = 1;
+  inverted.ranges.push_back(NackRange{{1, 1}, 50, 40});
+  EXPECT_FALSE(decode_indication_nack(encode_e2ap(inverted)).ok());
 }
 
 TEST(Sdl, WatchHandlerMayRegisterWatchersDuringNotify) {

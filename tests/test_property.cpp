@@ -268,12 +268,17 @@ std::vector<Bytes> random_e2ap_wires(Rng& rng) {
   wires.push_back(encode_e2ap(ack));
 
   oran::RicIndicationNack nack;
-  nack.request_id = random_request_id(rng);
-  nack.first_sequence =
-      static_cast<std::uint32_t>(rng.uniform_u64(0, 0x7fffffff));
-  nack.last_sequence =
-      nack.first_sequence +
-      static_cast<std::uint32_t>(rng.uniform_u64(0, 1000));
+  std::size_t range_count = 1 + rng.uniform_u64(0, 3);
+  for (std::size_t i = 0; i < range_count; ++i) {
+    oran::NackRange range;
+    range.request_id = random_request_id(rng);
+    range.first_sequence =
+        static_cast<std::uint32_t>(rng.uniform_u64(0, 0x7fffffff));
+    range.last_sequence =
+        range.first_sequence +
+        static_cast<std::uint32_t>(rng.uniform_u64(0, 1000));
+    nack.ranges.push_back(range);
+  }
   wires.push_back(encode_e2ap(nack));
   return wires;
 }
