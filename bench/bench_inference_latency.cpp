@@ -55,6 +55,7 @@ struct Trained {
   std::unique_ptr<detect::AutoencoderDetector> ae;
   std::unique_ptr<detect::LstmDetector> lstm;
   std::vector<std::vector<float>> rows;
+  dl::Matrix feats;  // contiguous encoded rows for the batched benches
 
   Trained() {
     auto dataset =
@@ -70,6 +71,7 @@ struct Trained {
     for (std::size_t i = 0; i < 6; ++i)
       rows.emplace_back(dataset.features().row(i),
                         dataset.features().row(i) + dataset.features().cols());
+    feats = dataset.features();
   }
 };
 
@@ -92,6 +94,35 @@ void BM_LstmScoreWindow(benchmark::State& state) {
     benchmark::DoNotOptimize(t.lstm->score_window(t.rows));
 }
 BENCHMARK(BM_LstmScoreWindow);
+
+void BM_AutoencoderScoreWindowsBatched(benchmark::State& state) {
+  // Batched sliding-window scoring (the MobiWatch steady-state path).
+  // items_per_second = windows/s; per-window time = real_time / windows.
+  auto& t = trained();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> scores(n);
+  for (auto _ : state) {
+    t.ae->score_windows(t.feats.row(0), t.feats.cols(), 5, n, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AutoencoderScoreWindowsBatched)->Arg(1)->Arg(16)->Arg(32);
+
+void BM_LstmScoreWindowsBatched(benchmark::State& state) {
+  auto& t = trained();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> scores(n);
+  for (auto _ : state) {
+    t.lstm->score_windows(t.feats.row(0), t.feats.cols(), 6, n,
+                          scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LstmScoreWindowsBatched)->Arg(1)->Arg(16)->Arg(32);
 
 void BM_FeatureEncodePlusScore(benchmark::State& state) {
   // The full per-record inference path MobiWatch runs in the nRT loop.

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON reports and flag regressions.
+
+Typical use: scripts/bench_smoke.sh writes results/<bench>.json for each
+google-benchmark binary; the repo commits a results/<bench>.baseline.json
+captured on the reference machine. A change is flagged when a benchmark's
+cpu_time grows more than --threshold (default 20%) over the baseline:
+
+    scripts/bench_diff.py results/bench_inference_latency.baseline.json \
+                          results/bench_inference_latency.json
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = usage /
+input error. Benchmarks present in only one file are reported but never
+fail the check (renames should not break CI). cpu_time is compared rather
+than real_time because the smoke runs share the machine with the build.
+Smoke-level --benchmark_min_time is noisy: treat a flag from
+bench_smoke.sh as "rerun this benchmark properly", not as proof.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Aggregate reports (repetitions) carry mean/median/stddev rows;
+        # prefer the mean aggregate when present, else the plain row.
+        name = b.get("run_name", b.get("name"))
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
+            continue
+        if name in out and b.get("run_type") != "aggregate":
+            continue
+        out[name] = b
+    return out
+
+
+def fmt_time(ns, unit):
+    return f"{ns:.0f} {unit}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline google-benchmark JSON report")
+    ap.add_argument("current", help="current google-benchmark JSON report")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative cpu_time growth that counts as a regression "
+        "(default 0.20 = +20%%)",
+    )
+    ap.add_argument(
+        "--metric",
+        default="cpu_time",
+        choices=["cpu_time", "real_time"],
+        help="which reported time to compare (default cpu_time)",
+    )
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+
+    regressions = []
+    improvements = []
+    for name in sorted(base.keys() & cur.keys()):
+        b, c = base[name], cur[name]
+        bt, ct = b.get(args.metric), c.get(args.metric)
+        if not bt or not ct:
+            continue
+        ratio = ct / bt
+        line = (
+            f"{name}: {fmt_time(bt, b.get('time_unit', 'ns'))} -> "
+            f"{fmt_time(ct, c.get('time_unit', 'ns'))}  ({ratio - 1.0:+.1%})"
+        )
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        elif ratio < 1.0 - args.threshold:
+            improvements.append(line)
+
+    only_base = sorted(base.keys() - cur.keys())
+    only_cur = sorted(cur.keys() - base.keys())
+
+    if improvements:
+        print("improved:")
+        for line in improvements:
+            print(f"  {line}")
+    if only_base:
+        print("missing from current (renamed/removed?):")
+        for name in only_base:
+            print(f"  {name}")
+    if only_cur:
+        print("new in current (no baseline):")
+        for name in only_cur:
+            print(f"  {name}")
+    if regressions:
+        print(f"REGRESSIONS (> {args.threshold:.0%} {args.metric} growth):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"bench_diff: {len(base.keys() & cur.keys())} shared benchmarks, "
+        f"no {args.metric} regression beyond {args.threshold:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,13 +34,25 @@ run() {
 
 # google-benchmark binaries. Newer releases take a duration suffix
 # (0.01s); the baked-in one predates that and wants a plain double — try
-# the suffixed form first and fall back.
+# the suffixed form first and fall back. Each run also emits its JSON
+# report to results/<bin>.json so scripts/bench_diff.py can compare the
+# numbers against the committed results/<bin>.baseline.json (smoke
+# min_time is noisy — rerun with a larger --benchmark_min_time before
+# treating a diff as real).
+MIN_TIME="${BENCH_MIN_TIME:-0.01}"
 run_gbench() {
   local bin="$1"
-  if "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01s > /dev/null 2>&1; then
-    echo "PASS  $bin (min_time=0.01s)"
+  local json="results/$bin.json"
+  if "$BUILD_DIR/bench/$bin" --benchmark_min_time="${MIN_TIME}s" \
+       --benchmark_format=json > "$json" 2>/dev/null; then
+    echo "PASS  $bin (min_time=${MIN_TIME}s, json: $json)"
+  elif "$BUILD_DIR/bench/$bin" --benchmark_min_time="$MIN_TIME" \
+       --benchmark_format=json > "$json" 2>/dev/null; then
+    echo "PASS  $bin (min_time=$MIN_TIME, json: $json)"
   else
-    run "$bin (min_time=0.01)" "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01
+    echo "FAIL  $bin (exit $?)"
+    rm -f "$json"
+    failures=$((failures + 1))
   fi
 }
 

@@ -59,14 +59,20 @@ EnsembleDetector::EnsembleDetector(std::size_t window_size,
 
 dl::Matrix EnsembleDetector::slice(const dl::Matrix& standardized,
                                    std::size_t member) const {
+  dl::Matrix out;
+  slice_into(standardized, member, out);
+  return out;
+}
+
+void EnsembleDetector::slice_into(const dl::Matrix& standardized,
+                                  std::size_t member, dl::Matrix& out) const {
   const auto& columns = groups_[member].columns;
-  dl::Matrix out(standardized.rows(), window_size_ * columns.size());
+  out.resize(standardized.rows(), window_size_ * columns.size());
   for (std::size_t r = 0; r < standardized.rows(); ++r)
     for (std::size_t t = 0; t < window_size_; ++t)
       for (std::size_t c = 0; c < columns.size(); ++c)
         out.at(r, t * columns.size() + c) =
             standardized.at(r, t * feature_dim_ + columns[c]);
-  return out;
 }
 
 std::vector<double> EnsembleDetector::member_scores(
@@ -138,14 +144,53 @@ std::vector<double> EnsembleDetector::score(const WindowDataset& data) {
 }
 
 double EnsembleDetector::score_window(const float* rows, std::size_t n_rows) {
-  assert(n_rows == window_size_);
-  (void)n_rows;
-  dl::Matrix raw(1, window_size_ * feature_dim_);
-  std::memcpy(raw.row(0), rows, window_size_ * feature_dim_ * sizeof(float));
-  std::vector<std::size_t> dominant;
-  double score = combined_scores(raw, &dominant)[0];
-  last_dominant_ = dominant[0];
+  double score = 0.0;
+  score_windows(rows, feature_dim_, n_rows, 1, &score);
   return score;
+}
+
+void EnsembleDetector::score_windows(const float* rows, std::size_t row_dim,
+                                     std::size_t rows_per_window,
+                                     std::size_t n_windows, double* scores) {
+  assert(row_dim == feature_dim_);
+  assert(rows_per_window == window_size_);
+  (void)row_dim;
+  (void)rows_per_window;
+  const std::size_t flat = window_size_ * feature_dim_;
+  infer_full_.resize(n_windows, flat);
+  for (std::size_t w = 0; w < n_windows; ++w)
+    std::memcpy(infer_full_.row(w), rows + w * feature_dim_,
+                flat * sizeof(float));
+  if (scaler_.fitted()) scaler_.apply(infer_full_);
+
+  for (std::size_t w = 0; w < n_windows; ++w) scores[w] = 0.0;
+  infer_dominant_.assign(n_windows, 0);
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    slice_into(infer_full_, m, infer_slice_);
+    const dl::Matrix& recon = members_[m].model->infer(infer_slice_);
+    const std::size_t sub_dim = groups_[m].columns.size();
+    for (std::size_t r = 0; r < n_windows; ++r) {
+      double worst = 0.0;
+      for (std::size_t t = 0; t < window_size_; ++t) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < sub_dim; ++c) {
+          std::size_t col = t * sub_dim + c;
+          double d =
+              static_cast<double>(recon.at(r, col)) - infer_slice_.at(r, col);
+          acc += d * d;
+        }
+        worst = std::max(worst, acc / static_cast<double>(sub_dim));
+      }
+      double normalized = worst / members_[m].calibration;
+      if (normalized > scores[r]) {
+        scores[r] = normalized;
+        infer_dominant_[r] = m;
+      }
+    }
+  }
+  // Matches what sequential score_window() calls over the batch would
+  // leave behind: the attribution of the most recent window.
+  last_dominant_ = infer_dominant_[n_windows - 1];
 }
 
 }  // namespace xsec::detect

@@ -49,6 +49,9 @@ class EnsembleDetector : public AnomalyDetector {
   }
   using AnomalyDetector::score_window;
   double score_window(const float* rows, std::size_t n_rows) override;
+  void score_windows(const float* rows, std::size_t row_dim,
+                     std::size_t rows_per_window, std::size_t n_windows,
+                     double* scores) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }
@@ -70,6 +73,8 @@ class EnsembleDetector : public AnomalyDetector {
   /// Slices the standardized full-window matrix down to a member's columns
   /// (repeated per window position).
   dl::Matrix slice(const dl::Matrix& standardized, std::size_t member) const;
+  void slice_into(const dl::Matrix& standardized, std::size_t member,
+                  dl::Matrix& out) const;
   /// Per-row worst per-record reconstruction error for one member.
   std::vector<double> member_scores(std::size_t member,
                                     const dl::Matrix& standardized);
@@ -83,6 +88,12 @@ class EnsembleDetector : public AnomalyDetector {
   Standardizer scaler_;
   std::vector<Member> members_;
   std::size_t last_dominant_ = 0;
+  /// Inference workspace (warmed once, then allocation-free): the
+  /// standardized full-window batch, the per-member slice, and the
+  /// per-window dominant-member tracker.
+  dl::Matrix infer_full_;
+  dl::Matrix infer_slice_;
+  std::vector<std::size_t> infer_dominant_;
 };
 
 }  // namespace xsec::detect

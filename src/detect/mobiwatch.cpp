@@ -1,5 +1,6 @@
 #include "detect/mobiwatch.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -65,6 +66,8 @@ MobiWatchXapp::Metrics& MobiWatchXapp::m() const {
     metrics_.anomalies_flagged = &r.counter("mobiwatch.incidents_flagged");
     metrics_.anomalous_windows = &r.counter("mobiwatch.anomalous_windows");
     metrics_.gaps_observed = &r.counter("mobiwatch.gaps_observed");
+    metrics_.batch_rows = &r.histogram("dl.batch_rows");
+    metrics_.score_ns = &r.histogram("dl.score_ns");
     metrics_.bound = true;
   }
   return metrics_;
@@ -75,13 +78,18 @@ void MobiWatchXapp::install_detector(
   detector_ = std::move(detector);
   encoder_ = std::make_unique<FeatureEncoder>(std::move(encoder));
   encode_ctx_.reset();
-  keep_ = config_.context_records +
-          detector_->rows_needed(config_.window_size);
-  recent_feats_ = dl::Matrix(keep_, encoder_->dim());
+  const std::size_t needed = detector_->rows_needed(config_.window_size);
+  keep_ = config_.context_records + needed;
+  capacity_ = keep_ + kBatchSlack;
+  recent_feats_ = dl::Matrix(capacity_, encoder_->dim());
   filled_ = 0;
+  pending_ = 0;
   recent_.clear();
   base_threshold_ = detector_->threshold();
   detector_->set_threshold(base_threshold_ * threshold_scale_);
+  // Largest batch a flush can ever hand the detector; sized up front so
+  // the scoring path never grows this buffer later.
+  scores_.resize(capacity_ - needed + 1);
 }
 
 oran::PolicyStatus MobiWatchXapp::on_policy(const oran::A1Policy& policy) {
@@ -148,6 +156,9 @@ void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
   sdl().set_str(config_.sdl_namespace + ".gaps",
                 oran::Sdl::seq_key(next_seq_++),
                 "node=" + std::to_string(node_id) + " " + why);
+  // Pre-gap records already formed complete windows — score them before
+  // the quarantine discards their rows.
+  flush_pending();
   // An open incident's evidence (pre-gap records) is intact — report it
   // rather than tainting it with post-gap telemetry.
   if (burst_active_) publish_incident();
@@ -156,6 +167,7 @@ void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
   // window of contiguous post-gap records has accumulated.
   recent_.clear();
   filled_ = 0;
+  pending_ = 0;
   encode_ctx_.reset();
 }
 
@@ -180,6 +192,9 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
     }
     handle_record(record.value());
   }
+  // Score everything this indication completed in one batched pass, so
+  // counters and incident state are up to date when the call returns.
+  flush_pending();
 }
 
 void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
@@ -190,28 +205,61 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
 
   if (!detector_ || !encoder_) return;  // collection mode
 
-  if (filled_ == keep_) {
-    // Slide the feature window one row: the matrix stays contiguous so the
-    // detector can score straight off a row pointer.
-    std::memmove(recent_feats_.row(0), recent_feats_.row(1),
-                 (keep_ - 1) * recent_feats_.cols() * sizeof(float));
-    recent_.pop_front();
-    --filled_;
+  if (filled_ == capacity_) {
+    // Out of slack: batch-score the accumulated windows while their rows
+    // are still resident, then compact in one memmove down to the history
+    // the NEXT window needs (its context plus its first needed-1 rows).
+    flush_pending();
+    const std::size_t retain = keep_ - 1;
+    const std::size_t drop = filled_ - retain;
+    std::memmove(recent_feats_.row(0), recent_feats_.row(drop),
+                 retain * recent_feats_.cols() * sizeof(float));
+    recent_.erase(recent_.begin(),
+                  recent_.begin() + static_cast<std::ptrdiff_t>(drop));
+    filled_ = retain;
   }
   encoder_->encode_into(record, encode_ctx_, recent_feats_.row(filled_));
   ++filled_;
   recent_.push_back(record);
 
-  std::size_t needed = detector_->rows_needed(config_.window_size);
-  if (filled_ < needed) return;
+  // This record completed a window; it is scored at the next flush.
+  if (filled_ >= detector_->rows_needed(config_.window_size)) ++pending_;
+}
 
-  double score;
+void MobiWatchXapp::flush_pending() {
+  if (pending_ == 0) return;
+  const std::size_t needed = detector_->rows_needed(config_.window_size);
+  // Pending window j (oldest first) ends at recent_[first_end + j].
+  const std::size_t first_end = filled_ - pending_;
+  const std::size_t n = pending_;
+  pending_ = 0;
   {
-    // Auto-nests under the enclosing mobiwatch.ingest span.
+    // Auto-nests under the enclosing mobiwatch.ingest span (when called
+    // from on_indication).
     obs::Span scoring = obs().tracer.begin("mobiwatch.score");
-    score =
-        detector_->score_window(recent_feats_.row(filled_ - needed), needed);
+    m().batch_rows->observe(n);
+    if (config_.time_scoring) {
+      auto t0 = std::chrono::steady_clock::now();
+      detector_->score_windows(recent_feats_.row(first_end - needed + 1),
+                               recent_feats_.cols(), needed, n,
+                               scores_.data());
+      auto t1 = std::chrono::steady_clock::now();
+      m().score_ns->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    } else {
+      detector_->score_windows(recent_feats_.row(first_end - needed + 1),
+                               recent_feats_.cols(), needed, n,
+                               scores_.data());
+    }
   }
+  for (std::size_t j = 0; j < n; ++j)
+    apply_score(scores_[j], first_end + j, needed);
+}
+
+void MobiWatchXapp::apply_score(double score, std::size_t end,
+                                std::size_t needed) {
+  const mobiflow::Record& record = recent_[end];
   m().windows_scored->inc();
   bool anomalous = detector_->is_anomalous(score);
   if (anomalous) m().anomalous_windows->inc();
@@ -231,20 +279,22 @@ void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
 
   if (!anomalous) return;
 
-  // Open a new incident: the current window starts it, the preceding
-  // records are its context.
+  // Open a new incident: the window that tripped the detector starts it,
+  // the up-to-context_records preceding records are its context.
   burst_active_ = true;
   burst_gap_ = 0;
   burst_peak_ = score;
   burst_window_ = mobiflow::Trace();
   burst_context_ = mobiflow::Trace();
-  std::size_t window_start = recent_.size() - needed;
-  for (std::size_t i = 0; i < recent_.size(); ++i) {
-    if (i < window_start)
-      burst_context_.add(recent_[i]);
-    else
-      burst_window_.add(recent_[i]);
-  }
+  const std::size_t window_start = end - needed + 1;
+  const std::size_t context_start =
+      window_start > config_.context_records
+          ? window_start - config_.context_records
+          : 0;
+  for (std::size_t i = context_start; i < window_start; ++i)
+    burst_context_.add(recent_[i]);
+  for (std::size_t i = window_start; i <= end; ++i)
+    burst_window_.add(recent_[i]);
 }
 
 void MobiWatchXapp::publish_incident() {
@@ -272,6 +322,9 @@ void MobiWatchXapp::publish_incident() {
   router().publish(msg);
 }
 
-void MobiWatchXapp::close_open_incident() { publish_incident(); }
+void MobiWatchXapp::close_open_incident() {
+  flush_pending();
+  publish_incident();
+}
 
 }  // namespace xsec::detect

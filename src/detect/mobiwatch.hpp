@@ -49,6 +49,11 @@ struct MobiWatchConfig {
   /// quiet windows. Keeps one report per attack burst instead of one per
   /// overlapping window.
   std::size_t incident_close_gap = 6;
+  /// Record wall-clock scoring latency in the "dl.score_ns" histogram.
+  /// Off by default: wall-clock values differ run to run, and the
+  /// deterministic observability exports must stay byte-stable across
+  /// identical seeded runs. "dl.batch_rows" is always recorded.
+  bool time_scoring = false;
 };
 
 class MobiWatchXapp : public oran::XApp {
@@ -108,11 +113,21 @@ class MobiWatchXapp : public oran::XApp {
     obs::Counter* anomalies_flagged = nullptr;
     obs::Counter* anomalous_windows = nullptr;
     obs::Counter* gaps_observed = nullptr;
+    obs::Histogram* batch_rows = nullptr;
+    obs::Histogram* score_ns = nullptr;
     bool bound = false;
   };
 
   Metrics& m() const;
   void handle_record(const mobiflow::Record& record);
+  /// Scores every pending (arrived but unscored) window in one batched
+  /// detector pass, then replays the incident state machine per window in
+  /// arrival order — observable behavior matches scoring each window the
+  /// moment its last record arrived.
+  void flush_pending();
+  /// Incident/burst bookkeeping for one scored window ending at
+  /// recent_[end] (spanning `needed` records).
+  void apply_score(double score, std::size_t end, std::size_t needed);
   void publish_incident();
   void subscribe_to_node(std::uint64_t node_id);
   void note_gap(std::uint64_t node_id, const std::string& why);
@@ -123,14 +138,20 @@ class MobiWatchXapp : public oran::XApp {
   std::shared_ptr<AnomalyDetector> detector_;
   std::unique_ptr<FeatureEncoder> encoder_;
   EncodeContext encode_ctx_;
-  /// Recent records (bounded to keep_), mirrored by a preallocated sliding
-  /// feature matrix: row i of recent_feats_ is the encoding of recent_[i].
-  /// Per record the steady state is one memmove + one in-place encode — no
-  /// heap allocation on the scoring path.
+  /// Recent records, mirrored by a preallocated feature matrix: row i of
+  /// recent_feats_ is the encoding of recent_[i]. The matrix holds keep_
+  /// rows of history plus kBatchSlack rows of slack; rows accumulate
+  /// (pending_ counts windows not yet scored) and are batch-scored at the
+  /// end of each indication or when the slack runs out, then compacted in
+  /// one memmove. No heap allocation on the scoring path in steady state.
+  static constexpr std::size_t kBatchSlack = 32;
   std::deque<mobiflow::Record> recent_;
   dl::Matrix recent_feats_;
   std::size_t keep_ = 0;
+  std::size_t capacity_ = 0;
   std::size_t filled_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<double> scores_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t current_node_id_ = 0;
   mutable Metrics metrics_;

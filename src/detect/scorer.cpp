@@ -15,6 +15,13 @@ double AnomalyDetector::score_window(
   return score_window(flat.data(), rows.size());
 }
 
+void AnomalyDetector::score_windows(const float* rows, std::size_t row_dim,
+                                    std::size_t rows_per_window,
+                                    std::size_t n_windows, double* scores) {
+  for (std::size_t w = 0; w < n_windows; ++w)
+    scores[w] = score_window(rows + w * row_dim, rows_per_window);
+}
+
 void Standardizer::fit(const dl::Matrix& data, float std_floor) {
   const std::size_t dim = data.cols();
   mean_.assign(dim, 0.0f);
@@ -119,11 +126,53 @@ std::vector<double> AutoencoderDetector::score(const WindowDataset& data) {
 
 double AutoencoderDetector::score_window(const float* rows,
                                          std::size_t n_rows) {
-  assert(n_rows == window_size_);
-  (void)n_rows;
-  dl::Matrix m(1, window_size_ * feature_dim_);
-  std::memcpy(m.row(0), rows, window_size_ * feature_dim_ * sizeof(float));
-  return window_scores(m)[0];
+  double score = 0.0;
+  score_windows(rows, feature_dim_, n_rows, 1, &score);
+  return score;
+}
+
+void AutoencoderDetector::score_windows(const float* rows,
+                                        std::size_t row_dim,
+                                        std::size_t rows_per_window,
+                                        std::size_t n_windows,
+                                        double* scores) {
+  assert(row_dim == feature_dim_);
+  assert(rows_per_window == window_size_);
+  (void)row_dim;
+  (void)rows_per_window;
+  const std::size_t flat = window_size_ * feature_dim_;
+  infer_input_.resize(n_windows, flat);
+  // Sliding windows over contiguous rows: each window's rows are already
+  // contiguous, so flattening is one copy per window.
+  for (std::size_t w = 0; w < n_windows; ++w)
+    std::memcpy(infer_input_.row(w), rows + w * feature_dim_,
+                flat * sizeof(float));
+  if (scaler_.fitted()) scaler_.apply(infer_input_);
+  const dl::Matrix& recon = model_.infer(infer_input_);
+  for (std::size_t r = 0; r < n_windows; ++r) {
+    if (config_.ae_score == DetectorConfig::AeScore::kMean) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < flat; ++c) {
+        double d =
+            static_cast<double>(recon.at(r, c)) - infer_input_.at(r, c);
+        acc += d * d;
+      }
+      scores[r] = acc / static_cast<double>(flat);
+      continue;
+    }
+    double worst = 0.0;
+    for (std::size_t t = 0; t < window_size_; ++t) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < feature_dim_; ++c) {
+        std::size_t col = t * feature_dim_ + c;
+        double d =
+            static_cast<double>(recon.at(r, col)) - infer_input_.at(r, col);
+        acc += d * d;
+      }
+      worst = std::max(worst, acc / static_cast<double>(feature_dim_));
+    }
+    scores[r] = worst;
+  }
 }
 
 LstmDetector::LstmDetector(std::size_t window_size, std::size_t feature_dim,
@@ -190,16 +239,32 @@ std::vector<double> LstmDetector::score(const WindowDataset& data) {
 }
 
 double LstmDetector::score_window(const float* rows, std::size_t n_rows) {
-  assert(n_rows == window_size_ + 1);
-  (void)n_rows;
-  dl::SequenceSample sample;
-  sample.window.reserve(window_size_);
-  for (std::size_t t = 0; t < window_size_; ++t)
-    sample.window.emplace_back(rows + t * feature_dim_,
-                               rows + (t + 1) * feature_dim_);
-  sample.target.assign(rows + window_size_ * feature_dim_,
-                       rows + (window_size_ + 1) * feature_dim_);
-  return sample_errors(standardize({sample}))[0];
+  double score = 0.0;
+  score_windows(rows, feature_dim_, n_rows, 1, &score);
+  return score;
+}
+
+void LstmDetector::score_windows(const float* rows, std::size_t row_dim,
+                                 std::size_t rows_per_window,
+                                 std::size_t n_windows, double* scores) {
+  assert(row_dim == feature_dim_);
+  assert(rows_per_window == window_size_ + 1);
+  (void)row_dim;
+  (void)rows_per_window;
+  // The flat block already has the shared sliding-window layout the
+  // strided batch path wants (window w's step t = row w+t, its target =
+  // row w+t+1): one copy of the whole block, one scaler pass, and every
+  // distinct record row goes through Wx exactly once no matter how many
+  // windows overlap it.
+  const std::size_t block_rows = n_windows + window_size_;
+  infer_rows_.resize(block_rows, feature_dim_);
+  std::memcpy(infer_rows_.row(0), rows,
+              block_rows * feature_dim_ * sizeof(float));
+  if (scaler_.fitted()) scaler_.apply(infer_rows_);
+  const bool max_step =
+      config_.lstm_score == DetectorConfig::LstmScore::kMaxStep;
+  model_.window_errors_strided(infer_rows_, n_windows, window_size_,
+                               lstm_ws_, max_step, scores);
 }
 
 }  // namespace xsec::detect

@@ -55,6 +55,17 @@ class AnomalyDetector {
   virtual double score_window(const float* rows, std::size_t n_rows) = 0;
   /// Convenience wrapper for callers holding per-record row vectors.
   double score_window(const std::vector<std::vector<float>>& rows);
+  /// Scores `n_windows` overlapping sliding windows in one batched pass.
+  /// `rows` points at a contiguous row-major block of feature rows of
+  /// width `row_dim`; window w spans rows [w, w + rows_per_window) and its
+  /// score lands in scores[w], bit-identical to scoring each window via
+  /// score_window(). The block therefore holds n_windows +
+  /// rows_per_window - 1 rows. The default loops over score_window();
+  /// the concrete detectors batch the whole block through their
+  /// preallocated inference workspace.
+  virtual void score_windows(const float* rows, std::size_t row_dim,
+                             std::size_t rows_per_window,
+                             std::size_t n_windows, double* scores);
   /// Rows a single inference window must contain.
   virtual std::size_t rows_needed(std::size_t window_size) const = 0;
 
@@ -105,6 +116,9 @@ class AutoencoderDetector : public AnomalyDetector {
   }
   using AnomalyDetector::score_window;
   double score_window(const float* rows, std::size_t n_rows) override;
+  void score_windows(const float* rows, std::size_t row_dim,
+                     std::size_t rows_per_window, std::size_t n_windows,
+                     double* scores) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }
@@ -126,6 +140,9 @@ class AutoencoderDetector : public AnomalyDetector {
   DetectorConfig config_;
   dl::Autoencoder model_;
   Standardizer scaler_;
+  /// Batch-assembly buffer for the inference path; grows to the largest
+  /// batch seen and then never reallocates.
+  dl::Matrix infer_input_;
 };
 
 class LstmDetector : public AnomalyDetector {
@@ -141,6 +158,9 @@ class LstmDetector : public AnomalyDetector {
   }
   using AnomalyDetector::score_window;
   double score_window(const float* rows, std::size_t n_rows) override;
+  void score_windows(const float* rows, std::size_t row_dim,
+                     std::size_t rows_per_window, std::size_t n_windows,
+                     double* scores) override;
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size + 1;  // window plus the observed next record
   }
@@ -160,6 +180,10 @@ class LstmDetector : public AnomalyDetector {
   DetectorConfig config_;
   dl::LstmPredictor model_;
   Standardizer scaler_;
+  /// Inference workspace: the scaled copy of the shared row block plus the
+  /// LSTM's own fused-cell buffers. Warmed once, reused for every batch.
+  dl::Matrix infer_rows_;
+  dl::LstmPredictor::Workspace lstm_ws_;
 };
 
 }  // namespace xsec::detect

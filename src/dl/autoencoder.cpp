@@ -73,8 +73,14 @@ Matrix Autoencoder::reconstruct(const Matrix& data) {
 }
 
 std::vector<double> Autoencoder::reconstruction_errors(const Matrix& data) {
-  Matrix output = network_.forward(data);
   std::vector<double> errors(data.rows());
+  reconstruction_errors_into(data, errors.data());
+  return errors;
+}
+
+void Autoencoder::reconstruction_errors_into(const Matrix& data,
+                                             double* errors) {
+  const Matrix& output = network_.infer(data);
   for (std::size_t r = 0; r < data.rows(); ++r) {
     double acc = 0.0;
     for (std::size_t c = 0; c < data.cols(); ++c) {
@@ -83,7 +89,6 @@ std::vector<double> Autoencoder::reconstruction_errors(const Matrix& data) {
     }
     errors[r] = acc / static_cast<double>(data.cols());
   }
-  return errors;
 }
 
 double Autoencoder::reconstruction_error(const std::vector<float>& sample) {

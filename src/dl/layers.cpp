@@ -17,6 +17,11 @@ Matrix Linear::forward(const Matrix& x) {
   return add_row_vector(matmul(x, weight_), bias_);
 }
 
+void Linear::infer_into(const Matrix& x, Matrix& out) {
+  matmul_into(x, weight_, out);
+  add_row_vector_inplace(out, bias_);
+}
+
 Matrix Linear::backward(const Matrix& grad_out) {
   // dW += x^T * g ; db += sum_rows(g) ; dx = g * W^T
   Matrix dw = matmul_at(cached_input_, grad_out);
@@ -43,6 +48,8 @@ Matrix Relu::forward(const Matrix& x) {
   return out;
 }
 
+void Relu::infer_into(const Matrix& x, Matrix& out) { relu_into(x, out); }
+
 Matrix Relu::backward(const Matrix& grad_out) {
   Matrix grad = grad_out;
   for (std::size_t i = 0; i < grad.size(); ++i)
@@ -54,19 +61,49 @@ float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
 
 Matrix sigmoid_mat(const Matrix& x) {
   Matrix out = x;
-  for (float& v : out.data()) v = sigmoid_scalar(v);
+  sigmoid_inplace(out);
   return out;
 }
 
 Matrix tanh_mat(const Matrix& x) {
   Matrix out = x;
-  for (float& v : out.data()) v = std::tanh(v);
+  tanh_inplace(out);
   return out;
+}
+
+void sigmoid_into(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), x.cols());
+  sigmoid_many(x.data().data(), out.data().data(), x.size());
+}
+
+void tanh_into(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), x.cols());
+  tanh_many(x.data().data(), out.data().data(), x.size());
+}
+
+void sigmoid_inplace(Matrix& x) {
+  sigmoid_many(x.data().data(), x.data().data(), x.size());
+}
+
+void tanh_inplace(Matrix& x) {
+  tanh_many(x.data().data(), x.data().data(), x.size());
+}
+
+void relu_into(const Matrix& x, Matrix& out) {
+  out.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float v = x.data()[i];
+    out.data()[i] = v < 0.0f ? 0.0f : v;
+  }
 }
 
 Matrix Sigmoid::forward(const Matrix& x) {
   cached_output_ = sigmoid_mat(x);
   return cached_output_;
+}
+
+void Sigmoid::infer_into(const Matrix& x, Matrix& out) {
+  sigmoid_into(x, out);
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_out) {
@@ -83,6 +120,8 @@ Matrix Tanh::forward(const Matrix& x) {
   return cached_output_;
 }
 
+void Tanh::infer_into(const Matrix& x, Matrix& out) { tanh_into(x, out); }
+
 Matrix Tanh::backward(const Matrix& grad_out) {
   Matrix grad = grad_out;
   for (std::size_t i = 0; i < grad.size(); ++i) {
@@ -98,6 +137,18 @@ Matrix Sequential::forward(const Matrix& x) {
   return current;
 }
 
+const Matrix& Sequential::infer(const Matrix& x) {
+  const Matrix* current = &x;
+  std::size_t which = 0;
+  for (auto& layer : layers_) {
+    // Ping-pong: a layer never writes the buffer it is reading from.
+    layer->infer_into(*current, infer_buffers_[which]);
+    current = &infer_buffers_[which];
+    which ^= 1;
+  }
+  return *current;
+}
+
 Matrix Sequential::backward(const Matrix& grad_out) {
   Matrix grad = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
@@ -106,10 +157,16 @@ Matrix Sequential::backward(const Matrix& grad_out) {
 }
 
 std::vector<Param> Sequential::params() {
-  std::vector<Param> all;
-  for (auto& layer : layers_)
-    for (const Param& p : layer->params()) all.push_back(p);
-  return all;
+  if (params_dirty_) {
+    params_cache_.clear();
+    std::size_t total = 0;
+    for (auto& layer : layers_) total += layer->params().size();
+    params_cache_.reserve(total);
+    for (auto& layer : layers_)
+      for (const Param& p : layer->params()) params_cache_.push_back(p);
+    params_dirty_ = false;
+  }
+  return params_cache_;
 }
 
 void Sequential::zero_grad() {

@@ -5,6 +5,15 @@
 // mean squared deviation between the prediction and the telemetry that
 // actually followed. Implemented as a single LSTM layer with full
 // backpropagation through time plus a sigmoid-activated output projection.
+//
+// Two forward paths share the same math bit-for-bit:
+//   - forward_steps(): the training path, materializing per-gate matrices
+//     for BPTT;
+//   - step_fused()/window_errors(): the inference path, which computes the
+//     gate pre-activations into one reusable B×4H workspace buffer and
+//     applies all four gate activations plus the c/h update in a single
+//     pass over it — no gate slicing, no per-step temporaries, and zero
+//     heap allocation once the workspace is warmed.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +52,19 @@ struct SequenceSample {
 
 class LstmPredictor {
  public:
+  /// Preallocated buffers for the fused inference path. Matrices only grow
+  /// (capacity is retained when a later batch is smaller), so once warmed
+  /// at the largest batch a workspace performs no heap allocation.
+  struct Workspace {
+    Matrix h, c;  // B×H running state
+    Matrix z;     // B×4H fused gate pre-activations [i | f | g | o]
+    Matrix hh;    // B×4H scratch for h·Wh, kept separate so the
+                  // x·Wx + h·Wh add matches the reference FP order
+    Matrix y;     // B×D output projection
+    Matrix zx;    // (B+T-1)×4H shared x·Wx rows (strided batch path)
+    Matrix gates;  // 5×H per-row scratch for the batched gate activations
+  };
+
   explicit LstmPredictor(LstmConfig config);
 
   double fit(const std::vector<SequenceSample>& samples,
@@ -62,13 +84,42 @@ class LstmPredictor {
   /// Predicted next vector for one window (N × D rows).
   std::vector<float> predict(const std::vector<std::vector<float>>& window);
 
+  /// Batched per-window errors over pre-assembled step matrices: steps[t]
+  /// is B×D (row w = step t of window w), targets is B×D. Writes one error
+  /// per window into errors[0..B): the worst per-step next-record error
+  /// when `max_step`, else the final-step error. Allocation-free given a
+  /// warmed workspace; bit-identical to the training-path forward.
+  void window_errors(const std::vector<Matrix>& steps, const Matrix& targets,
+                     Workspace& ws, bool max_step, double* errors) const;
+  /// Batched per-window errors over OVERLAPPING sliding windows sharing one
+  /// row block: xs holds n_windows + n_steps contiguous (already scaled)
+  /// rows, window w's step t is row w+t and its target is row w+t+1. Each
+  /// distinct row feeds Wx exactly once — an n_steps-fold cut of the
+  /// input-side matmul versus per-window step matrices — and each step's
+  /// pre-activations are gathered as one contiguous row range. Bit-identical
+  /// to window_errors on equivalently assembled step/target matrices.
+  void window_errors_strided(const Matrix& xs, std::size_t n_windows,
+                             std::size_t n_steps, Workspace& ws,
+                             bool max_step, double* errors) const;
+  /// One fused cell step: consumes x (B×D), updates ws.h / ws.c in place.
+  /// ws.h and ws.c must be B×H (zeroed before the first step).
+  void step_fused(const Matrix& x, Workspace& ws) const;
+  /// Output head y = sigmoid?(h·Wo + bo) into a caller-owned buffer.
+  void project_into(const Matrix& h, Matrix& y) const;
+
   const LstmConfig& config() const { return config_; }
   std::vector<Param> params();
 
  private:
+  /// The fused half of a cell step: ws.z already holds x·Wx + h·Wh + b;
+  /// applies all four gate activations and the c/h update in one pass.
+  void gate_pass(Workspace& ws) const;
+
+  /// Per-timestep BPTT cache. The input matrix is NOT copied here — the
+  /// backward pass reads it from the caller's step vector by index.
   struct StepCache {
-    Matrix x, h_prev, c_prev;
-    Matrix i, f, g, o, c, tanh_c;
+    Matrix h_prev, c_prev;
+    Matrix i, f, g, o, tanh_c;
   };
 
   /// Forward over a batch: steps[t] is B × D. Returns final hidden (B × H)
@@ -78,8 +129,10 @@ class LstmPredictor {
                        std::vector<StepCache>* caches,
                        std::vector<Matrix>* hidden_states = nullptr);
   /// BPTT given the gradient flowing into each step's hidden state from
-  /// the per-step output heads; accumulates parameter gradients.
-  void backward_steps(const std::vector<StepCache>& caches,
+  /// the per-step output heads; accumulates parameter gradients. `steps`
+  /// must be the same vector the forward pass consumed.
+  void backward_steps(const std::vector<Matrix>& steps,
+                      const std::vector<StepCache>& caches,
                       const std::vector<Matrix>& grad_h_per_step);
   Matrix output_forward(const Matrix& h);  // caches for backward
   Matrix output_backward(const Matrix& grad_y);

@@ -1,0 +1,168 @@
+// Vectorized logistic sigmoid, bit-identical to sigmoid_scalar (which is
+// 1.0f / (1.0f + std::exp(-x)) through the platform libm).
+//
+// glibc dispatches expf through an ifunc: on CPUs with AVX2+FMA it selects
+// the FMA build of the shared exp/exp2/expf kernel (originally from ARM's
+// optimized-routines, EXP2F_TABLE_BITS = 5): widen to double, split
+// x/ln2 * 32 into integer k and remainder r with the 0x1.8p52 shift trick,
+// look the fractional power 2^(k/32) up in a 32-entry table, patch the
+// exponent bits with k, and evaluate a degree-3 polynomial in r — all with
+// the exact FMA contractions the compiler emitted for that build.
+//
+// exp_lanes() below replays that instruction sequence four doubles at a
+// time (fused ops where the libm disassembly has vfmadd/vfmsub, plain
+// mul/add/sub where it does not), so each lane performs the same IEEE
+// operations in the same order as one scalar call and the float results
+// round identically. The table and coefficients are the same constants
+// glibc carries in its .rodata. Inputs whose magnitude reaches the
+// overflow/underflow region (|x| >= 0x1.6p6 ~ 88, which also catches
+// inf/NaN) divert the whole 8-lane block to sigmoid_scalar, mirroring the
+// abstop12 early-out in libm.
+//
+// The fast path only engages when __builtin_cpu_supports reports both AVX2
+// and FMA — the same predicate glibc's resolver uses to pick the FMA expf —
+// so the scalar reference we must match bit-for-bit is that same kernel.
+// Everywhere else sigmoid_many falls back to looping sigmoid_scalar.
+// scripts/verify_tanhf.cpp sweeps all 2^32 float bit patterns through both
+// paths to prove the identity on this platform.
+#include "dl/layers.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace xsec::dl {
+
+namespace {
+
+void sigmoid_many_base(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sigmoid_scalar(x[i]);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// 2^(i/32) for i = 0..31, bit patterns as shipped in glibc's .rodata
+// (__exp2f_data.tab). The low bits double as correction terms; adding
+// k << 47 to entry (k & 31) yields 2^(k/32) with the integer part of
+// k/32 folded straight into the exponent field.
+alignas(32) const std::uint64_t kExpTab[32] = {
+    0x3ff0000000000000ull, 0x3fefd9b0d3158574ull, 0x3fefb5586cf9890full,
+    0x3fef9301d0125b51ull, 0x3fef72b83c7d517bull, 0x3fef54873168b9aaull,
+    0x3fef387a6e756238ull, 0x3fef1e9df51fdee1ull, 0x3fef06fe0a31b715ull,
+    0x3feef1a7373aa9cbull, 0x3feedea64c123422ull, 0x3feece086061892dull,
+    0x3feebfdad5362a27ull, 0x3feeb42b569d4f82ull, 0x3feeab07dd485429ull,
+    0x3feea47eb03a5585ull, 0x3feea09e667f3bcdull, 0x3fee9f75e8ec5f74ull,
+    0x3feea11473eb0187ull, 0x3feea589994cce13ull, 0x3feeace5422aa0dbull,
+    0x3feeb737b0cdc5e5ull, 0x3feec49182a3f090ull, 0x3feed503b23e255dull,
+    0x3feee89f995ad3adull, 0x3feeff76f2fb5e47ull, 0x3fef199bdd85529cull,
+    0x3fef3720dcef9069ull, 0x3fef5818dcfba487ull, 0x3fef7c97337b9b5full,
+    0x3fefa4afa2a490daull, 0x3fefd0765b6e4540ull,
+};
+
+inline double bits_double(std::uint64_t u) {
+  double d;
+  __builtin_memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+// Constants from the same rodata block: 32/ln2, the shift that rounds
+// z = x * 32/ln2 to an integer in the low mantissa bits, and the
+// polynomial coefficients pre-scaled by powers of 32 (poly_scaled[]).
+const double kInvLn2N = bits_double(0x40471547652b82feull);  // 0x1.71547652b82fep+5
+const double kShift = bits_double(0x4338000000000000ull);    // 0x1.8p52
+const double kC0 = bits_double(0x3ebc6af84b912394ull);
+const double kC1 = bits_double(0x3f2ebfce50fac4f3ull);
+const double kC2 = bits_double(0x3f962e42ff0c52d6ull);
+
+// Four-lane replay of the glibc FMA expf fast path. Callers guarantee
+// every lane satisfies |x| < 0x1.62p6-ish (the abstop12 <= 0x42a check),
+// so no overflow/underflow/NaN handling is needed here.
+__attribute__((always_inline, target("avx2,fma"))) inline __m256d exp_lanes(
+    __m256d xd) {
+  const __m256d inv_ln2n = _mm256_set1_pd(kInvLn2N);
+  const __m256d shift = _mm256_set1_pd(kShift);
+  // z = x*InvLn2N + Shift: the fma leaves round(x*InvLn2N) in the low
+  // mantissa bits; kd = z - Shift recovers it as a double.
+  const __m256d z = _mm256_fmadd_pd(inv_ln2n, xd, shift);
+  const __m256i ki = _mm256_castpd_si256(z);
+  const __m256d kd = _mm256_sub_pd(z, shift);
+  // r = x*InvLn2N - kd, fused exactly as libm computes it.
+  const __m256d r = _mm256_fmsub_pd(inv_ln2n, xd, kd);
+  // s = 2^(k/32): table entry for k mod 32 plus k's integer part shifted
+  // into the exponent field (k << (52 - 5)). Both the mask and the shift
+  // act on the full bit pattern of z, matching the scalar code — the
+  // shift bits above position 16 (including Shift's own exponent) fall
+  // off the top.
+  const __m256i idx = _mm256_and_si256(ki, _mm256_set1_epi64x(31));
+  const __m256i tab = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(kExpTab), idx, 8);
+  const __m256i sbits = _mm256_add_epi64(tab, _mm256_slli_epi64(ki, 47));
+  const __m256d s = _mm256_castsi256_pd(sbits);
+  // Degree-3 polynomial in r with the exact contraction pattern of the
+  // libm build: p = C0*r + C1; q = C2*r + 1; y = p*r^2 + q.
+  const __m256d p = _mm256_fmadd_pd(_mm256_set1_pd(kC0), r, _mm256_set1_pd(kC1));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  const __m256d q =
+      _mm256_fmadd_pd(_mm256_set1_pd(kC2), r, _mm256_set1_pd(1.0));
+  const __m256d y = _mm256_fmadd_pd(p, r2, q);
+  return _mm256_mul_pd(y, s);
+}
+
+__attribute__((target("avx2,fma"))) void sigmoid_many_fma(const float* x,
+                                                          float* out,
+                                                          std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  // Hot path iff |x| bits <= 0x42afffff (abstop12 <= 0x42a, |x| < ~88);
+  // above that expf over/underflows — and inf/NaN land there too — so the
+  // whole block takes the scalar route through libm.
+  const __m256i lim = _mm256_set1_epi32(0x42afffff);
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256i abits =
+        _mm256_and_si256(_mm256_castps_si256(vx), abs_mask);
+    if (_mm256_movemask_epi8(_mm256_cmpgt_epi32(abits, lim)) != 0) {
+      for (std::size_t j = 0; j < 8; ++j) out[i + j] = sigmoid_scalar(x[i + j]);
+      continue;
+    }
+    const __m256 neg = _mm256_xor_ps(vx, sign);  // exp(-x)
+    const __m256d elo = exp_lanes(_mm256_cvtps_pd(_mm256_castps256_ps128(neg)));
+    const __m256d ehi = exp_lanes(_mm256_cvtps_pd(_mm256_extractf128_ps(neg, 1)));
+    // vcvtsd2ss per lane: round the double pipeline back to float exactly
+    // where scalar expf does, then finish with float add and divide.
+    const __m256 e =
+        _mm256_set_m128(_mm256_cvtpd_ps(ehi), _mm256_cvtpd_ps(elo));
+    _mm256_storeu_ps(out + i, _mm256_div_ps(one, _mm256_add_ps(one, e)));
+  }
+  for (; i < n; ++i) out[i] = sigmoid_scalar(x[i]);
+}
+
+#endif  // x86
+
+using SigmoidManyFn = void (*)(const float*, float*, std::size_t);
+
+SigmoidManyFn pick_sigmoid_many() {
+#if defined(__x86_64__) || defined(__i386__)
+  // Same predicate glibc's ifunc resolver uses to select the FMA expf —
+  // the build whose bit patterns exp_lanes reproduces. Anywhere it does
+  // not hold, stay on the scalar loop (which IS libm, so always matches).
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return sigmoid_many_fma;
+#endif
+  return sigmoid_many_base;
+}
+
+const SigmoidManyFn g_sigmoid_many = pick_sigmoid_many();
+
+}  // namespace
+
+void sigmoid_many(const float* x, float* out, std::size_t n) {
+  g_sigmoid_many(x, out, n);
+}
+
+}  // namespace xsec::dl

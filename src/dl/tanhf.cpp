@@ -1,0 +1,232 @@
+// Batched tanh: same fdlibm semantics as tanh_scalar (tanhf.hpp), eight
+// lanes at a time. Scalar fdlibm tanh spends most of its time in branch
+// mispredicts (the |x|<1 / k-case branches are data-dependent) and two
+// serial divides; evaluating every branch arm vectorially and blending by
+// lane mask removes the mispredicts and amortizes the divides, while each
+// IEEE float op stays bit-identical per lane to its scalar counterpart.
+// scripts/verify_tanhf.cpp sweeps this path over all 2^32 bit patterns
+// too.
+//
+// Derived from fdlibm (s_tanhf.c, s_expm1f.c); see tanhf.hpp for the
+// SunPro notice.
+
+#include "dl/tanhf.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace xsec::dl {
+namespace {
+
+void tanh_many_base(const float* x, float* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = tanh_scalar(x[i]);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) inline __m256 blend(__m256 a, __m256 b,
+                                                    __m256 mask) {
+  return _mm256_blendv_ps(a, b, mask);  // mask lane set -> b
+}
+
+__attribute__((target("avx2"))) inline __m256 blendi(__m256 a, __m256 b,
+                                                     __m256i mask) {
+  return _mm256_blendv_ps(a, b, _mm256_castsi256_ps(mask));
+}
+
+/// Eight-lane fdlibm expm1f over the argument domain tanh feeds it:
+/// (-2, 0) and [2, 44). The scalar routine's overflow / -27ln2 / inf /
+/// NaN filters cannot trigger there (the caller diverts non-finite inputs
+/// to the scalar path), so only the reduction, the polynomial, and the
+/// k-case reconstructions are materialized. The k=±1 fast reduction of
+/// the scalar code is skipped: with t=(float)k=±1, hi = x - t*ln2_hi and
+/// lo = t*ln2_lo round to exactly the same bits as the shortcut, so the
+/// general reduction is used for every lane.
+__attribute__((target("avx2"))) __m256 expm1f_lanes(__m256 vx) {
+  using namespace tanhf_detail;
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+
+  const __m256i bits = _mm256_castps_si256(vx);
+  const __m256i hx = _mm256_and_si256(bits, abs_mask);
+  // |x| > 0.5 ln2 -> reduce. Signed compare is fine: hx <= 0x7f7fffff.
+  const __m256i red_mask =
+      _mm256_cmpgt_epi32(hx, _mm256_set1_epi32(0x3eb17218));
+
+  // k = (int)(invln2*x ± 0.5), truncated like cvttss2si.
+  const __m256 sign_half =
+      blend(half, _mm256_set1_ps(-0.5f),
+            _mm256_castsi256_ps(_mm256_cmpgt_epi32(
+                _mm256_setzero_si256(), bits)));  // x < 0 -> -0.5
+  __m256i k = _mm256_cvttps_epi32(
+      _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kInvLn2), vx), sign_half));
+  k = _mm256_and_si256(k, red_mask);  // unreduced lanes: k = 0
+
+  const __m256 t = _mm256_cvtepi32_ps(k);
+  const __m256 hi =
+      _mm256_sub_ps(vx, _mm256_mul_ps(t, _mm256_set1_ps(kLn2Hi)));
+  const __m256 lo = _mm256_mul_ps(t, _mm256_set1_ps(kLn2Lo));
+  __m256 xr = _mm256_sub_ps(hi, lo);
+  __m256 c = _mm256_sub_ps(_mm256_sub_ps(hi, xr), lo);
+  xr = blendi(vx, xr, red_mask);
+  c = _mm256_and_ps(c, _mm256_castsi256_ps(red_mask));
+  // Unreduced lanes below 2^-25 return x in the scalar code; the k=0
+  // reconstruction x - (x*e - hxs) rounds to exactly x there (hxs has at
+  // most 2^-26 the magnitude of x), so no separate blend is needed.
+
+  // Primary-range polynomial, identical operation order to the scalar.
+  const __m256 hfx = _mm256_mul_ps(half, xr);
+  const __m256 hxs = _mm256_mul_ps(xr, hfx);
+  __m256 r1 = _mm256_mul_ps(hxs, _mm256_set1_ps(kQ5));
+  r1 = _mm256_add_ps(r1, _mm256_set1_ps(kQ4));
+  r1 = _mm256_mul_ps(r1, hxs);
+  r1 = _mm256_add_ps(r1, _mm256_set1_ps(kQ3));
+  r1 = _mm256_mul_ps(r1, hxs);
+  r1 = _mm256_add_ps(r1, _mm256_set1_ps(kQ2));
+  r1 = _mm256_mul_ps(r1, hxs);
+  r1 = _mm256_add_ps(r1, _mm256_set1_ps(kQ1));
+  r1 = _mm256_mul_ps(r1, hxs);
+  r1 = _mm256_add_ps(r1, one);
+  const __m256 t3 =
+      _mm256_sub_ps(_mm256_set1_ps(3.0f), _mm256_mul_ps(r1, hfx));
+  const __m256 e =
+      _mm256_mul_ps(hxs, _mm256_div_ps(_mm256_sub_ps(r1, t3),
+                                       _mm256_sub_ps(_mm256_set1_ps(6.0f),
+                                                     _mm256_mul_ps(xr, t3))));
+
+  // k == 0: x - (x*e - hxs).
+  const __m256 res0 =
+      _mm256_sub_ps(xr, _mm256_sub_ps(_mm256_mul_ps(xr, e), hxs));
+
+  // Shared k != 0 term: e2 = (x*(e - c) - c) - hxs.
+  const __m256 e2 = _mm256_sub_ps(
+      _mm256_sub_ps(_mm256_mul_ps(xr, _mm256_sub_ps(e, c)), c), hxs);
+  const __m256 twopk = _mm256_castsi256_ps(_mm256_slli_epi32(
+      _mm256_add_epi32(k, _mm256_set1_epi32(0x7f)), 23));  // 2^k
+
+  // k == -1: 0.5*(x - e2) - 0.5.
+  const __m256 resm1 =
+      _mm256_sub_ps(_mm256_mul_ps(half, _mm256_sub_ps(xr, e2)), half);
+
+  // k == 1: x < -0.25 ? -2*(e2 - (x + 0.5)) : 1 + 2*(x - e2).
+  const __m256 res1 = blend(
+      _mm256_add_ps(one, _mm256_mul_ps(_mm256_set1_ps(2.0f),
+                                       _mm256_sub_ps(xr, e2))),
+      _mm256_mul_ps(_mm256_set1_ps(-2.0f),
+                    _mm256_sub_ps(e2, _mm256_add_ps(xr, half))),
+      _mm256_cmp_ps(xr, _mm256_set1_ps(-0.25f), _CMP_LT_OQ));
+
+  // k <= -2 or k > 56: (1 - (e2 - x))*2^k - 1. (k = 128 cannot occur:
+  // the overflow filter would have fired first in the scalar code.)
+  const __m256 resbig = _mm256_sub_ps(
+      _mm256_mul_ps(_mm256_sub_ps(one, _mm256_sub_ps(e2, xr)), twopk), one);
+
+  // 2 <= k < 23: (t1k - (e2 - x))*2^k with t1k = 1 - 2^-k via bit trick.
+  const __m256 t1k = _mm256_castsi256_ps(_mm256_sub_epi32(
+      _mm256_set1_epi32(0x3f800000),
+      _mm256_srlv_epi32(_mm256_set1_epi32(0x1000000), k)));
+  const __m256 ress = _mm256_mul_ps(
+      _mm256_sub_ps(t1k, _mm256_sub_ps(e2, xr)), twopk);
+
+  // 23 <= k <= 56: ((x - (e2 + 2^-k)) + 1)*2^k.
+  const __m256 tm = _mm256_castsi256_ps(_mm256_slli_epi32(
+      _mm256_sub_epi32(_mm256_set1_epi32(0x7f), k), 23));  // 2^-k
+  const __m256 resl = _mm256_mul_ps(
+      _mm256_add_ps(_mm256_sub_ps(xr, _mm256_add_ps(e2, tm)), one), twopk);
+
+  // Select per lane by k.
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i km1 = _mm256_set1_epi32(-1);
+  __m256 res = resbig;
+  // 2 <= k < 23 <=> k > 1 && k < 23; 23 <= k <= 56 <=> k > 22 && k < 57.
+  res = blendi(res, ress,
+               _mm256_and_si256(_mm256_cmpgt_epi32(k, _mm256_set1_epi32(1)),
+                                _mm256_cmpgt_epi32(_mm256_set1_epi32(23), k)));
+  res = blendi(res, resl,
+               _mm256_and_si256(_mm256_cmpgt_epi32(k, _mm256_set1_epi32(22)),
+                                _mm256_cmpgt_epi32(_mm256_set1_epi32(57), k)));
+  res = blendi(res, res1, _mm256_cmpeq_epi32(k, _mm256_set1_epi32(1)));
+  res = blendi(res, resm1, _mm256_cmpeq_epi32(k, km1));
+  res = blendi(res, res0, _mm256_cmpeq_epi32(k, zero));
+  return res;
+}
+
+__attribute__((target("avx2"))) void tanh_many_avx2(const float* x,
+                                                    float* out,
+                                                    std::size_t n) {
+  using namespace tanhf_detail;
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256i bits = _mm256_castps_si256(vx);
+    const __m256i ix = _mm256_and_si256(bits, abs_mask);
+
+    // Inf/NaN lanes take the scalar path (never happens on model data).
+    const __m256i nonfinite =
+        _mm256_cmpgt_epi32(ix, _mm256_set1_epi32(0x7f7fffff));
+    if (_mm256_movemask_epi8(nonfinite) != 0) {
+      for (std::size_t j = 0; j < 8; ++j) out[i + j] = tanh_scalar(x[i + j]);
+      continue;
+    }
+
+    const __m256 absx = _mm256_castsi256_ps(ix);
+    const __m256i lt1 =
+        _mm256_cmpgt_epi32(_mm256_set1_epi32(0x3f800000), ix);  // |x| < 1
+    const __m256 a2 = _mm256_add_ps(absx, absx);                // 2|x| exact
+    // |x| < 1 feeds expm1(-2|x|), |x| >= 1 feeds expm1(+2|x|).
+    const __m256 arg =
+        blendi(a2, _mm256_xor_ps(a2, _mm256_set1_ps(-0.0f)), lt1);
+
+    const __m256 t = expm1f_lanes(arg);
+
+    // |x| >= 1: z = 1 - 2/(t+2);  |x| < 1: z = (-t)/(t+2). One divide:
+    // round-to-nearest is sign-symmetric, so (-t)/d == -(t/d) bit-for-bit.
+    const __m256 d = _mm256_add_ps(t, two);
+    const __m256 q = _mm256_div_ps(blendi(two, t, lt1), d);
+    __m256 z = blendi(_mm256_sub_ps(one, q),
+                      _mm256_xor_ps(q, _mm256_set1_ps(-0.0f)), lt1);
+
+    // |x| >= 22 saturates; 1 - 1e-30 rounds to exactly 1.0f.
+    z = blendi(z, one,
+               _mm256_cmpgt_epi32(ix, _mm256_set1_epi32(0x41afffff)));
+    // Reattach the sign, then overlay the |x| < 2^-55 lanes, whose
+    // x*(1+x) form uses the signed x directly.
+    z = _mm256_or_ps(z,
+                     _mm256_and_ps(vx, _mm256_set1_ps(-0.0f)));
+    const __m256 tiny_form = _mm256_mul_ps(vx, _mm256_add_ps(one, vx));
+    z = blendi(z, tiny_form,
+               _mm256_cmpgt_epi32(_mm256_set1_epi32(0x24000000), ix));
+    _mm256_storeu_ps(out + i, z);
+  }
+  for (; i < n; ++i) out[i] = tanh_scalar(x[i]);
+}
+
+#endif  // x86
+
+using TanhManyFn = void (*)(const float*, float*, std::size_t);
+
+TanhManyFn pick_tanh_many() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return tanh_many_avx2;
+#endif
+  return tanh_many_base;
+}
+
+const TanhManyFn g_tanh_many = pick_tanh_many();
+
+}  // namespace
+
+void tanh_many(const float* x, float* out, std::size_t n) {
+  g_tanh_many(x, out, n);
+}
+
+}  // namespace xsec::dl

@@ -1,0 +1,191 @@
+// Local float tanh for the DL hot loops.
+//
+// glibc's tanhf is the classic fdlibm routine behind a PLT call; on the
+// LSTM gate pass (two tanh per hidden unit per step) the call overhead and
+// the out-of-line expm1f dominate scoring latency. This header carries the
+// same fdlibm algorithm as inline functions, so `tanh_scalar` returns
+// bit-identical results to std::tanh while inlining into the gate loops.
+// The test suite asserts bit-equality against std::tanh across random and
+// edge-case inputs; scripts/verify_tanhf.cpp sweeps every float bit
+// pattern.
+//
+// Derived from fdlibm (s_tanhf.c, s_expm1f.c):
+//
+// ====================================================
+// Copyright (C) 1993 by Sun Microsystems, Inc. All rights reserved.
+//
+// Developed at SunPro, a Sun Microsystems, Inc. business.
+// Permission to use, copy, modify, and distribute this
+// software is freely granted, provided that this notice
+// is preserved.
+// ====================================================
+//
+// Error-handling side effects (errno, FP exception flags) are omitted:
+// only return values matter to the models, and the DL code never inspects
+// the flags.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace xsec::dl {
+namespace tanhf_detail {
+
+inline std::uint32_t float_bits(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+inline float bits_float(std::uint32_t u) {
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+inline constexpr float kOne = 1.0f;
+inline constexpr float kTwo = 2.0f;
+inline constexpr float kTiny = 1.0e-30f;
+inline constexpr float kHuge = 1.0e+30f;
+inline constexpr float kLn2Hi = std::bit_cast<float>(0x3f317180u);
+inline constexpr float kLn2Lo = std::bit_cast<float>(0x3717f7d1u);
+inline constexpr float kInvLn2 = std::bit_cast<float>(0x3fb8aa3bu);
+// Rational-approximation coefficients. glibc's flt-32 expm1f carries the
+// full five-term set of the double-precision routine (rounded to float),
+// not the two-term set of Sun's original float version — the extra terms
+// change low-bit rounding, so they must match exactly.
+inline constexpr float kQ1 = std::bit_cast<float>(0xbd088889u);
+inline constexpr float kQ2 = std::bit_cast<float>(0x3ad00d01u);
+inline constexpr float kQ3 = std::bit_cast<float>(0xb8a670cdu);
+inline constexpr float kQ4 = std::bit_cast<float>(0x36867e54u);
+inline constexpr float kQ5 = std::bit_cast<float>(0xb457edbbu);
+
+/// fdlibm expm1f. Same float-for-float operation sequence as the libm
+/// routine, so every rounding step matches.
+inline float expm1f_local(float x) {
+  float y, hi, lo, c = 0.0f, t, e, hxs, hfx, r1, twopk;
+  std::int32_t k, xsb;
+  std::uint32_t hx;
+
+  hx = float_bits(x);
+  xsb = static_cast<std::int32_t>(hx & 0x80000000u);
+  hx &= 0x7fffffffu;
+
+  // Huge and non-finite arguments.
+  if (hx >= 0x4195b844u) {    // |x| >= 27*ln2
+    if (hx >= 0x42b17218u) {  // |x| >= 88.721...
+      if (hx > 0x7f800000u) return x + x;                    // NaN
+      if (hx == 0x7f800000u) return (xsb == 0) ? x : -1.0f;  // +-inf
+      if (x > 0.0f) return kHuge * kHuge;                    // overflow
+    }
+    if (xsb != 0) return kTiny - kOne;  // x < -27*ln2: expm1 = -1
+  }
+
+  // Argument reduction.
+  if (hx > 0x3eb17218u) {    // |x| > 0.5 ln2
+    if (hx < 0x3F851592u) {  // and |x| < 1.5 ln2
+      if (xsb == 0) {
+        hi = x - kLn2Hi;
+        lo = kLn2Lo;
+        k = 1;
+      } else {
+        hi = x + kLn2Hi;
+        lo = -kLn2Lo;
+        k = -1;
+      }
+    } else {
+      k = static_cast<std::int32_t>(kInvLn2 * x +
+                                    ((xsb == 0) ? 0.5f : -0.5f));
+      t = static_cast<float>(k);
+      hi = x - t * kLn2Hi;  // t*ln2_hi is exact here
+      lo = t * kLn2Lo;
+    }
+    x = hi - lo;
+    c = (hi - x) - lo;
+  } else if (hx < 0x33000000u) {  // |x| < 2**-25
+    return x;
+  } else {
+    k = 0;
+  }
+
+  // x is now in primary range.
+  hfx = 0.5f * x;
+  hxs = x * hfx;
+  r1 = kOne +
+       hxs * (kQ1 + hxs * (kQ2 + hxs * (kQ3 + hxs * (kQ4 + hxs * kQ5))));
+  t = 3.0f - r1 * hfx;
+  e = hxs * ((r1 - t) / (6.0f - x * t));
+  if (k == 0) return x - (x * e - hxs);  // c is 0
+  twopk = bits_float(static_cast<std::uint32_t>(0x7f + k) << 23);  // 2^k
+  e = (x * (e - c) - c);
+  e -= hxs;
+  if (k == -1) return 0.5f * (x - e) - 0.5f;
+  if (k == 1) {
+    if (x < -0.25f) return -2.0f * (e - (x + 0.5f));
+    return kOne + 2.0f * (x - e);
+  }
+  if (k <= -2 || k > 56) {  // suffices to return exp(x)-1
+    y = kOne - (e - x);
+    if (k == 128)
+      y = y * 2.0f * 0x1p127f;
+    else
+      y = y * twopk;
+    return y - kOne;
+  }
+  if (k < 23) {
+    t = bits_float(0x3f800000u - (0x1000000u >> k));  // 1 - 2^-k
+    y = t - (e - x);
+    y = y * twopk;
+  } else {
+    t = bits_float(static_cast<std::uint32_t>(0x7f - k) << 23);  // 2^-k
+    y = x - (e + t);
+    y += kOne;
+    y = y * twopk;
+  }
+  return y;
+}
+
+}  // namespace tanhf_detail
+
+/// Bit-identical to std::tanh(float), inlineable into the gate loops.
+inline float tanh_scalar(float x) {
+  using namespace tanhf_detail;
+  float t, z;
+  std::int32_t jx, ix;
+
+  jx = static_cast<std::int32_t>(float_bits(x));
+  ix = jx & 0x7fffffff;
+
+  // x is INF or NaN.
+  if (ix >= 0x7f800000) {
+    if (jx >= 0) return kOne / x + kOne;  // tanh(+inf)=+1
+    return kOne / x - kOne;               // tanh(-inf)=-1, tanh(NaN)=NaN
+  }
+
+  if (ix < 0x41b00000) {    // |x| < 22
+    if (ix == 0) return x;  // +-0
+    if (ix < 0x24000000)    // |x| < 2**-55
+      return x * (kOne + x);
+    if (ix >= 0x3f800000) {  // |x| >= 1
+      t = expm1f_local(kTwo * std::fabs(x));
+      z = kOne - kTwo / (t + kTwo);
+    } else {
+      t = expm1f_local(-kTwo * std::fabs(x));
+      z = -t / (t + kTwo);
+    }
+  } else {
+    // |x| >= 22: saturated.
+    z = kOne - kTiny;
+  }
+  return (jx >= 0) ? z : -z;
+}
+
+/// out[i] = tanh_scalar(x[i]) for i in [0, n), bit-identical, but eight
+/// lanes at a time on AVX2 machines (see tanhf.cpp). In-place (out == x)
+/// is allowed.
+void tanh_many(const float* x, float* out, std::size_t n);
+
+}  // namespace xsec::dl

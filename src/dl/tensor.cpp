@@ -31,40 +31,212 @@ Matrix Matrix::transposed() const {
   return out;
 }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+namespace {
+
+// Raw-pointer matmul kernel bodies. Each output element accumulates its
+// products over k in ascending order with a separate rounding per step, so
+// every kernel below — and the AVX2 variants, which only widen how many
+// *independent* column chains run per instruction — produces bit-identical
+// results. The AVX2 wrappers enable avx2 but NOT fma, so the compiler
+// cannot contract mul+add pairs into differently-rounded FMAs.
+
+// Zero-skip kernel: row-outer so each skipped a-element skips a whole row
+// of b. Wins on sparse inputs (one-hot encoder rows) where most of b is
+// never touched.
+__attribute__((always_inline)) inline void sparse_body(const float* a, std::size_t rows, std::size_t inner,
+                        const float* b, std::size_t cols, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* arow = a + r * inner;
+    float* orow = out + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) orow[c] = 0.0f;
+    for (std::size_t k = 0; k < inner; ++k) {
+      float av = arow[k];
+      if (av == 0.0f) continue;  // one-hot inputs are mostly zero
+      const float* brow = b + k * cols;
+      for (std::size_t c = 0; c < cols; ++c) orow[c] += av * brow[c];
+    }
+  }
+}
+
+// Register-blocked dense kernel, column-tile OUTER and row INNER: the b
+// tile (inner × tile floats, ~28-56KB for this repo's layer shapes) stays
+// hot in L1 across every row of a, so batched scoring amortizes the weight
+// traffic that dominates single-row matmuls. KBig accumulators per tile
+// give the FP units enough independent add chains to hide vaddps latency;
+// narrower trailing tiles (32/8/scalar) cover the remaining columns.
+template <int KBig>
+__attribute__((always_inline)) inline void dense_body(const float* a, std::size_t rows, std::size_t inner,
+                       const float* b, std::size_t cols, float* out) {
+  std::size_t c0 = 0;
+  for (; c0 + KBig <= cols; c0 += KBig) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* arow = a + r * inner;
+      float acc[KBig] = {};
+      const float* bp = b + c0;
+      for (std::size_t k = 0; k < inner; ++k, bp += cols) {
+        const float av = arow[k];
+        for (int j = 0; j < KBig; ++j) acc[j] += av * bp[j];
+      }
+      float* orow = out + r * cols;
+      for (int j = 0; j < KBig; ++j) orow[c0 + j] = acc[j];
+    }
+  }
+  if constexpr (KBig > 32) {
+    for (; c0 + 32 <= cols; c0 += 32) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float* arow = a + r * inner;
+        float acc[32] = {};
+        const float* bp = b + c0;
+        for (std::size_t k = 0; k < inner; ++k, bp += cols) {
+          const float av = arow[k];
+          for (int j = 0; j < 32; ++j) acc[j] += av * bp[j];
+        }
+        float* orow = out + r * cols;
+        for (int j = 0; j < 32; ++j) orow[c0 + j] = acc[j];
+      }
+    }
+  }
+  for (; c0 + 8 <= cols; c0 += 8) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* arow = a + r * inner;
+      float acc[8] = {};
+      const float* bp = b + c0;
+      for (std::size_t k = 0; k < inner; ++k, bp += cols) {
+        const float av = arow[k];
+        for (int j = 0; j < 8; ++j) acc[j] += av * bp[j];
+      }
+      float* orow = out + r * cols;
+      for (int j = 0; j < 8; ++j) orow[c0 + j] = acc[j];
+    }
+  }
+  for (; c0 < cols; ++c0) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* arow = a + r * inner;
+      float acc = 0.0f;
+      const float* bp = b + c0;
+      for (std::size_t k = 0; k < inner; ++k, bp += cols) acc += arow[k] * bp[0];
+      out[r * cols + c0] = acc;
+    }
+  }
+}
+
+using MatmulKernelFn = void (*)(const float*, std::size_t, std::size_t,
+                                const float*, std::size_t, float*);
+
+// Baseline (portable) instantiations. SSE2 has 16 xmm registers; a 64-wide
+// tile would spill, so the baseline uses 32 (8 xmm accumulator chains).
+void kernel_dense_base(const float* a, std::size_t rows, std::size_t inner,
+                       const float* b, std::size_t cols, float* out) {
+  dense_body<32>(a, rows, inner, b, cols, out);
+}
+void kernel_sparse_base(const float* a, std::size_t rows, std::size_t inner,
+                        const float* b, std::size_t cols, float* out) {
+  sparse_body(a, rows, inner, b, cols, out);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+// AVX2 variants, picked at load time when the host supports them. The
+// bodies inline into these wrappers and get compiled at the wider ISA: the
+// 64-wide tile becomes 8 independent ymm accumulator chains — enough to
+// saturate both FP ports — and the zero-skip column loop runs 8-wide.
+__attribute__((target("avx2"))) void kernel_dense_avx2(
+    const float* a, std::size_t rows, std::size_t inner, const float* b,
+    std::size_t cols, float* out) {
+  dense_body<64>(a, rows, inner, b, cols, out);
+}
+__attribute__((target("avx2"))) void kernel_sparse_avx2(
+    const float* a, std::size_t rows, std::size_t inner, const float* b,
+    std::size_t cols, float* out) {
+  sparse_body(a, rows, inner, b, cols, out);
+}
+
+MatmulKernelFn pick_dense_kernel() {
+  return __builtin_cpu_supports("avx2") ? kernel_dense_avx2
+                                        : kernel_dense_base;
+}
+MatmulKernelFn pick_sparse_kernel() {
+  return __builtin_cpu_supports("avx2") ? kernel_sparse_avx2
+                                        : kernel_sparse_base;
+}
+#else
+MatmulKernelFn pick_dense_kernel() { return kernel_dense_base; }
+MatmulKernelFn pick_sparse_kernel() { return kernel_sparse_base; }
+#endif
+
+const MatmulKernelFn g_dense_kernel = pick_dense_kernel();
+const MatmulKernelFn g_sparse_kernel = pick_sparse_kernel();
+
+float density_prefix(const Matrix& a, std::size_t rows) {
+  const std::size_t n = rows * a.cols();
+  if (n == 0) return 1.0f;
+  std::size_t nonzero = 0;
+  const float* p = a.data().data();
+  for (std::size_t i = 0; i < n; ++i) nonzero += (p[i] != 0.0f);
+  return static_cast<float>(nonzero) / static_cast<float>(n);
+}
+
+}  // namespace
+
+float density(const Matrix& a) { return density_prefix(a, a.rows()); }
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (density(a) >= kDenseDispatchDensity)
+    matmul_dense_into(a, b, out);
+  else
+    matmul_sparse_into(a, b, out);
+}
+
+void matmul_prefix_into(const Matrix& a, std::size_t a_rows, const Matrix& b,
+                        Matrix& out) {
+  assert(a_rows <= a.rows());
   assert(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
+  assert(&out != &a && &out != &b);
+  out.resize(a_rows, b.cols());
+  if (density_prefix(a, a_rows) >= kDenseDispatchDensity)
+    g_dense_kernel(a.data().data(), a_rows, a.cols(), b.data().data(),
+                   b.cols(), out.data().data());
+  else
+    g_sparse_kernel(a.data().data(), a_rows, a.cols(), b.data().data(),
+                    b.cols(), out.data().data());
+}
+
+void matmul_sparse_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(&out != &a && &out != &b);
+  out.resize(a.rows(), b.cols());
+  g_sparse_kernel(a.data().data(), a.rows(), a.cols(), b.data().data(),
+                  b.cols(), out.data().data());
+}
+
+void matmul_dense_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(&out != &a && &out != &b);
+  out.resize(a.rows(), b.cols());
+  g_dense_kernel(a.data().data(), a.rows(), a.cols(), b.data().data(),
+                 b.cols(), out.data().data());
+}
+
+void matmul_bt_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  assert(&out != &a && &out != &b);
+  out.resize(a.rows(), b.rows());
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
     float* orow = out.row(r);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      float av = arow[k];
-      if (av == 0.0f) continue;  // one-hot inputs are mostly zero
-      const float* brow = b.row(k);
-      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += av * brow[c];
-    }
-  }
-  return out;
-}
-
-Matrix matmul_bt(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  Matrix out(a.rows(), b.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const float* arow = a.row(r);
     for (std::size_t c = 0; c < b.rows(); ++c) {
       const float* brow = b.row(c);
       float acc = 0.0f;
       for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      out.at(r, c) = acc;
+      orow[c] = acc;
     }
   }
-  return out;
 }
 
-Matrix matmul_at(const Matrix& a, const Matrix& b) {
+void matmul_at_into(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.rows() == b.rows());
-  Matrix out(a.cols(), b.cols());
+  assert(&out != &a && &out != &b);
+  out.resize(a.cols(), b.cols());
+  out.fill(0.0f);
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const float* arow = a.row(k);
     const float* brow = b.row(k);
@@ -75,42 +247,109 @@ Matrix matmul_at(const Matrix& a, const Matrix& b) {
       for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += av * brow[c];
     }
   }
+}
+
+void add_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.data()[i] = a.data()[i] + b.data()[i];
+}
+
+void sub_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.data()[i] = a.data()[i] - b.data()[i];
+}
+
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.data()[i] = a.data()[i] * b.data()[i];
+}
+
+void add_row_vector_into(const Matrix& a, const Matrix& row, Matrix& out) {
+  assert(row.rows() == 1 && row.cols() == a.cols());
+  out.resize(a.rows(), a.cols());
+  const float* rv = row.row(0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) orow[c] = arow[c] + rv[c];
+  }
+}
+
+void sum_rows_into(const Matrix& a, Matrix& out) {
+  out.resize(1, a.cols());
+  out.fill(0.0f);
+  float* orow = out.row(0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) orow[c] += arow[c];
+  }
+}
+
+void add_inplace(Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void add_row_vector_inplace(Matrix& a, const Matrix& row) {
+  assert(row.rows() == 1 && row.cols() == a.cols());
+  const float* rv = row.row(0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    float* arow = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) arow[c] += rv[c];
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_into(a, b, out);
+  return out;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_bt_into(a, b, out);
+  return out;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  matmul_at_into(a, b, out);
   return out;
 }
 
 Matrix add(const Matrix& a, const Matrix& b) {
-  assert(a.same_shape(b));
-  Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
+  Matrix out;
+  add_into(a, b, out);
   return out;
 }
 
 Matrix sub(const Matrix& a, const Matrix& b) {
-  assert(a.same_shape(b));
-  Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  Matrix out;
+  sub_into(a, b, out);
   return out;
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {
-  assert(a.same_shape(b));
-  Matrix out = a;
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  Matrix out;
+  hadamard_into(a, b, out);
   return out;
 }
 
 Matrix add_row_vector(const Matrix& a, const Matrix& row) {
-  assert(row.rows() == 1 && row.cols() == a.cols());
-  Matrix out = a;
-  for (std::size_t r = 0; r < a.rows(); ++r)
-    for (std::size_t c = 0; c < a.cols(); ++c) out.at(r, c) += row.at(0, c);
+  Matrix out;
+  add_row_vector_into(a, row, out);
   return out;
 }
 
 Matrix sum_rows(const Matrix& a) {
-  Matrix out(1, a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r)
-    for (std::size_t c = 0; c < a.cols(); ++c) out.at(0, c) += a.at(r, c);
+  Matrix out;
+  sum_rows_into(a, out);
   return out;
 }
 

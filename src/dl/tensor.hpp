@@ -4,6 +4,17 @@
 // hundred hidden units), so a straightforward cache-friendly implementation
 // with no BLAS dependency is both sufficient and deterministic across
 // platforms — which matters for reproducing Table 2 bit-for-bit.
+//
+// Two API layers:
+//   - `_into` kernels write into caller-owned buffers and are the
+//     inference hot path: once a buffer has capacity they never touch the
+//     heap (Matrix::resize keeps capacity when shrinking).
+//   - The allocating functions (matmul, add, ...) are thin wrappers over
+//     the `_into` kernels, kept for the training/backprop code where a
+//     fresh temporary per op is fine.
+// Every kernel accumulates each output element over k in ascending order,
+// so the sparse zero-skip path, the register-blocked dense path, and the
+// wrappers all produce bit-identical results for finite inputs.
 #pragma once
 
 #include <cassert>
@@ -44,6 +55,16 @@ class Matrix {
   void fill(float value);
   void zero() { fill(0.0f); }
 
+  /// Reshapes in place. Contents are unspecified afterwards (kernels
+  /// overwrite their output). The backing vector keeps its capacity, so a
+  /// workspace matrix warmed at its largest shape never reallocates when
+  /// reused at smaller shapes.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Xavier/Glorot uniform initialization: U(-s, s), s = sqrt(6/(in+out)).
   void xavier_init(Rng& rng, std::size_t fan_in, std::size_t fan_out);
 
@@ -58,6 +79,47 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<float> data_;
 };
+
+// ---- `_into` kernels (allocation-free once `out` has capacity) ----------
+
+/// Fraction of nonzero elements in [0, 1] (1 for an empty matrix).
+float density(const Matrix& a);
+
+/// Density at or above which matmul_into picks the register-blocked dense
+/// kernel over the zero-skip loop. One-hot encoder rows sit far below it;
+/// standardized hidden activations sit far above.
+inline constexpr float kDenseDispatchDensity = 0.25f;
+
+/// out = a (r×k) * b (k×c). Dispatches on density(a): the zero-skip loop
+/// for sparse inputs (one-hot rows), the register-blocked kernel for dense
+/// ones. Both orders are bit-identical.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = first `a_rows` rows of a (a_rows×k) * b (k×c). Lets a caller
+/// multiply a prefix of a taller workspace matrix without copying it.
+void matmul_prefix_into(const Matrix& a, std::size_t a_rows, const Matrix& b,
+                        Matrix& out);
+/// Zero-skip kernel: skips a's zero elements (the reference loop).
+void matmul_sparse_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// Register-blocked kernel: per output row, column tiles are accumulated
+/// in registers with no per-element branch.
+void matmul_dense_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a (r×k) * b^T (c×k).
+void matmul_bt_into(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a^T (k×r) * b (k×c).
+void matmul_at_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+void add_into(const Matrix& a, const Matrix& b, Matrix& out);
+void sub_into(const Matrix& a, const Matrix& b, Matrix& out);
+void hadamard_into(const Matrix& a, const Matrix& b, Matrix& out);
+void add_row_vector_into(const Matrix& a, const Matrix& row, Matrix& out);
+void sum_rows_into(const Matrix& a, Matrix& out);
+
+/// a += b element-wise.
+void add_inplace(Matrix& a, const Matrix& b);
+/// Adds a 1×c row vector to every row of a, in place.
+void add_row_vector_inplace(Matrix& a, const Matrix& row);
+
+// ---- Allocating wrappers (training paths) -------------------------------
 
 /// out = a (r×k) * b (k×c)
 Matrix matmul(const Matrix& a, const Matrix& b);

@@ -1,10 +1,16 @@
 // Deep-learning substrate tests: tensor ops, layer gradients (numerical
 // checks), optimizers, autoencoder + LSTM end-to-end on toy problems,
-// metrics, serialization.
+// metrics, serialization, fused-kernel bit-identity, and the
+// zero-allocation guarantee of the warmed inference paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
+#include "detect/ensemble.hpp"
+#include "detect/scorer.hpp"
 #include "dl/autoencoder.hpp"
 #include "dl/layers.hpp"
 #include "dl/lstm.hpp"
@@ -12,6 +18,36 @@
 #include "dl/optim.hpp"
 #include "dl/serialize.hpp"
 #include "dl/tensor.hpp"
+
+// --- Heap-allocation hook ---------------------------------------------
+//
+// Counts every operator-new in this binary so the allocation tests can
+// assert that a warmed inference path performs zero heap allocations.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC pairs our malloc-backed operator new with the default delete at
+// some call sites and warns; the pairing here is in fact consistent.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace xsec::dl {
 namespace {
@@ -395,6 +431,341 @@ TEST(Serialize, LstmModelRoundTrip) {
   Bytes blob = save_params(a.params());
   ASSERT_TRUE(load_params(b.params(), blob).ok());
   EXPECT_EQ(a.prediction_errors(samples), b.prediction_errors(samples));
+}
+
+// --- Fused/into kernel bit-identity -----------------------------------
+//
+// The inference path must reproduce the reference math bit-for-bit (same
+// FP operation order within every dot product), so Table 2 numbers do not
+// move when the fast kernels are used. These are exact-equality checks.
+
+/// Textbook per-element matmul, accumulating over k in ascending order —
+/// the FP order both production kernels must preserve.
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a.at(r, k) * b.at(k, c);
+      out.at(r, c) = acc;
+    }
+  return out;
+}
+
+TEST(FusedKernels, MatmulVariantsBitIdenticalAcrossShapesAndDensities) {
+  Rng rng(71);
+  // Reused across iterations so the capacity-retaining resize path (shrink
+  // then regrow) is exercised, not just fresh buffers.
+  Matrix sparse_out, dense_out, dispatched;
+  for (int iter = 0; iter < 40; ++iter) {
+    std::size_t m = rng.uniform_u64(1, 17);
+    std::size_t k = rng.uniform_u64(1, 33);
+    std::size_t n = rng.uniform_u64(1, 41);  // crosses the 8-wide tile edge
+    double density = rng.uniform();
+    Matrix a(m, k);
+    Matrix b(k, n);
+    for (float& v : a.data())
+      v = rng.chance(density) ? static_cast<float>(rng.uniform(-2, 2)) : 0.0f;
+    for (float& v : b.data()) v = static_cast<float>(rng.uniform(-2, 2));
+
+    Matrix ref = naive_matmul(a, b);
+    matmul_sparse_into(a, b, sparse_out);
+    matmul_dense_into(a, b, dense_out);
+    matmul_into(a, b, dispatched);
+    Matrix allocating = matmul(a, b);
+    ASSERT_EQ(ref.data(), sparse_out.data()) << "iter " << iter;
+    ASSERT_EQ(ref.data(), dense_out.data()) << "iter " << iter;
+    ASSERT_EQ(ref.data(), dispatched.data()) << "iter " << iter;
+    ASSERT_EQ(ref.data(), allocating.data()) << "iter " << iter;
+  }
+}
+
+TEST(FusedKernels, IntoAndInplaceElementwiseMatchAllocatingOps) {
+  Rng rng(72);
+  Matrix out;
+  for (int iter = 0; iter < 20; ++iter) {
+    std::size_t m = rng.uniform_u64(1, 9);
+    std::size_t n = rng.uniform_u64(1, 21);
+    Matrix a(m, n);
+    Matrix b(m, n);
+    Matrix row(1, n);
+    for (float& v : a.data()) v = static_cast<float>(rng.uniform(-3, 3));
+    for (float& v : b.data()) v = static_cast<float>(rng.uniform(-3, 3));
+    for (float& v : row.data()) v = static_cast<float>(rng.uniform(-3, 3));
+
+    add_into(a, b, out);
+    ASSERT_EQ(add(a, b).data(), out.data());
+    sub_into(a, b, out);
+    ASSERT_EQ(sub(a, b).data(), out.data());
+    hadamard_into(a, b, out);
+    ASSERT_EQ(hadamard(a, b).data(), out.data());
+    add_row_vector_into(a, row, out);
+    ASSERT_EQ(add_row_vector(a, row).data(), out.data());
+    sum_rows_into(a, out);
+    ASSERT_EQ(sum_rows(a).data(), out.data());
+
+    Matrix acc = a;
+    add_inplace(acc, b);
+    ASSERT_EQ(add(a, b).data(), acc.data());
+    acc = a;
+    add_row_vector_inplace(acc, row);
+    ASSERT_EQ(add_row_vector(a, row).data(), acc.data());
+  }
+}
+
+TEST(FusedKernels, TanhScalarBitIdenticalToStdTanh) {
+  // The vendored fdlibm tanh must match the libm one bit-for-bit —
+  // otherwise every LSTM score drifts from the reference implementation.
+  // scripts/verify_tanhf.cpp proves this over all 2^32 bit patterns; here
+  // we pin the branch boundaries plus a dense random sample.
+  auto check = [](float x) {
+    float got = tanh_scalar(x);
+    float want = std::tanh(x);
+    std::uint32_t gb, wb;
+    std::memcpy(&gb, &got, sizeof(gb));
+    std::memcpy(&wb, &want, sizeof(wb));
+    if (std::isnan(got) && std::isnan(want)) return;
+    ASSERT_EQ(gb, wb) << "x = " << x;
+  };
+  // Branch thresholds of the fdlibm routine (and one ulp either side).
+  const std::uint32_t edges[] = {
+      0x00000000u, 0x00000001u, 0x24000000u, 0x33000000u, 0x3eb17218u,
+      0x3f800000u, 0x3F851592u, 0x41100000u, 0x4195b844u, 0x41b00000u,
+      0x42b17218u, 0x7f7fffffu, 0x7f800000u, 0x7fc00000u};
+  for (std::uint32_t e : edges)
+    for (std::int32_t d : {-1, 0, 1})
+      for (std::uint32_t sign : {0u, 0x80000000u}) {
+        std::uint32_t u = (e + static_cast<std::uint32_t>(d)) | sign;
+        float x;
+        std::memcpy(&x, &u, sizeof(x));
+        check(x);
+      }
+  Rng rng(74);
+  for (int i = 0; i < 200000; ++i) {
+    // Log-uniform magnitude covers denormals through saturation.
+    float mag = static_cast<float>(std::pow(2.0, rng.uniform(-140, 10)));
+    check(rng.chance(0.5) ? mag : -mag);
+    // Plus the gate-realistic range the LSTM actually feeds it.
+    check(static_cast<float>(rng.uniform(-30, 30)));
+  }
+}
+
+TEST(FusedKernels, TanhManyMatchesTanhScalarIncludingTails) {
+  // The vectorized batch tanh must agree with the scalar routine lane for
+  // lane, across SIMD-width boundaries, for odd tails, and in place.
+  Rng rng(75);
+  std::vector<float> xs(67), out(67), inplace(67);
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{16}, std::size_t{64},
+                        std::size_t{67}}) {
+    for (int iter = 0; iter < 50; ++iter) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double mag = std::pow(2.0, rng.uniform(-30, 6));
+        xs[i] = static_cast<float>(rng.chance(0.5) ? mag : -mag);
+      }
+      if (iter == 0 && n >= 8) {
+        // Poison one lane with non-finite input: the whole vector must
+        // fall back to the scalar path without disturbing neighbours.
+        xs[3] = std::numeric_limits<float>::infinity();
+        xs[5] = -std::numeric_limits<float>::quiet_NaN();
+      }
+      tanh_many(xs.data(), out.data(), n);
+      std::copy(xs.begin(), xs.begin() + n, inplace.begin());
+      tanh_many(inplace.data(), inplace.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        float want = tanh_scalar(xs[i]);
+        std::uint32_t gb, wb, ib;
+        std::memcpy(&gb, &out[i], sizeof(gb));
+        std::memcpy(&wb, &want, sizeof(wb));
+        std::memcpy(&ib, &inplace[i], sizeof(ib));
+        if (std::isnan(out[i]) && std::isnan(want)) continue;
+        ASSERT_EQ(gb, wb) << "n=" << n << " i=" << i << " x=" << xs[i];
+        ASSERT_EQ(ib, wb) << "in-place n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FusedKernels, SigmoidManyMatchesSigmoidScalarIncludingTails) {
+  // Same contract as the batch tanh: the vectorized sigmoid (a port of
+  // the libm FMA expf fast path, see sigmoidf.cpp) must agree with
+  // sigmoid_scalar lane for lane. scripts/verify_tanhf.cpp proves the
+  // identity over all 2^32 bit patterns; this pins SIMD-width boundaries,
+  // odd tails, in-place use, the |x| >= 88 over/underflow fallback, and
+  // non-finite lanes.
+  Rng rng(76);
+  std::vector<float> xs(67), out(67), inplace(67);
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                        std::size_t{9}, std::size_t{16}, std::size_t{64},
+                        std::size_t{67}}) {
+    for (int iter = 0; iter < 50; ++iter) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double mag = std::pow(2.0, rng.uniform(-30, 8));
+        xs[i] = static_cast<float>(rng.chance(0.5) ? mag : -mag);
+      }
+      if (iter == 0 && n >= 8) {
+        // Poison lanes: non-finite and beyond the expf overflow cutoff.
+        // The whole vector must take the scalar route untouched.
+        xs[3] = std::numeric_limits<float>::infinity();
+        xs[5] = -std::numeric_limits<float>::quiet_NaN();
+        xs[6] = -150.0f;
+      }
+      if (iter == 1 && n >= 8) xs[2] = 200.0f;
+      sigmoid_many(xs.data(), out.data(), n);
+      std::copy(xs.begin(), xs.begin() + n, inplace.begin());
+      sigmoid_many(inplace.data(), inplace.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        float want = sigmoid_scalar(xs[i]);
+        std::uint32_t gb, wb, ib;
+        std::memcpy(&gb, &out[i], sizeof(gb));
+        std::memcpy(&wb, &want, sizeof(wb));
+        std::memcpy(&ib, &inplace[i], sizeof(ib));
+        if (std::isnan(out[i]) && std::isnan(want)) continue;
+        ASSERT_EQ(gb, wb) << "n=" << n << " i=" << i << " x=" << xs[i];
+        ASSERT_EQ(ib, wb) << "in-place n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FusedKernels, SequentialInferBitIdenticalToForward) {
+  Rng rng(73);
+  Sequential net;
+  net.add(std::make_unique<Linear>(9, 7, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Linear>(7, 4, rng));
+  net.add(std::make_unique<Tanh>());
+  net.add(std::make_unique<Linear>(4, 9, rng));
+  net.add(std::make_unique<Sigmoid>());
+  for (std::size_t batch : {6u, 1u, 11u}) {
+    Matrix x(batch, 9);
+    for (float& v : x.data()) v = static_cast<float>(rng.uniform(-2, 2));
+    Matrix fwd = net.forward(x);
+    const Matrix& inf = net.infer(x);
+    ASSERT_EQ(fwd.data(), inf.data()) << "batch " << batch;
+  }
+}
+
+TEST(FusedKernels, LstmFusedPathMatchesGateByGateReference) {
+  for (bool sigmoid_output : {false, true}) {
+    const std::size_t d = 3;
+    const std::size_t hidden = 5;
+    const std::size_t batch = 4;
+    const std::size_t n_steps = 6;
+    LstmPredictor model(LstmConfig{d, hidden, 77, sigmoid_output});
+    // params() exposes {Wx, Wh, b, Wo, bo} — enough to rebuild the cell
+    // gate by gate with the reference (allocating) ops.
+    auto plist = model.params();
+    const Matrix& wx = *plist[0].value;
+    const Matrix& wh = *plist[1].value;
+    const Matrix& b = *plist[2].value;
+    const Matrix& wo = *plist[3].value;
+    const Matrix& bo = *plist[4].value;
+
+    Rng rng(74);
+    std::vector<Matrix> steps(n_steps, Matrix(batch, d));
+    Matrix targets(batch, d);
+    for (auto& step : steps)
+      for (float& v : step.data()) v = static_cast<float>(rng.uniform(-1, 1));
+    for (float& v : targets.data()) v = static_cast<float>(rng.uniform(-1, 1));
+
+    auto slice_gate = [&](const Matrix& z, std::size_t gate) {
+      Matrix out(z.rows(), hidden);
+      for (std::size_t r = 0; r < z.rows(); ++r)
+        for (std::size_t c = 0; c < hidden; ++c)
+          out.at(r, c) = z.at(r, gate * hidden + c);
+      return out;
+    };
+    auto project = [&](const Matrix& h) {
+      Matrix y = add_row_vector(matmul(h, wo), bo);
+      if (sigmoid_output) y = sigmoid_mat(y);
+      return y;
+    };
+    auto row_mse = [&](const Matrix& y, const Matrix& target,
+                       std::size_t r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        double diff = static_cast<double>(y.at(r, c)) - target.at(r, c);
+        acc += diff * diff;
+      }
+      return acc / static_cast<double>(d);
+    };
+
+    // Reference forward: materialized per-gate matrices, allocating ops.
+    Matrix h(batch, hidden);
+    Matrix c(batch, hidden);
+    std::vector<double> ref_max(batch, 0.0);
+    std::vector<double> ref_final(batch, 0.0);
+    for (std::size_t t = 0; t < n_steps; ++t) {
+      Matrix z =
+          add_row_vector(add(matmul(steps[t], wx), matmul(h, wh)), b);
+      Matrix i = sigmoid_mat(slice_gate(z, 0));
+      Matrix f = sigmoid_mat(slice_gate(z, 1));
+      Matrix g = tanh_mat(slice_gate(z, 2));
+      Matrix o = sigmoid_mat(slice_gate(z, 3));
+      c = add(hadamard(f, c), hadamard(i, g));
+      h = hadamard(o, tanh_mat(c));
+      Matrix y = project(h);
+      const Matrix& target_t = (t + 1 < n_steps) ? steps[t + 1] : targets;
+      for (std::size_t r = 0; r < batch; ++r) {
+        ref_max[r] = std::max(ref_max[r], row_mse(y, target_t, r));
+        if (t + 1 == n_steps) ref_final[r] = row_mse(y, targets, r);
+      }
+    }
+
+    LstmPredictor::Workspace ws;
+    std::vector<double> fused_max(batch);
+    std::vector<double> fused_final(batch);
+    model.window_errors(steps, targets, ws, /*max_step=*/true,
+                        fused_max.data());
+    model.window_errors(steps, targets, ws, /*max_step=*/false,
+                        fused_final.data());
+    for (std::size_t r = 0; r < batch; ++r) {
+      ASSERT_EQ(ref_max[r], fused_max[r]) << "row " << r;
+      ASSERT_EQ(ref_final[r], fused_final[r]) << "row " << r;
+    }
+  }
+}
+
+// --- Zero-allocation guarantee ----------------------------------------
+
+TEST(Allocation, WarmedDetectorScoringAllocatesNothing) {
+  const std::size_t window = 5;
+  const std::size_t dim = 12;
+  detect::DetectorConfig config;
+  detect::AutoencoderDetector ae(window, dim, config, {16, 8});
+  detect::LstmDetector lstm(window, dim, config, 8);
+  std::vector<detect::FeatureGroup> groups;
+  groups.push_back({"low", {0, 1, 2, 3, 4, 5}});
+  groups.push_back({"high", {6, 7, 8, 9, 10, 11}});
+  detect::EnsembleDetector ensemble(window, dim, groups);
+
+  Rng rng(75);
+  const std::size_t max_windows = 16;
+  std::vector<float> rows((max_windows + window) * dim);
+  for (float& v : rows) v = static_cast<float>(rng.uniform(0, 1));
+  std::vector<double> scores(max_windows);
+
+  // Warm every workspace at the largest batch it will see (buffers only
+  // grow, so smaller batches afterwards cannot allocate).
+  ae.score_windows(rows.data(), dim, window, max_windows, scores.data());
+  lstm.score_windows(rows.data(), dim, window + 1, max_windows,
+                     scores.data());
+  ensemble.score_windows(rows.data(), dim, window, max_windows,
+                         scores.data());
+
+  const std::uint64_t before = g_heap_allocs.load();
+  ae.score_window(rows.data(), window);
+  ae.score_windows(rows.data(), dim, window, 3, scores.data());
+  ae.score_windows(rows.data(), dim, window, max_windows, scores.data());
+  lstm.score_window(rows.data(), window + 1);
+  lstm.score_windows(rows.data(), dim, window + 1, max_windows,
+                     scores.data());
+  ensemble.score_window(rows.data(), window);
+  ensemble.score_windows(rows.data(), dim, window, max_windows,
+                         scores.data());
+  const std::uint64_t after = g_heap_allocs.load();
+  EXPECT_EQ(after - before, 0u);
 }
 
 }  // namespace
