@@ -58,6 +58,11 @@ run_gbench() {
 
 run_gbench bench_pipeline_perf
 run_gbench bench_inference_latency
+# The sharded scale sweep runs at its full 1M-UE default (~3s per shard
+# count) so its JSON is directly comparable to the committed baseline;
+# export XSEC_BENCH_UES to shrink it for quick local iterations (the
+# benchmark names stay the same, so bench_diff would then over-report).
+run_gbench bench_scale
 
 # Paper-artifact benches: --quick shrinks datasets/epochs where training is
 # involved; the rest are already smoke-sized.

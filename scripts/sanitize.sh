@@ -1,16 +1,42 @@
 #!/usr/bin/env bash
 # Runs the full test suite — including the chaos tests and their fixed-seed
-# fault sweeps — under AddressSanitizer + UndefinedBehaviorSanitizer.
+# fault sweeps — under AddressSanitizer + UndefinedBehaviorSanitizer, and
+# (tsan mode) the threaded shard machinery under ThreadSanitizer.
 #
 # This is the satellite job ROADMAP.md's robustness item calls for: every
 # recovery path (reconnect, retransmission, gap handling) executes with
 # memory and UB checking enabled, so a fault-injection bug that only
 # corrupts memory without failing an assertion still fails the build.
 #
-# Usage: scripts/sanitize.sh [extra ctest args...]
-#   e.g. scripts/sanitize.sh -R Chaos        # only the chaos suite
+# Usage:
+#   scripts/sanitize.sh [extra ctest args...]
+#     ASan+UBSan over the whole suite (or the ctest selection given).
+#     e.g. scripts/sanitize.sh -R Chaos     # only the chaos suite
+#
+#   scripts/sanitize.sh tsan [extra ctest args...]
+#     ThreadSanitizer build. Without extra args it runs the concurrency
+#     surface: the shard/ring/executor/engine tests plus the chaos suite,
+#     and then re-runs the chaos suite with XSEC_RIC_SHARDS forcing every
+#     pipeline onto 2 and 4 worker threads, so the coordinator/worker
+#     hand-off (SPSC ring, barrier, detector swap, metric drain) is
+#     race-checked under real fault-injected load.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "tsan" ]]; then
+  shift
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+  if [[ $# -gt 0 ]]; then
+    exec ctest --preset tsan "$@"
+  fi
+  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos'
+  for shards in 2 4; do
+    echo "=== chaos suite with XSEC_RIC_SHARDS=$shards under TSan ==="
+    XSEC_RIC_SHARDS=$shards ctest --preset tsan -R 'Chaos'
+  done
+  exit 0
+fi
 
 if [[ $# -eq 0 ]]; then
   exec cmake --workflow --preset sanitize

@@ -1,0 +1,35 @@
+// Stable hashing for shard assignment.
+//
+// Shard placement must be a pure function of the telemetry source identity
+// (node/UE ids), never of arrival order or pointer values: the sharded RIC's
+// determinism oracle is that the same seed produces the same outputs at any
+// shard count, and that only holds if a source always lands on the shard its
+// key dictates. splitmix64 is the standard 64-bit finalizer (Steele et al.),
+// strong enough to spread consecutive ids across shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xsec {
+
+/// splitmix64 finalizer: bijective, well-mixed 64-bit hash.
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two ids into one stable key (node + UE -> source key).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return hash64(a ^ (hash64(b) + 0x9e3779b97f4a7c15ULL + (a << 6)));
+}
+
+/// Shard index for a key: stable across runs, processes, and shard layouts
+/// with the same `shards` count.
+constexpr std::size_t shard_of(std::uint64_t key, std::size_t shards) {
+  return shards <= 1 ? 0 : static_cast<std::size_t>(hash64(key) % shards);
+}
+
+}  // namespace xsec

@@ -1,11 +1,34 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/log.hpp"
 #include "core/smo.hpp"
 
 namespace xsec::core {
 
+namespace {
+
+/// An explicit config wins; otherwise XSEC_RIC_SHARDS (the knob the
+/// sanitizer and chaos sweeps use to re-run the whole suite sharded);
+/// otherwise 1. Clamped to a sane ceiling.
+std::size_t resolve_ric_shards(std::size_t configured) {
+  constexpr std::size_t kMaxShards = 64;
+  if (configured != 0) return std::min(configured, kMaxShards);
+  if (const char* env = std::getenv("XSEC_RIC_SHARDS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v >= 1)
+      return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxShards);
+  }
+  return 1;
+}
+
+}  // namespace
+
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  config_.mobiwatch.shards = resolve_ric_shards(config_.ric_shards);
   testbed_ = std::make_unique<sim::Testbed>(config_.testbed);
 
   // Platform-wide observability: one registry + tracer, driven by the sim

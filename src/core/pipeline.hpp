@@ -42,6 +42,11 @@ struct PipelineConfig {
   /// Period of the MetricsReportXapp's SMO export loop; 0 (default)
   /// disables the xApp entirely.
   SimDuration metrics_report_period{0};
+  /// RIC shards MobiWatch scoring fans out over. 0 (default) resolves from
+  /// the XSEC_RIC_SHARDS environment variable, falling back to 1 (inline
+  /// scoring, no worker threads). Any shard count produces byte-identical
+  /// outputs under a fixed seed; >1 buys wall-clock throughput.
+  std::size_t ric_shards = 0;
 };
 
 /// One robustness-counter snapshot across every layer of the pipeline,
@@ -118,6 +123,8 @@ class Pipeline {
   std::uint64_t node_id(std::size_t index = 0) const {
     return node_ids_[index];
   }
+  /// Resolved RIC shard count (config override or XSEC_RIC_SHARDS).
+  std::size_t ric_shards() const { return config_.mobiwatch.shards; }
 
   /// Snapshot of every robustness counter in the system.
   PipelineStats stats() const;

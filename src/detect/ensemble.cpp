@@ -5,6 +5,7 @@
 
 #include "common/plot.hpp"
 #include "common/strings.hpp"
+#include "dl/serialize.hpp"
 
 namespace xsec::detect {
 
@@ -191,6 +192,21 @@ void EnsembleDetector::score_windows(const float* rows, std::size_t row_dim,
   // Matches what sequential score_window() calls over the batch would
   // leave behind: the attribution of the most recent window.
   last_dominant_ = infer_dominant_[n_windows - 1];
+}
+
+std::unique_ptr<AnomalyDetector> EnsembleDetector::clone_for_inference() {
+  auto copy = std::make_unique<EnsembleDetector>(window_size_, feature_dim_,
+                                                 groups_, config_);
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    Status loaded = dl::load_params(copy->members_[m].model->params(),
+                                    dl::save_params(members_[m].model->params()));
+    assert(loaded.ok());
+    (void)loaded;
+    copy->members_[m].calibration = members_[m].calibration;
+  }
+  copy->scaler_ = scaler_;
+  copy->set_threshold(threshold());
+  return copy;
 }
 
 }  // namespace xsec::detect

@@ -55,6 +55,7 @@ class EnsembleDetector : public AnomalyDetector {
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }
+  std::unique_ptr<AnomalyDetector> clone_for_inference() override;
 
   std::size_t member_count() const { return members_.size(); }
   const std::string& member_name(std::size_t i) const {

@@ -1,8 +1,5 @@
 #include "detect/mobiwatch.hpp"
 
-#include <chrono>
-#include <cstring>
-
 #include "common/log.hpp"
 #include "oran/e2sm.hpp"
 
@@ -12,6 +9,7 @@ Bytes AnomalyReport::serialize() const {
   ByteWriter w;
   w.str(detector);
   w.u64(node_id);
+  w.u64(source_ue);
   w.f64(score);
   w.f64(threshold);
   Bytes window_bytes = window.serialize();
@@ -32,6 +30,9 @@ Result<AnomalyReport> AnomalyReport::deserialize(const Bytes& wire) {
   auto node_id = r.u64();
   if (!node_id) return node_id.error();
   report.node_id = node_id.value();
+  auto source_ue = r.u64();
+  if (!source_ue) return source_ue.error();
+  report.source_ue = source_ue.value();
   auto score = r.f64();
   if (!score) return score.error();
   report.score = score.value();
@@ -55,8 +56,29 @@ Result<AnomalyReport> AnomalyReport::deserialize(const Bytes& wire) {
   return report;
 }
 
+SourceWindowConfig MobiWatchXapp::engine_config(
+    const MobiWatchConfig& config) {
+  SourceWindowConfig engine;
+  engine.window_size = config.window_size;
+  engine.context_records = config.context_records;
+  engine.incident_close_gap = config.incident_close_gap;
+  engine.key_mode = config.key_mode;
+  engine.shards = config.shards == 0 ? 1 : config.shards;
+  engine.flush_records = config.flush_records;
+  engine.time_scoring = config.time_scoring;
+  engine.per_shard_metrics = config.per_shard_metrics;
+  return engine;
+}
+
 MobiWatchXapp::MobiWatchXapp(MobiWatchConfig config)
-    : oran::XApp("mobiwatch"), config_(config) {}
+    : oran::XApp("mobiwatch"),
+      config_(config),
+      engine_(engine_config(config)) {
+  engine_.set_obs_provider([this]() { return &obs(); });
+  engine_.set_incident_sink([this](SourceWindowEngine::Incident incident) {
+    publish_incident(std::move(incident));
+  });
+}
 
 MobiWatchXapp::Metrics& MobiWatchXapp::m() const {
   if (!metrics_.bound) {
@@ -76,20 +98,12 @@ MobiWatchXapp::Metrics& MobiWatchXapp::m() const {
 void MobiWatchXapp::install_detector(
     std::shared_ptr<AnomalyDetector> detector, FeatureEncoder encoder) {
   detector_ = std::move(detector);
-  encoder_ = std::make_unique<FeatureEncoder>(std::move(encoder));
-  encode_ctx_.reset();
-  const std::size_t needed = detector_->rows_needed(config_.window_size);
-  keep_ = config_.context_records + needed;
-  capacity_ = keep_ + kBatchSlack;
-  recent_feats_ = dl::Matrix(capacity_, encoder_->dim());
-  filled_ = 0;
-  pending_ = 0;
-  recent_.clear();
   base_threshold_ = detector_->threshold();
   detector_->set_threshold(base_threshold_ * threshold_scale_);
-  // Largest batch a flush can ever hand the detector; sized up front so
-  // the scoring path never grows this buffer later.
-  scores_.resize(capacity_ - needed + 1);
+  engine_.install(detector_, std::move(encoder));
+  if (engine_.parallel())
+    XSEC_LOG_INFO("mobiwatch", "scoring sharded across ",
+                  engine_.shard_count(), " worker threads");
 }
 
 oran::PolicyStatus MobiWatchXapp::on_policy(const oran::A1Policy& policy) {
@@ -102,6 +116,7 @@ oran::PolicyStatus MobiWatchXapp::on_policy(const oran::A1Policy& policy) {
   config_.incident_close_gap = static_cast<std::size_t>(policy.get_double(
       "incident_close_gap",
       static_cast<double>(config_.incident_close_gap)));
+  engine_.set_incident_close_gap(config_.incident_close_gap);
   return oran::PolicyStatus::kEnforced;
 }
 
@@ -156,24 +171,14 @@ void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
   sdl().set_str(config_.sdl_namespace + ".gaps",
                 oran::Sdl::seq_key(next_seq_++),
                 "node=" + std::to_string(node_id) + " " + why);
-  // Pre-gap records already formed complete windows — score them before
-  // the quarantine discards their rows.
-  flush_pending();
-  // An open incident's evidence (pre-gap records) is intact — report it
-  // rather than tainting it with post-gap telemetry.
-  if (burst_active_) publish_incident();
-  // Quarantine: drop the sliding window so no scored window mixes records
-  // from both sides of the discontinuity. Scoring resumes once a full
-  // window of contiguous post-gap records has accumulated.
-  recent_.clear();
-  filled_ = 0;
-  pending_ = 0;
-  encode_ctx_.reset();
+  // Scores that node's complete pre-gap windows, reports its open
+  // incidents, and drops its window assembly; other nodes' sources are
+  // untouched (their streams are not discontinuous).
+  engine_.quarantine_node(node_id);
 }
 
 void MobiWatchXapp::on_indication(std::uint64_t node_id,
                                   const oran::RicIndication& indication) {
-  current_node_id_ = node_id;
   auto message =
       oran::e2sm::decode_indication_message(indication.message);
   if (!message) {
@@ -190,127 +195,34 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
                     record.error().message);
       continue;
     }
-    handle_record(record.value());
+    handle_record(node_id, record.value());
   }
   // Score everything this indication completed in one batched pass, so
   // counters and incident state are up to date when the call returns.
-  flush_pending();
+  engine_.flush();
 }
 
-void MobiWatchXapp::handle_record(const mobiflow::Record& record) {
+void MobiWatchXapp::handle_record(std::uint64_t node_id,
+                                  const mobiflow::Record& record) {
   m().records_seen->inc();
   // Persist to the SDL so other xApps (and the SMO's rApps) see history.
+  // One global arrival-ordered sequence across all nodes.
   sdl().set(config_.sdl_namespace, oran::Sdl::seq_key(next_seq_++),
             record.to_kv_bytes());
-
-  if (!detector_ || !encoder_) return;  // collection mode
-
-  if (filled_ == capacity_) {
-    // Out of slack: batch-score the accumulated windows while their rows
-    // are still resident, then compact in one memmove down to the history
-    // the NEXT window needs (its context plus its first needed-1 rows).
-    flush_pending();
-    const std::size_t retain = keep_ - 1;
-    const std::size_t drop = filled_ - retain;
-    std::memmove(recent_feats_.row(0), recent_feats_.row(drop),
-                 retain * recent_feats_.cols() * sizeof(float));
-    recent_.erase(recent_.begin(),
-                  recent_.begin() + static_cast<std::ptrdiff_t>(drop));
-    filled_ = retain;
-  }
-  encoder_->encode_into(record, encode_ctx_, recent_feats_.row(filled_));
-  ++filled_;
-  recent_.push_back(record);
-
-  // This record completed a window; it is scored at the next flush.
-  if (filled_ >= detector_->rows_needed(config_.window_size)) ++pending_;
+  engine_.ingest(node_id, record);
 }
 
-void MobiWatchXapp::flush_pending() {
-  if (pending_ == 0) return;
-  const std::size_t needed = detector_->rows_needed(config_.window_size);
-  // Pending window j (oldest first) ends at recent_[first_end + j].
-  const std::size_t first_end = filled_ - pending_;
-  const std::size_t n = pending_;
-  pending_ = 0;
-  {
-    // Auto-nests under the enclosing mobiwatch.ingest span (when called
-    // from on_indication).
-    obs::Span scoring = obs().tracer.begin("mobiwatch.score");
-    m().batch_rows->observe(n);
-    if (config_.time_scoring) {
-      auto t0 = std::chrono::steady_clock::now();
-      detector_->score_windows(recent_feats_.row(first_end - needed + 1),
-                               recent_feats_.cols(), needed, n,
-                               scores_.data());
-      auto t1 = std::chrono::steady_clock::now();
-      m().score_ns->observe(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
-    } else {
-      detector_->score_windows(recent_feats_.row(first_end - needed + 1),
-                               recent_feats_.cols(), needed, n,
-                               scores_.data());
-    }
-  }
-  for (std::size_t j = 0; j < n; ++j)
-    apply_score(scores_[j], first_end + j, needed);
-}
-
-void MobiWatchXapp::apply_score(double score, std::size_t end,
-                                std::size_t needed) {
-  const mobiflow::Record& record = recent_[end];
-  m().windows_scored->inc();
-  bool anomalous = detector_->is_anomalous(score);
-  if (anomalous) m().anomalous_windows->inc();
-
-  if (burst_active_) {
-    // The incident stays open while anomalous windows keep arriving (and
-    // across short quiet gaps); every record in that span belongs to it.
-    burst_window_.add(record);
-    if (anomalous) {
-      burst_gap_ = 0;
-      burst_peak_ = std::max(burst_peak_, score);
-    } else if (++burst_gap_ > config_.incident_close_gap) {
-      publish_incident();
-    }
-    return;
-  }
-
-  if (!anomalous) return;
-
-  // Open a new incident: the window that tripped the detector starts it,
-  // the up-to-context_records preceding records are its context.
-  burst_active_ = true;
-  burst_gap_ = 0;
-  burst_peak_ = score;
-  burst_window_ = mobiflow::Trace();
-  burst_context_ = mobiflow::Trace();
-  const std::size_t window_start = end - needed + 1;
-  const std::size_t context_start =
-      window_start > config_.context_records
-          ? window_start - config_.context_records
-          : 0;
-  for (std::size_t i = context_start; i < window_start; ++i)
-    burst_context_.add(recent_[i]);
-  for (std::size_t i = window_start; i <= end; ++i)
-    burst_window_.add(recent_[i]);
-}
-
-void MobiWatchXapp::publish_incident() {
-  if (!burst_active_) return;
-  burst_active_ = false;
+void MobiWatchXapp::publish_incident(SourceWindowEngine::Incident incident) {
   m().anomalies_flagged->inc();
 
   AnomalyReport report;
   report.detector = detector_ ? detector_->name() : "";
-  report.node_id = current_node_id_;
-  report.score = burst_peak_;
+  report.node_id = incident.source.node_id;
+  report.source_ue = incident.source.ue_id;
+  report.score = incident.peak_score;
   report.threshold = detector_ ? detector_->threshold() : 0.0;
-  report.window = std::move(burst_window_);
-  report.context = std::move(burst_context_);
-  burst_window_ = mobiflow::Trace();
-  burst_context_ = mobiflow::Trace();
+  report.window = std::move(incident.window);
+  report.context = std::move(incident.context);
 
   XSEC_LOG_INFO("mobiwatch", "incident reported: peak score=", report.score,
                 " threshold=", report.threshold, " window=",
@@ -323,8 +235,7 @@ void MobiWatchXapp::publish_incident() {
 }
 
 void MobiWatchXapp::close_open_incident() {
-  flush_pending();
-  publish_incident();
+  engine_.close_open_incidents();
 }
 
 }  // namespace xsec::detect

@@ -6,12 +6,18 @@
 // context) over the message router to the LLM analyzer xApp. Without an
 // installed detector it runs in collection mode, only persisting telemetry
 // — the "train" phase of the paper's train/deploy split.
+//
+// Window assembly and scoring are delegated to the SourceWindowEngine:
+// every E2 node (optionally every node+UE) gets its own sliding window and
+// incident state machine, and scoring fans out across the RIC's shard
+// workers. This xApp keeps the platform-facing duties: subscriptions, SDL
+// persistence, A1 policy, gap quarantine, and incident publication.
 #pragma once
 
-#include <deque>
 #include <memory>
 
 #include "detect/scorer.hpp"
+#include "detect/source_windows.hpp"
 #include "mobiflow/record.hpp"
 #include "mobiflow/trace.hpp"
 #include "oran/ric.hpp"
@@ -24,6 +30,8 @@ struct AnomalyReport {
   std::string detector;
   /// E2 node the telemetry came from (remediation target).
   std::uint64_t node_id = 0;
+  /// UE the source window was keyed on (0 under per-node assembly).
+  std::uint64_t source_ue = 0;
   double score = 0.0;
   double threshold = 0.0;
   /// The anomalous window itself.
@@ -54,6 +62,16 @@ struct MobiWatchConfig {
   /// deterministic observability exports must stay byte-stable across
   /// identical seeded runs. "dl.batch_rows" is always recorded.
   bool time_scoring = false;
+  /// RIC shards scoring fans out over (1 = inline, no worker threads).
+  std::size_t shards = 1;
+  /// Window keying (per node by default; see SourceKeyMode).
+  SourceKeyMode key_mode = SourceKeyMode::kNode;
+  /// Records between automatic engine flushes; 0 = flush at indication
+  /// boundaries only (the deterministic default cadence).
+  std::size_t flush_records = 0;
+  /// Mirror per-shard throughput under "mobiwatch.shard<k>.*" (bench-only;
+  /// per-shard names differ across shard counts by construction).
+  bool per_shard_metrics = false;
 };
 
 class MobiWatchXapp : public oran::XApp {
@@ -94,14 +112,17 @@ class MobiWatchXapp : public oran::XApp {
   std::size_t anomalous_windows() const {
     return m().anomalous_windows->value();
   }
-  bool incident_open() const { return burst_active_; }
+  bool incident_open() const { return engine_.any_incident_open(); }
   bool has_detector() const { return detector_ != nullptr; }
   const MobiWatchConfig& config() const { return config_; }
+  /// The per-source window/scoring engine (sharding introspection).
+  const SourceWindowEngine& engine() const { return engine_; }
   /// Telemetry discontinuities observed (sequence gaps + link outages).
-  /// Each one reset the sliding window so no scored window spans it.
+  /// Each one reset the affected sliding windows so no scored window spans
+  /// it.
   std::size_t gaps_observed() const { return m().gaps_observed->value(); }
 
-  /// Closes and reports an incident still open when the stream ends.
+  /// Closes and reports incidents still open when the stream ends.
   void close_open_incident();
 
  private:
@@ -119,16 +140,9 @@ class MobiWatchXapp : public oran::XApp {
   };
 
   Metrics& m() const;
-  void handle_record(const mobiflow::Record& record);
-  /// Scores every pending (arrived but unscored) window in one batched
-  /// detector pass, then replays the incident state machine per window in
-  /// arrival order — observable behavior matches scoring each window the
-  /// moment its last record arrived.
-  void flush_pending();
-  /// Incident/burst bookkeeping for one scored window ending at
-  /// recent_[end] (spanning `needed` records).
-  void apply_score(double score, std::size_t end, std::size_t needed);
-  void publish_incident();
+  static SourceWindowConfig engine_config(const MobiWatchConfig& config);
+  void handle_record(std::uint64_t node_id, const mobiflow::Record& record);
+  void publish_incident(SourceWindowEngine::Incident incident);
   void subscribe_to_node(std::uint64_t node_id);
   void note_gap(std::uint64_t node_id, const std::string& why);
 
@@ -136,31 +150,9 @@ class MobiWatchXapp : public oran::XApp {
   double threshold_scale_ = 1.0;  // A1-adjustable
   double base_threshold_ = 0.0;
   std::shared_ptr<AnomalyDetector> detector_;
-  std::unique_ptr<FeatureEncoder> encoder_;
-  EncodeContext encode_ctx_;
-  /// Recent records, mirrored by a preallocated feature matrix: row i of
-  /// recent_feats_ is the encoding of recent_[i]. The matrix holds keep_
-  /// rows of history plus kBatchSlack rows of slack; rows accumulate
-  /// (pending_ counts windows not yet scored) and are batch-scored at the
-  /// end of each indication or when the slack runs out, then compacted in
-  /// one memmove. No heap allocation on the scoring path in steady state.
-  static constexpr std::size_t kBatchSlack = 32;
-  std::deque<mobiflow::Record> recent_;
-  dl::Matrix recent_feats_;
-  std::size_t keep_ = 0;
-  std::size_t capacity_ = 0;
-  std::size_t filled_ = 0;
-  std::size_t pending_ = 0;
-  std::vector<double> scores_;
+  SourceWindowEngine engine_;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t current_node_id_ = 0;
   mutable Metrics metrics_;
-  // Open-incident state.
-  bool burst_active_ = false;
-  std::size_t burst_gap_ = 0;
-  double burst_peak_ = 0.0;
-  mobiflow::Trace burst_window_;
-  mobiflow::Trace burst_context_;
 };
 
 }  // namespace xsec::detect

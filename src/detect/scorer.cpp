@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "dl/serialize.hpp"
+
 namespace xsec::detect {
 
 double AnomalyDetector::score_window(
@@ -265,6 +267,33 @@ void LstmDetector::score_windows(const float* rows, std::size_t row_dim,
       config_.lstm_score == DetectorConfig::LstmScore::kMaxStep;
   model_.window_errors_strided(infer_rows_, n_windows, window_size_,
                                lstm_ws_, max_step, scores);
+}
+
+std::unique_ptr<AnomalyDetector> AutoencoderDetector::clone_for_inference() {
+  auto copy = std::make_unique<AutoencoderDetector>(
+      window_size_, feature_dim_, config_, model_.config().hidden);
+  // Weight transfer via the SMO serialization format: shapes match because
+  // the clone was built from the same configuration.
+  Status loaded =
+      dl::load_params(copy->model_.params(), dl::save_params(model_.params()));
+  assert(loaded.ok());
+  (void)loaded;
+  copy->scaler_ = scaler_;
+  copy->set_threshold(threshold());
+  return copy;
+}
+
+std::unique_ptr<AnomalyDetector> LstmDetector::clone_for_inference() {
+  auto copy = std::make_unique<LstmDetector>(window_size_, feature_dim_,
+                                             config_,
+                                             model_.config().hidden_dim);
+  Status loaded =
+      dl::load_params(copy->model_.params(), dl::save_params(model_.params()));
+  assert(loaded.ok());
+  (void)loaded;
+  copy->scaler_ = scaler_;
+  copy->set_threshold(threshold());
+  return copy;
 }
 
 }  // namespace xsec::detect

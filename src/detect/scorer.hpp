@@ -69,6 +69,16 @@ class AnomalyDetector {
   /// Rows a single inference window must contain.
   virtual std::size_t rows_needed(std::size_t window_size) const = 0;
 
+  /// An independent inference replica: same weights, scaler, and threshold,
+  /// but private inference workspaces, so the clone can score on another
+  /// thread concurrently with the original (and with sibling clones).
+  /// Scores are bit-identical to the original's. Returns nullptr when the
+  /// detector has no replica support (e.g. deliberately stateful test
+  /// scorers) — callers must then fall back to serialized scoring.
+  virtual std::unique_ptr<AnomalyDetector> clone_for_inference() {
+    return nullptr;
+  }
+
   double threshold() const { return threshold_; }
   void set_threshold(double t) { threshold_ = t; }
   bool is_anomalous(double score) const { return score > threshold_; }
@@ -122,6 +132,7 @@ class AutoencoderDetector : public AnomalyDetector {
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size;
   }
+  std::unique_ptr<AnomalyDetector> clone_for_inference() override;
 
   dl::Autoencoder& model() { return model_; }
   /// Fits the input standardizer (called automatically by fit(); exposed
@@ -164,6 +175,7 @@ class LstmDetector : public AnomalyDetector {
   std::size_t rows_needed(std::size_t window_size) const override {
     return window_size + 1;  // window plus the observed next record
   }
+  std::unique_ptr<AnomalyDetector> clone_for_inference() override;
 
   dl::LstmPredictor& model() { return model_; }
   void fit_scaler(const std::vector<dl::SequenceSample>& raw_samples);

@@ -1,0 +1,323 @@
+#include "detect/source_windows.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include "common/hash.hpp"
+
+namespace xsec::detect {
+
+SourceWindowEngine::SourceWindowEngine(SourceWindowConfig config)
+    : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_slack == 0) config_.batch_slack = 1;
+}
+
+SourceWindowEngine::~SourceWindowEngine() {
+  // Joins the shard workers before any state they point into dies.
+  executor_.reset();
+}
+
+void SourceWindowEngine::install(std::shared_ptr<AnomalyDetector> detector,
+                                 FeatureEncoder encoder) {
+  detector_ = std::move(detector);
+  encoder_ = std::make_unique<FeatureEncoder>(std::move(encoder));
+  needed_ = detector_->rows_needed(config_.window_size);
+  keep_ = config_.context_records + needed_;
+  capacity_ = keep_ + config_.batch_slack;
+  max_windows_ = capacity_ - needed_ + 1;
+  setup_shards();
+  // A hot swap drops in-flight window assembly (records are replayable
+  // from the SDL) but keeps open incidents open: their evidence predates
+  // the swap and still needs reporting.
+  for (auto& [key, s] : sources_) reset_assembly(*s);
+  dirty_.clear();
+  since_flush_ = 0;
+}
+
+void SourceWindowEngine::setup_shards() {
+  // Tear down the previous generation first: workers must be joined before
+  // the replicas they score through are replaced.
+  executor_.reset();
+  shard_ctx_.clear();
+  sharded_ = std::make_unique<obs::ShardedMetrics>(config_.shards);
+
+  // One inference replica per shard. A detector that cannot be cloned
+  // (stateful test scorers) forces inline dispatch: same results, no
+  // parallelism.
+  bool threaded = config_.shards > 1;
+  std::vector<std::unique_ptr<AnomalyDetector>> replicas;
+  if (threaded) {
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      auto replica = detector_->clone_for_inference();
+      if (!replica) {
+        threaded = false;
+        replicas.clear();
+        break;
+      }
+      replicas.push_back(std::move(replica));
+    }
+  }
+
+  shard_ctx_.resize(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    ShardCtx& ctx = shard_ctx_[k];
+    if (threaded) ctx.replica = std::move(replicas[k]);
+    obs::MetricsRegistry& local = sharded_->shard(k);
+    ctx.windows_scored = &local.counter("mobiwatch.windows_scored");
+    ctx.batch_rows = &local.histogram("dl.batch_rows");
+    ctx.score_ns = &local.histogram("dl.score_ns");
+    if (config_.per_shard_metrics) {
+      const std::string prefix = "mobiwatch.shard" + std::to_string(k);
+      ctx.shard_windows = &local.counter(prefix + ".windows_scored");
+      ctx.shard_batch_rows = &local.histogram(prefix + ".batch_rows");
+      ctx.shard_score_ns = &local.histogram(prefix + ".score_ns");
+    }
+  }
+
+  Executor::Config exec_config;
+  exec_config.shards = config_.shards;
+  exec_config.threaded = threaded;
+  exec_config.ring_capacity = config_.ring_capacity;
+  executor_ = std::make_unique<Executor>(exec_config, this);
+
+  // Announce the active detector to each shard through its own ring so the
+  // swap is ordered with that shard's scoring tasks.
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    DetectorSwap swap;
+    swap.detector =
+        shard_ctx_[k].replica ? shard_ctx_[k].replica.get() : detector_.get();
+    executor_->dispatch(k, swap);
+  }
+  executor_->barrier();
+}
+
+void SourceWindowEngine::ensure_bound() {
+  if (obs_ != nullptr || !obs_provider_) return;
+  obs_ = obs_provider_();
+  if (obs_ != nullptr)
+    anomalous_windows_ = &obs_->metrics.counter("mobiwatch.anomalous_windows");
+}
+
+SourceState& SourceWindowEngine::source_for(std::uint64_t node_id,
+                                            const mobiflow::Record& record) {
+  SourceKey key;
+  key.node_id = node_id;
+  key.ue_id = config_.key_mode == SourceKeyMode::kNodeUe ? record.ue_id : 0;
+  auto it = sources_.find(key);
+  if (it == sources_.end()) {
+    auto state = std::make_unique<SourceState>();
+    state->key = key;
+    state->shard =
+        shard_of(hash_combine(key.node_id, key.ue_id), config_.shards);
+    ensure_buffers(*state);
+    it = sources_.emplace(key, std::move(state)).first;
+  }
+  return *it->second;
+}
+
+void SourceWindowEngine::ensure_buffers(SourceState& s) {
+  if (s.feats.rows() != capacity_ || s.feats.cols() != encoder_->dim())
+    s.feats = dl::Matrix(capacity_, encoder_->dim());
+  if (s.scores.size() < max_windows_) s.scores.resize(max_windows_);
+}
+
+void SourceWindowEngine::reset_assembly(SourceState& s) {
+  s.recent.clear();
+  s.filled = 0;
+  s.unencoded = 0;
+  s.pending = 0;
+  s.ctx.reset();
+  ensure_buffers(s);
+}
+
+void SourceWindowEngine::compact(SourceState& s) {
+  // Keep the history the NEXT window needs: its context plus its first
+  // needed-1 rows. Only called with nothing pending (post-flush).
+  const std::size_t retain = keep_ - 1;
+  if (s.filled <= retain) return;
+  const std::size_t drop = s.filled - retain;
+  std::memmove(s.feats.row(0), s.feats.row(drop),
+               retain * s.feats.cols() * sizeof(float));
+  s.recent.erase(s.recent.begin(),
+                 s.recent.begin() + static_cast<std::ptrdiff_t>(drop));
+  s.filled = retain;
+}
+
+void SourceWindowEngine::ingest(std::uint64_t node_id,
+                                const mobiflow::Record& record) {
+  if (!detector_ || !encoder_) return;  // collection mode
+  SourceState& s = source_for(node_id, record);
+  if (s.filled + s.unencoded == capacity_) {
+    // This source ran out of slack: a flush point. Arrival-driven (depends
+    // only on this source's own stream), so it is shard-count-invariant.
+    flush();
+    compact(s);
+  }
+  s.recent.push_back(record);
+  ++s.unencoded;
+  if (!s.dirty) {
+    s.dirty = true;
+    dirty_.push_back(&s);
+  }
+  ++since_flush_;
+  if (config_.flush_records != 0 && since_flush_ >= config_.flush_records)
+    flush();
+}
+
+void SourceWindowEngine::flush() {
+  since_flush_ = 0;
+  if (dirty_.empty()) return;
+  ensure_bound();
+  {
+    // The scoring phase: everything between here and the barrier runs on
+    // the shard workers. Spans stay coordinator-side.
+    std::optional<obs::Span> scoring;
+    if (obs_ != nullptr) scoring.emplace(obs_->tracer.begin("mobiwatch.score"));
+    for (SourceState* s : dirty_) {
+      ScoreTask task;
+      task.source = s;
+      executor_->dispatch(s->shard, task);
+    }
+    executor_->barrier();
+  }
+  // Apply phase, in dispatch (arrival) order: the incident machines and
+  // their publication order are independent of the shard layout.
+  for (SourceState* s : dirty_) {
+    s->dirty = false;
+    const std::size_t n = s->pending;
+    s->pending = 0;
+    const std::size_t first_end = s->filled - n;
+    for (std::size_t j = 0; j < n; ++j)
+      apply_score(*s, s->scores[j], first_end + j);
+  }
+  dirty_.clear();
+  // Merge barrier: fold every shard's private instruments into the one
+  // exported registry, always in shard order. Sums and histogram buckets
+  // are partition-invariant, so the export matches a single-shard run.
+  if (obs_ != nullptr) sharded_->drain_into(obs_->metrics);
+}
+
+void SourceWindowEngine::on_message(std::size_t shard, const ScoreTask& task) {
+  SourceState& s = *task.source;
+  ShardCtx& ctx = shard_ctx_[shard];
+  // Encode this source's deferred rows in arrival order. Safe off the
+  // coordinator: the EncodeContext is per-source and exactly one task per
+  // source is in flight.
+  while (s.unencoded > 0) {
+    const mobiflow::Record& record = s.recent[s.filled];
+    encoder_->encode_into(record, s.ctx, s.feats.row(s.filled));
+    ++s.filled;
+    --s.unencoded;
+    if (s.filled >= needed_) ++s.pending;
+  }
+  const std::size_t n = s.pending;
+  if (n == 0) return;
+  const std::size_t first_end = s.filled - n;
+  const float* rows = s.feats.row(first_end - needed_ + 1);
+  ctx.windows_scored->inc(n);
+  ctx.batch_rows->observe(n);
+  if (ctx.shard_windows != nullptr) {
+    ctx.shard_windows->inc(n);
+    ctx.shard_batch_rows->observe(n);
+  }
+  if (config_.time_scoring) {
+    auto t0 = std::chrono::steady_clock::now();
+    ctx.active->score_windows(rows, s.feats.cols(), needed_, n,
+                              s.scores.data());
+    auto t1 = std::chrono::steady_clock::now();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    ctx.score_ns->observe(ns);
+    if (ctx.shard_score_ns != nullptr) ctx.shard_score_ns->observe(ns);
+  } else {
+    ctx.active->score_windows(rows, s.feats.cols(), needed_, n,
+                              s.scores.data());
+  }
+}
+
+void SourceWindowEngine::on_message(std::size_t shard,
+                                    const DetectorSwap& swap) {
+  shard_ctx_[shard].active = swap.detector;
+}
+
+void SourceWindowEngine::apply_score(SourceState& s, double score,
+                                     std::size_t end) {
+  const mobiflow::Record& record = s.recent[end];
+  const bool anomalous = detector_->is_anomalous(score);
+  if (anomalous && anomalous_windows_ != nullptr) anomalous_windows_->inc();
+
+  if (s.burst_active) {
+    // The incident stays open while anomalous windows keep arriving (and
+    // across short quiet gaps); every record in that span belongs to it.
+    s.burst_window.add(record);
+    if (anomalous) {
+      s.burst_gap = 0;
+      s.burst_peak = std::max(s.burst_peak, score);
+    } else if (++s.burst_gap > config_.incident_close_gap) {
+      publish_incident(s);
+    }
+    return;
+  }
+
+  if (!anomalous) return;
+
+  // Open a new incident: the window that tripped the detector starts it,
+  // the up-to-context_records preceding records are its context.
+  s.burst_active = true;
+  s.burst_gap = 0;
+  s.burst_peak = score;
+  s.burst_window = mobiflow::Trace();
+  s.burst_context = mobiflow::Trace();
+  const std::size_t window_start = end - needed_ + 1;
+  const std::size_t context_start =
+      window_start > config_.context_records
+          ? window_start - config_.context_records
+          : 0;
+  for (std::size_t i = context_start; i < window_start; ++i)
+    s.burst_context.add(s.recent[i]);
+  for (std::size_t i = window_start; i <= end; ++i)
+    s.burst_window.add(s.recent[i]);
+}
+
+void SourceWindowEngine::publish_incident(SourceState& s) {
+  if (!s.burst_active) return;
+  s.burst_active = false;
+  Incident incident;
+  incident.source = s.key;
+  incident.peak_score = s.burst_peak;
+  incident.window = std::move(s.burst_window);
+  incident.context = std::move(s.burst_context);
+  s.burst_window = mobiflow::Trace();
+  s.burst_context = mobiflow::Trace();
+  if (sink_) sink_(std::move(incident));
+}
+
+void SourceWindowEngine::quarantine_node(std::uint64_t node_id) {
+  if (!detector_) return;
+  // Pre-gap records already formed complete windows — score them before
+  // the quarantine discards their rows.
+  flush();
+  for (auto& [key, s] : sources_) {
+    if (key.node_id != node_id) continue;
+    // An open incident's evidence (pre-gap records) is intact — report it
+    // rather than tainting it with post-gap telemetry.
+    publish_incident(*s);
+    reset_assembly(*s);
+  }
+}
+
+void SourceWindowEngine::close_open_incidents() {
+  if (!detector_) return;
+  flush();
+  for (auto& [key, s] : sources_) publish_incident(*s);
+}
+
+bool SourceWindowEngine::any_incident_open() const {
+  for (const auto& [key, s] : sources_)
+    if (s->burst_active) return true;
+  return false;
+}
+
+}  // namespace xsec::detect

@@ -1,0 +1,256 @@
+// Per-source sliding-window assembly + sharded scoring engine.
+//
+// The single-stream MobiWatch implementation interleaved every E2 node's
+// telemetry into ONE sliding window, so one site's traffic diluted another
+// site's anomaly signal (and the identifier/timing features mixed streams
+// that are not actually related). This engine fixes that and is the RIC's
+// scale-out seam:
+//
+//   - every telemetry source (E2 node, optionally node+UE) gets its own
+//     EncodeContext, record window, feature matrix, and incident state
+//     machine — windows never span sources;
+//   - each source is pinned to one of N shards by a stable hash of its key
+//     (common/hash.hpp), and shard workers encode + score their sources'
+//     pending windows in parallel between a dispatch and a barrier
+//     (oran/shard_dispatch.hpp);
+//   - all simulation-visible effects (incident publication, SDL, tracing)
+//     happen on the coordinator, in ingest-arrival order.
+//
+// Determinism contract: with a fixed seed, scores, incidents, and metric
+// exports are byte-identical at ANY shard count (including the inline
+// non-threaded mode), because (a) per-source streams are independent and a
+// source's scores depend only on its own records, (b) flush points are
+// arrival-driven, (c) results are applied in dispatch order, and (d) shard
+// registries drain into the exported registry in shard order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "detect/scorer.hpp"
+#include "mobiflow/record.hpp"
+#include "mobiflow/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "oran/shard_dispatch.hpp"
+#include "oran/spsc_ring.hpp"
+
+namespace xsec::detect {
+
+/// What one "source" (one sliding window + incident machine) keys on.
+enum class SourceKeyMode {
+  /// One source per E2 node: every record of a site shares one window.
+  /// This preserves the cross-UE load features (setup rate, pending
+  /// auth count) the DoS detectors rely on, and is the default.
+  kNode,
+  /// One source per (node, UE): per-device windows for UE-targeted
+  /// analyses. DoS floods that spray fresh UE ids complete few per-UE
+  /// windows, so keep kNode for the paper's detection scenarios.
+  kNodeUe,
+};
+
+struct SourceKey {
+  std::uint64_t node_id = 0;
+  std::uint64_t ue_id = 0;
+
+  friend bool operator<(const SourceKey& a, const SourceKey& b) {
+    if (a.node_id != b.node_id) return a.node_id < b.node_id;
+    return a.ue_id < b.ue_id;
+  }
+  friend bool operator==(const SourceKey& a, const SourceKey& b) {
+    return a.node_id == b.node_id && a.ue_id == b.ue_id;
+  }
+};
+
+struct SourceWindowConfig {
+  std::size_t window_size = 5;
+  /// Records of preceding context attached to each incident.
+  std::size_t context_records = 25;
+  /// Consecutive quiet windows that close an open incident.
+  std::size_t incident_close_gap = 6;
+  SourceKeyMode key_mode = SourceKeyMode::kNode;
+  /// RIC shards. 1 = inline scoring on the coordinator (no threads);
+  /// >1 starts one worker per shard when the detector supports
+  /// clone_for_inference(), else falls back to inline dispatch.
+  std::size_t shards = 1;
+  /// Ingested records between automatic flushes. 0 = only flush() calls
+  /// (the pipeline flushes at every indication boundary, preserving the
+  /// single-stream engine's observable cadence); benches set a larger
+  /// batch so one barrier amortizes over many sources.
+  std::size_t flush_records = 0;
+  /// Extra feature rows per source beyond window + context (windows
+  /// accumulate in the slack between flushes before one compaction).
+  std::size_t batch_slack = 32;
+  /// Per-shard SPSC ring capacity.
+  std::size_t ring_capacity = 1024;
+  /// Record wall-clock scoring latency in "dl.score_ns" (off by default:
+  /// wall-clock breaks byte-stable exports).
+  bool time_scoring = false;
+  /// Additionally mirror each shard's throughput into
+  /// "mobiwatch.shard<k>.*" metrics. Off by default: per-shard names
+  /// would (correctly) differ across shard counts, so the determinism
+  /// suites keep this disabled and the scale bench turns it on.
+  bool per_shard_metrics = false;
+};
+
+/// All state belonging to one telemetry source. The coordinator owns it
+/// except between dispatch and barrier, when exactly one shard worker
+/// encodes/scores it (sources never migrate shards, so no two workers
+/// ever touch the same source).
+struct SourceState {
+  SourceKey key;
+  std::size_t shard = 0;
+  EncodeContext ctx;
+  /// recent[0, filled) are encoded into feats rows; the next `unencoded`
+  /// entries await the shard worker.
+  std::deque<mobiflow::Record> recent;
+  dl::Matrix feats;
+  std::size_t filled = 0;
+  std::size_t unencoded = 0;
+  /// Windows completed but not yet applied (worker-maintained).
+  std::size_t pending = 0;
+  std::vector<double> scores;
+  bool dirty = false;
+  // Open-incident state (coordinator only).
+  bool burst_active = false;
+  std::size_t burst_gap = 0;
+  double burst_peak = 0.0;
+  mobiflow::Trace burst_window;
+  mobiflow::Trace burst_context;
+};
+
+class SourceWindowEngine {
+ public:
+  /// A closed anomaly burst on one source.
+  struct Incident {
+    SourceKey source;
+    double peak_score = 0.0;
+    mobiflow::Trace window;
+    mobiflow::Trace context;
+  };
+  using IncidentSink = std::function<void(Incident)>;
+  /// Deferred observability lookup: the engine binds spans/global metrics
+  /// on first flush so it works before its host xApp is attached to a RIC.
+  using ObsProvider = std::function<obs::Observability*()>;
+
+  explicit SourceWindowEngine(SourceWindowConfig config = {});
+  ~SourceWindowEngine();
+
+  SourceWindowEngine(const SourceWindowEngine&) = delete;
+  SourceWindowEngine& operator=(const SourceWindowEngine&) = delete;
+
+  void set_obs_provider(ObsProvider provider) {
+    obs_provider_ = std::move(provider);
+  }
+  void set_incident_sink(IncidentSink sink) { sink_ = std::move(sink); }
+  void set_incident_close_gap(std::size_t gap) {
+    config_.incident_close_gap = gap;
+  }
+
+  /// (Re-)installs the detector + encoder. Existing sources' window
+  /// assembly is reset (records in flight are dropped, as in the
+  /// single-stream engine); open incidents stay open.
+  void install(std::shared_ptr<AnomalyDetector> detector,
+               FeatureEncoder encoder);
+
+  bool has_detector() const { return detector_ != nullptr; }
+  const AnomalyDetector* detector() const { return detector_.get(); }
+  const FeatureEncoder* encoder() const { return encoder_.get(); }
+  /// True when worker threads score in parallel (shards > 1 and the
+  /// detector supports per-shard inference replicas).
+  bool parallel() const { return executor_ && executor_->threaded(); }
+  std::size_t shard_count() const { return config_.shards; }
+  std::size_t source_count() const { return sources_.size(); }
+  const SourceWindowConfig& config() const { return config_; }
+
+  /// Appends one record to its source's window. May trigger an automatic
+  /// flush (slack exhausted or flush_records reached). No-op without a
+  /// detector (collection mode).
+  void ingest(std::uint64_t node_id, const mobiflow::Record& record);
+
+  /// Scores every pending window across all dirty sources: dispatch to
+  /// shards, barrier, then apply incident state machines in arrival order
+  /// and fold shard-local metrics into the exported registry.
+  void flush();
+
+  /// Telemetry discontinuity on `node_id`: flushes, reports that node's
+  /// open incidents (their pre-gap evidence is intact), and drops its
+  /// sources' windows so no scored window spans the gap.
+  void quarantine_node(std::uint64_t node_id);
+
+  /// Flushes and reports every open incident (end-of-capture).
+  void close_open_incidents();
+
+  bool any_incident_open() const;
+
+  // --- shard worker entry points (public for the executor; not API) ---
+  struct ScoreTask : oran::HasTag<0x5c01> {
+    SourceState* source = nullptr;
+  };
+  /// Installs the shard's active detector replica; delivered through the
+  /// shard's own ring so the swap serializes with in-flight ScoreTasks.
+  struct DetectorSwap : oran::HasTag<0x5c02> {
+    AnomalyDetector* detector = nullptr;
+  };
+  void on_message(std::size_t shard, const ScoreTask& task);
+  void on_message(std::size_t shard, const DetectorSwap& swap);
+
+ private:
+  using Slot = oran::TaggedSlot<ScoreTask, DetectorSwap>;
+  using Executor = oran::ShardExecutor<SourceWindowEngine, Slot>;
+
+  /// Per-shard scoring context: the detector replica and the shard-local
+  /// metric handles (bound into this shard's private registry, so workers
+  /// never write a cache line another shard reads).
+  struct ShardCtx {
+    std::unique_ptr<AnomalyDetector> replica;
+    AnomalyDetector* active = nullptr;
+    obs::Counter* windows_scored = nullptr;
+    obs::Histogram* batch_rows = nullptr;
+    obs::Histogram* score_ns = nullptr;
+    // Optional per-shard mirrors (per_shard_metrics).
+    obs::Counter* shard_windows = nullptr;
+    obs::Histogram* shard_batch_rows = nullptr;
+    obs::Histogram* shard_score_ns = nullptr;
+  };
+
+  SourceState& source_for(std::uint64_t node_id,
+                          const mobiflow::Record& record);
+  void ensure_buffers(SourceState& s);
+  void reset_assembly(SourceState& s);
+  void compact(SourceState& s);
+  void setup_shards();
+  void ensure_bound();
+  void apply_score(SourceState& s, double score, std::size_t end);
+  void publish_incident(SourceState& s);
+
+  SourceWindowConfig config_;
+  std::shared_ptr<AnomalyDetector> detector_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::size_t needed_ = 0;
+  std::size_t keep_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t max_windows_ = 0;
+
+  std::map<SourceKey, std::unique_ptr<SourceState>> sources_;
+  /// Sources with un-flushed work, in first-touch arrival order — the
+  /// dispatch and apply order, which makes incident ordering independent
+  /// of the shard layout.
+  std::vector<SourceState*> dirty_;
+  std::size_t since_flush_ = 0;
+
+  std::vector<ShardCtx> shard_ctx_;
+  std::unique_ptr<obs::ShardedMetrics> sharded_;
+  std::unique_ptr<Executor> executor_;
+
+  ObsProvider obs_provider_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* anomalous_windows_ = nullptr;
+  IncidentSink sink_;
+};
+
+}  // namespace xsec::detect

@@ -64,4 +64,29 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+void MetricsRegistry::drain_into(MetricsRegistry& target) {
+  for (auto& [name, c] : counters_) {
+    if (c->value() != 0) target.counter(name).inc(c->value());
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (g->value() != 0.0) target.gauge(name).add(g->value());
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (h->count() != 0) target.histogram(name).merge_from(*h);
+    h->reset();
+  }
+}
+
+ShardedMetrics::ShardedMetrics(std::size_t shards) {
+  shards_.reserve(shards == 0 ? 1 : shards);
+  for (std::size_t i = 0; i < (shards == 0 ? 1 : shards); ++i)
+    shards_.push_back(std::make_unique<MetricsRegistry>());
+}
+
+void ShardedMetrics::drain_into(MetricsRegistry& target) {
+  for (auto& shard : shards_) shard->drain_into(target);
+}
+
 }  // namespace xsec::obs

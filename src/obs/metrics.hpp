@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace xsec::obs {
 
@@ -92,6 +93,20 @@ class Histogram {
     buckets_.fill(0);
   }
 
+  /// Folds another histogram's samples into this one. Histograms are
+  /// order-free (buckets + count/sum/min/max), so merging per-shard
+  /// instruments produces exactly the histogram a single shared instrument
+  /// would have held — the property that keeps sharded exports
+  /// byte-identical to single-shard ones.
+  void merge_from(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
@@ -133,10 +148,42 @@ class MetricsRegistry {
   /// Zeroes every instrument (names stay registered).
   void reset();
 
+  /// Moves this registry's accumulated values into `target` (get-or-create
+  /// by name: counters add, gauges add, histograms merge) and resets the
+  /// local instruments. Instruments currently at zero are skipped, so a
+  /// drain never materializes names in `target` that saw no activity —
+  /// which keeps the target's rendered export independent of how many
+  /// shard registries drained into it.
+  void drain_into(MetricsRegistry& target);
+
  private:
   CounterMap counters_;
   GaugeMap gauges_;
   HistogramMap histograms_;
+};
+
+/// One private registry per RIC shard. Worker threads bind and bump
+/// instruments only in their own shard's registry — each instrument is a
+/// separate heap allocation in a shard-owned map, so hot counters never
+/// share a cache line across shards and need no atomics. The coordinator
+/// calls drain_into() at a merge barrier (while workers are idle) to fold
+/// every shard into the one exported registry, always in shard order
+/// 0..N-1; since counter sums and histogram buckets are partition-
+/// invariant, the merged export is byte-identical at any shard count.
+class ShardedMetrics {
+ public:
+  explicit ShardedMetrics(std::size_t shards);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  MetricsRegistry& shard(std::size_t i) { return *shards_[i]; }
+  const MetricsRegistry& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Drains every shard registry into `target` in shard order. Must only
+  /// run while no worker is touching its shard registry (post-barrier).
+  void drain_into(MetricsRegistry& target);
+
+ private:
+  std::vector<std::unique_ptr<MetricsRegistry>> shards_;
 };
 
 }  // namespace xsec::obs

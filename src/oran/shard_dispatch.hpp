@@ -1,0 +1,183 @@
+// Shard executor: the RIC's worker-thread pool with a barrier protocol.
+//
+// The near-RT RIC stays a deterministic single-threaded event loop on the
+// coordinator; CPU-heavy per-source work (DL window scoring) is fanned out
+// to N shard workers between two synchronization points:
+//
+//   dispatch phase   coordinator pushes tagged messages onto each shard's
+//                    SPSC ring (source -> shard mapping is a stable hash,
+//                    see common/hash.hpp);
+//   barrier()        coordinator waits until every shard has processed
+//                    everything it was handed; workers go back to idle.
+//
+// Workers only run between a dispatch and the following barrier, and two
+// workers never share state (each source belongs to exactly one shard), so
+// the observable execution is a pure function of the dispatch sequence —
+// thread scheduling can reorder nothing that matters. Outside the
+// dispatch/barrier window the coordinator may freely mutate any state.
+//
+// `threaded = false` degrades to executing handlers inline on the caller —
+// the reference behavior the threaded mode must replicate bit-for-bit, and
+// the fallback when a detector cannot be cloned per shard.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "oran/spsc_ring.hpp"
+
+namespace xsec::oran {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Runs a fixed set of shards, each with one worker thread fed by one SPSC
+/// ring of SlotT (a TaggedSlot<Ms...>). Handler must provide
+/// `void on_message(std::size_t shard, const M&)` for every M in the set.
+template <typename Handler, typename SlotT>
+class ShardExecutor {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    /// false: execute every dispatch inline on the caller (deterministic
+    /// reference mode, no threads started).
+    bool threaded = true;
+    std::size_t ring_capacity = 1024;
+    /// Spins a worker burns through before sleeping on its condvar.
+    std::size_t spin_limit = 2000;
+  };
+
+  ShardExecutor(Config config, Handler* handler)
+      : config_(config), handler_(handler) {
+    if (config_.shards == 0) config_.shards = 1;
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i)
+      shards_.push_back(std::make_unique<Shard>(config_.ring_capacity));
+    if (config_.threaded) {
+      for (std::size_t i = 0; i < config_.shards; ++i)
+        shards_[i]->thread = std::thread([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ShardExecutor() { stop(); }
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  bool threaded() const { return config_.threaded; }
+
+  /// Coordinator only. Hands `msg` to `shard`; inline mode runs it now.
+  template <typename M>
+  void dispatch(std::size_t shard, const M& msg) {
+    Shard& s = *shards_[shard];
+    if (!config_.threaded) {
+      handler_->on_message(shard, msg);
+      return;
+    }
+    SlotT slot;
+    slot.store(msg);
+    // A full ring only means the worker is still draining; it is always
+    // making progress, so spin rather than grow.
+    while (!s.ring.try_push(slot)) cpu_relax();
+    ++s.enqueued;
+    if (s.sleeping.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.cv.notify_one();
+    }
+  }
+
+  /// Coordinator only. Returns once every shard has processed everything
+  /// dispatched so far; afterwards all worker writes are visible and the
+  /// coordinator owns all state again until the next dispatch.
+  void barrier() {
+    if (!config_.threaded) return;
+    for (auto& shard : shards_) {
+      std::size_t spins = 0;
+      while (shard->processed.load(std::memory_order_acquire) !=
+             shard->enqueued) {
+        if (++spins < 1000)
+          cpu_relax();
+        else
+          std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Stops and joins the workers (pending ring entries are drained first).
+  void stop() {
+    if (!config_.threaded || stopped_) return;
+    stop_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->cv.notify_all();
+    }
+    for (auto& shard : shards_)
+      if (shard->thread.joinable()) shard->thread.join();
+    stopped_ = true;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<SlotT> ring;
+    /// Worker-published completion count (coordinator reads at barrier).
+    alignas(SpscRing<SlotT>::kCacheLine) std::atomic<std::uint64_t> processed{
+        0};
+    /// Coordinator-owned dispatch count; never read by the worker.
+    std::uint64_t enqueued = 0;
+    std::atomic<bool> sleeping{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index) {
+    Shard& s = *shards_[index];
+    SlotT slot;
+    std::size_t idle_spins = 0;
+    for (;;) {
+      if (s.ring.try_pop(slot)) {
+        idle_spins = 0;
+        slot.dispatch(
+            [&](const auto& msg) { handler_->on_message(index, msg); });
+        s.processed.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (++idle_spins < config_.spin_limit) {
+        cpu_relax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.sleeping.store(true, std::memory_order_release);
+      // Re-check under the lock: a producer that pushed before seeing
+      // sleeping==true is caught by the predicate, one that pushed after
+      // must take the lock to notify and therefore serializes behind this
+      // wait. No lost wakeups either way.
+      s.cv.wait(lock, [&] {
+        return !s.ring.empty() || stop_.load(std::memory_order_acquire);
+      });
+      s.sleeping.store(false, std::memory_order_release);
+      idle_spins = 0;
+    }
+  }
+
+  Config config_;
+  Handler* handler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+};
+
+}  // namespace xsec::oran

@@ -1,0 +1,154 @@
+// Single-producer/single-consumer ring + compile-time tagged messages.
+//
+// The transport between the RIC coordinator (the E2 ingest side, which owns
+// the deterministic event loop) and one shard worker thread. Two pieces:
+//
+//   - TaggedSlot<Ms...>: a fixed-size union of trivially copyable message
+//     structs, each carrying a compile-time 16-bit type tag (hmbdc-style
+//     `static constexpr kTag`). dispatch() expands at compile time into a
+//     tag-switch over the message set — no virtual calls, no RTTI, no
+//     allocation on the hot path.
+//   - SpscRing<Slot>: a power-of-two ring with cache-line-separated
+//     head/tail indices and acquire/release publication. Exactly one
+//     producer (the coordinator) and one consumer (the shard's worker) per
+//     ring, so no CAS loops are needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace xsec::oran {
+
+/// CRTP-free tag base: `struct ScoreTask : HasTag<0x5c01> { ... };` gives
+/// the message its compile-time wire tag.
+template <std::uint16_t Tag>
+struct HasTag {
+  static constexpr std::uint16_t kTag = Tag;
+};
+
+/// Fixed-size storage for exactly one message out of a closed, compile-time
+/// message set. Messages must be trivially copyable (they cross a thread
+/// boundary by memcpy) and carry pairwise-distinct kTag values.
+template <typename... Ms>
+class TaggedSlot {
+  static_assert(sizeof...(Ms) > 0, "message set must not be empty");
+  static_assert((std::is_trivially_copyable_v<Ms> && ...),
+                "ring messages must be trivially copyable");
+
+  static constexpr bool tags_unique() {
+    constexpr std::uint16_t tags[] = {Ms::kTag...};
+    for (std::size_t i = 0; i < sizeof...(Ms); ++i)
+      for (std::size_t j = i + 1; j < sizeof...(Ms); ++j)
+        if (tags[i] == tags[j]) return false;
+    return true;
+  }
+  static_assert(tags_unique(), "message tags must be pairwise distinct");
+
+ public:
+  template <typename M>
+  void store(const M& m) {
+    static_assert((std::is_same_v<M, Ms> || ...),
+                  "message type not in this slot's set");
+    tag_ = M::kTag;
+    std::memcpy(buf_, &m, sizeof(M));
+  }
+
+  std::uint16_t tag() const { return tag_; }
+
+  /// Invokes `handler(msg)` with the stored message at its concrete type.
+  /// The fold expands to a chain of tag compares the compiler turns into a
+  /// jump table for larger sets.
+  template <typename Handler>
+  void dispatch(Handler&& handler) const {
+    (void)(try_dispatch<Ms>(handler) || ...);
+  }
+
+ private:
+  template <typename M, typename Handler>
+  bool try_dispatch(Handler& handler) const {
+    if (tag_ != M::kTag) return false;
+    M m;
+    std::memcpy(&m, buf_, sizeof(M));
+    handler(m);
+    return true;
+  }
+
+  static constexpr std::size_t max_of(std::initializer_list<std::size_t> v) {
+    std::size_t m = 0;
+    for (std::size_t x : v) m = x > m ? x : m;
+    return m;
+  }
+  static constexpr std::size_t kSize = max_of({sizeof(Ms)...});
+  static constexpr std::size_t kAlign = max_of({alignof(Ms)...});
+
+  alignas(kAlign) unsigned char buf_[kSize];
+  std::uint16_t tag_ = 0;
+};
+
+/// Lock-free SPSC ring buffer. Capacity is rounded up to a power of two so
+/// index wrapping is a mask. The producer owns tail_, the consumer owns
+/// head_; each publishes its index with release and reads the other's with
+/// acquire, which is the full synchronization story.
+template <typename Slot>
+class SpscRing {
+ public:
+  static constexpr std::size_t kCacheLine = 64;
+
+  explicit SpscRing(std::size_t capacity = 1024)
+      : slots_(round_up_pow2(capacity)), mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when full (the consumer is behind).
+  bool try_push(const Slot& slot) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size())
+      return false;
+    slots_[tail & mask_] = slot;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when empty.
+  bool try_pop(Slot& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  /// Producer-written and consumer-written indices on their own cache
+  /// lines so the two sides never invalidate each other's hot line.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  char pad_end_[kCacheLine - sizeof(std::atomic<std::uint64_t>)];
+};
+
+}  // namespace xsec::oran

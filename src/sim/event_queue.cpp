@@ -4,21 +4,53 @@
 
 namespace xsec::sim {
 
-void EventQueue::schedule_at(SimTime t, Action action) {
+EventQueue::EventQueue(std::size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {}
+
+void EventQueue::schedule_on(std::size_t lane, SimTime t, Action action) {
+  assert(lane < lanes_.size() && "lane out of range");
   assert(t >= now_ && "cannot schedule in the past");
-  heap_.push(Entry{t, next_seq_++, std::move(action)});
+  Lane& l = lanes_[lane];
+  l.heap.push(Entry{t, l.next_seq++, std::move(action)});
+}
+
+std::size_t EventQueue::pending() const {
+  std::size_t n = 0;
+  for (const Lane& l : lanes_) n += l.heap.size();
+  return n;
+}
+
+std::size_t EventQueue::next_lane() const {
+  // The merge rule: earliest time wins; ties go to the lowest lane index
+  // (within a lane the heap already orders by schedule sequence). This is a
+  // pure function of what was scheduled, so multi-lane runs replay
+  // identically regardless of how lanes map to threads.
+  std::size_t best = lanes_.size();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& l = lanes_[i];
+    if (l.heap.empty()) continue;
+    if (best == lanes_.size() || l.heap.top().time < lanes_[best].heap.top().time)
+      best = i;
+  }
+  return best;
+}
+
+void EventQueue::run_top(std::size_t lane, std::size_t& executed) {
+  Lane& l = lanes_[lane];
+  // Copy out before pop so the action may schedule new events.
+  Entry entry{l.heap.top().time, l.heap.top().seq,
+              std::move(const_cast<Entry&>(l.heap.top()).action)};
+  l.heap.pop();
+  now_ = entry.time;
+  entry.action();
+  ++executed;
 }
 
 std::size_t EventQueue::run_until(SimTime end) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().time <= end) {
-    // Copy out before pop so the action may schedule new events.
-    Entry entry{heap_.top().time, heap_.top().seq,
-                std::move(const_cast<Entry&>(heap_.top()).action)};
-    heap_.pop();
-    now_ = entry.time;
-    entry.action();
-    ++executed;
+  for (std::size_t lane = next_lane(); lane < lanes_.size();
+       lane = next_lane()) {
+    if (lanes_[lane].heap.top().time > end) break;
+    run_top(lane, executed);
   }
   if (now_ < end) now_ = end;
   return executed;
@@ -26,14 +58,9 @@ std::size_t EventQueue::run_until(SimTime end) {
 
 std::size_t EventQueue::run_all(std::size_t max_events) {
   std::size_t executed = 0;
-  while (!heap_.empty() && executed < max_events) {
-    Entry entry{heap_.top().time, heap_.top().seq,
-                std::move(const_cast<Entry&>(heap_.top()).action)};
-    heap_.pop();
-    now_ = entry.time;
-    entry.action();
-    ++executed;
-  }
+  for (std::size_t lane = next_lane();
+       lane < lanes_.size() && executed < max_events; lane = next_lane())
+    run_top(lane, executed);
   return executed;
 }
 

@@ -1,8 +1,14 @@
 // Discrete-event simulation kernel.
 //
-// A single-threaded priority queue of (time, sequence, closure). Sequence
-// numbers make same-timestamp events FIFO, which keeps protocol message
-// ordering deterministic — a hard requirement for reproducible datasets.
+// The queue is a deterministic merge of per-lane timelines. Each lane is an
+// independent priority heap with its own sequence counter; execution always
+// picks the globally earliest (time, lane, lane_seq) entry, so same-time
+// events run lane 0 first and FIFO within a lane. A single-lane queue (the
+// default) is exactly the classic (time, sequence) discrete-event loop the
+// rest of the simulator was built on; multi-lane queues give each RIC shard
+// its own timeline whose merge order is a pure function of the schedule —
+// never of thread timing — which keeps datasets reproducible at any shard
+// count.
 #pragma once
 
 #include <cstdint>
@@ -18,22 +24,39 @@ class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  SimTime now() const { return now_; }
+  /// A queue merging `lanes` independent timelines (>= 1).
+  explicit EventQueue(std::size_t lanes = 1);
 
-  void schedule_at(SimTime t, Action action);
+  SimTime now() const { return now_; }
+  std::size_t lane_count() const { return lanes_.size(); }
+
+  /// Schedules on lane 0 (the classic single-timeline API).
+  void schedule_at(SimTime t, Action action) {
+    schedule_on(0, t, std::move(action));
+  }
   void schedule_after(SimDuration d, Action action) {
     schedule_at(now_ + d, std::move(action));
   }
 
-  /// Runs events until the queue drains or `end` is reached; returns the
+  /// Schedules on a specific lane's timeline. Same-time entries across
+  /// lanes execute in lane-index order; within a lane, in schedule order.
+  void schedule_on(std::size_t lane, SimTime t, Action action);
+  void schedule_after_on(std::size_t lane, SimDuration d, Action action) {
+    schedule_on(lane, now_ + d, std::move(action));
+  }
+
+  /// Runs events until every lane drains or `end` is reached; returns the
   /// number of events executed.
   std::size_t run_until(SimTime end);
-  /// Runs until the queue drains (bounded by max_events as a livelock
+  /// Runs until all lanes drain (bounded by max_events as a livelock
   /// guard; attacks that flood forever need run_until instead).
   std::size_t run_all(std::size_t max_events = 10'000'000);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const;
+  std::size_t lane_pending(std::size_t lane) const {
+    return lanes_[lane].heap.size();
+  }
 
  private:
   struct Entry {
@@ -47,10 +70,19 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Lane {
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::uint64_t next_seq = 0;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Index of the lane holding the globally next entry (lowest
+  /// (time, lane, lane_seq)), or lane_count() if all lanes are empty.
+  std::size_t next_lane() const;
+  /// Pops and runs the top entry of `lane`.
+  void run_top(std::size_t lane, std::size_t& executed);
+
+  std::vector<Lane> lanes_;
   SimTime now_{0};
-  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace xsec::sim

@@ -9,8 +9,10 @@
 // the test surface.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "core/evaluation.hpp"
 #include "core/pipeline.hpp"
 #include "llm/client.hpp"
+#include "obs/export.hpp"
 #include "oran/e2sm.hpp"
 #include "oran/xapp.hpp"
 #include "sim/traffic.hpp"
@@ -343,6 +346,82 @@ TEST_F(ChaosDetectTest, AttackStillDetectedUnderFaults) {
   EXPECT_GT(pipeline.mobiwatch().anomalies_flagged(), 0u);
   EXPECT_GE(pipeline.analyzer().incidents_analyzed(), 1u);
   EXPECT_EQ(pipeline.agent().reconnects(), 1u);
+}
+
+// --- Shard-count determinism ------------------------------------------------
+
+void schedule_site_sessions(core::Pipeline& pipeline, std::size_t site,
+                            int sessions);
+
+/// Everything a seeded chaos run can externalize, captured byte-for-byte.
+struct ChaosSnapshot {
+  std::string prometheus;
+  std::string json;
+  std::string stats_text;
+  std::string incidents;
+};
+
+TEST_F(ChaosDetectTest, ShardCountNeverChangesAnyExportedByte) {
+  // The determinism oracle of the sharded RIC: under a fixed seed the
+  // Prometheus export, the JSON snapshot (metrics + spans), the robustness
+  // counters, and every anomaly report are byte-identical whether scoring
+  // runs inline or fans out across 2 or 4 worker threads — chaos faults,
+  // multi-site traffic, an attack, and gap quarantine all active.
+  auto run = [&](std::size_t shards) {
+    core::PipelineConfig config;
+    config.testbed.num_cells = 2;
+    config.ric_shards = shards;
+    config.fault_plan.drop_probability = 0.05;
+    config.fault_plan.reorder_probability = 0.10;
+    config.fault_plan.link_epochs = {
+        {SimTime::from_ms(1500), SimDuration::from_ms(300)}};
+    config.fault_plan.seed = 0xD373C7;
+    core::Pipeline pipeline(config);
+    EXPECT_EQ(pipeline.ric_shards(), shards);
+    ChaosSnapshot snap;
+    // Every anomaly report the detection xApp publishes, in publish order.
+    pipeline.ric().router().subscribe(
+        oran::kMtAnomalyWindow, [&snap](const oran::RoutedMessage& m) {
+          snap.incidents.append(m.payload.begin(), m.payload.end());
+        });
+    pipeline.install_detector(
+        *detector_, detect::FeatureEncoder(eval_config_->features));
+    auto traffic_handle = schedule_benign(pipeline, 99, 10);
+    schedule_site_sessions(pipeline, 1, 6);
+    auto attack = attacks::make_bts_dos();
+    attack->launch(pipeline.testbed(), SimTime::from_ms(300));
+    pipeline.run_for(SimDuration::from_s(4));
+    pipeline.finalize();
+    snap.prometheus = obs::render_prometheus(pipeline.metrics());
+    snap.json = obs::render_json(pipeline.metrics(), &pipeline.tracer());
+    snap.stats_text = pipeline.stats().to_text();
+    return snap;
+  };
+
+  ChaosSnapshot reference = run(1);
+  EXPECT_FALSE(reference.incidents.empty()) << "attack must produce reports";
+  for (std::size_t shards : {2u, 4u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    ChaosSnapshot sharded = run(shards);
+    EXPECT_EQ(sharded.prometheus, reference.prometheus);
+    EXPECT_EQ(sharded.json, reference.json);
+    EXPECT_EQ(sharded.stats_text, reference.stats_text);
+    EXPECT_EQ(sharded.incidents, reference.incidents);
+  }
+}
+
+TEST(ChaosShards, EnvironmentVariableSelectsShardCount) {
+  setenv("XSEC_RIC_SHARDS", "3", 1);
+  core::Pipeline from_env{core::PipelineConfig{}};
+  EXPECT_EQ(from_env.ric_shards(), 3u);
+  // An explicit config beats the environment.
+  core::PipelineConfig config;
+  config.ric_shards = 2;
+  core::Pipeline from_config(config);
+  EXPECT_EQ(from_config.ric_shards(), 2u);
+  unsetenv("XSEC_RIC_SHARDS");
+  core::Pipeline fallback{core::PipelineConfig{}};
+  EXPECT_EQ(fallback.ric_shards(), 1u);
 }
 
 // --- Correlated multi-site outage -------------------------------------------
