@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hpp"
 #include "core/smo.hpp"
@@ -17,9 +18,13 @@ std::size_t resolve_ric_shards(std::size_t configured) {
   constexpr std::size_t kMaxShards = 64;
   if (configured != 0) return std::min(configured, kMaxShards);
   if (const char* env = std::getenv("XSEC_RIC_SHARDS")) {
+    // Strict parse: strtoul would wrap "-1" to ULONG_MAX and accept
+    // trailing garbage like "4x"; treat anything but a clean positive
+    // integer as unset.
     char* end = nullptr;
     const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && v >= 1)
+    if (end != env && *end == '\0' && std::strchr(env, '-') == nullptr &&
+        v >= 1)
       return std::min<std::size_t>(static_cast<std::size_t>(v), kMaxShards);
   }
   return 1;

@@ -200,8 +200,7 @@ std::unique_ptr<AnomalyDetector> EnsembleDetector::clone_for_inference() {
   for (std::size_t m = 0; m < members_.size(); ++m) {
     Status loaded = dl::load_params(copy->members_[m].model->params(),
                                     dl::save_params(members_[m].model->params()));
-    assert(loaded.ok());
-    (void)loaded;
+    if (!loaded.ok()) return nullptr;
     copy->members_[m].calibration = members_[m].calibration;
   }
   copy->scaler_ = scaler_;

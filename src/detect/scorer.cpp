@@ -273,11 +273,12 @@ std::unique_ptr<AnomalyDetector> AutoencoderDetector::clone_for_inference() {
   auto copy = std::make_unique<AutoencoderDetector>(
       window_size_, feature_dim_, config_, model_.config().hidden);
   // Weight transfer via the SMO serialization format: shapes match because
-  // the clone was built from the same configuration.
+  // the clone was built from the same configuration. A failed transfer
+  // must not yield a replica with fresh weights — returning nullptr makes
+  // the engine fall back to inline serialized scoring instead.
   Status loaded =
       dl::load_params(copy->model_.params(), dl::save_params(model_.params()));
-  assert(loaded.ok());
-  (void)loaded;
+  if (!loaded.ok()) return nullptr;
   copy->scaler_ = scaler_;
   copy->set_threshold(threshold());
   return copy;
@@ -289,8 +290,7 @@ std::unique_ptr<AnomalyDetector> LstmDetector::clone_for_inference() {
                                              model_.config().hidden_dim);
   Status loaded =
       dl::load_params(copy->model_.params(), dl::save_params(model_.params()));
-  assert(loaded.ok());
-  (void)loaded;
+  if (!loaded.ok()) return nullptr;
   copy->scaler_ = scaler_;
   copy->set_threshold(threshold());
   return copy;

@@ -128,6 +128,10 @@ void SourceWindowEngine::reset_assembly(SourceState& s) {
   s.filled = 0;
   s.unencoded = 0;
   s.pending = 0;
+  // The discarded records will never be scored, so the source must not
+  // stay marked dirty: install() drops it from dirty_ without flushing,
+  // and a stale flag would keep ingest() from ever re-listing it.
+  s.dirty = false;
   s.ctx.reset();
   ensure_buffers(s);
 }

@@ -91,7 +91,12 @@ class ShardExecutor {
     // making progress, so spin rather than grow.
     while (!s.ring.try_push(slot)) cpu_relax();
     ++s.enqueued;
-    if (s.sleeping.load(std::memory_order_acquire)) {
+    // Eventcount handshake, producer half: the push must be globally
+    // ordered before the sleeping check. Release/acquire is not enough —
+    // both sides could read stale values (store-buffer litmus) and the
+    // worker would sleep on a non-empty ring with nobody left to notify.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (s.sleeping.load(std::memory_order_relaxed)) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.cv.notify_one();
     }
@@ -160,11 +165,13 @@ class ShardExecutor {
         continue;
       }
       std::unique_lock<std::mutex> lock(s.mu);
-      s.sleeping.store(true, std::memory_order_release);
-      // Re-check under the lock: a producer that pushed before seeing
-      // sleeping==true is caught by the predicate, one that pushed after
-      // must take the lock to notify and therefore serializes behind this
-      // wait. No lost wakeups either way.
+      s.sleeping.store(true, std::memory_order_relaxed);
+      // Eventcount handshake, consumer half: sleeping must be globally
+      // visible before the emptiness re-check. With both fences, either
+      // the predicate sees the producer's push, or the producer sees
+      // sleeping==true and takes the lock to notify — which serializes
+      // behind this wait. No lost wakeups either way.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
       s.cv.wait(lock, [&] {
         return !s.ring.empty() || stop_.load(std::memory_order_acquire);
       });

@@ -422,6 +422,15 @@ TEST(ChaosShards, EnvironmentVariableSelectsShardCount) {
   unsetenv("XSEC_RIC_SHARDS");
   core::Pipeline fallback{core::PipelineConfig{}};
   EXPECT_EQ(fallback.ric_shards(), 1u);
+  // Malformed values fall back to 1 instead of wrapping ("-1" would hit
+  // the 64-shard clamp via ULONG_MAX) or parsing a prefix ("4x").
+  for (const char* bad : {"-1", "4x", "0", "", "shards"}) {
+    SCOPED_TRACE(std::string("XSEC_RIC_SHARDS=") + bad);
+    setenv("XSEC_RIC_SHARDS", bad, 1);
+    core::Pipeline rejected{core::PipelineConfig{}};
+    EXPECT_EQ(rejected.ric_shards(), 1u);
+  }
+  unsetenv("XSEC_RIC_SHARDS");
 }
 
 // --- Correlated multi-site outage -------------------------------------------

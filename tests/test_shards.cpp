@@ -189,6 +189,28 @@ TEST(ShardExecutor, RepeatedDispatchBarrierRounds) {
   EXPECT_EQ(handler.sums[1], 100u);
 }
 
+TEST(ShardExecutor, NoLostWakeupWhenWorkerSleepsImmediately) {
+  // Regression for the store-buffer lost-wakeup race: with spin_limit=0
+  // the worker heads for the condvar after every pop, so each dispatch
+  // races the push/sleeping handshake. Without the seq_cst fences the
+  // producer could skip notify while the worker slept on a non-empty
+  // ring, and the barrier below would hang.
+  SummingHandler handler;
+  handler.sums.assign(1, 0);
+  AddExecutor::Config config;
+  config.shards = 1;
+  config.spin_limit = 0;
+  AddExecutor exec(config, &handler);
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    exec.dispatch(0, AddMsg{{}, i});
+    expected += i;
+    if ((i & 63) == 0) exec.barrier();
+  }
+  exec.barrier();
+  EXPECT_EQ(handler.sums[0], expected);
+}
+
 TEST(ShardExecutor, InlineModeRunsOnCaller) {
   SummingHandler handler;
   handler.sums.assign(3, 0);
@@ -414,6 +436,35 @@ TEST(EngineDeterminism, ShardCountDoesNotChangeAnyOutput) {
     EXPECT_EQ(sharded.prometheus, reference.prometheus)
         << "metric export must be byte-identical at " << shards << " shards";
   }
+}
+
+TEST(EngineDeterminism, HotSwapWithUnflushedRecordsKeepsScoring) {
+  // Regression: a detector swap while a source has un-flushed records must
+  // not leave that source marked dirty while absent from the dirty list —
+  // ingest() would then never re-list it and the source would be silently
+  // excluded from all scoring after the swap.
+  auto detector = train_shared_detector();
+  obs::Observability obs;
+  SourceWindowConfig config;
+  config.shards = 2;
+  SourceWindowEngine engine(config);
+  engine.set_obs_provider([&obs]() { return &obs; });
+  std::size_t incidents = 0;
+  engine.set_incident_sink(
+      [&incidents](SourceWindowEngine::Incident) { ++incidents; });
+  engine.install(detector, FeatureEncoder());
+  for (std::int64_t i = 0; i < 3; ++i)
+    engine.ingest(1001, make_record("RRC", "RRCSetupRequest", "UL", 100,
+                                    i * 1500));
+  // Hot swap with those three records still pending.
+  engine.install(detector, FeatureEncoder());
+  for (std::int64_t i = 3; i < 40; ++i)
+    engine.ingest(1001, make_record("RRC", "RRCSetupRequest", "UL", 100,
+                                    i * 1500));
+  engine.flush();
+  engine.close_open_incidents();
+  EXPECT_GE(incidents, 1u)
+      << "post-swap records must still be scored and flagged";
 }
 
 TEST(EngineDeterminism, FlushCadenceDoesNotChangeScores) {
