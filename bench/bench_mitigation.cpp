@@ -1,0 +1,121 @@
+// Mitigation micro-benchmarks (google-benchmark): the closed loop's cost
+// per decision. The near-RT RIC control budget is 10ms-1s (paper §2.1);
+// these benches substantiate that policy matching, the Control codec, and
+// the full verdict -> issue -> rollback cycle sit far inside it. No model
+// training: verdicts are fabricated and published straight on the router,
+// the same technique the mitigation unit tests use.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "llm/analyzer_xapp.hpp"
+#include "mitigate/policy.hpp"
+#include "mitigate/xapp.hpp"
+#include "mobiflow/agent.hpp"
+#include "oran/a1.hpp"
+#include "oran/router.hpp"
+
+using namespace xsec;
+
+namespace {
+
+llm::IncidentVerdict sample_verdict(bool agrees) {
+  llm::IncidentVerdict v;
+  v.incident_id = 7;
+  v.node_id = 1001;
+  v.source_ue = 42;
+  v.detector = "autoencoder";
+  v.score = 2.0;
+  v.threshold = 1.0;
+  v.llm_agrees = agrees;
+  v.candidate_attacks = {"BTS resource depletion DoS",
+                         "Blind DoS via S-TMSI replay"};
+  v.suspect_tmsis = {0x123456789AULL, 0xBEEF5EED01ULL};
+  v.flagged_at_us = 1'000'000;
+  return v;
+}
+
+void BM_ControlEncodeDecode(benchmark::State& state) {
+  mobiflow::ControlCommand cmd;
+  cmd.action = mobiflow::ControlCommand::Action::kRateLimit;
+  cmd.rate_limit = 4;
+  cmd.rate_window_ms = 100;
+  for (auto _ : state) {
+    Bytes wire = mobiflow::encode_control(cmd);
+    auto decoded = mobiflow::decode_control(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_ControlEncodeDecode);
+
+void BM_VerdictSerializeDeserialize(benchmark::State& state) {
+  llm::IncidentVerdict v = sample_verdict(true);
+  for (auto _ : state) {
+    Bytes wire = v.serialize();
+    auto decoded = llm::IncidentVerdict::deserialize(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_VerdictSerializeDeserialize);
+
+void BM_PolicyMatchClassified(benchmark::State& state) {
+  // The per-verdict decision: first-match scan over the default table with
+  // case-folded substring class matching.
+  mitigate::MitigationPolicy policy =
+      mitigate::MitigationPolicy::default_policy();
+  std::vector<std::string> classes = {"BTS resource depletion DoS",
+                                      "Blind DoS via S-TMSI replay"};
+  for (auto _ : state) {
+    const mitigate::PolicyRule* rule =
+        policy.match(mitigate::RuleStage::kClassified, classes, 2.0, 1.0);
+    benchmark::DoNotOptimize(rule);
+  }
+}
+BENCHMARK(BM_PolicyMatchClassified);
+
+void BM_MitigationIssueRollbackCycle(benchmark::State& state) {
+  // One full recovery cycle per iteration: a confirming verdict issues a
+  // rate limit over E2 Control (wire encode, transport, agent dedup, gNB
+  // apply, ack), then false-positive evidence rolls it back. The sim
+  // advances 25ms per cycle so ack-timeout timers drain instead of piling
+  // up in the event queue.
+  core::PipelineConfig config;
+  config.mitigation.enabled = true;
+  config.mitigation.fast_path = false;  // verdict-driven only
+  core::Pipeline pipeline(config);
+  pipeline.run_for(SimDuration::from_ms(10));
+  // A budget that never exhausts: the bench measures steady-state cycles,
+  // not the storm brake.
+  oran::A1Policy budget;
+  budget.policy_type = oran::kPolicyMitigation;
+  budget.policy_id = "bench-budget";
+  budget.content["max_actions_per_source"] = "1000000000";
+  pipeline.ric().apply_policy("mitigation", budget);
+
+  Bytes confirm = sample_verdict(true).serialize();
+  Bytes benign = sample_verdict(false).serialize();
+  std::uint64_t node = pipeline.node_id(0);
+  benchmark::DoNotOptimize(node);
+  for (auto _ : state) {
+    oran::RoutedMessage msg;
+    msg.mtype = oran::kMtIncidentVerdict;
+    msg.source = "bench";
+    msg.payload = confirm;
+    pipeline.ric().router().publish(msg);
+    msg.payload = benign;
+    pipeline.ric().router().publish(msg);
+    pipeline.run_for(SimDuration::from_ms(25));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["actions"] = static_cast<double>(
+      pipeline.mitigation()->actions_issued());
+  state.counters["rollbacks"] = static_cast<double>(
+      pipeline.mitigation()->rollbacks());
+}
+BENCHMARK(BM_MitigationIssueRollbackCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

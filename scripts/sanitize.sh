@@ -30,7 +30,7 @@ if [[ "${1:-}" == "tsan" ]]; then
   if [[ $# -gt 0 ]]; then
     exec ctest --preset tsan "$@"
   fi
-  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos'
+  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos|Mitigation|ControlReliability|AgentSpill'
   for shards in 2 4; do
     echo "=== chaos suite with XSEC_RIC_SHARDS=$shards under TSan ==="
     XSEC_RIC_SHARDS=$shards ctest --preset tsan -R 'Chaos'

@@ -61,6 +61,8 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     };
     hooks.try_connect = [this, site] { return transports_[site]->connect(); };
     hooks.obs = obs_.get();
+    hooks.outage_buffer_max = config_.agent_outage_buffer;
+    hooks.spill_dir = config_.agent_spill_dir;
     hooks.apply_control = [this, site](const mobiflow::ControlCommand& cmd) {
       ran::Gnb& gnb = testbed_->gnb(site);
       switch (cmd.action) {
@@ -71,6 +73,22 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
                      SimDuration::from_ms(cmd.stale_age_ms)) > 0;
         case mobiflow::ControlCommand::Action::kBlockTmsi:
           gnb.block_tmsi(cmd.s_tmsi);
+          return true;
+        case mobiflow::ControlCommand::Action::kUnblockTmsi:
+          gnb.unblock_tmsi(cmd.s_tmsi);
+          return true;
+        case mobiflow::ControlCommand::Action::kRateLimit:
+          gnb.set_setup_rate_limit(cmd.rate_limit,
+                                   SimDuration::from_ms(cmd.rate_window_ms));
+          return true;
+        case mobiflow::ControlCommand::Action::kClearRateLimit:
+          gnb.clear_setup_rate_limit();
+          return true;
+        case mobiflow::ControlCommand::Action::kIsolate:
+          gnb.set_isolated(true);
+          return true;
+        case mobiflow::ControlCommand::Action::kDeisolate:
+          gnb.set_isolated(false);
           return true;
       }
       return false;
@@ -109,6 +127,18 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   auto mobiwatch = std::make_unique<detect::MobiWatchXapp>(config_.mobiwatch);
   mobiwatch_ = mobiwatch.get();
   ric_->register_xapp(std::move(mobiwatch));
+
+  // The mitigation xApp registers BEFORE the analyzer so its router
+  // subscriptions run first on each anomaly report: the fast-path action is
+  // issued before the analyzer's (synchronous) verdict arrives, which is
+  // what lets a benign verdict roll that same action back as false-positive
+  // evidence instead of finding nothing active yet.
+  if (config_.mitigation.enabled) {
+    auto mitigation =
+        std::make_unique<mitigate::MitigationXapp>(config_.mitigation);
+    mitigation_ = mitigation.get();
+    ric_->register_xapp(std::move(mitigation));
+  }
 
   if (!config_.llm_client)
     config_.llm_client = std::make_shared<llm::SimLlmClient>();
@@ -153,6 +183,9 @@ PipelineStats Pipeline::stats() const {
     s.agent_reconnects += agent->reconnects();
     s.reconnect_attempts += agent->reconnect_attempts();
     s.records_dropped_outage += agent->records_dropped_outage();
+    s.records_spilled += agent->records_spilled();
+    s.records_replayed += agent->records_replayed();
+    s.controls_deduplicated += agent->controls_deduplicated();
   }
   s.indications_received = ric_->indications_received();
   s.duplicates_suppressed = ric_->duplicates_suppressed();
@@ -162,6 +195,10 @@ PipelineStats Pipeline::stats() const {
   s.nacks_batched = ric_->nacks_batched();
   s.node_reconnects = ric_->node_reconnects();
   s.stale_subscriptions_cleared = ric_->stale_subscriptions_cleared();
+  s.controls_sent = ric_->controls_sent();
+  s.control_acks = ric_->control_acks();
+  s.control_retx = ric_->control_retx();
+  s.controls_lost = ric_->controls_lost();
   s.records_seen = mobiwatch_->records_seen();
   s.windows_scored = mobiwatch_->windows_scored();
   s.anomalies_flagged = mobiwatch_->anomalies_flagged();
@@ -171,6 +208,15 @@ PipelineStats Pipeline::stats() const {
   s.llm_breaker_trips = resilient_llm_->breaker_trips();
   s.llm_deferrals = analyzer_->llm_deferrals();
   s.incidents_dropped = analyzer_->incidents_dropped();
+  if (mitigation_) {
+    s.mitigation_actions = mitigation_->actions_issued();
+    s.mitigation_escalations = mitigation_->escalations();
+    s.mitigation_rollbacks = mitigation_->rollbacks();
+    s.mitigation_rollbacks_ttl = mitigation_->rollbacks_ttl();
+    s.mitigation_rollbacks_evidence = mitigation_->rollbacks_evidence();
+    s.mitigation_budget_exhausted = mitigation_->budget_exhausted();
+    s.mitigation_actions_failed = mitigation_->actions_failed();
+  }
   return s;
 }
 
@@ -194,6 +240,9 @@ std::string PipelineStats::to_text() const {
   out += line("reconnects", agent_reconnects);
   out += line("reconnect attempts", reconnect_attempts);
   out += line("records dropped in outage", records_dropped_outage);
+  out += line("records spilled to disk", records_spilled);
+  out += line("records replayed from spill", records_replayed);
+  out += line("duplicate controls suppressed", controls_deduplicated);
   out += "near-RT RIC:\n";
   out += line("indications received", indications_received);
   out += line("duplicates suppressed", duplicates_suppressed);
@@ -203,6 +252,10 @@ std::string PipelineStats::to_text() const {
   out += line("NACK ranges batched", nacks_batched);
   out += line("node reconnects", node_reconnects);
   out += line("stale subscriptions cleared", stale_subscriptions_cleared);
+  out += line("controls sent", controls_sent);
+  out += line("control acks", control_acks);
+  out += line("control retransmissions", control_retx);
+  out += line("controls lost", controls_lost);
   out += "MobiWatch:\n";
   out += line("records seen", records_seen);
   out += line("windows scored", windows_scored);
@@ -214,6 +267,14 @@ std::string PipelineStats::to_text() const {
   out += line("LLM breaker trips", llm_breaker_trips);
   out += line("incidents deferred", llm_deferrals);
   out += line("incidents dropped", incidents_dropped);
+  out += "Mitigation:\n";
+  out += line("actions issued", mitigation_actions);
+  out += line("escalations", mitigation_escalations);
+  out += line("rollbacks", mitigation_rollbacks);
+  out += line("rollbacks (TTL)", mitigation_rollbacks_ttl);
+  out += line("rollbacks (evidence)", mitigation_rollbacks_evidence);
+  out += line("action budget exhaustions", mitigation_budget_exhausted);
+  out += line("actions failed", mitigation_actions_failed);
   return out;
 }
 

@@ -12,6 +12,7 @@
 
 #include "detect/mobiwatch.hpp"
 #include "llm/analyzer_xapp.hpp"
+#include "mitigate/xapp.hpp"
 #include "mobiflow/agent.hpp"
 #include "obs/trace.hpp"
 #include "oran/ric.hpp"
@@ -26,6 +27,15 @@ struct PipelineConfig {
   sim::TestbedConfig testbed;
   detect::MobiWatchConfig mobiwatch;
   llm::AnalyzerConfig analyzer;
+  /// Closed-loop mitigation xApp; disabled by default (detection-only
+  /// pipelines keep their exact seeded behavior).
+  mitigate::MitigationConfig mitigation;
+  /// Per-agent outage-backlog capacity (records buffered while no
+  /// subscription is live).
+  std::size_t agent_outage_buffer = 8192;
+  /// When set, a full outage backlog spills to .mft files in this
+  /// directory (replayed on re-subscription) instead of dropping oldest.
+  std::string agent_spill_dir;
   /// E2 node id of the first cell's agent; additional cells get
   /// consecutive ids.
   std::uint64_t e2_node_id = 1001;
@@ -68,6 +78,9 @@ struct PipelineStats {
   std::size_t agent_reconnects = 0;
   std::size_t reconnect_attempts = 0;
   std::size_t records_dropped_outage = 0;
+  std::size_t records_spilled = 0;
+  std::size_t records_replayed = 0;
+  std::size_t controls_deduplicated = 0;
   // near-RT RIC
   std::size_t indications_received = 0;
   std::size_t duplicates_suppressed = 0;
@@ -78,6 +91,10 @@ struct PipelineStats {
   std::size_t nacks_batched = 0;
   std::size_t node_reconnects = 0;
   std::size_t stale_subscriptions_cleared = 0;
+  std::size_t controls_sent = 0;
+  std::size_t control_acks = 0;
+  std::size_t control_retx = 0;
+  std::size_t controls_lost = 0;
   // MobiWatch
   std::size_t records_seen = 0;
   std::size_t windows_scored = 0;
@@ -89,6 +106,14 @@ struct PipelineStats {
   std::size_t llm_breaker_trips = 0;
   std::size_t llm_deferrals = 0;
   std::size_t incidents_dropped = 0;
+  // Mitigation (all zero when the xApp is disabled)
+  std::size_t mitigation_actions = 0;
+  std::size_t mitigation_escalations = 0;
+  std::size_t mitigation_rollbacks = 0;
+  std::size_t mitigation_rollbacks_ttl = 0;
+  std::size_t mitigation_rollbacks_evidence = 0;
+  std::size_t mitigation_budget_exhausted = 0;
+  std::size_t mitigation_actions_failed = 0;
 
   std::string to_text() const;
 };
@@ -113,6 +138,9 @@ class Pipeline {
   }
   detect::MobiWatchXapp& mobiwatch() { return *mobiwatch_; }
   llm::LlmAnalyzerXapp& analyzer() { return *analyzer_; }
+  /// The mitigation xApp, or nullptr when config.mitigation.enabled is
+  /// false.
+  mitigate::MitigationXapp* mitigation() { return mitigation_; }
   llm::ResilientLlmClient& llm_client() { return *resilient_llm_; }
   /// The platform-wide observability bundle every component records into.
   obs::Observability& observability() { return *obs_; }
@@ -160,6 +188,7 @@ class Pipeline {
   std::vector<std::uint64_t> node_ids_;
   detect::MobiWatchXapp* mobiwatch_ = nullptr;  // owned by the RIC
   llm::LlmAnalyzerXapp* analyzer_ = nullptr;    // owned by the RIC
+  mitigate::MitigationXapp* mitigation_ = nullptr;  // owned by the RIC
   llm::ResilientLlmClient* resilient_llm_ = nullptr;  // shared_ptr'd below
   MetricsReportXapp* metrics_report_ = nullptr;  // owned by the RIC
 };

@@ -9,6 +9,73 @@
 
 namespace xsec::llm {
 
+Bytes IncidentVerdict::serialize() const {
+  ByteWriter w;
+  w.u64(incident_id);
+  w.u64(node_id);
+  w.u64(source_ue);
+  w.str(detector);
+  w.f64(score);
+  w.f64(threshold);
+  w.boolean(llm_agrees);
+  w.u32(static_cast<std::uint32_t>(candidate_attacks.size()));
+  for (const std::string& attack : candidate_attacks) w.str(attack);
+  w.u32(static_cast<std::uint32_t>(suspect_tmsis.size()));
+  for (std::uint64_t tmsi : suspect_tmsis) w.u64(tmsi);
+  w.i64(flagged_at_us);
+  return w.take();
+}
+
+Result<IncidentVerdict> IncidentVerdict::deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  IncidentVerdict v;
+  auto incident_id = r.u64();
+  if (!incident_id) return incident_id.error();
+  v.incident_id = incident_id.value();
+  auto node_id = r.u64();
+  if (!node_id) return node_id.error();
+  v.node_id = node_id.value();
+  auto source_ue = r.u64();
+  if (!source_ue) return source_ue.error();
+  v.source_ue = source_ue.value();
+  auto detector = r.str();
+  if (!detector) return detector.error();
+  v.detector = detector.value();
+  auto score = r.f64();
+  if (!score) return score.error();
+  v.score = score.value();
+  auto threshold = r.f64();
+  if (!threshold) return threshold.error();
+  v.threshold = threshold.value();
+  auto agrees = r.boolean();
+  if (!agrees) return agrees.error();
+  v.llm_agrees = agrees.value();
+  auto n_attacks = r.u32();
+  if (!n_attacks) return n_attacks.error();
+  if (n_attacks.value() > r.remaining())
+    return Error::make("overflow", "attack count exceeds payload");
+  for (std::uint32_t i = 0; i < n_attacks.value(); ++i) {
+    auto attack = r.str();
+    if (!attack) return attack.error();
+    v.candidate_attacks.push_back(std::move(attack).value());
+  }
+  auto n_tmsis = r.u32();
+  if (!n_tmsis) return n_tmsis.error();
+  if (n_tmsis.value() > r.remaining())
+    return Error::make("overflow", "tmsi count exceeds payload");
+  for (std::uint32_t i = 0; i < n_tmsis.value(); ++i) {
+    auto tmsi = r.u64();
+    if (!tmsi) return tmsi.error();
+    v.suspect_tmsis.push_back(tmsi.value());
+  }
+  auto flagged = r.i64();
+  if (!flagged) return flagged.error();
+  v.flagged_at_us = flagged.value();
+  if (!r.exhausted())
+    return Error::make("trailing", "trailing bytes after incident verdict");
+  return v;
+}
+
 std::string AnalysisReport::to_text() const {
   std::string out = "=== Incident #" + std::to_string(incident_id) + " ===\n";
   out += "Flagged by: " + detector +
@@ -153,13 +220,13 @@ void LlmAnalyzerXapp::analyze(PendingIncident incident) {
   report.response_text = response.value().text;
   report.candidate_attacks = response.value().attacks;
   m().incidents_analyzed->inc();
+  std::int64_t newest_us = 0;
+  for (const auto& entry : anomaly.window.entries())
+    newest_us = std::max(newest_us, entry.record.timestamp_us);
   // Analysis latency span: from the newest evidence record to now. Only
   // meaningful when the platform clock drives the tracer (pipeline runs).
   obs::Tracer& tracer = obs().tracer;
   if (tracer.has_clock()) {
-    std::int64_t newest_us = 0;
-    for (const auto& entry : anomaly.window.entries())
-      newest_us = std::max(newest_us, entry.record.timestamp_us);
     tracer.record("llm.analyze", report.incident_id, /*parent_id=*/0,
                   SimTime{newest_us}, tracer.now());
   }
@@ -186,6 +253,31 @@ void LlmAnalyzerXapp::analyze(PendingIncident incident) {
   std::string text = report.to_text();
   out.payload = Bytes(text.begin(), text.end());
   router().publish(out);
+
+  // Machine-readable verdict for the mitigation loop — published for EVERY
+  // analyzed incident, agree or not: a benign verdict is the evidence that
+  // rolls an over-eager action back.
+  IncidentVerdict verdict;
+  verdict.incident_id = report.incident_id;
+  verdict.node_id = anomaly.node_id;
+  verdict.source_ue = anomaly.source_ue;
+  verdict.detector = report.detector;
+  verdict.score = report.anomaly_score;
+  verdict.threshold = anomaly.threshold;
+  verdict.llm_agrees = report.llm_agrees;
+  verdict.candidate_attacks = report.candidate_attacks;
+  verdict.flagged_at_us = newest_us;
+  std::map<std::uint64_t, std::set<std::uint64_t>> tmsi_owners;
+  for (const auto& entry : anomaly.window.entries())
+    if (entry.record.s_tmsi != 0)
+      tmsi_owners[entry.record.s_tmsi].insert(entry.record.ue_id);
+  for (const auto& [tmsi, ues] : tmsi_owners)
+    if (ues.size() >= 2) verdict.suspect_tmsis.push_back(tmsi);
+  oran::RoutedMessage verdict_msg;
+  verdict_msg.mtype = oran::kMtIncidentVerdict;
+  verdict_msg.source = name();
+  verdict_msg.payload = verdict.serialize();
+  router().publish(verdict_msg);
 
   reports_.push_back(std::move(report));
 }

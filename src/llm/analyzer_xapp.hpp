@@ -21,6 +21,31 @@
 
 namespace xsec::llm {
 
+/// Machine-readable classification of one incident, published on the
+/// message router (kMtIncidentVerdict) for downstream consumers — the
+/// mitigation xApp keys its policy engine off these. A human-readable
+/// AnalysisReport covering the same incident goes to the SDL in parallel.
+struct IncidentVerdict {
+  std::uint64_t incident_id = 0;
+  std::uint64_t node_id = 0;
+  std::uint64_t source_ue = 0;
+  std::string detector;
+  double score = 0.0;
+  double threshold = 0.0;
+  /// LLM cross-comparison result: false means the LLM judged the flagged
+  /// window benign (false-positive evidence, drives rollback).
+  bool llm_agrees = false;
+  std::vector<std::string> candidate_attacks;
+  /// S-TMSIs presented from >= 2 distinct UE contexts inside the flagged
+  /// window — replay suspects eligible for quarantine.
+  std::vector<std::uint64_t> suspect_tmsis;
+  /// Newest telemetry timestamp in the flagged window (sim time).
+  std::int64_t flagged_at_us = 0;
+
+  Bytes serialize() const;
+  static Result<IncidentVerdict> deserialize(const Bytes& wire);
+};
+
 /// Final structured output of the analyzer for one incident.
 struct AnalysisReport {
   std::uint64_t incident_id = 0;

@@ -1,0 +1,91 @@
+#include "mitigate/policy.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace xsec::mitigate {
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kReleaseRrc: return "release-rrc";
+    case ActionKind::kRateLimit: return "rate-limit";
+    case ActionKind::kQuarantineUe: return "quarantine-ue";
+    case ActionKind::kIsolateNode: return "isolate-node";
+  }
+  return "unknown";
+}
+
+MitigationPolicy MitigationPolicy::default_policy() {
+  MitigationPolicy policy;
+  // Fast path: any detector flag earns a mild rate limit while the LLM
+  // classifies. Short TTL — if no verdict confirms, it self-reverts.
+  PolicyRule contain;
+  contain.stage = RuleStage::kDetector;
+  contain.action = ActionKind::kRateLimit;
+  contain.ttl_ms = 1500;
+  contain.rate_limit = 6;
+  contain.rate_window_ms = 100;
+  policy.rules.push_back(contain);
+  // Classified: replay-style attacks quarantine the suspect identifiers.
+  PolicyRule replay;
+  replay.stage = RuleStage::kClassified;
+  replay.match_class = "replay";
+  replay.action = ActionKind::kQuarantineUe;
+  replay.ttl_ms = 3000;
+  policy.rules.push_back(replay);
+  // Classified: DoS / storm / depletion tightens the admission rate.
+  PolicyRule dos;
+  dos.stage = RuleStage::kClassified;
+  dos.match_class = "dos";
+  dos.action = ActionKind::kRateLimit;
+  dos.ttl_ms = 2500;
+  dos.rate_limit = 4;
+  dos.rate_window_ms = 100;
+  policy.rules.push_back(dos);
+  PolicyRule storm = dos;
+  storm.match_class = "storm";
+  policy.rules.push_back(storm);
+  // Classified catch-all: anything else confirmed gets a stale release.
+  PolicyRule fallback;
+  fallback.stage = RuleStage::kClassified;
+  fallback.action = ActionKind::kReleaseRrc;
+  fallback.ttl_ms = 1000;
+  policy.rules.push_back(fallback);
+  return policy;
+}
+
+const PolicyRule* MitigationPolicy::match(
+    RuleStage stage, const std::vector<std::string>& classes,
+    double score_ratio, double trust) const {
+  for (const PolicyRule& rule : rules) {
+    if (rule.stage != stage) continue;
+    if (score_ratio < rule.min_score_ratio) continue;
+    if (trust > rule.max_trust) continue;
+    if (!rule.match_class.empty()) {
+      bool hit = std::any_of(classes.begin(), classes.end(),
+                             [&rule](const std::string& cls) {
+                               return contains(to_lower(cls),
+                                               rule.match_class);
+                             });
+      if (!hit) continue;
+    }
+    return &rule;
+  }
+  return nullptr;
+}
+
+void MitigationPolicy::apply_a1(const oran::A1Policy& policy) {
+  double budget = policy.get_double("max_actions_per_source",
+                                    static_cast<double>(max_actions_per_source));
+  if (budget >= 1.0) max_actions_per_source = static_cast<std::size_t>(budget);
+  double ttl_scale = policy.get_double("ttl_scale", 1.0);
+  if (ttl_scale > 0.0 && ttl_scale != 1.0) {
+    for (PolicyRule& rule : rules) {
+      double scaled = static_cast<double>(rule.ttl_ms) * ttl_scale;
+      rule.ttl_ms = scaled < 1.0 ? 1 : static_cast<std::uint32_t>(scaled);
+    }
+  }
+}
+
+}  // namespace xsec::mitigate

@@ -1,0 +1,79 @@
+// Declarative mitigation policy.
+//
+// The closed loop's decision table: rules match an incident's observables
+// (stage, attack class, score/threshold ratio, source trust) and select a
+// graded action with a TTL. Rules are evaluated in order — first match
+// wins — so operators express priority by ordering, and the whole table
+// can be replaced over A1 without recompiling the xApp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oran/a1.hpp"
+
+namespace xsec::mitigate {
+
+/// Graded mitigation actions, ordered by severity. Escalation walks this
+/// ladder upward on re-trigger; rollback reverts whichever rung is active.
+enum class ActionKind : std::uint8_t {
+  kReleaseRrc = 0,    // release contexts stalled pre-security
+  kRateLimit = 1,     // cap RRC setup admissions per sliding window
+  kQuarantineUe = 2,  // block the suspect S-TMSI(s) at the DU
+  kIsolateNode = 3,   // freeze ALL new admissions at the gNB
+};
+const char* to_string(ActionKind kind);
+
+/// Which loop stage a rule listens on.
+enum class RuleStage : std::uint8_t {
+  /// Raw MobiWatch anomaly reports (fast-path containment, fires before
+  /// the LLM has classified the incident).
+  kDetector = 0,
+  /// LLM-classified incident verdicts (attack class available).
+  kClassified = 1,
+};
+
+struct PolicyRule {
+  RuleStage stage = RuleStage::kClassified;
+  /// Case-insensitive substring matched against the verdict's candidate
+  /// attack classes. Empty matches any class — including none (the
+  /// detector stage has no classification yet). A non-empty matcher never
+  /// fires on an unclassified incident.
+  std::string match_class;
+  /// Minimum anomaly score / detector threshold ratio.
+  double min_score_ratio = 1.0;
+  /// The rule fires only while the source's trust is at or below this
+  /// (1.0 = always; lower bounds reserve an action for repeat offenders).
+  double max_trust = 1.0;
+  ActionKind action = ActionKind::kRateLimit;
+  /// Action lifetime; expiry triggers an automatic TTL rollback.
+  std::uint32_t ttl_ms = 2000;
+  // --- action parameters ---
+  std::uint32_t rate_limit = 6;       // kRateLimit: admissions per window
+  std::uint32_t rate_window_ms = 100; // kRateLimit: sliding window
+  std::uint32_t stale_age_ms = 50;    // kReleaseRrc: min context age
+};
+
+struct MitigationPolicy {
+  /// Ordered rule table; the first matching rule selects the action.
+  std::vector<PolicyRule> rules;
+  /// Actions (including escalations) chargeable to one source before the
+  /// loop stops acting on it — the anti-mitigation-storm budget.
+  std::size_t max_actions_per_source = 6;
+
+  /// The shipped table: fast-path rate-limit on any detector flag, then
+  /// class-specific actions once the LLM has spoken.
+  static MitigationPolicy default_policy();
+
+  /// First rule matching (stage, classes, score_ratio, trust), or nullptr.
+  const PolicyRule* match(RuleStage stage,
+                          const std::vector<std::string>& classes,
+                          double score_ratio, double trust) const;
+
+  /// A1 (kPolicyMitigation) overrides: budgets and per-rule knobs that
+  /// make sense as scalar tweaks ("max_actions_per_source", "ttl_scale").
+  void apply_a1(const oran::A1Policy& policy);
+};
+
+}  // namespace xsec::mitigate

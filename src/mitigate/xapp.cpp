@@ -1,0 +1,326 @@
+#include "mitigate/xapp.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "oran/e2sm.hpp"
+#include "oran/ric.hpp"
+
+namespace xsec::mitigate {
+
+MitigationXapp::MitigationXapp(MitigationConfig config)
+    : oran::XApp("mitigation"), config_(std::move(config)) {}
+
+MitigationXapp::Metrics& MitigationXapp::m() const {
+  if (!metrics_.bound) {
+    obs::MetricsRegistry& r = obs().metrics;
+    metrics_.actions_issued = &r.counter("mitigate.actions_issued");
+    metrics_.actions_failed = &r.counter("mitigate.actions_failed");
+    metrics_.rollbacks = &r.counter("mitigate.rollbacks");
+    metrics_.rollbacks_ttl = &r.counter("mitigate.rollbacks_ttl");
+    metrics_.rollbacks_evidence = &r.counter("mitigate.rollbacks_evidence");
+    metrics_.escalations = &r.counter("mitigate.escalations");
+    metrics_.budget_exhausted = &r.counter("mitigate.budget_exhausted");
+    metrics_.a1_tunings = &r.counter("mitigate.a1_tunings");
+    metrics_.verdicts_consumed = &r.counter("mitigate.verdicts_consumed");
+    metrics_.time_to_mitigate_us = &r.histogram("mitigate.time_to_mitigate_us");
+    metrics_.time_to_recover_us = &r.histogram("mitigate.time_to_recover_us");
+    metrics_.bound = true;
+  }
+  return metrics_;
+}
+
+void MitigationXapp::on_start() {
+  router().subscribe(oran::kMtIncidentVerdict,
+                     [this](const oran::RoutedMessage& message) {
+                       handle_verdict(message);
+                     });
+  router().subscribe(oran::kMtAnomalyWindow,
+                     [this](const oran::RoutedMessage& message) {
+                       handle_anomaly(message);
+                     });
+}
+
+std::int64_t MitigationXapp::now_us() const {
+  obs::Tracer& tracer = obs().tracer;
+  return tracer.has_clock() ? tracer.now().us : 0;
+}
+
+double MitigationXapp::source_trust(std::uint64_t node_id,
+                                    std::uint64_t source_ue) const {
+  auto it = sources_.find(SourceKey{node_id, source_ue});
+  return it == sources_.end() ? 1.0 : it->second.trust;
+}
+
+void MitigationXapp::record(const std::string& text) {
+  sdl().set_str(config_.sdl_namespace, oran::Sdl::seq_key(next_record_++),
+                text);
+}
+
+void MitigationXapp::handle_anomaly(const oran::RoutedMessage& message) {
+  if (!config_.fast_path) return;
+  auto anomaly = detect::AnomalyReport::deserialize(message.payload);
+  if (!anomaly) return;
+  const detect::AnomalyReport& report = anomaly.value();
+  if (report.node_id == 0) return;
+  SourceKey key{report.node_id, report.source_ue};
+  // One active action per source; escalation (verdict-driven) replaces it.
+  if (active_.count(key)) return;
+  double ratio =
+      report.threshold > 0.0 ? report.score / report.threshold : 1.0;
+  double trust = source_trust(report.node_id, report.source_ue);
+  const PolicyRule* rule =
+      config_.policy.match(RuleStage::kDetector, {}, ratio, trust);
+  if (!rule) return;
+  std::int64_t flagged_at_us = 0;
+  for (const auto& entry : report.window.entries())
+    flagged_at_us = std::max(flagged_at_us, entry.record.timestamp_us);
+  issue(key, *rule, {}, flagged_at_us, /*escalation=*/false);
+}
+
+void MitigationXapp::handle_verdict(const oran::RoutedMessage& message) {
+  auto decoded = llm::IncidentVerdict::deserialize(message.payload);
+  if (!decoded) {
+    XSEC_LOG_WARN("mitigation", "undecodable incident verdict: ",
+                  decoded.error().message);
+    return;
+  }
+  const llm::IncidentVerdict& verdict = decoded.value();
+  m().verdicts_consumed->inc();
+  if (verdict.node_id == 0) return;
+  SourceKey key{verdict.node_id, verdict.source_ue};
+
+  if (!verdict.llm_agrees) {
+    // False-positive evidence: whatever is active against this source was
+    // unjustified. Revert it and restore trust.
+    if (active_.count(key)) {
+      SourceState& source = sources_[key];
+      source.trust = std::min(1.0, source.trust + config_.trust_restore);
+      rollback(key, "evidence", m().rollbacks_evidence);
+      tune_detection();
+    }
+    return;
+  }
+
+  SourceState& source = sources_[key];
+  source.trust *= config_.trust_decay;
+  if (active_.count(key)) {
+    escalate(key, verdict);
+    return;
+  }
+  double ratio =
+      verdict.threshold > 0.0 ? verdict.score / verdict.threshold : 1.0;
+  const PolicyRule* rule = config_.policy.match(
+      RuleStage::kClassified, verdict.candidate_attacks, ratio, source.trust);
+  if (!rule) return;
+  issue(key, *rule, verdict.suspect_tmsis, verdict.flagged_at_us,
+        /*escalation=*/false);
+}
+
+void MitigationXapp::issue(const SourceKey& key, const PolicyRule& rule,
+                           std::vector<std::uint64_t> tmsis,
+                           std::int64_t flagged_at_us, bool escalation) {
+  SourceState& source = sources_[key];
+  if (source.actions_charged >= config_.policy.max_actions_per_source) {
+    m().budget_exhausted->inc();
+    record("source node=" + std::to_string(key.first) + " ue=" +
+           std::to_string(key.second) + " action budget exhausted");
+    return;
+  }
+  ++source.actions_charged;
+
+  auto prior = active_.find(key);
+  std::uint64_t epoch = prior == active_.end() ? 1 : prior->second.ttl_epoch + 1;
+  ActiveAction action;
+  action.action_id = next_action_id_++;
+  action.kind = rule.action;
+  action.ttl_ms = rule.ttl_ms;
+  action.issued_at_us = now_us();
+  action.tmsis = std::move(tmsis);
+  action.ttl_epoch = epoch;
+  action.rate_limit = rule.rate_limit;
+  action.rate_window_ms = rule.rate_window_ms;
+  action.stale_age_ms = rule.stale_age_ms;
+  ActiveAction& live = active_[key] = std::move(action);
+
+  send_action_controls(key, live);
+  m().actions_issued->inc();
+  if (escalation) m().escalations->inc();
+  std::int64_t now = live.issued_at_us;
+  if (flagged_at_us > 0 && now >= flagged_at_us)
+    m().time_to_mitigate_us->observe(
+        static_cast<std::uint64_t>(now - flagged_at_us));
+  record("action #" + std::to_string(live.action_id) +
+         (escalation ? " escalate " : " issue ") + to_string(live.kind) +
+         " node=" + std::to_string(key.first) +
+         " ue=" + std::to_string(key.second) +
+         " ttl=" + std::to_string(live.ttl_ms) +
+         "ms trust=" + format_fixed(source.trust, 4));
+  XSEC_LOG_INFO("mitigation", escalation ? "escalated to " : "issued ",
+                to_string(live.kind), " against node ", key.first, " (ttl ",
+                live.ttl_ms, " ms)");
+  ric().schedule_after(
+      SimDuration::from_ms(static_cast<double>(live.ttl_ms)),
+      [this, key, epoch] { ttl_expired(key, epoch); });
+}
+
+void MitigationXapp::escalate(const SourceKey& key,
+                              const llm::IncidentVerdict& verdict) {
+  ActiveAction& action = active_[key];
+  SourceState& source = sources_[key];
+  std::vector<std::uint64_t> tmsis = verdict.suspect_tmsis;
+  if (tmsis.empty()) tmsis = action.tmsis;
+
+  auto grade = static_cast<std::uint8_t>(action.kind);
+  std::uint8_t next = grade >= 3 ? 3 : static_cast<std::uint8_t>(grade + 1);
+  if (next == static_cast<std::uint8_t>(ActionKind::kQuarantineUe) &&
+      tmsis.empty())
+    next = static_cast<std::uint8_t>(ActionKind::kIsolateNode);
+
+  bool out_of_budget =
+      source.actions_charged >= config_.policy.max_actions_per_source;
+  if (next == grade || out_of_budget) {
+    // Already at the top of the ladder (or budget spent): keep the current
+    // action but refresh its TTL — the threat is still live.
+    if (out_of_budget && next != grade) m().budget_exhausted->inc();
+    std::uint64_t epoch = ++action.ttl_epoch;
+    record("action #" + std::to_string(action.action_id) + " ttl-refresh " +
+           to_string(action.kind) + " node=" + std::to_string(key.first) +
+           " ue=" + std::to_string(key.second));
+    ric().schedule_after(
+        SimDuration::from_ms(static_cast<double>(action.ttl_ms)),
+        [this, key, epoch] { ttl_expired(key, epoch); });
+    return;
+  }
+
+  // Revert the current rung, then apply the next. The revert is part of
+  // the escalation, not a recovery — no rollback counters.
+  send_rollback_controls(key, action);
+  PolicyRule rule;
+  rule.action = static_cast<ActionKind>(next);
+  rule.ttl_ms = action.ttl_ms;
+  issue(key, rule, std::move(tmsis), verdict.flagged_at_us,
+        /*escalation=*/true);
+}
+
+void MitigationXapp::rollback(const SourceKey& key, const char* reason,
+                              obs::Counter* reason_counter) {
+  auto it = active_.find(key);
+  if (it == active_.end()) return;
+  ActiveAction action = std::move(it->second);
+  active_.erase(it);
+  send_rollback_controls(key, action);
+  m().rollbacks->inc();
+  reason_counter->inc();
+  std::int64_t now = now_us();
+  if (now >= action.issued_at_us)
+    m().time_to_recover_us->observe(
+        static_cast<std::uint64_t>(now - action.issued_at_us));
+  record("action #" + std::to_string(action.action_id) + " rollback " +
+         to_string(action.kind) + " reason=" + reason +
+         " node=" + std::to_string(key.first) +
+         " ue=" + std::to_string(key.second));
+  XSEC_LOG_INFO("mitigation", "rolled back ", to_string(action.kind),
+                " on node ", key.first, " (", reason, ")");
+}
+
+void MitigationXapp::ttl_expired(SourceKey key, std::uint64_t epoch) {
+  auto it = active_.find(key);
+  if (it == active_.end() || it->second.ttl_epoch != epoch) return;
+  rollback(key, "ttl", m().rollbacks_ttl);
+}
+
+void MitigationXapp::send_command(std::uint64_t node_id,
+                                  const mobiflow::ControlCommand& cmd) {
+  ric().send_control(this, node_id, oran::e2sm::kMobiFlowFunctionId, {},
+                     mobiflow::encode_control(cmd));
+}
+
+void MitigationXapp::send_action_controls(const SourceKey& key,
+                                          const ActiveAction& action) {
+  mobiflow::ControlCommand cmd;
+  switch (action.kind) {
+    case ActionKind::kReleaseRrc:
+      cmd.action = mobiflow::ControlCommand::Action::kReleaseStale;
+      cmd.stale_age_ms = action.stale_age_ms;
+      send_command(key.first, cmd);
+      break;
+    case ActionKind::kRateLimit:
+      cmd.action = mobiflow::ControlCommand::Action::kRateLimit;
+      cmd.rate_limit = action.rate_limit;
+      cmd.rate_window_ms = action.rate_window_ms;
+      send_command(key.first, cmd);
+      break;
+    case ActionKind::kQuarantineUe:
+      for (std::uint64_t tmsi : action.tmsis) {
+        cmd.action = mobiflow::ControlCommand::Action::kBlockTmsi;
+        cmd.s_tmsi = tmsi;
+        send_command(key.first, cmd);
+      }
+      break;
+    case ActionKind::kIsolateNode:
+      cmd.action = mobiflow::ControlCommand::Action::kIsolate;
+      send_command(key.first, cmd);
+      break;
+  }
+}
+
+void MitigationXapp::send_rollback_controls(const SourceKey& key,
+                                            const ActiveAction& action) {
+  mobiflow::ControlCommand cmd;
+  switch (action.kind) {
+    case ActionKind::kReleaseRrc:
+      // A release is not revertible; the rollback is bookkeeping only.
+      break;
+    case ActionKind::kRateLimit:
+      cmd.action = mobiflow::ControlCommand::Action::kClearRateLimit;
+      send_command(key.first, cmd);
+      break;
+    case ActionKind::kQuarantineUe:
+      for (std::uint64_t tmsi : action.tmsis) {
+        cmd.action = mobiflow::ControlCommand::Action::kUnblockTmsi;
+        cmd.s_tmsi = tmsi;
+        send_command(key.first, cmd);
+      }
+      break;
+    case ActionKind::kIsolateNode:
+      cmd.action = mobiflow::ControlCommand::Action::kDeisolate;
+      send_command(key.first, cmd);
+      break;
+  }
+}
+
+void MitigationXapp::on_control_ack(std::uint64_t node_id,
+                                    const oran::RicControlAck& ack) {
+  (void)node_id;
+  if (!ack.success) m().actions_failed->inc();
+}
+
+oran::PolicyStatus MitigationXapp::on_policy(const oran::A1Policy& policy) {
+  if (policy.policy_type != oran::kPolicyMitigation)
+    return oran::PolicyStatus::kUnsupported;
+  config_.policy.apply_a1(policy);
+  config_.fast_path = policy.get_bool("fast_path", config_.fast_path);
+  config_.tune_detection_on_fp =
+      policy.get_bool("tune_detection_on_fp", config_.tune_detection_on_fp);
+  return oran::PolicyStatus::kEnforced;
+}
+
+void MitigationXapp::tune_detection() {
+  if (!config_.tune_detection_on_fp) return;
+  double next = fp_threshold_scale_ * config_.fp_tuning_step;
+  if (next > config_.fp_tuning_cap) next = config_.fp_tuning_cap;
+  if (next == fp_threshold_scale_) return;  // capped out, nothing to send
+  fp_threshold_scale_ = next;
+  oran::A1Policy policy;
+  policy.policy_type = oran::kPolicyDetectionTuning;
+  policy.policy_id = "mitigate-fp-tuning";
+  policy.content["threshold_scale"] = format_fixed(fp_threshold_scale_, 4);
+  ric().apply_policy(config_.detection_xapp, policy);
+  m().a1_tunings->inc();
+  record("a1-tuning threshold_scale=" + format_fixed(fp_threshold_scale_, 4));
+}
+
+}  // namespace xsec::mitigate

@@ -1,0 +1,157 @@
+// Mitigation xApp: the control half of the closed loop.
+//
+// Consumes MobiWatch anomaly windows (fast path) and LLM incident verdicts
+// (classified path) off the message router, matches them against a
+// declarative policy table, and issues graded E2 Control actions against
+// the offending node — rate limit, UE quarantine, stale-context release,
+// full isolation. Every action carries a TTL and a rollback condition:
+//   - TTL expiry reverts the action automatically (no verdict sustained it),
+//   - a benign LLM verdict (llm_agrees == false) is false-positive evidence
+//     and reverts immediately, restoring the source's trust,
+//   - a confirming verdict while an action is live ESCALATES to the next
+//     rung of the ladder instead of stacking duplicates.
+// Per-source action budgets stop runaway mitigation storms, and per-source
+// trust (decayed on confirmation, restored on FP rollback) gates the
+// harsher rules. Every lifecycle event lands in the SDL ("mitigate"
+// namespace) and the mitigate.* metrics, both byte-stable exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/mobiwatch.hpp"
+#include "llm/analyzer_xapp.hpp"
+#include "mitigate/policy.hpp"
+#include "mobiflow/agent.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::mitigate {
+
+struct MitigationConfig {
+  /// Pipeline gate: the xApp is only registered when set. Off by default
+  /// so detection-only deployments keep their exact behavior.
+  bool enabled = false;
+  MitigationPolicy policy = MitigationPolicy::default_policy();
+  std::string sdl_namespace = "mitigate";
+  /// Act on raw detector flags before classification (stage kDetector).
+  bool fast_path = true;
+  /// Source trust multiplier per LLM-confirmed incident.
+  double trust_decay = 0.5;
+  /// Source trust restored (additive, capped at 1.0) per FP rollback.
+  double trust_restore = 0.25;
+  /// After an FP rollback, nudge MobiWatch's detection threshold up over
+  /// A1 (kPolicyDetectionTuning) so the same benign pattern stops firing.
+  bool tune_detection_on_fp = true;
+  /// Multiplicative threshold_scale step per FP rollback, capped.
+  double fp_tuning_step = 1.05;
+  double fp_tuning_cap = 1.5;
+  /// xApp receiving the detection-tuning policy.
+  std::string detection_xapp = "mobiwatch";
+};
+
+class MitigationXapp : public oran::XApp {
+ public:
+  explicit MitigationXapp(MitigationConfig config);
+
+  void on_start() override;
+  void on_control_ack(std::uint64_t node_id,
+                      const oran::RicControlAck& ack) override;
+  /// A1 kPolicyMitigation: budget / TTL-scale / fast-path overrides.
+  oran::PolicyStatus on_policy(const oran::A1Policy& policy) override;
+
+  // --- stats (registry snapshot views) ---
+  std::size_t actions_issued() const { return m().actions_issued->value(); }
+  std::size_t actions_failed() const { return m().actions_failed->value(); }
+  std::size_t rollbacks() const { return m().rollbacks->value(); }
+  std::size_t rollbacks_ttl() const { return m().rollbacks_ttl->value(); }
+  std::size_t rollbacks_evidence() const {
+    return m().rollbacks_evidence->value();
+  }
+  std::size_t escalations() const { return m().escalations->value(); }
+  std::size_t budget_exhausted() const {
+    return m().budget_exhausted->value();
+  }
+  std::size_t a1_tunings() const { return m().a1_tunings->value(); }
+  std::size_t verdicts_consumed() const {
+    return m().verdicts_consumed->value();
+  }
+  std::size_t active_actions() const { return active_.size(); }
+  /// Current trust for a source (1.0 when never seen).
+  double source_trust(std::uint64_t node_id, std::uint64_t source_ue) const;
+
+ private:
+  /// Sources are keyed by (node, UE): one active action per source, with
+  /// escalation replacing it in place.
+  using SourceKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  struct ActiveAction {
+    std::uint64_t action_id = 0;
+    ActionKind kind = ActionKind::kRateLimit;
+    std::uint32_t ttl_ms = 0;
+    std::int64_t issued_at_us = 0;
+    /// Suspect identifiers quarantined (unblocked on rollback).
+    std::vector<std::uint64_t> tmsis;
+    /// Bumped on every (re)issue so a TTL timer armed for a superseded
+    /// incarnation of the action is a no-op when it fires.
+    std::uint64_t ttl_epoch = 0;
+    std::uint32_t rate_limit = 0;
+    std::uint32_t rate_window_ms = 0;
+    std::uint32_t stale_age_ms = 0;
+  };
+
+  struct SourceState {
+    double trust = 1.0;
+    std::size_t actions_charged = 0;
+  };
+
+  /// Registry handles, bound lazily on first use ("mitigate.*").
+  struct Metrics {
+    obs::Counter* actions_issued = nullptr;
+    obs::Counter* actions_failed = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* rollbacks_ttl = nullptr;
+    obs::Counter* rollbacks_evidence = nullptr;
+    obs::Counter* escalations = nullptr;
+    obs::Counter* budget_exhausted = nullptr;
+    obs::Counter* a1_tunings = nullptr;
+    obs::Counter* verdicts_consumed = nullptr;
+    obs::Histogram* time_to_mitigate_us = nullptr;
+    obs::Histogram* time_to_recover_us = nullptr;
+    bool bound = false;
+  };
+
+  Metrics& m() const;
+  void handle_anomaly(const oran::RoutedMessage& message);
+  void handle_verdict(const oran::RoutedMessage& message);
+  /// Applies `rule` to the source, charging the budget. `flagged_at_us`
+  /// feeds the time-to-mitigate histogram. No-op when the budget is gone.
+  void issue(const SourceKey& key, const PolicyRule& rule,
+             std::vector<std::uint64_t> tmsis, std::int64_t flagged_at_us,
+             bool escalation);
+  /// Replaces the active action with the next rung of the ladder.
+  void escalate(const SourceKey& key, const llm::IncidentVerdict& verdict);
+  void rollback(const SourceKey& key, const char* reason,
+                obs::Counter* reason_counter);
+  void ttl_expired(SourceKey key, std::uint64_t epoch);
+  /// Sends the E2 controls realizing / reverting an action.
+  void send_action_controls(const SourceKey& key, const ActiveAction& action);
+  void send_rollback_controls(const SourceKey& key,
+                              const ActiveAction& action);
+  void send_command(std::uint64_t node_id,
+                    const mobiflow::ControlCommand& cmd);
+  void record(const std::string& text);
+  std::int64_t now_us() const;
+  void tune_detection();
+
+  MitigationConfig config_;
+  std::map<SourceKey, ActiveAction> active_;
+  std::map<SourceKey, SourceState> sources_;
+  std::uint64_t next_action_id_ = 1;
+  std::uint64_t next_record_ = 1;
+  double fp_threshold_scale_ = 1.0;
+  mutable Metrics metrics_;
+};
+
+}  // namespace xsec::mitigate

@@ -1,9 +1,11 @@
 #include "mobiflow/agent.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "common/log.hpp"
+#include "mobiflow/trace.hpp"
 #include "ran/codec.hpp"
 #include "ran/ue.hpp"  // deconceal_suci for null-scheme plaintext recovery
 
@@ -15,6 +17,8 @@ Bytes encode_control(const ControlCommand& cmd) {
   w.u16(cmd.rnti);
   w.u64(cmd.s_tmsi);
   w.u32(cmd.stale_age_ms);
+  w.u32(cmd.rate_limit);
+  w.u32(cmd.rate_window_ms);
   return w.take();
 }
 
@@ -22,7 +26,7 @@ Result<ControlCommand> decode_control(const Bytes& wire) {
   ByteReader r(wire);
   auto action = r.u8();
   if (!action) return action.error();
-  if (action.value() > 2)
+  if (action.value() > ControlCommand::kMaxAction)
     return Error::make("malformed", "control action out of range");
   auto rnti = r.u16();
   if (!rnti) return rnti.error();
@@ -30,11 +34,20 @@ Result<ControlCommand> decode_control(const Bytes& wire) {
   if (!tmsi) return tmsi.error();
   auto stale = r.u32();
   if (!stale) return stale.error();
+  auto rate = r.u32();
+  if (!rate) return rate.error();
+  auto window = r.u32();
+  if (!window) return window.error();
   ControlCommand cmd;
   cmd.action = static_cast<ControlCommand::Action>(action.value());
   cmd.rnti = rnti.value();
   cmd.s_tmsi = tmsi.value();
   cmd.stale_age_ms = stale.value();
+  cmd.rate_limit = rate.value();
+  cmd.rate_window_ms = window.value();
+  if (cmd.action == ControlCommand::Action::kRateLimit &&
+      (cmd.rate_limit == 0 || cmd.rate_window_ms == 0))
+    return Error::make("malformed", "rate-limit control without a rate");
   return cmd;
 }
 
@@ -56,6 +69,10 @@ RicAgent::RicAgent(std::uint64_t node_id, AgentHooks hooks)
   reconnect_attempts_ = &r.counter(scope + "reconnect_attempts");
   indications_retransmitted_ = &r.counter(scope + "indications_retransmitted");
   records_dropped_outage_ = &r.counter(scope + "records_dropped_outage");
+  records_spilled_ = &r.counter(scope + "records_spilled");
+  records_replayed_ = &r.counter(scope + "records_replayed");
+  spill_files_ = &r.counter(scope + "spill_files");
+  controls_deduplicated_ = &r.counter(scope + "controls_deduplicated");
 }
 
 void RicAgent::attach(ran::InterfaceTaps& taps) {
@@ -108,6 +125,9 @@ void RicAgent::on_e2ap(const Bytes& wire) {
       ever_subscribed_ = true;
       response.admitted_action_ids.push_back(action.action_id);
       hooks_.to_ric(node_id_, encode_e2ap(response));
+      // A long outage may have spilled backlog to disk: reload it in front
+      // of the RAM buffer so the flush timer reports everything in order.
+      replay_spill();
       arm_flush_timer();
       break;
     }
@@ -127,6 +147,7 @@ void RicAgent::on_e2ap(const Bytes& wire) {
         ever_subscribed_ = false;
         buffer_.clear();
         retx_ring_.clear();
+        discard_spill();
       }
       break;
     }
@@ -139,12 +160,34 @@ void RicAgent::on_e2ap(const Bytes& wire) {
     case oran::E2apType::kControlRequest: {
       auto request = oran::decode_control_request(wire);
       if (!request) return;
-      bool ok = false;
-      auto cmd = decode_control(request.value().message);
-      if (cmd && hooks_.apply_control) ok = hooks_.apply_control(cmd.value());
       oran::RicControlAck ack;
       ack.request_id = request.value().request_id;
       ack.ran_function_id = request.value().ran_function_id;
+      // At-most-once execution: a Control retransmitted by the RIC (lost
+      // or duplicated ack) is re-acked with the original result instead of
+      // re-applying a non-idempotent action. Instance id 0 is the legacy
+      // uncorrelated path and is never deduplicated.
+      const oran::RicRequestId& rid = request.value().request_id;
+      std::uint64_t control_key =
+          (static_cast<std::uint64_t>(rid.requestor_id) << 32) |
+          rid.instance_id;
+      if (rid.instance_id != 0) {
+        for (const auto& [key, result] : recent_controls_) {
+          if (key != control_key) continue;
+          controls_deduplicated_->inc();
+          ack.success = result;
+          hooks_.to_ric(node_id_, encode_e2ap(ack));
+          return;
+        }
+      }
+      bool ok = false;
+      auto cmd = decode_control(request.value().message);
+      if (cmd && hooks_.apply_control) ok = hooks_.apply_control(cmd.value());
+      if (rid.instance_id != 0) {
+        recent_controls_.emplace_back(control_key, ok);
+        if (recent_controls_.size() > kControlDedupWindow)
+          recent_controls_.pop_front();
+      }
       ack.success = ok;
       hooks_.to_ric(node_id_, encode_e2ap(ack));
       break;
@@ -299,12 +342,18 @@ void RicAgent::emit(Record record) {
   if (buffer_.empty()) buffer_start_ = hooks_.now();
   buffer_.push_back(std::move(record));
   if (subscriptions_.empty()) {
-    // Outage backlog: keep the most recent telemetry for delivery after
-    // the subscription is re-established, bounded so a long outage cannot
-    // grow memory without limit.
-    if (buffer_.size() > kOutageBufferMax) {
-      buffer_.erase(buffer_.begin());
-      records_dropped_outage_->inc();
+    // Outage backlog: keep telemetry for delivery after the subscription
+    // is re-established, bounded so a long outage cannot grow memory
+    // without limit. With a spill directory configured the full backlog
+    // goes to disk (.mft) and is replayed on reconnect; without one the
+    // oldest record is dropped (recent telemetry matters most).
+    if (buffer_.size() > hooks_.outage_buffer_max) {
+      if (!hooks_.spill_dir.empty()) {
+        spill_buffer();
+      } else {
+        buffer_.erase(buffer_.begin());
+        records_dropped_outage_->inc();
+      }
     }
     return;
   }
@@ -372,6 +421,60 @@ void RicAgent::flush() {
     first_chunk = false;
   }
   buffer_.clear();
+}
+
+std::string RicAgent::spill_path(std::uint64_t seq) const {
+  return hooks_.spill_dir + "/node" + std::to_string(node_id_) + ".spill." +
+         std::to_string(seq) + ".mft";
+}
+
+void RicAgent::spill_buffer() {
+  Trace trace;
+  for (Record& record : buffer_) trace.add(std::move(record));
+  std::string path = spill_path(next_spill_seq_);
+  Status saved = trace.save(path);
+  if (!saved) {
+    // Disk unavailable: degrade to the RAM-only drop-oldest policy.
+    XSEC_LOG_WARN("agent", "node ", node_id_, " spill to ", path,
+                  " failed (", saved.error().message, "); dropping oldest");
+    buffer_.erase(buffer_.begin());
+    records_dropped_outage_->inc();
+    return;
+  }
+  ++next_spill_seq_;
+  spill_paths_.push_back(std::move(path));
+  records_spilled_->inc(buffer_.size());
+  spill_files_->inc();
+  buffer_.clear();
+}
+
+void RicAgent::replay_spill() {
+  if (spill_paths_.empty()) return;
+  std::vector<Record> backlog;
+  for (const std::string& path : spill_paths_) {
+    auto trace = Trace::load(path);
+    if (!trace) {
+      XSEC_LOG_WARN("agent", "node ", node_id_, " spill file ", path,
+                    " unreadable (", trace.error().message, "); skipped");
+    } else {
+      records_replayed_->inc(trace.value().size());
+      for (const auto& entry : trace.value().entries())
+        backlog.push_back(entry.record);
+    }
+    std::remove(path.c_str());
+  }
+  spill_paths_.clear();
+  if (backlog.empty()) return;
+  // Spilled records predate everything still in RAM.
+  backlog.insert(backlog.end(), std::make_move_iterator(buffer_.begin()),
+                 std::make_move_iterator(buffer_.end()));
+  buffer_ = std::move(backlog);
+  buffer_start_ = SimTime{buffer_.front().timestamp_us};
+}
+
+void RicAgent::discard_spill() {
+  for (const std::string& path : spill_paths_) std::remove(path.c_str());
+  spill_paths_.clear();
 }
 
 void RicAgent::handle_nack(const oran::RicIndicationNack& nack) {

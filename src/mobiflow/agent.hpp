@@ -28,12 +28,21 @@
 namespace xsec::mobiflow {
 
 /// A remediation command carried in an E2SM-MOBIFLOW RIC Control message.
+/// Actions 3+ form the graded mitigation vocabulary (and the rollbacks the
+/// recovery monitor issues when an action's TTL expires or false-positive
+/// evidence arrives).
 struct ControlCommand {
   enum class Action : std::uint8_t {
     kReleaseUe = 0,       // release one context by RNTI
     kBlockTmsi = 1,       // reject setups replaying this S-TMSI
     kReleaseStale = 2,    // release contexts stalled pre-security
+    kUnblockTmsi = 3,     // rollback of kBlockTmsi
+    kRateLimit = 4,       // cap RRC setup admissions per sliding window
+    kClearRateLimit = 5,  // rollback of kRateLimit
+    kIsolate = 6,         // freeze ALL new admissions at the gNB
+    kDeisolate = 7,       // rollback of kIsolate
   };
+  static constexpr std::uint8_t kMaxAction = 7;
   Action action = Action::kReleaseUe;
   std::uint16_t rnti = 0;
   std::uint64_t s_tmsi = 0;
@@ -41,6 +50,10 @@ struct ControlCommand {
   /// before it is released. Benign attaches pass through the pre-security
   /// phase in a few ms, so a small threshold only hits stalled floods.
   std::uint32_t stale_age_ms = 50;
+  /// kRateLimit: admissions allowed per sliding window.
+  std::uint32_t rate_limit = 0;
+  /// kRateLimit: sliding window length (ms).
+  std::uint32_t rate_window_ms = 100;
 };
 
 Bytes encode_control(const ControlCommand& cmd);
@@ -59,6 +72,14 @@ struct AgentHooks {
   /// Shared observability bundle; the agent creates a private one when
   /// absent (standalone tests). Metric names are "agent.node<id>.*".
   obs::Observability* obs = nullptr;
+  /// Outage-backlog capacity (records buffered while no subscription is
+  /// live). Reaching it either spills to disk (spill_dir set) or drops the
+  /// oldest record.
+  std::size_t outage_buffer_max = 8192;
+  /// Directory for outage spill files (.mft trace format, replayed in
+  /// order on re-subscription). Empty = RAM-only drop-oldest. The
+  /// directory must exist; file names are "node<id>.spill.<n>.mft".
+  std::string spill_dir;
 };
 
 class RicAgent : public oran::E2NodeLink {
@@ -93,6 +114,16 @@ class RicAgent : public oran::E2NodeLink {
   /// Records discarded because the outage backlog overflowed.
   std::size_t records_dropped_outage() const {
     return records_dropped_outage_->value();
+  }
+  /// Records spilled to disk when the outage backlog filled.
+  std::size_t records_spilled() const { return records_spilled_->value(); }
+  /// Spilled records reloaded and reported after re-subscription.
+  std::size_t records_replayed() const { return records_replayed_->value(); }
+  /// Spill files written (each holds one full backlog's worth of records).
+  std::size_t spill_files_written() const { return spill_files_->value(); }
+  /// Duplicate RIC Control requests suppressed (re-acked, not re-applied).
+  std::size_t controls_deduplicated() const {
+    return controls_deduplicated_->value();
   }
 
   /// Direct access to collection for offline dataset building (bypasses
@@ -130,15 +161,19 @@ class RicAgent : public oran::E2NodeLink {
 
   /// Sent batches retained for retransmission (oldest evicted first).
   static constexpr std::size_t kRetxRingCapacity = 128;
-  /// Records buffered while disconnected, waiting for re-subscription
-  /// (oldest evicted first — recent telemetry matters most on recovery).
-  static constexpr std::size_t kOutageBufferMax = 8192;
   static constexpr std::int64_t kBackoffBaseMs = 100;
   static constexpr std::int64_t kBackoffCapMs = 5000;
+  /// Recently executed control request ids retained for duplicate
+  /// suppression (a retransmitted Control must not re-apply its action).
+  static constexpr std::size_t kControlDedupWindow = 64;
 
   void on_f1(SimTime t, const Bytes& wire);
   void on_ng(SimTime t, const Bytes& wire);
   void emit(Record record);
+  void spill_buffer();
+  void replay_spill();
+  void discard_spill();
+  std::string spill_path(std::uint64_t seq) const;
   void fill_identity(Record& record, UeState& state,
                      const ran::MobileIdentity& identity);
   void flush();
@@ -171,6 +206,10 @@ class RicAgent : public oran::E2NodeLink {
   obs::Counter* reconnect_attempts_ = nullptr;
   obs::Counter* indications_retransmitted_ = nullptr;
   obs::Counter* records_dropped_outage_ = nullptr;
+  obs::Counter* records_spilled_ = nullptr;
+  obs::Counter* records_replayed_ = nullptr;
+  obs::Counter* spill_files_ = nullptr;
+  obs::Counter* controls_deduplicated_ = nullptr;
 
   // --- resilience state ---
   std::deque<SentBatch> retx_ring_;
@@ -182,6 +221,12 @@ class RicAgent : public oran::E2NodeLink {
   bool reconnect_pending_ = false;
   std::int64_t backoff_ms_ = kBackoffBaseMs;
   Rng backoff_rng_;
+  /// Outage spill files on disk, oldest first (replayed on reconnect).
+  std::vector<std::string> spill_paths_;
+  std::uint64_t next_spill_seq_ = 1;
+  /// Executed control request ids ((requestor << 32) | instance) and their
+  /// results, for at-most-once execution under duplicated Control frames.
+  std::deque<std::pair<std::uint64_t, bool>> recent_controls_;
 };
 
 }  // namespace xsec::mobiflow

@@ -18,6 +18,7 @@ namespace xsec::oran {
 enum PolicyTypeId : std::uint32_t {
   kPolicyDetectionTuning = 20001,   // threshold scaling, holdoff, ...
   kPolicyResponseControl = 20002,   // auto-remediation on/off, RAG on/off
+  kPolicyMitigation = 20003,        // mitigation policy rules / budgets
 };
 
 struct A1Policy {

@@ -30,6 +30,10 @@ NearRtRic::Metrics& NearRtRic::m() const {
     metrics_.nack_batched = &r.counter("e2.nack_batched");
     metrics_.reconnects = &r.counter("ric.node_reconnects");
     metrics_.stale_cleared = &r.counter("ric.stale_subscriptions_cleared");
+    metrics_.controls_sent = &r.counter("ric.controls_sent");
+    metrics_.control_acks = &r.counter("ric.control_acks");
+    metrics_.control_retx = &r.counter("ric.control_retx");
+    metrics_.controls_lost = &r.counter("ric.controls_lost");
     metrics_.bound = true;
   }
   return metrics_;
@@ -95,6 +99,7 @@ void NearRtRic::clear_node_state(std::uint64_t node_id) {
   }
   staged_nacks_.erase(node_id);
   nodes_.erase(node_id);
+  fail_node_controls(node_id);
 }
 
 void NearRtRic::disconnect_node(std::uint64_t node_id) {
@@ -108,6 +113,7 @@ void NearRtRic::disconnect_node(std::uint64_t node_id) {
   }
   staged_nacks_.erase(node_id);
   nodes_.erase(node_id);
+  fail_node_controls(node_id);
 }
 
 const std::vector<RanFunction>* NearRtRic::node_functions(
@@ -187,17 +193,96 @@ void NearRtRic::unsubscribe(XApp* xapp, std::uint64_t node_id,
   node_it->second.link->on_e2ap(encode_e2ap(request));
 }
 
-void NearRtRic::send_control(XApp* xapp, std::uint64_t node_id,
-                             std::uint16_t ran_function_id, Bytes header,
-                             Bytes message) {
+RicRequestId NearRtRic::send_control(XApp* xapp, std::uint64_t node_id,
+                                     std::uint16_t ran_function_id,
+                                     Bytes header, Bytes message) {
+  RicRequestId id{xapp->requestor_id(), next_control_instance_++};
   auto node_it = nodes_.find(node_id);
-  if (node_it == nodes_.end()) return;
+  if (node_it == nodes_.end()) {
+    // Unknown / departed node: the request can never be delivered, but the
+    // xApp still gets its one guaranteed ack.
+    m().controls_lost->inc();
+    RicControlAck ack;
+    ack.request_id = id;
+    ack.ran_function_id = ran_function_id;
+    ack.success = false;
+    xapp->on_control_ack(node_id, ack);
+    return id;
+  }
   RicControlRequest request;
-  request.request_id = RicRequestId{xapp->requestor_id(), 0};
+  request.request_id = id;
   request.ran_function_id = ran_function_id;
   request.header = std::move(header);
   request.message = std::move(message);
-  node_it->second.link->on_e2ap(encode_e2ap(request));
+  Bytes wire = encode_e2ap(request);
+  m().controls_sent->inc();
+  if (scheduler_) {
+    // Track BEFORE delivery: the default transport delivers RIC -> node
+    // synchronously, so the ack can arrive (and erase the entry) inside
+    // the on_e2ap call below.
+    std::uint64_t key = control_key(id);
+    PendingControl pending;
+    pending.node_id = node_id;
+    pending.xapp = xapp;
+    pending.ran_function_id = ran_function_id;
+    pending.wire = wire;
+    pending_controls_.emplace(key, std::move(pending));
+    node_it->second.link->on_e2ap(wire);
+    scheduler_(SimDuration::from_ms(kControlAckTimeoutMs),
+               [this, key] { control_timeout(key); });
+  } else {
+    // Standalone mode (no scheduler): fire-and-forget, as before.
+    node_it->second.link->on_e2ap(wire);
+  }
+  return id;
+}
+
+void NearRtRic::control_timeout(std::uint64_t key) {
+  auto it = pending_controls_.find(key);
+  if (it == pending_controls_.end()) return;  // acked in time
+  auto node_it = nodes_.find(it->second.node_id);
+  if (node_it == nodes_.end() || it->second.retx >= kMaxControlRetx) {
+    PendingControl pending = std::move(it->second);
+    pending_controls_.erase(it);
+    fail_control(key, std::move(pending));
+    return;
+  }
+  ++it->second.retx;
+  m().control_retx->inc();
+  // Copy: a synchronous retransmission round trip can ack and erase the
+  // entry inside on_e2ap.
+  Bytes wire = it->second.wire;
+  node_it->second.link->on_e2ap(wire);
+  scheduler_(SimDuration::from_ms(kControlAckTimeoutMs),
+             [this, key] { control_timeout(key); });
+}
+
+void NearRtRic::fail_control(std::uint64_t key, PendingControl pending) {
+  (void)key;
+  m().controls_lost->inc();
+  XSEC_LOG_WARN("ric", "control to node ", pending.node_id,
+                " abandoned after ", int(pending.retx), " retransmission(s)");
+  auto request = decode_control_request(pending.wire);
+  RicControlAck ack;
+  if (request) ack.request_id = request.value().request_id;
+  ack.ran_function_id = pending.ran_function_id;
+  ack.success = false;
+  if (pending.xapp) pending.xapp->on_control_ack(pending.node_id, ack);
+}
+
+void NearRtRic::fail_node_controls(std::uint64_t node_id) {
+  // Collect first: the failure acks re-enter xApp code that may issue new
+  // controls while we iterate.
+  std::vector<std::pair<std::uint64_t, PendingControl>> doomed;
+  for (auto it = pending_controls_.begin(); it != pending_controls_.end();) {
+    if (it->second.node_id == node_id) {
+      doomed.emplace_back(it->first, std::move(it->second));
+      it = pending_controls_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [key, pending] : doomed) fail_control(key, std::move(pending));
 }
 
 void NearRtRic::deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
@@ -424,8 +509,25 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
     case E2apType::kControlAck: {
       auto ack = decode_control_ack(e2ap_wire);
       if (!ack) return;
+      const RicRequestId& id = ack.value().request_id;
+      if (id.instance_id != 0) {
+        // Correlated path: match against the pending map. A second arrival
+        // (duplicated ack, or an ack racing a retransmission) finds no
+        // entry and is suppressed — the xApp sees exactly one ack.
+        auto it = pending_controls_.find(control_key(id));
+        if (it == pending_controls_.end()) {
+          m().duplicates->inc();
+          return;
+        }
+        XApp* xapp = it->second.xapp;
+        pending_controls_.erase(it);
+        m().control_acks->inc();
+        if (xapp) xapp->on_control_ack(node_id, ack.value());
+        return;
+      }
+      // Legacy uncorrelated path (instance 0): route by requestor id.
       for (const auto& xapp : xapps_) {
-        if (xapp->requestor_id() == ack.value().request_id.requestor_id) {
+        if (xapp->requestor_id() == id.requestor_id) {
           xapp->on_control_ack(node_id, ack.value());
           break;
         }

@@ -71,6 +71,15 @@ class NearRtRic {
     scheduler_ = std::move(schedule);
   }
 
+  /// Runs `fn` after `delay` on the injected scheduler. Returns false (and
+  /// drops `fn`) when no scheduler is wired (standalone unit tests). xApps
+  /// use this for action TTLs and recovery probes.
+  bool schedule_after(SimDuration delay, std::function<void()> fn) {
+    if (!scheduler_) return false;
+    scheduler_(delay, std::move(fn));
+    return true;
+  }
+
   // --- E2 termination -----------------------------------------------------
 
   /// Performs the E2 Setup exchange with a node. On success returns the
@@ -110,9 +119,15 @@ class NearRtRic {
                          std::uint16_t ran_function_id, Bytes event_trigger,
                          std::vector<RicAction> actions);
   void unsubscribe(XApp* xapp, std::uint64_t node_id, RicRequestId id);
-  /// Sends a RIC Control request to a node.
-  void send_control(XApp* xapp, std::uint64_t node_id,
-                    std::uint16_t ran_function_id, Bytes header, Bytes message);
+  /// Sends a RIC Control request to a node. Each request gets a unique
+  /// instance id; with a scheduler wired the RIC retransmits on ack
+  /// timeout (the agent deduplicates re-applications) and synthesizes a
+  /// failure ack toward the xApp when the retransmission budget is
+  /// exhausted or the node is gone — the issuing xApp ALWAYS sees exactly
+  /// one on_control_ack per request. Returns the request id.
+  RicRequestId send_control(XApp* xapp, std::uint64_t node_id,
+                            std::uint16_t ran_function_id, Bytes header,
+                            Bytes message);
 
   // --- statistics -----------------------------------------------------------
   // Every counter lives in the observability registry (names "ric.*" /
@@ -148,6 +163,15 @@ class NearRtRic {
   std::size_t stale_subscriptions_cleared() const {
     return counter_value(m().stale_cleared);
   }
+  /// RIC Control requests issued (first transmissions).
+  std::size_t controls_sent() const { return counter_value(m().controls_sent); }
+  /// Control acks matched to a pending request (genuine, not stale).
+  std::size_t control_acks() const { return counter_value(m().control_acks); }
+  /// Control retransmissions after an ack timeout.
+  std::size_t control_retx() const { return counter_value(m().control_retx); }
+  /// Controls abandoned (budget exhausted / node gone); each synthesized a
+  /// failure ack toward the issuing xApp.
+  std::size_t controls_lost() const { return counter_value(m().controls_lost); }
 
  private:
   struct Node {
@@ -176,6 +200,20 @@ class NearRtRic {
   static constexpr std::size_t kReorderWindow = 64;
   /// Retransmission requests per missing sequence before giving up.
   static constexpr std::uint8_t kMaxNacks = 3;
+  /// Control ack timeout (covers the 1 ms E2 round trip plus reorder
+  /// jitter under chaos plans with margin).
+  static constexpr std::int64_t kControlAckTimeoutMs = 20;
+  /// Control retransmissions before a request is declared lost.
+  static constexpr std::uint8_t kMaxControlRetx = 3;
+
+  /// An unacked RIC Control request awaiting its ack (or retransmission).
+  struct PendingControl {
+    std::uint64_t node_id = 0;
+    XApp* xapp = nullptr;
+    std::uint16_t ran_function_id = 0;
+    Bytes wire;  // encoded request, replayed verbatim on timeout
+    std::uint8_t retx = 0;
+  };
 
   /// Registry handles, bound lazily on first use so standalone tests that
   /// never inject an Observability get a private registry transparently.
@@ -189,6 +227,10 @@ class NearRtRic {
     obs::Counter* nack_batched = nullptr;
     obs::Counter* reconnects = nullptr;
     obs::Counter* stale_cleared = nullptr;
+    obs::Counter* controls_sent = nullptr;
+    obs::Counter* control_acks = nullptr;
+    obs::Counter* control_retx = nullptr;
+    obs::Counter* controls_lost = nullptr;
     bool bound = false;
   };
 
@@ -202,6 +244,15 @@ class NearRtRic {
                         std::uint32_t lowest_pending);
   void flush_nacks(std::uint64_t node_id);
   void clear_node_state(std::uint64_t node_id);
+  static std::uint64_t control_key(const RicRequestId& id) {
+    return (static_cast<std::uint64_t>(id.requestor_id) << 32) |
+           id.instance_id;
+  }
+  void control_timeout(std::uint64_t key);
+  /// Abandons `pending`'s request with a synthesized failure ack.
+  void fail_control(std::uint64_t key, PendingControl pending);
+  /// Fails every pending control aimed at a departing node.
+  void fail_node_controls(std::uint64_t node_id);
   /// Deliver to the owning xApp inside a "ric.deliver" span (so xApp-side
   /// spans nest under it) and record the indication's e2.transit latency.
   void deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
@@ -221,6 +272,11 @@ class NearRtRic {
   std::map<SubscriptionKey, Stream> streams_;
   std::uint32_t next_requestor_id_ = 1;
   std::uint32_t next_instance_id_ = 1;
+  /// Control instance ids share the requestor namespace with subscriptions
+  /// but count from a disjoint range so the two never collide. Instance 0
+  /// is reserved: agents treat it as the legacy uncorrelated path.
+  std::uint32_t next_control_instance_ = 0x10000;
+  std::map<std::uint64_t, PendingControl> pending_controls_;
 
   obs::Observability* obs_ = nullptr;
   mutable std::unique_ptr<obs::Observability> own_obs_;

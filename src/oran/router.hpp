@@ -23,6 +23,7 @@ enum MessageType : std::uint32_t {
   kMtControlAction = 30003,   // analyzer-proposed remediation
   kMtHumanReview = 30004,     // contradictory verdicts escalated to operator
   kMtMetricsReport = 30005,   // periodic observability export (SMO-bound)
+  kMtIncidentVerdict = 30006, // LLM analyzer -> mitigation (classified incident)
 };
 
 struct RoutedMessage {

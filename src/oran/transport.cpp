@@ -80,10 +80,15 @@ void FaultyE2Transport::send(Bytes wire, bool toward_ric,
   // Random faults target the telemetry path (indications and the NACKs
   // chasing them). E2AP control procedures run over SCTP with their own
   // reliable delivery, so setup/subscription/control frames only see the
-  // base transit delay — and the hard link-down epochs above.
+  // base transit delay — and the hard link-down epochs above. Mitigation
+  // chaos plans opt Control/ControlAck into the faultable set to exercise
+  // the RIC's ack-timeout retransmission and the agent's dedup.
   auto type = e2ap_type(wire);
   bool faultable = type && (type.value() == E2apType::kIndication ||
-                            type.value() == E2apType::kIndicationNack);
+                            type.value() == E2apType::kIndicationNack ||
+                            (plan_.fault_control &&
+                             (type.value() == E2apType::kControlRequest ||
+                              type.value() == E2apType::kControlAck)));
   if (faultable && plan_.drop_probability > 0.0 &&
       rng_.chance(plan_.drop_probability)) {
     frames_dropped_->inc();

@@ -49,6 +49,10 @@ struct FaultPlan {
   /// unless the experiment is about latency.
   std::uint32_t delay_node_to_ric_ms = 1;
   std::uint32_t delay_ric_to_node_ms = 0;
+  /// When set, RIC Control requests and acks are also subject to random
+  /// drop/duplicate/reorder (mitigation chaos testing). Off by default:
+  /// control procedures normally model SCTP's reliable delivery.
+  bool fault_control = false;
   std::vector<LinkEpoch> link_epochs;
   std::uint64_t seed = 0x715EC;
 };

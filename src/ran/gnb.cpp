@@ -45,6 +45,33 @@ void Gnb::on_uplink(const AirFrame& frame) {
       hooks_.send_downlink(std::move(reject));
       return;
     }
+    if (isolated_) {
+      // RIC-installed gNB isolation: no new admissions while in force.
+      ++isolation_rejects_;
+      AirFrame reject;
+      reject.uplink = false;
+      reject.radio_tag = frame.radio_tag;
+      reject.rrc_wire = encode_rrc(RrcMessage{RrcReject{1}});
+      hooks_.send_downlink(std::move(reject));
+      return;
+    }
+    if (rate_limit_max_ > 0) {
+      SimTime now = hooks_.now();
+      while (!admit_times_.empty() &&
+             now - admit_times_.front() >= rate_limit_window_)
+        admit_times_.pop_front();
+      if (admit_times_.size() >= rate_limit_max_) {
+        // RIC-installed admission rate limit (signalling-storm mitigation).
+        ++rate_limited_setups_;
+        AirFrame reject;
+        reject.uplink = false;
+        reject.radio_tag = frame.radio_tag;
+        reject.rrc_wire = encode_rrc(RrcMessage{RrcReject{1}});
+        hooks_.send_downlink(std::move(reject));
+        return;
+      }
+      admit_times_.push_back(now);
+    }
     if (contexts_.size() >= config_.max_ue_contexts) {
       // Admission control full: this is the denial of service a BTS DoS
       // attack causes for legitimate UEs.
@@ -216,6 +243,15 @@ void Gnb::block_tmsi(std::uint64_t s_tmsi_part1) {
 
 void Gnb::unblock_tmsi(std::uint64_t s_tmsi_part1) {
   blocked_tmsis_.erase(s_tmsi_part1 & ((1ULL << 39) - 1));
+}
+
+void Gnb::set_setup_rate_limit(std::uint32_t max_setups, SimDuration window) {
+  if (max_setups == 0 || window.us <= 0) {
+    clear_setup_rate_limit();
+    return;
+  }
+  rate_limit_max_ = max_setups;
+  rate_limit_window_ = window;
 }
 
 std::size_t Gnb::release_stale_contexts(SimDuration min_age) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -74,6 +75,21 @@ class Gnb {
   std::size_t blocked_tmsi_count() const { return blocked_tmsis_.size(); }
   std::size_t blocked_setup_attempts() const { return blocked_setups_; }
 
+  /// RIC-initiated remediation against signalling storms: caps RRC setup
+  /// admissions to `max_setups` per sliding `window`. Setups beyond the cap
+  /// are rejected (RrcReject) until the window drains. 0 disables.
+  void set_setup_rate_limit(std::uint32_t max_setups, SimDuration window);
+  void clear_setup_rate_limit() { rate_limit_max_ = 0; admit_times_.clear(); }
+  bool rate_limit_active() const { return rate_limit_max_ > 0; }
+  std::size_t rate_limited_setups() const { return rate_limited_setups_; }
+
+  /// RIC-initiated isolation: while isolated the gNB admits NO new RRC
+  /// connections (existing contexts keep running). The strongest graded
+  /// mitigation action; always paired with a TTL-driven de-isolation.
+  void set_isolated(bool isolated) { isolated_ = isolated; }
+  bool isolated() const { return isolated_; }
+  std::size_t isolation_rejects() const { return isolation_rejects_; }
+
   std::size_t active_contexts() const { return contexts_.size(); }
   std::size_t rejected_connections() const { return rejected_; }
   std::size_t admitted_connections() const { return admitted_; }
@@ -116,6 +132,14 @@ class Gnb {
   std::size_t admitted_ = 0;
   std::set<std::uint64_t> blocked_tmsis_;  // 39-bit ng-5G-S-TMSI-Part1
   std::size_t blocked_setups_ = 0;
+
+  // --- graded mitigation state (RIC-controlled) ---
+  bool isolated_ = false;
+  std::size_t isolation_rejects_ = 0;
+  std::uint32_t rate_limit_max_ = 0;  // 0 = no rate limit
+  SimDuration rate_limit_window_{0};
+  std::deque<SimTime> admit_times_;  // admissions inside the sliding window
+  std::size_t rate_limited_setups_ = 0;
 };
 
 }  // namespace xsec::ran

@@ -1,0 +1,831 @@
+// Closed-loop mitigation tests: the policy engine, the E2 Control codec
+// and its reliability machinery, agent-side outage spill, and the full
+// attack -> detect -> mitigate -> KPI-recovery loop under chaos faults.
+//
+// The test surface mirrors the detection chaos suite: byte-determinism
+// across RIC shard counts, fault plans on the Control path (drop /
+// duplicate / reorder), and the false-positive path — a benign incident
+// mitigated by the fast path must be rolled back on LLM evidence, never
+// left as a permanent quarantine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "common/rng.hpp"
+#include "core/datasets.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+#include "detect/mobiwatch.hpp"
+#include "llm/analyzer_xapp.hpp"
+#include "mitigate/policy.hpp"
+#include "mitigate/xapp.hpp"
+#include "mobiflow/agent.hpp"
+#include "obs/export.hpp"
+#include "oran/e2sm.hpp"
+#include "oran/xapp.hpp"
+#include "sim/traffic.hpp"
+
+namespace xsec {
+namespace {
+
+using mitigate::ActionKind;
+using mitigate::MitigationPolicy;
+using mitigate::PolicyRule;
+using mitigate::RuleStage;
+using mobiflow::ControlCommand;
+
+// --- ControlCommand codec ---------------------------------------------------
+
+ControlCommand random_control(Rng& rng) {
+  ControlCommand cmd;
+  cmd.action = static_cast<ControlCommand::Action>(
+      rng.uniform_u64(0, ControlCommand::kMaxAction));
+  cmd.rnti = static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff));
+  cmd.s_tmsi = rng.uniform_u64(0, (1ULL << 48) - 1);
+  cmd.stale_age_ms = static_cast<std::uint32_t>(rng.uniform_u64(0, 10'000));
+  // kRateLimit requires non-zero parameters to encode a valid command.
+  cmd.rate_limit = static_cast<std::uint32_t>(rng.uniform_u64(1, 1'000));
+  cmd.rate_window_ms = static_cast<std::uint32_t>(rng.uniform_u64(1, 10'000));
+  return cmd;
+}
+
+TEST(MitigationCodec, ControlCommandRoundTripsEveryAction) {
+  Rng rng(0xC0117);
+  for (std::uint8_t a = 0; a <= ControlCommand::kMaxAction; ++a) {
+    ControlCommand cmd = random_control(rng);
+    cmd.action = static_cast<ControlCommand::Action>(a);
+    auto decoded = mobiflow::decode_control(mobiflow::encode_control(cmd));
+    ASSERT_TRUE(decoded) << "action " << int(a) << ": "
+                         << decoded.error().message;
+    EXPECT_EQ(decoded.value().action, cmd.action);
+    EXPECT_EQ(decoded.value().rnti, cmd.rnti);
+    EXPECT_EQ(decoded.value().s_tmsi, cmd.s_tmsi);
+    EXPECT_EQ(decoded.value().stale_age_ms, cmd.stale_age_ms);
+    EXPECT_EQ(decoded.value().rate_limit, cmd.rate_limit);
+    EXPECT_EQ(decoded.value().rate_window_ms, cmd.rate_window_ms);
+  }
+}
+
+TEST(MitigationCodec, ControlDecodeRejectsOutOfRangeAction) {
+  Bytes wire = mobiflow::encode_control(ControlCommand{});
+  // The action discriminant is the leading byte; everything above the
+  // vocabulary must be rejected, not wrapped.
+  for (std::uint64_t bad : {8u, 9u, 42u, 255u}) {
+    wire[0] = static_cast<std::uint8_t>(bad);
+    EXPECT_FALSE(mobiflow::decode_control(wire)) << "action " << bad;
+  }
+}
+
+TEST(MitigationCodec, ControlDecodeRejectsDegenerateRateLimit) {
+  ControlCommand cmd;
+  cmd.action = ControlCommand::Action::kRateLimit;
+  cmd.rate_limit = 0;
+  cmd.rate_window_ms = 100;
+  EXPECT_FALSE(mobiflow::decode_control(mobiflow::encode_control(cmd)));
+  cmd.rate_limit = 4;
+  cmd.rate_window_ms = 0;
+  EXPECT_FALSE(mobiflow::decode_control(mobiflow::encode_control(cmd)));
+  cmd.rate_window_ms = 100;
+  EXPECT_TRUE(mobiflow::decode_control(mobiflow::encode_control(cmd)));
+}
+
+// --- IncidentVerdict codec --------------------------------------------------
+
+llm::IncidentVerdict random_verdict(Rng& rng) {
+  llm::IncidentVerdict v;
+  v.incident_id = rng();
+  v.node_id = rng.uniform_u64(1, 1 << 20);
+  v.source_ue = rng.uniform_u64(0, 1 << 20);
+  v.detector = "autoencoder";
+  v.score = rng.uniform(0.0, 10.0);
+  v.threshold = rng.uniform(0.1, 5.0);
+  v.llm_agrees = rng.chance(0.5);
+  for (std::uint64_t i = rng.uniform_u64(0, 3); i > 0; --i)
+    v.candidate_attacks.push_back("attack-" + std::to_string(rng() & 0xff));
+  for (std::uint64_t i = rng.uniform_u64(0, 3); i > 0; --i)
+    v.suspect_tmsis.push_back(rng.uniform_u64(0, (1ULL << 48) - 1));
+  v.flagged_at_us = rng.uniform_i64(0, 1'000'000'000);
+  return v;
+}
+
+TEST(MitigationCodec, IncidentVerdictRoundTrips) {
+  Rng rng(0x1D1C7);
+  for (int i = 0; i < 50; ++i) {
+    llm::IncidentVerdict v = random_verdict(rng);
+    auto decoded = llm::IncidentVerdict::deserialize(v.serialize());
+    ASSERT_TRUE(decoded) << decoded.error().message;
+    EXPECT_EQ(decoded.value().incident_id, v.incident_id);
+    EXPECT_EQ(decoded.value().node_id, v.node_id);
+    EXPECT_EQ(decoded.value().source_ue, v.source_ue);
+    EXPECT_EQ(decoded.value().detector, v.detector);
+    EXPECT_EQ(decoded.value().score, v.score);
+    EXPECT_EQ(decoded.value().threshold, v.threshold);
+    EXPECT_EQ(decoded.value().llm_agrees, v.llm_agrees);
+    EXPECT_EQ(decoded.value().candidate_attacks, v.candidate_attacks);
+    EXPECT_EQ(decoded.value().suspect_tmsis, v.suspect_tmsis);
+    EXPECT_EQ(decoded.value().flagged_at_us, v.flagged_at_us);
+  }
+}
+
+TEST(MitigationCodec, IncidentVerdictRejectsTrailingBytes) {
+  Rng rng(0x7A11);
+  Bytes wire = random_verdict(rng).serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(llm::IncidentVerdict::deserialize(wire));
+}
+
+/// Corruption sweep mirroring the E2AP codec property suite: truncation
+/// and bit flips must never crash a decoder, and any wire that still
+/// decodes must satisfy the message invariants.
+class MitigationCodecProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MitigationCodecProperty, ControlDecodeSurvivesCorruption) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    Bytes wire = mobiflow::encode_control(random_control(rng));
+    // Strict prefixes can never decode: the format has no optional tail.
+    Bytes truncated = wire;
+    truncated.resize(rng.uniform_u64(0, wire.size() - 1));
+    EXPECT_FALSE(mobiflow::decode_control(truncated));
+
+    Bytes flipped = wire;
+    flipped[rng.uniform_u64(0, flipped.size() - 1)] ^=
+        static_cast<std::uint8_t>(rng.uniform_u64(1, 255));
+    auto decoded = mobiflow::decode_control(flipped);  // must not crash
+    if (decoded) {
+      EXPECT_LE(static_cast<std::uint8_t>(decoded.value().action),
+                ControlCommand::kMaxAction);
+      if (decoded.value().action == ControlCommand::Action::kRateLimit) {
+        EXPECT_GT(decoded.value().rate_limit, 0u);
+        EXPECT_GT(decoded.value().rate_window_ms, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(MitigationCodecProperty, VerdictDecodeSurvivesCorruption) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Bytes wire = random_verdict(rng).serialize();
+    Bytes truncated = wire;
+    truncated.resize(rng.uniform_u64(0, wire.size() - 1));
+    EXPECT_FALSE(llm::IncidentVerdict::deserialize(truncated));
+
+    Bytes corrupted = wire;
+    std::uint64_t flips = rng.uniform_u64(1, 4);
+    for (std::uint64_t f = 0; f < flips; ++f)
+      corrupted[rng.uniform_u64(0, corrupted.size() - 1)] ^=
+          static_cast<std::uint8_t>(rng.uniform_u64(1, 255));
+    auto decoded = llm::IncidentVerdict::deserialize(corrupted);
+    if (decoded) {
+      // Count-prefixed vectors survived the flip: sizes must be sane
+      // (bounded by the wire, not the corrupted count fields).
+      EXPECT_LE(decoded.value().candidate_attacks.size(), corrupted.size());
+      EXPECT_LE(decoded.value().suspect_tmsis.size(), corrupted.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MitigationCodecProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+// --- Policy engine ----------------------------------------------------------
+
+TEST(MitigationPolicyTable, DefaultTableClassifiesByFirstMatch) {
+  MitigationPolicy policy = MitigationPolicy::default_policy();
+  // Fast path: any detector flag above threshold earns the mild rate limit.
+  const PolicyRule* rule =
+      policy.match(RuleStage::kDetector, {}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kRateLimit);
+  EXPECT_EQ(rule->ttl_ms, 1500u);
+  // Sub-threshold ratios never fire.
+  EXPECT_EQ(policy.match(RuleStage::kDetector, {}, 0.5, 1.0), nullptr);
+
+  // Replay-class beats the DoS rule by table order even though the class
+  // string mentions both.
+  rule = policy.match(RuleStage::kClassified,
+                      {"Blind DoS via S-TMSI replay"}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kQuarantineUe);
+
+  rule = policy.match(RuleStage::kClassified,
+                      {"BTS resource depletion DoS"}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kRateLimit);
+  EXPECT_EQ(rule->rate_limit, 4u);
+
+  rule = policy.match(RuleStage::kClassified, {"signaling storm"}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kRateLimit);
+  EXPECT_EQ(rule->ttl_ms, 2500u);
+
+  // Anything else confirmed falls through to the stale-release catch-all —
+  // including an incident the LLM confirmed but could not classify.
+  rule = policy.match(RuleStage::kClassified, {"NAS downgrade"}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kReleaseRrc);
+  rule = policy.match(RuleStage::kClassified, {}, 1.2, 1.0);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->action, ActionKind::kReleaseRrc);
+}
+
+TEST(MitigationPolicyTable, TrustGateReservesHarsherRulesForRepeatOffenders) {
+  MitigationPolicy policy;
+  PolicyRule harsh;
+  harsh.stage = RuleStage::kClassified;
+  harsh.max_trust = 0.5;  // repeat offenders only
+  harsh.action = ActionKind::kIsolateNode;
+  policy.rules.push_back(harsh);
+  PolicyRule mild;
+  mild.stage = RuleStage::kClassified;
+  mild.action = ActionKind::kRateLimit;
+  policy.rules.push_back(mild);
+
+  const PolicyRule* first_offense =
+      policy.match(RuleStage::kClassified, {"x"}, 2.0, 1.0);
+  ASSERT_NE(first_offense, nullptr);
+  EXPECT_EQ(first_offense->action, ActionKind::kRateLimit);
+  const PolicyRule* repeat =
+      policy.match(RuleStage::kClassified, {"x"}, 2.0, 0.4);
+  ASSERT_NE(repeat, nullptr);
+  EXPECT_EQ(repeat->action, ActionKind::kIsolateNode);
+}
+
+TEST(MitigationPolicyTable, A1OverridesBudgetAndScalesTtls) {
+  MitigationPolicy policy = MitigationPolicy::default_policy();
+  oran::A1Policy a1;
+  a1.policy_type = oran::kPolicyMitigation;
+  a1.content["max_actions_per_source"] = "2";
+  a1.content["ttl_scale"] = "0.5";
+  policy.apply_a1(a1);
+  EXPECT_EQ(policy.max_actions_per_source, 2u);
+  EXPECT_EQ(policy.rules[0].ttl_ms, 750u);  // detector rule: 1500 * 0.5
+
+  // Degenerate values are clamped, not obeyed: budgets below one are
+  // ignored, scaled TTLs never reach zero.
+  oran::A1Policy bad;
+  bad.content["max_actions_per_source"] = "0";
+  bad.content["ttl_scale"] = "0.0001";
+  policy.apply_a1(bad);
+  EXPECT_EQ(policy.max_actions_per_source, 2u);
+  for (const PolicyRule& rule : policy.rules) EXPECT_GE(rule.ttl_ms, 1u);
+}
+
+// --- Control reliability: agent dedup, synthesized failure acks -------------
+
+TEST(ControlReliability, AgentExecutesDuplicatedControlExactlyOnce) {
+  std::vector<oran::RicControlAck> acks;
+  std::size_t applied = 0;
+  mobiflow::AgentHooks hooks;
+  hooks.now = [] { return SimTime{0}; };
+  hooks.schedule = [](SimDuration, std::function<void()>) {};
+  hooks.to_ric = [&acks](std::uint64_t, Bytes wire) {
+    auto ack = oran::decode_control_ack(wire);
+    ASSERT_TRUE(ack);
+    acks.push_back(ack.value());
+  };
+  hooks.apply_control = [&applied](const ControlCommand&) {
+    ++applied;
+    return true;
+  };
+  mobiflow::RicAgent agent(42, hooks);
+
+  oran::RicControlRequest request;
+  request.request_id = {7, 0x10001};
+  request.ran_function_id = oran::e2sm::kMobiFlowFunctionId;
+  ControlCommand cmd;
+  cmd.action = ControlCommand::Action::kReleaseStale;
+  request.message = mobiflow::encode_control(cmd);
+  Bytes wire = oran::encode_e2ap(request);
+
+  // A RIC ack-timeout retransmission delivers the same Control twice: the
+  // action must be applied once and the second copy re-acked with the
+  // stored result.
+  agent.on_e2ap(wire);
+  agent.on_e2ap(wire);
+  EXPECT_EQ(applied, 1u);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_TRUE(acks[0].success);
+  EXPECT_TRUE(acks[1].success);
+  EXPECT_EQ(acks[1].request_id.instance_id, 0x10001u);
+  EXPECT_EQ(agent.controls_deduplicated(), 1u);
+
+  // Instance 0 is the legacy uncorrelated path: never deduplicated.
+  request.request_id = {7, 0};
+  Bytes legacy = oran::encode_e2ap(request);
+  agent.on_e2ap(legacy);
+  agent.on_e2ap(legacy);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_EQ(agent.controls_deduplicated(), 1u);
+}
+
+/// Captures control acks delivered back to the issuing xApp.
+class AckCaptureXapp : public oran::XApp {
+ public:
+  AckCaptureXapp() : oran::XApp("ack-capture") {}
+  void on_start() override {}
+  void on_control_ack(std::uint64_t node_id,
+                      const oran::RicControlAck& ack) override {
+    acks.push_back({node_id, ack.success});
+  }
+  std::vector<std::pair<std::uint64_t, bool>> acks;
+};
+
+TEST(ControlReliability, UnknownNodeSynthesizesExactlyOneFailureAck) {
+  core::Pipeline pipeline;
+  auto* capture = static_cast<AckCaptureXapp*>(
+      pipeline.ric().register_xapp(std::make_unique<AckCaptureXapp>()));
+  ControlCommand cmd;
+  cmd.action = ControlCommand::Action::kIsolate;
+  pipeline.ric().send_control(capture, 424242,
+                              oran::e2sm::kMobiFlowFunctionId, {},
+                              mobiflow::encode_control(cmd));
+  ASSERT_EQ(capture->acks.size(), 1u);
+  EXPECT_EQ(capture->acks[0].first, 424242u);
+  EXPECT_FALSE(capture->acks[0].second);
+  EXPECT_EQ(pipeline.stats().controls_lost, 1u);
+  // Never transmitted: "sent" counts wire transmissions only.
+  EXPECT_EQ(pipeline.stats().controls_sent, 0u);
+}
+
+// --- Verdict-driven closed loop (no detector needed) ------------------------
+
+void publish_verdict(core::Pipeline& pipeline, std::uint64_t node_id,
+                     std::uint64_t ue, bool agrees,
+                     std::vector<std::string> classes,
+                     std::vector<std::uint64_t> tmsis) {
+  llm::IncidentVerdict v;
+  v.incident_id = 1;
+  v.node_id = node_id;
+  v.source_ue = ue;
+  v.detector = "autoencoder";
+  v.score = 2.0;
+  v.threshold = 1.0;
+  v.llm_agrees = agrees;
+  v.candidate_attacks = std::move(classes);
+  v.suspect_tmsis = std::move(tmsis);
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtIncidentVerdict;
+  msg.source = "test";
+  msg.payload = v.serialize();
+  pipeline.ric().router().publish(msg);
+}
+
+TEST(MitigationLoop, EscalationLadderClimbsRevertsAndRollsBackOnEvidence) {
+  core::PipelineConfig config;
+  config.mitigation.enabled = true;
+  config.mitigation.fast_path = false;  // verdict-driven only
+  core::Pipeline pipeline(config);
+  ASSERT_NE(pipeline.mitigation(), nullptr);
+  mitigate::MitigationXapp& mit = *pipeline.mitigation();
+  ran::Gnb& gnb = pipeline.testbed().gnb(0);
+  std::uint64_t node = pipeline.node_id(0);
+  pipeline.run_for(SimDuration::from_ms(10));
+
+  // Confirmed DoS: rung 1, rate limit.
+  publish_verdict(pipeline, node, 5, true, {"BTS resource depletion DoS"},
+                  {0x777});
+  EXPECT_EQ(mit.actions_issued(), 1u);
+  EXPECT_TRUE(gnb.rate_limit_active());
+  EXPECT_DOUBLE_EQ(mit.source_trust(node, 5), 0.5);
+  pipeline.run_for(SimDuration::from_ms(5));
+
+  // Re-trigger escalates to quarantine and reverts the rate limit as part
+  // of the swap (an escalation, not a recovery: no rollback counters).
+  publish_verdict(pipeline, node, 5, true, {"BTS resource depletion DoS"},
+                  {0x777});
+  EXPECT_EQ(mit.actions_issued(), 2u);
+  EXPECT_EQ(mit.escalations(), 1u);
+  EXPECT_FALSE(gnb.rate_limit_active());
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 1u);
+  EXPECT_EQ(mit.rollbacks(), 0u);
+  pipeline.run_for(SimDuration::from_ms(5));
+
+  // Third confirmation: top of the ladder, node isolation.
+  publish_verdict(pipeline, node, 5, true, {"BTS resource depletion DoS"},
+                  {0x777});
+  EXPECT_EQ(mit.actions_issued(), 3u);
+  EXPECT_EQ(mit.escalations(), 2u);
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 0u);
+  EXPECT_TRUE(gnb.isolated());
+  pipeline.run_for(SimDuration::from_ms(5));
+
+  // Already at the top: the threat is still live, so the TTL refreshes but
+  // no new action is issued.
+  publish_verdict(pipeline, node, 5, true, {"BTS resource depletion DoS"},
+                  {0x777});
+  EXPECT_EQ(mit.actions_issued(), 3u);
+  EXPECT_EQ(mit.escalations(), 2u);
+  EXPECT_TRUE(gnb.isolated());
+
+  // False-positive evidence reverts whatever is active and restores trust.
+  publish_verdict(pipeline, node, 5, false, {}, {});
+  EXPECT_FALSE(gnb.isolated());
+  EXPECT_EQ(mit.rollbacks(), 1u);
+  EXPECT_EQ(mit.rollbacks_evidence(), 1u);
+  EXPECT_EQ(mit.active_actions(), 0u);
+  EXPECT_DOUBLE_EQ(mit.source_trust(node, 5), 0.0625 + 0.25);
+
+  // Superseded TTL timers from the escalation chain fire as no-ops.
+  pipeline.run_for(SimDuration::from_s(4));
+  EXPECT_EQ(mit.rollbacks(), 1u);
+  EXPECT_FALSE(gnb.isolated());
+  EXPECT_FALSE(gnb.rate_limit_active());
+}
+
+TEST(MitigationLoop, BudgetCapsPerSourceActionsUntilA1RaisesIt) {
+  core::PipelineConfig config;
+  config.mitigation.enabled = true;
+  config.mitigation.fast_path = false;
+  config.mitigation.policy.max_actions_per_source = 2;
+  core::Pipeline pipeline(config);
+  mitigate::MitigationXapp& mit = *pipeline.mitigation();
+  ran::Gnb& gnb = pipeline.testbed().gnb(0);
+  std::uint64_t node = pipeline.node_id(0);
+  pipeline.run_for(SimDuration::from_ms(10));
+
+  publish_verdict(pipeline, node, 9, true, {"dos"}, {0xABC});
+  publish_verdict(pipeline, node, 9, true, {"dos"}, {0xABC});
+  EXPECT_EQ(mit.actions_issued(), 2u);
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 1u);
+  // Budget spent: the next confirmation refreshes the quarantine's TTL
+  // instead of escalating to isolation.
+  publish_verdict(pipeline, node, 9, true, {"dos"}, {0xABC});
+  EXPECT_EQ(mit.actions_issued(), 2u);
+  EXPECT_GE(mit.budget_exhausted(), 1u);
+  EXPECT_FALSE(gnb.isolated());
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 1u);
+
+  // The operator raises the budget over A1; the ladder resumes.
+  oran::A1Policy a1;
+  a1.policy_type = oran::kPolicyMitigation;
+  a1.policy_id = "budget-raise";
+  a1.content["max_actions_per_source"] = "10";
+  EXPECT_EQ(pipeline.ric().apply_policy("mitigation", a1),
+            oran::PolicyStatus::kEnforced);
+  publish_verdict(pipeline, node, 9, true, {"dos"}, {0xABC});
+  EXPECT_EQ(mit.actions_issued(), 3u);
+  EXPECT_TRUE(gnb.isolated());
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 0u);
+}
+
+TEST(MitigationLoop, FastPathActsOnDetectorFlagAndTtlRollsBack) {
+  core::PipelineConfig config;
+  config.mitigation.enabled = true;
+  core::Pipeline pipeline(config);
+  mitigate::MitigationXapp& mit = *pipeline.mitigation();
+  ran::Gnb& gnb = pipeline.testbed().gnb(0);
+  pipeline.run_for(SimDuration::from_ms(10));
+
+  detect::AnomalyReport report;
+  report.detector = "autoencoder";
+  report.node_id = pipeline.node_id(0);
+  report.source_ue = 9;
+  report.score = 2.0;
+  report.threshold = 1.0;
+  oran::RoutedMessage msg;
+  msg.mtype = oran::kMtAnomalyWindow;
+  msg.source = "test";
+  msg.payload = report.serialize();
+  pipeline.ric().router().publish(msg);
+
+  // Fast-path containment before any LLM verdict: the detector-stage rule
+  // rate-limits the node.
+  EXPECT_EQ(mit.actions_issued(), 1u);
+  EXPECT_TRUE(gnb.rate_limit_active());
+  EXPECT_EQ(mit.active_actions(), 1u);
+
+  // A second flag for the same source while the action is live is a no-op
+  // (one active action per source).
+  pipeline.ric().router().publish(msg);
+  EXPECT_EQ(mit.actions_issued(), 1u);
+
+  // No verdict sustains the action: the TTL (1500 ms) reverts it.
+  pipeline.run_for(SimDuration::from_ms(1600));
+  EXPECT_FALSE(gnb.rate_limit_active());
+  EXPECT_EQ(mit.rollbacks_ttl(), 1u);
+  EXPECT_EQ(mit.active_actions(), 0u);
+
+  // The lifecycle is in the SDL, byte-stable: issue then TTL rollback.
+  std::string log;
+  oran::Sdl& sdl = pipeline.ric().sdl();
+  for (const std::string& key : sdl.keys("mitigate"))
+    log += sdl.get_str("mitigate", key).value_or("") + "\n";
+  EXPECT_NE(log.find("issue rate-limit"), std::string::npos) << log;
+  EXPECT_NE(log.find("rollback rate-limit reason=ttl"), std::string::npos)
+      << log;
+}
+
+// --- Agent outage spill -----------------------------------------------------
+
+core::PipelineStats run_outage_scenario(const std::string& spill_dir,
+                                        std::size_t* records_seen) {
+  core::PipelineConfig config;
+  config.agent_outage_buffer = 48;
+  config.agent_spill_dir = spill_dir;
+  config.fault_plan.link_epochs = {
+      {SimTime::from_ms(500), SimDuration::from_ms(1200)}};
+  config.fault_plan.seed = 0x5B111;
+  core::Pipeline pipeline(config);
+  sim::TrafficConfig traffic;
+  traffic.num_sessions = 40;
+  traffic.arrival_mean = SimDuration::from_ms(20);
+  traffic.seed = 4242;
+  sim::BenignTrafficGenerator generator(&pipeline.testbed(), traffic);
+  generator.schedule_all();
+  pipeline.run_for(SimDuration::from_s(3));
+  pipeline.finalize();
+  if (records_seen) *records_seen = pipeline.mobiwatch().records_seen();
+  return pipeline.stats();
+}
+
+TEST(AgentSpill, OutageBacklogSpillsToDiskAndReplaysLossFree) {
+  std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "xsec_spill_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // RAM-only baseline: the same outage overflows the 48-record backlog and
+  // drops the oldest records.
+  std::size_t ram_records = 0;
+  core::PipelineStats ram = run_outage_scenario("", &ram_records);
+  EXPECT_GT(ram.records_dropped_outage, 0u)
+      << "scenario must overflow the backlog for the spill to matter";
+  EXPECT_EQ(ram.records_spilled, 0u);
+
+  // Spill-enabled run: everything the RAM run dropped reaches disk and is
+  // replayed into the report stream after the re-subscription.
+  std::size_t spill_records = 0;
+  core::PipelineStats spilled =
+      run_outage_scenario(dir.string(), &spill_records);
+  EXPECT_EQ(spilled.records_dropped_outage, 0u);
+  EXPECT_GT(spilled.records_spilled, 0u);
+  EXPECT_EQ(spilled.records_replayed, spilled.records_spilled);
+  EXPECT_GT(spill_records, ram_records)
+      << "replayed records must reach MobiWatch";
+  // Replayed spill files are deleted; nothing lingers on disk.
+  std::size_t leftover = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir))
+    ++leftover;
+  EXPECT_EQ(leftover, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// --- End-to-end chaos: attack -> mitigate -> recover ------------------------
+
+/// Shared trained detector (training dominates runtime; do it once).
+class MitigationChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<mobiflow::Trace> captures;
+    double arrival_ms = 60.0;
+    for (std::uint64_t seed : {71u, 72u}) {
+      core::ScenarioConfig benign_config;
+      benign_config.testbed.seed = seed;
+      benign_config.traffic.num_sessions = 40;
+      benign_config.traffic.seed = seed * 13;
+      benign_config.traffic.arrival_mean = SimDuration::from_ms(arrival_ms);
+      benign_config.run_time = SimDuration::from_s(8);
+      captures.push_back(core::collect_benign(benign_config));
+      arrival_ms += 60.0;
+    }
+    core::EvalConfig eval;
+    eval.detector.epochs = 25;
+    detector_ = new std::shared_ptr<detect::AnomalyDetector>(
+        core::train_detector(core::ModelKind::kAutoencoder, captures, eval));
+    eval_config_ = new core::EvalConfig(eval);
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete eval_config_;
+  }
+
+  /// A fresh inference replica of the trained detector. Each pipeline gets
+  /// its own copy because the closed loop MUTATES the installed detector
+  /// (A1 false-positive tuning moves its threshold); sharing one object
+  /// across runs would leak that tuning into the next run's baseline.
+  static std::shared_ptr<detect::AnomalyDetector> fresh_detector() {
+    std::shared_ptr<detect::AnomalyDetector> clone(
+        (*detector_)->clone_for_inference());
+    EXPECT_NE(clone, nullptr);
+    return clone;
+  }
+
+  static std::unique_ptr<sim::BenignTrafficGenerator> schedule_benign(
+      core::Pipeline& pipeline, std::uint64_t seed, int sessions = 8,
+      double arrival_mean_ms = 60.0) {
+    sim::TrafficConfig traffic;
+    traffic.num_sessions = sessions;
+    traffic.arrival_mean = SimDuration::from_ms(arrival_mean_ms);
+    traffic.seed = seed;
+    auto generator = std::make_unique<sim::BenignTrafficGenerator>(
+        &pipeline.testbed(), traffic);
+    generator->schedule_all();
+    return generator;
+  }
+
+  static std::shared_ptr<detect::AnomalyDetector>* detector_;
+  static core::EvalConfig* eval_config_;
+};
+
+std::shared_ptr<detect::AnomalyDetector>* MitigationChaosTest::detector_ =
+    nullptr;
+core::EvalConfig* MitigationChaosTest::eval_config_ = nullptr;
+
+/// Control-path fault plan: heavy duplication plus loss and reordering on
+/// every faultable type, Controls and ControlAcks opted in.
+oran::FaultPlan control_chaos_plan(std::uint64_t seed) {
+  oran::FaultPlan plan;
+  plan.drop_probability = 0.10;
+  plan.duplicate_probability = 0.25;
+  plan.reorder_probability = 0.10;
+  plan.fault_control = true;
+  plan.seed = seed;
+  return plan;
+}
+
+TEST_F(MitigationChaosTest, AttackIsMitigatedAndKpisRecoverUnderFaults) {
+  core::PipelineConfig config;
+  config.analyzer.model = "ChatGPT-4o";
+  config.mitigation.enabled = true;
+  config.fault_plan = control_chaos_plan(0x3117);
+  core::Pipeline pipeline(config);
+  pipeline.install_detector(fresh_detector(),
+                            detect::FeatureEncoder(eval_config_->features));
+  auto traffic_handle = schedule_benign(pipeline, 99);
+  // A sustained flood (~1.8 s of half-open connections) so mitigation lands
+  // while the attack is still running and the KPI impact is measurable.
+  auto attack = attacks::make_bts_dos(60, SimDuration::from_ms(30));
+  attack->launch(pipeline.testbed(), SimTime::from_ms(250));
+  pipeline.run_for(SimDuration::from_s(4));
+
+  // Detected and acted while the attack was live.
+  EXPECT_GT(pipeline.mobiwatch().anomalies_flagged(), 0u);
+  mitigate::MitigationXapp& mit = *pipeline.mitigation();
+  EXPECT_GE(mit.actions_issued(), 1u);
+
+  // Quiet tail: every TTL expires with no verdict to sustain it, so the
+  // recovery monitor reverts all mitigation state.
+  pipeline.run_for(SimDuration::from_s(4));
+  pipeline.finalize();
+
+  core::PipelineStats stats = pipeline.stats();
+  ran::Gnb& gnb = pipeline.testbed().gnb(0);
+
+  // The mitigation bit: the gNB actually enforced something against the
+  // flood while actions were live.
+  EXPECT_GT(gnb.rate_limited_setups() + gnb.isolation_rejects() +
+                gnb.blocked_setup_attempts(),
+            0u);
+
+  // KPI recovery: every action was rolled back and no constraint outlives
+  // the incident.
+  EXPECT_GE(mit.rollbacks(), 1u);
+  EXPECT_EQ(mit.active_actions(), 0u);
+  EXPECT_FALSE(gnb.rate_limit_active());
+  EXPECT_FALSE(gnb.isolated());
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 0u);
+
+  // Control-plane reliability under the fault plan: every Control the RIC
+  // sent is accounted for — exactly one ack (real or synthesized-failure)
+  // per send, duplicates executed at most once.
+  EXPECT_GT(stats.controls_sent, 0u);
+  EXPECT_EQ(stats.control_acks + stats.controls_lost, stats.controls_sent);
+  EXPECT_GT(stats.control_retx + stats.controls_deduplicated, 0u)
+      << "the fault plan must actually bite the Control path";
+
+  // The counters render in the operator snapshot.
+  std::string text = stats.to_text();
+  for (const char* needle :
+       {"Mitigation:", "controls sent", "actions issued", "rollbacks"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+/// Everything a seeded chaos run can externalize, captured byte-for-byte.
+struct MitigationSnapshot {
+  std::string prometheus;
+  std::string json;
+  std::string stats_text;
+  std::string incidents;
+  std::string mitigation_log;
+};
+
+TEST_F(MitigationChaosTest, ShardCountNeverChangesMitigationBytes) {
+  // The determinism oracle extended to the closed loop: with mitigation
+  // enabled and Control-path faults active, every export — including the
+  // mitigation lifecycle log in the SDL — is byte-identical at 1, 2 and 4
+  // RIC shards.
+  auto run = [&](std::size_t shards) {
+    core::PipelineConfig config;
+    config.analyzer.model = "ChatGPT-4o";
+    config.mitigation.enabled = true;
+    config.ric_shards = shards;
+    config.fault_plan = control_chaos_plan(0xD373C8);
+    core::Pipeline pipeline(config);
+    EXPECT_EQ(pipeline.ric_shards(), shards);
+    MitigationSnapshot snap;
+    pipeline.ric().router().subscribe(
+        oran::kMtAnomalyWindow, [&snap](const oran::RoutedMessage& m) {
+          snap.incidents.append(m.payload.begin(), m.payload.end());
+        });
+    pipeline.install_detector(
+        fresh_detector(), detect::FeatureEncoder(eval_config_->features));
+    auto traffic_handle = schedule_benign(pipeline, 99, 10);
+    auto attack = attacks::make_bts_dos(30, SimDuration::from_ms(30));
+    attack->launch(pipeline.testbed(), SimTime::from_ms(300));
+    pipeline.run_for(SimDuration::from_s(4));
+    pipeline.run_for(SimDuration::from_s(2));
+    pipeline.finalize();
+    snap.prometheus = obs::render_prometheus(pipeline.metrics());
+    snap.json = obs::render_json(pipeline.metrics(), &pipeline.tracer());
+    snap.stats_text = pipeline.stats().to_text();
+    oran::Sdl& sdl = pipeline.ric().sdl();
+    for (const std::string& key : sdl.keys("mitigate"))
+      snap.mitigation_log +=
+          key + "=" + sdl.get_str("mitigate", key).value_or("") + "\n";
+    return snap;
+  };
+
+  MitigationSnapshot reference = run(1);
+  EXPECT_FALSE(reference.incidents.empty()) << "attack must produce reports";
+  EXPECT_FALSE(reference.mitigation_log.empty())
+      << "the closed loop must have acted";
+  for (std::size_t shards : {2u, 4u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    MitigationSnapshot sharded = run(shards);
+    EXPECT_EQ(sharded.prometheus, reference.prometheus);
+    EXPECT_EQ(sharded.json, reference.json);
+    EXPECT_EQ(sharded.stats_text, reference.stats_text);
+    EXPECT_EQ(sharded.incidents, reference.incidents);
+    EXPECT_EQ(sharded.mitigation_log, reference.mitigation_log);
+  }
+}
+
+TEST_F(MitigationChaosTest, FalsePositiveMitigationRollsBackOnLlmEvidence) {
+  // The no-permanent-quarantine regression: an over-sensitive detector
+  // (threshold slashed over A1) flags benign traffic, the fast path
+  // contains it, the LLM judges the windows benign — and every action must
+  // be rolled back on that evidence, with the detector nudged back up over
+  // A1 so the same pattern stops firing.
+  core::PipelineConfig config;
+  config.analyzer.model = "ChatGPT-4o";
+  config.mitigation.enabled = true;
+  // Long fast-path TTL so the verdict, not the TTL, is what reverts.
+  for (PolicyRule& rule : config.mitigation.policy.rules)
+    if (rule.stage == RuleStage::kDetector) rule.ttl_ms = 30'000;
+  core::Pipeline pipeline(config);
+  pipeline.install_detector(fresh_detector(),
+                            detect::FeatureEncoder(eval_config_->features));
+  oran::A1Policy overtuned;
+  overtuned.policy_type = oran::kPolicyDetectionTuning;
+  overtuned.policy_id = "overtuned";
+  overtuned.content["threshold_scale"] = "0.05";
+  ASSERT_EQ(pipeline.ric().apply_policy("mobiwatch", overtuned),
+            oran::PolicyStatus::kEnforced);
+
+  auto traffic_handle = schedule_benign(pipeline, 99);
+  pipeline.run_for(SimDuration::from_s(4));
+  pipeline.finalize();
+
+  mitigate::MitigationXapp& mit = *pipeline.mitigation();
+  ran::Gnb& gnb = pipeline.testbed().gnb(0);
+  // Benign traffic was flagged and mitigated...
+  EXPECT_GT(pipeline.mobiwatch().anomalies_flagged(), 0u);
+  EXPECT_GE(mit.actions_issued(), 1u);
+  // ...and every action was reverted on false-positive evidence; nothing
+  // is quarantined once the verdicts are in.
+  EXPECT_GE(mit.rollbacks_evidence(), 1u);
+  EXPECT_EQ(mit.active_actions(), 0u);
+  EXPECT_FALSE(gnb.rate_limit_active());
+  EXPECT_FALSE(gnb.isolated());
+  EXPECT_EQ(gnb.blocked_tmsi_count(), 0u);
+  // The loop pushed the detection threshold back up over A1.
+  EXPECT_GE(mit.a1_tunings(), 1u);
+
+  // The rollback is visible in the byte-stable exports: Prometheus metrics
+  // and the SDL incident log.
+  std::string prometheus = obs::render_prometheus(pipeline.metrics());
+  EXPECT_NE(prometheus.find("xsec_mitigate_rollbacks_evidence"),
+            std::string::npos);
+  const obs::Counter* evidence =
+      pipeline.metrics().find_counter("mitigate.rollbacks_evidence");
+  ASSERT_NE(evidence, nullptr);
+  EXPECT_GE(evidence->value(), 1u);
+  std::string log;
+  oran::Sdl& sdl = pipeline.ric().sdl();
+  for (const std::string& key : sdl.keys("mitigate"))
+    log += sdl.get_str("mitigate", key).value_or("") + "\n";
+  EXPECT_NE(log.find("reason=evidence"), std::string::npos) << log;
+}
+
+}  // namespace
+}  // namespace xsec
