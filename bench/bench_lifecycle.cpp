@@ -1,0 +1,188 @@
+// Model-lifecycle micro-benchmarks (google-benchmark): what the edge loop
+// costs per event. Drift bookkeeping and shadow scoring sit on the
+// per-window path, so they must be nanosecond-scale; the retrain ->
+// verify -> hot-swap cycle runs off the hot path but still inside the
+// near-RT RIC's budget, so the full cycle is measured end to end on a
+// detector sized like the deployed one. No testbed or pipeline: every
+// stage is driven directly, the same technique the lifecycle unit tests
+// use.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "detect/scorer.hpp"
+#include "dl/tensor.hpp"
+#include "lifecycle/retrain.hpp"
+#include "lifecycle/shadow.hpp"
+#include "lifecycle/sketch.hpp"
+#include "lifecycle/store.hpp"
+#include "oran/sdl.hpp"
+
+using namespace xsec;
+
+namespace {
+
+constexpr std::size_t kWindow = 5;
+constexpr std::size_t kFeatures = 16;
+constexpr std::size_t kFlat = kWindow * kFeatures;
+
+std::vector<float> benign_windows(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * kFlat);
+  for (float& v : out) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return out;
+}
+
+/// A detector shaped like the deployed MobiWatch AE (flattened window in,
+/// two-layer encoder), trained just enough to have a scaler and threshold.
+std::unique_ptr<detect::AutoencoderDetector> active_detector() {
+  auto detector = std::make_unique<detect::AutoencoderDetector>(
+      kWindow, kFeatures, detect::DetectorConfig{},
+      std::vector<std::size_t>{32, 8});
+  std::vector<float> data = benign_windows(64, 0xB0075);
+  dl::Matrix raw(64, kFlat);
+  std::memcpy(raw.row(0), data.data(), data.size() * sizeof(float));
+  detector->fit_scaler(raw);
+  detect::FineTuneConfig tune;
+  tune.epochs = 3;
+  detector->fine_tune(data.data(), 64, kWindow, tune);
+  return detector;
+}
+
+lifecycle::BenignRing filled_ring(std::size_t n) {
+  lifecycle::BenignRing ring(lifecycle::RingConfig{.capacity = n});
+  std::vector<float> data = benign_windows(n, 0x41B6);
+  for (std::size_t w = 0; w < n; ++w) {
+    lifecycle::RingEntry entry;
+    entry.node_id = 1001;
+    entry.ue_id = w % 8;
+    entry.score = 0.1 + 0.001 * static_cast<double>(w);
+    entry.rows.assign(data.begin() + w * kFlat,
+                      data.begin() + (w + 1) * kFlat);
+    ring.push(std::move(entry));
+  }
+  return ring;
+}
+
+void BM_DriftObserve(benchmark::State& state) {
+  // The per-benign-window cost on the live path: one sketch add plus the
+  // periodic epoch check.
+  lifecycle::DriftDetector drift(lifecycle::DriftConfig{
+      .baseline_min = 128, .min_samples = 256, .divergence_threshold = 0.35});
+  Rng rng(0xD81F);
+  std::vector<double> scores(1024);
+  for (double& s : scores) s = rng.uniform(0.05, 0.5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drift.observe(scores[i]));
+    i = (i + 1) & 1023;
+  }
+}
+BENCHMARK(BM_DriftObserve);
+
+void BM_SketchDivergence(benchmark::State& state) {
+  lifecycle::QuantileSketch a, b;
+  Rng rng(0x51C3);
+  for (int i = 0; i < 512; ++i) {
+    a.add(rng.uniform(0.05, 0.5));
+    b.add(rng.uniform(0.1, 1.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.divergence(b));
+}
+BENCHMARK(BM_SketchDivergence);
+
+void BM_StoreVerify(benchmark::State& state) {
+  // Integrity verification of one stored model blob: full checksum pass
+  // over the wrapped weights — the cost of never trusting the SDL.
+  oran::Sdl sdl;
+  lifecycle::ModelStore store(&sdl);
+  Bytes model_state = active_detector()->save_state();
+  std::uint32_t version = store.put(model_state);
+  Bytes wrapped = *sdl.get(store.ns(), lifecycle::ModelStore::version_key(version));
+  for (auto _ : state) benchmark::DoNotOptimize(store.verify(wrapped));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wrapped.size()));
+}
+BENCHMARK(BM_StoreVerify);
+
+void BM_ShadowObserve(benchmark::State& state) {
+  // The per-window cost of keeping a candidate in shadow: one candidate
+  // inference plus the gate tallies.
+  auto active = active_detector();
+  lifecycle::ShadowScorer shadow(active->clone_for_inference(), 2,
+                                 lifecycle::GateConfig{});
+  std::vector<float> data = benign_windows(64, 0x5AD0);
+  std::size_t w = 0;
+  for (auto _ : state) {
+    shadow.observe(data.data() + w * kFlat, kWindow, 0.2, false);
+    w = (w + 1) & 63;
+  }
+}
+BENCHMARK(BM_ShadowObserve);
+
+void BM_RetrainCandidate(benchmark::State& state) {
+  // One drift-triggered retrain: sanitize the ring, clone the active
+  // detector, fine-tune the clone, score the training set.
+  auto active = active_detector();
+  lifecycle::BenignRing ring = filled_ring(64);
+  lifecycle::RetrainConfig config;
+  config.min_windows = 32;
+  config.tune.epochs = 2;
+  for (auto _ : state) {
+    auto result =
+        lifecycle::retrain_candidate(*active, ring, nullptr, kWindow, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RetrainCandidate)->Unit(benchmark::kMicrosecond);
+
+void BM_RestoreDetector(benchmark::State& state) {
+  // The hot-swap's deserialization half: header validation, architecture
+  // rebuild, scaler + weight load from the verified blob.
+  Bytes model_state = active_detector()->save_state();
+  for (auto _ : state) {
+    auto restored = detect::restore_detector(model_state);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_RestoreDetector)->Unit(benchmark::kMicrosecond);
+
+void BM_LifecycleCycle(benchmark::State& state) {
+  // The whole off-path cycle a drift event buys: retrain a candidate,
+  // persist it versioned+checksummed, shadow-score a gate's worth of
+  // windows, verify-load and restore for the hot swap.
+  auto active = active_detector();
+  lifecycle::BenignRing ring = filled_ring(64);
+  lifecycle::RetrainConfig retrain;
+  retrain.min_windows = 32;
+  retrain.tune.epochs = 2;
+  lifecycle::GateConfig gate;
+  gate.min_windows = 64;
+  std::vector<float> live = benign_windows(64, 0x11F3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    oran::Sdl sdl;  // fresh store per cycle: version history stays flat
+    lifecycle::ModelStore store(&sdl);
+    state.ResumeTiming();
+    auto result =
+        lifecycle::retrain_candidate(*active, ring, nullptr, kWindow, retrain);
+    std::uint32_t version = store.put(result.value().candidate->save_state());
+    lifecycle::ShadowScorer shadow(std::move(result.value().candidate),
+                                   version, gate);
+    for (std::size_t w = 0; w < 64; ++w)
+      shadow.observe(live.data() + w * kFlat, kWindow, 0.2, false);
+    bool promote = shadow.ready() && shadow.passes();
+    auto verified = store.load(version);
+    auto swapped = detect::restore_detector(verified.value());
+    benchmark::DoNotOptimize(promote);
+    benchmark::DoNotOptimize(swapped);
+  }
+}
+BENCHMARK(BM_LifecycleCycle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -59,6 +59,7 @@ run_gbench() {
 run_gbench bench_pipeline_perf
 run_gbench bench_inference_latency
 run_gbench bench_mitigation
+run_gbench bench_lifecycle
 # The sharded scale sweep runs at its full 1M-UE default (~3s per shard
 # count) so its JSON is directly comparable to the committed baseline;
 # export XSEC_BENCH_UES to shrink it for quick local iterations (the

@@ -152,6 +152,18 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   analyzer_ = analyzer.get();
   ric_->register_xapp(std::move(analyzer));
 
+  // The lifecycle xApp registers AFTER the analyzer: its verdict handler
+  // only files false-positive evidence, so mitigation's (registered
+  // earlier) must keep running first. Its main input is MobiWatch's
+  // coordinator-side score observer, wired by bind().
+  if (config_.lifecycle.enabled) {
+    auto lifecycle =
+        std::make_unique<lifecycle::LifecycleXapp>(config_.lifecycle);
+    lifecycle_ = lifecycle.get();
+    ric_->register_xapp(std::move(lifecycle));
+    lifecycle_->bind(mobiwatch_, mitigation_);
+  }
+
   if (config_.metrics_report_period.us > 0) {
     MetricsReportConfig report_config;
     report_config.period = config_.metrics_report_period;
@@ -217,6 +229,16 @@ PipelineStats Pipeline::stats() const {
     s.mitigation_budget_exhausted = mitigation_->budget_exhausted();
     s.mitigation_actions_failed = mitigation_->actions_failed();
   }
+  if (lifecycle_) {
+    s.lifecycle_windows = lifecycle_->windows_observed();
+    s.lifecycle_drift_events = lifecycle_->drift_events();
+    s.lifecycle_retrains = lifecycle_->retrains();
+    s.lifecycle_promotions = lifecycle_->promotions();
+    s.lifecycle_rollbacks = lifecycle_->rollbacks();
+    s.lifecycle_gate_failures = lifecycle_->gate_failures();
+    s.lifecycle_models_rejected = lifecycle_->models_rejected();
+    s.lifecycle_active_version = lifecycle_->active_version();
+  }
   return s;
 }
 
@@ -275,6 +297,15 @@ std::string PipelineStats::to_text() const {
   out += line("rollbacks (evidence)", mitigation_rollbacks_evidence);
   out += line("action budget exhaustions", mitigation_budget_exhausted);
   out += line("actions failed", mitigation_actions_failed);
+  out += "Model lifecycle:\n";
+  out += line("windows observed", lifecycle_windows);
+  out += line("drift events", lifecycle_drift_events);
+  out += line("retrains", lifecycle_retrains);
+  out += line("promotions", lifecycle_promotions);
+  out += line("rollbacks", lifecycle_rollbacks);
+  out += line("gate failures", lifecycle_gate_failures);
+  out += line("models rejected", lifecycle_models_rejected);
+  out += line("active model version", lifecycle_active_version);
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "detect/mobiwatch.hpp"
+#include "lifecycle/manager.hpp"
 #include "llm/analyzer_xapp.hpp"
 #include "mitigate/xapp.hpp"
 #include "mobiflow/agent.hpp"
@@ -30,6 +31,9 @@ struct PipelineConfig {
   /// Closed-loop mitigation xApp; disabled by default (detection-only
   /// pipelines keep their exact seeded behavior).
   mitigate::MitigationConfig mitigation;
+  /// Edge model lifecycle (drift -> retrain -> shadow -> promote);
+  /// disabled by default for the same reason.
+  lifecycle::LifecycleConfig lifecycle;
   /// Per-agent outage-backlog capacity (records buffered while no
   /// subscription is live).
   std::size_t agent_outage_buffer = 8192;
@@ -114,6 +118,15 @@ struct PipelineStats {
   std::size_t mitigation_rollbacks_evidence = 0;
   std::size_t mitigation_budget_exhausted = 0;
   std::size_t mitigation_actions_failed = 0;
+  // Model lifecycle (all zero when the xApp is disabled)
+  std::size_t lifecycle_windows = 0;
+  std::size_t lifecycle_drift_events = 0;
+  std::size_t lifecycle_retrains = 0;
+  std::size_t lifecycle_promotions = 0;
+  std::size_t lifecycle_rollbacks = 0;
+  std::size_t lifecycle_gate_failures = 0;
+  std::size_t lifecycle_models_rejected = 0;
+  std::size_t lifecycle_active_version = 0;
 
   std::string to_text() const;
 };
@@ -141,6 +154,9 @@ class Pipeline {
   /// The mitigation xApp, or nullptr when config.mitigation.enabled is
   /// false.
   mitigate::MitigationXapp* mitigation() { return mitigation_; }
+  /// The model-lifecycle xApp, or nullptr when config.lifecycle.enabled
+  /// is false.
+  lifecycle::LifecycleXapp* lifecycle() { return lifecycle_; }
   llm::ResilientLlmClient& llm_client() { return *resilient_llm_; }
   /// The platform-wide observability bundle every component records into.
   obs::Observability& observability() { return *obs_; }
@@ -189,6 +205,7 @@ class Pipeline {
   detect::MobiWatchXapp* mobiwatch_ = nullptr;  // owned by the RIC
   llm::LlmAnalyzerXapp* analyzer_ = nullptr;    // owned by the RIC
   mitigate::MitigationXapp* mitigation_ = nullptr;  // owned by the RIC
+  lifecycle::LifecycleXapp* lifecycle_ = nullptr;   // owned by the RIC
   llm::ResilientLlmClient* resilient_llm_ = nullptr;  // shared_ptr'd below
   MetricsReportXapp* metrics_report_ = nullptr;  // owned by the RIC
 };

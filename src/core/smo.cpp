@@ -53,6 +53,26 @@ std::string json_report(Pipeline& pipeline) {
   return obs::render_json(pipeline.metrics(), &pipeline.tracer());
 }
 
+std::string incident_report(Pipeline& pipeline) {
+  oran::Sdl& sdl = pipeline.ric().sdl();
+  std::string out = "=== Incident export ===\n";
+
+  out += "--- Analyzed incidents ---\n";
+  for (const std::string& key : sdl.keys("xsec-reports"))
+    if (auto text = sdl.get_str("xsec-reports", key)) out += *text;
+
+  out += "--- Mitigation audit trail ---\n";
+  for (const std::string& key : sdl.keys("mitigate"))
+    if (auto text = sdl.get_str("mitigate", key)) out += *text + "\n";
+
+  out += "--- Model lifecycle log ---\n";
+  for (const std::string& key : sdl.keys("model"))
+    if (key.rfind("log-", 0) == 0)
+      if (auto text = sdl.get_str("model", key)) out += *text + "\n";
+
+  return out;
+}
+
 TrainingRApp::TrainingRApp(Pipeline* pipeline, TrainingRAppConfig config)
     : pipeline_(pipeline), config_(std::move(config)) {}
 

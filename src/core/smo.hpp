@@ -67,6 +67,12 @@ class MetricsReportXapp : public oran::XApp {
 std::string prometheus_report(Pipeline& pipeline);
 /// Renders the pipeline's registry + span ledger as a JSON snapshot.
 std::string json_report(Pipeline& pipeline);
+/// Renders the incident-centric export: every analyzed incident (SDL
+/// analysis reports), the mitigation per-action audit trail (issue /
+/// escalate / ack / rollback, each with its cause and the model version
+/// in force), and the model-lifecycle event log. Byte-stable under a
+/// fixed seed at any shard count.
+std::string incident_report(Pipeline& pipeline);
 
 class TrainingRApp {
  public:

@@ -114,6 +114,16 @@ class MobiWatchXapp : public oran::XApp {
   }
   bool incident_open() const { return engine_.any_incident_open(); }
   bool has_detector() const { return detector_ != nullptr; }
+  /// The installed detector (shared with the engine's shard replicas'
+  /// parent); the model-lifecycle subsystem clones and fine-tunes it.
+  const std::shared_ptr<AnomalyDetector>& detector_handle() const {
+    return detector_;
+  }
+  /// Per-window tap forwarded to the engine (invoked on the coordinator in
+  /// arrival order; see SourceWindowEngine::ScoreObserver).
+  void set_score_observer(SourceWindowEngine::ScoreObserver observer) {
+    engine_.set_score_observer(std::move(observer));
+  }
   const MobiWatchConfig& config() const { return config_; }
   /// The per-source window/scoring engine (sharding introspection).
   const SourceWindowEngine& engine() const { return engine_; }

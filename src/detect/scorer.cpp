@@ -8,6 +8,103 @@
 
 namespace xsec::detect {
 
+namespace {
+
+/// Self-describing detector-state header ("XDET").
+constexpr std::uint32_t kStateMagic = 0x58444554;
+constexpr std::uint8_t kKindAutoencoder = 0;
+constexpr std::uint8_t kKindLstm = 1;
+
+void write_f32(ByteWriter& w, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  w.u32(bits);
+}
+
+Result<float> read_f32(ByteReader& r) {
+  auto bits = r.u32();
+  if (!bits) return bits.error();
+  float v;
+  std::uint32_t b = bits.value();
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+void write_config(ByteWriter& w, const DetectorConfig& config) {
+  w.f64(config.threshold_percentile);
+  w.i64(config.epochs);
+  w.f64(static_cast<double>(config.learning_rate));
+  w.u64(config.batch_size);
+  w.u64(config.seed);
+  w.u8(static_cast<std::uint8_t>(config.ae_score));
+  w.u8(static_cast<std::uint8_t>(config.lstm_score));
+}
+
+Result<DetectorConfig> read_config(ByteReader& r) {
+  DetectorConfig config;
+  auto pct = r.f64();
+  if (!pct) return pct.error();
+  config.threshold_percentile = pct.value();
+  auto epochs = r.i64();
+  if (!epochs) return epochs.error();
+  config.epochs = static_cast<int>(epochs.value());
+  auto lr = r.f64();
+  if (!lr) return lr.error();
+  config.learning_rate = static_cast<float>(lr.value());
+  auto batch = r.u64();
+  if (!batch) return batch.error();
+  config.batch_size = static_cast<std::size_t>(batch.value());
+  auto seed = r.u64();
+  if (!seed) return seed.error();
+  config.seed = seed.value();
+  auto ae_score = r.u8();
+  if (!ae_score) return ae_score.error();
+  if (ae_score.value() > 1)
+    return Error::make("range", "unknown ae_score mode");
+  config.ae_score = static_cast<DetectorConfig::AeScore>(ae_score.value());
+  auto lstm_score = r.u8();
+  if (!lstm_score) return lstm_score.error();
+  if (lstm_score.value() > 1)
+    return Error::make("range", "unknown lstm_score mode");
+  config.lstm_score =
+      static_cast<DetectorConfig::LstmScore>(lstm_score.value());
+  return config;
+}
+
+void write_scaler(ByteWriter& w, const Standardizer& scaler) {
+  w.boolean(scaler.fitted());
+  if (!scaler.fitted()) return;
+  w.u32(static_cast<std::uint32_t>(scaler.dim()));
+  for (float v : scaler.mean()) write_f32(w, v);
+  for (float v : scaler.inv_std()) write_f32(w, v);
+}
+
+Status read_scaler(ByteReader& r, Standardizer& scaler) {
+  auto fitted = r.boolean();
+  if (!fitted) return Status(fitted.error());
+  if (!fitted.value()) return Status::ok_status();
+  auto dim = r.u32();
+  if (!dim) return Status(dim.error());
+  if (dim.value() > r.remaining())
+    return Status(Error::make("overflow", "scaler dim exceeds payload"));
+  std::vector<float> mean(dim.value());
+  std::vector<float> inv_std(dim.value());
+  for (float& v : mean) {
+    auto f = read_f32(r);
+    if (!f) return Status(f.error());
+    v = f.value();
+  }
+  for (float& v : inv_std) {
+    auto f = read_f32(r);
+    if (!f) return Status(f.error());
+    v = f.value();
+  }
+  scaler.restore(std::move(mean), std::move(inv_std));
+  return Status::ok_status();
+}
+
+}  // namespace
+
 double AnomalyDetector::score_window(
     const std::vector<std::vector<float>>& rows) {
   std::vector<float> flat;
@@ -294,6 +391,160 @@ std::unique_ptr<AnomalyDetector> LstmDetector::clone_for_inference() {
   copy->scaler_ = scaler_;
   copy->set_threshold(threshold());
   return copy;
+}
+
+Bytes AutoencoderDetector::save_state() {
+  ByteWriter w;
+  w.u32(kStateMagic);
+  w.u8(kKindAutoencoder);
+  w.u32(static_cast<std::uint32_t>(window_size_));
+  w.u32(static_cast<std::uint32_t>(feature_dim_));
+  const auto& hidden = model_.config().hidden;
+  w.u32(static_cast<std::uint32_t>(hidden.size()));
+  for (std::size_t h : hidden) w.u32(static_cast<std::uint32_t>(h));
+  write_config(w, config_);
+  write_scaler(w, scaler_);
+  w.f64(threshold());
+  Bytes params = dl::save_params(model_.params());
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  w.raw(params);
+  return w.take();
+}
+
+Bytes LstmDetector::save_state() {
+  ByteWriter w;
+  w.u32(kStateMagic);
+  w.u8(kKindLstm);
+  w.u32(static_cast<std::uint32_t>(window_size_));
+  w.u32(static_cast<std::uint32_t>(feature_dim_));
+  w.u32(static_cast<std::uint32_t>(model_.config().hidden_dim));
+  write_config(w, config_);
+  write_scaler(w, scaler_);
+  w.f64(threshold());
+  Bytes params = dl::save_params(model_.params());
+  w.u32(static_cast<std::uint32_t>(params.size()));
+  w.raw(params);
+  return w.take();
+}
+
+bool AutoencoderDetector::fine_tune(const float* windows,
+                                    std::size_t n_windows, std::size_t n_rows,
+                                    const FineTuneConfig& tune) {
+  if (n_windows == 0 || n_rows != window_size_) return false;
+  const std::size_t flat = window_size_ * feature_dim_;
+  dl::Matrix raw(n_windows, flat);
+  std::memcpy(raw.row(0), windows, n_windows * flat * sizeof(float));
+  // The scaler stays fixed: scores from the fine-tuned model live on the
+  // same scale as the parent's, which is what lets the shadow gate compare
+  // error distributions across versions.
+  dl::Matrix data = standardize(raw);
+  dl::TrainConfig train;
+  train.epochs = tune.epochs;
+  train.batch_size = tune.batch_size;
+  train.learning_rate = tune.learning_rate;
+  model_.fit(data, train);
+  calibrate(window_scores(raw), tune.threshold_percentile);
+  return true;
+}
+
+bool LstmDetector::fine_tune(const float* windows, std::size_t n_windows,
+                             std::size_t n_rows, const FineTuneConfig& tune) {
+  if (n_windows == 0 || n_rows != window_size_ + 1) return false;
+  std::vector<dl::SequenceSample> raw(n_windows);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    const float* base = windows + w * n_rows * feature_dim_;
+    raw[w].window.resize(window_size_);
+    for (std::size_t t = 0; t < window_size_; ++t)
+      raw[w].window[t].assign(base + t * feature_dim_,
+                              base + (t + 1) * feature_dim_);
+    raw[w].target.assign(base + window_size_ * feature_dim_,
+                         base + (window_size_ + 1) * feature_dim_);
+  }
+  auto samples = standardize(raw);
+  dl::LstmTrainConfig train;
+  train.epochs = tune.epochs;
+  train.batch_size = tune.batch_size;
+  train.learning_rate = tune.learning_rate;
+  model_.fit(samples, train);
+  calibrate(sample_errors(samples), tune.threshold_percentile);
+  return true;
+}
+
+Result<std::unique_ptr<AnomalyDetector>> restore_detector(const Bytes& state) {
+  ByteReader r(state);
+  auto magic = r.u32();
+  if (!magic) return magic.error();
+  if (magic.value() != kStateMagic)
+    return Error::make("magic", "not a detector state blob");
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  auto window_size = r.u32();
+  if (!window_size) return window_size.error();
+  auto feature_dim = r.u32();
+  if (!feature_dim) return feature_dim.error();
+  if (window_size.value() == 0 || feature_dim.value() == 0)
+    return Error::make("range", "zero window or feature dim");
+
+  std::unique_ptr<AnomalyDetector> detector;
+  Standardizer* scaler = nullptr;
+  std::vector<dl::Param> params;
+  // The AE standardizes flattened windows, the LSTM standardizes rows.
+  std::size_t scaler_dim = feature_dim.value();
+  if (kind.value() == kKindAutoencoder) {
+    scaler_dim = window_size.value() * feature_dim.value();
+    auto n_hidden = r.u32();
+    if (!n_hidden) return n_hidden.error();
+    if (n_hidden.value() > r.remaining())
+      return Error::make("overflow", "hidden count exceeds payload");
+    std::vector<std::size_t> hidden(n_hidden.value());
+    for (std::size_t& h : hidden) {
+      auto width = r.u32();
+      if (!width) return width.error();
+      if (width.value() == 0)
+        return Error::make("range", "zero hidden width");
+      h = width.value();
+    }
+    auto config = read_config(r);
+    if (!config) return config.error();
+    auto ae = std::make_unique<AutoencoderDetector>(
+        window_size.value(), feature_dim.value(), config.value(),
+        std::move(hidden));
+    scaler = &ae->scaler_;
+    params = ae->model().params();
+    detector = std::move(ae);
+  } else if (kind.value() == kKindLstm) {
+    auto hidden_dim = r.u32();
+    if (!hidden_dim) return hidden_dim.error();
+    if (hidden_dim.value() == 0)
+      return Error::make("range", "zero hidden dim");
+    auto config = read_config(r);
+    if (!config) return config.error();
+    auto lstm = std::make_unique<LstmDetector>(
+        window_size.value(), feature_dim.value(), config.value(),
+        hidden_dim.value());
+    scaler = &lstm->scaler_;
+    params = lstm->model().params();
+    detector = std::move(lstm);
+  } else {
+    return Error::make("kind", "unknown detector kind");
+  }
+
+  Status scaler_loaded = read_scaler(r, *scaler);
+  if (!scaler_loaded.ok()) return scaler_loaded.error();
+  if (scaler->fitted() && scaler->dim() != scaler_dim)
+    return Error::make("shape", "scaler dim does not match detector shape");
+  auto threshold = r.f64();
+  if (!threshold) return threshold.error();
+  detector->set_threshold(threshold.value());
+  auto params_len = r.u32();
+  if (!params_len) return params_len.error();
+  auto params_blob = r.raw(params_len.value());
+  if (!params_blob) return params_blob.error();
+  if (!r.exhausted())
+    return Error::make("trailing", "trailing bytes after detector state");
+  Status loaded = dl::load_params(params, params_blob.value());
+  if (!loaded.ok()) return loaded.error();
+  return detector;
 }
 
 }  // namespace xsec::detect

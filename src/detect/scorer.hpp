@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/plot.hpp"
+#include "common/result.hpp"
 #include "detect/features.hpp"
 #include "dl/autoencoder.hpp"
 #include "dl/lstm.hpp"
@@ -31,9 +33,31 @@ class Standardizer {
   void apply(dl::Matrix& data) const;
   void apply(std::vector<float>& row) const;
 
+  /// Fitted statistics, exposed for model-state serialization (the SDL
+  /// model store persists the scaler next to the weights — a restored
+  /// detector must standardize exactly like the original).
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& inv_std() const { return inv_std_; }
+  void restore(std::vector<float> mean, std::vector<float> inv_std) {
+    mean_ = std::move(mean);
+    inv_std_ = std::move(inv_std);
+  }
+
  private:
   std::vector<float> mean_;
   std::vector<float> inv_std_;
+};
+
+/// Knobs for incremental (fine-tune) retraining on fresh benign windows.
+/// Deliberately gentler than initial training: few epochs, low learning
+/// rate, and the scaler stays FIXED so scores remain comparable across
+/// model versions.
+struct FineTuneConfig {
+  int epochs = 4;
+  std::size_t batch_size = 32;
+  float learning_rate = 5e-4f;
+  /// Threshold recalibration percentile over the fine-tune windows.
+  double threshold_percentile = 99.0;
 };
 
 class AnomalyDetector {
@@ -77,6 +101,26 @@ class AnomalyDetector {
   /// scorers) — callers must then fall back to serialized scoring.
   virtual std::unique_ptr<AnomalyDetector> clone_for_inference() {
     return nullptr;
+  }
+
+  /// Serializes the detector's full inference state — architecture,
+  /// scaler, threshold, and weights — into a self-describing blob that
+  /// restore_detector() turns back into an equivalent detector. Empty
+  /// means the detector has no serialization support.
+  virtual Bytes save_state() { return {}; }
+
+  /// Incrementally retrains on `n_windows` benign windows laid out
+  /// contiguously at `windows`, each `n_rows` feature rows (= rows_needed)
+  /// of the detector's feature dim. The scaler is kept fixed and the
+  /// threshold is recalibrated over the fine-tune windows. Returns false
+  /// when unsupported or the layout does not match.
+  virtual bool fine_tune(const float* windows, std::size_t n_windows,
+                         std::size_t n_rows, const FineTuneConfig& tune) {
+    (void)windows;
+    (void)n_windows;
+    (void)n_rows;
+    (void)tune;
+    return false;
   }
 
   double threshold() const { return threshold_; }
@@ -133,6 +177,9 @@ class AutoencoderDetector : public AnomalyDetector {
     return window_size;
   }
   std::unique_ptr<AnomalyDetector> clone_for_inference() override;
+  Bytes save_state() override;
+  bool fine_tune(const float* windows, std::size_t n_windows,
+                 std::size_t n_rows, const FineTuneConfig& tune) override;
 
   dl::Autoencoder& model() { return model_; }
   /// Fits the input standardizer (called automatically by fit(); exposed
@@ -146,6 +193,9 @@ class AutoencoderDetector : public AnomalyDetector {
   dl::Matrix standardize(const dl::Matrix& raw_windows) const;
 
  private:
+  friend Result<std::unique_ptr<AnomalyDetector>> restore_detector(
+      const Bytes& state);
+
   std::size_t window_size_;
   std::size_t feature_dim_;
   DetectorConfig config_;
@@ -176,6 +226,9 @@ class LstmDetector : public AnomalyDetector {
     return window_size + 1;  // window plus the observed next record
   }
   std::unique_ptr<AnomalyDetector> clone_for_inference() override;
+  Bytes save_state() override;
+  bool fine_tune(const float* windows, std::size_t n_windows,
+                 std::size_t n_rows, const FineTuneConfig& tune) override;
 
   dl::LstmPredictor& model() { return model_; }
   void fit_scaler(const std::vector<dl::SequenceSample>& raw_samples);
@@ -187,6 +240,9 @@ class LstmDetector : public AnomalyDetector {
       const std::vector<dl::SequenceSample>& standardized);
 
  private:
+  friend Result<std::unique_ptr<AnomalyDetector>> restore_detector(
+      const Bytes& state);
+
   std::size_t window_size_;
   std::size_t feature_dim_;
   DetectorConfig config_;
@@ -197,5 +253,11 @@ class LstmDetector : public AnomalyDetector {
   dl::Matrix infer_rows_;
   dl::LstmPredictor::Workspace lstm_ws_;
 };
+
+/// Reconstructs a detector from a save_state() blob: validates the header,
+/// rebuilds the architecture it describes, and loads scaler + threshold +
+/// weights. Any malformed, truncated, or shape-mismatched blob is an
+/// error, never a half-initialized detector.
+Result<std::unique_ptr<AnomalyDetector>> restore_detector(const Bytes& state);
 
 }  // namespace xsec::detect

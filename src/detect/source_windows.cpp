@@ -251,6 +251,9 @@ void SourceWindowEngine::apply_score(SourceState& s, double score,
   const mobiflow::Record& record = s.recent[end];
   const bool anomalous = detector_->is_anomalous(score);
   if (anomalous && anomalous_windows_ != nullptr) anomalous_windows_->inc();
+  if (score_observer_)
+    score_observer_(s.key, s.feats.row(end - needed_ + 1), s.feats.cols(),
+                    needed_, score, anomalous);
 
   if (s.burst_active) {
     // The incident stays open while anomalous windows keep arriving (and

@@ -133,6 +133,16 @@ class SourceWindowEngine {
     mobiflow::Trace context;
   };
   using IncidentSink = std::function<void(Incident)>;
+  /// Per-window tap for the model-lifecycle subsystem: invoked on the
+  /// coordinator for EVERY applied window, in arrival order (so the call
+  /// sequence is shard-count-invariant). `rows` points at the window's
+  /// `n_rows` RAW (unstandardized) feature rows of width `row_dim`; the
+  /// pointer is only valid for the duration of the call. Observers must
+  /// not re-enter the engine (no flush/install from inside the callback).
+  using ScoreObserver =
+      std::function<void(const SourceKey& source, const float* rows,
+                         std::size_t row_dim, std::size_t n_rows,
+                         double score, bool anomalous)>;
   /// Deferred observability lookup: the engine binds spans/global metrics
   /// on first flush so it works before its host xApp is attached to a RIC.
   using ObsProvider = std::function<obs::Observability*()>;
@@ -147,6 +157,9 @@ class SourceWindowEngine {
     obs_provider_ = std::move(provider);
   }
   void set_incident_sink(IncidentSink sink) { sink_ = std::move(sink); }
+  void set_score_observer(ScoreObserver observer) {
+    score_observer_ = std::move(observer);
+  }
   void set_incident_close_gap(std::size_t gap) {
     config_.incident_close_gap = gap;
   }
@@ -251,6 +264,7 @@ class SourceWindowEngine {
   obs::Observability* obs_ = nullptr;
   obs::Counter* anomalous_windows_ = nullptr;
   IncidentSink sink_;
+  ScoreObserver score_observer_;
 };
 
 }  // namespace xsec::detect

@@ -1,0 +1,350 @@
+#include "lifecycle/manager.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "oran/ric.hpp"
+#include "oran/router.hpp"
+
+namespace xsec::lifecycle {
+
+LifecycleXapp::LifecycleXapp(LifecycleConfig config)
+    : oran::XApp("lifecycle"),
+      config_(std::move(config)),
+      drift_(config_.drift),
+      ring_(config_.ring) {}
+
+LifecycleXapp::Metrics& LifecycleXapp::m() const {
+  if (!metrics_.bound) {
+    obs::MetricsRegistry& reg = obs().metrics;
+    metrics_.windows_observed = &reg.counter("lifecycle.windows_observed");
+    metrics_.benign_windows = &reg.counter("lifecycle.benign_windows");
+    metrics_.drift_checks = &reg.counter("lifecycle.drift_checks");
+    metrics_.drift_events = &reg.counter("lifecycle.drift_events");
+    metrics_.retrains = &reg.counter("lifecycle.retrains");
+    metrics_.candidates_trained = &reg.counter("lifecycle.candidates_trained");
+    metrics_.candidates_rejected =
+        &reg.counter("lifecycle.candidates_rejected");
+    metrics_.model_rejected = &reg.counter("lifecycle.model_rejected");
+    metrics_.shadow_windows = &reg.counter("lifecycle.shadow_windows");
+    metrics_.promotions = &reg.counter("lifecycle.promotions");
+    metrics_.rollbacks = &reg.counter("lifecycle.rollbacks");
+    metrics_.gate_failures = &reg.counter("lifecycle.gate_failures");
+    metrics_.sanitize_dropped_trust =
+        &reg.counter("lifecycle.sanitize_dropped_trust");
+    metrics_.sanitize_dropped_outlier =
+        &reg.counter("lifecycle.sanitize_dropped_outlier");
+    metrics_.active_version = &reg.gauge("lifecycle.active_version");
+    metrics_.bound = true;
+  }
+  return metrics_;
+}
+
+void LifecycleXapp::on_start() {
+  store_ = std::make_unique<ModelStore>(&sdl(), config_.sdl_namespace);
+  store_->set_metrics(&obs().metrics);
+  router().subscribe(oran::kMtIncidentVerdict,
+                     [this](const oran::RoutedMessage& message) {
+                       handle_verdict(message);
+                     });
+}
+
+void LifecycleXapp::bind(detect::MobiWatchXapp* mobiwatch,
+                         mitigate::MitigationXapp* mitigation) {
+  mobiwatch_ = mobiwatch;
+  mitigation_ = mitigation;
+  mobiwatch_->set_score_observer(
+      [this](const detect::SourceKey& source, const float* rows,
+             std::size_t row_dim, std::size_t n_rows, double score,
+             bool anomalous) {
+        on_window(source, rows, row_dim, n_rows, score, anomalous);
+      });
+}
+
+void LifecycleXapp::ensure_bootstrap() {
+  if (bootstrapped_) return;
+  bootstrapped_ = true;
+  if (store_->active_version() != 0) {
+    m().active_version->set(store_->active_version());
+    return;  // resuming over an existing store
+  }
+  Bytes state = mobiwatch_->detector_handle()->save_state();
+  if (state.empty()) return;  // detector without serialization support
+  std::uint32_t version = store_->put(state);
+  store_->activate(version);
+  m().active_version->set(version);
+  log_event("bootstrap: offline-trained model stored as " +
+            ModelStore::version_key(version));
+}
+
+void LifecycleXapp::on_window(const detect::SourceKey& source,
+                              const float* rows, std::size_t row_dim,
+                              std::size_t n_rows, double score,
+                              bool anomalous) {
+  Metrics& metrics = m();
+  metrics.windows_observed->inc();
+  ensure_bootstrap();
+
+  // Shadow scoring first: the candidate sees the identical window stream
+  // the active model scored, including anomalies, but its verdict goes
+  // nowhere.
+  if (shadow_) {
+    shadow_->observe(rows, n_rows, score, anomalous);
+    metrics.shadow_windows->inc();
+    if (shadow_->ready() && !promote_pending_) {
+      if (shadow_->passes()) {
+        if (config_.auto_promote) {
+          promote_pending_ = true;
+          const std::uint32_t version = shadow_->version();
+          // Promotion swaps the detector, which resets window assembly —
+          // never from inside the observer; always a scheduled event.
+          ric().schedule_after(SimDuration::from_ms(1),
+                               [this, version] { promote(version); });
+        }
+      } else {
+        metrics.gate_failures->inc();
+        log_event("gate: candidate " +
+                  ModelStore::version_key(shadow_->version()) +
+                  " failed shadow gate (flag_rate=" +
+                  std::to_string(shadow_->benign_flag_rate()) +
+                  " error_ratio=" + std::to_string(shadow_->mean_error_ratio()) +
+                  " agreement=" + std::to_string(shadow_->anomaly_agreement()) +
+                  ")");
+        shadow_.reset();
+        candidate_training_scores_.clear();
+      }
+    }
+  }
+
+  const std::size_t flat = row_dim * n_rows;
+  if (anomalous) {
+    // Hold the window back as potential false-positive training data
+    // until the LLM verdict settles it.
+    RingEntry stash;
+    stash.node_id = source.node_id;
+    stash.ue_id = source.ue_id;
+    stash.score = score;
+    stash.rows.assign(rows, rows + flat);
+    anomalous_stash_[{source.node_id, source.ue_id}] = std::move(stash);
+    return;
+  }
+
+  metrics.benign_windows->inc();
+  RingEntry entry;
+  entry.node_id = source.node_id;
+  entry.ue_id = source.ue_id;
+  entry.score = score;
+  entry.rows.assign(rows, rows + flat);
+  ring_.push(std::move(entry));
+
+  const std::uint64_t checks_before = drift_.checks();
+  const bool drifted = drift_.observe(score);
+  if (drift_.checks() != checks_before) metrics.drift_checks->inc();
+  if (drifted) {
+    metrics.drift_events->inc();
+    log_event("drift: divergence " + std::to_string(drift_.last_divergence()) +
+              " over threshold " +
+              std::to_string(config_.drift.divergence_threshold));
+    if (!retrain_pending_ && !shadow_ && !promote_pending_) {
+      retrain_pending_ = true;
+      ric().schedule_after(config_.retrain_delay, [this] { run_retrain(); });
+    }
+  }
+}
+
+void LifecycleXapp::handle_verdict(const oran::RoutedMessage& message) {
+  auto verdict = llm::IncidentVerdict::deserialize(message.payload);
+  if (!verdict) return;
+  const SourceKey key{verdict.value().node_id, verdict.value().source_ue};
+  auto stash = anomalous_stash_.find(key);
+  if (stash == anomalous_stash_.end()) return;
+  if (!verdict.value().llm_agrees) {
+    // The LLM judged the flagged window benign: that is exactly the
+    // traffic the current model mis-scores, so it is prime retraining
+    // material — tagged so the outlier filter does not re-drop it.
+    RingEntry entry = std::move(stash->second);
+    entry.fp_evidence = true;
+    ring_.push(std::move(entry));
+  }
+  anomalous_stash_.erase(stash);
+}
+
+void LifecycleXapp::run_retrain() {
+  retrain_pending_ = false;
+  if (shadow_ || promote_pending_) return;  // a candidate is already in flight
+  Metrics& metrics = m();
+  obs::Span span = obs().tracer.begin("lifecycle.retrain");
+  metrics.retrains->inc();
+
+  detect::AnomalyDetector& active = *mobiwatch_->detector_handle();
+  const std::size_t rows_per_window =
+      active.rows_needed(mobiwatch_->config().window_size);
+  BenignRing::TrustFn trust;
+  if (mitigation_ != nullptr)
+    trust = [this](std::uint64_t node, std::uint64_t ue) {
+      return mitigation_->source_trust(node, ue);
+    };
+
+  auto result =
+      retrain_candidate(active, ring_, trust, rows_per_window, config_.retrain);
+  if (!result) {
+    log_event("retrain: skipped (" + result.error().message + ")");
+    return;
+  }
+  RetrainResult retrained = std::move(result).value();
+  metrics.candidates_trained->inc();
+  metrics.sanitize_dropped_trust->inc(retrained.dropped_trust);
+  metrics.sanitize_dropped_outlier->inc(retrained.dropped_outlier);
+
+  Bytes state = retrained.candidate->save_state();
+  if (state.empty()) {
+    metrics.candidates_rejected->inc();
+    log_event("retrain: candidate has no serialization support, discarded");
+    return;
+  }
+  const std::uint32_t version = store_->put(state);
+  candidate_training_scores_ = std::move(retrained.training_scores);
+  shadow_ = std::make_unique<ShadowScorer>(std::move(retrained.candidate),
+                                           version, config_.gate);
+  ring_.clear();
+  log_event("retrain: candidate " + ModelStore::version_key(version) +
+            " fine-tuned on " + std::to_string(retrained.windows_used) +
+            " windows (dropped trust=" +
+            std::to_string(retrained.dropped_trust) +
+            " outlier=" + std::to_string(retrained.dropped_outlier) +
+            "), shadow scoring");
+}
+
+bool LifecycleXapp::install_version(std::uint32_t version, const Bytes& state,
+                                    const char* cause) {
+  auto restored = detect::restore_detector(state);
+  if (!restored) {
+    m().candidates_rejected->inc();
+    escalate_security_event("model " + ModelStore::version_key(version) +
+                            " failed restore (" + restored.error().message +
+                            ") during " + cause);
+    return false;
+  }
+  const detect::FeatureEncoder* encoder = mobiwatch_->engine().encoder();
+  if (encoder == nullptr) return false;
+  mobiwatch_->install_detector(
+      std::shared_ptr<detect::AnomalyDetector>(std::move(restored).value()),
+      *encoder);
+  store_->activate(version);
+  m().active_version->set(version);
+  return true;
+}
+
+void LifecycleXapp::promote(std::uint32_t version) {
+  promote_pending_ = false;
+  if (!shadow_ || shadow_->version() != version) return;
+  obs::Span span = obs().tracer.begin("lifecycle.promote");
+
+  // Reload through the store so the copy that will serve verdicts is the
+  // integrity-verified one — a blob tampered between put and promote is
+  // caught here, not trusted from memory.
+  auto state = store_->load(version);
+  if (!state) {
+    m().candidates_rejected->inc();
+    escalate_security_event("candidate " + ModelStore::version_key(version) +
+                            " failed integrity verification at promotion: " +
+                            state.error().message);
+    shadow_.reset();
+    candidate_training_scores_.clear();
+    return;
+  }
+  if (!install_version(version, state.value(), "promotion")) {
+    shadow_.reset();
+    candidate_training_scores_.clear();
+    return;
+  }
+  m().promotions->inc();
+  drift_.seed_baseline(candidate_training_scores_);
+  candidate_training_scores_.clear();
+  shadow_.reset();
+  anomalous_stash_.clear();
+  log_event("promote: " + ModelStore::version_key(version) +
+            " hot-swapped into MobiWatch (previous " +
+            ModelStore::version_key(store_->previous_version()) + ")");
+}
+
+void LifecycleXapp::promote_now() {
+  if (!shadow_ || promote_pending_) return;
+  promote_pending_ = true;
+  const std::uint32_t version = shadow_->version();
+  if (!ric().schedule_after(SimDuration::from_ms(1),
+                            [this, version] { promote(version); })) {
+    // Standalone (no scheduler): promote inline; callers are not inside
+    // the observer in that configuration.
+    promote(version);
+  }
+}
+
+bool LifecycleXapp::rollback() {
+  auto previous = store_->rollback();
+  if (!previous) {
+    log_event("rollback: refused (" + previous.error().message + ")");
+    return false;
+  }
+  auto state = store_->load(previous.value());
+  if (!state) {
+    escalate_security_event(
+        "rollback target " + ModelStore::version_key(previous.value()) +
+        " failed integrity verification: " + state.error().message);
+    return false;
+  }
+  if (!install_version(previous.value(), state.value(), "rollback"))
+    return false;
+  m().rollbacks->inc();
+  // The restored model's training distribution is unknown here; let the
+  // baseline re-bootstrap from live traffic.
+  drift_.reset();
+  shadow_.reset();
+  candidate_training_scores_.clear();
+  promote_pending_ = false;
+  log_event("rollback: reverted to " +
+            ModelStore::version_key(previous.value()));
+  return true;
+}
+
+std::uint32_t LifecycleXapp::submit_candidate(const Bytes& blob) {
+  Metrics& metrics = m();
+  auto state = store_->verify(blob);
+  if (!state) {
+    metrics.candidates_rejected->inc();
+    escalate_security_event("pushed model update rejected: " +
+                            state.error().message);
+    return 0;
+  }
+  auto restored = detect::restore_detector(state.value());
+  if (!restored) {
+    metrics.candidates_rejected->inc();
+    escalate_security_event("pushed model update rejected: " +
+                            restored.error().message);
+    return 0;
+  }
+  const std::uint32_t version = store_->put(state.value());
+  candidate_training_scores_.clear();
+  shadow_ = std::make_unique<ShadowScorer>(std::move(restored).value(),
+                                           version, config_.gate);
+  log_event("candidate: pushed model enrolled as " +
+            ModelStore::version_key(version) + ", shadow scoring");
+  return version;
+}
+
+void LifecycleXapp::escalate_security_event(const std::string& text) {
+  XSEC_LOG_WARN("lifecycle", text);
+  log_event("security: " + text);
+  oran::RoutedMessage review;
+  review.mtype = oran::kMtHumanReview;
+  review.source = name();
+  review.payload = Bytes(text.begin(), text.end());
+  router().publish(review);
+}
+
+void LifecycleXapp::log_event(const std::string& text) {
+  sdl().set_str(config_.sdl_namespace, "log-" + oran::Sdl::seq_key(next_log_++),
+                text);
+}
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,176 @@
+// Model lifecycle xApp: drift -> retrain -> shadow -> promote/rollback.
+//
+// The paper deploys MobiWatch with a frozen, offline-trained model; this
+// subsystem closes the remaining loop of the train/deploy split by
+// managing the model AT the edge:
+//
+//   observe   every applied window (coordinator-side score observer, so
+//             the stream is arrival-ordered and shard-count-invariant),
+//   drift     benign-window scores feed a quantile sketch compared
+//             against the training baseline,
+//   retrain   a drift event triggers fine-tuning a CLONE of the active
+//             detector on a sanitized benign ring (off the verdict path),
+//   store     every candidate is persisted as a checksummed version in
+//             the SDL model namespace,
+//   shadow    the candidate scores the live stream next to the active
+//             model without influencing verdicts,
+//   promote   only a candidate that passes the shadow gate is hot-swapped
+//             in (through MobiWatch's existing detector-swap path, so it
+//             propagates atomically to every shard replica),
+//   rollback  one step back to the previous version at any time.
+//
+// Tampered or poisoned model blobs are rejected at the store boundary
+// and surfaced as security events (human-review queue + counter); a
+// rejected candidate never serves a verdict.
+//
+// Determinism contract: every decision here is driven by the arrival-
+// ordered observer stream or by sim-time scheduled events, and all state
+// is integer-counted or replayed in arrival order — a fixed seed yields
+// byte-identical exports at any shard count with lifecycle enabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "detect/mobiwatch.hpp"
+#include "lifecycle/retrain.hpp"
+#include "lifecycle/shadow.hpp"
+#include "lifecycle/sketch.hpp"
+#include "lifecycle/store.hpp"
+#include "mitigate/xapp.hpp"
+#include "oran/xapp.hpp"
+
+namespace xsec::lifecycle {
+
+struct LifecycleConfig {
+  /// Pipeline gate: the xApp is only registered when set, so existing
+  /// deployments keep their exact behavior (and exports) by default.
+  bool enabled = false;
+  DriftConfig drift;
+  RingConfig ring;
+  RetrainConfig retrain;
+  GateConfig gate;
+  /// SDL namespace for versioned model blobs + the lifecycle event log.
+  std::string sdl_namespace = "model";
+  /// Sim-time delay between a drift event and the retrain run (keeps the
+  /// fine-tune off the window-apply path).
+  SimDuration retrain_delay = SimDuration::from_ms(5);
+  /// Promote automatically when the shadow gate passes. Off leaves the
+  /// candidate shadowing until an operator promotes it.
+  bool auto_promote = true;
+};
+
+class LifecycleXapp : public oran::XApp {
+ public:
+  explicit LifecycleXapp(LifecycleConfig config);
+
+  /// Wires the lifecycle into the live pipeline: taps MobiWatch's score
+  /// observer and (optionally) the mitigation xApp's per-source trust
+  /// ledger for training-set sanitization. Call after both xApps are
+  /// registered.
+  void bind(detect::MobiWatchXapp* mobiwatch,
+            mitigate::MitigationXapp* mitigation = nullptr);
+
+  void on_start() override;
+
+  /// Verifies and enrolls an externally supplied (e.g. SMO-pushed) model
+  /// blob as a shadow candidate. A blob that fails integrity checks is a
+  /// security event: rejected, counted, escalated to human review, and
+  /// never scores a window. Returns the assigned version, or 0.
+  std::uint32_t submit_candidate(const Bytes& blob);
+
+  /// Promotes the current shadow candidate regardless of gate state
+  /// (operator override). No-op without a candidate.
+  void promote_now();
+
+  /// One-step rollback to the previous model version. Returns false when
+  /// there is no previous version.
+  bool rollback();
+
+  ModelStore& store() { return *store_; }
+  const LifecycleConfig& config() const { return config_; }
+  const DriftDetector& drift() const { return drift_; }
+  const BenignRing& ring() const { return ring_; }
+  bool shadowing() const { return shadow_ != nullptr; }
+
+  // --- stats (registry snapshot views) ---
+  std::size_t windows_observed() const {
+    return m().windows_observed->value();
+  }
+  std::size_t benign_windows() const { return m().benign_windows->value(); }
+  std::size_t drift_events() const { return m().drift_events->value(); }
+  std::size_t retrains() const { return m().retrains->value(); }
+  std::size_t shadow_windows() const { return m().shadow_windows->value(); }
+  std::size_t promotions() const { return m().promotions->value(); }
+  std::size_t rollbacks() const { return m().rollbacks->value(); }
+  std::size_t gate_failures() const { return m().gate_failures->value(); }
+  std::size_t models_rejected() const { return m().model_rejected->value(); }
+  std::uint32_t active_version() const { return store_->active_version(); }
+
+ private:
+  using SourceKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  /// Registry handles, bound lazily on first use ("lifecycle.*").
+  struct Metrics {
+    obs::Counter* windows_observed = nullptr;
+    obs::Counter* benign_windows = nullptr;
+    obs::Counter* drift_checks = nullptr;
+    obs::Counter* drift_events = nullptr;
+    obs::Counter* retrains = nullptr;
+    obs::Counter* candidates_trained = nullptr;
+    obs::Counter* candidates_rejected = nullptr;
+    obs::Counter* model_rejected = nullptr;
+    obs::Counter* shadow_windows = nullptr;
+    obs::Counter* promotions = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* gate_failures = nullptr;
+    obs::Counter* sanitize_dropped_trust = nullptr;
+    obs::Counter* sanitize_dropped_outlier = nullptr;
+    obs::Gauge* active_version = nullptr;
+    bool bound = false;
+  };
+
+  Metrics& m() const;
+  /// Score-observer entry: one applied window, coordinator, arrival order.
+  void on_window(const detect::SourceKey& source, const float* rows,
+                 std::size_t row_dim, std::size_t n_rows, double score,
+                 bool anomalous);
+  /// Snapshots the installed detector as version 1 on first observation
+  /// (the offline-trained model becomes the store's root version).
+  void ensure_bootstrap();
+  void handle_verdict(const oran::RoutedMessage& message);
+  void run_retrain();
+  void promote(std::uint32_t version);
+  /// Installs `state` (a verified detector blob) as the serving model.
+  bool install_version(std::uint32_t version, const Bytes& state,
+                       const char* cause);
+  void escalate_security_event(const std::string& text);
+  void log_event(const std::string& text);
+
+  LifecycleConfig config_;
+  detect::MobiWatchXapp* mobiwatch_ = nullptr;
+  mitigate::MitigationXapp* mitigation_ = nullptr;
+  std::unique_ptr<ModelStore> store_;
+  DriftDetector drift_;
+  BenignRing ring_;
+  std::unique_ptr<ShadowScorer> shadow_;
+  /// Latest anomalous window per source, held back as potential false-
+  /// positive training data until the LLM verdict arrives.
+  std::map<SourceKey, RingEntry> anomalous_stash_;
+  /// Training scores of the candidate currently shadowing (seeds the
+  /// drift baseline if it is promoted).
+  std::vector<double> candidate_training_scores_;
+  bool bootstrapped_ = false;
+  bool retrain_pending_ = false;
+  bool promote_pending_ = false;
+  std::uint64_t next_log_ = 1;
+  mutable Metrics metrics_;
+};
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,88 @@
+#include "lifecycle/retrain.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/plot.hpp"
+
+namespace xsec::lifecycle {
+
+void BenignRing::push(RingEntry entry) {
+  if (entry.rows.empty()) return;
+  if (entries_.size() >= config_.capacity) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+BenignRing::Harvest BenignRing::harvest(const TrustFn& trust) const {
+  Harvest out;
+  if (entries_.empty()) return out;
+
+  // Outlier cutoff over the ring's own active-model score distribution.
+  std::vector<double> scores;
+  scores.reserve(entries_.size());
+  for (const RingEntry& e : entries_) scores.push_back(e.score);
+  const double cutoff = percentile(std::move(scores), config_.outlier_quantile);
+
+  std::vector<const RingEntry*> keep;
+  keep.reserve(entries_.size());
+  std::size_t flat = 0;
+  for (const RingEntry& e : entries_) {
+    if (trust && trust(e.node_id, e.ue_id) < config_.min_trust) {
+      ++out.dropped_trust;
+      continue;
+    }
+    // FP-evidence windows scored high by definition; the outlier filter
+    // would always drop exactly the windows the rollback vouched for.
+    if (!e.fp_evidence && e.score > cutoff) {
+      ++out.dropped_outlier;
+      continue;
+    }
+    if (flat == 0) flat = e.rows.size();
+    if (e.rows.size() != flat) continue;  // feature-dim change mid-ring
+    keep.push_back(&e);
+  }
+  if (keep.empty() || flat == 0) return out;
+
+  out.windows.resize(keep.size(), flat);
+  for (std::size_t w = 0; w < keep.size(); ++w)
+    std::memcpy(out.windows.row(w), keep[w]->rows.data(),
+                flat * sizeof(float));
+  return out;
+}
+
+Result<RetrainResult> retrain_candidate(detect::AnomalyDetector& active,
+                                        const BenignRing& ring,
+                                        const BenignRing::TrustFn& trust,
+                                        std::size_t rows_per_window,
+                                        const RetrainConfig& config) {
+  BenignRing::Harvest harvest = ring.harvest(trust);
+  if (harvest.windows.rows() < config.min_windows)
+    return Error::make("insufficient",
+                       "sanitized ring below min_windows for retraining");
+  if (rows_per_window == 0 ||
+      harvest.windows.cols() % rows_per_window != 0)
+    return Error::make("layout", "ring windows do not divide into rows");
+
+  std::unique_ptr<detect::AnomalyDetector> candidate =
+      active.clone_for_inference();
+  if (!candidate)
+    return Error::make("unsupported", "active detector has no clone support");
+
+  if (!candidate->fine_tune(harvest.windows.row(0), harvest.windows.rows(),
+                            rows_per_window, config.tune))
+    return Error::make("unsupported",
+                       "active detector has no fine-tune support");
+
+  RetrainResult result;
+  result.windows_used = harvest.windows.rows();
+  result.dropped_trust = harvest.dropped_trust;
+  result.dropped_outlier = harvest.dropped_outlier;
+  result.training_scores.reserve(harvest.windows.rows());
+  for (std::size_t w = 0; w < harvest.windows.rows(); ++w)
+    result.training_scores.push_back(
+        candidate->score_window(harvest.windows.row(w), rows_per_window));
+  result.candidate = std::move(candidate);
+  return result;
+}
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,106 @@
+// Incremental retraining: benign-window ring buffer + candidate trainer.
+//
+// Windows that cleared the active detector (and windows a mitigation
+// rollback proved to be false positives) accumulate in a bounded ring.
+// When drift fires, the harvest is sanitized — low-trust sources and
+// score outliers are dropped so a poisoning source cannot steer the
+// fine-tune set — and a CLONE of the active detector is fine-tuned off
+// the hot path. The active model keeps serving verdicts untouched until
+// the candidate survives shadow scoring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "detect/scorer.hpp"
+#include "dl/tensor.hpp"
+
+namespace xsec::lifecycle {
+
+struct RingConfig {
+  /// Windows retained (oldest evicted first).
+  std::size_t capacity = 512;
+  /// Sources below this trust score are excluded from the training set.
+  double min_trust = 0.5;
+  /// Windows scoring above this percentile of the ring's own score
+  /// distribution are excluded (near-threshold stragglers a poisoner
+  /// would use to drag the threshold upward).
+  double outlier_quantile = 99.0;
+};
+
+struct RingEntry {
+  std::uint64_t node_id = 0;
+  std::uint64_t ue_id = 0;
+  /// Active-model score at observation time (outlier filter input).
+  double score = 0.0;
+  /// True when a mitigation false-positive rollback vouched for this
+  /// window; bypasses the outlier filter (it was flagged precisely
+  /// because it scored high) but not the trust filter.
+  bool fp_evidence = false;
+  /// Raw (unstandardized) feature rows, flattened row-major.
+  std::vector<float> rows;
+};
+
+class BenignRing {
+ public:
+  explicit BenignRing(RingConfig config = {}) : config_(config) {}
+
+  void push(RingEntry entry);
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  const RingConfig& config() const { return config_; }
+
+  /// Trust lookup for a source (1.0 = fully trusted); wired to the
+  /// mitigation xApp's per-source trust ledger when available.
+  using TrustFn = std::function<double(std::uint64_t node, std::uint64_t ue)>;
+
+  struct Harvest {
+    /// Sanitized training windows, one flattened window per row.
+    dl::Matrix windows;
+    std::size_t dropped_trust = 0;
+    std::size_t dropped_outlier = 0;
+  };
+
+  /// Applies the trust and outlier filters and assembles the surviving
+  /// windows into a training matrix. The ring itself is left intact
+  /// (callers clear() after a successful retrain).
+  Harvest harvest(const TrustFn& trust) const;
+
+ private:
+  RingConfig config_;
+  std::deque<RingEntry> entries_;
+};
+
+struct RetrainConfig {
+  /// Sanitized windows required before a retrain is attempted.
+  std::size_t min_windows = 64;
+  detect::FineTuneConfig tune;
+};
+
+struct RetrainResult {
+  std::unique_ptr<detect::AnomalyDetector> candidate;
+  /// Candidate scores over the training windows (seeds the drift
+  /// baseline after promotion).
+  std::vector<double> training_scores;
+  std::size_t windows_used = 0;
+  std::size_t dropped_trust = 0;
+  std::size_t dropped_outlier = 0;
+};
+
+/// Clones `active` and fine-tunes the clone on the ring's sanitized
+/// harvest. `rows_per_window` is the detector's rows_needed(window_size)
+/// — every ring window holds that many feature rows. Fails when the ring
+/// cannot supply min_windows sanitized windows or the detector does not
+/// support cloning/fine-tuning.
+Result<RetrainResult> retrain_candidate(detect::AnomalyDetector& active,
+                                        const BenignRing& ring,
+                                        const BenignRing::TrustFn& trust,
+                                        std::size_t rows_per_window,
+                                        const RetrainConfig& config);
+
+}  // namespace xsec::lifecycle

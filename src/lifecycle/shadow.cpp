@@ -1,0 +1,48 @@
+#include "lifecycle/shadow.hpp"
+
+namespace xsec::lifecycle {
+
+void ShadowScorer::observe(const float* rows, std::size_t n_rows,
+                           double active_score, bool active_anomalous) {
+  const double score = candidate_->score_window(rows, n_rows);
+  const bool flagged = candidate_->is_anomalous(score);
+  ++windows_;
+  if (active_anomalous) {
+    ++anomalous_windows_;
+    if (flagged) ++anomalous_agreed_;
+  } else {
+    ++benign_windows_;
+    if (flagged) ++benign_flagged_;
+    benign_candidate_sum_ += score;
+    benign_active_sum_ += active_score;
+  }
+}
+
+double ShadowScorer::benign_flag_rate() const {
+  if (benign_windows_ == 0) return 0.0;
+  return static_cast<double>(benign_flagged_) /
+         static_cast<double>(benign_windows_);
+}
+
+double ShadowScorer::mean_error_ratio() const {
+  if (benign_windows_ == 0 || benign_active_sum_ <= 0.0) return 1.0;
+  return benign_candidate_sum_ / benign_active_sum_;
+}
+
+double ShadowScorer::anomaly_agreement() const {
+  if (anomalous_windows_ == 0) return 1.0;
+  return static_cast<double>(anomalous_agreed_) /
+         static_cast<double>(anomalous_windows_);
+}
+
+bool ShadowScorer::passes() const {
+  if (!ready()) return false;
+  if (benign_flag_rate() > gate_.max_benign_flag_rate) return false;
+  if (mean_error_ratio() > gate_.max_mean_error_ratio) return false;
+  if (anomalous_windows_ > 0 &&
+      anomaly_agreement() < gate_.min_anomaly_agreement)
+    return false;
+  return true;
+}
+
+}  // namespace xsec::lifecycle

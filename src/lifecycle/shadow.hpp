@@ -1,0 +1,74 @@
+// Shadow scoring: a candidate model scores the live window stream next to
+// the active model without ever influencing a verdict. Promotion is gated
+// on the shadow metrics — the candidate must stay quiet on benign traffic
+// (flag rate), must not inflate scores wholesale (mean-error ratio), and
+// must keep agreeing with the active model on the windows the active
+// model flags (anomaly agreement). A candidate that fails the gate is
+// discarded; the active model never noticed it existed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "detect/scorer.hpp"
+
+namespace xsec::lifecycle {
+
+struct GateConfig {
+  /// Shadow windows required before the gate can be evaluated.
+  std::size_t min_windows = 64;
+  /// Max fraction of active-benign windows the candidate may flag.
+  double max_benign_flag_rate = 0.02;
+  /// Max candidate/active mean-score ratio on benign windows.
+  double max_mean_error_ratio = 1.5;
+  /// Min fraction of active-anomalous windows the candidate also flags.
+  /// Only enforced once anomalous windows have been shadowed.
+  double min_anomaly_agreement = 0.5;
+};
+
+class ShadowScorer {
+ public:
+  ShadowScorer(std::unique_ptr<detect::AnomalyDetector> candidate,
+               std::uint32_t version, GateConfig gate)
+      : candidate_(std::move(candidate)), version_(version), gate_(gate) {}
+
+  /// Scores one applied window with the candidate, mirroring the active
+  /// model's verdict for agreement bookkeeping. Never touches the verdict
+  /// path.
+  void observe(const float* rows, std::size_t n_rows, double active_score,
+               bool active_anomalous);
+
+  bool ready() const { return windows_ >= gate_.min_windows; }
+  /// Gate verdict; only meaningful once ready().
+  bool passes() const;
+
+  std::uint32_t version() const { return version_; }
+  std::size_t windows() const { return windows_; }
+  std::size_t benign_windows() const { return benign_windows_; }
+  std::size_t benign_flagged() const { return benign_flagged_; }
+  std::size_t anomalous_windows() const { return anomalous_windows_; }
+  std::size_t anomalous_agreed() const { return anomalous_agreed_; }
+  double benign_flag_rate() const;
+  double mean_error_ratio() const;
+  double anomaly_agreement() const;
+
+  detect::AnomalyDetector& candidate() { return *candidate_; }
+  std::unique_ptr<detect::AnomalyDetector> take_candidate() {
+    return std::move(candidate_);
+  }
+
+ private:
+  std::unique_ptr<detect::AnomalyDetector> candidate_;
+  std::uint32_t version_;
+  GateConfig gate_;
+  std::size_t windows_ = 0;
+  std::size_t benign_windows_ = 0;
+  std::size_t benign_flagged_ = 0;
+  std::size_t anomalous_windows_ = 0;
+  std::size_t anomalous_agreed_ = 0;
+  double benign_candidate_sum_ = 0.0;
+  double benign_active_sum_ = 0.0;
+};
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,114 @@
+#include "lifecycle/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsec::lifecycle {
+
+std::size_t QuantileSketch::bucket_of(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN clamp to bucket 0
+  // Half-octave resolution: bucket = (log2(v) + 32) * 2, clamped.
+  double b = (std::log2(value) + 32.0) * 2.0;
+  if (b < 0.0) return 0;
+  if (b >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double QuantileSketch::bucket_edge(std::size_t b) {
+  return std::exp2(static_cast<double>(b + 1) * 0.5 - 32.0);
+}
+
+void QuantileSketch::add(double value) {
+  ++buckets_[bucket_of(value)];
+  ++count_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank as an integer so ties resolve identically everywhere.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) return bucket_edge(b);
+  }
+  return bucket_edge(kBuckets - 1);
+}
+
+double QuantileSketch::divergence(const QuantileSketch& other) const {
+  if (count_ == 0 || other.count_ == 0) return 0.0;
+  double tv = 0.0;
+  const double inv_a = 1.0 / static_cast<double>(count_);
+  const double inv_b = 1.0 / static_cast<double>(other.count_);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    double pa = static_cast<double>(buckets_[b]) * inv_a;
+    double pb = static_cast<double>(other.buckets_[b]) * inv_b;
+    tv += std::abs(pa - pb);
+  }
+  return 0.5 * tv;
+}
+
+void QuantileSketch::merge_from(const QuantileSketch& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+}
+
+void QuantileSketch::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+}
+
+void QuantileSketch::save(ByteWriter& w) const {
+  w.u64(count_);
+  for (std::uint64_t b : buckets_) w.varint(b);
+}
+
+Status QuantileSketch::load(ByteReader& r) {
+  auto count = r.u64();
+  if (!count) return Status(count.error());
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t total = 0;
+  for (std::uint64_t& b : buckets) {
+    auto v = r.varint();
+    if (!v) return Status(v.error());
+    b = v.value();
+    total += b;
+  }
+  if (total != count.value())
+    return Status(Error::make("corrupt", "sketch counts do not sum"));
+  buckets_ = buckets;
+  count_ = count.value();
+  return Status::ok_status();
+}
+
+bool DriftDetector::observe(double score) {
+  if (!baseline_ready_) {
+    baseline_.add(score);
+    if (baseline_.count() >= config_.baseline_min) baseline_ready_ = true;
+    return false;
+  }
+  recent_.add(score);
+  if (recent_.count() < config_.min_samples) return false;
+  ++checks_;
+  last_divergence_ = recent_.divergence(baseline_);
+  recent_.reset();
+  return last_divergence_ > config_.divergence_threshold;
+}
+
+void DriftDetector::seed_baseline(const std::vector<double>& scores) {
+  baseline_.reset();
+  recent_.reset();
+  for (double s : scores) baseline_.add(s);
+  baseline_ready_ = !scores.empty();
+}
+
+void DriftDetector::reset() {
+  baseline_.reset();
+  recent_.reset();
+  baseline_ready_ = false;
+  last_divergence_ = 0.0;
+}
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,99 @@
+// Streaming quantile sketch over anomaly scores.
+//
+// Drift detection needs a compact, mergeable summary of a score
+// distribution that can be compared against a baseline. This sketch bins
+// scores into fixed log-domain buckets (scores are reconstruction errors
+// spanning many orders of magnitude), which makes every operation — add,
+// quantile, divergence — integer-counted and therefore byte-deterministic
+// across runs and shard counts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace xsec::lifecycle {
+
+class QuantileSketch {
+ public:
+  /// Log2-domain buckets at half-octave resolution covering scores in
+  /// [2^-32, 2^32); everything below clamps to bucket 0, above to the top.
+  static constexpr std::size_t kBuckets = 128;
+
+  void add(double value);
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Upper edge of the bucket containing the q-th quantile (q in [0,1]).
+  /// 0 when the sketch is empty.
+  double quantile(double q) const;
+
+  /// Total-variation distance between the two sketches' normalized bucket
+  /// distributions, in [0,1]. 0 when either sketch is empty.
+  double divergence(const QuantileSketch& other) const;
+
+  void merge_from(const QuantileSketch& other);
+  void reset();
+
+  void save(ByteWriter& w) const;
+  Status load(ByteReader& r);
+
+  static std::size_t bucket_of(double value);
+  /// Upper edge of bucket b (the representative value quantile() returns).
+  static double bucket_edge(std::size_t b);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+/// Drift detector over one detector's benign-window score stream. The
+/// baseline sketch captures the distribution the current model was trained
+/// (or promoted) against; the recent sketch accumulates a rolling epoch of
+/// fresh scores. Once the epoch is full, the two are compared and the
+/// epoch resets — a divergence above the threshold is a drift event.
+struct DriftConfig {
+  /// Scores accumulated into the baseline before checks begin (only used
+  /// when the baseline self-bootstraps from live traffic).
+  std::size_t baseline_min = 128;
+  /// Scores per recent epoch before a divergence check.
+  std::size_t min_samples = 256;
+  /// Total-variation distance that constitutes drift.
+  double divergence_threshold = 0.35;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig config = {}) : config_(config) {}
+
+  /// Feeds one benign-window score. Returns true when this score completed
+  /// an epoch whose distribution diverged from the baseline.
+  bool observe(double score);
+
+  /// Installs an explicit baseline (e.g. the candidate's training-score
+  /// distribution after a promotion) and clears the recent epoch.
+  void seed_baseline(const std::vector<double>& scores);
+
+  /// Drops all state; the baseline re-bootstraps from live traffic.
+  void reset();
+
+  bool baseline_ready() const { return baseline_ready_; }
+  double last_divergence() const { return last_divergence_; }
+  std::uint64_t checks() const { return checks_; }
+  const QuantileSketch& baseline() const { return baseline_; }
+  const QuantileSketch& recent() const { return recent_; }
+
+ private:
+  DriftConfig config_;
+  QuantileSketch baseline_;
+  QuantileSketch recent_;
+  bool baseline_ready_ = false;
+  double last_divergence_ = 0.0;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace xsec::lifecycle

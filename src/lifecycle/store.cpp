@@ -1,0 +1,153 @@
+#include "lifecycle/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace xsec::lifecycle {
+
+namespace {
+
+/// Version-envelope magic ("XMDL").
+constexpr std::uint32_t kStoreMagic = 0x584D444C;
+
+std::uint32_t parse_version_key(const std::string& key) {
+  if (key.size() != 9 || key[0] != 'v') return 0;
+  std::uint32_t v = 0;
+  for (std::size_t i = 1; i < key.size(); ++i) {
+    if (key[i] < '0' || key[i] > '9') return 0;
+    v = v * 10 + static_cast<std::uint32_t>(key[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string ModelStore::version_key(std::uint32_t version) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "v%08u", version);
+  return buf;
+}
+
+void ModelStore::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    stored_ = nullptr;
+    rejected_ = nullptr;
+    return;
+  }
+  stored_ = &registry->counter("lifecycle.models_stored");
+  rejected_ = &registry->counter("lifecycle.model_rejected");
+}
+
+Bytes ModelStore::wrap(std::uint32_t version, const Bytes& state) const {
+  ByteWriter w;
+  w.u32(kStoreMagic);
+  w.u32(version);
+  w.u32(static_cast<std::uint32_t>(state.size()));
+  w.raw(state);
+  w.u64(fnv1a(w.bytes()));
+  return w.take();
+}
+
+Result<Bytes> ModelStore::reject(Error error) {
+  if (rejected_ != nullptr) rejected_->inc();
+  XSEC_LOG_WARN("lifecycle", "model blob rejected: ", error.message);
+  return error;
+}
+
+Result<Bytes> ModelStore::unwrap(const Bytes& blob,
+                                 std::uint32_t expect_version) {
+  if (blob.size() < 20)
+    return reject(Error::make("truncated", "model blob shorter than header"));
+  // Checksum covers everything before the trailing u64.
+  Bytes body(blob.begin(), blob.end() - 8);
+  ByteReader tail(blob.data() + blob.size() - 8, 8);
+  auto checksum = tail.u64();
+  if (!checksum)
+    return reject(Error::make("truncated", "model blob missing checksum"));
+  if (checksum.value() != fnv1a(body))
+    return reject(Error::make("checksum", "model blob checksum mismatch"));
+  ByteReader r(body);
+  auto magic = r.u32();
+  if (!magic || magic.value() != kStoreMagic)
+    return reject(Error::make("magic", "not a model store blob"));
+  auto version = r.u32();
+  if (!version)
+    return reject(Error::make("truncated", "model blob missing version"));
+  if (expect_version != 0 && version.value() != expect_version)
+    return reject(Error::make("version", "model blob version mismatch"));
+  auto len = r.u32();
+  if (!len)
+    return reject(Error::make("truncated", "model blob missing length"));
+  if (len.value() != r.remaining())
+    return reject(
+        Error::make("length", "model blob length does not match payload"));
+  auto state = r.raw(len.value());
+  if (!state)
+    return reject(Error::make("truncated", "model blob state truncated"));
+  return state.value();
+}
+
+std::uint32_t ModelStore::put(const Bytes& state) {
+  std::uint32_t next = 1;
+  for (std::uint32_t v : versions()) next = std::max(next, v + 1);
+  sdl_->set(ns_, version_key(next), wrap(next, state));
+  if (stored_ != nullptr) stored_->inc();
+  return next;
+}
+
+Result<Bytes> ModelStore::load(std::uint32_t version) {
+  auto blob = sdl_->get(ns_, version_key(version));
+  if (!blob)
+    return reject(Error::make("missing", "no such model version"));
+  return unwrap(*blob, version);
+}
+
+Result<Bytes> ModelStore::load_active() {
+  std::uint32_t active = active_version();
+  if (active == 0) return Error::make("missing", "no active model version");
+  return load(active);
+}
+
+Result<Bytes> ModelStore::verify(const Bytes& blob) {
+  return unwrap(blob, /*expect_version=*/0);
+}
+
+std::vector<std::uint32_t> ModelStore::versions() const {
+  std::vector<std::uint32_t> out;
+  for (const std::string& key : sdl_->keys(ns_)) {
+    std::uint32_t v = parse_version_key(key);
+    if (v != 0) out.push_back(v);
+  }
+  return out;  // SDL keys are ordered, zero-padded keys sort numerically
+}
+
+std::uint32_t ModelStore::active_version() const {
+  auto key = sdl_->get_str(ns_, "active");
+  return key ? parse_version_key(*key) : 0;
+}
+
+std::uint32_t ModelStore::previous_version() const {
+  auto key = sdl_->get_str(ns_, "previous");
+  return key ? parse_version_key(*key) : 0;
+}
+
+void ModelStore::activate(std::uint32_t version) {
+  std::uint32_t current = active_version();
+  if (current != 0 && current != version)
+    sdl_->set_str(ns_, "previous", version_key(current));
+  sdl_->set_str(ns_, "active", version_key(version));
+}
+
+Result<std::uint32_t> ModelStore::rollback() {
+  std::uint32_t previous = previous_version();
+  if (previous == 0)
+    return Error::make("missing", "no previous model version to roll back to");
+  std::uint32_t current = active_version();
+  sdl_->set_str(ns_, "active", version_key(previous));
+  if (current != 0) sdl_->set_str(ns_, "previous", version_key(current));
+  return previous;
+}
+
+}  // namespace xsec::lifecycle

@@ -1,0 +1,79 @@
+// Versioned model store in the SDL.
+//
+// The "Exploiting and Securing ML Solutions in Near-RT RIC" threat model
+// treats the model-update path as an attack surface: a compromised rApp or
+// SDL writer can push poisoned weights. This store is the defense at the
+// storage boundary — every version is wrapped in a checksummed blob, and
+// every load re-verifies magic, declared length, and checksum before a
+// single weight byte reaches a detector. A failed verification is a
+// security event (lifecycle.model_rejected), never a silent fallback.
+//
+// Layout in SDL namespace `model`:
+//   v00000001, v00000002, ...  checksummed version blobs
+//   active                     version key currently serving verdicts
+//   previous                   one-step rollback target
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "oran/sdl.hpp"
+
+namespace xsec::lifecycle {
+
+class ModelStore {
+ public:
+  explicit ModelStore(oran::Sdl* sdl, std::string ns = "model")
+      : sdl_(sdl), ns_(std::move(ns)) {}
+
+  /// Binds "lifecycle.models_stored" / "lifecycle.model_rejected" into a
+  /// registry; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  const std::string& ns() const { return ns_; }
+
+  /// Wraps `state` (a detector save_state blob) in a checksummed version
+  /// envelope and persists it. Returns the assigned version (1-based,
+  /// monotonic).
+  std::uint32_t put(const Bytes& state);
+
+  /// Loads and integrity-verifies one version; returns the unwrapped
+  /// detector state. Tampered/truncated/missing blobs are errors and
+  /// increment lifecycle.model_rejected.
+  Result<Bytes> load(std::uint32_t version);
+  Result<Bytes> load_active();
+
+  /// Verifies an externally supplied blob (e.g. an SMO-pushed candidate)
+  /// without persisting it; returns the unwrapped state. Rejections count
+  /// like load failures.
+  Result<Bytes> verify(const Bytes& blob);
+
+  /// All stored versions, ascending.
+  std::vector<std::uint32_t> versions() const;
+  std::uint32_t active_version() const;
+  std::uint32_t previous_version() const;
+
+  /// Marks `version` active; the prior active version becomes the
+  /// one-step rollback target.
+  void activate(std::uint32_t version);
+  /// Swaps active and previous. Fails when there is no previous version.
+  Result<std::uint32_t> rollback();
+
+  static std::string version_key(std::uint32_t version);
+
+ private:
+  Bytes wrap(std::uint32_t version, const Bytes& state) const;
+  Result<Bytes> unwrap(const Bytes& blob, std::uint32_t expect_version);
+  Result<Bytes> reject(Error error);
+
+  oran::Sdl* sdl_;
+  std::string ns_;
+  obs::Counter* stored_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+};
+
+}  // namespace xsec::lifecycle

@@ -1,10 +1,91 @@
 #include "mitigate/policy.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/strings.hpp"
 
 namespace xsec::mitigate {
+
+namespace {
+
+bool parse_u32(const std::string& text, std::uint32_t& out) {
+  if (text.empty() || text.find('-') != std::string::npos) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v > 0xffffffffUL) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_f64(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_action(const std::string& text, ActionKind& out) {
+  if (text == "release-rrc") out = ActionKind::kReleaseRrc;
+  else if (text == "rate-limit") out = ActionKind::kRateLimit;
+  else if (text == "quarantine-ue") out = ActionKind::kQuarantineUe;
+  else if (text == "isolate-node") out = ActionKind::kIsolateNode;
+  else return false;
+  return true;
+}
+
+Result<PolicyRule> parse_rule(const std::vector<std::string>& tokens,
+                              std::size_t line_no) {
+  auto fail = [line_no](const std::string& what) {
+    return Error::make("policy",
+                       "line " + std::to_string(line_no) + ": " + what);
+  };
+  PolicyRule rule;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos)
+      return fail("rule attribute '" + token + "' is not key=value");
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "stage") {
+      if (value == "detector") rule.stage = RuleStage::kDetector;
+      else if (value == "classified") rule.stage = RuleStage::kClassified;
+      else return fail("unknown stage '" + value + "'");
+    } else if (key == "class") {
+      rule.match_class = to_lower(value);
+    } else if (key == "action") {
+      if (!parse_action(value, rule.action))
+        return fail("unknown action '" + value + "'");
+    } else if (key == "min_ratio") {
+      if (!parse_f64(value, rule.min_score_ratio) || rule.min_score_ratio < 0)
+        return fail("bad min_ratio '" + value + "'");
+    } else if (key == "max_trust") {
+      if (!parse_f64(value, rule.max_trust) || rule.max_trust < 0 ||
+          rule.max_trust > 1.0)
+        return fail("bad max_trust '" + value + "'");
+    } else if (key == "ttl_ms") {
+      if (!parse_u32(value, rule.ttl_ms) || rule.ttl_ms == 0)
+        return fail("bad ttl_ms '" + value + "'");
+    } else if (key == "rate_limit") {
+      if (!parse_u32(value, rule.rate_limit))
+        return fail("bad rate_limit '" + value + "'");
+    } else if (key == "rate_window_ms") {
+      if (!parse_u32(value, rule.rate_window_ms) || rule.rate_window_ms == 0)
+        return fail("bad rate_window_ms '" + value + "'");
+    } else if (key == "stale_age_ms") {
+      if (!parse_u32(value, rule.stale_age_ms))
+        return fail("bad stale_age_ms '" + value + "'");
+    } else {
+      return fail("unknown rule attribute '" + key + "'");
+    }
+  }
+  return rule;
+}
+
+}  // namespace
 
 const char* to_string(ActionKind kind) {
   switch (kind) {
@@ -73,6 +154,66 @@ const PolicyRule* MitigationPolicy::match(
     return &rule;
   }
   return nullptr;
+}
+
+Result<MitigationPolicy> MitigationPolicy::parse(const std::string& text) {
+  MitigationPolicy policy;
+  policy.rules.clear();
+  std::size_t line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    // Tokenize on whitespace (split() collapses nothing, so drop empties).
+    std::vector<std::string> tokens;
+    for (const std::string& t : split(line, ' '))
+      if (!trim(t).empty()) tokens.push_back(trim(t));
+    if (tokens.empty()) continue;
+    if (tokens[0] == "rule") {
+      auto rule = parse_rule(tokens, line_no);
+      if (!rule) return rule.error();
+      policy.rules.push_back(rule.value());
+    } else if (tokens.size() == 1 &&
+               starts_with(tokens[0], "max_actions_per_source=")) {
+      std::uint32_t budget = 0;
+      const std::string value =
+          tokens[0].substr(std::string("max_actions_per_source=").size());
+      if (!parse_u32(value, budget) || budget == 0)
+        return Error::make("policy", "line " + std::to_string(line_no) +
+                                         ": bad max_actions_per_source '" +
+                                         value + "'");
+      policy.max_actions_per_source = budget;
+    } else {
+      return Error::make("policy", "line " + std::to_string(line_no) +
+                                       ": unknown directive '" + tokens[0] +
+                                       "'");
+    }
+  }
+  if (policy.rules.empty())
+    return Error::make("policy", "policy table has no rules");
+  return policy;
+}
+
+std::string MitigationPolicy::to_text() const {
+  std::string out = "max_actions_per_source=" +
+                    std::to_string(max_actions_per_source) + "\n";
+  for (const PolicyRule& rule : rules) {
+    out += "rule stage=";
+    out += rule.stage == RuleStage::kDetector ? "detector" : "classified";
+    if (!rule.match_class.empty()) out += " class=" + rule.match_class;
+    out += std::string(" action=") + to_string(rule.action);
+    out += " min_ratio=" + format_fixed(rule.min_score_ratio, 3);
+    out += " max_trust=" + format_fixed(rule.max_trust, 3);
+    out += " ttl_ms=" + std::to_string(rule.ttl_ms);
+    if (rule.action == ActionKind::kRateLimit) {
+      out += " rate_limit=" + std::to_string(rule.rate_limit);
+      out += " rate_window_ms=" + std::to_string(rule.rate_window_ms);
+    }
+    if (rule.action == ActionKind::kReleaseRrc)
+      out += " stale_age_ms=" + std::to_string(rule.stale_age_ms);
+    out += "\n";
+  }
+  return out;
 }
 
 void MitigationPolicy::apply_a1(const oran::A1Policy& policy) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "oran/a1.hpp"
 
 namespace xsec::mitigate {
@@ -74,6 +75,22 @@ struct MitigationPolicy {
   /// A1 (kPolicyMitigation) overrides: budgets and per-rule knobs that
   /// make sense as scalar tweaks ("max_actions_per_source", "ttl_scale").
   void apply_a1(const oran::A1Policy& policy);
+
+  /// Parses an operator-supplied policy table (the SDL `policy` namespace
+  /// format). One directive per line; '#' comments and blank lines are
+  /// ignored:
+  ///
+  ///   max_actions_per_source=6
+  ///   rule stage=detector action=rate-limit ttl_ms=1500 rate_limit=6
+  ///   rule stage=classified class=replay action=quarantine-ue ttl_ms=3000
+  ///
+  /// Every key is validated; an unknown key, stage, action, or malformed
+  /// number fails the WHOLE table (callers keep their previous policy), and
+  /// a table with no rules is an error.
+  static Result<MitigationPolicy> parse(const std::string& text);
+
+  /// Renders the table in the parse() format (round-trips losslessly).
+  std::string to_text() const;
 };
 
 }  // namespace xsec::mitigate

@@ -25,6 +25,8 @@ MitigationXapp::Metrics& MitigationXapp::m() const {
     metrics_.budget_exhausted = &r.counter("mitigate.budget_exhausted");
     metrics_.a1_tunings = &r.counter("mitigate.a1_tunings");
     metrics_.verdicts_consumed = &r.counter("mitigate.verdicts_consumed");
+    metrics_.policy_loads = &r.counter("mitigate.policy_loads");
+    metrics_.policy_errors = &r.counter("mitigate.policy_errors");
     metrics_.time_to_mitigate_us = &r.histogram("mitigate.time_to_mitigate_us");
     metrics_.time_to_recover_us = &r.histogram("mitigate.time_to_recover_us");
     metrics_.bound = true;
@@ -33,6 +35,13 @@ MitigationXapp::Metrics& MitigationXapp::m() const {
 }
 
 void MitigationXapp::on_start() {
+  load_policy();
+  // Live reload: an operator (or test) rewriting the table in the SDL
+  // replaces the rule set in force without restarting the xApp.
+  sdl().watch(config_.policy_namespace,
+              [this](const std::string&, const std::string& key) {
+                if (key == config_.policy_key) load_policy();
+              });
   router().subscribe(oran::kMtIncidentVerdict,
                      [this](const oran::RoutedMessage& message) {
                        handle_verdict(message);
@@ -59,6 +68,30 @@ void MitigationXapp::record(const std::string& text) {
                 text);
 }
 
+std::string MitigationXapp::model_version() {
+  auto active = sdl().get_str(config_.model_namespace, "active");
+  return active ? *active : std::string("v0");
+}
+
+void MitigationXapp::load_policy() {
+  auto text =
+      sdl().get_str(config_.policy_namespace, config_.policy_key);
+  if (!text) return;  // no operator table; defaults stay in force
+  auto parsed = MitigationPolicy::parse(*text);
+  if (!parsed) {
+    m().policy_errors->inc();
+    record("policy rejected: " + parsed.error().message);
+    XSEC_LOG_WARN("mitigation", "operator policy rejected (",
+                  parsed.error().message, "), keeping previous table");
+    return;
+  }
+  config_.policy = std::move(parsed).value();
+  m().policy_loads->inc();
+  record("policy loaded: " + std::to_string(config_.policy.rules.size()) +
+         " rules, budget " +
+         std::to_string(config_.policy.max_actions_per_source));
+}
+
 void MitigationXapp::handle_anomaly(const oran::RoutedMessage& message) {
   if (!config_.fast_path) return;
   auto anomaly = detect::AnomalyReport::deserialize(message.payload);
@@ -77,7 +110,8 @@ void MitigationXapp::handle_anomaly(const oran::RoutedMessage& message) {
   std::int64_t flagged_at_us = 0;
   for (const auto& entry : report.window.entries())
     flagged_at_us = std::max(flagged_at_us, entry.record.timestamp_us);
-  issue(key, *rule, {}, flagged_at_us, /*escalation=*/false);
+  issue(key, *rule, {}, flagged_at_us, /*escalation=*/false,
+        /*cause=*/"detector-flag");
 }
 
 void MitigationXapp::handle_verdict(const oran::RoutedMessage& message) {
@@ -116,12 +150,13 @@ void MitigationXapp::handle_verdict(const oran::RoutedMessage& message) {
       RuleStage::kClassified, verdict.candidate_attacks, ratio, source.trust);
   if (!rule) return;
   issue(key, *rule, verdict.suspect_tmsis, verdict.flagged_at_us,
-        /*escalation=*/false);
+        /*escalation=*/false, /*cause=*/"verdict");
 }
 
 void MitigationXapp::issue(const SourceKey& key, const PolicyRule& rule,
                            std::vector<std::uint64_t> tmsis,
-                           std::int64_t flagged_at_us, bool escalation) {
+                           std::int64_t flagged_at_us, bool escalation,
+                           const char* cause) {
   SourceState& source = sources_[key];
   if (source.actions_charged >= config_.policy.max_actions_per_source) {
     m().budget_exhausted->inc();
@@ -154,10 +189,11 @@ void MitigationXapp::issue(const SourceKey& key, const PolicyRule& rule,
         static_cast<std::uint64_t>(now - flagged_at_us));
   record("action #" + std::to_string(live.action_id) +
          (escalation ? " escalate " : " issue ") + to_string(live.kind) +
-         " node=" + std::to_string(key.first) +
+         " cause=" + cause + " node=" + std::to_string(key.first) +
          " ue=" + std::to_string(key.second) +
          " ttl=" + std::to_string(live.ttl_ms) +
-         "ms trust=" + format_fixed(source.trust, 4));
+         "ms trust=" + format_fixed(source.trust, 4) +
+         " model=" + model_version());
   XSEC_LOG_INFO("mitigation", escalation ? "escalated to " : "issued ",
                 to_string(live.kind), " against node ", key.first, " (ttl ",
                 live.ttl_ms, " ms)");
@@ -202,7 +238,7 @@ void MitigationXapp::escalate(const SourceKey& key,
   rule.action = static_cast<ActionKind>(next);
   rule.ttl_ms = action.ttl_ms;
   issue(key, rule, std::move(tmsis), verdict.flagged_at_us,
-        /*escalation=*/true);
+        /*escalation=*/true, /*cause=*/"escalation");
 }
 
 void MitigationXapp::rollback(const SourceKey& key, const char* reason,
@@ -221,7 +257,7 @@ void MitigationXapp::rollback(const SourceKey& key, const char* reason,
   record("action #" + std::to_string(action.action_id) + " rollback " +
          to_string(action.kind) + " reason=" + reason +
          " node=" + std::to_string(key.first) +
-         " ue=" + std::to_string(key.second));
+         " ue=" + std::to_string(key.second) + " model=" + model_version());
   XSEC_LOG_INFO("mitigation", "rolled back ", to_string(action.kind),
                 " on node ", key.first, " (", reason, ")");
 }
@@ -294,8 +330,9 @@ void MitigationXapp::send_rollback_controls(const SourceKey& key,
 
 void MitigationXapp::on_control_ack(std::uint64_t node_id,
                                     const oran::RicControlAck& ack) {
-  (void)node_id;
   if (!ack.success) m().actions_failed->inc();
+  record(std::string("control ack ") + (ack.success ? "ok" : "failed") +
+         " node=" + std::to_string(node_id) + " model=" + model_version());
 }
 
 oran::PolicyStatus MitigationXapp::on_policy(const oran::A1Policy& policy) {

@@ -49,6 +49,15 @@ struct MitigationConfig {
   double fp_tuning_cap = 1.5;
   /// xApp receiving the detection-tuning policy.
   std::string detection_xapp = "mobiwatch";
+  /// SDL namespace/key an operator-supplied policy table is loaded from
+  /// (MitigationPolicy::parse format). Loaded at start and live-reloaded
+  /// on every SDL write; a table that fails validation is rejected and
+  /// the policy in force stays unchanged.
+  std::string policy_namespace = "policy";
+  std::string policy_key = "mitigation";
+  /// SDL namespace the model-lifecycle store uses; audit rows stamp the
+  /// model version in force from its "active" key.
+  std::string model_namespace = "model";
 };
 
 class MitigationXapp : public oran::XApp {
@@ -77,6 +86,10 @@ class MitigationXapp : public oran::XApp {
   std::size_t verdicts_consumed() const {
     return m().verdicts_consumed->value();
   }
+  std::size_t policy_loads() const { return m().policy_loads->value(); }
+  std::size_t policy_errors() const { return m().policy_errors->value(); }
+  /// The rule table currently in force (defaults, SDL, or A1-adjusted).
+  const MitigationPolicy& policy() const { return config_.policy; }
   std::size_t active_actions() const { return active_.size(); }
   /// Current trust for a source (1.0 when never seen).
   double source_trust(std::uint64_t node_id, std::uint64_t source_ue) const;
@@ -117,6 +130,8 @@ class MitigationXapp : public oran::XApp {
     obs::Counter* budget_exhausted = nullptr;
     obs::Counter* a1_tunings = nullptr;
     obs::Counter* verdicts_consumed = nullptr;
+    obs::Counter* policy_loads = nullptr;
+    obs::Counter* policy_errors = nullptr;
     obs::Histogram* time_to_mitigate_us = nullptr;
     obs::Histogram* time_to_recover_us = nullptr;
     bool bound = false;
@@ -126,10 +141,11 @@ class MitigationXapp : public oran::XApp {
   void handle_anomaly(const oran::RoutedMessage& message);
   void handle_verdict(const oran::RoutedMessage& message);
   /// Applies `rule` to the source, charging the budget. `flagged_at_us`
-  /// feeds the time-to-mitigate histogram. No-op when the budget is gone.
+  /// feeds the time-to-mitigate histogram; `cause` lands in the audit
+  /// trail. No-op when the budget is gone.
   void issue(const SourceKey& key, const PolicyRule& rule,
              std::vector<std::uint64_t> tmsis, std::int64_t flagged_at_us,
-             bool escalation);
+             bool escalation, const char* cause);
   /// Replaces the active action with the next rung of the ladder.
   void escalate(const SourceKey& key, const llm::IncidentVerdict& verdict);
   void rollback(const SourceKey& key, const char* reason,
@@ -144,6 +160,12 @@ class MitigationXapp : public oran::XApp {
   void record(const std::string& text);
   std::int64_t now_us() const;
   void tune_detection();
+  /// (Re)loads the operator policy table from the SDL; invalid tables
+  /// leave the current policy in force.
+  void load_policy();
+  /// Model version in force (lifecycle store's "active" key, "v0" when no
+  /// lifecycle manages the model) — stamped on every audit row.
+  std::string model_version();
 
   MitigationConfig config_;
   std::map<SourceKey, ActiveAction> active_;
