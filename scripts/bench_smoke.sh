@@ -65,6 +65,9 @@ run_gbench bench_lifecycle
 # export XSEC_BENCH_UES to shrink it for quick local iterations (the
 # benchmark names stay the same, so bench_diff would then over-report).
 run_gbench bench_scale
+# Transport backend comparison: inproc vs UDS vs shm channel throughput,
+# the framed zero-copy receive path, and the varint fast-path delta.
+run_gbench bench_transport
 
 # Paper-artifact benches: --quick shrinks datasets/epochs where training is
 # involved; the rest are already smoke-sized.

@@ -30,10 +30,14 @@ if [[ "${1:-}" == "tsan" ]]; then
   if [[ $# -gt 0 ]]; then
     exec ctest --preset tsan "$@"
   fi
-  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos|Mitigation|ControlReliability|AgentSpill|Lifecycle'
+  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos|Mitigation|ControlReliability|AgentSpill|Lifecycle|FrameCodec|TransportChannel|TransportBackpressure'
   for shards in 2 4; do
     echo "=== chaos suite with XSEC_RIC_SHARDS=$shards under TSan ==="
     XSEC_RIC_SHARDS=$shards ctest --preset tsan -R 'Chaos|LifecycleE2e'
+  done
+  for backend in uds shm; do
+    echo "=== chaos suite with XSEC_E2_TRANSPORT=$backend under TSan ==="
+    XSEC_E2_TRANSPORT=$backend ctest --preset tsan -R 'Chaos|TransportBackpressure'
   done
   exit 0
 fi

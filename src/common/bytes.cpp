@@ -86,6 +86,26 @@ Result<bool> ByteReader::boolean() {
 }
 
 Result<std::uint64_t> ByteReader::varint() {
+  // Fast paths for the overwhelmingly common encodings: MobiFlow record
+  // fields are small enums/ids, so nearly every varint on the zero-copy
+  // ingest path is one byte (values < 128) or two (values < 16384).
+  if (pos_ < size_) {
+    const std::uint8_t b0 = data_[pos_];
+    if (!(b0 & 0x80)) {
+      ++pos_;
+      return static_cast<std::uint64_t>(b0);
+    }
+    if (size_ - pos_ >= 2) {
+      const std::uint8_t b1 = data_[pos_ + 1];
+      if (!(b1 & 0x80)) {
+        pos_ += 2;
+        return (static_cast<std::uint64_t>(b1) << 7) |
+               static_cast<std::uint64_t>(b0 & 0x7f);
+      }
+    }
+  }
+  // General loop for longer encodings, truncation, and malformed input —
+  // error strings and the wrap semantics of 10-byte varints are unchanged.
   std::uint64_t v = 0;
   int shift = 0;
   for (;;) {
@@ -112,6 +132,13 @@ Result<std::string> ByteReader::str() {
 Result<Bytes> ByteReader::raw(std::size_t n) {
   if (!need(n)) return Error::make("truncated", "raw read past end of buffer");
   Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::span<const std::uint8_t>> ByteReader::view(std::size_t n) {
+  if (!need(n)) return Error::make("truncated", "view past end of buffer");
+  std::span<const std::uint8_t> out(data_ + pos_, n);
   pos_ += n;
   return out;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,6 +64,10 @@ class ByteReader {
   Result<std::uint64_t> varint();
   Result<std::string> str();
   Result<Bytes> raw(std::size_t n);
+  /// Zero-copy read: a span over the next `n` bytes of the underlying
+  /// buffer (no allocation). The span is only valid while the buffer the
+  /// reader was constructed over stays alive and unmodified.
+  Result<std::span<const std::uint8_t>> view(std::size_t n);
 
   std::size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }

@@ -60,6 +60,9 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
       transports_[site]->to_ric(node_id, std::move(wire));
     };
     hooks.try_connect = [this, site] { return transports_[site]->connect(); };
+    hooks.transport_ready = [this, site](std::size_t pdu_bytes) {
+      return transports_[site]->ready_for(pdu_bytes);
+    };
     hooks.obs = obs_.get();
     hooks.outage_buffer_max = config_.agent_outage_buffer;
     hooks.spill_dir = config_.agent_spill_dir;
@@ -108,6 +111,8 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
     transport_hooks.obs = obs_.get();
     transport_hooks.metric_scope =
         "e2.node" + std::to_string(config_.e2_node_id + site);
+    transport_hooks.backend = config_.e2_transport;
+    transport_hooks.link_capacity = config_.e2_link_capacity;
     auto transport = std::make_unique<oran::FaultyE2Transport>(
         ric_.get(), agent.get(), plan, std::move(transport_hooks));
     transport->arm_epochs();

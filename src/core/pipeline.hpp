@@ -61,6 +61,16 @@ struct PipelineConfig {
   /// scoring, no worker threads). Any shard count produces byte-identical
   /// outputs under a fixed seed; >1 buys wall-clock throughput.
   std::size_t ric_shards = 0;
+  /// E2 transport backend carrying every agent's E2AP frames: "inproc"
+  /// (default), "uds" (framed Unix-domain socketpair), or "shm"
+  /// (shared-memory SPSC ring). Empty resolves from the XSEC_E2_TRANSPORT
+  /// environment variable, falling back to inproc. Any backend produces
+  /// byte-identical outputs under a fixed seed.
+  std::string e2_transport;
+  /// Per-direction E2 channel capacity in bytes. Logical accounting is
+  /// identical on every backend, so this also fixes where backpressure
+  /// trips; tests shrink it to exercise the slow-reader paths.
+  std::size_t e2_link_capacity = transport::kDefaultChannelCapacity;
 };
 
 /// One robustness-counter snapshot across every layer of the pipeline,
@@ -169,6 +179,11 @@ class Pipeline {
   }
   /// Resolved RIC shard count (config override or XSEC_RIC_SHARDS).
   std::size_t ric_shards() const { return config_.mobiwatch.shards; }
+  /// Resolved E2 transport backend (config / XSEC_E2_TRANSPORT / fallback).
+  transport::BackendKind e2_backend() const {
+    return transports_.empty() ? transport::BackendKind::kInProcess
+                               : transports_.front()->backend();
+  }
 
   /// Snapshot of every robustness counter in the system.
   PipelineStats stats() const;

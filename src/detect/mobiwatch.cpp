@@ -179,23 +179,29 @@ void MobiWatchXapp::note_gap(std::uint64_t node_id, const std::string& why) {
 
 void MobiWatchXapp::on_indication(std::uint64_t node_id,
                                   const oran::RicIndication& indication) {
-  auto message =
-      oran::e2sm::decode_indication_message(indication.message);
-  if (!message) {
-    XSEC_LOG_WARN("mobiwatch", "undecodable indication message");
-    return;
-  }
+  on_indication_view(node_id, oran::as_view(indication));
+}
+
+void MobiWatchXapp::on_indication_view(std::uint64_t node_id,
+                                       const oran::RicIndicationView& view) {
   // Nests under the RIC's open ric.deliver span for this indication.
   obs::Span ingest = obs().tracer.begin(
-      "mobiwatch.ingest", (node_id << 32) | indication.sequence_number);
-  for (const auto& row : message.value().rows) {
-    auto record = mobiflow::Record::from_kv_bytes(row);
+      "mobiwatch.ingest", (node_id << 32) | view.sequence_number);
+  // Walk the rows in place — no message materialization, no per-row
+  // allocation before the SDL's own copy.
+  oran::e2sm::RowCursor rows(view.message);
+  while (auto row = rows.next()) {
+    auto record = mobiflow::Record::from_kv_bytes(*row);
     if (!record) {
       XSEC_LOG_WARN("mobiwatch", "undecodable telemetry row: ",
                     record.error().message);
       continue;
     }
-    handle_record(node_id, record.value());
+    handle_record_row(node_id, record.value(), *row);
+  }
+  if (!rows.ok()) {
+    XSEC_LOG_WARN("mobiwatch", "undecodable indication message");
+    return;
   }
   // Score everything this indication completed in one batched pass, so
   // counters and incident state are up to date when the call returns.
@@ -204,11 +210,21 @@ void MobiWatchXapp::on_indication(std::uint64_t node_id,
 
 void MobiWatchXapp::handle_record(std::uint64_t node_id,
                                   const mobiflow::Record& record) {
+  Bytes row = record.to_kv_bytes();
+  handle_record_row(node_id, record,
+                    std::span<const std::uint8_t>(row.data(), row.size()));
+}
+
+void MobiWatchXapp::handle_record_row(std::uint64_t node_id,
+                                      const mobiflow::Record& record,
+                                      std::span<const std::uint8_t> row) {
   m().records_seen->inc();
   // Persist to the SDL so other xApps (and the SMO's rApps) see history.
-  // One global arrival-ordered sequence across all nodes.
+  // One global arrival-ordered sequence across all nodes. The row bytes
+  // were produced by Record::to_kv_bytes on the agent, so storing them
+  // verbatim is byte-identical to re-encoding the decoded record.
   sdl().set(config_.sdl_namespace, oran::Sdl::seq_key(next_seq_++),
-            record.to_kv_bytes());
+            Bytes(row.begin(), row.end()));
   engine_.ingest(node_id, record);
 }
 

@@ -84,8 +84,17 @@ class MobiWatchXapp : public oran::XApp {
                         FeatureEncoder encoder);
 
   void on_start() override;
+  /// Owned-indication entry (unit tests, reorder-buffer replays): wraps
+  /// the indication in a view and forwards to the zero-copy path so both
+  /// entries share one implementation.
   void on_indication(std::uint64_t node_id,
                      const oran::RicIndication& indication) override;
+  /// Zero-copy ingest: rows are read straight out of the transport's
+  /// frame via e2sm::RowCursor and stored in the SDL from the row span —
+  /// byte-identical to the re-encoded form, with no per-row allocation
+  /// before the SDL copy.
+  void on_indication_view(std::uint64_t node_id,
+                          const oran::RicIndicationView& view) override;
   /// Link recovery: the old subscription died with the link — re-subscribe,
   /// and treat the outage as a telemetry gap (records collected while the
   /// link was down may be delayed or lost).
@@ -152,6 +161,12 @@ class MobiWatchXapp : public oran::XApp {
   Metrics& m() const;
   static SourceWindowConfig engine_config(const MobiWatchConfig& config);
   void handle_record(std::uint64_t node_id, const mobiflow::Record& record);
+  /// Like handle_record, but persists the already-encoded row bytes
+  /// directly (the row was produced by Record::to_kv_bytes on the agent,
+  /// so storing it verbatim is byte-identical to re-encoding).
+  void handle_record_row(std::uint64_t node_id,
+                         const mobiflow::Record& record,
+                         std::span<const std::uint8_t> row);
   void publish_incident(SourceWindowEngine::Incident incident);
   void subscribe_to_node(std::uint64_t node_id);
   void note_gap(std::uint64_t node_id, const std::string& why);

@@ -361,10 +361,28 @@ void RicAgent::emit(Record record) {
   for (const auto& sub : subscriptions_)
     max_rows = std::min(max_rows, sub.action.max_rows);
   if (buffer_.size() >= max_rows) flush();
+  // A backpressured transport makes flush() defer, so the buffer can grow
+  // past the row cap even while subscribed: bound it exactly like the
+  // outage backlog (spill to disk, or drop the oldest).
+  if (buffer_.size() > hooks_.outage_buffer_max) {
+    if (!hooks_.spill_dir.empty()) {
+      spill_buffer();
+    } else {
+      buffer_.erase(buffer_.begin());
+      records_dropped_outage_->inc();
+    }
+  }
 }
 
 void RicAgent::flush() {
-  if (subscriptions_.empty() || buffer_.empty()) return;
+  if (subscriptions_.empty()) return;
+  // Backlog spilled under backpressure is replayed in front of the RAM
+  // buffer once the transport has headroom again (ordering preserved:
+  // spilled records predate everything still in RAM).
+  if (!spill_paths_.empty() &&
+      (!hooks_.transport_ready || hooks_.transport_ready(0)))
+    replay_spill();
+  if (buffer_.empty()) return;
 
   std::uint16_t max_rows = 0xffff;
   for (const auto& sub : subscriptions_)
@@ -379,20 +397,47 @@ void RicAgent::flush() {
     std::size_t count =
         std::min<std::size_t>(max_rows, buffer_.size() - offset);
 
+    // Probe the transport BEFORE consuming a sequence number or touching
+    // the retransmission ring: a refused batch is deferred, not half-sent.
+    // The records stay buffered (bounded by the outage spill machinery)
+    // and the periodic flush retries, so the sequence stream stays
+    // gap-free under backpressure. A refused batch is first halved and
+    // re-probed — smaller reports keep flowing through a congested
+    // channel, and a post-stall backlog whose full-size chunk could NEVER
+    // fit still drains instead of livelocking. The margin covers E2AP +
+    // frame overhead; with multiple subscribers only the first PDU is
+    // probed — a same-moment refusal of a sibling copy is recovered by
+    // the RIC's NACK machinery like any other transport loss.
     oran::e2sm::IndicationHeader header;
-    header.collect_start_us =
-        first_chunk ? buffer_start_.us : buffer_[offset].timestamp_us;
-    header.gnb_id = buffer_[offset].gnb_id;
-    header.cell = buffer_[offset].cell;
+    Bytes encoded_header;
+    Bytes encoded_message;
+    bool deferred = false;
+    for (;;) {
+      header = {};
+      header.collect_start_us =
+          first_chunk ? buffer_start_.us : buffer_[offset].timestamp_us;
+      header.gnb_id = buffer_[offset].gnb_id;
+      header.cell = buffer_[offset].cell;
 
-    oran::e2sm::IndicationMessage message;
-    message.rows.reserve(count);
-    for (std::size_t i = offset; i < offset + count; ++i)
-      message.rows.push_back(buffer_[i].to_kv_bytes());
+      oran::e2sm::IndicationMessage message;
+      message.rows.reserve(count);
+      for (std::size_t i = offset; i < offset + count; ++i)
+        message.rows.push_back(buffer_[i].to_kv_bytes());
 
-    // The same report batch goes to every subscriber of the function.
-    Bytes encoded_header = encode_indication_header(header);
-    Bytes encoded_message = encode_indication_message(message);
+      // The same report batch goes to every subscriber of the function.
+      encoded_header = encode_indication_header(header);
+      encoded_message = encode_indication_message(message);
+      if (!hooks_.transport_ready ||
+          hooks_.transport_ready(encoded_header.size() +
+                                 encoded_message.size() + 64))
+        break;
+      if (count == 1) {
+        deferred = true;
+        break;
+      }
+      count /= 2;
+    }
+    if (deferred) break;
     std::uint32_t sequence = next_sequence_++;
     std::int64_t sent_at_us = hooks_.now ? hooks_.now().us : 0;
     // Collection-to-send span for this batch: starts when the first
@@ -420,7 +465,11 @@ void RicAgent::flush() {
     offset += count;
     first_chunk = false;
   }
-  buffer_.clear();
+  // Consume only what was actually reported; a deferred tail stays put
+  // and its collection-start follows the oldest remaining record.
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (!buffer_.empty()) buffer_start_ = SimTime{buffer_.front().timestamp_us};
 }
 
 std::string RicAgent::spill_path(std::uint64_t seq) const {

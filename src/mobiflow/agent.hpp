@@ -69,6 +69,12 @@ struct AgentHooks {
   /// Attempts the E2 Setup exchange (wired to FaultyE2Transport::connect).
   /// Optional: without it the agent cannot reconnect after link loss.
   std::function<Result<std::uint64_t>()> try_connect;
+  /// Probe: would the node -> RIC transport accept a PDU of this size
+  /// right now (wired to FaultyE2Transport::ready_for)? Unset = always
+  /// ready. When it refuses, the agent defers the report — records stay
+  /// in the outage buffer (or spill to disk) with no sequence number
+  /// consumed, so the stream resumes gap-free when the transport drains.
+  std::function<bool(std::size_t)> transport_ready;
   /// Shared observability bundle; the agent creates a private one when
   /// absent (standalone tests). Metric names are "agent.node<id>.*".
   obs::Observability* obs = nullptr;

@@ -178,7 +178,11 @@ Bytes Record::to_kv_bytes() const {
 }
 
 Result<Record> Record::from_kv_bytes(const Bytes& wire) {
-  ByteReader r(wire);
+  return from_kv_bytes(std::span<const std::uint8_t>(wire.data(), wire.size()));
+}
+
+Result<Record> Record::from_kv_bytes(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire.data(), wire.size());
   auto rec = decode(r);
   if (!rec) return rec.error();
   if (!r.exhausted())

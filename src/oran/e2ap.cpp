@@ -57,14 +57,18 @@ Result<Bytes> decode_blob(ByteReader& r) {
 }
 }  // namespace
 
-Result<E2apType> e2ap_type(const Bytes& wire) {
-  ByteReader r(wire);
+Result<E2apType> e2ap_type(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire.data(), wire.size());
   auto version = r.u8();
   if (!version) return version.error();
   auto type = r.u8();
   if (!type) return type.error();
   if (type.value() > 8) return Error::make("malformed", "bad E2AP PDU type");
   return static_cast<E2apType>(type.value());
+}
+
+Result<E2apType> e2ap_type(const Bytes& wire) {
+  return e2ap_type(std::span<const std::uint8_t>(wire.data(), wire.size()));
 }
 
 Bytes encode_e2ap(const E2SetupRequest& m) {
@@ -292,6 +296,78 @@ Result<RicIndication> decode_indication(const Bytes& wire) {
   if (!msg) return msg.error();
   m.message = msg.value();
   return m;
+}
+
+Result<RicIndicationView> decode_indication_view(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire.data(), wire.size());
+  auto version = r.u8();
+  if (!version) return version.error();
+  if (version.value() != kVersion)
+    return Error::make("version", "unsupported E2AP version");
+  auto type_byte = r.u8();
+  if (!type_byte) return type_byte.error();
+  if (type_byte.value() != static_cast<std::uint8_t>(E2apType::kIndication))
+    return Error::make("type", "unexpected E2AP PDU type");
+  RicIndicationView m;
+  auto id = decode_request_id(r);
+  if (!id) return id.error();
+  m.request_id = id.value();
+  auto fn = r.u16();
+  if (!fn) return fn.error();
+  m.ran_function_id = fn.value();
+  auto action = r.u16();
+  if (!action) return action.error();
+  m.action_id = action.value();
+  auto sn = r.u32();
+  if (!sn) return sn.error();
+  m.sequence_number = sn.value();
+  auto sent_at = r.i64();
+  if (!sent_at) return sent_at.error();
+  m.sent_at_us = sent_at.value();
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (type.value() > 1)
+    return Error::make("malformed", "indication type out of range");
+  m.type = static_cast<RicIndicationType>(type.value());
+  auto hdr_len = r.u32();
+  if (!hdr_len) return hdr_len.error();
+  auto hdr = r.view(hdr_len.value());
+  if (!hdr) return hdr.error();
+  m.header = hdr.value();
+  auto msg_len = r.u32();
+  if (!msg_len) return msg_len.error();
+  auto msg = r.view(msg_len.value());
+  if (!msg) return msg.error();
+  m.message = msg.value();
+  return m;
+}
+
+RicIndication RicIndicationView::materialize() const {
+  RicIndication m;
+  m.request_id = request_id;
+  m.ran_function_id = ran_function_id;
+  m.action_id = action_id;
+  m.sequence_number = sequence_number;
+  m.sent_at_us = sent_at_us;
+  m.type = type;
+  m.header.assign(header.begin(), header.end());
+  m.message.assign(message.begin(), message.end());
+  return m;
+}
+
+RicIndicationView as_view(const RicIndication& m) {
+  RicIndicationView v;
+  v.request_id = m.request_id;
+  v.ran_function_id = m.ran_function_id;
+  v.action_id = m.action_id;
+  v.sequence_number = m.sequence_number;
+  v.sent_at_us = m.sent_at_us;
+  v.type = m.type;
+  v.header = std::span<const std::uint8_t>(m.header.data(), m.header.size());
+  v.message =
+      std::span<const std::uint8_t>(m.message.data(), m.message.size());
+  return v;
 }
 
 Bytes encode_e2ap(const RicIndicationNack& m) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,28 @@ struct RicIndication {
   Bytes message;  // service-model indication message
 };
 
+/// Zero-copy view of an encoded RIC Indication: the fixed-size metadata is
+/// decoded, but the service-model header/message blobs stay as spans over
+/// the wire buffer (the transport's receive arena / ring pages). Views are
+/// only valid while that buffer is alive and unmodified — buffer with
+/// materialize() to keep one past the delivery callback.
+struct RicIndicationView {
+  RicRequestId request_id;
+  std::uint16_t ran_function_id = 0;
+  std::uint16_t action_id = 0;
+  std::uint32_t sequence_number = 0;
+  std::int64_t sent_at_us = 0;
+  RicIndicationType type = RicIndicationType::kReport;
+  std::span<const std::uint8_t> header;
+  std::span<const std::uint8_t> message;
+
+  /// Deep copy into an owned RicIndication (reorder buffering, tests).
+  RicIndication materialize() const;
+};
+
+/// Views an owned indication (no copy; valid while `m` is alive).
+RicIndicationView as_view(const RicIndication& m);
+
 /// One missing run of indication sequence numbers (inclusive range) on one
 /// subscription's stream.
 struct NackRange {
@@ -142,6 +165,7 @@ Bytes encode_e2ap(const RicControlRequest& m);
 Bytes encode_e2ap(const RicControlAck& m);
 
 /// Peeks the PDU type of an encoded E2AP message.
+Result<E2apType> e2ap_type(std::span<const std::uint8_t> wire);
 Result<E2apType> e2ap_type(const Bytes& wire);
 
 Result<E2SetupRequest> decode_setup_request(const Bytes& wire);
@@ -151,6 +175,9 @@ Result<RicSubscriptionResponse> decode_subscription_response(const Bytes& wire);
 Result<RicSubscriptionDeleteRequest> decode_subscription_delete(
     const Bytes& wire);
 Result<RicIndication> decode_indication(const Bytes& wire);
+/// Zero-copy decode: no allocation; blob fields view into `wire`.
+Result<RicIndicationView> decode_indication_view(
+    std::span<const std::uint8_t> wire);
 Result<RicIndicationNack> decode_indication_nack(const Bytes& wire);
 Result<RicControlRequest> decode_control_request(const Bytes& wire);
 Result<RicControlAck> decode_control_ack(const Bytes& wire);

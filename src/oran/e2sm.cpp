@@ -76,6 +76,32 @@ Result<IndicationMessage> decode_indication_message(const Bytes& wire) {
   return m;
 }
 
+RowCursor::RowCursor(std::span<const std::uint8_t> wire)
+    : r_(wire.data(), wire.size()) {
+  auto count = r_.u32();
+  if (!count) {
+    ok_ = false;
+    return;
+  }
+  count_ = count.value();
+}
+
+std::optional<std::span<const std::uint8_t>> RowCursor::next() {
+  if (!ok_ || index_ >= count_) return std::nullopt;
+  auto len = r_.varint();
+  if (!len) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  auto row = r_.view(len.value());
+  if (!row) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  ++index_;
+  return row.value();
+}
+
 RanFunction make_mobiflow_function() {
   RanFunction f;
   f.function_id = kMobiFlowFunctionId;

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,28 @@ Bytes encode_indication_header(const IndicationHeader& m);
 Result<IndicationHeader> decode_indication_header(const Bytes& wire);
 Bytes encode_indication_message(const IndicationMessage& m);
 Result<IndicationMessage> decode_indication_message(const Bytes& wire);
+
+/// Zero-copy row iteration over an encoded IndicationMessage: each next()
+/// returns the next row blob as a span into `wire` — no per-row allocation
+/// on the RIC's ingest hot path. The spans are valid only while `wire`'s
+/// storage is.
+class RowCursor {
+ public:
+  explicit RowCursor(std::span<const std::uint8_t> wire);
+
+  /// Rows announced by the count prefix (0 when the prefix is unreadable).
+  std::uint32_t count() const { return count_; }
+  /// The next row, or nullopt at the end of the message or on malformed
+  /// input — check ok() to tell the two apart.
+  std::optional<std::span<const std::uint8_t>> next();
+  bool ok() const { return ok_; }
+
+ private:
+  ByteReader r_;
+  std::uint32_t count_ = 0;
+  std::uint32_t index_ = 0;
+  bool ok_ = true;
+};
 
 /// The RAN function advertisement the agent sends at E2 Setup.
 RanFunction make_mobiflow_function();

@@ -286,7 +286,7 @@ void NearRtRic::fail_node_controls(std::uint64_t node_id) {
 }
 
 void NearRtRic::deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
-                                const RicIndication& indication) {
+                                const RicIndicationView& indication) {
   obs::Observability& o = observability();
   // One trace per indication of a node; every stage of its journey
   // (agent.encode -> e2.transit -> ric.deliver -> mobiwatch.*) shares it.
@@ -301,7 +301,7 @@ void NearRtRic::deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
                         SimTime{indication.sent_at_us}, o.tracer.now());
   }
   obs::Span span = o.tracer.begin("ric.deliver", trace_id, transit_id);
-  xapp->on_indication(key.node_id, indication);
+  xapp->on_indication_view(key.node_id, indication);
 }
 
 void NearRtRic::deliver_in_order(const SubscriptionKey& key, Stream& stream) {
@@ -314,7 +314,7 @@ void NearRtRic::deliver_in_order(const SubscriptionKey& key, Stream& stream) {
     stream.nack_counts.erase(stream.next_expected);
     ++stream.next_expected;
     m().recovered->inc();
-    deliver_to_xapp(key, sub->second, next);
+    deliver_to_xapp(key, sub->second, as_view(next));
   }
 }
 
@@ -410,8 +410,8 @@ void NearRtRic::flush_nacks(std::uint64_t node_id) {
   node_it->second.link->on_e2ap(encode_e2ap(nack));
 }
 
-void NearRtRic::handle_indication(std::uint64_t node_id,
-                                  RicIndication indication) {
+void NearRtRic::handle_indication_view(std::uint64_t node_id,
+                                       const RicIndicationView& indication) {
   const RicRequestId& id = indication.request_id;
   SubscriptionKey key{node_id, id.requestor_id, id.instance_id};
   auto sub = subscriptions_.find(key);
@@ -436,16 +436,19 @@ void NearRtRic::handle_indication(std::uint64_t node_id,
   if (seq == stream.next_expected) {
     ++stream.next_expected;
     stream.nack_counts.erase(seq);
+    // The common case: in order, delivered as a zero-copy view straight
+    // out of the transport's buffer.
     deliver_to_xapp(key, sub->second, indication);
     deliver_in_order(key, stream);
     return;
   }
-  // Ahead of sequence: buffer and chase the missing run.
+  // Ahead of sequence: buffer and chase the missing run. Buffering must
+  // outlive the transport's frame, so this is the one path that copies.
   if (stream.pending.count(seq)) {
     m().duplicates->inc();
     return;
   }
-  stream.pending.emplace(seq, std::move(indication));
+  stream.pending.emplace(seq, indication.materialize());
   // Chase the missing run while retransmission budget remains; once every
   // sequence in it has been NACKed kMaxNacks times without an answer (or
   // the reorder buffer overflows), give up and declare the gap.
@@ -478,6 +481,12 @@ void NearRtRic::flush_streams() {
 }
 
 void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
+  from_node_frame(
+      node_id, std::span<const std::uint8_t>(e2ap_wire.data(), e2ap_wire.size()));
+}
+
+void NearRtRic::from_node_frame(std::uint64_t node_id,
+                                std::span<const std::uint8_t> e2ap_wire) {
   auto type = e2ap_type(e2ap_wire);
   if (!type) {
     XSEC_LOG_WARN("ric", "undecodable E2AP from node ", node_id);
@@ -485,7 +494,7 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
   }
   switch (type.value()) {
     case E2apType::kIndication: {
-      auto indication = decode_indication(e2ap_wire);
+      auto indication = decode_indication_view(e2ap_wire);
       if (!indication) {
         m().dropped->inc();
         return;
@@ -494,12 +503,14 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
       auto node_it = nodes_.find(node_id);
       if (node_it != nodes_.end() && node_it->second.indications)
         node_it->second.indications->inc();
-      handle_indication(node_id, std::move(indication).value());
+      handle_indication_view(node_id, indication.value());
       break;
     }
     case E2apType::kSubscriptionResponse: {
-      // Admission bookkeeping only; rejected actions are logged.
-      auto response = decode_subscription_response(e2ap_wire);
+      // Admission bookkeeping only; rejected actions are logged. Rare
+      // (once per subscription), so materializing the span is fine.
+      Bytes wire(e2ap_wire.begin(), e2ap_wire.end());
+      auto response = decode_subscription_response(wire);
       if (response && !response.value().rejected_action_ids.empty())
         XSEC_LOG_WARN("ric", "node ", node_id, " rejected ",
                       response.value().rejected_action_ids.size(),
@@ -507,7 +518,8 @@ void NearRtRic::from_node(std::uint64_t node_id, const Bytes& e2ap_wire) {
       break;
     }
     case E2apType::kControlAck: {
-      auto ack = decode_control_ack(e2ap_wire);
+      Bytes wire(e2ap_wire.begin(), e2ap_wire.end());
+      auto ack = decode_control_ack(wire);
       if (!ack) return;
       const RicRequestId& id = ack.value().request_id;
       if (id.instance_id != 0) {

@@ -91,6 +91,13 @@ class NearRtRic {
   /// Entry point for node -> RIC E2AP traffic (indications, subscription
   /// responses, control acks).
   void from_node(std::uint64_t node_id, const Bytes& e2ap_wire);
+  /// Zero-copy entry point: the span views transport-owned memory (frame
+  /// arena / ring pages) valid only for the duration of the call. In-order
+  /// indications flow to the xApp without materializing; only out-of-order
+  /// arrivals are copied into the reorder buffer. from_node() forwards
+  /// here — this is the single ingest implementation.
+  void from_node_frame(std::uint64_t node_id,
+                       std::span<const std::uint8_t> e2ap_wire);
 
   /// Declares a permanent gap for every still-missing sequence and drains
   /// the reorder buffers. Call at end of capture so buffered telemetry is
@@ -234,7 +241,8 @@ class NearRtRic {
     bool bound = false;
   };
 
-  void handle_indication(std::uint64_t node_id, RicIndication indication);
+  void handle_indication_view(std::uint64_t node_id,
+                              const RicIndicationView& indication);
   void deliver_in_order(const SubscriptionKey& key, Stream& stream);
   /// Gives up on [stream.next_expected, up_to) and tells the xApp.
   void declare_gap(const SubscriptionKey& key, Stream& stream,
@@ -256,7 +264,7 @@ class NearRtRic {
   /// Deliver to the owning xApp inside a "ric.deliver" span (so xApp-side
   /// spans nest under it) and record the indication's e2.transit latency.
   void deliver_to_xapp(const SubscriptionKey& key, XApp* xapp,
-                       const RicIndication& indication);
+                       const RicIndicationView& indication);
 
   Metrics& m() const;
   static std::size_t counter_value(const obs::Counter* c) {

@@ -29,6 +29,23 @@ FaultyE2Transport::FaultyE2Transport(NearRtRic* ric, E2NodeLink* node,
   link_down_events_ = &r.counter(scope + ".link_down_events");
   link_up_events_ = &r.counter(scope + ".link_up_events");
   transit_us_ = &r.histogram(scope + ".transit_us");
+
+  transport::LinkConfig link_cfg;
+  link_cfg.backend = transport::resolve_backend(hooks_.backend);
+  link_cfg.capacity = hooks_.link_capacity;
+  link_ = std::make_unique<transport::FramedLink>(link_cfg, obs);
+  link_->set_ric_sink(
+      [this](std::uint64_t node_id, std::span<const std::uint8_t> pdu) {
+        ric_->from_node_frame(node_id, pdu);
+      });
+  link_->set_node_sink(
+      [this](std::uint64_t, std::span<const std::uint8_t> pdu) {
+        // on_e2ap takes owned Bytes; materialize into the scratch ring
+        // (reused capacity — no steady-state allocation).
+        Bytes& wire = rx_scratch_[rx_scratch_idx_++ % rx_scratch_.size()];
+        wire.assign(pdu.begin(), pdu.end());
+        node_->on_e2ap(wire);
+      });
 }
 
 TransportCounters FaultyE2Transport::counters() const {
@@ -118,9 +135,18 @@ void FaultyE2Transport::send(Bytes wire, bool toward_ric,
       deliver(wire, toward_ric, node_id, sent_at);
       continue;
     }
+    // Reserve the frame's channel footprint for the flight window, like a
+    // kernel SNDBUF reserves at send() time: ready_for() counts these
+    // bytes so the agent's probe cannot overshoot the channel with frames
+    // that would be refused — after their sequence numbers were already
+    // consumed — when they land.
+    std::size_t flight_bytes =
+        toward_ric ? transport::framed_size(8 + wire.size()) : 0;
+    in_flight_to_ric_ += flight_bytes;
     hooks_.schedule(
         SimDuration::from_ms(static_cast<double>(delay_ms)),
-        [this, wire, toward_ric, node_id, sent_at] {
+        [this, wire, toward_ric, node_id, sent_at, flight_bytes] {
+          in_flight_to_ric_ -= flight_bytes;
           // The link may have gone down while the frame was in flight.
           if (!link_up_) {
             link_down_drops_->inc();
@@ -133,6 +159,17 @@ void FaultyE2Transport::send(Bytes wire, bool toward_ric,
 
 void FaultyE2Transport::deliver(const Bytes& wire, bool toward_ric,
                                 std::uint64_t node_id, SimTime sent_at) {
+  // The PDU's scheduled moment has arrived: frame it into the channel and
+  // pump synchronously, so the far side processes it NOW — exactly the
+  // pre-transport semantics — regardless of which backend carries it.
+  bool queued = toward_ric ? link_->enqueue_to_ric(node_id, wire)
+                           : link_->enqueue_to_node(node_id, wire);
+  if (!queued) {
+    // Channel full (paused/slow reader): the frame is lost here, counted
+    // as transport.backpressure_events by the link. Telemetry loss is
+    // recovered by the RIC's NACK machinery like any other drop.
+    return;
+  }
   frames_delivered_->inc();
   if (toward_ric && hooks_.now) {
     SimDuration transit = hooks_.now() - sent_at;
@@ -140,9 +177,9 @@ void FaultyE2Transport::deliver(const Bytes& wire, bool toward_ric,
       transit_us_->observe(static_cast<std::uint64_t>(transit.us));
   }
   if (toward_ric)
-    ric_->from_node(node_id, wire);
+    link_->pump_to_ric();
   else
-    node_->on_e2ap(wire);
+    link_->pump_to_node();
 }
 
 void FaultyE2Transport::go_down() {

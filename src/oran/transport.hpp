@@ -15,6 +15,7 @@
 // delivered synchronously, node -> RIC frames after a 1 ms E2 link delay.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "oran/ric.hpp"
+#include "transport/link.hpp"
 
 namespace xsec::oran {
 
@@ -78,6 +80,14 @@ struct TransportHooks {
   obs::Observability* obs = nullptr;
   /// Metric name prefix, e.g. "e2.node1001" in the multi-site pipeline.
   std::string metric_scope = "e2";
+  /// Transport backend name ("inproc" / "uds" / "shm"). An explicit value
+  /// wins; when empty the XSEC_E2_TRANSPORT environment variable fills the
+  /// default (falling back to inproc), so default-configured suites can be
+  /// re-run over a process-boundary backend without code changes.
+  std::string backend;
+  /// Logical per-direction channel capacity in bytes (identical across
+  /// backends, so backpressure decisions don't depend on the backend).
+  std::size_t link_capacity = transport::kDefaultChannelCapacity;
 };
 
 /// The transport interposes as the RIC's E2NodeLink: the RIC talks to it
@@ -107,6 +117,22 @@ class FaultyE2Transport : public E2NodeLink {
   /// Snapshot assembled from the registry counters ("<scope>.*").
   TransportCounters counters() const;
 
+  /// The backend actually in use (after env override and any fallback).
+  transport::BackendKind backend() const { return link_->backend(); }
+  /// Would a node -> RIC PDU of this size fit right now? Agents probe this
+  /// before consuming sequence numbers so backpressured telemetry stays in
+  /// their outage buffer instead of being half-sent. Frames still in their
+  /// transit-delay window count against the capacity (send()-time
+  /// reservation, like a kernel SNDBUF), so a burst of probes cannot
+  /// collectively overshoot the channel.
+  bool ready_for(std::size_t pdu_bytes) {
+    return link_->ready_for(pdu_bytes + in_flight_to_ric_);
+  }
+  /// Test hooks: pause/resume the RIC-side reader (slow-consumer chaos)
+  /// and drain whatever queued while it was paused.
+  void set_reader_paused(bool paused) { link_->set_ric_reader_paused(paused); }
+  void pump_to_ric() { link_->pump_to_ric(); }
+
  private:
   void send(Bytes wire, bool toward_ric, std::uint64_t node_id);
   void deliver(const Bytes& wire, bool toward_ric, std::uint64_t node_id,
@@ -121,6 +147,24 @@ class FaultyE2Transport : public E2NodeLink {
   Rng rng_;
   bool link_up_ = true;
   std::uint64_t node_id_ = 0;  // learned from a successful connect()
+
+  /// The framed channel pair carrying every delivered PDU. The fault plan
+  /// layers ABOVE it: faults decide WHEN (and whether) a PDU crosses; at
+  /// its scheduled delivery time the PDU is framed into the channel and
+  /// pumped synchronously, so FIFO channel order never conflicts with the
+  /// plan's reordering and the seed pipeline's timing is preserved
+  /// exactly on every backend.
+  std::unique_ptr<transport::FramedLink> link_;
+  /// Reusable buffers for RIC -> node deliveries: E2NodeLink::on_e2ap
+  /// takes owned Bytes, so the frame span is materialized here. A small
+  /// ring instead of one buffer because a delivery's side effects can
+  /// nest further deliveries while the outer buffer is still being read.
+  std::array<Bytes, 4> rx_scratch_;
+  std::size_t rx_scratch_idx_ = 0;
+  /// Framed bytes of node -> RIC frames inside their transit-delay window
+  /// (sent, not yet enqueued). ready_for() reserves them against the
+  /// channel capacity.
+  std::size_t in_flight_to_ric_ = 0;
 
   /// Registry handles bound once at construction (hot path stays
   /// allocation- and lookup-free).

@@ -40,6 +40,16 @@ class XApp {
     (void)indication;
   }
 
+  /// Zero-copy delivery: `view`'s header/message spans alias
+  /// transport-owned memory and are valid only during the call. The
+  /// default materializes an owned copy and calls on_indication, so xApps
+  /// that never opt in keep their existing semantics; hot-path consumers
+  /// override this instead and read the spans in place.
+  virtual void on_indication_view(std::uint64_t node_id,
+                                  const RicIndicationView& view) {
+    on_indication(node_id, view.materialize());
+  }
+
   /// Acknowledgement for a control request this xApp issued.
   virtual void on_control_ack(std::uint64_t node_id,
                               const RicControlAck& ack) {

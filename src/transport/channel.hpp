@@ -1,0 +1,104 @@
+// Process-boundary channel abstraction for the E2 interface.
+//
+// A channel moves opaque frames (transport/frame.hpp) in one direction.
+// Three interchangeable backends exist:
+//
+//   kInProcess — double-buffered byte queue inside the sim process (the
+//                historical behaviour; zero syscalls).
+//   kUds       — nonblocking AF_UNIX SOCK_STREAM socketpair; frames cross
+//                a real kernel socket and are reassembled from arbitrary
+//                partial reads into a reusable arena.
+//   kShm       — shared-memory SPSC byte ring (memfd + mirror double
+//                mapping) so every frame is virtually contiguous and the
+//                receive path hands out in-place spans with no copy.
+//
+// All backends share the same *logical* capacity accounting in user space
+// (`pending bytes = framed bytes sent − framed bytes delivered`), so
+// backpressure decisions — and therefore every exported metric — are
+// byte-identical no matter which backend carries the frames.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "transport/frame.hpp"
+
+namespace xsec::transport {
+
+enum class BackendKind : std::uint8_t {
+  kInProcess = 0,
+  kUds,
+  kShm,
+};
+
+std::string_view to_string(BackendKind kind);
+/// Parses "inproc" / "uds" / "shm"; anything else is an error.
+Result<BackendKind> parse_backend(std::string_view text);
+
+/// Default logical capacity of a link direction: enough for thousands of
+/// batched indications, small enough that a paused reader trips
+/// backpressure quickly in tests.
+inline constexpr std::size_t kDefaultChannelCapacity = 256 * 1024;
+
+/// One direction of an E2 link. Single-threaded by design: the sim event
+/// loop is the only caller of send()/pump(); `pump()` may re-enter
+/// `send()` on the same channel through delivery side effects (control
+/// chains), and every backend guarantees that frames being delivered stay
+/// valid across such nested sends.
+class E2Channel {
+ public:
+  /// Receives one completed frame's payload as an in-place view. The span
+  /// is valid only for the duration of the call.
+  using FrameSink = std::function<void(std::span<const std::uint8_t>)>;
+  using CorruptHook = std::function<void(std::size_t skipped_bytes)>;
+
+  virtual ~E2Channel() = default;
+
+  void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+  void set_corrupt_hook(CorruptHook hook) { corrupt_ = std::move(hook); }
+
+  /// Frames `payload` and enqueues it. Returns false — without enqueuing
+  /// anything — when the logical capacity cannot hold the frame.
+  virtual bool send(std::span<const std::uint8_t> payload) = 0;
+
+  /// Delivers every queued frame to the sink. No-op while the reader is
+  /// paused or a pump is already running (nested pumps from delivery side
+  /// effects fold into the outer one).
+  virtual void pump() = 0;
+
+  /// Framed bytes enqueued but not yet delivered.
+  std::size_t pending_bytes() const { return pending_; }
+  std::size_t capacity() const { return capacity_; }
+  bool writable(std::size_t frame_bytes) const {
+    return pending_ + frame_bytes <= capacity_;
+  }
+
+  /// Test hook: a paused reader stops pump() from draining, modelling a
+  /// slow consumer so backpressure paths can be exercised deterministically.
+  void set_reader_paused(bool paused) { reader_paused_ = paused; }
+  bool reader_paused() const { return reader_paused_; }
+
+  virtual BackendKind kind() const = 0;
+
+ protected:
+  explicit E2Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  FrameSink sink_;
+  CorruptHook corrupt_;
+  std::size_t capacity_;
+  std::size_t pending_ = 0;
+  bool reader_paused_ = false;
+  bool pumping_ = false;
+};
+
+/// Creates a channel of the requested backend. UDS and shm construction
+/// can fail (fd/mmap limits); returns nullptr so the caller can fall back
+/// to in-process with a warning rather than aborting the sim.
+std::unique_ptr<E2Channel> make_channel(BackendKind kind,
+                                        std::size_t capacity);
+
+}  // namespace xsec::transport

@@ -1,0 +1,127 @@
+// Shared-memory SPSC ring channel backend.
+//
+// The ring is a memfd mapped twice back-to-back (mirror double mapping):
+// any window of up to one physical capacity starting at any ring offset is
+// virtually contiguous, so a frame never needs a wrap-around copy and the
+// receive path hands out in-place spans straight over the ring pages.
+//
+// Physical capacity is twice the logical capacity (rounded up to a page):
+// pump() advances the tail only *after* the sink returns, so one frame can
+// be "delivered but not yet freed" while sends nested inside its delivery
+// side effects append at the head. Logical capacity bounds pending bytes,
+// logical capacity again bounds the in-flight frame, hence 2x physical is
+// always enough and head never overwrites a span still being viewed.
+#include <atomic>
+#include <cstring>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "transport/channel.hpp"
+
+namespace xsec::transport {
+
+namespace {
+
+class ShmChannel final : public E2Channel {
+ public:
+  ShmChannel(std::size_t capacity, std::uint8_t* base, std::size_t cap_phys,
+             int fd)
+      : E2Channel(capacity), base_(base), cap_phys_(cap_phys), fd_(fd) {}
+
+  ~ShmChannel() override {
+    ::munmap(base_, 2 * cap_phys_);
+    ::close(fd_);
+  }
+
+  bool send(std::span<const std::uint8_t> payload) override {
+    const std::size_t fs = framed_size(payload.size());
+    if (!writable(fs)) return false;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint8_t* dst = base_ + (head % cap_phys_);
+    write_frame_header(dst, payload);
+    if (!payload.empty())
+      std::memcpy(dst + kFrameHeaderBytes, payload.data(), payload.size());
+    head_.store(head + fs, std::memory_order_release);
+    pending_ += fs;
+    return true;
+  }
+
+  void pump() override {
+    if (reader_paused_ || pumping_) return;
+    pumping_ = true;
+    for (;;) {
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      const std::uint64_t head = head_.load(std::memory_order_acquire);
+      if (head == tail) break;
+      const std::size_t avail = static_cast<std::size_t>(head - tail);
+      std::span<const std::uint8_t> rest(base_ + (tail % cap_phys_), avail);
+      std::size_t consumed = 0;
+      std::span<const std::uint8_t> payload;
+      switch (parse_frame(rest, consumed, payload)) {
+        case FrameStatus::kOk:
+          pending_ -= consumed;
+          if (sink_) sink_(payload);
+          // Free the frame's ring bytes only now that the in-place span
+          // has been fully consumed.
+          tail_.store(tail + consumed, std::memory_order_release);
+          break;
+        case FrameStatus::kNeedMore:
+          // send() writes whole frames before publishing head; a partial
+          // frame here means corruption of the length field.
+          pending_ -= avail;
+          tail_.store(head, std::memory_order_release);
+          if (corrupt_) corrupt_(avail);
+          break;
+        default:
+          pending_ -= 1;
+          tail_.store(tail + 1, std::memory_order_release);
+          if (corrupt_) corrupt_(1);
+          break;
+      }
+    }
+    pumping_ = false;
+  }
+
+  BackendKind kind() const override { return BackendKind::kShm; }
+
+ private:
+  std::uint8_t* base_;
+  std::size_t cap_phys_;
+  int fd_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<E2Channel> make_shm_channel(std::size_t capacity) {
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t cap_phys = ((2 * capacity + page - 1) / page) * page;
+
+  int fd = static_cast<int>(::memfd_create("xsec-e2-ring", MFD_CLOEXEC));
+  if (fd < 0) return nullptr;
+  if (::ftruncate(fd, static_cast<off_t>(cap_phys)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  // Reserve 2x the physical size, then map the memfd into both halves so
+  // offsets wrap transparently.
+  void* reserve = ::mmap(nullptr, 2 * cap_phys, PROT_NONE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (reserve == MAP_FAILED) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto* base = static_cast<std::uint8_t*>(reserve);
+  if (::mmap(base, cap_phys, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_FIXED, fd, 0) == MAP_FAILED ||
+      ::mmap(base + cap_phys, cap_phys, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_FIXED, fd, 0) == MAP_FAILED) {
+    ::munmap(reserve, 2 * cap_phys);
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<ShmChannel>(capacity, base, cap_phys, fd);
+}
+
+}  // namespace xsec::transport

@@ -1,0 +1,127 @@
+// Unix-domain-socket channel backend: frames cross a real kernel socket
+// (nonblocking SOCK_STREAM socketpair), so reads can return any byte
+// split and the FrameAssembler reassembles frames into a reusable arena.
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "transport/channel.hpp"
+
+namespace xsec::transport {
+
+namespace {
+
+class UdsChannel final : public E2Channel {
+ public:
+  UdsChannel(std::size_t capacity, int tx_fd, int rx_fd)
+      : E2Channel(capacity), tx_fd_(tx_fd), rx_fd_(rx_fd) {
+    frame_scratch_.reserve(16 * 1024);
+    assembler_.set_corrupt_hook([this](std::size_t skipped) {
+      pending_ -= skipped;
+      if (corrupt_) corrupt_(skipped);
+    });
+  }
+
+  ~UdsChannel() override {
+    ::close(tx_fd_);
+    ::close(rx_fd_);
+  }
+
+  bool send(std::span<const std::uint8_t> payload) override {
+    const std::size_t fs = framed_size(payload.size());
+    if (!writable(fs)) return false;
+    pending_ += fs;
+    frame_scratch_.clear();
+    append_frame(frame_scratch_, payload);
+    write_bytes(frame_scratch_.data(), frame_scratch_.size());
+    return true;
+  }
+
+  void pump() override {
+    if (reader_paused_ || pumping_) return;
+    pumping_ = true;
+    for (;;) {
+      // Flush any bytes the kernel refused earlier (including spill from
+      // sends nested inside delivery side effects) before reading more.
+      flush_spill();
+      ssize_t n = ::recv(rx_fd_, chunk_, sizeof(chunk_), 0);
+      if (n <= 0) break;  // EAGAIN / EOF: queue drained
+      assembler_.feed(
+          std::span<const std::uint8_t>(chunk_, static_cast<std::size_t>(n)),
+          [this](std::span<const std::uint8_t> payload, std::size_t framed) {
+            pending_ -= framed;
+            if (sink_) sink_(payload);
+          });
+    }
+    pumping_ = false;
+  }
+
+  BackendKind kind() const override { return BackendKind::kUds; }
+
+ private:
+  void write_bytes(const std::uint8_t* data, std::size_t n) {
+    // Preserve stream order: if earlier bytes are still spilled, append —
+    // flushing happens at the next send or pump.
+    if (!spill_.empty()) {
+      spill_.insert(spill_.end(), data, data + n);
+      flush_spill();
+      return;
+    }
+    std::size_t off = 0;
+    while (off < n) {
+      ssize_t w = ::send(tx_fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      // Kernel buffer full (or peer gone): stash the remainder; logical
+      // accounting already counted these bytes as pending.
+      spill_.insert(spill_.end(), data + off, data + n);
+      return;
+    }
+  }
+
+  void flush_spill() {
+    std::size_t off = 0;
+    while (off < spill_.size()) {
+      ssize_t w =
+          ::send(tx_fd_, spill_.data() + off, spill_.size() - off,
+                 MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (off == spill_.size()) {
+      spill_.clear();
+    } else if (off > 0) {
+      spill_.erase(spill_.begin(), spill_.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+
+  int tx_fd_;
+  int rx_fd_;
+  Bytes frame_scratch_;
+  Bytes spill_;
+  FrameAssembler assembler_;
+  std::uint8_t chunk_[64 * 1024];
+};
+
+}  // namespace
+
+std::unique_ptr<E2Channel> make_uds_channel(std::size_t capacity) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds) != 0)
+    return nullptr;
+  // Size the kernel buffer near the logical capacity so user-space spill
+  // stays rare; failure is harmless (spill_ covers any shortfall).
+  int snd = static_cast<int>(capacity);
+  (void)::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &snd, sizeof(snd));
+  (void)::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &snd, sizeof(snd));
+  return std::make_unique<UdsChannel>(capacity, fds[0], fds[1]);
+}
+
+}  // namespace xsec::transport

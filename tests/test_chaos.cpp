@@ -410,6 +410,87 @@ TEST_F(ChaosDetectTest, ShardCountNeverChangesAnyExportedByte) {
   }
 }
 
+TEST_F(ChaosDetectTest, TransportBackendNeverChangesAnyExportedByte) {
+  // The determinism oracle of the transport layer: under a fixed seed the
+  // Prometheus export, the JSON snapshot, the robustness counters, and
+  // every anomaly report are byte-identical whether E2AP frames cross an
+  // in-process queue, a real Unix-domain socket, or a shared-memory ring —
+  // at any shard count, with chaos faults, multi-site traffic, an attack,
+  // and gap quarantine all active. All backends share the frame codec and
+  // the logical capacity accounting, so no counter can diverge.
+  auto run = [&](const std::string& backend, std::size_t shards) {
+    core::PipelineConfig config;
+    config.testbed.num_cells = 2;
+    config.ric_shards = shards;
+    config.e2_transport = backend;
+    config.fault_plan.drop_probability = 0.05;
+    config.fault_plan.reorder_probability = 0.10;
+    config.fault_plan.link_epochs = {
+        {SimTime::from_ms(1500), SimDuration::from_ms(300)}};
+    config.fault_plan.seed = 0xD373C7;
+    core::Pipeline pipeline(config);
+    if (!backend.empty()) {
+      auto expected = transport::parse_backend(backend);
+      EXPECT_TRUE(expected.ok());
+      if (expected.ok()) {
+        EXPECT_EQ(pipeline.e2_backend(), expected.value());
+      }
+    }
+    ChaosSnapshot snap;
+    pipeline.ric().router().subscribe(
+        oran::kMtAnomalyWindow, [&snap](const oran::RoutedMessage& m) {
+          snap.incidents.append(m.payload.begin(), m.payload.end());
+        });
+    pipeline.install_detector(
+        *detector_, detect::FeatureEncoder(eval_config_->features));
+    auto traffic_handle = schedule_benign(pipeline, 99, 10);
+    schedule_site_sessions(pipeline, 1, 6);
+    auto attack = attacks::make_bts_dos();
+    attack->launch(pipeline.testbed(), SimTime::from_ms(300));
+    pipeline.run_for(SimDuration::from_s(4));
+    pipeline.finalize();
+    snap.prometheus = obs::render_prometheus(pipeline.metrics());
+    snap.json = obs::render_json(pipeline.metrics(), &pipeline.tracer());
+    snap.stats_text = pipeline.stats().to_text();
+    return snap;
+  };
+
+  ChaosSnapshot reference = run("inproc", 1);
+  EXPECT_FALSE(reference.incidents.empty()) << "attack must produce reports";
+  struct Sweep {
+    const char* backend;
+    std::size_t shards;
+  };
+  for (Sweep sweep : {Sweep{"uds", 1}, Sweep{"shm", 1}, Sweep{"uds", 2},
+                      Sweep{"shm", 4}}) {
+    SCOPED_TRACE(std::string(sweep.backend) + " backend, " +
+                 std::to_string(sweep.shards) + " shards");
+    ChaosSnapshot other = run(sweep.backend, sweep.shards);
+    EXPECT_EQ(other.prometheus, reference.prometheus);
+    EXPECT_EQ(other.json, reference.json);
+    EXPECT_EQ(other.stats_text, reference.stats_text);
+    EXPECT_EQ(other.incidents, reference.incidents);
+  }
+
+  // The environment default reaches the same code path: an empty config
+  // with XSEC_E2_TRANSPORT=shm must match the reference byte for byte too.
+  // Preserve any sweep-provided value so later tests in this binary still
+  // see it (scripts/sanitize.sh exports it across a whole ctest run).
+  const char* prior_env = getenv("XSEC_E2_TRANSPORT");
+  std::string saved_env = prior_env ? prior_env : "";
+  setenv("XSEC_E2_TRANSPORT", "shm", 1);
+  ChaosSnapshot from_env = run("", 1);
+  if (prior_env) {
+    setenv("XSEC_E2_TRANSPORT", saved_env.c_str(), 1);
+  } else {
+    unsetenv("XSEC_E2_TRANSPORT");
+  }
+  EXPECT_EQ(from_env.prometheus, reference.prometheus);
+  EXPECT_EQ(from_env.json, reference.json);
+  EXPECT_EQ(from_env.stats_text, reference.stats_text);
+  EXPECT_EQ(from_env.incidents, reference.incidents);
+}
+
 TEST(ChaosShards, EnvironmentVariableSelectsShardCount) {
   setenv("XSEC_RIC_SHARDS", "3", 1);
   core::Pipeline from_env{core::PipelineConfig{}};

@@ -82,8 +82,8 @@ TEST(E2ap, TypeMismatchRejected) {
 }
 
 TEST(E2ap, GarbageRejected) {
-  EXPECT_FALSE(e2ap_type({}).ok());
-  EXPECT_FALSE(e2ap_type({0x01, 0xFF}).ok());
+  EXPECT_FALSE(e2ap_type(Bytes{}).ok());
+  EXPECT_FALSE(e2ap_type(Bytes{0x01, 0xFF}).ok());
   EXPECT_FALSE(decode_indication({0x01, 0x05}).ok());  // truncated body
 }
 
