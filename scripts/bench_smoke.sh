@@ -66,7 +66,10 @@ run_gbench bench_lifecycle
 # benchmark names stay the same, so bench_diff would then over-report).
 run_gbench bench_scale
 # Transport backend comparison: inproc vs UDS vs shm channel throughput,
-# the framed zero-copy receive path, and the varint fast-path delta.
+# the framed zero-copy receive path, the varint fast-path delta, and the
+# polled-vs-epoll pump burst (BM_PumpBurst reports syscalls_per_frame and
+# frames_per_wakeup per backend × pump mode — epoll must show measurably
+# fewer syscalls per frame on the kernel-socket backend).
 run_gbench bench_transport
 
 # Paper-artifact benches: --quick shrinks datasets/epochs where training is

@@ -19,7 +19,11 @@
 #     and then re-runs the chaos suite with XSEC_RIC_SHARDS forcing every
 #     pipeline onto 2 and 4 worker threads, so the coordinator/worker
 #     hand-off (SPSC ring, barrier, detector swap, metric drain) is
-#     race-checked under real fault-injected load.
+#     race-checked under real fault-injected load. Further sweeps re-run
+#     the chaos + transport suites over the kernel-socket backends
+#     (XSEC_E2_TRANSPORT) and under the event-driven pump
+#     (XSEC_E2_PUMP=epoll), so the writev/recv batching paths are
+#     race-checked too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +34,7 @@ if [[ "${1:-}" == "tsan" ]]; then
   if [[ $# -gt 0 ]]; then
     exec ctest --preset tsan "$@"
   fi
-  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos|Mitigation|ControlReliability|AgentSpill|Lifecycle|FrameCodec|TransportChannel|TransportBackpressure'
+  ctest --preset tsan -R 'EventQueueLanes|ShardHash|SpscRing|TaggedSlot|ShardExecutor|InferenceReplica|EngineDeterminism|CrossSiteDilution|EngineQuarantine|Chaos|Mitigation|ControlReliability|AgentSpill|Lifecycle|FrameCodec|TransportChannel|TransportBackpressure|TransportPump|TransportShortWrite'
   for shards in 2 4; do
     echo "=== chaos suite with XSEC_RIC_SHARDS=$shards under TSan ==="
     XSEC_RIC_SHARDS=$shards ctest --preset tsan -R 'Chaos|LifecycleE2e'
@@ -38,6 +42,11 @@ if [[ "${1:-}" == "tsan" ]]; then
   for backend in uds shm; do
     echo "=== chaos suite with XSEC_E2_TRANSPORT=$backend under TSan ==="
     XSEC_E2_TRANSPORT=$backend ctest --preset tsan -R 'Chaos|TransportBackpressure'
+  done
+  for backend in uds shm; do
+    echo "=== chaos suite with XSEC_E2_PUMP=epoll XSEC_E2_TRANSPORT=$backend under TSan ==="
+    XSEC_E2_PUMP=epoll XSEC_E2_TRANSPORT=$backend ctest --preset tsan \
+      -R 'Chaos|TransportBackpressure|TransportPump|TransportShortWrite'
   done
   exit 0
 fi

@@ -34,12 +34,26 @@ std::size_t resolve_ric_shards(std::size_t configured) {
 
 Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   config_.mobiwatch.shards = resolve_ric_shards(config_.ric_shards);
+  config_.e2_link_capacity =
+      transport::resolve_capacity(config_.e2_link_capacity);
   testbed_ = std::make_unique<sim::Testbed>(config_.testbed);
 
   // Platform-wide observability: one registry + tracer, driven by the sim
   // clock, shared by the RIC, every agent/transport, and the LLM path.
   obs_ = std::make_unique<obs::Observability>();
   obs_->set_clock([this] { return testbed_->now(); });
+
+  // One shared event-driven pump for every site's link (epoll mode). Its
+  // instrumentation lives in obs_->host, outside the deterministic export.
+  pump_mode_ = transport::resolve_pump_mode(config_.e2_pump);
+  if (pump_mode_ == transport::PumpMode::kEpoll) {
+    pump_ = transport::EpollPump::create(obs_.get());
+    if (!pump_) {
+      XSEC_LOG_WARN("pipeline",
+                    "failed to create epoll pump; using polled mode");
+      pump_mode_ = transport::PumpMode::kPolled;
+    }
+  }
 
   ric_ = std::make_unique<oran::NearRtRic>();
   ric_->set_observability(obs_.get());
@@ -113,6 +127,7 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
         "e2.node" + std::to_string(config_.e2_node_id + site);
     transport_hooks.backend = config_.e2_transport;
     transport_hooks.link_capacity = config_.e2_link_capacity;
+    transport_hooks.pump = pump_.get();
     auto transport = std::make_unique<oran::FaultyE2Transport>(
         ric_.get(), agent.get(), plan, std::move(transport_hooks));
     transport->arm_epochs();

@@ -19,6 +19,7 @@
 #include "oran/ric.hpp"
 #include "oran/transport.hpp"
 #include "sim/testbed.hpp"
+#include "transport/pump.hpp"
 
 namespace xsec::core {
 
@@ -67,10 +68,18 @@ struct PipelineConfig {
   /// environment variable, falling back to inproc. Any backend produces
   /// byte-identical outputs under a fixed seed.
   std::string e2_transport;
+  /// Transport pump mode: "polled" (historical: channels drained by direct
+  /// pump calls) or "epoll" (event-driven: one shared EpollPump provides
+  /// readiness wakeups and syscall-coalesced batched I/O). Empty resolves
+  /// from the XSEC_E2_PUMP environment variable, falling back to polled.
+  /// Either mode produces byte-identical outputs under a fixed seed.
+  std::string e2_pump;
   /// Per-direction E2 channel capacity in bytes. Logical accounting is
   /// identical on every backend, so this also fixes where backpressure
-  /// trips; tests shrink it to exercise the slow-reader paths.
-  std::size_t e2_link_capacity = transport::kDefaultChannelCapacity;
+  /// trips; tests shrink it to exercise the slow-reader paths. 0 (default)
+  /// resolves from the XSEC_E2_CAPACITY environment variable, falling back
+  /// to transport::kDefaultChannelCapacity.
+  std::size_t e2_link_capacity = 0;
 };
 
 /// One robustness-counter snapshot across every layer of the pipeline,
@@ -184,6 +193,12 @@ class Pipeline {
     return transports_.empty() ? transport::BackendKind::kInProcess
                                : transports_.front()->backend();
   }
+  /// Resolved pump mode (config / XSEC_E2_PUMP / fallback).
+  transport::PumpMode e2_pump_mode() const { return pump_mode_; }
+  /// The shared event-driven pump (nullptr in polled mode).
+  transport::EpollPump* e2_pump() { return pump_.get(); }
+  /// Resolved per-direction channel capacity (config / XSEC_E2_CAPACITY).
+  std::size_t e2_link_capacity() const { return config_.e2_link_capacity; }
 
   /// Snapshot of every robustness counter in the system.
   PipelineStats stats() const;
@@ -211,6 +226,10 @@ class Pipeline {
   /// Declared first so it is destroyed last: every component below holds
   /// raw handles into this registry.
   std::unique_ptr<obs::Observability> obs_;
+  /// Declared before the transports so it outlives their channel
+  /// registrations (FramedLink's destructor deregisters from the pump).
+  std::unique_ptr<transport::EpollPump> pump_;
+  transport::PumpMode pump_mode_ = transport::PumpMode::kPolled;
   PipelineConfig config_;
   std::unique_ptr<sim::Testbed> testbed_;
   std::unique_ptr<oran::NearRtRic> ric_;

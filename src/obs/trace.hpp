@@ -163,6 +163,13 @@ class Tracer {
 struct Observability {
   MetricsRegistry metrics;
   Tracer tracer{&metrics};
+  /// Host-dependent instrumentation (transport syscall counts, pump
+  /// wakeups): values that legitimately differ per I/O backend, pump mode,
+  /// and kernel. Kept OUT of `metrics` so the deterministic exports — the
+  /// byte-identity oracle across backends / shard counts / pump modes —
+  /// never see them; render this registry separately
+  /// (`render_prometheus(obs.host)`) when the numbers are wanted.
+  MetricsRegistry host;
 
   void set_clock(std::function<SimTime()> now) {
     tracer.set_clock(std::move(now));

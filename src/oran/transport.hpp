@@ -88,6 +88,9 @@ struct TransportHooks {
   /// Logical per-direction channel capacity in bytes (identical across
   /// backends, so backpressure decisions don't depend on the backend).
   std::size_t link_capacity = transport::kDefaultChannelCapacity;
+  /// Event-driven transport pump to register the link's channels with
+  /// (non-owning; must outlive the transport). nullptr = polled mode.
+  transport::EpollPump* pump = nullptr;
 };
 
 /// The transport interposes as the RIC's E2NodeLink: the RIC talks to it
@@ -119,6 +122,8 @@ class FaultyE2Transport : public E2NodeLink {
 
   /// The backend actually in use (after env override and any fallback).
   transport::BackendKind backend() const { return link_->backend(); }
+  /// The link's resolved per-direction channel capacity in bytes.
+  std::size_t link_capacity() const { return link_->capacity(); }
   /// Would a node -> RIC PDU of this size fit right now? Agents probe this
   /// before consuming sequence numbers so backpressured telemetry stays in
   /// their outage buffer instead of being half-sent. Frames still in their

@@ -28,8 +28,10 @@ namespace {
 /// accumulate in `buffer_`; pump() swaps it with a second buffer and
 /// parses frames in place, so sends nested inside delivery side effects
 /// append to the *other* buffer and never invalidate the span currently
-/// being delivered. Swap/clear preserve vector capacity — after warmup the
-/// steady state performs no heap allocation.
+/// being delivered. A budgeted pump leaves `pump_pos_` mid-buffer and the
+/// next pump resumes there, preserving stream order (leftovers drain
+/// before the spare is swapped back in). Swap/clear preserve vector
+/// capacity — after warmup the steady state performs no heap allocation.
 class InProcChannel final : public E2Channel {
  public:
   explicit InProcChannel(std::size_t capacity) : E2Channel(capacity) {
@@ -42,49 +44,60 @@ class InProcChannel final : public E2Channel {
     if (!writable(fs)) return false;
     append_frame(buffer_, payload);
     pending_ += fs;
+    notify_pump();
     return true;
   }
 
-  void pump() override {
+  void pump(std::size_t max_frames) override {
     if (reader_paused_ || pumping_) return;
     pumping_ = true;
-    while (!buffer_.empty()) {
-      pump_buf_.swap(buffer_);  // buffer_ is now the cleared spare
-      std::size_t pos = 0;
-      std::size_t skipped = 0;
-      while (pos < pump_buf_.size()) {
-        std::span<const std::uint8_t> rest(pump_buf_.data() + pos,
-                                           pump_buf_.size() - pos);
-        std::size_t consumed = 0;
-        std::span<const std::uint8_t> payload;
-        switch (parse_frame(rest, consumed, payload)) {
-          case FrameStatus::kOk:
-            if (skipped > 0) {
-              pending_ -= skipped;
-              if (corrupt_) corrupt_(skipped);
-              skipped = 0;
-            }
-            pos += consumed;
-            pending_ -= consumed;
-            if (sink_) sink_(payload);
-            break;
-          case FrameStatus::kNeedMore:
-            // send() only ever appends whole frames; a tail fragment means
-            // corruption. Drop it rather than stall the queue.
-            skipped += pump_buf_.size() - pos;
-            pos = pump_buf_.size();
-            break;
-          default:
-            ++pos;
-            ++skipped;
-            break;
+    std::size_t budget = max_frames;
+    std::size_t skipped = 0;
+    for (;;) {
+      if (pump_pos_ >= pump_buf_.size()) {
+        if (skipped > 0) {  // close the corrupt region at the batch edge
+          pending_ -= skipped;
+          if (corrupt_) corrupt_(skipped);
+          skipped = 0;
         }
+        pump_buf_.clear();
+        pump_pos_ = 0;
+        if (buffer_.empty()) break;
+        pump_buf_.swap(buffer_);  // buffer_ is now the cleared spare
       }
-      if (skipped > 0) {
-        pending_ -= skipped;
-        if (corrupt_) corrupt_(skipped);
+      if (budget == 0) break;
+      std::span<const std::uint8_t> rest(pump_buf_.data() + pump_pos_,
+                                         pump_buf_.size() - pump_pos_);
+      std::size_t consumed = 0;
+      std::span<const std::uint8_t> payload;
+      switch (parse_frame(rest, consumed, payload)) {
+        case FrameStatus::kOk:
+          if (skipped > 0) {
+            pending_ -= skipped;
+            if (corrupt_) corrupt_(skipped);
+            skipped = 0;
+          }
+          pump_pos_ += consumed;
+          pending_ -= consumed;
+          ++frames_delivered_;
+          --budget;
+          if (sink_) sink_(payload);
+          break;
+        case FrameStatus::kNeedMore:
+          // send() only ever appends whole frames; a tail fragment means
+          // corruption. Drop it rather than stall the queue.
+          skipped += pump_buf_.size() - pump_pos_;
+          pump_pos_ = pump_buf_.size();
+          break;
+        default:
+          ++pump_pos_;
+          ++skipped;
+          break;
       }
-      pump_buf_.clear();
+    }
+    if (skipped > 0) {
+      pending_ -= skipped;
+      if (corrupt_) corrupt_(skipped);
     }
     pumping_ = false;
   }
@@ -94,6 +107,7 @@ class InProcChannel final : public E2Channel {
  private:
   Bytes buffer_;
   Bytes pump_buf_;
+  std::size_t pump_pos_ = 0;
 };
 
 }  // namespace

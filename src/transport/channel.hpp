@@ -29,6 +29,8 @@
 
 namespace xsec::transport {
 
+class EpollPump;
+
 enum class BackendKind : std::uint8_t {
   kInProcess = 0,
   kUds,
@@ -56,7 +58,12 @@ class E2Channel {
   using FrameSink = std::function<void(std::span<const std::uint8_t>)>;
   using CorruptHook = std::function<void(std::size_t skipped_bytes)>;
 
-  virtual ~E2Channel() = default;
+  /// No delivery limit for pump().
+  static constexpr std::size_t kNoFrameLimit = static_cast<std::size_t>(-1);
+
+  /// Deregisters from the pump (if any), so a channel destroyed first
+  /// never leaves a dangling pointer in the pump's watch/dirty lists.
+  virtual ~E2Channel();
 
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
   void set_corrupt_hook(CorruptHook hook) { corrupt_ = std::move(hook); }
@@ -65,10 +72,35 @@ class E2Channel {
   /// anything — when the logical capacity cannot hold the frame.
   virtual bool send(std::span<const std::uint8_t> payload) = 0;
 
-  /// Delivers every queued frame to the sink. No-op while the reader is
-  /// paused or a pump is already running (nested pumps from delivery side
-  /// effects fold into the outer one).
-  virtual void pump() = 0;
+  /// Delivers queued frames to the sink, at most `max_frames` of them;
+  /// frames past the budget stay queued (pending accounting untouched)
+  /// for a later pump. No-op while the reader is paused or a pump is
+  /// already running (nested pumps from delivery side effects fold into
+  /// the outer one).
+  virtual void pump(std::size_t max_frames) = 0;
+  /// Delivers every queued frame to the sink.
+  void pump() { pump(kNoFrameLimit); }
+
+  /// File descriptor that becomes readable when queued bytes await a pump
+  /// (kernel-socket backends); -1 when readiness lives purely in user
+  /// space (inproc / shm, which signal through the pump's doorbell).
+  virtual int readable_fd() const { return -1; }
+
+  /// Test seam: caps the bytes any single kernel write may accept, forcing
+  /// partial writev()/send() acceptance so short-write resume paths can be
+  /// exercised at every byte offset. 0 disables the cap. No-op on
+  /// backends that perform no kernel writes.
+  virtual void set_max_write_per_syscall_for_test(std::size_t) {}
+
+  /// Kernel entries (send/recv/writev) this channel has made. Counted in
+  /// both pump modes so polled vs event-driven costs are comparable.
+  std::uint64_t io_syscalls() const { return io_syscalls_; }
+  /// Frames delivered to the sink over the channel's lifetime.
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+
+  /// The event-driven pump this channel is registered with (nullptr in
+  /// polled mode). Set by EpollPump::add/remove.
+  EpollPump* pump_owner() const { return pump_; }
 
   /// Framed bytes enqueued but not yet delivered.
   std::size_t pending_bytes() const { return pending_; }
@@ -87,12 +119,28 @@ class E2Channel {
  protected:
   explicit E2Channel(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Marks this channel dirty on its pump (no-op in polled mode). Called
+  /// by backends after every successful send so the event loop learns
+  /// about user-space readiness without a syscall.
+  void notify_pump();
+  /// Counts `n` kernel entries (and forwards them to the pump's
+  /// `transport.syscalls` instrument when one is attached).
+  void count_io(std::uint64_t n = 1);
+
   FrameSink sink_;
   CorruptHook corrupt_;
   std::size_t capacity_;
   std::size_t pending_ = 0;
   bool reader_paused_ = false;
   bool pumping_ = false;
+  std::uint64_t io_syscalls_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+
+ private:
+  friend class EpollPump;
+  EpollPump* pump_ = nullptr;
+  /// True while the channel sits on the pump's dirty list (dedup flag).
+  bool pump_dirty_ = false;
 };
 
 /// Creates a channel of the requested backend. UDS and shm construction

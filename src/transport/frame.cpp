@@ -74,8 +74,8 @@ FrameStatus parse_frame(std::span<const std::uint8_t> buf,
   return FrameStatus::kOk;
 }
 
-void FrameAssembler::feed(std::span<const std::uint8_t> chunk,
-                          const Sink& sink) {
+std::size_t FrameAssembler::feed(std::span<const std::uint8_t> chunk,
+                                 const Sink& sink, std::size_t max_frames) {
   // Compact before appending so the arena stays bounded by (largest
   // in-flight frame + chunk) instead of growing with total traffic.
   if (read_pos_ > 0) {
@@ -88,9 +88,13 @@ void FrameAssembler::feed(std::span<const std::uint8_t> chunk,
     read_pos_ = 0;
   }
   arena_.insert(arena_.end(), chunk.begin(), chunk.end());
+  return drain(sink, max_frames);
+}
 
+std::size_t FrameAssembler::drain(const Sink& sink, std::size_t max_frames) {
+  std::size_t delivered = 0;
   std::size_t skipped = 0;
-  while (read_pos_ < arena_.size()) {
+  while (read_pos_ < arena_.size() && delivered < max_frames) {
     std::span<const std::uint8_t> rest(arena_.data() + read_pos_,
                                        arena_.size() - read_pos_);
     std::size_t consumed = 0;
@@ -102,11 +106,12 @@ void FrameAssembler::feed(std::span<const std::uint8_t> chunk,
           skipped = 0;
         }
         read_pos_ += consumed;
+        ++delivered;
         sink(payload, consumed);
         break;
       case FrameStatus::kNeedMore:
         if (skipped > 0 && on_corrupt_) on_corrupt_(skipped);
-        return;
+        return delivered;
       case FrameStatus::kBadMagic:
       case FrameStatus::kBadLength:
       case FrameStatus::kBadChecksum:
@@ -118,6 +123,7 @@ void FrameAssembler::feed(std::span<const std::uint8_t> chunk,
     }
   }
   if (skipped > 0 && on_corrupt_) on_corrupt_(skipped);
+  return delivered;
 }
 
 }  // namespace xsec::transport

@@ -81,10 +81,20 @@ class FrameAssembler {
     arena_.reserve(reserve_bytes);
   }
 
+  /// No delivery limit for feed()/drain().
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
   void set_corrupt_hook(CorruptHook hook) { on_corrupt_ = std::move(hook); }
 
-  /// Appends `chunk` and drains every frame that completed.
-  void feed(std::span<const std::uint8_t> chunk, const Sink& sink);
+  /// Appends `chunk` and drains frames that completed, up to `max_frames`.
+  /// Frames past the budget stay buffered in the arena for a later
+  /// drain()/feed(). Returns the number of frames delivered.
+  std::size_t feed(std::span<const std::uint8_t> chunk, const Sink& sink,
+                   std::size_t max_frames = kNoLimit);
+
+  /// Delivers up to `max_frames` already-completed frames left buffered by
+  /// an earlier budgeted call. Returns the number delivered.
+  std::size_t drain(const Sink& sink, std::size_t max_frames = kNoLimit);
 
   /// Bytes buffered waiting for the rest of a frame.
   std::size_t buffered() const { return arena_.size() - read_pos_; }

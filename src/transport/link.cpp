@@ -1,8 +1,11 @@
 #include "transport/link.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hpp"
+#include "transport/pump.hpp"
 
 namespace xsec::transport {
 
@@ -27,6 +30,28 @@ BackendKind resolve_backend(const std::string& configured) {
   return BackendKind::kInProcess;
 }
 
+std::size_t resolve_capacity(std::size_t configured) {
+  constexpr std::size_t kMaxCapacity = std::size_t{1} << 30;
+  if (configured != 0) return std::min(configured, kMaxCapacity);
+  // Same precedence and strict-parse shape as XSEC_RIC_SHARDS: negatives
+  // and trailing garbage are rejected, an explicit config always wins.
+  const char* env = std::getenv("XSEC_E2_CAPACITY");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull tolerates leading whitespace and a sign; reject both so the
+    // accepted grammar is exactly [0-9]+.
+    if (errno == 0 && end != env && *end == '\0' &&
+        env[0] >= '0' && env[0] <= '9' && v >= 1 && v <= kMaxCapacity) {
+      return static_cast<std::size_t>(v);
+    }
+    XSEC_LOG_WARN("transport", "invalid XSEC_E2_CAPACITY '", env,
+                  "'; using default");
+  }
+  return kDefaultChannelCapacity;
+}
+
 namespace {
 std::unique_ptr<E2Channel> make_or_fallback(BackendKind kind,
                                             std::size_t capacity) {
@@ -48,6 +73,11 @@ FramedLink::FramedLink(LinkConfig cfg, obs::Observability* obs) {
   to_ric_ = make_or_fallback(cfg.backend, cfg.capacity);
   to_node_ = make_or_fallback(cfg.backend, cfg.capacity);
   tx_scratch_.reserve(16 * 1024);
+  pump_ = cfg.pump;
+  if (pump_ != nullptr) {
+    pump_->add(to_ric_.get());
+    pump_->add(to_node_.get());
+  }
 
   // Global (unscoped) names: every link binds the same registry rows, so
   // the catalog stays fixed-size regardless of site count, and the values
@@ -67,6 +97,13 @@ FramedLink::FramedLink(LinkConfig cfg, obs::Observability* obs) {
   auto corrupt = [this](std::size_t) { frames_corrupt_->inc(); };
   to_ric_->set_corrupt_hook(corrupt);
   to_node_->set_corrupt_hook(corrupt);
+}
+
+FramedLink::~FramedLink() {
+  if (pump_ != nullptr) {
+    pump_->remove(to_ric_.get());
+    pump_->remove(to_node_.get());
+  }
 }
 
 void FramedLink::set_ric_sink(DeliverSink sink) {
@@ -128,16 +165,28 @@ bool FramedLink::enqueue_to_node(std::uint64_t node_id, const Bytes& pdu) {
   return enqueue(to_node_.get(), node_id, pdu);
 }
 
-void FramedLink::pump(E2Channel* ch, bool& pumping, std::uint64_t& batch) {
+void FramedLink::pump(E2Channel* ch, bool& pumping, std::uint64_t& batch,
+                      std::size_t max_frames) {
+  // In event-driven mode the pump's drain wraps the channel pump with
+  // wakeup / frames-per-syscall accounting and dirty-list upkeep; the
+  // delivery order and timing are identical either way.
   if (pumping) {
     // Nested pump from a delivery side effect: the channel folds it into
     // the outer drain; don't reset the outer batch counter.
-    ch->pump();
+    if (pump_ != nullptr) {
+      pump_->drain(ch, max_frames);
+    } else {
+      ch->pump(max_frames);
+    }
     return;
   }
   pumping = true;
   batch = 0;
-  ch->pump();
+  if (pump_ != nullptr) {
+    pump_->drain(ch, max_frames);
+  } else {
+    ch->pump(max_frames);
+  }
   if (batch > 0) flush_batch_->observe(batch);
   pumping = false;
 }
@@ -152,8 +201,14 @@ bool FramedLink::ready_for(std::size_t pdu_bytes) {
   const std::size_t fs = framed_size(8 + pdu_bytes);
   if (to_ric_->writable(fs)) return true;
   // A full queue with a live reader is a kernel-drain moment, not
-  // backpressure: drain and re-check before refusing.
-  pump_to_ric();
+  // backpressure: drain and re-check before refusing — but in bounded
+  // bursts, so the sender only pays for the headroom it needs instead of
+  // an unbounded full-channel delivery inside its own send path.
+  while (!to_ric_->writable(fs)) {
+    const std::size_t before = to_ric_->pending_bytes();
+    pump(to_ric_.get(), ric_pumping_, ric_batch_, kReadyForDrainBurst);
+    if (to_ric_->pending_bytes() == before) break;  // paused reader / stuck
+  }
   if (to_ric_->writable(fs)) return true;
   backpressure_events_->inc();
   return false;

@@ -19,9 +19,14 @@
 
 namespace xsec::transport {
 
+class EpollPump;
+
 struct LinkConfig {
   BackendKind backend = BackendKind::kInProcess;
   std::size_t capacity = kDefaultChannelCapacity;
+  /// Event-driven pump to register both channels with (non-owning; must
+  /// outlive the link). nullptr = historical polled mode.
+  EpollPump* pump = nullptr;
 };
 
 /// Resolves the effective backend. An explicit `configured` value
@@ -32,6 +37,14 @@ struct LinkConfig {
 /// one deliberately. Invalid values warn and fall back to in-process.
 BackendKind resolve_backend(const std::string& configured);
 
+/// Resolves the effective per-direction channel capacity in bytes. A
+/// non-zero `configured` value wins; when it is 0 the XSEC_E2_CAPACITY
+/// environment variable fills the default (strictly parsed — negatives,
+/// zero, trailing garbage, and values above 1 GiB are rejected with a
+/// warning), falling back to kDefaultChannelCapacity. Lets slow-reader
+/// and backpressure sweeps shrink the channel without a recompile.
+std::size_t resolve_capacity(std::size_t configured);
+
 class FramedLink {
  public:
   /// Receives (node_id, E2AP PDU bytes) for one delivered frame. The span
@@ -40,6 +53,7 @@ class FramedLink {
       std::function<void(std::uint64_t, std::span<const std::uint8_t>)>;
 
   FramedLink(LinkConfig cfg, obs::Observability* obs);
+  ~FramedLink();
 
   void set_ric_sink(DeliverSink sink);
   void set_node_sink(DeliverSink sink);
@@ -53,23 +67,36 @@ class FramedLink {
   void pump_to_ric();
   void pump_to_node();
 
-  /// Would a PDU of `pdu_bytes` fit toward the RIC right now? Pumps first
-  /// when full (the kernel drains concurrently in a real deployment, so a
-  /// full queue with a live reader is not backpressure), and counts one
-  /// `transport.backpressure_events` on refusal.
+  /// Would a PDU of `pdu_bytes` fit toward the RIC right now? Drains in
+  /// bounded bursts first when full (the kernel drains concurrently in a
+  /// real deployment, so a full queue with a live reader is not
+  /// backpressure) — only enough frames to make headroom for THIS PDU, so
+  /// a backpressured sender never pays an unbounded delivery burst inside
+  /// its own send path. Counts one `transport.backpressure_events` on
+  /// refusal.
   bool ready_for(std::size_t pdu_bytes);
 
   /// Test hook: pause/resume the node -> RIC reader (slow-consumer chaos).
   void set_ric_reader_paused(bool paused);
 
   BackendKind backend() const { return to_ric_->kind(); }
+  std::size_t capacity() const { return to_ric_->capacity(); }
   std::size_t pending_to_ric() const { return to_ric_->pending_bytes(); }
   std::size_t pending_to_node() const { return to_node_->pending_bytes(); }
+  /// The event-driven pump both channels are registered with (nullptr in
+  /// polled mode).
+  EpollPump* pump() const { return pump_; }
 
  private:
-  bool enqueue(E2Channel* ch, std::uint64_t node_id, const Bytes& pdu);
-  void pump(E2Channel* ch, bool& pumping, std::uint64_t& batch);
+  /// Frames drained per burst inside ready_for() — enough that one burst
+  /// usually frees headroom, small enough to bound the sender's stall.
+  static constexpr std::size_t kReadyForDrainBurst = 8;
 
+  bool enqueue(E2Channel* ch, std::uint64_t node_id, const Bytes& pdu);
+  void pump(E2Channel* ch, bool& pumping, std::uint64_t& batch,
+            std::size_t max_frames = E2Channel::kNoFrameLimit);
+
+  EpollPump* pump_ = nullptr;
   std::unique_ptr<E2Channel> to_ric_;
   std::unique_ptr<E2Channel> to_node_;
   Bytes tx_scratch_;

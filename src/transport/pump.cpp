@@ -1,0 +1,282 @@
+#include "transport/pump.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace xsec::transport {
+
+std::string_view to_string(PumpMode mode) {
+  switch (mode) {
+    case PumpMode::kPolled:
+      return "polled";
+    case PumpMode::kEpoll:
+      return "epoll";
+  }
+  return "polled";
+}
+
+Result<PumpMode> parse_pump_mode(std::string_view text) {
+  if (text == "polled") return PumpMode::kPolled;
+  if (text == "epoll") return PumpMode::kEpoll;
+  return Error::make("config",
+                     "unknown transport pump mode: " + std::string(text));
+}
+
+PumpMode resolve_pump_mode(const std::string& configured) {
+  // Same precedence as XSEC_E2_TRANSPORT: an explicit config wins, the
+  // environment fills the default. Tests that pin a mode stay pinned even
+  // when a sanitize sweep exports XSEC_E2_PUMP for the run.
+  if (!configured.empty()) {
+    auto parsed = parse_pump_mode(configured);
+    if (parsed) return parsed.value();
+    XSEC_LOG_WARN("transport", "invalid configured E2 pump mode '",
+                  configured, "'; using polled");
+    return PumpMode::kPolled;
+  }
+  const char* env = std::getenv("XSEC_E2_PUMP");
+  if (env != nullptr && *env != '\0') {
+    auto parsed = parse_pump_mode(env);
+    if (parsed) return parsed.value();
+    XSEC_LOG_WARN("transport", "invalid XSEC_E2_PUMP '", env,
+                  "'; using polled");
+  }
+  return PumpMode::kPolled;
+}
+
+// ---------------------------------------------------------------------------
+// E2Channel <-> pump glue (out of line so channel.hpp needn't see the pump).
+
+E2Channel::~E2Channel() {
+  // By the time the base dtor runs the derived class already closed its
+  // fds (the kernel auto-removes closed fds from the epoll set), so this
+  // only has to purge the user-space watch/dirty lists.
+  if (pump_ != nullptr) pump_->remove(this);
+}
+
+void E2Channel::notify_pump() {
+  if (pump_ != nullptr) pump_->mark_dirty(this);
+}
+
+void E2Channel::count_io(std::uint64_t n) {
+  io_syscalls_ += n;
+  if (pump_ != nullptr) pump_->note_syscalls(n);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+#if defined(__x86_64__) || defined(__i386__)
+inline void cpu_relax() { __builtin_ia32_pause(); }
+#elif defined(__aarch64__)
+inline void cpu_relax() { asm volatile("yield" ::: "memory"); }
+#else
+inline void cpu_relax() {}
+#endif
+}  // namespace
+
+std::unique_ptr<EpollPump> EpollPump::create(obs::Observability* obs) {
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return nullptr;
+  int doorbell = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (doorbell < 0) {
+    ::close(epoll_fd);
+    return nullptr;
+  }
+  struct epoll_event ev {};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr tags the doorbell
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, doorbell, &ev) != 0) {
+    ::close(doorbell);
+    ::close(epoll_fd);
+    return nullptr;
+  }
+  return std::unique_ptr<EpollPump>(new EpollPump(epoll_fd, doorbell, obs));
+}
+
+EpollPump::EpollPump(int epoll_fd, int doorbell_fd, obs::Observability* obs)
+    : epoll_fd_(epoll_fd), doorbell_fd_(doorbell_fd) {
+  if (obs == nullptr) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  // Host-dependent by nature (syscall counts differ per backend, kernel,
+  // and pump mode), so these bind into obs->host — never the deterministic
+  // export registry the byte-identity oracle renders.
+  obs::MetricsRegistry& r = obs->host;
+  wakeups_ = &r.counter("transport.pump_wakeups");
+  syscalls_ = &r.counter("transport.syscalls");
+  idle_waits_ = &r.counter("transport.pump_idle_waits");
+  frames_per_wakeup_ = &r.histogram("transport.frames_per_wakeup");
+  frames_per_syscall_ = &r.histogram("transport.frames_per_syscall");
+  dirty_.reserve(16);
+  scratch_.reserve(16);
+}
+
+EpollPump::~EpollPump() {
+  // Channels may outlive the pump (polled fallback paths); detach them.
+  for (E2Channel* ch : channels_) ch->pump_ = nullptr;
+  ::close(doorbell_fd_);
+  ::close(epoll_fd_);
+}
+
+void EpollPump::add(E2Channel* ch) {
+  if (ch == nullptr || ch->pump_ == this) return;
+  ch->pump_ = this;
+  ch->pump_dirty_ = false;
+  channels_.push_back(ch);
+  const int fd = ch->readable_fd();
+  if (fd >= 0) {
+    struct epoll_event ev {};
+    ev.events = EPOLLIN;
+    ev.data.ptr = ch;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      XSEC_LOG_WARN("transport", "epoll_ctl ADD failed (errno=", errno,
+                    "); channel falls back to doorbell readiness");
+    }
+  }
+  // Anything already queued predates registration; pick it up.
+  if (ch->pending_bytes() > 0) mark_dirty(ch);
+}
+
+void EpollPump::remove(E2Channel* ch) {
+  if (ch == nullptr || ch->pump_ != this) return;
+  const int fd = ch->readable_fd();
+  if (fd >= 0) (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  clear_dirty_flag(ch);
+  dirty_.erase(std::remove(dirty_.begin(), dirty_.end(), ch), dirty_.end());
+  scratch_.erase(std::remove(scratch_.begin(), scratch_.end(), ch),
+                 scratch_.end());
+  channels_.erase(std::remove(channels_.begin(), channels_.end(), ch),
+                  channels_.end());
+  ch->pump_ = nullptr;
+}
+
+void EpollPump::mark_dirty(E2Channel* ch) {
+  if (ch->pump_dirty_) return;
+  ch->pump_dirty_ = true;
+  ++dirty_count_;
+  dirty_.push_back(ch);
+  if (armed_) {
+    // A waiter is parked in epoll_wait: ring the doorbell so it wakes.
+    const std::uint64_t one = 1;
+    ssize_t ignored [[maybe_unused]] =
+        ::write(doorbell_fd_, &one, sizeof(one));
+    count_own_syscall();
+  }
+}
+
+void EpollPump::clear_dirty_flag(E2Channel* ch) {
+  if (!ch->pump_dirty_) return;
+  ch->pump_dirty_ = false;
+  --dirty_count_;
+}
+
+void EpollPump::drain(E2Channel* ch, std::size_t max_frames) {
+  const std::uint64_t frames_before = ch->frames_delivered();
+  const std::uint64_t sys_before = ch->io_syscalls();
+  ch->pump(max_frames);
+  // A paused reader isn't ready; a fully drained channel isn't dirty. A
+  // budget-limited leftover stays dirty so service() finds it again.
+  if (ch->pending_bytes() == 0 || ch->reader_paused()) clear_dirty_flag(ch);
+  const std::uint64_t frames = ch->frames_delivered() - frames_before;
+  if (frames == 0) return;
+  wakeups_->inc();
+  frames_per_wakeup_->observe(frames);
+  const std::uint64_t sys = ch->io_syscalls() - sys_before;
+  if (sys > 0) frames_per_syscall_->observe(frames / sys);
+}
+
+std::size_t EpollPump::service() {
+  std::size_t total = 0;
+  // User-space readiness first: zero syscalls for work producers already
+  // announced through the dirty list.
+  while (!dirty_.empty()) {
+    scratch_.swap(dirty_);
+    for (E2Channel* ch : scratch_) {
+      if (!ch->pump_dirty_) continue;  // stale entry (drained directly)
+      clear_dirty_flag(ch);
+      const std::uint64_t before = ch->frames_delivered();
+      drain(ch);
+      total += static_cast<std::size_t>(ch->frames_delivered() - before);
+    }
+    scratch_.clear();
+  }
+  // Then one readiness sweep over the real fds — bytes a peer pushed into
+  // a kernel socket without ringing this process's doorbell.
+  struct epoll_event evs[16];
+  const int n = ::epoll_wait(epoll_fd_, evs, 16, 0);
+  count_own_syscall();
+  for (int i = 0; i < n; ++i) {
+    auto* ch = static_cast<E2Channel*>(evs[i].data.ptr);
+    if (ch == nullptr) {
+      std::uint64_t drainv = 0;
+      ssize_t ignored [[maybe_unused]] =
+          ::read(doorbell_fd_, &drainv, sizeof(drainv));
+      count_own_syscall();
+      continue;
+    }
+    if (ch->reader_paused()) continue;
+    const std::uint64_t before = ch->frames_delivered();
+    clear_dirty_flag(ch);
+    drain(ch);
+    total += static_cast<std::size_t>(ch->frames_delivered() - before);
+  }
+  return total;
+}
+
+bool EpollPump::wait_readable(int timeout_ms) {
+  if (has_dirty()) {
+    spin_budget_ = std::min(max_spin_, spin_budget_ * 2 + 1);
+    return true;
+  }
+  // Short adaptive spin: hot bursts land within a few iterations, and a
+  // hit here skips arming the doorbell entirely. The budget doubles on
+  // hits and collapses on idle timeouts, so an idle loop pays almost
+  // nothing before parking.
+  for (std::size_t i = 0; i < spin_budget_; ++i) {
+    if (has_dirty()) {
+      spin_budget_ = std::min(max_spin_, spin_budget_ * 2 + 1);
+      return true;
+    }
+    cpu_relax();
+  }
+  armed_ = true;
+  struct epoll_event evs[16];
+  const int n = ::epoll_wait(epoll_fd_, evs, 16, timeout_ms);
+  count_own_syscall();
+  armed_ = false;
+  if (n <= 0) {
+    idle_waits_->inc();
+    spin_budget_ = std::max<std::size_t>(1, spin_budget_ / 2);
+    return false;
+  }
+  for (int i = 0; i < n; ++i) {
+    auto* ch = static_cast<E2Channel*>(evs[i].data.ptr);
+    if (ch == nullptr) {
+      std::uint64_t drainv = 0;
+      ssize_t ignored [[maybe_unused]] =
+          ::read(doorbell_fd_, &drainv, sizeof(drainv));
+      count_own_syscall();
+      continue;
+    }
+    mark_dirty(ch);
+  }
+  return true;
+}
+
+void EpollPump::note_syscalls(std::uint64_t n) { syscalls_->inc(n); }
+
+void EpollPump::count_own_syscall() { syscalls_->inc(); }
+
+std::uint64_t EpollPump::wakeups() const { return wakeups_->value(); }
+std::uint64_t EpollPump::syscalls() const { return syscalls_->value(); }
+std::uint64_t EpollPump::idle_waits() const { return idle_waits_->value(); }
+
+}  // namespace xsec::transport

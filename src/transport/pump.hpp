@@ -1,0 +1,131 @@
+// Event-driven E2 transport pump.
+//
+// One epoll instance watches every registered channel: kernel-socket
+// backends (UDS) contribute their receive fd, while user-space backends
+// (inproc, shm ring) signal through a shared eventfd doorbell. Producers
+// mark a channel dirty on send — a dedup flag plus an O(1) push onto the
+// pump's dirty list — so the common case (work already known in user
+// space) costs zero syscalls; the doorbell/epoll path only pays off when
+// the loop is parked in wait_readable().
+//
+// Drains coalesce syscalls instead of paying one kernel entry per frame:
+// the UDS send side stages frames in user space and flushes the whole
+// backlog with a single writev(2); the receive side reads with a large
+// buffer and stops on a short read (SOCK_STREAM returns min(queued, len),
+// so a short read proves the queue is empty — no trailing EAGAIN probe).
+//
+// Determinism: the pump changes HOW bytes cross a channel (batched
+// syscalls, readiness wakeups), never WHEN frames are delivered — drains
+// still happen at the same logical points the polled mode pumps, in the
+// same frame order, so every exported metric stays byte-identical across
+// pump modes. Its own instrumentation (wakeups, syscalls) is
+// host-dependent by nature and therefore lives in the `Observability::host`
+// registry, outside the deterministic exports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/trace.hpp"
+#include "transport/channel.hpp"
+
+namespace xsec::transport {
+
+enum class PumpMode : std::uint8_t {
+  kPolled = 0,  // historical: the sim loop pumps channels directly
+  kEpoll,       // event-driven: EpollPump readiness + batched I/O
+};
+
+std::string_view to_string(PumpMode mode);
+/// Parses "polled" / "epoll"; anything else is an error.
+Result<PumpMode> parse_pump_mode(std::string_view text);
+
+/// Resolves the effective pump mode. An explicit `configured` value wins;
+/// when it is empty the XSEC_E2_PUMP environment variable fills the
+/// default — the same precedence XSEC_E2_TRANSPORT uses — falling back to
+/// polled. Invalid values warn and fall back to polled.
+PumpMode resolve_pump_mode(const std::string& configured);
+
+class EpollPump {
+ public:
+  /// Builds the epoll instance + eventfd doorbell. Returns nullptr when
+  /// the kernel refuses (fd limits); callers fall back to polled mode.
+  /// Instrumentation binds into `obs->host` (a private bundle is created
+  /// when obs is null).
+  static std::unique_ptr<EpollPump> create(obs::Observability* obs);
+
+  ~EpollPump();
+  EpollPump(const EpollPump&) = delete;
+  EpollPump& operator=(const EpollPump&) = delete;
+
+  /// Registers a channel: its readable_fd (if any) joins the epoll set and
+  /// its sends start ringing the doorbell / dirty list.
+  void add(E2Channel* ch);
+  void remove(E2Channel* ch);
+
+  /// Marks a channel as having undelivered work. O(1), deduplicated;
+  /// rings the eventfd doorbell only while the pump is parked in
+  /// wait_readable() (so a waiting loop wakes without polling).
+  void mark_dirty(E2Channel* ch);
+  bool has_dirty() const { return dirty_count_ > 0; }
+
+  /// Drains one channel (up to `max_frames`), counting the wakeup and the
+  /// frames-per-syscall ratio for this pass. This is the targeted entry
+  /// point the sim loop uses at each logical delivery, keeping delivery
+  /// timing identical to polled mode.
+  void drain(E2Channel* ch,
+             std::size_t max_frames = E2Channel::kNoFrameLimit);
+
+  /// Drains every ready channel: first the user-space dirty list (zero
+  /// syscalls), then one epoll sweep for fd readiness the dirty list
+  /// cannot know about. Returns frames delivered.
+  std::size_t service();
+
+  /// Blocks until work is ready or `timeout_ms` expires. Spins briefly
+  /// (adaptive: the budget grows on spin hits, shrinks on idle timeouts)
+  /// before arming the doorbell and parking in epoll_wait. Returns true
+  /// when a subsequent service() has work to do.
+  bool wait_readable(int timeout_ms);
+
+  /// Upper bound for the adaptive spin budget (iterations).
+  void set_max_spin_iterations(std::size_t n) { max_spin_ = n; }
+
+  std::size_t watched() const { return channels_.size(); }
+  std::uint64_t wakeups() const;
+  std::uint64_t syscalls() const;
+  std::uint64_t idle_waits() const;
+  /// Test hook: the doorbell eventfd, so tests can ring it externally.
+  int doorbell_fd_for_test() const { return doorbell_fd_; }
+
+ private:
+  friend class E2Channel;
+
+  EpollPump(int epoll_fd, int doorbell_fd, obs::Observability* obs);
+
+  void note_syscalls(std::uint64_t n);  // channel I/O, forwarded
+  void count_own_syscall();             // epoll_wait / eventfd ops
+  void clear_dirty_flag(E2Channel* ch);
+
+  int epoll_fd_;
+  int doorbell_fd_;
+  bool armed_ = false;  // parked in epoll_wait; sends must ring the bell
+  std::size_t max_spin_ = 256;
+  std::size_t spin_budget_ = 1;
+  std::vector<E2Channel*> channels_;
+  std::vector<E2Channel*> dirty_;
+  std::vector<E2Channel*> scratch_;  // swapped with dirty_ during service
+  std::size_t dirty_count_ = 0;
+
+  std::unique_ptr<obs::Observability> own_obs_;
+  obs::Counter* wakeups_ = nullptr;
+  obs::Counter* syscalls_ = nullptr;
+  obs::Counter* idle_waits_ = nullptr;
+  obs::Histogram* frames_per_wakeup_ = nullptr;
+  obs::Histogram* frames_per_syscall_ = nullptr;
+};
+
+}  // namespace xsec::transport

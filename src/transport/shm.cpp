@@ -43,13 +43,16 @@ class ShmChannel final : public E2Channel {
       std::memcpy(dst + kFrameHeaderBytes, payload.data(), payload.size());
     head_.store(head + fs, std::memory_order_release);
     pending_ += fs;
+    notify_pump();
     return true;
   }
 
-  void pump() override {
+  void pump(std::size_t max_frames) override {
     if (reader_paused_ || pumping_) return;
     pumping_ = true;
+    std::size_t budget = max_frames;
     for (;;) {
+      if (budget == 0) break;
       const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
       const std::uint64_t head = head_.load(std::memory_order_acquire);
       if (head == tail) break;
@@ -60,6 +63,8 @@ class ShmChannel final : public E2Channel {
       switch (parse_frame(rest, consumed, payload)) {
         case FrameStatus::kOk:
           pending_ -= consumed;
+          ++frames_delivered_;
+          --budget;
           if (sink_) sink_(payload);
           // Free the frame's ring bytes only now that the in-place span
           // has been fully consumed.

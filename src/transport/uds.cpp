@@ -1,9 +1,22 @@
 // Unix-domain-socket channel backend: frames cross a real kernel socket
 // (nonblocking SOCK_STREAM socketpair), so reads can return any byte
 // split and the FrameAssembler reassembles frames into a reusable arena.
+//
+// Two I/O shapes share the logical accounting:
+//   polled       — send() writes each frame to the kernel immediately
+//                  (one send(2) per frame); pump() reads until EAGAIN.
+//   event-driven — with an EpollPump attached, send() only stages the
+//                  frame in user space and rings the pump's doorbell; the
+//                  drain flushes the whole backlog with one writev(2) over
+//                  [spill | stage] and stops reading on a short read
+//                  (SOCK_STREAM returns min(queued, len), so a short read
+//                  proves the socket queue is empty — no EAGAIN probe).
 #include <cerrno>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include "transport/channel.hpp"
 
@@ -16,10 +29,17 @@ class UdsChannel final : public E2Channel {
   UdsChannel(std::size_t capacity, int tx_fd, int rx_fd)
       : E2Channel(capacity), tx_fd_(tx_fd), rx_fd_(rx_fd) {
     frame_scratch_.reserve(16 * 1024);
+    stage_.reserve(16 * 1024);
     assembler_.set_corrupt_hook([this](std::size_t skipped) {
       pending_ -= skipped;
       if (corrupt_) corrupt_(skipped);
     });
+    deliver_ = [this](std::span<const std::uint8_t> payload,
+                      std::size_t framed) {
+      pending_ -= framed;
+      ++frames_delivered_;
+      if (sink_) sink_(payload);
+    };
   }
 
   ~UdsChannel() override {
@@ -31,45 +51,73 @@ class UdsChannel final : public E2Channel {
     const std::size_t fs = framed_size(payload.size());
     if (!writable(fs)) return false;
     pending_ += fs;
+    if (pump_owner() != nullptr) {
+      // Event-driven mode: stage in user space — zero syscalls here; the
+      // pump's drain coalesces the whole backlog into one writev.
+      append_frame(stage_, payload);
+      notify_pump();
+      return true;
+    }
     frame_scratch_.clear();
     append_frame(frame_scratch_, payload);
     write_bytes(frame_scratch_.data(), frame_scratch_.size());
     return true;
   }
 
-  void pump() override {
-    if (reader_paused_ || pumping_) return;
+  void pump(std::size_t max_frames) override {
+    if (pumping_) return;
     pumping_ = true;
+    std::size_t budget = max_frames;
+    // Frames already reassembled by an earlier budgeted pump deliver
+    // first (stream order) without touching the kernel.
+    if (!reader_paused_ && budget > 0)
+      budget -= assembler_.drain(deliver_, budget);
     for (;;) {
-      // Flush any bytes the kernel refused earlier (including spill from
-      // sends nested inside delivery side effects) before reading more.
-      flush_spill();
+      // Flush any staged/spilled bytes (including sends nested inside
+      // delivery side effects) before reading more.
+      flush_tx();
+      if (reader_paused_ || budget == 0) break;
       ssize_t n = ::recv(rx_fd_, chunk_, sizeof(chunk_), 0);
+      count_io();
       if (n <= 0) break;  // EAGAIN / EOF: queue drained
-      assembler_.feed(
+      budget -= assembler_.feed(
           std::span<const std::uint8_t>(chunk_, static_cast<std::size_t>(n)),
-          [this](std::span<const std::uint8_t> payload, std::size_t framed) {
-            pending_ -= framed;
-            if (sink_) sink_(payload);
-          });
+          deliver_, budget);
+      if (pump_owner() != nullptr &&
+          static_cast<std::size_t>(n) < sizeof(chunk_) && stage_.empty() &&
+          spill_.empty()) {
+        break;  // short read == kernel queue empty; skip the EAGAIN probe
+      }
     }
     pumping_ = false;
+  }
+
+  int readable_fd() const override { return rx_fd_; }
+
+  void set_max_write_per_syscall_for_test(std::size_t cap) override {
+    max_write_per_syscall_ = cap;
   }
 
   BackendKind kind() const override { return BackendKind::kUds; }
 
  private:
+  /// Polled-mode immediate write (one send(2) per frame, EINTR retried;
+  /// kernel-refused remainder spills to user space).
   void write_bytes(const std::uint8_t* data, std::size_t n) {
     // Preserve stream order: if earlier bytes are still spilled, append —
     // flushing happens at the next send or pump.
     if (!spill_.empty()) {
       spill_.insert(spill_.end(), data, data + n);
-      flush_spill();
+      flush_tx();
       return;
     }
     std::size_t off = 0;
     while (off < n) {
-      ssize_t w = ::send(tx_fd_, data + off, n - off, MSG_NOSIGNAL);
+      std::size_t want = n - off;
+      if (max_write_per_syscall_ > 0)
+        want = std::min(want, max_write_per_syscall_);
+      ssize_t w = ::send(tx_fd_, data + off, want, MSG_NOSIGNAL);
+      count_io();
       if (w > 0) {
         off += static_cast<std::size_t>(w);
         continue;
@@ -82,31 +130,71 @@ class UdsChannel final : public E2Channel {
     }
   }
 
-  void flush_spill() {
-    std::size_t off = 0;
-    while (off < spill_.size()) {
-      ssize_t w =
-          ::send(tx_fd_, spill_.data() + off, spill_.size() - off,
-                 MSG_NOSIGNAL);
-      if (w > 0) {
-        off += static_cast<std::size_t>(w);
-        continue;
+  /// Flushes the tx backlog — kernel-refused spill first, then staged
+  /// frames — with one writev per syscall so a multi-frame burst crosses
+  /// in a single kernel entry. On EAGAIN the unflushed stage folds behind
+  /// the spill so later sends can restage freely in stream order.
+  void flush_tx() {
+    while (!spill_.empty() || !stage_.empty()) {
+      struct iovec iov[2];
+      int iovcnt = 0;
+      std::size_t allowance = max_write_per_syscall_ > 0
+                                  ? max_write_per_syscall_
+                                  : static_cast<std::size_t>(-1);
+      if (!spill_.empty()) {
+        const std::size_t len = std::min(spill_.size(), allowance);
+        iov[iovcnt].iov_base = spill_.data();
+        iov[iovcnt].iov_len = len;
+        allowance -= len;
+        ++iovcnt;
       }
+      if (!stage_.empty() && allowance > 0) {
+        iov[iovcnt].iov_base = stage_.data();
+        iov[iovcnt].iov_len = std::min(stage_.size(), allowance);
+        ++iovcnt;
+      }
+      if (iovcnt == 0) return;
+      ssize_t w = ::writev(tx_fd_, iov, iovcnt);
+      count_io();
       if (w < 0 && errno == EINTR) continue;
-      break;
+      if (w <= 0) {
+        if (!stage_.empty()) {
+          spill_.insert(spill_.end(), stage_.begin(), stage_.end());
+          stage_.clear();
+        }
+        return;
+      }
+      consume_tx(static_cast<std::size_t>(w));
     }
-    if (off == spill_.size()) {
+  }
+
+  /// Pops `n` kernel-accepted bytes off the front of the tx backlog.
+  void consume_tx(std::size_t n) {
+    const std::size_t from_spill = std::min(n, spill_.size());
+    if (from_spill == spill_.size()) {
       spill_.clear();
-    } else if (off > 0) {
-      spill_.erase(spill_.begin(), spill_.begin() + static_cast<std::ptrdiff_t>(off));
+    } else if (from_spill > 0) {
+      spill_.erase(spill_.begin(),
+                   spill_.begin() + static_cast<std::ptrdiff_t>(from_spill));
+    }
+    n -= from_spill;
+    if (n == 0) return;
+    if (n >= stage_.size()) {
+      stage_.clear();
+    } else {
+      stage_.erase(stage_.begin(),
+                   stage_.begin() + static_cast<std::ptrdiff_t>(n));
     }
   }
 
   int tx_fd_;
   int rx_fd_;
   Bytes frame_scratch_;
-  Bytes spill_;
+  Bytes stage_;  // frames staged by event-driven send(), not yet written
+  Bytes spill_;  // bytes the kernel refused (stream-ordered before stage_)
   FrameAssembler assembler_;
+  FrameAssembler::Sink deliver_;
+  std::size_t max_write_per_syscall_ = 0;
   std::uint8_t chunk_[64 * 1024];
 };
 

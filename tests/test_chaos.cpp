@@ -415,14 +415,18 @@ TEST_F(ChaosDetectTest, TransportBackendNeverChangesAnyExportedByte) {
   // Prometheus export, the JSON snapshot, the robustness counters, and
   // every anomaly report are byte-identical whether E2AP frames cross an
   // in-process queue, a real Unix-domain socket, or a shared-memory ring —
-  // at any shard count, with chaos faults, multi-site traffic, an attack,
-  // and gap quarantine all active. All backends share the frame codec and
-  // the logical capacity accounting, so no counter can diverge.
-  auto run = [&](const std::string& backend, std::size_t shards) {
+  // at any shard count, in either pump mode, with chaos faults, multi-site
+  // traffic, an attack, and gap quarantine all active. All backends share
+  // the frame codec and the logical capacity accounting, and the
+  // event-driven pump only changes HOW bytes cross a channel (batched
+  // syscalls), never WHEN frames deliver — so no counter can diverge.
+  auto run = [&](const std::string& backend, std::size_t shards,
+                 const std::string& pump) {
     core::PipelineConfig config;
     config.testbed.num_cells = 2;
     config.ric_shards = shards;
     config.e2_transport = backend;
+    config.e2_pump = pump;
     config.fault_plan.drop_probability = 0.05;
     config.fault_plan.reorder_probability = 0.10;
     config.fault_plan.link_epochs = {
@@ -435,6 +439,10 @@ TEST_F(ChaosDetectTest, TransportBackendNeverChangesAnyExportedByte) {
       if (expected.ok()) {
         EXPECT_EQ(pipeline.e2_backend(), expected.value());
       }
+    }
+    if (pump == "epoll") {
+      EXPECT_EQ(pipeline.e2_pump_mode(), transport::PumpMode::kEpoll);
+      EXPECT_NE(pipeline.e2_pump(), nullptr);
     }
     ChaosSnapshot snap;
     pipeline.ric().router().subscribe(
@@ -455,35 +463,52 @@ TEST_F(ChaosDetectTest, TransportBackendNeverChangesAnyExportedByte) {
     return snap;
   };
 
-  ChaosSnapshot reference = run("inproc", 1);
+  ChaosSnapshot reference = run("inproc", 1, "polled");
   EXPECT_FALSE(reference.incidents.empty()) << "attack must produce reports";
   struct Sweep {
     const char* backend;
     std::size_t shards;
+    const char* pump;
   };
-  for (Sweep sweep : {Sweep{"uds", 1}, Sweep{"shm", 1}, Sweep{"uds", 2},
-                      Sweep{"shm", 4}}) {
+  for (Sweep sweep : {// Historical polled mode across backends and shards.
+                      Sweep{"uds", 1, "polled"}, Sweep{"shm", 1, "polled"},
+                      Sweep{"uds", 2, "polled"}, Sweep{"shm", 4, "polled"},
+                      // Event-driven pump: same bytes on every backend at
+                      // every shard count.
+                      Sweep{"inproc", 1, "epoll"}, Sweep{"uds", 1, "epoll"},
+                      Sweep{"shm", 1, "epoll"}, Sweep{"uds", 2, "epoll"},
+                      Sweep{"shm", 4, "epoll"}}) {
     SCOPED_TRACE(std::string(sweep.backend) + " backend, " +
-                 std::to_string(sweep.shards) + " shards");
-    ChaosSnapshot other = run(sweep.backend, sweep.shards);
+                 std::to_string(sweep.shards) + " shards, " + sweep.pump +
+                 " pump");
+    ChaosSnapshot other = run(sweep.backend, sweep.shards, sweep.pump);
     EXPECT_EQ(other.prometheus, reference.prometheus);
     EXPECT_EQ(other.json, reference.json);
     EXPECT_EQ(other.stats_text, reference.stats_text);
     EXPECT_EQ(other.incidents, reference.incidents);
   }
 
-  // The environment default reaches the same code path: an empty config
-  // with XSEC_E2_TRANSPORT=shm must match the reference byte for byte too.
-  // Preserve any sweep-provided value so later tests in this binary still
-  // see it (scripts/sanitize.sh exports it across a whole ctest run).
+  // The environment defaults reach the same code paths: an empty config
+  // with XSEC_E2_TRANSPORT=shm and XSEC_E2_PUMP=epoll must match the
+  // reference byte for byte too. Preserve any sweep-provided values so
+  // later tests in this binary still see them (scripts/sanitize.sh exports
+  // them across a whole ctest run).
   const char* prior_env = getenv("XSEC_E2_TRANSPORT");
   std::string saved_env = prior_env ? prior_env : "";
+  const char* prior_pump = getenv("XSEC_E2_PUMP");
+  std::string saved_pump = prior_pump ? prior_pump : "";
   setenv("XSEC_E2_TRANSPORT", "shm", 1);
-  ChaosSnapshot from_env = run("", 1);
+  setenv("XSEC_E2_PUMP", "epoll", 1);
+  ChaosSnapshot from_env = run("", 1, "");
   if (prior_env) {
     setenv("XSEC_E2_TRANSPORT", saved_env.c_str(), 1);
   } else {
     unsetenv("XSEC_E2_TRANSPORT");
+  }
+  if (prior_pump) {
+    setenv("XSEC_E2_PUMP", saved_pump.c_str(), 1);
+  } else {
+    unsetenv("XSEC_E2_PUMP");
   }
   EXPECT_EQ(from_env.prometheus, reference.prometheus);
   EXPECT_EQ(from_env.json, reference.json);
